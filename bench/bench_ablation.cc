@@ -1,0 +1,291 @@
+// Ablation harness for the design choices DESIGN.md calls out:
+//   1. the candidate-tag irrelevance threshold (paper: 10%),
+//   2. the RP pair-count floor (paper: 10% of the lowest candidate count),
+//   3. the certainty-factor source (paper's Table 4 vs recalibrated),
+//   4. highest-fan-out subtree selection vs whole-document candidates,
+//   5. each heuristic's marginal value (drop-one from ORSIH).
+// Every variant is scored by the mean success sc(D) over the calibration
+// corpus plus the 20 test documents.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/combiner_baselines.h"
+#include "core/tr_heuristic.h"
+#include "core/discovery.h"
+#include "ontology/estimator.h"
+#include "util/table_printer.h"
+
+namespace webrbd {
+namespace {
+
+// All 120 documents with their ground truth and domain ontologies.
+struct Corpus {
+  std::vector<gen::GeneratedDocument> docs;
+  std::map<Domain, std::shared_ptr<const RecordCountEstimator>> estimators;
+};
+
+const Corpus& FullCorpus() {
+  static const Corpus* corpus = [] {
+    auto* c = new Corpus();
+    for (Domain domain : {Domain::kObituaries, Domain::kCarAds}) {
+      for (auto& doc : gen::GenerateCalibrationCorpus(domain)) {
+        c->docs.push_back(std::move(doc));
+      }
+    }
+    for (Domain domain : kAllDomains) {
+      for (auto& doc : gen::GenerateTestCorpus(domain)) {
+        c->docs.push_back(std::move(doc));
+      }
+    }
+    for (Domain domain : kAllDomains) {
+      c->estimators[domain] =
+          MakeEstimatorForOntology(BundledOntology(domain).value()).value();
+    }
+    return c;
+  }();
+  return *corpus;
+}
+
+// Mean success of a DiscoveryOptions variant over the full corpus; counts
+// a document as 1 when the chosen separator is correct, else 0 (documents
+// the variant cannot analyze count as 0).
+double Score(DiscoveryOptions options) {
+  const Corpus& corpus = FullCorpus();
+  double hits = 0.0;
+  for (const gen::GeneratedDocument& doc : corpus.docs) {
+    options.estimator = corpus.estimators.at(doc.domain);
+    RecordBoundaryDiscoverer discoverer(options);
+    auto tree = BuildTagTree(doc.html);
+    if (!tree.ok()) continue;
+    auto result = discoverer.Discover(*tree);
+    if (!result.ok()) continue;
+    if (doc.IsCorrectSeparator(result->separator)) hits += 1.0;
+  }
+  return hits / static_cast<double>(corpus.docs.size());
+}
+
+DiscoveryOptions Baseline() {
+  DiscoveryOptions options;
+  options.certainty = bench::Calibration().derived;
+  return options;
+}
+
+void AblateIrrelevanceThreshold() {
+  bench::PrintTitle("Ablation 1 — candidate irrelevance threshold "
+                    "(paper: 10%)");
+  TablePrinter table({"Threshold", "Accuracy"});
+  for (double threshold : {0.0, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50}) {
+    DiscoveryOptions options = Baseline();
+    options.candidate_options.irrelevance_threshold = threshold;
+    table.AddRow({bench::Pct(threshold), bench::Pct(Score(options), 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+void AblateRpFloor() {
+  bench::PrintTitle("Ablation 2 — RP pair-count floor (paper: 10% of the "
+                    "lowest candidate count)");
+  TablePrinter table({"Floor", "Accuracy"});
+  for (double floor : {0.0, 0.05, 0.10, 0.25, 0.50, 1.0}) {
+    DiscoveryOptions options = Baseline();
+    options.rp_pair_floor = floor;
+    table.AddRow({bench::Pct(floor), bench::Pct(Score(options), 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+void AblateCertaintySource() {
+  bench::PrintTitle("Ablation 3 — certainty-factor source");
+  TablePrinter table({"CF table", "Accuracy"});
+  DiscoveryOptions paper = Baseline();
+  paper.certainty = CertaintyFactorTable::PaperTable4();
+  table.AddRow({"paper Table 4", bench::Pct(Score(paper), 1)});
+  table.AddRow({"recalibrated (ours)", bench::Pct(Score(Baseline()), 1)});
+  CertaintyFactorTable uniform;
+  for (const char* h : eval::kHeuristicOrder) {
+    uniform.Set(h, {0.5, 0.25, 0.125, 0.0625});
+  }
+  DiscoveryOptions flat = Baseline();
+  flat.certainty = uniform;
+  table.AddRow({"uniform geometric", bench::Pct(Score(flat), 1)});
+  std::printf("%s", table.ToString().c_str());
+}
+
+void AblateDropOneHeuristic() {
+  bench::PrintTitle("Ablation 4 — drop one heuristic from ORSIH");
+  TablePrinter table({"Heuristics", "Accuracy"});
+  table.AddRow({"ORSIH (full)", bench::Pct(Score(Baseline()), 1)});
+  const std::string letters = "ORSIH";
+  for (char dropped : letters) {
+    std::string subset;
+    for (char letter : letters) {
+      if (letter != dropped) subset += letter;
+    }
+    DiscoveryOptions options = Baseline();
+    options.heuristics = subset;
+    table.AddRow({subset + " (no " + std::string(1, dropped) + ")",
+                  bench::Pct(Score(options), 1)});
+  }
+  for (const char* single : {"O", "R", "S", "I", "H"}) {
+    DiscoveryOptions options = Baseline();
+    options.heuristics = single;
+    table.AddRow({std::string(single) + " alone",
+                  bench::Pct(Score(options), 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+void AblateItList() {
+  bench::PrintTitle("Ablation 5 — IT separator list");
+  TablePrinter table({"IT list", "Accuracy"});
+  table.AddRow({"paper list", bench::Pct(Score(Baseline()), 1)});
+  DiscoveryOptions no_it = Baseline();
+  no_it.it_separator_list = {};  // IT never ranks anything
+  table.AddRow({"empty (IT abstains)", bench::Pct(Score(no_it), 1)});
+  DiscoveryOptions reversed = Baseline();
+  reversed.it_separator_list = ItHeuristic::PaperSeparatorList();
+  std::reverse(reversed.it_separator_list.begin(),
+               reversed.it_separator_list.end());
+  table.AddRow({"paper list reversed", bench::Pct(Score(reversed), 1)});
+  std::printf("%s", table.ToString().c_str());
+}
+
+void AblateCombinerRules() {
+  bench::PrintTitle("Ablation 7 — rank-fusion rule (paper: Stanford "
+                    "certainty theory)");
+  const Corpus& corpus = FullCorpus();
+  const CertaintyFactorTable table = bench::Calibration().derived;
+  TablePrinter out({"Fusion rule", "Accuracy"});
+  for (CombinerRule rule : kAllCombinerRules) {
+    double hits = 0.0;
+    for (const gen::GeneratedDocument& doc : corpus.docs) {
+      DiscoveryOptions options;
+      options.estimator = corpus.estimators.at(doc.domain);
+      RecordBoundaryDiscoverer discoverer(options);
+      auto tree = BuildTagTree(doc.html);
+      if (!tree.ok()) continue;
+      auto result = discoverer.Discover(*tree);
+      if (!result.ok()) continue;
+      auto fused = CombineWithRule(rule, result->heuristic_results, table,
+                                   result->analysis);
+      if (!fused.empty() && doc.IsCorrectSeparator(fused.front().tag)) {
+        hits += 1.0;
+      }
+    }
+    out.AddRow({CombinerRuleName(rule),
+                bench::Pct(hits / corpus.docs.size(), 1)});
+  }
+  std::printf("%s", out.ToString().c_str());
+}
+
+void AblateSdScoring() {
+  bench::PrintTitle("Ablation 6 — SD scoring: absolute stddev (paper) vs "
+                    "coefficient of variation");
+  TablePrinter table({"SD scoring", "Accuracy (S alone)", "Accuracy (ORSIH)"});
+  for (bool normalize : {false, true}) {
+    DiscoveryOptions alone = Baseline();
+    alone.heuristics = "S";
+    alone.sd_normalize = normalize;
+    DiscoveryOptions full = Baseline();
+    full.sd_normalize = normalize;
+    table.AddRow({normalize ? "coefficient of variation" : "absolute (paper)",
+                  bench::Pct(Score(alone), 1), bench::Pct(Score(full), 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+void AblateTrExtension() {
+  bench::PrintTitle("Ablation 8 — the TR (tandem-repeat) extension "
+                    "heuristic");
+  const Corpus& corpus = FullCorpus();
+  TrHeuristic tr;
+
+  // First, calibrate TR exactly as Section 5.2 calibrates the paper's
+  // five: measure its rank distribution over the 100 calibration
+  // documents (the corpus's first hundred) and use the fractions as CFs.
+  std::array<double, 4> tr_cf = {0, 0, 0, 0};
+  size_t calibration_docs = 0;
+  for (size_t d = 0; d < corpus.docs.size() && d < 100; ++d) {
+    const gen::GeneratedDocument& doc = corpus.docs[d];
+    auto tree = BuildTagTree(doc.html);
+    if (!tree.ok()) continue;
+    auto analysis = ExtractCandidateTags(*tree);
+    if (!analysis.ok()) continue;
+    ++calibration_docs;
+    HeuristicResult ranked = tr.Rank(*tree, *analysis);
+    int best = 0;
+    for (const std::string& separator : doc.correct_separators) {
+      const int rank = ranked.RankOf(separator);
+      if (rank > 0 && (best == 0 || rank < best)) best = rank;
+    }
+    if (best >= 1 && best <= 4) tr_cf[static_cast<size_t>(best - 1)] += 1.0;
+  }
+  for (double& f : tr_cf) f /= static_cast<double>(calibration_docs);
+
+  // An uncalibrated guess, for contrast.
+  CertaintyFactorTable guessed = bench::Calibration().derived;
+  guessed.Set("TR", {0.80, 0.15, 0.05, 0.0});
+  CertaintyFactorTable calibrated = bench::Calibration().derived;
+  calibrated.Set("TR", tr_cf);
+  double tr_alone = 0.0;
+  double with_tr_guessed = 0.0;
+  double with_tr_calibrated = 0.0;
+  for (const gen::GeneratedDocument& doc : corpus.docs) {
+    DiscoveryOptions options;
+    options.estimator = corpus.estimators.at(doc.domain);
+    RecordBoundaryDiscoverer discoverer(options);
+    auto tree = BuildTagTree(doc.html);
+    if (!tree.ok()) continue;
+    auto result = discoverer.Discover(*tree);
+    if (!result.ok()) continue;
+
+    HeuristicResult tr_result = tr.Rank(*tree, result->analysis);
+    if (!tr_result.ranking.empty() &&
+        doc.IsCorrectSeparator(tr_result.ranking.front().tag)) {
+      tr_alone += 1.0;
+    }
+    std::vector<HeuristicResult> six = result->heuristic_results;
+    six.push_back(tr_result);
+    auto fused_guess =
+        CombineHeuristicResults(six, guessed, result->analysis);
+    if (!fused_guess.empty() &&
+        doc.IsCorrectSeparator(fused_guess.front().tag)) {
+      with_tr_guessed += 1.0;
+    }
+    auto fused_cal =
+        CombineHeuristicResults(six, calibrated, result->analysis);
+    if (!fused_cal.empty() &&
+        doc.IsCorrectSeparator(fused_cal.front().tag)) {
+      with_tr_calibrated += 1.0;
+    }
+  }
+  TablePrinter out({"Configuration", "Accuracy"});
+  out.AddRow({"TR alone", bench::Pct(tr_alone / corpus.docs.size(), 1)});
+  out.AddRow({"ORSIH + TR (guessed CFs)",
+              bench::Pct(with_tr_guessed / corpus.docs.size(), 1)});
+  out.AddRow({"ORSIH + TR (calibrated, Section 5.2 style)",
+              bench::Pct(with_tr_calibrated / corpus.docs.size(), 1)});
+  std::printf("%s", out.ToString().c_str());
+  std::printf("TR calibrated CFs: %.1f%% / %.1f%% / %.1f%% / %.1f%%\n",
+              100 * tr_cf[0], 100 * tr_cf[1], 100 * tr_cf[2],
+              100 * tr_cf[3]);
+}
+
+}  // namespace
+}  // namespace webrbd
+
+int main() {
+  webrbd::AblateIrrelevanceThreshold();
+  webrbd::AblateRpFloor();
+  webrbd::AblateCertaintySource();
+  webrbd::AblateDropOneHeuristic();
+  webrbd::AblateItList();
+  webrbd::AblateSdScoring();
+  webrbd::AblateCombinerRules();
+  webrbd::AblateTrExtension();
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Component micro-benchmarks: the HTML lexer, the Appendix-A tag-tree
+// builder, candidate extraction, each of the five heuristics, the regex
+// engine, the lexicon matcher, the recognizer, and end-to-end discovery.
+
+#include <benchmark/benchmark.h>
+
+#include <regex>
+
+#include "core/discovery.h"
+#include "core/wrapper.h"
+#include "core/ht_heuristic.h"
+#include "core/it_heuristic.h"
+#include "core/om_heuristic.h"
+#include "core/rp_heuristic.h"
+#include "core/sd_heuristic.h"
+#include "extract/recognizer.h"
+#include "gen/corpora.h"
+#include "gen/sites.h"
+#include "html/lexer.h"
+#include "html/tree_builder.h"
+#include "ontology/bundled.h"
+#include "ontology/estimator.h"
+#include "text/lexicon.h"
+#include "text/regex.h"
+
+namespace webrbd {
+namespace {
+
+// A representative mid-size document (Salt Lake Tribune obituaries).
+const std::string& Document() {
+  static const std::string doc =
+      gen::RenderDocument(gen::CalibrationSites()[0], Domain::kObituaries, 0)
+          .html;
+  return doc;
+}
+
+const TagTree& Tree() {
+  static const TagTree tree = BuildTagTree(Document()).value();
+  return tree;
+}
+
+const CandidateAnalysis& Analysis() {
+  static const CandidateAnalysis analysis =
+      ExtractCandidateTags(Tree()).value();
+  return analysis;
+}
+
+void BM_Lexer(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LexHtml(Document()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Document().size()));
+}
+BENCHMARK(BM_Lexer);
+
+void BM_TagTreeBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildTagTree(Document()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Document().size()));
+}
+BENCHMARK(BM_TagTreeBuild);
+
+void BM_CandidateExtraction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractCandidateTags(Tree()));
+  }
+}
+BENCHMARK(BM_CandidateExtraction);
+
+template <typename Heuristic>
+void BM_Heuristic(benchmark::State& state) {
+  Heuristic heuristic;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heuristic.Rank(Tree(), Analysis()));
+  }
+}
+BENCHMARK_TEMPLATE(BM_Heuristic, HtHeuristic);
+BENCHMARK_TEMPLATE(BM_Heuristic, ItHeuristic);
+BENCHMARK_TEMPLATE(BM_Heuristic, SdHeuristic);
+BENCHMARK_TEMPLATE(BM_Heuristic, RpHeuristic);
+
+void BM_OmHeuristic(benchmark::State& state) {
+  auto ontology = BundledOntology(Domain::kObituaries).value();
+  OmHeuristic om(MakeEstimatorForOntology(ontology).value());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(om.Rank(Tree(), Analysis()));
+  }
+}
+BENCHMARK(BM_OmHeuristic);
+
+void BM_DiscoveryStructuralOnly(benchmark::State& state) {
+  RecordBoundaryDiscoverer discoverer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(discoverer.Discover(Tree()));
+  }
+}
+BENCHMARK(BM_DiscoveryStructuralOnly);
+
+void BM_DiscoveryEndToEnd(benchmark::State& state) {
+  DiscoveryOptions options;
+  options.estimator =
+      MakeEstimatorForOntology(BundledOntology(Domain::kObituaries).value())
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscoverRecordBoundaries(Document(), options));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Document().size()));
+}
+BENCHMARK(BM_DiscoveryEndToEnd);
+
+// Wrapper reuse: applying a learned site wrapper skips the five-heuristic
+// vote; compare with BM_DiscoveryEndToEnd to see what amortizing discovery
+// across a site's pages buys.
+void BM_WrapperApply(benchmark::State& state) {
+  WrapperEngine engine;
+  SiteWrapper wrapper = engine.Learn(Document()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Apply(wrapper, Document()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Document().size()));
+}
+BENCHMARK(BM_WrapperApply);
+
+void BM_RegexFindAll(benchmark::State& state) {
+  Regex regex = Regex::Compile("\\b[0-9]{3}-[0-9]{4}\\b").value();
+  const std::string text = Tree().PlainText(Tree().root());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(regex.FindAll(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_RegexFindAll);
+
+void BM_RegexKeywordPhrase(benchmark::State& state) {
+  RegexOptions ci;
+  ci.case_insensitive = true;
+  Regex regex = Regex::Compile("\\bpassed\\s+away\\s+on\\b", ci).value();
+  const std::string text = Tree().PlainText(Tree().root());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(regex.CountMatches(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_RegexKeywordPhrase);
+
+// Baseline comparison: the same scan with std::regex (backtracking
+// ECMAScript engine). Our Pike VM trades constant-factor speed for
+// guaranteed linearity; this benchmark quantifies the trade on realistic
+// recognizer workloads.
+void BM_StdRegexFindAll(benchmark::State& state) {
+  const std::regex regex("\\b[0-9]{3}-[0-9]{4}\\b");
+  const std::string text = Tree().PlainText(Tree().root());
+  for (auto _ : state) {
+    size_t count = 0;
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), regex);
+         it != std::sregex_iterator(); ++it) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_StdRegexFindAll);
+
+void BM_LexiconFindAll(benchmark::State& state) {
+  Lexicon lexicon(gen::Mortuaries());
+  const std::string text = Tree().PlainText(Tree().root());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lexicon.FindAll(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_LexiconFindAll);
+
+void BM_Recognizer(benchmark::State& state) {
+  auto recognizer =
+      Recognizer::Create(BundledOntology(Domain::kObituaries).value()).value();
+  const std::string text = Tree().PlainText(Tree().root());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recognizer.Recognize(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Recognizer);
+
+}  // namespace
+}  // namespace webrbd
+
+BENCHMARK_MAIN();

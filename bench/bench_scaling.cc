@@ -1,0 +1,59 @@
+// Scaling benchmarks verifying the paper's complexity claims: tag-tree
+// construction and the full record-boundary discovery pipeline are O(n) in
+// document size for practical documents (Sections 3 and 5.3). Run with
+// increasing record counts; google-benchmark's complexity fit reports the
+// asymptote.
+
+#include <benchmark/benchmark.h>
+
+#include "core/discovery.h"
+#include "gen/site_template.h"
+#include "gen/sites.h"
+#include "html/tree_builder.h"
+
+namespace webrbd {
+namespace {
+
+// A Figure-2-like site whose record count we scale.
+std::string DocumentWithRecords(int records) {
+  gen::SiteTemplate site = gen::CalibrationSites()[0];
+  site.site_name += "-scaled-" + std::to_string(records);
+  site.min_records = records;
+  site.max_records = records;
+  return gen::RenderDocument(site, Domain::kObituaries, 0).html;
+}
+
+void BM_TagTreeScaling(benchmark::State& state) {
+  const std::string doc = DocumentWithRecords(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildTagTree(doc));
+  }
+  state.SetComplexityN(static_cast<int64_t>(doc.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_TagTreeScaling)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Complexity(benchmark::oN);
+
+void BM_DiscoveryScaling(benchmark::State& state) {
+  const std::string doc = DocumentWithRecords(static_cast<int>(state.range(0)));
+  RecordBoundaryDiscoverer discoverer;  // structural heuristics (no OM I/O)
+  for (auto _ : state) {
+    auto tree = BuildTagTree(doc);
+    benchmark::DoNotOptimize(discoverer.Discover(*tree));
+  }
+  state.SetComplexityN(static_cast<int64_t>(doc.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_DiscoveryScaling)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace webrbd
+
+BENCHMARK_MAIN();

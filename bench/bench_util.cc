@@ -1,0 +1,63 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace webrbd::bench {
+
+void PrintTitle(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  std::printf("\n%s\n| %s |\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+std::string Pct(double fraction, int digits) {
+  return FormatPercent(fraction, digits);
+}
+
+const CalibrationData& Calibration() {
+  static const CalibrationData* data = [] {
+    auto* d = new CalibrationData();
+    d->obituaries =
+        eval::EvaluateCorpus(gen::GenerateCalibrationCorpus(Domain::kObituaries),
+                             Domain::kObituaries)
+            .value();
+    d->car_ads =
+        eval::EvaluateCorpus(gen::GenerateCalibrationCorpus(Domain::kCarAds),
+                             Domain::kCarAds)
+            .value();
+    d->pooled = d->obituaries;
+    d->pooled.insert(d->pooled.end(), d->car_ads.begin(), d->car_ads.end());
+    d->derived = eval::DeriveCertaintyFactors(
+        {eval::RankDistribution(d->obituaries),
+         eval::RankDistribution(d->car_ads)});
+    return d;
+  }();
+  return *data;
+}
+
+void PrintRankDistribution(
+    const std::string& title,
+    const std::vector<eval::RankDistributionRow>& measured,
+    const std::vector<std::array<double, 4>>& paper) {
+  PrintTitle(title);
+  TablePrinter table({"Heuristic", "1", "2", "3", "4", "none",
+                      "paper: 1", "2", "3", "4"});
+  for (size_t h = 0; h < measured.size(); ++h) {
+    const auto& row = measured[h];
+    std::vector<std::string> cells = {row.heuristic};
+    for (double f : row.rank_fraction) cells.push_back(Pct(f));
+    cells.push_back(Pct(row.none_fraction));
+    if (h < paper.size()) {
+      for (double f : paper[h]) cells.push_back(Pct(f));
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "('none' counts abstentions/rank>4 — the paper's corpus had none; "
+      "see EXPERIMENTS.md)\n");
+}
+
+}  // namespace webrbd::bench

@@ -1,0 +1,45 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Shared helpers for the table-regeneration harnesses in bench/. Each
+// table binary prints the paper's reported numbers next to the values
+// measured on the synthetic corpus, in the paper's row/column layout.
+
+#ifndef WEBRBD_BENCH_BENCH_UTIL_H_
+#define WEBRBD_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiments.h"
+
+namespace webrbd::bench {
+
+/// Prints a boxed section title.
+void PrintTitle(const std::string& title);
+
+/// Formats a fraction as the paper prints percentages ("83%", "84.5%").
+std::string Pct(double fraction, int digits = 0);
+
+/// The calibration evaluations and the certainty factors derived from
+/// them, computed once per process.
+struct CalibrationData {
+  std::vector<eval::DocEvaluation> obituaries;
+  std::vector<eval::DocEvaluation> car_ads;
+  std::vector<eval::DocEvaluation> pooled;
+  CertaintyFactorTable derived;
+};
+
+/// Runs (or returns the cached) calibration pass.
+const CalibrationData& Calibration();
+
+/// Renders a Table 2/3-style rank-distribution table with the paper's
+/// values interleaved. `paper` rows are {rank1..rank4} fractions in the
+/// paper's OM, RP, SD, IT, HT order.
+void PrintRankDistribution(
+    const std::string& title,
+    const std::vector<eval::RankDistributionRow>& measured,
+    const std::vector<std::array<double, 4>>& paper);
+
+}  // namespace webrbd::bench
+
+#endif  // WEBRBD_BENCH_BENCH_UTIL_H_

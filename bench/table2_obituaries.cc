@@ -1,0 +1,18 @@
+// Regenerates Table 2: per-heuristic rank distributions on the obituary
+// calibration corpus (10 Table 1 sites x 5 documents).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace webrbd;
+  const auto& calibration = bench::Calibration();
+  bench::PrintRankDistribution(
+      "Table 2 — initial experiments, obituaries (50 documents)",
+      eval::RankDistribution(calibration.obituaries),
+      {{{0.83, 0.17, 0.00, 0.00}},   // OM
+       {{0.83, 0.07, 0.10, 0.00}},   // RP
+       {{0.59, 0.27, 0.14, 0.00}},   // SD
+       {{0.92, 0.08, 0.00, 0.00}},   // IT
+       {{0.58, 0.23, 0.17, 0.02}}}); // HT
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Regenerates Table 3: per-heuristic rank distributions on the car-ad
+// calibration corpus (10 Table 1 sites x 5 documents).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace webrbd;
+  const auto& calibration = bench::Calibration();
+  bench::PrintRankDistribution(
+      "Table 3 — initial experiments, car advertisements (50 documents)",
+      eval::RankDistribution(calibration.car_ads),
+      {{{0.86, 0.08, 0.04, 0.02}},   // OM
+       {{0.72, 0.18, 0.08, 0.02}},   // RP
+       {{0.72, 0.18, 0.10, 0.00}},   // SD
+       {{1.00, 0.00, 0.00, 0.00}},   // IT
+       {{0.40, 0.42, 0.16, 0.02}}}); // HT
+  return 0;
+}

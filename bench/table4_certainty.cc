@@ -1,0 +1,29 @@
+// Regenerates Table 4: certainty factors obtained by averaging the
+// obituary and car-ad rank distributions (Tables 2 and 3).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace webrbd;
+  const auto& calibration = bench::Calibration();
+  const CertaintyFactorTable paper = CertaintyFactorTable::PaperTable4();
+
+  bench::PrintTitle("Table 4 — certainty factors (derived vs paper)");
+  TablePrinter table({"Heuristic", "1", "2", "3", "4",
+                      "paper: 1", "2", "3", "4"});
+  for (const char* heuristic : eval::kHeuristicOrder) {
+    std::vector<std::string> cells = {heuristic};
+    for (int rank = 1; rank <= 4; ++rank) {
+      cells.push_back(bench::Pct(calibration.derived.Factor(heuristic, rank), 1));
+    }
+    for (int rank = 1; rank <= 4; ++rank) {
+      cells.push_back(bench::Pct(paper.Factor(heuristic, rank), 1));
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

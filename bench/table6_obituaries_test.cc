@@ -1,0 +1,14 @@
+// Regenerates Table 6: test set 1, obituaries from five fresh sites.
+
+#include "bench/test_set_common.h"
+
+int main() {
+  using namespace webrbd;
+  return bench::RunTestSetTable(
+      Domain::kObituaries, "Table 6 — test set 1: obituaries",
+      {{{1, 1, 1, 1, 1, 1}},    // Alameda Newspaper
+       {{1, 1, 2, 1, 2, 1}},    // Idaho State Journal
+       {{1, 1, 1, 1, 1, 1}},    // Sacramento Bee
+       {{1, 1, 1, 1, 1, 1}},    // Tampa Tribune
+       {{1, 1, 1, 1, 2, 1}}});  // Shoals Timesdaily
+}

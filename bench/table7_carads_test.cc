@@ -1,0 +1,14 @@
+// Regenerates Table 7: test set 2, car advertisements from five sites.
+
+#include "bench/test_set_common.h"
+
+int main() {
+  using namespace webrbd;
+  return bench::RunTestSetTable(
+      Domain::kCarAds, "Table 7 — test set 2: car advertisements",
+      {{{1, 1, 1, 1, 2, 1}},    // Arkansas Democrat - Gazette
+       {{1, 2, 2, 1, 4, 1}},    // Sioux City Journal
+       {{1, 1, 1, 1, 1, 1}},    // Knoxville News
+       {{1, 1, 1, 1, 1, 1}},    // Lincoln Journal Star
+       {{3, 3, 1, 1, 3, 1}}});  // Reno Gazette - Journal
+}

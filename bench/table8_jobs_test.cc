@@ -1,0 +1,14 @@
+// Regenerates Table 8: test set 3, computer job advertisements.
+
+#include "bench/test_set_common.h"
+
+int main() {
+  using namespace webrbd;
+  return bench::RunTestSetTable(
+      Domain::kJobAds, "Table 8 — test set 3: computer job advertisements",
+      {{{1, 1, 1, 1, 2, 1}},    // Baltimore Sun
+       {{1, 1, 2, 1, 2, 1}},    // Dallas Morning News
+       {{4, 1, 1, 1, 4, 1}},    // Denver Post
+       {{1, 1, 1, 1, 1, 1}},    // Indianapolis Star/News
+       {{2, 3, 2, 1, 2, 1}}});  // Los Angeles Times
+}

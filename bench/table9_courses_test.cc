@@ -1,0 +1,14 @@
+// Regenerates Table 9: test set 4, university course descriptions.
+
+#include "bench/test_set_common.h"
+
+int main() {
+  using namespace webrbd;
+  return bench::RunTestSetTable(
+      Domain::kCourses, "Table 9 — test set 4: university course descriptions",
+      {{{2, 2, 1, 1, 1, 1}},    // BYU
+       {{1, 1, 1, 1, 2, 1}},    // MIT
+       {{1, 1, 2, 2, 2, 1}},    // KSU
+       {{1, 1, 2, 1, 1, 1}},    // USC
+       {{1, 2, 2, 1, 1, 1}}});  // UT - Austin
+}

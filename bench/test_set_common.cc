@@ -1,0 +1,47 @@
+#include "bench/test_set_common.h"
+
+#include <cstdio>
+
+#include "util/table_printer.h"
+
+namespace webrbd::bench {
+
+int RunTestSetTable(Domain domain, const std::string& title,
+                    const std::vector<PaperTestRow>& paper_rows) {
+  const auto& calibration = Calibration();
+  auto rows = eval::RunTestSet(domain, "ORSIH", calibration.derived);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "test set failed: %s\n",
+                 rows.status().ToString().c_str());
+    return 1;
+  }
+
+  PrintTitle(title);
+  TablePrinter table({"Site", "OM", "RP", "SD", "IT", "HT", "A",
+                      "paper: OM", "RP", "SD", "IT", "HT", "A"});
+  auto rank_cell = [](int rank) {
+    return rank == 0 ? std::string("-") : std::to_string(rank);
+  };
+  bool all_first = true;
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const eval::TestSiteRow& row = (*rows)[i];
+    std::vector<std::string> cells = {row.site_name};
+    for (const char* heuristic : eval::kHeuristicOrder) {
+      cells.push_back(rank_cell(row.heuristic_rank.at(heuristic)));
+    }
+    cells.push_back(rank_cell(row.compound_rank));
+    if (i < paper_rows.size()) {
+      for (int rank : paper_rows[i]) cells.push_back(std::to_string(rank));
+    }
+    all_first = all_first && row.compound_rank == 1;
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("Compound heuristic (A) ranked a correct separator first on "
+              "%s sites. (paper: all; '-' marks a heuristic that supplied "
+              "no answer)\n",
+              all_first ? "ALL" : "NOT ALL");
+  return all_first ? 0 : 1;
+}
+
+}  // namespace webrbd::bench

@@ -1,0 +1,28 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Shared driver for the Tables 6-9 test-set harnesses.
+
+#ifndef WEBRBD_BENCH_TEST_SET_COMMON_H_
+#define WEBRBD_BENCH_TEST_SET_COMMON_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace webrbd::bench {
+
+/// One paper row: ranks for OM, RP, SD, IT, HT, and the compound A column.
+using PaperTestRow = std::array<int, 6>;
+
+/// Runs the test set for `domain` (using certainty factors derived from the
+/// calibration corpus, exactly as the paper derives Table 4 before running
+/// its test sets) and prints measured vs paper ranks. Returns the process
+/// exit code.
+int RunTestSetTable(Domain domain, const std::string& title,
+                    const std::vector<PaperTestRow>& paper_rows);
+
+}  // namespace webrbd::bench
+
+#endif  // WEBRBD_BENCH_TEST_SET_COMMON_H_

@@ -1,0 +1,89 @@
+// A batch "crawl" over the whole synthetic web: every site of the paper's
+// Tables 1 and 6-9, every application domain it serves, several documents
+// per site. For each document the pipeline discovers the separator and the
+// crawler scores it against the generator's ground truth — a miniature
+// version of the paper's evaluation you can point at your own corpora.
+//
+//   $ ./build/examples/classifieds_crawler
+
+#include <cstdio>
+
+#include "core/discovery.h"
+#include "gen/sites.h"
+#include "ontology/estimator.h"
+#include "util/table_printer.h"
+
+using namespace webrbd;
+
+namespace {
+
+struct SiteScore {
+  int documents = 0;
+  int correct = 0;
+  size_t records = 0;
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kDocsPerSite = 5;
+
+  // One estimator per domain, compiled once.
+  std::map<Domain, std::shared_ptr<const RecordCountEstimator>> estimators;
+  for (Domain domain : kAllDomains) {
+    auto ontology = BundledOntology(domain);
+    if (!ontology.ok()) {
+      std::fprintf(stderr, "%s\n", ontology.status().ToString().c_str());
+      return 1;
+    }
+    estimators[domain] = MakeEstimatorForOntology(*ontology).value();
+  }
+
+  // The crawl frontier: (site, domain) pairs.
+  std::vector<std::pair<gen::SiteTemplate, Domain>> frontier;
+  for (const gen::SiteTemplate& site : gen::CalibrationSites()) {
+    frontier.emplace_back(site, Domain::kObituaries);
+    frontier.emplace_back(site, Domain::kCarAds);
+  }
+  for (Domain domain : kAllDomains) {
+    for (const gen::SiteTemplate& site : gen::TestSites(domain)) {
+      frontier.emplace_back(site, domain);
+    }
+  }
+
+  TablePrinter table({"Site", "Application", "Docs", "Correct", "Records"});
+  int total_docs = 0;
+  int total_correct = 0;
+  size_t total_records = 0;
+  for (const auto& [site, domain] : frontier) {
+    SiteScore score;
+    for (int doc_index = 0; doc_index < kDocsPerSite; ++doc_index) {
+      gen::GeneratedDocument doc =
+          gen::RenderDocument(site, domain, doc_index);
+      DiscoveryOptions options;
+      options.estimator = estimators[domain];
+      auto discovery = DiscoverRecordBoundaries(doc.html, options);
+      ++score.documents;
+      score.records += doc.record_texts.size();
+      if (discovery.ok() &&
+          doc.IsCorrectSeparator(discovery->result.separator)) {
+        ++score.correct;
+      }
+    }
+    table.AddRow({site.site_name, DomainName(domain),
+                  std::to_string(score.documents),
+                  std::to_string(score.correct),
+                  std::to_string(score.records)});
+    total_docs += score.documents;
+    total_correct += score.correct;
+    total_records += score.records;
+  }
+  table.AddRule();
+  table.AddRow({"TOTAL", "", std::to_string(total_docs),
+                std::to_string(total_correct), std::to_string(total_records)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf("Separator accuracy: %d/%d documents (%.1f%%), %zu records.\n",
+              total_correct, total_docs,
+              100.0 * total_correct / total_docs, total_records);
+  return total_correct == total_docs ? 0 : 1;
+}

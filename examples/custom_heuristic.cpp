@@ -1,0 +1,106 @@
+// Extending the heuristic set: the SeparatorHeuristic interface lets you
+// add a sixth opinion and fold it into the Stanford-certainty consensus
+// next to the paper's five.
+//
+// The example heuristic, "BA" (bare appearance), scores candidates by how
+// often they appear WITHOUT attributes: separator tags (<hr>, <p>, <br>)
+// are usually bare, while content markup often carries href/align/etc.
+//
+//   $ ./build/examples/custom_heuristic
+
+#include <cstdio>
+
+#include "core/compound.h"
+#include "core/discovery.h"
+#include "core/ht_heuristic.h"
+#include "core/it_heuristic.h"
+#include "core/rp_heuristic.h"
+#include "core/sd_heuristic.h"
+#include "eval/figure2.h"
+
+using namespace webrbd;
+
+namespace {
+
+// A sixth separator heuristic. Rank() gets the tag tree and the Section 3
+// candidate analysis; it returns a best-first ranking (or an empty one to
+// abstain, like RP and OM do).
+class BareAppearanceHeuristic : public SeparatorHeuristic {
+ public:
+  std::string name() const override { return "BA"; }
+
+  HeuristicResult Rank(const TagTree& tree,
+                       const CandidateAnalysis& analysis) const override {
+    std::vector<std::pair<std::string, double>> scored;
+    for (const CandidateTag& candidate : analysis.candidates) {
+      size_t bare = 0;
+      size_t total = 0;
+      const auto [first, last] = tree.TokenSpan(*analysis.subtree);
+      for (size_t i = first; i <= last && i < tree.tokens().size(); ++i) {
+        const HtmlToken& token = tree.tokens()[i];
+        if (token.kind != HtmlToken::Kind::kStartTag ||
+            token.name != candidate.name) {
+          continue;
+        }
+        ++total;
+        if (token.attrs.empty()) ++bare;
+      }
+      if (total > 0) {
+        scored.emplace_back(candidate.name,
+                            static_cast<double>(bare) /
+                                static_cast<double>(total));
+      }
+    }
+    // Higher bare fraction = more separator-like.
+    return MakeRankedResult(name(), std::move(scored), /*ascending=*/false);
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto tree = BuildTagTree(Figure2Document());
+  if (!tree.ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  auto analysis = ExtractCandidateTags(*tree);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+
+  // Run the paper's structural heuristics plus the custom one.
+  std::vector<std::unique_ptr<SeparatorHeuristic>> heuristics;
+  heuristics.push_back(std::make_unique<RpHeuristic>());
+  heuristics.push_back(std::make_unique<SdHeuristic>());
+  heuristics.push_back(std::make_unique<ItHeuristic>());
+  heuristics.push_back(std::make_unique<HtHeuristic>());
+  heuristics.push_back(std::make_unique<BareAppearanceHeuristic>());
+
+  std::vector<HeuristicResult> results;
+  for (const auto& heuristic : heuristics) {
+    results.push_back(heuristic->Rank(*tree, *analysis));
+    std::printf("%s:", results.back().heuristic_name.c_str());
+    for (const RankedTag& ranked : results.back().ranking) {
+      std::printf(" (%s, %d, %.2f)", ranked.tag.c_str(), ranked.rank,
+                  ranked.score);
+    }
+    std::printf("\n");
+  }
+
+  // Certainty factors: the paper's Table 4 for the built-ins, plus a
+  // calibration for BA. (In practice you would measure BA's rank
+  // distribution on a labeled corpus, as Section 5.2 does.)
+  CertaintyFactorTable table = CertaintyFactorTable::PaperTable4();
+  table.Set("BA", {0.70, 0.20, 0.05, 0.0});
+
+  auto combined = CombineHeuristicResults(results, table, *analysis);
+  std::printf("\nCompound ranking (RSIH + BA):\n");
+  for (const CompoundRankedTag& entry : combined) {
+    std::printf("  <%s>  %.2f%%\n", entry.tag.c_str(),
+                100.0 * entry.certainty);
+  }
+  std::printf("\nConsensus separator: <%s>\n", combined.front().tag.c_str());
+  return 0;
+}

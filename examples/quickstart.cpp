@@ -1,0 +1,63 @@
+// Quickstart: discover record boundaries in an HTML document and pull out
+// the records.
+//
+//   $ ./build/examples/quickstart
+//
+// The library needs no configuration for structure-only operation: build a
+// tag tree, run the compound heuristic (OM abstains without an ontology;
+// the four structural heuristics carry the vote), split on the winner.
+
+#include <cstdio>
+
+#include "core/record_extractor.h"
+
+int main() {
+  const std::string page = R"(
+<html><body bgcolor="#FFFFFF">
+<h1>City Classifieds</h1>
+<table><tr><td>
+<h2>Autos For Sale</h2>
+<hr>
+<b>1994 Honda Accord</b>, green, 78,000 miles, one owner. $4,500.
+Call 555-3432 evenings.
+<hr>
+<b>1988 Ford Taurus</b>, white, runs great, new tires. $1,250 or best
+offer. Call 555-8890.
+<hr>
+<b>1991 Toyota Camry</b>, blue, 102,000 miles, cassette, cruise. $3,900.
+Call 555-2210.
+<hr>
+</td></tr></table>
+</body></html>)";
+
+  // One call: tag tree -> highest-fan-out subtree -> candidate tags ->
+  // heuristics -> Stanford-certainty consensus.
+  auto discovery = webrbd::DiscoverRecordBoundaries(page);
+  if (!discovery.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 discovery.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Record separator: <%s>\n\n",
+              discovery->result.separator.c_str());
+  std::printf("Compound certainty per candidate tag:\n");
+  for (const auto& ranked : discovery->result.compound_ranking) {
+    std::printf("  <%s>  %.2f%%\n", ranked.tag.c_str(),
+                100.0 * ranked.certainty);
+  }
+
+  // Split the record region at the separator and strip the markup.
+  auto records = webrbd::ExtractRecords(
+      discovery->tree, discovery->result.analysis, discovery->result.separator);
+  if (!records.ok()) {
+    std::fprintf(stderr, "extraction failed: %s\n",
+                 records.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%zu records:\n", records->size());
+  for (size_t i = 0; i < records->size(); ++i) {
+    std::printf("  [%zu] %s\n", i + 1, (*records)[i].text.c_str());
+  }
+  return 0;
+}

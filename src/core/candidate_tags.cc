@@ -1,0 +1,69 @@
+#include "core/candidate_tags.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace webrbd {
+
+const CandidateTag* CandidateAnalysis::Find(const std::string& name) const {
+  for (const CandidateTag& candidate : candidates) {
+    if (candidate.name == name) return &candidate;
+  }
+  return nullptr;
+}
+
+Result<CandidateAnalysis> ExtractCandidateTags(const TagTree& tree,
+                                               const CandidateOptions& options) {
+  CandidateAnalysis analysis;
+  analysis.subtree = &tree.HighestFanoutSubtree();
+  if (analysis.subtree->fanout() == 0) {
+    return Status::FailedPrecondition(
+        "document has no nested tags; no record region to analyze");
+  }
+  analysis.subtree_total_tags = tree.CountStartTags(*analysis.subtree);
+
+  // Count appearances among immediate children, preserving first-seen order.
+  std::vector<std::string> order;
+  std::unordered_map<std::string, size_t> child_counts;
+  for (const auto& child : analysis.subtree->children) {
+    auto [it, inserted] = child_counts.try_emplace(child->name, 0);
+    if (inserted) order.push_back(child->name);
+    ++it->second;
+  }
+
+  // Count appearances anywhere in the subtree (start tags only).
+  std::unordered_map<std::string, size_t> subtree_counts;
+  PreOrderVisit(*analysis.subtree,
+                [&](const TagNode& node, int depth) {
+                  if (depth == 0) return;  // the subtree root itself
+                  ++subtree_counts[node.name];
+                });
+
+  const double threshold =
+      options.irrelevance_threshold *
+      static_cast<double>(analysis.subtree_total_tags);
+  for (const std::string& name : order) {
+    CandidateTag tag;
+    tag.name = name;
+    tag.child_count = child_counts[name];
+    tag.subtree_count = subtree_counts[name];
+    if (static_cast<double>(tag.child_count) < threshold) {
+      analysis.irrelevant.push_back(std::move(tag));
+    } else {
+      analysis.candidates.push_back(std::move(tag));
+    }
+  }
+
+  std::stable_sort(analysis.candidates.begin(), analysis.candidates.end(),
+                   [](const CandidateTag& a, const CandidateTag& b) {
+                     return a.child_count > b.child_count;
+                   });
+
+  if (analysis.candidates.empty()) {
+    return Status::FailedPrecondition(
+        "no candidate separator tags pass the irrelevance threshold");
+  }
+  return analysis;
+}
+
+}  // namespace webrbd

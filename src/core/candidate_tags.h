@@ -1,0 +1,63 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Section 3 of the paper: locate the highest-fan-out subtree and extract
+// the candidate separator tags from it. A start-tag appearing in the
+// subtree root's immediate children is "irrelevant" when it accounts for
+// fewer than 10% of the tags in the subtree; all other child tags are
+// candidates for record separator.
+
+#ifndef WEBRBD_CORE_CANDIDATE_TAGS_H_
+#define WEBRBD_CORE_CANDIDATE_TAGS_H_
+
+#include <string>
+#include <vector>
+
+#include "html/tag_tree.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// One candidate separator tag with its usage counts.
+struct CandidateTag {
+  std::string name;
+  size_t child_count = 0;    ///< appearances among the subtree root's children
+  size_t subtree_count = 0;  ///< appearances anywhere in the subtree
+};
+
+/// The result of locating the record region and its candidate tags.
+struct CandidateAnalysis {
+  /// Root of the highest-fan-out subtree (owned by the TagTree).
+  const TagNode* subtree = nullptr;
+
+  /// Total number of start tags in the subtree (the irrelevance-threshold
+  /// denominator).
+  size_t subtree_total_tags = 0;
+
+  /// Candidate tags, in descending child_count order (ties: first seen).
+  std::vector<CandidateTag> candidates;
+
+  /// Child tags rejected by the irrelevance threshold.
+  std::vector<CandidateTag> irrelevant;
+
+  /// Looks up a candidate by name; nullptr when absent.
+  const CandidateTag* Find(const std::string& name) const;
+};
+
+/// Options for candidate extraction.
+struct CandidateOptions {
+  /// A child tag is irrelevant when child appearances / subtree tags falls
+  /// strictly below this fraction. The paper uses 10%.
+  double irrelevance_threshold = 0.10;
+};
+
+/// Runs the Section 3 analysis on a built tag tree.
+///
+/// Fails with FailedPrecondition when the tree has no element nodes (no
+/// subtree to analyze) — the paper assumes multi-record documents, and a
+/// document with no tags cannot contain a separator tag.
+Result<CandidateAnalysis> ExtractCandidateTags(
+    const TagTree& tree, const CandidateOptions& options = {});
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_CANDIDATE_TAGS_H_

@@ -1,0 +1,47 @@
+#include "core/certainty.h"
+
+namespace webrbd {
+
+double CombineTwoCertainty(double a, double b) { return a + b - a * b; }
+
+double CombineCertainty(const std::vector<double>& factors) {
+  double combined = 0.0;
+  for (double f : factors) combined = CombineTwoCertainty(combined, f);
+  return combined;
+}
+
+CertaintyFactorTable CertaintyFactorTable::PaperTable4() {
+  CertaintyFactorTable table;
+  table.Set("OM", {0.845, 0.125, 0.020, 0.010});
+  table.Set("RP", {0.775, 0.125, 0.090, 0.010});
+  table.Set("SD", {0.655, 0.225, 0.120, 0.000});
+  table.Set("IT", {0.960, 0.040, 0.000, 0.000});
+  table.Set("HT", {0.490, 0.325, 0.165, 0.020});
+  return table;
+}
+
+void CertaintyFactorTable::Set(const std::string& heuristic,
+                               const std::array<double, kDepth>& cf) {
+  factors_[heuristic] = cf;
+}
+
+double CertaintyFactorTable::Factor(const std::string& heuristic,
+                                    int rank) const {
+  if (rank < 1 || rank > kDepth) return 0.0;
+  auto it = factors_.find(heuristic);
+  if (it == factors_.end()) return 0.0;
+  return it->second[static_cast<size_t>(rank - 1)];
+}
+
+bool CertaintyFactorTable::Has(const std::string& heuristic) const {
+  return factors_.count(heuristic) > 0;
+}
+
+std::vector<std::string> CertaintyFactorTable::Heuristics() const {
+  std::vector<std::string> names;
+  names.reserve(factors_.size());
+  for (const auto& [name, cf] : factors_) names.push_back(name);
+  return names;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,57 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Stanford certainty theory (Section 5.1) and the certainty-factor table
+// derived from the paper's initial experiments (Table 4).
+
+#ifndef WEBRBD_CORE_CERTAINTY_H_
+#define WEBRBD_CORE_CERTAINTY_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace webrbd {
+
+/// Combines two independent certainty factors in [0, 1]:
+///   CF(E1) + CF(E2) - CF(E1) * CF(E2).
+double CombineTwoCertainty(double a, double b);
+
+/// Folds CombineTwoCertainty over any number of factors. An empty input
+/// yields 0. (The paper's worked example: {0.88, 0.74, 0.66} -> 0.9893.)
+double CombineCertainty(const std::vector<double>& factors);
+
+/// Per-heuristic certainty factors indexed by ranking position: cf[r-1] is
+/// the probability that the heuristic's rank-r choice is a correct
+/// separator. Positions beyond the stored depth carry zero certainty.
+class CertaintyFactorTable {
+ public:
+  /// Number of ranking positions the table covers (the paper uses 4).
+  static constexpr int kDepth = 4;
+
+  CertaintyFactorTable() = default;
+
+  /// The paper's Table 4, averaged from the obituary and car-ad initial
+  /// experiments.
+  static CertaintyFactorTable PaperTable4();
+
+  /// Sets the factors for one heuristic (by its two-letter name).
+  void Set(const std::string& heuristic, const std::array<double, kDepth>& cf);
+
+  /// Certainty that `heuristic`'s choice at 1-based `rank` is correct.
+  /// Unknown heuristics and ranks outside [1, kDepth] yield 0.
+  double Factor(const std::string& heuristic, int rank) const;
+
+  /// True iff factors for `heuristic` are present.
+  bool Has(const std::string& heuristic) const;
+
+  /// Heuristic names present, sorted.
+  std::vector<std::string> Heuristics() const;
+
+ private:
+  std::map<std::string, std::array<double, kDepth>> factors_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_CERTAINTY_H_

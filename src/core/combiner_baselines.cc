@@ -1,0 +1,69 @@
+#include "core/combiner_baselines.h"
+
+#include <algorithm>
+
+namespace webrbd {
+
+std::string CombinerRuleName(CombinerRule rule) {
+  switch (rule) {
+    case CombinerRule::kStanfordCertainty: return "stanford-certainty";
+    case CombinerRule::kPluralityVote: return "plurality-vote";
+    case CombinerRule::kBordaCount: return "borda-count";
+    case CombinerRule::kRankSum: return "rank-sum";
+  }
+  return "unknown";
+}
+
+std::vector<CompoundRankedTag> CombineWithRule(
+    CombinerRule rule, const std::vector<HeuristicResult>& results,
+    const CertaintyFactorTable& table, const CandidateAnalysis& analysis) {
+  if (rule == CombinerRule::kStanfordCertainty) {
+    return CombineHeuristicResults(results, table, analysis);
+  }
+
+  const size_t candidate_count = analysis.candidates.size();
+  std::vector<CompoundRankedTag> combined;
+  combined.reserve(candidate_count);
+
+  for (const CandidateTag& candidate : analysis.candidates) {
+    double score = 0.0;
+    double max_score = 0.0;
+    for (const HeuristicResult& result : results) {
+      const int rank = result.RankOf(candidate.name);
+      switch (rule) {
+        case CombinerRule::kPluralityVote:
+          if (rank == 1) score += 1.0;
+          max_score += 1.0;
+          break;
+        case CombinerRule::kBordaCount:
+          if (rank > 0) {
+            score += static_cast<double>(candidate_count) -
+                     static_cast<double>(rank - 1) - 1.0;
+          }
+          max_score += static_cast<double>(candidate_count) - 1.0;
+          break;
+        case CombinerRule::kRankSum: {
+          // Unranked counts as one worse than last place; invert so
+          // higher is better.
+          const double effective =
+              rank > 0 ? static_cast<double>(rank)
+                       : static_cast<double>(candidate_count) + 1.0;
+          score += static_cast<double>(candidate_count) + 1.0 - effective;
+          max_score += static_cast<double>(candidate_count);
+          break;
+        }
+        case CombinerRule::kStanfordCertainty:
+          break;  // handled above
+      }
+    }
+    combined.push_back(CompoundRankedTag{
+        candidate.name, max_score > 0.0 ? score / max_score : 0.0});
+  }
+  std::stable_sort(combined.begin(), combined.end(),
+                   [](const CompoundRankedTag& a, const CompoundRankedTag& b) {
+                     return a.certainty > b.certainty;
+                   });
+  return combined;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,44 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Baseline rank-fusion rules to compare against the paper's Stanford-
+// certainty combination: plurality voting, Borda count, and rank sum.
+// The paper adopts certainty theory without comparing alternatives; these
+// baselines let bench_ablation quantify what that choice buys.
+
+#ifndef WEBRBD_CORE_COMBINER_BASELINES_H_
+#define WEBRBD_CORE_COMBINER_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/compound.h"
+
+namespace webrbd {
+
+/// Rank-fusion rules.
+enum class CombinerRule {
+  kStanfordCertainty,  ///< the paper's rule (CF folding with Table 4 factors)
+  kPluralityVote,      ///< one vote per heuristic for its top choice
+  kBordaCount,         ///< candidate_count − rank points per heuristic
+  kRankSum,            ///< negative sum of ranks (unranked = worst + 1)
+};
+
+/// Name of a rule ("stanford-certainty", ...).
+std::string CombinerRuleName(CombinerRule rule);
+
+/// Fuses `results` into a best-first scored tag list under `rule`. For
+/// kStanfordCertainty the scores are compound certainty factors from
+/// `table`; for the baselines they are the rule's natural scores
+/// normalized into [0, 1] (so ties and ordering remain comparable).
+std::vector<CompoundRankedTag> CombineWithRule(
+    CombinerRule rule, const std::vector<HeuristicResult>& results,
+    const CertaintyFactorTable& table, const CandidateAnalysis& analysis);
+
+/// All rules, Stanford first.
+inline constexpr CombinerRule kAllCombinerRules[] = {
+    CombinerRule::kStanfordCertainty, CombinerRule::kPluralityVote,
+    CombinerRule::kBordaCount, CombinerRule::kRankSum};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_COMBINER_BASELINES_H_

@@ -1,0 +1,42 @@
+#include "core/compound.h"
+
+#include <algorithm>
+
+namespace webrbd {
+
+std::vector<CompoundRankedTag> CombineHeuristicResults(
+    const std::vector<HeuristicResult>& results,
+    const CertaintyFactorTable& table, const CandidateAnalysis& analysis) {
+  std::vector<CompoundRankedTag> combined;
+  combined.reserve(analysis.candidates.size());
+  for (const CandidateTag& candidate : analysis.candidates) {
+    std::vector<double> factors;
+    factors.reserve(results.size());
+    for (const HeuristicResult& result : results) {
+      const int rank = result.RankOf(candidate.name);
+      if (rank > 0) {
+        factors.push_back(table.Factor(result.heuristic_name, rank));
+      }
+    }
+    combined.push_back(
+        CompoundRankedTag{candidate.name, CombineCertainty(factors)});
+  }
+  std::stable_sort(combined.begin(), combined.end(),
+                   [](const CompoundRankedTag& a, const CompoundRankedTag& b) {
+                     return a.certainty > b.certainty;
+                   });
+  return combined;
+}
+
+std::vector<std::string> TiedBestTags(
+    const std::vector<CompoundRankedTag>& ranking, double epsilon) {
+  std::vector<std::string> tied;
+  if (ranking.empty()) return tied;
+  const double best = ranking.front().certainty;
+  for (const CompoundRankedTag& entry : ranking) {
+    if (best - entry.certainty <= epsilon) tied.push_back(entry.tag);
+  }
+  return tied;
+}
+
+}  // namespace webrbd

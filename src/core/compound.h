@@ -1,0 +1,40 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Section 5.3: combine the rankings of the individual heuristics into a
+// compound certainty factor per candidate tag.
+
+#ifndef WEBRBD_CORE_COMPOUND_H_
+#define WEBRBD_CORE_COMPOUND_H_
+
+#include <string>
+#include <vector>
+
+#include "core/candidate_tags.h"
+#include "core/certainty.h"
+#include "core/heuristic.h"
+
+namespace webrbd {
+
+/// A candidate tag with its compound certainty factor.
+struct CompoundRankedTag {
+  std::string tag;
+  double certainty = 0.0;
+};
+
+/// For every candidate tag, looks up each heuristic's certainty factor for
+/// the rank it assigned to the tag (0 when the heuristic did not rank it)
+/// and folds the factors with Stanford certainty combination. Returns tags
+/// sorted by descending compound certainty (stable on candidate order).
+std::vector<CompoundRankedTag> CombineHeuristicResults(
+    const std::vector<HeuristicResult>& results,
+    const CertaintyFactorTable& table, const CandidateAnalysis& analysis);
+
+/// The tags sharing the maximal certainty in a combined ranking — the
+/// paper's X set in the success measure sc(D) = Y/X. Empty input yields
+/// an empty set. Certainties within `epsilon` of the maximum tie.
+std::vector<std::string> TiedBestTags(
+    const std::vector<CompoundRankedTag>& ranking, double epsilon = 1e-12);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_COMPOUND_H_

@@ -1,0 +1,90 @@
+#include "core/document_classifier.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace webrbd {
+
+std::string DocumentClassName(DocumentClass document_class) {
+  switch (document_class) {
+    case DocumentClass::kMultiRecord: return "multi-record";
+    case DocumentClass::kSingleRecord: return "single-record";
+    case DocumentClass::kNoRecords: return "no-records";
+  }
+  return "unknown";
+}
+
+ClassificationResult ClassifyDocument(const TagTree& tree,
+                                      const RecordCountEstimator* estimator,
+                                      const ClassifierOptions& options) {
+  ClassificationResult result;
+  const TagNode& subtree = tree.HighestFanoutSubtree();
+  result.highest_fanout = subtree.fanout();
+
+  auto analysis = ExtractCandidateTags(tree, options.candidate_options);
+  std::string best_candidate = "-";
+  if (analysis.ok()) {
+    for (const CandidateTag& candidate : analysis->candidates) {
+      if (candidate.subtree_count > result.max_candidate_count) {
+        result.max_candidate_count = candidate.subtree_count;
+        best_candidate = candidate.name;
+      }
+    }
+  }
+
+  // Content evidence. The subtree-scoped estimate follows the paper's OM
+  // insight (count record-identifying fields inside the candidate region);
+  // the whole-document estimate distinguishes a detail page — whose one
+  // record may live OUTSIDE the densest subtree (often the nav bar) —
+  // from a record-free navigation page.
+  std::optional<double> subtree_estimate;
+  std::optional<double> document_estimate;
+  if (estimator != nullptr) {
+    document_estimate =
+        estimator->EstimateRecordCount(tree.PlainText(tree.root()));
+    subtree_estimate = analysis.ok()
+                           ? estimator->EstimateRecordCount(
+                                 tree.PlainText(*analysis->subtree))
+                           : document_estimate;
+    if (subtree_estimate.has_value()) {
+      result.estimate_available = true;
+      result.estimated_records = *subtree_estimate;
+    }
+  }
+
+  // Structural evidence: repeated sibling structure with a plausible
+  // separator candidate.
+  const bool repeated_structure =
+      result.max_candidate_count >= options.min_separator_repeats &&
+      result.highest_fanout >= options.min_separator_repeats;
+
+  if (repeated_structure &&
+      (!result.estimate_available ||
+       result.estimated_records >= options.min_estimated_records)) {
+    result.document_class = DocumentClass::kMultiRecord;
+  } else if (document_estimate.has_value() &&
+             *document_estimate >= options.single_record_min_estimate) {
+    // One record's worth of fields somewhere on the page: a detail page.
+    result.document_class = DocumentClass::kSingleRecord;
+  } else if (estimator == nullptr && result.highest_fanout > 0 &&
+             tree.PlainText(tree.root()).size() > 200) {
+    // No ontology guidance: a page with some structure and substantial
+    // text defaults to single-record rather than no-records.
+    result.document_class = DocumentClass::kSingleRecord;
+  } else {
+    result.document_class = DocumentClass::kNoRecords;
+  }
+
+  result.rationale = "fan-out " + std::to_string(result.highest_fanout) +
+                     ", best candidate <" + best_candidate + "> x" +
+                     std::to_string(result.max_candidate_count);
+  if (result.estimate_available) {
+    result.rationale +=
+        ", estimator ~" + FormatDouble(result.estimated_records, 1) +
+        " records";
+  }
+  return result;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,76 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Document classification — the paper's stated future work (Section 1):
+// the discovery algorithm ASSUMES each document "(1) has multiple records
+// and (2) contains at least one record-separator tag," and the authors
+// leave checking those assumptions (e.g. telling a multi-record listing
+// page from a single-record detail page) for later research. This module
+// implements that check so callers can gate discovery.
+
+#ifndef WEBRBD_CORE_DOCUMENT_CLASSIFIER_H_
+#define WEBRBD_CORE_DOCUMENT_CLASSIFIER_H_
+
+#include <string>
+
+#include "core/candidate_tags.h"
+#include "core/om_heuristic.h"
+#include "html/tag_tree.h"
+
+namespace webrbd {
+
+/// What kind of page the classifier believes it sees.
+enum class DocumentClass {
+  kMultiRecord,   ///< a listing page: discovery's assumptions hold
+  kSingleRecord,  ///< a detail page about one entity
+  kNoRecords,     ///< navigation/front matter; no data records found
+};
+
+/// Evidence backing a classification.
+struct ClassificationResult {
+  DocumentClass document_class = DocumentClass::kNoRecords;
+
+  /// Fan-out of the densest subtree (0 when the page has no nested tags).
+  size_t highest_fanout = 0;
+
+  /// Highest candidate-tag repetition found (the best separator candidate's
+  /// occurrence count), 0 when no candidate exists.
+  size_t max_candidate_count = 0;
+
+  /// Record-count estimate from the ontology estimator, when available.
+  double estimated_records = 0.0;
+  bool estimate_available = false;
+
+  /// Human-readable justification ("fan-out 18, best candidate <hr> x4,
+  /// estimator ~3.3 records").
+  std::string rationale;
+};
+
+/// Classification thresholds.
+struct ClassifierOptions {
+  /// Minimum repeated-structure evidence for a multi-record page: the best
+  /// candidate separator must occur at least this many times.
+  size_t min_separator_repeats = 3;
+
+  /// Minimum estimator record count corroborating multi-record structure.
+  double min_estimated_records = 2.0;
+
+  /// Estimator evidence below this classifies structure-less pages as
+  /// kNoRecords rather than kSingleRecord.
+  double single_record_min_estimate = 0.5;
+
+  CandidateOptions candidate_options;
+};
+
+/// Classifies a parsed document. When `estimator` is non-null its record
+/// count corroborates (or vetoes) the structural evidence; without one the
+/// classification is purely structural.
+ClassificationResult ClassifyDocument(
+    const TagTree& tree, const RecordCountEstimator* estimator = nullptr,
+    const ClassifierOptions& options = {});
+
+/// Name of a document class ("multi-record", ...).
+std::string DocumentClassName(DocumentClass document_class);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_DOCUMENT_CLASSIFIER_H_

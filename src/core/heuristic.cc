@@ -1,0 +1,40 @@
+#include "core/heuristic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace webrbd {
+
+int HeuristicResult::RankOf(const std::string& tag) const {
+  for (const RankedTag& ranked : ranking) {
+    if (ranked.tag == tag) return ranked.rank;
+  }
+  return 0;
+}
+
+HeuristicResult MakeRankedResult(
+    std::string heuristic_name,
+    std::vector<std::pair<std::string, double>> scored, bool ascending) {
+  std::stable_sort(scored.begin(), scored.end(),
+                   [ascending](const auto& a, const auto& b) {
+                     return ascending ? a.second < b.second
+                                      : a.second > b.second;
+                   });
+  HeuristicResult result;
+  result.heuristic_name = std::move(heuristic_name);
+  result.ranking.reserve(scored.size());
+  for (size_t i = 0; i < scored.size(); ++i) {
+    RankedTag ranked;
+    ranked.tag = scored[i].first;
+    ranked.score = scored[i].second;
+    if (i > 0 && scored[i].second == scored[i - 1].second) {
+      ranked.rank = result.ranking.back().rank;  // tie: share the rank
+    } else {
+      ranked.rank = static_cast<int>(i + 1);  // competition ranking
+    }
+    result.ranking.push_back(std::move(ranked));
+  }
+  return result;
+}
+
+}  // namespace webrbd

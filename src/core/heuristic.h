@@ -1,0 +1,61 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Common interface for the paper's five record-separator heuristics
+// (Section 4) plus ranking utilities shared by their implementations.
+
+#ifndef WEBRBD_CORE_HEURISTIC_H_
+#define WEBRBD_CORE_HEURISTIC_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/candidate_tags.h"
+#include "html/tag_tree.h"
+
+namespace webrbd {
+
+/// A candidate tag with the heuristic's raw score and its 1-based rank.
+/// Ranks use competition ("1224") ranking: tags with equal scores share a
+/// rank and the next distinct score skips the tied positions.
+struct RankedTag {
+  std::string tag;
+  double score = 0.0;
+  int rank = 0;
+};
+
+/// Output of one heuristic on one document. `ranking` is ordered best
+/// first; a heuristic that cannot form an opinion (the paper's RP with an
+/// empty pair list, OM without enough record-identifying fields) returns an
+/// empty ranking — "simply does not supply an answer."
+struct HeuristicResult {
+  std::string heuristic_name;
+  std::vector<RankedTag> ranking;
+
+  /// Rank of `tag`, or 0 when the heuristic did not rank it.
+  int RankOf(const std::string& tag) const;
+};
+
+/// Interface implemented by HT, IT, SD, RP, and OM.
+class SeparatorHeuristic {
+ public:
+  virtual ~SeparatorHeuristic() = default;
+
+  /// Two-letter name from the paper: "HT", "IT", "SD", "RP", "OM".
+  virtual std::string name() const = 0;
+
+  /// Ranks the candidate tags of `analysis` within `tree`.
+  virtual HeuristicResult Rank(const TagTree& tree,
+                               const CandidateAnalysis& analysis) const = 0;
+};
+
+/// Builds a HeuristicResult from (tag, score) pairs. When `ascending` the
+/// smallest score ranks first, otherwise the largest. Equal scores share a
+/// competition rank. The input order breaks presentation ties (stable sort).
+HeuristicResult MakeRankedResult(std::string heuristic_name,
+                                 std::vector<std::pair<std::string, double>> scored,
+                                 bool ascending);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_HEURISTIC_H_

@@ -1,0 +1,16 @@
+#include "core/ht_heuristic.h"
+
+namespace webrbd {
+
+HeuristicResult HtHeuristic::Rank(const TagTree& /*tree*/,
+                                  const CandidateAnalysis& analysis) const {
+  std::vector<std::pair<std::string, double>> scored;
+  scored.reserve(analysis.candidates.size());
+  for (const CandidateTag& candidate : analysis.candidates) {
+    scored.emplace_back(candidate.name,
+                        static_cast<double>(candidate.subtree_count));
+  }
+  return MakeRankedResult(name(), std::move(scored), /*ascending=*/false);
+}
+
+}  // namespace webrbd

@@ -1,0 +1,22 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_CORE_HT_HEURISTIC_H_
+#define WEBRBD_CORE_HT_HEURISTIC_H_
+
+#include "core/heuristic.h"
+
+namespace webrbd {
+
+/// HT — highest-count tags (Section 4.1). Ranks candidate tags in
+/// descending order of appearances in the highest-fan-out subtree: with
+/// many records, the separator appears many times.
+class HtHeuristic : public SeparatorHeuristic {
+ public:
+  std::string name() const override { return "HT"; }
+  HeuristicResult Rank(const TagTree& tree,
+                       const CandidateAnalysis& analysis) const override;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_HT_HEURISTIC_H_

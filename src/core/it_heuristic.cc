@@ -1,0 +1,32 @@
+#include "core/it_heuristic.h"
+
+namespace webrbd {
+
+std::vector<std::string> ItHeuristic::PaperSeparatorList() {
+  // Section 4.2, derived by the authors from one hundred documents across
+  // ten sites.
+  return {"hr", "tr", "td", "a", "table", "p", "br", "h4", "h1", "strong",
+          "b", "i"};
+}
+
+ItHeuristic::ItHeuristic() : separator_priority_(PaperSeparatorList()) {}
+
+ItHeuristic::ItHeuristic(std::vector<std::string> separator_priority)
+    : separator_priority_(std::move(separator_priority)) {}
+
+HeuristicResult ItHeuristic::Rank(const TagTree& /*tree*/,
+                                  const CandidateAnalysis& analysis) const {
+  std::vector<std::pair<std::string, double>> scored;
+  for (const CandidateTag& candidate : analysis.candidates) {
+    for (size_t i = 0; i < separator_priority_.size(); ++i) {
+      if (separator_priority_[i] == candidate.name) {
+        scored.emplace_back(candidate.name, static_cast<double>(i));
+        break;
+      }
+    }
+    // Candidates not on the list are discarded (paper, Section 4.2).
+  }
+  return MakeRankedResult(name(), std::move(scored), /*ascending=*/true);
+}
+
+}  // namespace webrbd

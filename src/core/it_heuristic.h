@@ -1,0 +1,41 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_CORE_IT_HEURISTIC_H_
+#define WEBRBD_CORE_IT_HEURISTIC_H_
+
+#include <vector>
+
+#include "core/heuristic.h"
+
+namespace webrbd {
+
+/// IT — identifiable "separator" tags (Section 4.2). Ranks candidates by
+/// their position in a predetermined list of tags that authors (and
+/// authoring tools) commonly use to separate records. Candidates not on
+/// the list are discarded from the ranking.
+class ItHeuristic : public SeparatorHeuristic {
+ public:
+  /// Uses the paper's list: hr tr td a table p br h4 h1 strong b i.
+  ItHeuristic();
+
+  /// Uses a custom priority list (earliest = most separator-like).
+  explicit ItHeuristic(std::vector<std::string> separator_priority);
+
+  /// The paper's published separator-tag list.
+  static std::vector<std::string> PaperSeparatorList();
+
+  std::string name() const override { return "IT"; }
+  HeuristicResult Rank(const TagTree& tree,
+                       const CandidateAnalysis& analysis) const override;
+
+  const std::vector<std::string>& separator_priority() const {
+    return separator_priority_;
+  }
+
+ private:
+  std::vector<std::string> separator_priority_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_IT_HEURISTIC_H_

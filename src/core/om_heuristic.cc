@@ -1,0 +1,27 @@
+#include "core/om_heuristic.h"
+
+#include <cmath>
+
+namespace webrbd {
+
+HeuristicResult OmHeuristic::Rank(const TagTree& tree,
+                                  const CandidateAnalysis& analysis) const {
+  HeuristicResult empty;
+  empty.heuristic_name = name();
+  if (estimator_ == nullptr) return empty;
+
+  const std::string plain_text = tree.PlainText(*analysis.subtree);
+  std::optional<double> estimate = estimator_->EstimateRecordCount(plain_text);
+  if (!estimate.has_value()) return empty;
+
+  std::vector<std::pair<std::string, double>> scored;
+  scored.reserve(analysis.candidates.size());
+  for (const CandidateTag& candidate : analysis.candidates) {
+    scored.emplace_back(
+        candidate.name,
+        std::abs(static_cast<double>(candidate.subtree_count) - *estimate));
+  }
+  return MakeRankedResult(name(), std::move(scored), /*ascending=*/true);
+}
+
+}  // namespace webrbd

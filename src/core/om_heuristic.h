@@ -1,0 +1,69 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_CORE_OM_HEURISTIC_H_
+#define WEBRBD_CORE_OM_HEURISTIC_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/heuristic.h"
+
+namespace webrbd {
+
+/// Estimates how many records a stretch of plain text contains, by counting
+/// indications of record-identifying fields (fields in one-to-one or
+/// functional correspondence with the entity of interest) and averaging.
+///
+/// The ontology layer provides the production implementation
+/// (OntologyRecordCountEstimator in src/ontology); core depends only on
+/// this interface so the heuristics stay ontology-agnostic.
+class RecordCountEstimator {
+ public:
+  virtual ~RecordCountEstimator() = default;
+
+  /// Returns the estimated record count for `plain_text`, or nullopt when
+  /// the estimator has too few record-identifying fields to form a reliable
+  /// average (the paper requires at least 3).
+  virtual std::optional<double> EstimateRecordCount(
+      std::string_view plain_text) const = 0;
+};
+
+/// Trivial estimator pinned to a precomputed value — used by the
+/// integrated pipeline, where the estimate is derived from the
+/// Data-Record Table before discovery runs (the paper's O(d) argument).
+class FixedRecordCountEstimator : public RecordCountEstimator {
+ public:
+  explicit FixedRecordCountEstimator(std::optional<double> estimate)
+      : estimate_(estimate) {}
+
+  std::optional<double> EstimateRecordCount(
+      std::string_view /*plain_text*/) const override {
+    return estimate_;
+  }
+
+ private:
+  std::optional<double> estimate_;
+};
+
+/// OM — ontology matching (Section 4.5). Estimates the number of records
+/// from record-identifying field matches in the subtree's plain text, then
+/// ranks candidates ascending by |tag appearances − estimate|.
+///
+/// Supplies no answer when the estimator abstains.
+class OmHeuristic : public SeparatorHeuristic {
+ public:
+  explicit OmHeuristic(std::shared_ptr<const RecordCountEstimator> estimator)
+      : estimator_(std::move(estimator)) {}
+
+  std::string name() const override { return "OM"; }
+  HeuristicResult Rank(const TagTree& tree,
+                       const CandidateAnalysis& analysis) const override;
+
+ private:
+  std::shared_ptr<const RecordCountEstimator> estimator_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_OM_HEURISTIC_H_

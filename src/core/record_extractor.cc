@@ -1,0 +1,90 @@
+#include "core/record_extractor.h"
+
+#include "html/entities.h"
+#include "util/string_util.h"
+
+namespace webrbd {
+namespace {
+
+// Tags whose boundaries do not interrupt text flow; every other tag
+// renders as a line break when reconstructing record text, as a browser
+// would (e.g. <br> between two bold spans must not glue their words).
+bool IsInlineTag(const std::string& name) {
+  return name == "b" || name == "i" || name == "u" || name == "em" ||
+         name == "strong" || name == "font" || name == "a" ||
+         name == "span" || name == "small" || name == "big" ||
+         name == "tt" || name == "sup" || name == "sub";
+}
+
+}  // namespace
+}  // namespace webrbd
+
+namespace webrbd {
+
+Result<std::vector<ExtractedRecord>> ExtractRecords(
+    const TagTree& tree, const CandidateAnalysis& analysis,
+    const std::string& separator_tag,
+    const RecordExtractorOptions& options) {
+  const auto [first, last] = tree.TokenSpan(*analysis.subtree);
+  const auto& tokens = tree.tokens();
+
+  struct Chunk {
+    std::string raw_text;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Chunk> chunks;
+  Chunk current;
+  current.begin = analysis.subtree->region_begin;
+  size_t separators_seen = 0;
+
+  for (size_t i = first; i <= last && i < tokens.size(); ++i) {
+    const HtmlToken& token = tokens[i];
+    if (token.kind == HtmlToken::Kind::kStartTag &&
+        token.name == separator_tag) {
+      current.end = token.begin;
+      chunks.push_back(std::move(current));
+      current = Chunk();
+      current.begin = token.begin;
+      ++separators_seen;
+    } else if (token.kind == HtmlToken::Kind::kText) {
+      // Concatenate verbatim: HTML renders <b>John</b>son as "Johnson", so
+      // inserting separators here would fabricate word breaks.
+      current.raw_text += token.text;
+    } else if (token.kind == HtmlToken::Kind::kStartTag &&
+               !IsInlineTag(token.name)) {
+      current.raw_text += '\n';  // block-level boundary
+    }
+  }
+  current.end = analysis.subtree->region_end;
+  chunks.push_back(std::move(current));
+
+  if (separators_seen == 0) {
+    return Status::NotFound("separator tag <" + separator_tag +
+                            "> does not occur in the record region");
+  }
+
+  std::vector<ExtractedRecord> records;
+  records.reserve(chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    if (i == 0 && options.drop_leading_chunk) continue;
+    ExtractedRecord record;
+    record.text = CollapseWhitespace(DecodeEntities(chunks[i].raw_text));
+    record.begin = chunks[i].begin;
+    record.end = chunks[i].end;
+    if (record.text.size() < options.min_text_length) continue;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<std::vector<ExtractedRecord>> ExtractRecordsFromDocument(
+    std::string_view document, const DiscoveryOptions& discovery_options,
+    const RecordExtractorOptions& extractor_options) {
+  auto discovery = DiscoverRecordBoundaries(document, discovery_options);
+  if (!discovery.ok()) return discovery.status();
+  return ExtractRecords(discovery->tree, discovery->result.analysis,
+                        discovery->result.separator, extractor_options);
+}
+
+}  // namespace webrbd

@@ -1,0 +1,59 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The Record Extractor of the paper's Figure 1: once the consensus
+// separator tag is known, split the record region into record-size chunks,
+// strip the markup, and hand each record on as clean unstructured text.
+
+#ifndef WEBRBD_CORE_RECORD_EXTRACTOR_H_
+#define WEBRBD_CORE_RECORD_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "html/tag_tree.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// One extracted record.
+struct ExtractedRecord {
+  /// Whitespace-collapsed plain text of the record.
+  std::string text;
+
+  /// Byte range [begin, end) of the record's region in the source document
+  /// (from one separator occurrence to the next).
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Options for record extraction.
+struct RecordExtractorOptions {
+  /// When true (default) the chunk before the first separator occurrence is
+  /// dropped — it is typically a page header (the paper's Figure 2 example:
+  /// the "Funeral Notices" heading precedes the first <hr>).
+  bool drop_leading_chunk = true;
+
+  /// Chunks whose cleaned text is shorter than this are dropped (trailing
+  /// separators and decorative runs produce empty chunks).
+  size_t min_text_length = 1;
+};
+
+/// Splits the highest-fan-out subtree of `tree` at every occurrence of
+/// `separator_tag` (a start tag) and returns the cleaned records in
+/// document order.
+///
+/// Fails with NotFound when the separator tag does not occur in the
+/// subtree.
+Result<std::vector<ExtractedRecord>> ExtractRecords(
+    const TagTree& tree, const CandidateAnalysis& analysis,
+    const std::string& separator_tag, const RecordExtractorOptions& options = {});
+
+/// Convenience: discovery + extraction in one call.
+Result<std::vector<ExtractedRecord>> ExtractRecordsFromDocument(
+    std::string_view document, const DiscoveryOptions& discovery_options = {},
+    const RecordExtractorOptions& extractor_options = {});
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_RECORD_EXTRACTOR_H_

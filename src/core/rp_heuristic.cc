@@ -1,0 +1,95 @@
+#include "core/rp_heuristic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace webrbd {
+
+namespace {
+
+bool IsWhitespaceOnly(const std::string& text) {
+  for (char c : text) {
+    if (!IsAsciiSpace(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::map<std::pair<std::string, std::string>, size_t> RpHeuristic::PairCounts(
+    const TagTree& tree, const CandidateAnalysis& analysis) {
+  std::unordered_map<std::string, bool> is_candidate;
+  for (const CandidateTag& candidate : analysis.candidates) {
+    is_candidate[candidate.name] = true;
+  }
+
+  const auto [first, last] = tree.TokenSpan(*analysis.subtree);
+  const auto& tokens = tree.tokens();
+  std::map<std::pair<std::string, std::string>, size_t> counts;
+
+  // Walk start tags in document order; a pair forms when two candidate
+  // start tags are consecutive with only whitespace text (and possibly end
+  // tags) between them.
+  std::string prev_start_tag;
+  bool text_since_prev = false;
+  for (size_t i = first; i <= last && i < tokens.size(); ++i) {
+    const HtmlToken& token = tokens[i];
+    switch (token.kind) {
+      case HtmlToken::Kind::kStartTag:
+        if (!prev_start_tag.empty() && !text_since_prev &&
+            is_candidate.count(prev_start_tag) > 0 &&
+            is_candidate.count(token.name) > 0) {
+          ++counts[{prev_start_tag, token.name}];
+        }
+        prev_start_tag = token.name;
+        text_since_prev = false;
+        break;
+      case HtmlToken::Kind::kText:
+        if (!IsWhitespaceOnly(token.text)) text_since_prev = true;
+        break;
+      default:
+        break;  // end tags do not break adjacency
+    }
+  }
+  return counts;
+}
+
+HeuristicResult RpHeuristic::Rank(const TagTree& tree,
+                                  const CandidateAnalysis& analysis) const {
+  auto pair_counts = PairCounts(tree, analysis);
+
+  std::unordered_map<std::string, size_t> tag_counts;
+  size_t lowest_count = std::numeric_limits<size_t>::max();
+  for (const CandidateTag& candidate : analysis.candidates) {
+    tag_counts[candidate.name] = candidate.subtree_count;
+    lowest_count = std::min(lowest_count, candidate.subtree_count);
+  }
+  const double floor =
+      pair_floor_fraction_ * static_cast<double>(lowest_count);
+
+  // Each tag keeps its best (smallest) |pair - tag| difference.
+  std::unordered_map<std::string, double> best;
+  for (const auto& [pair, count] : pair_counts) {
+    if (static_cast<double>(count) <= floor) continue;  // paper: > 10%
+    for (const std::string& tag : {pair.first, pair.second}) {
+      const double diff = std::abs(static_cast<double>(count) -
+                                   static_cast<double>(tag_counts[tag]));
+      auto [it, inserted] = best.try_emplace(tag, diff);
+      if (!inserted) it->second = std::min(it->second, diff);
+    }
+  }
+
+  std::vector<std::pair<std::string, double>> scored;
+  // Iterate candidates (not the map) for deterministic presentation order.
+  for (const CandidateTag& candidate : analysis.candidates) {
+    auto it = best.find(candidate.name);
+    if (it != best.end()) scored.emplace_back(candidate.name, it->second);
+  }
+  return MakeRankedResult(name(), std::move(scored), /*ascending=*/true);
+}
+
+}  // namespace webrbd

@@ -1,0 +1,44 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_CORE_RP_HEURISTIC_H_
+#define WEBRBD_CORE_RP_HEURISTIC_H_
+
+#include <map>
+#include <utility>
+
+#include "core/heuristic.h"
+
+namespace webrbd {
+
+/// RP — repeating-tag pattern (Section 4.4). Record boundaries often show a
+/// consistent pattern of adjacent tags (e.g. <br> immediately followed by
+/// <hr>). For every ordered pair of candidate tags <a><b> occurring with no
+/// intervening plain text, the heuristic compares the pair count with the
+/// individual counts of <a> and <b>; a separator's pair count tracks its own
+/// count, so candidates rank ascending on |pair_count - tag_count|, keeping
+/// each tag's best (smallest) value.
+///
+/// Pairs whose count is not greater than 10% of the lowest-count candidate
+/// are dropped; when no pair survives, the heuristic supplies no answer.
+class RpHeuristic : public SeparatorHeuristic {
+ public:
+  /// `pair_floor_fraction` is the paper's 10% cutoff, exposed for ablation.
+  explicit RpHeuristic(double pair_floor_fraction = 0.10)
+      : pair_floor_fraction_(pair_floor_fraction) {}
+
+  std::string name() const override { return "RP"; }
+  HeuristicResult Rank(const TagTree& tree,
+                       const CandidateAnalysis& analysis) const override;
+
+  /// Counts of adjacent candidate-tag pairs (whitespace between two tags
+  /// does not count as intervening plain text); exposed for tests.
+  static std::map<std::pair<std::string, std::string>, size_t> PairCounts(
+      const TagTree& tree, const CandidateAnalysis& analysis);
+
+ private:
+  double pair_floor_fraction_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_RP_HEURISTIC_H_

@@ -1,0 +1,51 @@
+#include "core/sd_heuristic.h"
+
+#include <cmath>
+
+namespace webrbd {
+
+std::vector<size_t> SdHeuristic::IntervalsFor(const TagTree& tree,
+                                              const TagNode& subtree,
+                                              const std::string& tag) {
+  const auto [first, last] = tree.TokenSpan(subtree);
+  const auto& tokens = tree.tokens();
+  std::vector<size_t> intervals;
+  bool seen_occurrence = false;
+  size_t text_since = 0;
+  for (size_t i = first; i <= last && i < tokens.size(); ++i) {
+    const HtmlToken& token = tokens[i];
+    if (token.kind == HtmlToken::Kind::kStartTag && token.name == tag) {
+      if (seen_occurrence) intervals.push_back(text_since);
+      seen_occurrence = true;
+      text_since = 0;
+    } else if (token.kind == HtmlToken::Kind::kText && seen_occurrence) {
+      text_since += token.text.size();
+    }
+  }
+  return intervals;
+}
+
+HeuristicResult SdHeuristic::Rank(const TagTree& tree,
+                                  const CandidateAnalysis& analysis) const {
+  std::vector<std::pair<std::string, double>> scored;
+  for (const CandidateTag& candidate : analysis.candidates) {
+    std::vector<size_t> intervals =
+        IntervalsFor(tree, *analysis.subtree, candidate.name);
+    if (intervals.empty()) continue;  // single occurrence: no opinion
+    double mean = 0.0;
+    for (size_t v : intervals) mean += static_cast<double>(v);
+    mean /= static_cast<double>(intervals.size());
+    double variance = 0.0;
+    for (size_t v : intervals) {
+      const double d = static_cast<double>(v) - mean;
+      variance += d * d;
+    }
+    variance /= static_cast<double>(intervals.size());
+    double score = std::sqrt(variance);
+    if (normalize_ && mean > 0.0) score /= mean;  // coefficient of variation
+    scored.emplace_back(candidate.name, score);
+  }
+  return MakeRankedResult(name(), std::move(scored), /*ascending=*/true);
+}
+
+}  // namespace webrbd

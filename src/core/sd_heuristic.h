@@ -1,0 +1,46 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_CORE_SD_HEURISTIC_H_
+#define WEBRBD_CORE_SD_HEURISTIC_H_
+
+#include "core/heuristic.h"
+
+namespace webrbd {
+
+/// SD — standard deviation (Section 4.3). Records about one entity tend to
+/// be about the same size, so the candidate whose occurrences are most
+/// evenly spaced — smallest standard deviation of plain-text characters
+/// between consecutive occurrences — ranks first.
+///
+/// A candidate appearing fewer than twice in the subtree has no intervals
+/// and is dropped from this heuristic's ranking.
+///
+/// The paper scores by ABSOLUTE standard deviation, which structurally
+/// favors the tag with the largest mean interval (usually the separator).
+/// Setting `normalize` scores by the coefficient of variation
+/// (stddev / mean) instead. bench_ablation compares the two: on the
+/// synthetic corpus the normalized variant is actually the stronger
+/// standalone heuristic (98% vs 77% alone) while the compound result is
+/// 100% either way — the paper's choice is safe inside the consensus but
+/// not optimal in isolation.
+class SdHeuristic : public SeparatorHeuristic {
+ public:
+  explicit SdHeuristic(bool normalize = false) : normalize_(normalize) {}
+
+  std::string name() const override { return "SD"; }
+  HeuristicResult Rank(const TagTree& tree,
+                       const CandidateAnalysis& analysis) const override;
+
+  /// The plain-text character counts between consecutive occurrences of
+  /// `tag` start-tags within `subtree`; exposed for tests and diagnostics.
+  static std::vector<size_t> IntervalsFor(const TagTree& tree,
+                                          const TagNode& subtree,
+                                          const std::string& tag);
+
+ private:
+  bool normalize_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_SD_HEURISTIC_H_

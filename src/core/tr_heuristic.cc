@@ -1,0 +1,93 @@
+#include "core/tr_heuristic.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace webrbd {
+
+namespace {
+
+// Levenshtein distance over tag-name sequences (records' markup skeletons
+// are short, so the quadratic DP is trivial here).
+size_t EditDistance(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  std::vector<size_t> previous(b.size() + 1);
+  std::vector<size_t> current(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) previous[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    current[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t substitution =
+          previous[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      current[j] =
+          std::min({previous[j] + 1, current[j - 1] + 1, substitution});
+    }
+    std::swap(previous, current);
+  }
+  return previous[b.size()];
+}
+
+// Similarity in [0, 1]: 1 − distance / max length; two empty segments are
+// identical.
+double RatioSimilarity(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+}  // namespace
+
+double TrHeuristic::SegmentConsistency(
+    const std::vector<std::string>& sequence, const std::string& leader) {
+  std::vector<std::vector<std::string>> segments;
+  std::vector<std::string> current;
+  bool seen_leader = false;
+  for (const std::string& name : sequence) {
+    if (name == leader) {
+      if (seen_leader) segments.push_back(current);
+      seen_leader = true;
+      current.clear();
+    } else if (seen_leader) {
+      current.push_back(name);
+    }
+  }
+  if (seen_leader) segments.push_back(current);
+  // A trailing separator (Figure 2's final <hr>) leaves an empty tail;
+  // that is normal layout, not evidence against the leader.
+  if (!segments.empty() && segments.back().empty()) segments.pop_back();
+  if (segments.size() < 2) return 0.0;
+
+  size_t non_empty = 0;
+  for (const auto& segment : segments) {
+    if (!segment.empty()) ++non_empty;
+  }
+  double similarity_sum = 0.0;
+  for (size_t i = 1; i < segments.size(); ++i) {
+    similarity_sum += RatioSimilarity(segments[i - 1], segments[i]);
+  }
+  const double mean_similarity =
+      similarity_sum / static_cast<double>(segments.size() - 1);
+  const double non_empty_fraction =
+      static_cast<double>(non_empty) / static_cast<double>(segments.size());
+  return mean_similarity * non_empty_fraction;
+}
+
+HeuristicResult TrHeuristic::Rank(const TagTree& /*tree*/,
+                                  const CandidateAnalysis& analysis) const {
+  std::vector<std::string> sequence;
+  sequence.reserve(analysis.subtree->children.size());
+  for (const auto& child : analysis.subtree->children) {
+    sequence.push_back(child->name);
+  }
+
+  std::vector<std::pair<std::string, double>> scored;
+  for (const CandidateTag& candidate : analysis.candidates) {
+    const double consistency = SegmentConsistency(sequence, candidate.name);
+    if (consistency > 0.0) scored.emplace_back(candidate.name, consistency);
+  }
+  return MakeRankedResult(name(), std::move(scored), /*ascending=*/false);
+}
+
+}  // namespace webrbd

@@ -1,0 +1,49 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// TR — tandem repeat (an extension heuristic). The paper's RP heuristic
+// observes that "record boundaries often have consistent patterns of two
+// or more adjacent tags" but implements only pairs (its c^2 table). TR
+// generalizes: it finds the periodic motif that best tiles the record
+// region's child-tag sequence and ranks candidates by how consistently
+// they LEAD that motif — a record's markup skeleton repeats once per
+// record, and the separator is its first tag.
+//
+// TR is not part of the paper's ORSIH compound; it exists for the
+// extension study in bench_ablation and as a worked example of adding a
+// sixth heuristic (examples/custom_heuristic.cpp shows the wiring).
+
+#ifndef WEBRBD_CORE_TR_HEURISTIC_H_
+#define WEBRBD_CORE_TR_HEURISTIC_H_
+
+#include "core/heuristic.h"
+
+namespace webrbd {
+
+/// Tandem-repeat separator heuristic.
+class TrHeuristic : public SeparatorHeuristic {
+ public:
+  TrHeuristic() = default;
+
+  std::string name() const override { return "TR"; }
+  HeuristicResult Rank(const TagTree& tree,
+                       const CandidateAnalysis& analysis) const override;
+
+  /// Splits `sequence` at every occurrence of `leader` (preamble before
+  /// the first occurrence and an empty trailing segment are dropped) and
+  /// scores how record-like the segmentation is:
+  ///
+  ///   mean Levenshtein-ratio similarity of consecutive segments
+  ///     x  fraction of segments that are non-empty.
+  ///
+  /// A true separator chops the child-tag sequence into near-identical,
+  /// non-empty record skeletons and scores near 1; a tag that appears
+  /// several times inside each record produces ragged/empty segments and
+  /// scores low. Returns 0 when fewer than two segments exist. Exposed
+  /// for tests.
+  static double SegmentConsistency(const std::vector<std::string>& sequence,
+                                   const std::string& leader);
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_TR_HEURISTIC_H_

@@ -1,0 +1,76 @@
+#include "core/wrapper.h"
+
+#include "util/string_util.h"
+
+namespace webrbd {
+
+std::string SiteWrapper::Serialize() const {
+  return separator + "@" + region_tag + ":" + FormatDouble(confidence, 6);
+}
+
+Result<SiteWrapper> SiteWrapper::Deserialize(const std::string& serialized) {
+  const size_t at = serialized.find('@');
+  const size_t colon = serialized.rfind(':');
+  if (at == std::string::npos || colon == std::string::npos || colon < at ||
+      at == 0 || colon == at + 1) {
+    return Status::ParseError("malformed wrapper: " + serialized);
+  }
+  SiteWrapper wrapper;
+  wrapper.separator = serialized.substr(0, at);
+  wrapper.region_tag = serialized.substr(at + 1, colon - at - 1);
+  wrapper.confidence = std::atof(serialized.c_str() + colon + 1);
+  if (wrapper.separator.empty() || wrapper.region_tag.empty()) {
+    return Status::ParseError("malformed wrapper: " + serialized);
+  }
+  return wrapper;
+}
+
+WrapperEngine::WrapperEngine(DiscoveryOptions options)
+    : options_(std::move(options)) {}
+
+Result<SiteWrapper> WrapperEngine::Learn(std::string_view html) const {
+  auto discovery = DiscoverRecordBoundaries(html, options_);
+  if (!discovery.ok()) return discovery.status();
+  SiteWrapper wrapper;
+  wrapper.separator = discovery->result.separator;
+  wrapper.region_tag = discovery->result.analysis.subtree->name;
+  wrapper.confidence = discovery->result.compound_ranking.front().certainty;
+  return wrapper;
+}
+
+Result<WrapperApplyOutcome> WrapperEngine::Apply(const SiteWrapper& wrapper,
+                                                 std::string_view html) const {
+  auto tree = BuildTagTree(html);
+  if (!tree.ok()) return tree.status();
+  auto analysis = ExtractCandidateTags(*tree, options_.candidate_options);
+  if (!analysis.ok()) return analysis.status();
+
+  // Drift check: same region anchor, and the separator still repeats.
+  const CandidateTag* candidate = analysis->Find(wrapper.separator);
+  const bool fits = analysis->subtree->name == wrapper.region_tag &&
+                    candidate != nullptr &&
+                    candidate->subtree_count >= min_separator_repeats;
+
+  WrapperApplyOutcome outcome;
+  if (fits) {
+    outcome.wrapper = wrapper;
+  } else {
+    // Layout drifted: fall back to full discovery on this page.
+    RecordBoundaryDiscoverer discoverer(options_);
+    auto discovery = discoverer.Discover(*tree);
+    if (!discovery.ok()) return discovery.status();
+    outcome.relearned = true;
+    outcome.wrapper.separator = discovery->separator;
+    outcome.wrapper.region_tag = discovery->analysis.subtree->name;
+    outcome.wrapper.confidence =
+        discovery->compound_ranking.front().certainty;
+  }
+
+  auto records =
+      ExtractRecords(*tree, *analysis, outcome.wrapper.separator);
+  if (!records.ok()) return records.status();
+  outcome.records = std::move(records).value();
+  return outcome;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,79 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Site wrappers. The paper frames record-boundary discovery as a step in
+// building wrappers for Web sources (Section 1, citing [AK97, KWD97]):
+// pages from one site share a layout, so the separator discovered on one
+// page is a reusable site artifact. This module makes that explicit —
+// learn a wrapper from one page, apply it to the site's other pages
+// without re-running the five-heuristic vote, and fall back to full
+// discovery when the layout has drifted.
+
+#ifndef WEBRBD_CORE_WRAPPER_H_
+#define WEBRBD_CORE_WRAPPER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "core/record_extractor.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// A learned, serializable per-site wrapper.
+struct SiteWrapper {
+  /// The record separator tag discovered for this site.
+  std::string separator;
+
+  /// Name of the record region's root element (the highest-fan-out
+  /// subtree on the learning page); used as the drift check's anchor.
+  std::string region_tag;
+
+  /// Compound certainty the separator had when learned.
+  double confidence = 0.0;
+
+  /// One-line serialization ("hr@td:0.9996") and its inverse.
+  std::string Serialize() const;
+  static Result<SiteWrapper> Deserialize(const std::string& serialized);
+};
+
+/// Outcome of applying a wrapper to a page.
+struct WrapperApplyOutcome {
+  std::vector<ExtractedRecord> records;
+
+  /// True when the drift check failed and the engine re-ran discovery.
+  bool relearned = false;
+
+  /// The wrapper that actually produced `records` (the input wrapper, or
+  /// the relearned one).
+  SiteWrapper wrapper;
+};
+
+/// Learns and applies site wrappers.
+class WrapperEngine {
+ public:
+  /// `options` configures the underlying discovery (heuristics, certainty
+  /// factors, OM estimator).
+  explicit WrapperEngine(DiscoveryOptions options = {});
+
+  /// Runs full discovery on `html` and packages the result as a wrapper.
+  Result<SiteWrapper> Learn(std::string_view html) const;
+
+  /// Splits `html` with `wrapper`, re-learning first when the drift check
+  /// fails. The check requires that the page's record region is rooted at
+  /// the wrapper's region_tag and contains the separator at least
+  /// `min_separator_repeats` times.
+  Result<WrapperApplyOutcome> Apply(const SiteWrapper& wrapper,
+                                    std::string_view html) const;
+
+  /// Drift-check threshold (default 3, matching the classifier's notion
+  /// of repeated structure).
+  size_t min_separator_repeats = 3;
+
+ private:
+  DiscoveryOptions options_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_WRAPPER_H_

@@ -1,0 +1,43 @@
+#include "db/catalog.h"
+
+namespace webrbd::db {
+
+Result<Table*> Catalog::CreateTable(Schema schema) {
+  const std::string name = schema.table_name();
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  creation_order_.push_back(name);
+  return raw;
+}
+
+Table* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  return creation_order_;
+}
+
+std::string Catalog::ToString(size_t max_rows_per_table) const {
+  std::string out;
+  for (const std::string& name : creation_order_) {
+    out += tables_.at(name)->ToString(max_rows_per_table);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace webrbd::db

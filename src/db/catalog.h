@@ -1,0 +1,47 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_DB_CATALOG_H_
+#define WEBRBD_DB_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/result.h"
+
+namespace webrbd::db {
+
+/// A named collection of tables — the "Populated Database" of Figure 1.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Tables are held by unique_ptr; the catalog is movable, not copyable.
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Creates an empty table; fails when the name exists.
+  Result<Table*> CreateTable(Schema schema);
+
+  /// Lookup; nullptr when absent.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Table names in creation order.
+  std::vector<std::string> TableNames() const;
+
+  size_t table_count() const { return tables_.size(); }
+
+  /// Renders every table (schema + rows).
+  std::string ToString(size_t max_rows_per_table = 50) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> creation_order_;
+};
+
+}  // namespace webrbd::db
+
+#endif  // WEBRBD_DB_CATALOG_H_

@@ -1,0 +1,105 @@
+#include "db/export.h"
+
+namespace webrbd::db {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string SqlQuote(const std::string& value) {
+  std::string out = "'";
+  for (char c : value) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+namespace {
+
+std::string CsvCell(const Value& value) {
+  if (value.is_null()) return "";
+  return CsvEscape(value.ToString());
+}
+
+std::string SqlCell(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return value.ToString();
+    case ValueType::kString:
+      return SqlQuote(value.AsString());
+  }
+  return "NULL";
+}
+
+std::string SqlType(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64: return "INTEGER";
+    case ValueType::kDouble: return "REAL";
+    case ValueType::kString: return "TEXT";
+    case ValueType::kNull: return "TEXT";
+  }
+  return "TEXT";
+}
+
+}  // namespace
+
+std::string ToCsv(const Table& table) {
+  std::string out;
+  const auto& columns = table.schema().columns();
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out += ",";
+    out += CsvEscape(columns[c].name);
+  }
+  out += "\n";
+  for (const Tuple& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ",";
+      out += CsvCell(row[c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ToSqlDump(const Catalog& catalog) {
+  std::string out;
+  for (const std::string& name : catalog.TableNames()) {
+    const Table* table = catalog.GetTable(name);
+    out += "CREATE TABLE " + name + " (";
+    const auto& columns = table->schema().columns();
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += columns[c].name + " " + SqlType(columns[c].type);
+      if (!columns[c].nullable) out += " NOT NULL";
+    }
+    out += ");\n";
+  }
+  for (const std::string& name : catalog.TableNames()) {
+    const Table* table = catalog.GetTable(name);
+    for (const Tuple& row : table->rows()) {
+      out += "INSERT INTO " + name + " VALUES (";
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out += ", ";
+        out += SqlCell(row[c]);
+      }
+      out += ");\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace webrbd::db

@@ -1,0 +1,36 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Export of populated databases: CSV per table and a portable SQL dump.
+// This is the last hop of the paper's pipeline in practice — downstream
+// tools consume the populated database, not our in-memory tables.
+
+#ifndef WEBRBD_DB_EXPORT_H_
+#define WEBRBD_DB_EXPORT_H_
+
+#include <string>
+
+#include "db/catalog.h"
+#include "db/table.h"
+
+namespace webrbd::db {
+
+/// Renders one table as RFC-4180 CSV: a header row of column names, then
+/// one row per tuple. Fields containing commas, quotes, or newlines are
+/// quoted; embedded quotes are doubled. NULL renders as an empty field.
+std::string ToCsv(const Table& table);
+
+/// Renders the whole catalog as a SQL script: CREATE TABLE statements
+/// (STRING mapped to TEXT, INT64 to INTEGER, DOUBLE to REAL) followed by
+/// INSERT statements. String literals are single-quoted with embedded
+/// quotes doubled; NULL renders as NULL.
+std::string ToSqlDump(const Catalog& catalog);
+
+/// Escapes one CSV field (exposed for tests).
+std::string CsvEscape(const std::string& field);
+
+/// Quotes one SQL string literal (exposed for tests).
+std::string SqlQuote(const std::string& value);
+
+}  // namespace webrbd::db
+
+#endif  // WEBRBD_DB_EXPORT_H_

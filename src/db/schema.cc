@@ -1,0 +1,25 @@
+#include "db/schema.h"
+
+namespace webrbd::db {
+
+std::optional<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "CREATE TABLE " + table_name_ + " (";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace webrbd::db

@@ -1,0 +1,45 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_DB_SCHEMA_H_
+#define WEBRBD_DB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace webrbd::db {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool nullable = true;
+};
+
+/// A table schema: an ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string table_name, std::vector<Column> columns)
+      : table_name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t column_count() const { return columns_.size(); }
+
+  /// Index of `name`, or nullopt. Column names are case-sensitive.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// "CREATE TABLE"-style rendering for documentation and tests.
+  std::string ToString() const;
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace webrbd::db
+
+#endif  // WEBRBD_DB_SCHEMA_H_

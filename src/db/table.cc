@@ -1,0 +1,149 @@
+#include "db/table.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/table_printer.h"
+
+namespace webrbd::db {
+
+Status Table::Insert(Tuple tuple) {
+  if (tuple.size() != schema_.column_count()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " != schema arity " +
+        std::to_string(schema_.column_count()) + " for table " +
+        schema_.table_name());
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Column& column = schema_.columns()[i];
+    if (tuple[i].is_null()) {
+      if (!column.nullable) {
+        return Status::InvalidArgument("NULL in NOT NULL column " +
+                                       column.name);
+      }
+      continue;
+    }
+    if (tuple[i].type() != column.type) {
+      return Status::InvalidArgument(
+          "type mismatch in column " + column.name + ": expected " +
+          ValueTypeName(column.type) + ", got " +
+          ValueTypeName(tuple[i].type()));
+    }
+  }
+  rows_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status Table::InsertNamed(
+    const std::vector<std::pair<std::string, Value>>& values) {
+  Tuple tuple(schema_.column_count());
+  for (const auto& [name, value] : values) {
+    std::optional<size_t> index = schema_.ColumnIndex(name);
+    if (!index.has_value()) {
+      return Status::NotFound("no column named " + name + " in table " +
+                              schema_.table_name());
+    }
+    tuple[*index] = value;
+  }
+  return Insert(std::move(tuple));
+}
+
+std::vector<Tuple> Table::Select(
+    const std::function<bool(const Tuple&)>& predicate) const {
+  std::vector<Tuple> out;
+  for (const Tuple& row : rows_) {
+    if (predicate(row)) out.push_back(row);
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Table::SelectWhereEquals(const std::string& name,
+                                                    const Value& value) const {
+  std::optional<size_t> index = schema_.ColumnIndex(name);
+  if (!index.has_value()) {
+    return Status::NotFound("no column named " + name);
+  }
+  return Select([&](const Tuple& row) { return row[*index] == value; });
+}
+
+Result<std::vector<Tuple>> Table::Project(
+    const std::vector<std::string>& column_names) const {
+  std::vector<size_t> indexes;
+  indexes.reserve(column_names.size());
+  for (const std::string& name : column_names) {
+    std::optional<size_t> index = schema_.ColumnIndex(name);
+    if (!index.has_value()) {
+      return Status::NotFound("no column named " + name);
+    }
+    indexes.push_back(*index);
+  }
+  std::vector<Tuple> out;
+  out.reserve(rows_.size());
+  for (const Tuple& row : rows_) {
+    Tuple projected;
+    projected.reserve(indexes.size());
+    for (size_t index : indexes) projected.push_back(row[index]);
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Status Table::OrderBy(const std::string& name) {
+  std::optional<size_t> index = schema_.ColumnIndex(name);
+  if (!index.has_value()) {
+    return Status::NotFound("no column named " + name);
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [i = *index](const Tuple& a, const Tuple& b) {
+                     return a[i] < b[i];
+                   });
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<Value, size_t>>> Table::CountBy(
+    const std::string& name) const {
+  std::optional<size_t> index = schema_.ColumnIndex(name);
+  if (!index.has_value()) {
+    return Status::NotFound("no column named " + name);
+  }
+  std::map<std::string, std::pair<Value, size_t>> counts;
+  for (const Tuple& row : rows_) {
+    const Value& value = row[*index];
+    if (value.is_null()) continue;
+    auto [it, inserted] =
+        counts.try_emplace(value.ToString(), value, 0u);
+    ++it->second.second;
+  }
+  std::vector<std::pair<Value, size_t>> out;
+  out.reserve(counts.size());
+  for (auto& [key, entry] : counts) out.push_back(std::move(entry));
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<std::string> headers;
+  headers.reserve(schema_.column_count());
+  for (const Column& column : schema_.columns()) headers.push_back(column.name);
+  TablePrinter printer(std::move(headers));
+  size_t shown = 0;
+  for (const Tuple& row : rows_) {
+    if (shown++ >= max_rows) break;
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& value : row) cells.push_back(value.ToString());
+    printer.AddRow(std::move(cells));
+  }
+  std::string out = "-- " + schema_.table_name() + " (" +
+                    std::to_string(rows_.size()) + " rows)\n" +
+                    printer.ToString();
+  if (rows_.size() > max_rows) {
+    out += "... " + std::to_string(rows_.size() - max_rows) + " more rows\n";
+  }
+  return out;
+}
+
+}  // namespace webrbd::db

@@ -1,0 +1,67 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_DB_TABLE_H_
+#define WEBRBD_DB_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+#include "util/result.h"
+
+namespace webrbd::db {
+
+/// One row; values are positional against the table's schema.
+using Tuple = std::vector<Value>;
+
+/// A heap table of tuples with schema-checked inserts and simple
+/// scan/filter/project operations — enough relational machinery for the
+/// Database-Instance Generator and the examples to produce and query
+/// populated databases.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t row_count() const { return rows_.size(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Validates arity, types, and NOT NULL constraints, then appends.
+  Status Insert(Tuple tuple);
+
+  /// Inserts named values; unnamed columns become NULL.
+  Status InsertNamed(const std::vector<std::pair<std::string, Value>>& values);
+
+  /// Rows satisfying `predicate`.
+  std::vector<Tuple> Select(
+      const std::function<bool(const Tuple&)>& predicate) const;
+
+  /// Rows where column `name` equals `value`.
+  Result<std::vector<Tuple>> SelectWhereEquals(const std::string& name,
+                                               const Value& value) const;
+
+  /// Projects the named columns of every row, preserving row order.
+  Result<std::vector<Tuple>> Project(
+      const std::vector<std::string>& column_names) const;
+
+  /// Sorts rows in place by the named column ascending.
+  Status OrderBy(const std::string& name);
+
+  /// Value frequencies of the named column (NULLs skipped), most frequent
+  /// first; ties break by value order. A tiny GROUP BY ... COUNT(*).
+  Result<std::vector<std::pair<Value, size_t>>> CountBy(
+      const std::string& name) const;
+
+  /// ASCII rendering of schema + rows (capped at `max_rows`).
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace webrbd::db
+
+#endif  // WEBRBD_DB_TABLE_H_

@@ -1,0 +1,98 @@
+#include "db/value.h"
+
+namespace webrbd::db {
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0: return ValueType::kNull;
+    case 1: return ValueType::kInt64;
+    case 2: return ValueType::kDouble;
+    case 3: return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      // Trim trailing zeros while keeping one decimal digit.
+      size_t dot = s.find('.');
+      if (dot != std::string::npos) {
+        size_t last = s.find_last_not_of('0');
+        s.erase(last == dot ? dot + 2 : last + 1);
+      }
+      return s;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "NULL";
+}
+
+namespace {
+
+// Rank used to order values of different types.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble: return 1;
+    case ValueType::kString: return 2;
+  }
+  return 3;
+}
+
+double NumericOf(const Value& v) {
+  return v.type() == ValueType::kInt64 ? static_cast<double>(v.AsInt64())
+                                       : v.AsDouble();
+}
+
+}  // namespace
+
+bool Value::operator<(const Value& other) const {
+  const int lr = TypeRank(type());
+  const int rr = TypeRank(other.type());
+  if (lr != rr) return lr < rr;
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return NumericOf(*this) < NumericOf(other);
+    case ValueType::kString:
+      return AsString() < other.AsString();
+  }
+  return false;
+}
+
+bool Value::operator==(const Value& other) const {
+  const int lr = TypeRank(type());
+  if (lr != TypeRank(other.type())) return false;
+  switch (type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return NumericOf(*this) == NumericOf(other);
+    case ValueType::kString:
+      return AsString() == other.AsString();
+  }
+  return false;
+}
+
+std::string ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt64: return "INT64";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace webrbd::db

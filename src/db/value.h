@@ -1,0 +1,62 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Value type for the in-memory relational substrate that the paper's
+// Database-Instance Generator populates (Figure 1, lower right).
+
+#ifndef WEBRBD_DB_VALUE_H_
+#define WEBRBD_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace webrbd::db {
+
+/// Column type tags.
+enum class ValueType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// A dynamically typed cell value.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; the caller must check type() first.
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// SQL-style rendering ("NULL", numbers, bare strings).
+  std::string ToString() const;
+
+  /// Total order: NULL < numbers (int/double compared numerically) <
+  /// strings (lexicographic). Used for ORDER BY and key comparisons.
+  bool operator<(const Value& other) const;
+  bool operator==(const Value& other) const;
+
+ private:
+  using Data = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+/// Name of a value type ("INT64", ...).
+std::string ValueTypeName(ValueType type);
+
+}  // namespace webrbd::db
+
+#endif  // WEBRBD_DB_VALUE_H_

@@ -1,0 +1,219 @@
+#include "eval/experiments.h"
+
+#include <algorithm>
+
+#include "ontology/estimator.h"
+
+namespace webrbd::eval {
+
+int DocEvaluation::CorrectRank(const std::string& heuristic) const {
+  for (const HeuristicResult& result : results) {
+    if (result.heuristic_name != heuristic) continue;
+    int best = 0;
+    for (const std::string& separator : correct_separators) {
+      const int rank = result.RankOf(separator);
+      if (rank > 0 && (best == 0 || rank < best)) best = rank;
+    }
+    return best;
+  }
+  return 0;
+}
+
+std::vector<CompoundRankedTag> DocEvaluation::Combine(
+    const std::string& letters, const CertaintyFactorTable& table) const {
+  auto names = RecordBoundaryDiscoverer::ParseHeuristicLetters(letters);
+  std::vector<HeuristicResult> subset;
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      for (const HeuristicResult& result : results) {
+        if (result.heuristic_name == name) subset.push_back(result);
+      }
+    }
+  }
+  return CombineHeuristicResults(subset, table, analysis);
+}
+
+int DocEvaluation::CompoundCorrectRank(
+    const std::vector<CompoundRankedTag>& ranking) const {
+  int best = 0;
+  for (const std::string& separator : correct_separators) {
+    double certainty = -1.0;
+    bool found = false;
+    for (const CompoundRankedTag& entry : ranking) {
+      if (entry.tag == separator) {
+        certainty = entry.certainty;
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    // Competition rank: 1 + number of tags with strictly higher certainty.
+    int rank = 1;
+    for (const CompoundRankedTag& entry : ranking) {
+      if (entry.certainty > certainty) ++rank;
+    }
+    if (best == 0 || rank < best) best = rank;
+  }
+  return best;
+}
+
+double DocEvaluation::SuccessScore(
+    const std::vector<CompoundRankedTag>& ranking) const {
+  const std::vector<std::string> tied = TiedBestTags(ranking);
+  if (tied.empty()) return 0.0;
+  size_t correct = 0;
+  for (const std::string& tag : tied) {
+    for (const std::string& separator : correct_separators) {
+      if (tag == separator) {
+        ++correct;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(tied.size());
+}
+
+Result<std::vector<DocEvaluation>> EvaluateCorpus(
+    const std::vector<gen::GeneratedDocument>& corpus, Domain domain) {
+  auto ontology = BundledOntology(domain);
+  if (!ontology.ok()) return ontology.status();
+  auto estimator = MakeEstimatorForOntology(*ontology);
+  if (!estimator.ok()) return estimator.status();
+
+  DiscoveryOptions options;
+  options.heuristics = "ORSIH";
+  options.estimator = std::move(estimator).value();
+  RecordBoundaryDiscoverer discoverer(options);
+
+  std::vector<DocEvaluation> evaluations;
+  evaluations.reserve(corpus.size());
+  for (const gen::GeneratedDocument& doc : corpus) {
+    auto tree = BuildTagTree(doc.html);
+    if (!tree.ok()) return tree.status();
+    auto discovery = discoverer.Discover(*tree);
+    if (!discovery.ok()) {
+      return Status::Internal("discovery failed on " + doc.site_name + " (" +
+                              DomainName(doc.domain) +
+                              "): " + discovery.status().ToString());
+    }
+    DocEvaluation evaluation;
+    evaluation.site_name = doc.site_name;
+    evaluation.correct_separators = doc.correct_separators;
+    evaluation.analysis = std::move(discovery->analysis);
+    evaluation.analysis.subtree = nullptr;  // the tag tree dies here
+    evaluation.results = std::move(discovery->heuristic_results);
+    evaluations.push_back(std::move(evaluation));
+  }
+  return evaluations;
+}
+
+std::vector<RankDistributionRow> RankDistribution(
+    const std::vector<DocEvaluation>& evaluations) {
+  std::vector<RankDistributionRow> rows;
+  for (const char* heuristic : kHeuristicOrder) {
+    RankDistributionRow row;
+    row.heuristic = heuristic;
+    for (const DocEvaluation& evaluation : evaluations) {
+      const int rank = evaluation.CorrectRank(heuristic);
+      if (rank >= 1 && rank <= 4) {
+        row.rank_fraction[static_cast<size_t>(rank - 1)] += 1.0;
+      } else {
+        row.none_fraction += 1.0;
+      }
+    }
+    const double n = static_cast<double>(evaluations.size());
+    if (n > 0) {
+      for (double& f : row.rank_fraction) f /= n;
+      row.none_fraction /= n;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+CertaintyFactorTable DeriveCertaintyFactors(
+    const std::vector<std::vector<RankDistributionRow>>& distributions) {
+  CertaintyFactorTable table;
+  for (const char* heuristic : kHeuristicOrder) {
+    std::array<double, CertaintyFactorTable::kDepth> factors = {0, 0, 0, 0};
+    size_t count = 0;
+    for (const auto& rows : distributions) {
+      for (const RankDistributionRow& row : rows) {
+        if (row.heuristic != heuristic) continue;
+        for (size_t r = 0; r < factors.size(); ++r) {
+          factors[r] += row.rank_fraction[r];
+        }
+        ++count;
+      }
+    }
+    if (count > 0) {
+      for (double& f : factors) f /= static_cast<double>(count);
+    }
+    table.Set(heuristic, factors);
+  }
+  return table;
+}
+
+std::vector<CombinationSuccess> CombinationSweep(
+    const std::vector<DocEvaluation>& evaluations,
+    const CertaintyFactorTable& table) {
+  std::vector<CombinationSuccess> results;
+  for (const std::string& combo : RecordBoundaryDiscoverer::AllCombinations()) {
+    double total = 0.0;
+    for (const DocEvaluation& evaluation : evaluations) {
+      total += evaluation.SuccessScore(evaluation.Combine(combo, table));
+    }
+    results.push_back(CombinationSuccess{
+        combo, evaluations.empty()
+                   ? 0.0
+                   : total / static_cast<double>(evaluations.size())});
+  }
+  return results;
+}
+
+Result<std::vector<TestSiteRow>> RunTestSet(Domain domain,
+                                            const std::string& letters,
+                                            const CertaintyFactorTable& table) {
+  const std::vector<gen::GeneratedDocument> corpus =
+      gen::GenerateTestCorpus(domain);
+  auto evaluations = EvaluateCorpus(corpus, domain);
+  if (!evaluations.ok()) return evaluations.status();
+
+  const auto& sites = gen::TestSites(domain);
+  std::vector<TestSiteRow> rows;
+  for (size_t i = 0; i < evaluations->size(); ++i) {
+    const DocEvaluation& evaluation = (*evaluations)[i];
+    TestSiteRow row;
+    row.site_name = evaluation.site_name;
+    row.url = i < sites.size() ? sites[i].url : "";
+    for (const char* heuristic : kHeuristicOrder) {
+      row.heuristic_rank[heuristic] = evaluation.CorrectRank(heuristic);
+    }
+    row.compound_rank =
+        evaluation.CompoundCorrectRank(evaluation.Combine(letters, table));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+SuccessSummary SummarizeSuccess(const std::vector<DocEvaluation>& evaluations,
+                                const std::string& letters,
+                                const CertaintyFactorTable& table) {
+  SuccessSummary summary;
+  const double n = static_cast<double>(evaluations.size());
+  for (const char* heuristic : kHeuristicOrder) {
+    double hits = 0.0;
+    for (const DocEvaluation& evaluation : evaluations) {
+      if (evaluation.CorrectRank(heuristic) == 1) hits += 1.0;
+    }
+    summary.individual[heuristic] = n > 0 ? hits / n : 0.0;
+  }
+  double total = 0.0;
+  for (const DocEvaluation& evaluation : evaluations) {
+    total += evaluation.SuccessScore(evaluation.Combine(letters, table));
+  }
+  summary.compound = n > 0 ? total / n : 0.0;
+  return summary;
+}
+
+}  // namespace webrbd::eval

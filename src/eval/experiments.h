@@ -1,0 +1,115 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Experiment harness regenerating the paper's evaluation:
+//   Tables 2/3  — per-heuristic rank distributions on the calibration corpora
+//   Table 4     — certainty factors averaged from Tables 2 and 3
+//   Table 5     — success rates of all 26 heuristic combinations
+//   Tables 6-9  — per-site ranks on the four test sets
+//   Table 10    — summary success rates (individual heuristics vs ORSIH)
+
+#ifndef WEBRBD_EVAL_EXPERIMENTS_H_
+#define WEBRBD_EVAL_EXPERIMENTS_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/certainty.h"
+#include "core/discovery.h"
+#include "gen/sites.h"
+#include "ontology/bundled.h"
+#include "util/result.h"
+
+namespace webrbd::eval {
+
+/// The five heuristics in the paper's row order.
+inline const char* kHeuristicOrder[] = {"OM", "RP", "SD", "IT", "HT"};
+
+/// Everything the harness needs from one document, computed once: the
+/// candidate tags, all five heuristic rankings, and the ground truth.
+/// (analysis.subtree is nulled — the tag tree is not retained.)
+struct DocEvaluation {
+  std::string site_name;
+  std::vector<std::string> correct_separators;
+  CandidateAnalysis analysis;
+  std::vector<HeuristicResult> results;  // OM, RP, SD, IT, HT
+
+  /// Best (smallest) rank any correct separator achieved under the named
+  /// heuristic; 0 when the heuristic ranked no correct separator.
+  int CorrectRank(const std::string& heuristic) const;
+
+  /// Compound certainty ranking for a subset of heuristics (letter string),
+  /// using `table` for the certainty factors.
+  std::vector<CompoundRankedTag> Combine(const std::string& letters,
+                                         const CertaintyFactorTable& table) const;
+
+  /// Competition rank (1-based) of the best correct separator in a
+  /// compound ranking; 0 when absent.
+  int CompoundCorrectRank(const std::vector<CompoundRankedTag>& ranking) const;
+
+  /// The paper's per-document success measure sc(D) = Y/X over the tags
+  /// tied for the highest compound certainty.
+  double SuccessScore(const std::vector<CompoundRankedTag>& ranking) const;
+};
+
+/// Evaluates every document of a corpus. Fails if the ontology or any
+/// document analysis fails (the corpus is generated to always analyze).
+Result<std::vector<DocEvaluation>> EvaluateCorpus(
+    const std::vector<gen::GeneratedDocument>& corpus, Domain domain);
+
+/// One row of Table 2/3: the fraction of documents on which the heuristic
+/// ranked a correct separator 1st/2nd/3rd/4th; `none` covers abstentions
+/// and ranks beyond 4 (the paper's corpus had none; ours can).
+struct RankDistributionRow {
+  std::string heuristic;
+  std::array<double, 4> rank_fraction = {0, 0, 0, 0};
+  double none_fraction = 0.0;
+};
+
+/// Computes Table 2 (obituaries) / Table 3 (car ads) rows.
+std::vector<RankDistributionRow> RankDistribution(
+    const std::vector<DocEvaluation>& evaluations);
+
+/// Table 4: certainty factors derived by averaging rank distributions
+/// across calibration domains (the paper averages obituaries and car ads).
+CertaintyFactorTable DeriveCertaintyFactors(
+    const std::vector<std::vector<RankDistributionRow>>& distributions);
+
+/// Table 5: success rate of each of the 26 combinations over the pooled
+/// calibration evaluations.
+struct CombinationSuccess {
+  std::string combo;    // e.g. "ORSI"
+  double success_rate;  // mean sc(D)
+};
+std::vector<CombinationSuccess> CombinationSweep(
+    const std::vector<DocEvaluation>& evaluations,
+    const CertaintyFactorTable& table);
+
+/// One row of Tables 6-9: per-heuristic and compound ranks for one site.
+struct TestSiteRow {
+  std::string site_name;
+  std::string url;
+  std::map<std::string, int> heuristic_rank;  // 0 = not ranked
+  int compound_rank = 0;
+};
+
+/// Runs a test set (one document per site) under the compound heuristic
+/// `letters` with certainty factors `table`.
+Result<std::vector<TestSiteRow>> RunTestSet(Domain domain,
+                                            const std::string& letters,
+                                            const CertaintyFactorTable& table);
+
+/// Table 10: rank-1 success rates over a pool of evaluations for each
+/// individual heuristic plus the compound heuristic.
+struct SuccessSummary {
+  std::map<std::string, double> individual;  // heuristic -> success rate
+  double compound = 0.0;                     // ORSIH
+};
+SuccessSummary SummarizeSuccess(const std::vector<DocEvaluation>& evaluations,
+                                const std::string& letters,
+                                const CertaintyFactorTable& table);
+
+}  // namespace webrbd::eval
+
+#endif  // WEBRBD_EVAL_EXPERIMENTS_H_

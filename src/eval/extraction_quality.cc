@@ -1,0 +1,97 @@
+#include "eval/extraction_quality.h"
+
+#include "core/record_extractor.h"
+#include "extract/db_instance_generator.h"
+#include "ontology/estimator.h"
+
+namespace webrbd::eval {
+
+double ExtractionQualityReport::OverallRecall() const {
+  size_t truth = 0;
+  size_t correct = 0;
+  for (const auto& [name, quality] : per_field) {
+    truth += quality.truth_count;
+    correct += quality.correct_count;
+  }
+  return truth == 0 ? 1.0
+                    : static_cast<double>(correct) / static_cast<double>(truth);
+}
+
+double ExtractionQualityReport::OverallPrecision() const {
+  size_t extracted = 0;
+  size_t correct = 0;
+  for (const auto& [name, quality] : per_field) {
+    extracted += quality.extracted_count;
+    correct += quality.correct_count;
+  }
+  return extracted == 0 ? 1.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(extracted);
+}
+
+namespace {
+
+// Scores one record's extracted fields against its ground truth. Both are
+// (object set, value) multisets; a correct extraction is a value the truth
+// lists for that object set (consumed once, so duplicates must each be
+// earned).
+void ScoreRecord(
+    const std::vector<std::pair<std::string, std::string>>& truth,
+    const std::vector<std::pair<std::string, std::string>>& extracted,
+    std::map<std::string, FieldQuality>* per_field) {
+  std::multimap<std::string, std::string> unclaimed;
+  for (const auto& [name, value] : truth) {
+    (*per_field)[name].truth_count++;
+    unclaimed.emplace(name, value);
+  }
+  for (const auto& [name, value] : extracted) {
+    FieldQuality& quality = (*per_field)[name];
+    quality.extracted_count++;
+    auto [begin, end] = unclaimed.equal_range(name);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == value) {
+        quality.correct_count++;
+        unclaimed.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<ExtractionQualityReport> MeasureExtractionQuality(
+    Domain domain, const std::vector<gen::GeneratedDocument>& corpus) {
+  auto ontology = BundledOntology(domain);
+  if (!ontology.ok()) return ontology.status();
+  auto estimator = MakeEstimatorForOntology(*ontology);
+  if (!estimator.ok()) return estimator.status();
+  auto generator = DatabaseInstanceGenerator::Create(*ontology);
+  if (!generator.ok()) return generator.status();
+
+  DiscoveryOptions options;
+  options.estimator = std::move(estimator).value();
+
+  ExtractionQualityReport report;
+  report.domain = domain;
+  for (const gen::GeneratedDocument& doc : corpus) {
+    auto records = ExtractRecordsFromDocument(doc.html, options);
+    if (!records.ok()) return records.status();
+    ++report.documents;
+    if (records->size() != doc.record_fields.size()) {
+      // Misaligned chunking (merged header, off-by-one layouts): skip the
+      // document rather than scoring shifted records.
+      report.records_skipped += doc.record_fields.size();
+      continue;
+    }
+    for (size_t i = 0; i < records->size(); ++i) {
+      ScoreRecord(doc.record_fields[i],
+                  generator->FieldsForRecord((*records)[i].text),
+                  &report.per_field);
+      ++report.records_scored;
+    }
+  }
+  return report;
+}
+
+}  // namespace webrbd::eval

@@ -1,0 +1,41 @@
+#include "eval/figure2.h"
+
+namespace webrbd {
+
+std::string Figure2Document() {
+  // Figure 2(a) of the paper, with the elided prose ("...") filled in.
+  // Tag order and adjacency follow the figure exactly; see Figure2Document's
+  // header comment for the structural properties tests rely on.
+  return R"(<html><head><title>Classifieds</title></head>
+<body bgcolor="#FFFFFF">
+<table><tr><td>
+<h1 align="left">Funeral Notices - </h1> October 1, 1998
+<hr>
+<b>Lemar K. Adamson</b><br> died on September 30, 1998. Lemar was born on September 5, 1913
+in Spring City, Utah, a son of the late Karl and Alvena Adamson. He married Ruth Olsen on
+June 12, 1936. He worked for the railroad for forty years and served faithfully in his
+church. Funeral services will be held Saturday at 10:00 a.m. at <b>MEMORIAL CHAPEL</b>,
+where friends may call one hour prior to services. Interment in the city cemetery.<br>
+<hr>
+Our beloved <b>Brian Fielding Frost</b>, age 41, passed away on September 30, 1998, in an
+automobile accident. Brian was born in Mesa, Arizona, and graduated from Mountain View High
+School. He is survived by his wife Anne, three sons, and his parents. Funeral services will be
+held at 9:00 a.m. on Saturday in the <b>Howard Stake Center</b>, under the direction of
+<b>Carrillo's Tucson Mortuary</b>, with a viewing the evening before. Interment will follow at
+Holy Hope Cemetery<br>, where the family will greet friends after the dedication of the grave.
+<hr>
+<b>Leonard Kenneth Gunther</b><br> passed away on September 30, 1998. Leonard was born in
+Ogden and spent his career as a schoolteacher, where generations of students remember his
+kindness. He is survived by his sister Mae and many nieces and nephews. A viewing will be held
+Monday evening at <b>HEATHER MORTUARY</b>, and funeral services will be conducted
+at 11:00 a.m. at <b>HEATHER MORTUARY</b>, on
+Tuesday, October 6, 1998. Interment at the Ogden City Cemetery .<br>
+<hr>
+</td></tr></table>
+All material is copyrighted.
+</body>
+</html>
+)";
+}
+
+}  // namespace webrbd

@@ -1,0 +1,26 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_EVAL_FIGURE2_H_
+#define WEBRBD_EVAL_FIGURE2_H_
+
+#include <string>
+
+namespace webrbd {
+
+/// The paper's Figure 2(a): a sample obituary Web document whose tag tree,
+/// candidate tags, heuristic rankings, and compound certainty factors are
+/// all worked through in Sections 3-5. The paper elides record prose with
+/// ellipses; this reconstruction fills in period-plausible text while
+/// keeping every HTML tag of the figure, in the figure's order, so the
+/// structural computations match the paper exactly:
+///   candidate tags {hr, b, br}, h1 irrelevant;
+///   OM/RP/IT rank [hr, br, b], SD ranks [hr, b, br], HT ranks [b, br, hr];
+///   ORSIH ranks hr first.
+std::string Figure2Document();
+
+/// The expected record separator of Figure 2(a).
+inline const char* kFigure2Separator = "hr";
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_EVAL_FIGURE2_H_

@@ -1,0 +1,60 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The "Data-Record Table (Descriptor/String/Position)" of the paper's
+// Figure 1: every recognized keyword and constant, tagged with its object
+// set and position in the plain text, ordered by position.
+
+#ifndef WEBRBD_EXTRACT_DATA_RECORD_TABLE_H_
+#define WEBRBD_EXTRACT_DATA_RECORD_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "ontology/matching_rules.h"
+
+namespace webrbd {
+
+/// One recognized keyword or constant.
+struct DataRecordEntry {
+  std::string descriptor;  ///< object-set name
+  std::string value;       ///< matched string
+  size_t begin = 0;        ///< byte offset in the scanned plain text
+  size_t end = 0;          ///< one past the match
+  MatchKind kind = MatchKind::kConstant;
+};
+
+/// The position-ordered table of recognized entries for one text.
+class DataRecordTable {
+ public:
+  DataRecordTable() = default;
+  explicit DataRecordTable(std::vector<DataRecordEntry> entries);
+
+  const std::vector<DataRecordEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries for one object set, in position order.
+  std::vector<DataRecordEntry> ForDescriptor(const std::string& name) const;
+
+  /// Number of entries for one object set / match kind.
+  size_t CountFor(const std::string& name) const;
+  size_t CountFor(const std::string& name, MatchKind kind) const;
+
+  /// Partitions the table at the given positions (ascending byte offsets —
+  /// in the paper, the positions of the separator-tag occurrences). Entry i
+  /// lands in partition j when cut[j-1] <= begin < cut[j]; entries before
+  /// the first cut land in partition 0, which the paper's pipeline treats
+  /// as the page preamble. Returns cuts.size() + 1 partitions.
+  std::vector<DataRecordTable> PartitionAt(
+      const std::vector<size_t>& cut_positions) const;
+
+  /// ASCII rendering for diagnostics.
+  std::string ToString(size_t max_entries = 50) const;
+
+ private:
+  std::vector<DataRecordEntry> entries_;  // kept sorted by begin
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_EXTRACT_DATA_RECORD_TABLE_H_

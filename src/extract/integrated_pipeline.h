@@ -1,0 +1,63 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The paper's integrated extraction flow (Section 4.5). The naive pipeline
+// re-runs every recognizer on every record; the paper instead argues that
+// within the larger data-extraction process the regular expressions run
+// over the record region's plain text exactly ONCE:
+//
+//   "the entries in the Data-Record Table are ordered by position in the
+//    document. Once we discover the separator tag, we can use the position
+//    of the separator tags in the document to partition the Data-Record
+//    Table into sets of entries that are in a one-to-one correspondence
+//    with the records" — and OM's contribution is then a single O(d) scan
+//    of that table.
+//
+// This module implements that flow: recognize once (document-positioned
+// table via html/text_index.h), estimate the record count from the table,
+// discover the separator, partition at its document positions, and
+// assemble one database row per partition.
+
+#ifndef WEBRBD_EXTRACT_INTEGRATED_PIPELINE_H_
+#define WEBRBD_EXTRACT_INTEGRATED_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "db/catalog.h"
+#include "extract/data_record_table.h"
+#include "ontology/model.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// Everything the integrated pipeline produces for one document.
+struct IntegratedResult {
+  /// The consensus separator.
+  std::string separator;
+
+  /// Full discovery diagnostics (rankings, certainties).
+  DiscoveryResult discovery;
+
+  /// The Data-Record Table over the record region, positioned in DOCUMENT
+  /// byte offsets (the paper's Descriptor/String/Position).
+  DataRecordTable table;
+
+  /// The table partitioned at the separator's document positions; entry i
+  /// corresponds to record i (the preamble partition is already dropped).
+  std::vector<DataRecordTable> partitions;
+
+  /// One entity row per partition (plus aux-table rows).
+  db::Catalog catalog;
+};
+
+/// Runs the integrated pipeline on `html` with `ontology`. `base` supplies
+/// heuristics/certainty knobs; its estimator field is ignored (the OM
+/// estimate comes from the Data-Record Table, as the paper specifies).
+Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
+                                               const Ontology& ontology,
+                                               DiscoveryOptions base = {});
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_EXTRACT_INTEGRATED_PIPELINE_H_

@@ -1,0 +1,40 @@
+#include "extract/recognizer.h"
+
+namespace webrbd {
+
+Result<Recognizer> Recognizer::Create(const Ontology& ontology) {
+  auto rules = MatchingRuleSet::Compile(ontology);
+  if (!rules.ok()) return rules.status();
+  return Recognizer(std::move(rules).value());
+}
+
+DataRecordTable Recognizer::Recognize(std::string_view plain_text) const {
+  std::vector<DataRecordEntry> entries;
+  for (const CompiledObjectSetRule& rule : rules_.rules()) {
+    for (const Regex& regex : rule.keyword_regexes) {
+      for (const RegexMatch& match : regex.FindAll(plain_text)) {
+        entries.push_back(DataRecordEntry{
+            rule.object_set,
+            std::string(plain_text.substr(match.begin, match.end - match.begin)),
+            match.begin, match.end, MatchKind::kKeyword});
+      }
+    }
+    for (const Regex& regex : rule.value_regexes) {
+      for (const RegexMatch& match : regex.FindAll(plain_text)) {
+        entries.push_back(DataRecordEntry{
+            rule.object_set,
+            std::string(plain_text.substr(match.begin, match.end - match.begin)),
+            match.begin, match.end, MatchKind::kConstant});
+      }
+    }
+    for (const LexiconMatch& match : rule.value_lexicon.FindAll(plain_text)) {
+      entries.push_back(DataRecordEntry{
+          rule.object_set,
+          std::string(plain_text.substr(match.begin, match.end - match.begin)),
+          match.begin, match.end, MatchKind::kConstant});
+    }
+  }
+  return DataRecordTable(std::move(entries));
+}
+
+}  // namespace webrbd

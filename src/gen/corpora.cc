@@ -1,0 +1,248 @@
+#include "gen/corpora.h"
+
+#include <map>
+
+namespace webrbd::gen {
+
+namespace {
+// Each accessor returns a function-local static so initialization order is
+// never an issue for tests or static registration.
+}  // namespace
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kNames = {
+      "James",   "Mary",      "Robert",  "Patricia", "John",    "Jennifer",
+      "Michael", "Linda",     "David",   "Elizabeth", "William", "Barbara",
+      "Richard", "Susan",     "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Charles", "Karen",     "Christopher", "Nancy", "Daniel", "Lisa",
+      "Matthew", "Margaret",  "Anthony", "Betty",    "Donald",  "Sandra",
+      "Mark",    "Ashley",    "Paul",    "Dorothy",  "Steven",  "Kimberly",
+      "Andrew",  "Emily",     "Kenneth", "Donna",    "George",  "Michelle",
+      "Joshua",  "Carol",     "Kevin",   "Amanda",   "Brian",   "Melissa",
+      "Edward",  "Deborah",   "Ronald",  "Stephanie", "Timothy", "Rebecca",
+      "Jason",   "Laura",     "Jeffrey", "Helen",    "Ryan",    "Sharon",
+      "Gary",    "Cynthia",   "Nicholas", "Kathleen", "Eric",   "Amy",
+      "Stephen", "Angela",    "Jacob",   "Shirley",  "Larry",   "Anna",
+      "Frank",   "Ruth",      "Scott",   "Brenda",   "Justin",  "Pamela",
+      "Brandon", "Nicole",    "Raymond", "Katherine", "Gregory", "Virginia",
+      "Samuel",  "Catherine", "Benjamin", "Christine", "Patrick", "Debra",
+      "Jack",    "Rachel",    "Dennis",  "Janet",    "Jerry",   "Emma",
+      "Alexander", "Carolyn", "Tyler",   "Maria",    "Henry",   "Heather",
+      "Douglas", "Diane",     "Peter",   "Julie",    "Walter",  "Joyce",
+      "Arthur",  "Evelyn",    "Harold",  "Joan",     "Lemar",   "Alvena",
+      "Leonard", "Mae",       "Brian",   "Ruth",     "Karl",    "Anne",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kNames = {
+      "Smith",    "Johnson",  "Williams", "Brown",    "Jones",    "Garcia",
+      "Miller",   "Davis",    "Rodriguez", "Martinez", "Hernandez", "Lopez",
+      "Gonzalez", "Wilson",   "Anderson", "Thomas",   "Taylor",   "Moore",
+      "Jackson",  "Martin",   "Lee",      "Perez",    "Thompson", "White",
+      "Harris",   "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+      "Walker",   "Young",    "Allen",    "King",     "Wright",   "Scott",
+      "Torres",   "Nguyen",   "Hill",     "Flores",   "Green",    "Adams",
+      "Nelson",   "Baker",    "Hall",     "Rivera",   "Campbell", "Mitchell",
+      "Carter",   "Roberts",  "Gomez",    "Phillips", "Evans",    "Turner",
+      "Diaz",     "Parker",   "Cruz",     "Edwards",  "Collins",  "Reyes",
+      "Stewart",  "Morris",   "Morales",  "Murphy",   "Cook",     "Rogers",
+      "Gutierrez", "Ortiz",   "Morgan",   "Cooper",   "Peterson", "Bailey",
+      "Reed",     "Kelly",    "Howard",   "Ramos",    "Kim",      "Cox",
+      "Ward",     "Richardson", "Watson", "Brooks",   "Chavez",   "Wood",
+      "James",    "Bennett",  "Gray",     "Mendoza",  "Ruiz",     "Hughes",
+      "Price",    "Alvarez",  "Castillo", "Sanders",  "Patel",    "Myers",
+      "Adamson",  "Frost",    "Gunther",  "Olsen",    "Fielding", "Embley",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string> kCities = {
+      "Salt Lake City", "Tucson",      "Houston",     "San Francisco",
+      "Seattle",        "Cincinnati",  "New Bedford", "Detroit",
+      "Bridgeport",     "Atlanta",     "Alameda",     "Pocatello",
+      "Sacramento",     "Tampa",       "Florence",    "Little Rock",
+      "Sioux City",     "Knoxville",   "Lincoln",     "Reno",
+      "Baltimore",      "Dallas",      "Denver",      "Indianapolis",
+      "Los Angeles",    "Provo",       "Boston",      "Manhattan",
+      "Austin",         "Ogden",       "Mesa",        "Spring City",
+  };
+  return kCities;
+}
+
+const std::vector<std::string>& MonthNames() {
+  static const std::vector<std::string> kMonths = {
+      "January", "February", "March",     "April",   "May",      "June",
+      "July",    "August",   "September", "October", "November", "December",
+  };
+  return kMonths;
+}
+
+const std::vector<std::string>& CarMakes() {
+  static const std::vector<std::string> kMakes = {
+      "Ford",    "Honda",     "Toyota", "Chevrolet", "Dodge",      "Nissan",
+      "Buick",   "Pontiac",   "Mercury", "Oldsmobile", "Plymouth", "Chrysler",
+      "Mazda",   "Subaru",    "Volkswagen", "Jeep",  "Saturn",     "Cadillac",
+      "Lincoln", "Mitsubishi",
+  };
+  return kMakes;
+}
+
+const std::vector<std::string>& ModelsOf(const std::string& make) {
+  static const std::map<std::string, std::vector<std::string>> kModels = {
+      {"Ford", {"Taurus", "Escort", "Explorer", "Ranger", "Mustang", "Contour"}},
+      {"Honda", {"Accord", "Civic", "Prelude", "Odyssey", "Passport"}},
+      {"Toyota", {"Camry", "Corolla", "Celica", "Tercel", "Avalon", "Previa"}},
+      {"Chevrolet", {"Cavalier", "Lumina", "Malibu", "Blazer", "Suburban"}},
+      {"Dodge", {"Caravan", "Neon", "Intrepid", "Stratus", "Dakota"}},
+      {"Nissan", {"Altima", "Sentra", "Maxima", "Pathfinder", "Quest"}},
+      {"Buick", {"LeSabre", "Century", "Regal", "Skylark", "Riviera"}},
+      {"Pontiac", {"Grand Am", "Bonneville", "Sunfire", "Firebird"}},
+      {"Mercury", {"Sable", "Tracer", "Cougar", "Villager"}},
+      {"Oldsmobile", {"Cutlass", "Achieva", "Aurora", "Bravada"}},
+      {"Plymouth", {"Voyager", "Breeze", "Neon"}},
+      {"Chrysler", {"Concorde", "Cirrus", "Sebring"}},
+      {"Mazda", {"Protege", "Millenia", "MX-5"}},
+      {"Subaru", {"Legacy", "Impreza", "Outback"}},
+      {"Volkswagen", {"Jetta", "Passat", "Golf"}},
+      {"Jeep", {"Cherokee", "Wrangler", "Grand Cherokee"}},
+      {"Saturn", {"SL1", "SL2", "SC2"}},
+      {"Cadillac", {"DeVille", "Seville", "Eldorado"}},
+      {"Lincoln", {"Town Car", "Continental", "Mark VIII"}},
+      {"Mitsubishi", {"Galant", "Eclipse", "Mirage"}},
+  };
+  static const std::vector<std::string> kEmpty;
+  auto it = kModels.find(make);
+  return it == kModels.end() ? kEmpty : it->second;
+}
+
+const std::vector<std::string>& CarColors() {
+  static const std::vector<std::string> kColors = {
+      "white", "black", "red",    "blue",   "green",  "silver",
+      "gold",  "teal",  "maroon", "beige",  "gray",   "burgundy",
+  };
+  return kColors;
+}
+
+const std::vector<std::string>& CarFeatures() {
+  static const std::vector<std::string> kFeatures = {
+      "air conditioning", "power windows", "power locks", "cruise control",
+      "sunroof",          "leather seats", "automatic",   "5-speed",
+      "anti-lock brakes", "alloy wheels",  "cassette",    "CD player",
+      "tinted windows",   "towing package",
+  };
+  return kFeatures;
+}
+
+const std::vector<std::string>& JobTitles() {
+  static const std::vector<std::string> kTitles = {
+      "Programmer",            "Software Engineer",   "Systems Analyst",
+      "Database Administrator", "Web Developer",      "Network Engineer",
+      "Project Manager",       "Technical Writer",    "Support Specialist",
+      "QA Engineer",           "Systems Administrator", "Data Analyst",
+      "Applications Developer", "Help Desk Technician", "LAN Administrator",
+      "Programmer Analyst",    "Consultant",          "Systems Programmer",
+      "Operations Manager",    "Computer Operator",
+  };
+  return kTitles;
+}
+
+const std::vector<std::string>& Skills() {
+  static const std::vector<std::string> kSkills = {
+      "C++",      "Java",    "SQL",       "Oracle",   "HTML",    "Unix",
+      "Windows NT", "COBOL", "Visual Basic", "Perl",  "JavaScript", "CGI",
+      "Sybase",   "Informix", "PowerBuilder", "Access", "TCP/IP", "Novell",
+      "AS/400",   "RPG",     "Delphi",    "Fortran",  "Linux",   "Apache",
+      "PL/SQL",   "MVS",     "CICS",      "DB2",      "SAP",     "Lotus Notes",
+  };
+  return kSkills;
+}
+
+const std::vector<std::string>& CompanySuffixes() {
+  static const std::vector<std::string> kSuffixes = {
+      "Systems", "Technologies", "Consulting", "Solutions", "Data Services",
+      "Software", "Computing", "Associates", "Group", "Corporation",
+  };
+  return kSuffixes;
+}
+
+const std::vector<std::string>& DepartmentCodes() {
+  static const std::vector<std::string> kCodes = {
+      "CS",   "MATH", "PHYS", "CHEM", "BIOL", "ENGL", "HIST", "ECON",
+      "PSYCH", "PHIL", "GEOL", "STAT", "EE",   "ME",   "CE",   "ACC",
+      "MUS",  "ART",  "SPAN", "FREN",
+  };
+  return kCodes;
+}
+
+const std::vector<std::string>& CourseTopics() {
+  static const std::vector<std::string> kTopics = {
+      "Introduction to Programming", "Data Structures",
+      "Discrete Mathematics",        "Operating Systems",
+      "Database Systems",            "Computer Networks",
+      "Software Engineering",        "Linear Algebra",
+      "Calculus I",                  "Calculus II",
+      "Organic Chemistry",           "General Physics",
+      "American Literature",         "World History",
+      "Microeconomics",              "Macroeconomics",
+      "Cognitive Psychology",        "Ethics",
+      "Statistics for Engineers",    "Numerical Methods",
+      "Compiler Construction",       "Artificial Intelligence",
+      "Abstract Algebra",            "Thermodynamics",
+  };
+  return kTopics;
+}
+
+const std::vector<std::string>& WeekdayPatterns() {
+  static const std::vector<std::string> kPatterns = {
+      "MWF", "TTh", "MW", "Daily", "M", "T", "W", "Th", "F",
+  };
+  return kPatterns;
+}
+
+const std::vector<std::string>& Mortuaries() {
+  static const std::vector<std::string> kMortuaries = {
+      "Memorial Chapel",          "Heather Mortuary",
+      "Carrillo's Tucson Mortuary", "Valley View Funeral Home",
+      "Larkin Mortuary",          "Wasatch Lawn Mortuary",
+      "Evans and Early Mortuary", "Deseret Mortuary",
+      "Pioneer Funeral Home",     "Sunset Gardens Mortuary",
+  };
+  return kMortuaries;
+}
+
+const std::vector<std::string>& Cemeteries() {
+  static const std::vector<std::string> kCemeteries = {
+      "Holy Hope Cemetery",       "City Cemetery",
+      "Mountain View Cemetery",   "Evergreen Memorial Park",
+      "Oak Hill Cemetery",        "Riverside Cemetery",
+      "Pleasant Grove Cemetery",  "Eastlawn Memorial Gardens",
+  };
+  return kCemeteries;
+}
+
+const std::vector<std::string>& FillerSentences() {
+  static const std::vector<std::string> kFiller = {
+      "Friends and family are welcome to attend.",
+      "The family wishes to thank the staff for their kindness.",
+      "In lieu of flowers, contributions may be made to the charity of choice.",
+      "Arrangements are under local direction.",
+      "Excellent condition, must see to appreciate.",
+      "One owner, garage kept, all records available.",
+      "Serious inquiries only, evenings preferred.",
+      "Competitive benefits and a friendly work environment.",
+      "Fast growing company with opportunities for advancement.",
+      "Send resume and references to the address below.",
+      "Enrollment is limited and early registration is encouraged.",
+      "See the department office for additional information.",
+      "This section meets in the main lecture hall.",
+      "Lab sections are arranged during the first week.",
+      "Please mention this listing when you respond.",
+      "Additional details available upon request.",
+  };
+  return kFiller;
+}
+
+}  // namespace webrbd::gen

@@ -1,0 +1,55 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Word lists behind the synthetic corpus: names, places, car makes/models,
+// job titles and skills, university departments and course titles, month
+// names. These double as the lexicon contents of the bundled ontologies'
+// data frames, so the recognizer and the generator agree by construction —
+// exactly the role the authors' hand-built lexicons played.
+
+#ifndef WEBRBD_GEN_CORPORA_H_
+#define WEBRBD_GEN_CORPORA_H_
+
+#include <string>
+#include <vector>
+
+namespace webrbd::gen {
+
+/// People.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+
+/// Places.
+const std::vector<std::string>& Cities();
+
+/// Calendar.
+const std::vector<std::string>& MonthNames();
+
+/// Cars. Models() maps 1:1 onto a make by index via ModelsOf().
+const std::vector<std::string>& CarMakes();
+const std::vector<std::string>& ModelsOf(const std::string& make);
+const std::vector<std::string>& CarColors();
+const std::vector<std::string>& CarFeatures();
+
+/// Jobs.
+const std::vector<std::string>& JobTitles();
+const std::vector<std::string>& Skills();
+const std::vector<std::string>& CompanySuffixes();
+
+/// Universities.
+const std::vector<std::string>& DepartmentCodes();
+const std::vector<std::string>& CourseTopics();
+const std::vector<std::string>& WeekdayPatterns();
+
+/// Mortuaries / funeral homes (obituaries).
+const std::vector<std::string>& Mortuaries();
+
+/// Cemetery names (obituaries).
+const std::vector<std::string>& Cemeteries();
+
+/// Neutral filler sentences free of every ontology keyword; used to pad
+/// records and page chrome without perturbing the OM heuristic.
+const std::vector<std::string>& FillerSentences();
+
+}  // namespace webrbd::gen
+
+#endif  // WEBRBD_GEN_CORPORA_H_

@@ -1,0 +1,325 @@
+#include "gen/record_content.h"
+
+#include "gen/corpora.h"
+#include "util/string_util.h"
+
+namespace webrbd::gen {
+
+namespace {
+
+void AddText(GeneratedRecord* record, std::string text) {
+  record->pieces.push_back(
+      RecordPiece{RecordPiece::Kind::kText, std::move(text)});
+}
+
+void AddEmphasis(GeneratedRecord* record, std::string text) {
+  record->pieces.push_back(
+      RecordPiece{RecordPiece::Kind::kEmphasis, std::move(text)});
+}
+
+void AddBreak(GeneratedRecord* record) {
+  record->pieces.push_back(RecordPiece{RecordPiece::Kind::kBreak, ""});
+}
+
+void MaybeAddBreak(GeneratedRecord* record, const ContentOptions& options,
+                   Rng* rng) {
+  if (rng->Chance(options.break_prob)) AddBreak(record);
+}
+
+void AddFact(GeneratedRecord* record, std::string object_set,
+             std::string value) {
+  record->fields.emplace_back(std::move(object_set), std::move(value));
+}
+
+std::string PersonName(Rng* rng, bool with_initial) {
+  std::string name = rng->Pick(FirstNames());
+  if (with_initial) {
+    name += " ";
+    name += static_cast<char>('A' + rng->Below(26));
+    name += ".";
+  }
+  name += " " + rng->Pick(LastNames());
+  return name;
+}
+
+std::string DateString(Rng* rng, int year_lo, int year_hi) {
+  return rng->Pick(MonthNames()) + " " +
+         std::to_string(rng->RangeInclusive(1, 28)) + ", " +
+         std::to_string(rng->RangeInclusive(year_lo, year_hi));
+}
+
+std::string PhoneString(Rng* rng) {
+  // Last four digits start at 3000 so the car-ad Year pattern (\b19..\b)
+  // can never fire inside a phone number.
+  return std::to_string(rng->RangeInclusive(200, 999)) + "-" +
+         std::to_string(rng->RangeInclusive(3000, 9999));
+}
+
+int FillerCount(const ContentOptions& options, Rng* rng, int base) {
+  const double spread = options.length_variance;
+  const int extra = static_cast<int>(
+      rng->Below(static_cast<uint32_t>(1 + 4 * spread)));
+  return base + extra;
+}
+
+void AddFiller(GeneratedRecord* record, const ContentOptions& options,
+               Rng* rng, int base) {
+  const int count = FillerCount(options, rng, base);
+  for (int i = 0; i < count; ++i) {
+    AddText(record, rng->Pick(FillerSentences()) + " ");
+  }
+}
+
+const char* Pronoun(Rng* rng) { return rng->Chance(0.5) ? "He" : "She"; }
+
+}  // namespace
+
+std::string GeneratedRecord::PlainText() const {
+  // Concatenation mirrors what the record extractor reconstructs from the
+  // rendered document: pieces verbatim, breaks as newlines. Record
+  // templates carry their own inter-piece spacing.
+  std::string joined;
+  for (const RecordPiece& piece : pieces) {
+    if (piece.kind == RecordPiece::Kind::kBreak) {
+      joined += "\n";
+    } else {
+      joined += piece.text;
+    }
+  }
+  return CollapseWhitespace(joined);
+}
+
+std::string GeneratedRecord::FieldValue(const std::string& object_set) const {
+  for (const auto& [name, value] : fields) {
+    if (name == object_set) return value;
+  }
+  return "";
+}
+
+GeneratedRecord GenerateObituary(const ContentOptions& options, Rng* rng) {
+  GeneratedRecord record;
+  if (rng->Chance(options.start_with_text_prob)) {
+    AddText(&record, rng->Chance(0.5) ? "Our beloved " : "Our dear ");
+  }
+  const std::string name =
+      PersonName(rng, /*with_initial=*/rng->Chance(0.6));
+  AddEmphasis(&record, name);
+  AddFact(&record, "DeceasedName", name);
+  MaybeAddBreak(&record, options, rng);
+
+  const std::string death_date = DateString(rng, 1998, 1998);
+  std::string sentence =
+      (rng->Chance(0.5) ? " died on " : " passed away on ") + death_date;
+  AddFact(&record, "DeathDate", death_date);
+  if (!rng->Chance(options.field_miss_prob)) {
+    const std::string age =
+        "age " + std::to_string(rng->RangeInclusive(19, 99));
+    sentence += ", at " + age;
+    AddFact(&record, "Age", age);
+  }
+  sentence += ". ";
+  AddText(&record, std::move(sentence));
+
+  const std::string birth_date = DateString(rng, 1905, 1979);
+  AddText(&record, std::string(Pronoun(rng)) + " was born on " + birth_date +
+                       " in " + rng->Pick(Cities()) + ". ");
+  AddFact(&record, "BirthDate", birth_date);
+  AddFiller(&record, options, rng, 1);
+
+  if (rng->Chance(0.7)) {
+    const std::string survivor1 = PersonName(rng, false);
+    const std::string survivor2 = PersonName(rng, false);
+    AddText(&record, std::string(Pronoun(rng)) + " is survived by " +
+                         survivor1 + " and " + survivor2 + ". ");
+    AddFact(&record, "SurvivorName", survivor1);
+    AddFact(&record, "SurvivorName", survivor2);
+  }
+  if (!rng->Chance(options.field_miss_prob)) {
+    const std::string funeral_date = DateString(rng, 1998, 1998);
+    AddText(&record, "Funeral services will be held " + funeral_date +
+                         " at " + std::to_string(rng->RangeInclusive(9, 12)) +
+                         ":00 a.m. at ");
+    AddFact(&record, "FuneralDate", funeral_date);
+    const std::string mortuary = rng->Pick(Mortuaries());
+    AddEmphasis(&record, mortuary);
+    AddFact(&record, "Mortuary", mortuary);
+    AddText(&record, ". ");
+  }
+  if (rng->Chance(0.8)) {
+    const std::string cemetery = rng->Pick(Cemeteries());
+    AddText(&record, "Interment in ");
+    AddEmphasis(&record, cemetery);
+    AddFact(&record, "IntermentPlace", "in " + cemetery);
+    AddText(&record, ". ");
+  }
+  MaybeAddBreak(&record, options, rng);
+  return record;
+}
+
+GeneratedRecord GenerateCarAd(const ContentOptions& options, Rng* rng) {
+  GeneratedRecord record;
+  if (rng->Chance(options.start_with_text_prob)) {
+    AddText(&record, "For sale: ");
+  }
+  const std::string year =
+      std::to_string(rng->RangeInclusive(1965, 1998));
+  const std::string make = rng->Pick(CarMakes());
+  const std::string model = rng->Pick(ModelsOf(make));
+  AddEmphasis(&record, year + " " + make + " " + model);
+  AddFact(&record, "Year", year);
+  AddFact(&record, "Make", make);
+  AddFact(&record, "Model", model);
+
+  const std::string color = rng->Pick(CarColors());
+  AddText(&record, ", " + color + ", ");
+  AddFact(&record, "Color", color);
+  if (!rng->Chance(options.field_miss_prob)) {
+    const std::string mileage =
+        std::to_string(rng->RangeInclusive(12, 150)) + ",000 miles";
+    AddEmphasis(&record, mileage);
+    AddFact(&record, "Mileage", mileage);
+  }
+  std::string features_text;
+  const int feature_count = rng->RangeInclusive(0, 3);
+  for (int i = 0; i < feature_count; ++i) {
+    const std::string feature = rng->Pick(CarFeatures());
+    features_text += ", " + feature;
+    AddFact(&record, "Feature", feature);
+  }
+  AddText(&record, features_text + ". ");
+  if (rng->Chance(0.6 * options.break_prob)) AddBreak(&record);
+  AddFiller(&record, options, rng, 0);
+
+  if (!rng->Chance(options.field_miss_prob)) {
+    const std::string price =
+        "$" + std::to_string(rng->RangeInclusive(1, 24)) + "," +
+        std::to_string(rng->RangeInclusive(100, 999));
+    AddEmphasis(&record, price);
+    AddFact(&record, "Price", price);
+    AddText(&record, ". ");
+  }
+  if (rng->Chance(0.9)) {
+    const std::string phone = PhoneString(rng);
+    AddText(&record, "Call " + phone + ". ");
+    AddFact(&record, "PhoneNr", phone);
+  }
+  MaybeAddBreak(&record, options, rng);
+  return record;
+}
+
+GeneratedRecord GenerateJobAd(const ContentOptions& options, Rng* rng) {
+  GeneratedRecord record;
+  if (rng->Chance(options.start_with_text_prob)) {
+    AddText(&record, "Immediate opening: ");
+  }
+  const std::string title = rng->Pick(JobTitles());
+  AddEmphasis(&record, title);
+  AddFact(&record, "JobTitle", title);
+  MaybeAddBreak(&record, options, rng);
+  AddText(&record, " ");
+
+  const std::string company =
+      rng->Pick(LastNames()) + " " + rng->Pick(CompanySuffixes());
+  AddEmphasis(&record, company);
+  AddFact(&record, "Company", company);
+  AddText(&record, " seeks a qualified candidate. ");
+  if (!rng->Chance(options.field_miss_prob)) {
+    const std::string skill1 = rng->Pick(Skills());
+    std::string skills = skill1;
+    AddFact(&record, "Skill", skill1);
+    if (rng->Chance(0.7)) {
+      const std::string skill2 = rng->Pick(Skills());
+      skills += ", " + skill2;
+      AddFact(&record, "Skill", skill2);
+    }
+    const std::string experience =
+        std::to_string(rng->RangeInclusive(1, 10)) + " years experience";
+    AddText(&record, "Requires " + experience + " with " + skills + ". ");
+    AddFact(&record, "Experience", experience);
+  }
+  if (rng->Chance(0.85)) {
+    if (rng->Chance(0.5)) {
+      AddText(&record, "BS degree preferred. ");
+      AddFact(&record, "Degree", "BS degree");
+    } else {
+      AddText(&record, "A technical degree is required. ");
+      AddFact(&record, "Degree", "technical degree");
+    }
+  }
+  if (!rng->Chance(options.field_miss_prob)) {
+    const std::string salary =
+        "$" + std::to_string(rng->RangeInclusive(28, 95)) + ",000";
+    AddText(&record, "Salary ");
+    AddEmphasis(&record, salary);
+    AddFact(&record, "Salary", salary);
+    AddText(&record, ". ");
+  }
+  AddFiller(&record, options, rng, 0);
+  if (rng->Chance(0.8)) {
+    const std::string phone = PhoneString(rng);
+    AddText(&record, "Fax resume to " + phone + ". ");
+    AddFact(&record, "ContactPhone", phone);
+  }
+  MaybeAddBreak(&record, options, rng);
+  return record;
+}
+
+GeneratedRecord GenerateCourse(const ContentOptions& options, Rng* rng) {
+  GeneratedRecord record;
+  const std::string code = rng->Pick(DepartmentCodes()) + " " +
+                           std::to_string(rng->RangeInclusive(100, 599));
+  AddEmphasis(&record, code);
+  AddFact(&record, "CourseCode", code);
+  AddText(&record, " " + rng->Pick(CourseTopics()) + ". ");
+  if (rng->Chance(0.5 * options.break_prob)) AddBreak(&record);
+
+  const std::string credits =
+      std::to_string(rng->RangeInclusive(1, 5)) + " credit hours";
+  AddText(&record, credits + ". ");
+  AddFact(&record, "Credits", credits);
+  if (!rng->Chance(options.field_miss_prob)) {
+    const std::string instructor = rng->Pick(LastNames());
+    AddText(&record, "Instructor: ");
+    AddEmphasis(&record, instructor);
+    AddFact(&record, "Instructor", "Instructor: " + instructor);
+    AddText(&record, ". ");
+  }
+  if (rng->Chance(0.6)) {
+    const std::string prerequisite =
+        rng->Pick(DepartmentCodes()) + " " +
+        std::to_string(rng->RangeInclusive(100, 499));
+    AddText(&record, "Prerequisite: " + prerequisite + ". ");
+    AddFact(&record, "Prerequisite", prerequisite);
+  } else {
+    AddText(&record, "Prerequisite: none. ");
+  }
+  if (rng->Chance(0.9)) {
+    const std::string days = rng->Pick(WeekdayPatterns());
+    const std::string time = std::to_string(rng->RangeInclusive(7, 17)) +
+                             ":" + (rng->Chance(0.5) ? "00" : "30");
+    const std::string room =
+        "Room " + std::to_string(rng->RangeInclusive(100, 499));
+    AddText(&record, days + " " + time + ", " + room + ". ");
+    AddFact(&record, "Days", days);
+    AddFact(&record, "MeetingTime", time);
+    AddFact(&record, "Room", room);
+  }
+  if (rng->Chance(0.3 * options.length_variance)) {
+    AddText(&record, rng->Pick(FillerSentences()) + " ");
+  }
+  MaybeAddBreak(&record, options, rng);
+  return record;
+}
+
+GeneratedRecord GenerateRecord(Domain domain, const ContentOptions& options,
+                               Rng* rng) {
+  switch (domain) {
+    case Domain::kObituaries: return GenerateObituary(options, rng);
+    case Domain::kCarAds: return GenerateCarAd(options, rng);
+    case Domain::kJobAds: return GenerateJobAd(options, rng);
+    case Domain::kCourses: return GenerateCourse(options, rng);
+  }
+  return GeneratedRecord();
+}
+
+}  // namespace webrbd::gen

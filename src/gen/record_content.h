@@ -1,0 +1,87 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Domain record content: structured facts rendered to a markup-neutral
+// piece list. Site templates (gen/site_template.h) decide how pieces map to
+// HTML — which emphasis tag, which break tag, how records are separated —
+// so one content generator serves every site layout.
+//
+// The paper evaluated on live 1998 newspaper/university pages; these
+// generators are the synthetic stand-in (see DESIGN.md §1). They reproduce
+// the signals the heuristics consume: per-record keyword phrases and
+// constants for OM, record-length distributions for SD, emphasis/break tag
+// densities for HT and RP.
+
+#ifndef WEBRBD_GEN_RECORD_CONTENT_H_
+#define WEBRBD_GEN_RECORD_CONTENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ontology/bundled.h"
+#include "util/rng.h"
+
+namespace webrbd::gen {
+
+/// One markup-neutral piece of a record.
+struct RecordPiece {
+  enum class Kind {
+    kText,      ///< plain prose
+    kEmphasis,  ///< rendered with the site's emphasis tag (<b>, <strong>, <i>)
+    kBreak,     ///< rendered as the site's line-break tag (usually <br>)
+  };
+  Kind kind = Kind::kText;
+  std::string text;  // empty for kBreak
+};
+
+/// A generated record: its pieces, the concatenated plain text, and the
+/// structured facts it was rendered from — the ground truth the extraction
+/// pipeline should recover.
+struct GeneratedRecord {
+  std::vector<RecordPiece> pieces;
+
+  /// (object-set name, rendered value) pairs, in rendering order.
+  /// Many-valued object sets repeat. Values use the surface form a correct
+  /// extraction would produce (e.g. "age 41", "$4,500", "78,000 miles").
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// Whitespace-collapsed plain text of the record.
+  std::string PlainText() const;
+
+  /// First value recorded for an object set, or "" when absent.
+  std::string FieldValue(const std::string& object_set) const;
+};
+
+/// Content-shaping knobs a site template can vary.
+struct ContentOptions {
+  /// Probability that an optional field (funeral date, mileage, salary...)
+  /// is omitted from a record. The paper's real pages miss fields too; this
+  /// is what keeps the OM estimate off a perfect record count.
+  double field_miss_prob = 0.08;
+
+  /// Probability a record opens with prose before its first emphasized
+  /// span ("Our beloved <b>...</b>"), which suppresses separator+emphasis
+  /// adjacency and starves the RP heuristic.
+  double start_with_text_prob = 0.25;
+
+  /// Scales the number of filler sentences (record-length variance): 0 =
+  /// uniform records, 1 = paper-like spread, larger = wilder.
+  double length_variance = 1.0;
+
+  /// Probability that a kBreak piece is emitted where the layout allows one.
+  double break_prob = 0.85;
+};
+
+/// Generates one record of the given domain.
+GeneratedRecord GenerateRecord(Domain domain, const ContentOptions& options,
+                               Rng* rng);
+
+/// Domain-specific generators (exposed for focused tests).
+GeneratedRecord GenerateObituary(const ContentOptions& options, Rng* rng);
+GeneratedRecord GenerateCarAd(const ContentOptions& options, Rng* rng);
+GeneratedRecord GenerateJobAd(const ContentOptions& options, Rng* rng);
+GeneratedRecord GenerateCourse(const ContentOptions& options, Rng* rng);
+
+}  // namespace webrbd::gen
+
+#endif  // WEBRBD_GEN_RECORD_CONTENT_H_

@@ -1,0 +1,333 @@
+#include "gen/site_template.h"
+
+#include "gen/corpora.h"
+#include "util/string_util.h"
+
+namespace webrbd::gen {
+
+namespace {
+
+// Renders tag markup respecting the site's tag-case habit.
+class Markup {
+ public:
+  Markup(const SiteTemplate& site, Rng* rng) : site_(site), rng_(rng) {}
+
+  std::string Open(std::string_view name, std::string_view attrs = "") const {
+    std::string tag = "<" + Cased(name);
+    if (!attrs.empty()) {
+      tag += " ";
+      tag += attrs;
+    }
+    tag += ">";
+    return tag;
+  }
+
+  std::string Close(std::string_view name) const {
+    return "</" + Cased(name) + ">";
+  }
+
+  std::string Separator(std::string_view name) const {
+    if (site_.separator_attributes && name == "hr") {
+      return Open(name, "width=\"100%\" size=2");
+    }
+    if (site_.separator_attributes && name == "p") {
+      return Open(name, "align=left");
+    }
+    return Open(name);
+  }
+
+  // Renders a record's pieces. When `skip_first_emphasis` the first
+  // kEmphasis piece is omitted (the caller rendered it as a headline).
+  std::string Pieces(const GeneratedRecord& record,
+                     bool skip_first_emphasis) const {
+    std::string out;
+    bool first_emphasis_pending = skip_first_emphasis;
+    for (const RecordPiece& piece : record.pieces) {
+      switch (piece.kind) {
+        case RecordPiece::Kind::kText:
+          out += piece.text;
+          break;
+        case RecordPiece::Kind::kEmphasis:
+          if (first_emphasis_pending) {
+            first_emphasis_pending = false;
+            break;
+          }
+          if (site_.emphasis_tag.empty()) {
+            out += piece.text;  // sparse sites render emphasis as plain text
+          } else {
+            out += Open(site_.emphasis_tag) + piece.text +
+                   Close(site_.emphasis_tag);
+          }
+          break;
+        case RecordPiece::Kind::kBreak:
+          if (!site_.break_tag.empty()) out += Open(site_.break_tag);
+          out += "\n";
+          break;
+      }
+    }
+    return out;
+  }
+
+  // First kEmphasis text, or a fallback snippet of the first text piece.
+  static std::string Headline(const GeneratedRecord& record) {
+    for (const RecordPiece& piece : record.pieces) {
+      if (piece.kind == RecordPiece::Kind::kEmphasis) return piece.text;
+    }
+    for (const RecordPiece& piece : record.pieces) {
+      if (piece.kind == RecordPiece::Kind::kText) {
+        return piece.text.substr(0, 40);
+      }
+    }
+    return "Listing";
+  }
+
+  std::string MaybeComment(int index) const {
+    if (!site_.insert_comments) return "";
+    return "<!-- listing " + std::to_string(index) + " -->\n";
+  }
+
+  std::string MaybeStrayEnd() const {
+    if (!site_.stray_end_tags || !rng_->Chance(0.2)) return "";
+    return "</font>\n";
+  }
+
+ private:
+  std::string Cased(std::string_view name) const {
+    std::string out(name);
+    if (site_.uppercase_tags) {
+      for (char& c : out) {
+        if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+      }
+    }
+    return out;
+  }
+
+  const SiteTemplate& site_;
+  Rng* rng_;
+};
+
+std::string SectionName(Domain domain) {
+  switch (domain) {
+    case Domain::kObituaries: return "Funeral Notices";
+    case Domain::kCarAds: return "Autos For Sale";
+    case Domain::kJobAds: return "Computer Help Wanted";
+    case Domain::kCourses: return "Course Catalog";
+  }
+  return "Classifieds";
+}
+
+std::string PageHeader(const SiteTemplate& site, Domain domain, Rng* rng) {
+  std::string out = "<html><head><title>" + site.site_name + " - " +
+                    SectionName(domain) + "</title></head>\n";
+  out += "<body bgcolor=\"#FFFFFF\">\n";
+  out += "<center><h1>" + site.site_name + "</h1>\n";
+  static const char* kNavNames[] = {"Home",     "News",    "Sports",
+                                    "Weather",  "Business", "Classifieds",
+                                    "Archives", "Contact"};
+  for (int i = 0; i < site.nav_links && i < 8; ++i) {
+    out += "<a href=\"/" + AsciiToLower(kNavNames[i]) + ".html\">" +
+           kNavNames[i] + "</a>\n";
+  }
+  out += "</center>\n";
+  out += "Updated " + rng->Pick(MonthNames()) + " " +
+         std::to_string(rng->RangeInclusive(1, 28)) + ", 1998\n";
+  return out;
+}
+
+std::string PageFooter(const SiteTemplate& site) {
+  return "<hr>\n<address>Copyright 1998 " + site.site_name +
+         ". All material is copyrighted.</address>\n</body>\n</html>\n";
+}
+
+std::string RegionHeading(const SiteTemplate& site, Domain domain,
+                          const Markup& markup) {
+  if (!site.heading_inside_region) return "";
+  return markup.Open("h2") + SectionName(domain) + " - " +
+         markup.Close("h2") + "\n";
+}
+
+}  // namespace
+
+bool GeneratedDocument::IsCorrectSeparator(const std::string& tag) const {
+  for (const std::string& separator : correct_separators) {
+    if (separator == tag) return true;
+  }
+  return false;
+}
+
+GeneratedDocument RenderDocument(const SiteTemplate& site, Domain domain,
+                                 int doc_index) {
+  Rng rng(StableHash64(site.site_name + "|" + DomainName(domain) + "|" +
+                       std::to_string(doc_index)));
+  Markup markup(site, &rng);
+
+  const LayoutArchetype archetype = site.ArchetypeFor(domain);
+  ContentOptions content = site.content;
+  if (archetype == LayoutArchetype::kBrBlocks) {
+    // kBrBlocks reserves <br> for record boundaries.
+    content.break_prob = 0.0;
+  }
+
+  GeneratedDocument doc;
+  doc.site_name = site.site_name;
+  doc.domain = domain;
+  doc.doc_index = doc_index;
+
+  const int record_count =
+      rng.RangeInclusive(site.min_records, site.max_records);
+  std::vector<GeneratedRecord> records;
+  records.reserve(static_cast<size_t>(record_count));
+  for (int i = 0; i < record_count; ++i) {
+    records.push_back(GenerateRecord(domain, content, &rng));
+    doc.record_texts.push_back(records.back().PlainText());
+    doc.record_fields.push_back(records.back().fields);
+  }
+
+  std::string body;
+  const bool cell_hosted = archetype != LayoutArchetype::kTableRows;
+  if (cell_hosted) {
+    body += markup.Open("table", "border=0 cellpadding=4") + markup.Open("tr") +
+            markup.Open("td") + "\n";
+    body += RegionHeading(site, domain, markup);
+  } else {
+    body += RegionHeading(site, domain, markup);
+    body += markup.Open("table", "border=1") + "\n";
+  }
+
+  for (int i = 0; i < record_count; ++i) {
+    const GeneratedRecord& record = records[static_cast<size_t>(i)];
+    body += markup.MaybeComment(i);
+    switch (archetype) {
+      case LayoutArchetype::kHrSeparated:
+        body += markup.Separator("hr") + "\n";
+        body += markup.Pieces(record, false);
+        body += "\n";
+        break;
+      case LayoutArchetype::kParagraphs:
+        body += markup.Separator("p") + "\n";
+        body += markup.Pieces(record, false);
+        if (!site.omit_optional_end_tags) body += markup.Close("p");
+        body += "\n";
+        break;
+      case LayoutArchetype::kTableRows:
+        body += markup.Open("tr") + markup.Open("td");
+        body += markup.Pieces(record, false);
+        if (!site.omit_optional_end_tags) {
+          body += markup.Close("td") + markup.Close("tr");
+        }
+        body += "\n";
+        break;
+      case LayoutArchetype::kHeadlined:
+        body += markup.Open("h4") + Markup::Headline(record) +
+                markup.Close("h4") + "\n";
+        body += markup.Pieces(record, true);
+        body += "\n";
+        break;
+      case LayoutArchetype::kAnchorHeaded:
+        body += markup.Open("a", "href=\"/listing/" + std::to_string(i) +
+                                     ".html\"") +
+                Markup::Headline(record) + markup.Close("a") + " ";
+        body += markup.Pieces(record, true);
+        body += "\n";
+        break;
+      case LayoutArchetype::kNestedTables:
+        body += markup.Open("table", "border=1 width=\"90%\"") +
+                markup.Open("tr") + markup.Open("td");
+        body += markup.Pieces(record, false);
+        body += markup.Close("td") + markup.Close("tr") +
+                markup.Close("table") + "\n";
+        break;
+      case LayoutArchetype::kBrBlocks:
+        body += markup.Pieces(record, false);
+        body += markup.Open("br") + "\n";
+        break;
+    }
+    body += markup.MaybeStrayEnd();
+  }
+
+  // Trailing separator, as in Figure 2(a)'s final <hr>.
+  if (archetype == LayoutArchetype::kHrSeparated && rng.Chance(0.7)) {
+    body += markup.Separator("hr") + "\n";
+  }
+
+  if (cell_hosted) {
+    body += markup.Close("td") + markup.Close("tr") + markup.Close("table") +
+            "\n";
+  } else {
+    body += markup.Close("table") + "\n";
+  }
+
+  switch (archetype) {
+    case LayoutArchetype::kHrSeparated:
+      doc.correct_separators = {"hr"};
+      break;
+    case LayoutArchetype::kParagraphs:
+      doc.correct_separators = {"p"};
+      break;
+    case LayoutArchetype::kTableRows:
+      doc.correct_separators = {"tr", "td"};
+      break;
+    case LayoutArchetype::kHeadlined:
+      doc.correct_separators = {"h4"};
+      break;
+    case LayoutArchetype::kAnchorHeaded:
+      doc.correct_separators = {"a"};
+      break;
+    case LayoutArchetype::kNestedTables:
+      doc.correct_separators = {"table", "tr", "td"};
+      break;
+    case LayoutArchetype::kBrBlocks:
+      doc.correct_separators = {"br"};
+      break;
+  }
+
+  doc.html = PageHeader(site, domain, &rng) + body + PageFooter(site);
+  return doc;
+}
+
+GeneratedDocument RenderDetailPage(const SiteTemplate& site, Domain domain,
+                                   int doc_index) {
+  Rng rng(StableHash64(site.site_name + "|detail|" + DomainName(domain) +
+                       "|" + std::to_string(doc_index)));
+  Markup markup(site, &rng);
+
+  GeneratedDocument doc;
+  doc.site_name = site.site_name;
+  doc.domain = domain;
+  doc.doc_index = doc_index;
+
+  GeneratedRecord record = GenerateRecord(domain, site.content, &rng);
+  doc.record_texts.push_back(record.PlainText());
+  doc.record_fields.push_back(record.fields);
+
+  std::string body = markup.Open("table", "border=0") + markup.Open("tr") +
+                     markup.Open("td") + "\n";
+  body += markup.Open("h2") + Markup::Headline(record) + markup.Close("h2") +
+          "\n";
+  body += markup.Pieces(record, /*skip_first_emphasis=*/false);
+  body += "\n" + markup.Close("td") + markup.Close("tr") +
+          markup.Close("table") + "\n";
+  doc.html = PageHeader(site, domain, &rng) + body + PageFooter(site);
+  return doc;
+}
+
+GeneratedDocument RenderNavigationPage(const SiteTemplate& site) {
+  Rng rng(StableHash64(site.site_name + "|nav"));
+  GeneratedDocument doc;
+  doc.site_name = site.site_name;
+
+  std::string body = "<center><h1>" + site.site_name + "</h1></center>\n";
+  body += "<table><tr><td>\n";
+  static const char* kSections[] = {"Local News", "Obituaries", "Classifieds",
+                                    "Sports",     "Weather",    "Opinion"};
+  for (const char* section : kSections) {
+    body += std::string("<a href=\"/") + section + "\">" + section +
+            "</a><br>\n";
+  }
+  body += "</td></tr></table>\n";
+  doc.html = "<html><head><title>" + site.site_name + "</title></head><body>" +
+             body + "</body></html>\n";
+  return doc;
+}
+
+}  // namespace webrbd::gen

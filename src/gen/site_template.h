@@ -1,0 +1,117 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Site templates: parameterized 1998-era page layouts. Each of the paper's
+// thirty sites (Table 1 calibration sites, Tables 6-9 test sites) maps to
+// one template; documents from the same site share a layout but differ in
+// record count and content, exactly as successive pages of a real
+// classified section would.
+
+#ifndef WEBRBD_GEN_SITE_TEMPLATE_H_
+#define WEBRBD_GEN_SITE_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/record_content.h"
+#include "ontology/bundled.h"
+#include "util/rng.h"
+
+namespace webrbd::gen {
+
+/// The structural family of a site's record region.
+enum class LayoutArchetype {
+  kHrSeparated,   ///< records inline in a cell, <hr> between (Figure 2)
+  kParagraphs,    ///< one <p> per record (often with the </p> omitted)
+  kTableRows,     ///< classic listing table, one <tr><td>...</td></tr> per record
+  kHeadlined,     ///< <h4> headline then body per record
+  kAnchorHeaded,  ///< <a href=...> headline then body per record
+  kNestedTables,  ///< one single-cell <table> per record inside a big cell
+  kBrBlocks,      ///< records end with <br>; no other line breaks
+};
+
+/// A fully parameterized site layout.
+struct SiteTemplate {
+  std::string site_name;
+  std::string url;
+  LayoutArchetype archetype = LayoutArchetype::kHrSeparated;
+
+  /// Per-application layout overrides: real sites formatted their obituary
+  /// and classified sections differently, so a Table 1 site may use one
+  /// archetype for obituaries and another for car ads.
+  std::vector<std::pair<Domain, LayoutArchetype>> archetype_overrides;
+
+  /// The archetype used for `domain`, honoring overrides.
+  LayoutArchetype ArchetypeFor(Domain domain) const {
+    for (const auto& [d, a] : archetype_overrides) {
+      if (d == domain) return a;
+    }
+    return archetype;
+  }
+
+  /// Tag used for RecordPiece::kEmphasis ("b", "strong", "i", "font").
+  std::string emphasis_tag = "b";
+
+  /// Tag used for RecordPiece::kBreak; empty = breaks render as spaces.
+  std::string break_tag = "br";
+
+  /// Content-shaping knobs passed to the record generators.
+  ContentOptions content;
+
+  /// Records per document (uniform in [min, max]).
+  int min_records = 10;
+  int max_records = 25;
+
+  /// 1998-isms and robustness stressors.
+  bool uppercase_tags = false;        ///< <HR> instead of <hr>
+  bool separator_attributes = false;  ///< <hr width="100%" size=2>
+  bool omit_optional_end_tags = false;///< drop </p> / </td> / </tr> / </li>
+  bool insert_comments = false;       ///< <!-- record --> markers
+  bool stray_end_tags = false;        ///< inject bogus </font> tags
+  int nav_links = 4;                  ///< masthead link count (page chrome)
+  bool heading_inside_region = true;  ///< a section heading as first child
+                                      ///< of the region (Figure 2's <h1>)
+};
+
+/// One generated document plus its ground truth.
+struct GeneratedDocument {
+  std::string html;
+
+  /// Every tag that correctly separates the records (a document "may have
+  /// more than one record separator", Section 5.2) — e.g. a single-cell
+  /// listing table is separated equally well by tr and td.
+  std::vector<std::string> correct_separators;
+
+  /// Ground-truth plain text of each record, in order.
+  std::vector<std::string> record_texts;
+
+  /// Ground-truth structured fields of each record, in order
+  /// (object-set name, rendered value); many-valued sets repeat.
+  std::vector<std::vector<std::pair<std::string, std::string>>> record_fields;
+
+  std::string site_name;
+  Domain domain = Domain::kObituaries;
+  int doc_index = 0;
+
+  /// True iff `tag` is one of the correct separators.
+  bool IsCorrectSeparator(const std::string& tag) const;
+};
+
+/// Renders one document for (site, domain, doc_index). Deterministic: the
+/// RNG stream is derived from those three values alone, so regenerating a
+/// corpus never changes documents that were already generated.
+GeneratedDocument RenderDocument(const SiteTemplate& site, Domain domain,
+                                 int doc_index);
+
+/// Renders a single-record detail page (one entity, prose layout) — the
+/// page kind the paper's assumptions exclude; used to exercise the
+/// document classifier. correct_separators is empty.
+GeneratedDocument RenderDetailPage(const SiteTemplate& site, Domain domain,
+                                   int doc_index);
+
+/// Renders a navigation/front page with links and boilerplate but no data
+/// records. correct_separators and record_texts are empty.
+GeneratedDocument RenderNavigationPage(const SiteTemplate& site);
+
+}  // namespace webrbd::gen
+
+#endif  // WEBRBD_GEN_SITE_TEMPLATE_H_

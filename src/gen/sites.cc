@@ -1,0 +1,260 @@
+#include "gen/sites.h"
+
+namespace webrbd::gen {
+
+namespace {
+
+// Builder shorthand for the site roster below.
+SiteTemplate Site(std::string name, std::string url, LayoutArchetype archetype) {
+  SiteTemplate site;
+  site.site_name = std::move(name);
+  site.url = std::move(url);
+  site.archetype = archetype;
+  return site;
+}
+
+// "Sparse" sites use no inline emphasis markup and few line breaks —
+// plain-prose records where the separator is the dominant tag (these are
+// the sites where HT shines and OM/RP wobble).
+void MakeSparse(SiteTemplate* site, double break_prob) {
+  site->emphasis_tag = "";
+  site->content.break_prob = break_prob;
+}
+
+std::vector<SiteTemplate> BuildCalibrationSites() {
+  std::vector<SiteTemplate> sites;
+
+  {  // Figure-2-like: <hr>-separated, bold-rich records.
+    SiteTemplate s = Site("Salt Lake Tribune", "www.sltrib.com",
+                          LayoutArchetype::kHrSeparated);
+    s.content.length_variance = 0.6;
+    sites.push_back(s);
+  }
+  {  // <HR WIDTH=...> with uppercase tags; sparse plain-prose records.
+    SiteTemplate s = Site("Arizona Daily Star", "www.azstarnet.com",
+                          LayoutArchetype::kHrSeparated);
+    s.uppercase_tags = true;
+    s.separator_attributes = true;
+    MakeSparse(&s, 0.4);
+    s.content.length_variance = 1.0;
+    sites.push_back(s);
+  }
+  {  // Listing table with omitted </td></tr> (flattened by region repair).
+    SiteTemplate s = Site("Houston Chronicle", "www.chron.com",
+                          LayoutArchetype::kTableRows);
+    s.omit_optional_end_tags = true;
+    s.insert_comments = true;
+    sites.push_back(s);
+  }
+  {  // <p>-separated with the </p> omitted, long and uneven records.
+    SiteTemplate s = Site("San Francisco Chronicle", "www.sfgate.com",
+                          LayoutArchetype::kParagraphs);
+    s.omit_optional_end_tags = true;
+    s.content.length_variance = 2.5;
+    sites.push_back(s);
+  }
+  {  // <h4> headlines with <br>-rich bodies (the IT-list trap: br > h4).
+    SiteTemplate s = Site("Seattle Times", "www.seatimes.com",
+                          LayoutArchetype::kHeadlined);
+    // The obituary section uses <h4> headlines (the IT-list trap: br
+    // outranks h4); the auto classifieds are a conventional <hr> column.
+    s.archetype_overrides = {{Domain::kCarAds, LayoutArchetype::kHrSeparated}};
+    s.content.length_variance = 1.0;
+    sites.push_back(s);
+  }
+  {  // Anchor-headlined listings.
+    SiteTemplate s = Site("GoCincinnati.com", "classifinder.gocinci.net",
+                          LayoutArchetype::kAnchorHeaded);
+    s.content.length_variance = 3.0;
+    sites.push_back(s);
+  }
+  {  // Records end with <br>; no other breaks.
+    SiteTemplate s = Site("Standard Times", "www.s-t.com",
+                          LayoutArchetype::kBrBlocks);
+    s.content.length_variance = 0.8;
+    sites.push_back(s);
+  }
+  {  // One single-cell table per record (single-candidate documents).
+    SiteTemplate s = Site("Detroit Newspapers", "www.dnps.com",
+                          LayoutArchetype::kNestedTables);
+    sites.push_back(s);
+  }
+  {  // Sparse prose between <hr>s.
+    SiteTemplate s = Site("Connecticut Post", "www.connpost.com",
+                          LayoutArchetype::kHrSeparated);
+    MakeSparse(&s, 0.45);
+    s.content.length_variance = 0.8;
+    sites.push_back(s);
+  }
+  {  // Sparse prose, noisier fields, stray end tags.
+    SiteTemplate s = Site("Access Atlanta", "www.accessatlanta.com",
+                          LayoutArchetype::kHrSeparated);
+    MakeSparse(&s, 0.42);
+    s.content.length_variance = 0.4;
+    s.content.field_miss_prob = 0.15;
+    s.stray_end_tags = true;
+    sites.push_back(s);
+  }
+  return sites;
+}
+
+std::vector<SiteTemplate> BuildTestSites(Domain domain) {
+  std::vector<SiteTemplate> sites;
+  switch (domain) {
+    case Domain::kObituaries: {  // Table 6
+      SiteTemplate a = Site("Alameda Newspaper", "www.adone.com/alameda",
+                            LayoutArchetype::kHrSeparated);
+      a.content.length_variance = 0.7;
+      sites.push_back(a);
+
+      SiteTemplate b = Site("Idaho State Journal", "www.journalnet.com",
+                            LayoutArchetype::kParagraphs);
+      b.omit_optional_end_tags = true;
+      b.content.length_variance = 1.8;
+      sites.push_back(b);
+
+      SiteTemplate c = Site("Sacramento Bee", "www.sacbee.com",
+                            LayoutArchetype::kTableRows);
+      c.omit_optional_end_tags = true;
+      sites.push_back(c);
+
+      SiteTemplate d = Site("Tampa Tribune", "www.tampatrib.com",
+                            LayoutArchetype::kAnchorHeaded);
+      sites.push_back(d);
+
+      SiteTemplate e = Site("Shoals Timesdaily", "www.timesdaily.com",
+                            LayoutArchetype::kBrBlocks);
+      sites.push_back(e);
+      break;
+    }
+    case Domain::kCarAds: {  // Table 7
+      SiteTemplate a = Site("Arkansas Democrat - Gazette", "www.ardemgaz.com",
+                            LayoutArchetype::kHrSeparated);
+      sites.push_back(a);
+
+      SiteTemplate b = Site("Sioux City Journal", "www.siouxcityjournal.com",
+                            LayoutArchetype::kHrSeparated);
+      MakeSparse(&b, 0.5);
+      b.content.length_variance = 1.5;
+      sites.push_back(b);
+
+      SiteTemplate c = Site("Knoxville News", "www.knoxnews.com",
+                            LayoutArchetype::kTableRows);
+      c.omit_optional_end_tags = true;
+      sites.push_back(c);
+
+      SiteTemplate d = Site("Lincoln Journal Star", "www.nebweb.com",
+                            LayoutArchetype::kNestedTables);
+      sites.push_back(d);
+
+      SiteTemplate e = Site("Reno Gazette - Journal",
+                            "www.nevadanet.com/renogazette",
+                            LayoutArchetype::kHrSeparated);
+      MakeSparse(&e, 0.45);
+      e.content.length_variance = 2.2;
+      e.content.field_miss_prob = 0.18;
+      sites.push_back(e);
+      break;
+    }
+    case Domain::kJobAds: {  // Table 8
+      SiteTemplate a = Site("Baltimore Sun", "www.sunspot.net",
+                            LayoutArchetype::kHrSeparated);
+      sites.push_back(a);
+
+      SiteTemplate b = Site("Dallas Morning News", "dallasnews.com",
+                            LayoutArchetype::kParagraphs);
+      b.omit_optional_end_tags = true;
+      b.content.length_variance = 2.5;
+      sites.push_back(b);
+
+      SiteTemplate c = Site("Denver Post", "www.denverpost.com",
+                            LayoutArchetype::kHrSeparated);
+      MakeSparse(&c, 0.45);
+      c.content.field_miss_prob = 0.2;
+      c.content.length_variance = 1.5;
+      sites.push_back(c);
+
+      SiteTemplate d = Site("Indianapolis Star/News", "www.starnews.com",
+                            LayoutArchetype::kTableRows);
+      d.omit_optional_end_tags = true;
+      sites.push_back(d);
+
+      SiteTemplate e = Site("Los Angeles Times", "www.latimes.com",
+                            LayoutArchetype::kAnchorHeaded);
+      e.content.length_variance = 2.0;
+      sites.push_back(e);
+      break;
+    }
+    case Domain::kCourses: {  // Table 9
+      SiteTemplate a = Site("BYU", "www.byu.edu", LayoutArchetype::kTableRows);
+      a.omit_optional_end_tags = true;
+      sites.push_back(a);
+
+      SiteTemplate b = Site("MIT", "registrar.mit.edu",
+                            LayoutArchetype::kHrSeparated);
+      sites.push_back(b);
+
+      SiteTemplate c = Site("KSU", "www.ksu.edu",
+                            LayoutArchetype::kParagraphs);
+      c.omit_optional_end_tags = true;
+      sites.push_back(c);
+
+      SiteTemplate d = Site("USC", "www.usc.edu",
+                            LayoutArchetype::kHeadlined);
+      d.break_tag = "";  // headlines only; bodies flow without <br>
+      sites.push_back(d);
+
+      SiteTemplate e = Site("UT - Austin", "www.utexas.edu",
+                            LayoutArchetype::kBrBlocks);
+      sites.push_back(e);
+      break;
+    }
+  }
+  return sites;
+}
+
+}  // namespace
+
+const std::vector<SiteTemplate>& CalibrationSites() {
+  static const std::vector<SiteTemplate> kSites = BuildCalibrationSites();
+  return kSites;
+}
+
+const std::vector<SiteTemplate>& TestSites(Domain domain) {
+  static const std::vector<SiteTemplate> kObituaries =
+      BuildTestSites(Domain::kObituaries);
+  static const std::vector<SiteTemplate> kCars =
+      BuildTestSites(Domain::kCarAds);
+  static const std::vector<SiteTemplate> kJobs =
+      BuildTestSites(Domain::kJobAds);
+  static const std::vector<SiteTemplate> kCourses =
+      BuildTestSites(Domain::kCourses);
+  switch (domain) {
+    case Domain::kObituaries: return kObituaries;
+    case Domain::kCarAds: return kCars;
+    case Domain::kJobAds: return kJobs;
+    case Domain::kCourses: return kCourses;
+  }
+  return kObituaries;
+}
+
+std::vector<GeneratedDocument> GenerateCalibrationCorpus(Domain domain) {
+  std::vector<GeneratedDocument> corpus;
+  for (const SiteTemplate& site : CalibrationSites()) {
+    for (int doc = 0; doc < kCalibrationDocsPerSite; ++doc) {
+      corpus.push_back(RenderDocument(site, domain, doc));
+    }
+  }
+  return corpus;
+}
+
+std::vector<GeneratedDocument> GenerateTestCorpus(Domain domain) {
+  std::vector<GeneratedDocument> corpus;
+  for (const SiteTemplate& site : TestSites(domain)) {
+    // Distinct doc index space from calibration runs.
+    corpus.push_back(RenderDocument(site, domain, /*doc_index=*/100));
+  }
+  return corpus;
+}
+
+}  // namespace webrbd::gen

@@ -1,0 +1,42 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Site registries mirroring the paper's experiment setup:
+//  - Table 1: ten on-line newspapers used for the initial (calibration)
+//    experiments — five obituary documents and five car-ad documents each,
+//    100 documents total;
+//  - Tables 6-9: four test sets of five fresh sites each, one document per
+//    site (20 documents total), covering obituaries, car ads, computer job
+//    ads, and university course descriptions.
+//
+// Each named site carries a fixed layout template; layouts are assigned so
+// the synthetic corpus exhibits the failure modes the paper's Tables 2-4
+// attribute to each heuristic (see DESIGN.md §1 and EXPERIMENTS.md).
+
+#ifndef WEBRBD_GEN_SITES_H_
+#define WEBRBD_GEN_SITES_H_
+
+#include <vector>
+
+#include "gen/site_template.h"
+
+namespace webrbd::gen {
+
+/// Documents per calibration site per domain (the paper retrieved five).
+inline constexpr int kCalibrationDocsPerSite = 5;
+
+/// The paper's Table 1 sites, with their layout templates.
+const std::vector<SiteTemplate>& CalibrationSites();
+
+/// The paper's Table 6/7/8/9 sites for the given domain.
+const std::vector<SiteTemplate>& TestSites(Domain domain);
+
+/// The full calibration corpus for one domain: every Table 1 site times
+/// kCalibrationDocsPerSite documents (50 documents).
+std::vector<GeneratedDocument> GenerateCalibrationCorpus(Domain domain);
+
+/// The test corpus for one domain: one document per Table 6-9 site.
+std::vector<GeneratedDocument> GenerateTestCorpus(Domain domain);
+
+}  // namespace webrbd::gen
+
+#endif  // WEBRBD_GEN_SITES_H_

@@ -1,0 +1,100 @@
+#include "gen/synthetic_web.h"
+
+#include "gen/sites.h"
+#include "util/string_util.h"
+
+namespace webrbd::gen {
+
+std::string SyntheticWeb::SectionSlug(Domain domain) {
+  switch (domain) {
+    case Domain::kObituaries: return "obituaries";
+    case Domain::kCarAds: return "autos";
+    case Domain::kJobAds: return "jobs";
+    case Domain::kCourses: return "courses";
+  }
+  return "misc";
+}
+
+SyntheticWeb::SyntheticWeb() {
+  for (const SiteTemplate& site : CalibrationSites()) {
+    AddSite(site, {Domain::kObituaries, Domain::kCarAds});
+  }
+  for (Domain domain : kAllDomains) {
+    for (const SiteTemplate& site : TestSites(domain)) {
+      AddSite(site, {domain});
+    }
+  }
+}
+
+void SyntheticWeb::AddSite(const SiteTemplate& site,
+                           const std::vector<Domain>& domains) {
+  const size_t site_index = sites_.size();
+  sites_.push_back(site);
+  const std::string host = site.url;
+
+  auto add = [&](const std::string& path, PageKind kind, Domain domain,
+                 int page_index) {
+    const std::string url = host + path;
+    if (index_.emplace(url, Entry{site_index, kind, domain, page_index})
+            .second) {
+      order_.push_back(url);
+    }
+  };
+
+  add("/", PageKind::kNavigation, Domain::kObituaries, 0);
+  for (Domain domain : domains) {
+    const std::string section = "/" + SectionSlug(domain) + "/";
+    for (int page = 0; page < kListingPages; ++page) {
+      add(section + "page" + std::to_string(page) + ".html",
+          PageKind::kListing, domain, page);
+    }
+    for (int item = 0; item < kDetailPages; ++item) {
+      add(section + "item" + std::to_string(item) + ".html",
+          PageKind::kDetail, domain, item);
+    }
+  }
+}
+
+Result<WebPage> SyntheticWeb::Fetch(const std::string& url) const {
+  std::string key = url;
+  if (StartsWith(key, "http://")) key = key.substr(7);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("404: no such page on the synthetic web: " + url);
+  }
+  const Entry& entry = it->second;
+  const SiteTemplate& site = sites_[entry.site_index];
+
+  WebPage page;
+  page.url = key;
+  page.kind = entry.kind;
+  page.domain = entry.domain;
+  switch (entry.kind) {
+    case PageKind::kNavigation:
+      page.document = RenderNavigationPage(site);
+      break;
+    case PageKind::kListing:
+      page.document = RenderDocument(site, entry.domain, entry.page_index);
+      break;
+    case PageKind::kDetail:
+      page.document =
+          RenderDetailPage(site, entry.domain, entry.page_index);
+      break;
+  }
+  return page;
+}
+
+std::vector<std::string> SyntheticWeb::AllUrls() const { return order_; }
+
+std::vector<std::string> SyntheticWeb::ListingUrls(Domain domain) const {
+  std::vector<std::string> urls;
+  for (const std::string& url : order_) {
+    const Entry& entry = index_.at(url);
+    if (entry.kind == PageKind::kListing && entry.domain == domain) {
+      urls.push_back(url);
+    }
+  }
+  return urls;
+}
+
+}  // namespace webrbd::gen

@@ -1,0 +1,85 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// A URL-addressable simulated 1998 web over the paper's thirty sites. The
+// paper's pipeline starts from "a Web page" retrieved from a site; this
+// substrate provides the retrieval side so crawls, classifier sweeps, and
+// examples can work URL-first, deterministically, with no network.
+//
+// Each site serves:
+//   http://<site>/                           front/navigation page
+//   http://<site>/<section>/page<N>.html     multi-record listing pages
+//   http://<site>/<section>/item<K>.html     single-record detail pages
+
+#ifndef WEBRBD_GEN_SYNTHETIC_WEB_H_
+#define WEBRBD_GEN_SYNTHETIC_WEB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gen/site_template.h"
+#include "util/result.h"
+
+namespace webrbd::gen {
+
+/// What a URL serves.
+enum class PageKind {
+  kNavigation,  ///< front page: links and boilerplate, no records
+  kListing,     ///< multi-record page (discovery's assumptions hold)
+  kDetail,      ///< one record's page
+};
+
+/// A fetched page.
+struct WebPage {
+  std::string url;
+  PageKind kind = PageKind::kNavigation;
+  Domain domain = Domain::kObituaries;  // meaningful for listing/detail
+  GeneratedDocument document;
+};
+
+/// The simulated web. Pages are rendered on demand and deterministically:
+/// fetching the same URL always returns the same bytes.
+class SyntheticWeb {
+ public:
+  /// Pages per (site, section).
+  static constexpr int kListingPages = 5;
+  static constexpr int kDetailPages = 3;
+
+  /// Indexes every Table 1 and Table 6-9 site.
+  SyntheticWeb();
+
+  /// Fetches a URL; NotFound for anything off the map. Accepts with or
+  /// without the "http://" scheme.
+  Result<WebPage> Fetch(const std::string& url) const;
+
+  /// Every URL the web serves, in deterministic order.
+  std::vector<std::string> AllUrls() const;
+
+  /// All listing-page URLs for one application domain.
+  std::vector<std::string> ListingUrls(Domain domain) const;
+
+  size_t site_count() const { return sites_.size(); }
+  size_t url_count() const { return index_.size(); }
+
+  /// URL section slug for a domain ("obituaries", "autos", "jobs",
+  /// "courses").
+  static std::string SectionSlug(Domain domain);
+
+ private:
+  struct Entry {
+    size_t site_index;
+    PageKind kind;
+    Domain domain;
+    int page_index;
+  };
+
+  void AddSite(const SiteTemplate& site, const std::vector<Domain>& domains);
+
+  std::vector<SiteTemplate> sites_;
+  std::map<std::string, Entry> index_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace webrbd::gen
+
+#endif  // WEBRBD_GEN_SYNTHETIC_WEB_H_

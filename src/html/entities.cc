@@ -1,0 +1,120 @@
+#include "html/entities.h"
+
+#include <map>
+
+#include "util/string_util.h"
+
+namespace webrbd {
+
+namespace {
+
+// Named entities of the HTML 3.2/4.0 era, with ASCII fallbacks for glyphs
+// outside 7-bit ASCII (the synthetic corpus and the paper's heuristics are
+// ASCII-oriented; see util/string_util.h).
+const std::map<std::string, std::string, std::less<>>& NamedEntities() {
+  static const std::map<std::string, std::string, std::less<>> kEntities = {
+      {"amp", "&"},     {"lt", "<"},       {"gt", ">"},
+      {"quot", "\""},   {"apos", "'"},     {"nbsp", " "},
+      {"copy", "(c)"},  {"reg", "(R)"},    {"trade", "(TM)"},
+      {"mdash", "--"},  {"ndash", "-"},    {"hellip", "..."},
+      {"lsquo", "'"},   {"rsquo", "'"},    {"ldquo", "\""},
+      {"rdquo", "\""},  {"middot", "*"},   {"bull", "*"},
+      {"sect", "S"},    {"para", "P"},     {"deg", " deg"},
+      {"frac12", "1/2"},{"frac14", "1/4"}, {"cent", "c"},
+      {"pound", "GBP"}, {"yen", "JPY"},    {"times", "x"},
+      {"divide", "/"},  {"plusmn", "+/-"},
+      {"eacute", "e"},  {"egrave", "e"},   {"agrave", "a"},
+      {"aacute", "a"},  {"iacute", "i"},   {"oacute", "o"},
+      {"uacute", "u"},  {"ntilde", "n"},   {"ccedil", "c"},
+      {"ouml", "o"},    {"uuml", "u"},     {"auml", "a"},
+  };
+  return kEntities;
+}
+
+// Decodes the reference beginning at text[start] (which is '&'). On
+// success sets *consumed and *decoded and returns true.
+bool DecodeOne(std::string_view text, size_t start, size_t* consumed,
+               std::string* decoded) {
+  const size_t semi = text.find(';', start + 1);
+  // Entity names are short; a distant semicolon means a bare ampersand.
+  if (semi == std::string_view::npos || semi == start + 1 ||
+      semi - start > 10) {
+    return false;
+  }
+  std::string_view body = text.substr(start + 1, semi - start - 1);
+  if (body[0] == '#') {
+    // Numeric reference.
+    int code = 0;
+    bool any = false;
+    if (body.size() > 1 && (body[1] == 'x' || body[1] == 'X')) {
+      for (size_t i = 2; i < body.size(); ++i) {
+        const char c = body[i];
+        int digit;
+        if (IsAsciiDigit(c)) digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else return false;
+        code = code * 16 + digit;
+        any = true;
+        if (code > 0x10FFFF) return false;
+      }
+    } else {
+      for (size_t i = 1; i < body.size(); ++i) {
+        if (!IsAsciiDigit(body[i])) return false;
+        code = code * 10 + (body[i] - '0');
+        any = true;
+        if (code > 0x10FFFF) return false;
+      }
+    }
+    if (!any || code == 0) return false;
+    *decoded = code < 128 ? std::string(1, static_cast<char>(code))
+                          : std::string("?");
+    *consumed = semi - start + 1;
+    return true;
+  }
+  auto it = NamedEntities().find(body);
+  if (it == NamedEntities().end()) return false;
+  *decoded = it->second;
+  *consumed = semi - start + 1;
+  return true;
+}
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '&') {
+      size_t consumed = 0;
+      std::string decoded;
+      if (DecodeOne(text, i, &consumed, &decoded)) {
+        out += decoded;
+        i += consumed;
+        continue;
+      }
+    }
+    out.push_back(text[i]);
+    ++i;
+  }
+  return out;
+}
+
+std::string EncodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace webrbd

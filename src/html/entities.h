@@ -1,0 +1,32 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// HTML character-entity decoding for extracted record text. The lexer
+// keeps raw bytes (offsets matter for the heuristics); decoding happens
+// when text leaves the structural pipeline — record cleaning and
+// constant/keyword recognition.
+
+#ifndef WEBRBD_HTML_ENTITIES_H_
+#define WEBRBD_HTML_ENTITIES_H_
+
+#include <string>
+#include <string_view>
+
+namespace webrbd {
+
+/// Decodes HTML character references:
+///   - the named entities common in 1990s documents (&amp; &lt; &gt;
+///     &quot; &apos; &nbsp; &copy; &reg; &trade; &mdash; &ndash; &hellip;
+///     and the Latin-1 accents &eacute; etc., mapped to ASCII fallbacks);
+///   - numeric references &#NN; and &#xHH; (ASCII range decoded directly;
+///     non-ASCII mapped to '?').
+/// Unknown or malformed references are left verbatim — 1998 pages are full
+/// of bare ampersands.
+std::string DecodeEntities(std::string_view text);
+
+/// Encodes the five XML-significant characters (& < > " ') as entities;
+/// used when round-tripping generated documents.
+std::string EncodeEntities(std::string_view text);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_HTML_ENTITIES_H_

@@ -1,0 +1,216 @@
+#include "html/lexer.h"
+
+#include "html/tag_metadata.h"
+#include "util/string_util.h"
+
+namespace webrbd {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view doc) : doc_(doc) {}
+
+  std::vector<HtmlToken> Lex() {
+    while (pos_ < doc_.size()) {
+      if (doc_[pos_] == '<' && TryLexMarkup()) continue;
+      LexTextRun();
+    }
+    FlushText();
+    return std::move(tokens_);
+  }
+
+ private:
+  // Attempts to lex a markup construct at pos_ (which points at '<').
+  // Returns false when the '<' is just text.
+  bool TryLexMarkup() {
+    size_t start = pos_;
+    if (start + 1 >= doc_.size()) return false;
+    char next = doc_[start + 1];
+    if (next == '!') {
+      FlushText();
+      LexDeclaration();
+      return true;
+    }
+    if (next == '?') {
+      FlushText();
+      LexProcessing();
+      return true;
+    }
+    bool is_end = next == '/';
+    size_t name_start = start + (is_end ? 2 : 1);
+    size_t i = name_start;
+    while (i < doc_.size() && (IsAsciiAlnum(doc_[i]) || doc_[i] == '-' ||
+                               doc_[i] == ':')) {
+      ++i;
+    }
+    std::string name = AsciiToLower(doc_.substr(name_start, i - name_start));
+    if (!IsValidTagName(name)) return false;  // stray '<'
+
+    FlushText();
+    HtmlToken token;
+    token.kind = is_end ? HtmlToken::Kind::kEndTag : HtmlToken::Kind::kStartTag;
+    token.name = name;
+    token.begin = start;
+    pos_ = i;
+    if (!is_end) {
+      LexAttributes(&token);
+    } else {
+      // Skip anything up to '>' (end tags legally have no attributes, but
+      // tolerate junk).
+      while (pos_ < doc_.size() && doc_[pos_] != '>') ++pos_;
+    }
+    if (pos_ < doc_.size() && doc_[pos_] == '>') ++pos_;
+    token.end = pos_;
+    bool raw_text = token.kind == HtmlToken::Kind::kStartTag &&
+                    !token.self_closing && IsRawTextTag(token.name);
+    tokens_.push_back(std::move(token));
+    if (raw_text) LexRawText(tokens_.back().name);
+    return true;
+  }
+
+  void LexAttributes(HtmlToken* token) {
+    for (;;) {
+      while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+      if (pos_ >= doc_.size() || doc_[pos_] == '>') return;
+      if (doc_[pos_] == '/') {
+        // Possible XML-style self-closing slash.
+        size_t slash = pos_;
+        ++pos_;
+        while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+        if (pos_ < doc_.size() && doc_[pos_] == '>') {
+          token->self_closing = true;
+          return;
+        }
+        pos_ = slash + 1;  // stray slash; skip it
+        continue;
+      }
+      // Attribute name.
+      size_t name_start = pos_;
+      while (pos_ < doc_.size() && doc_[pos_] != '=' && doc_[pos_] != '>' &&
+             doc_[pos_] != '/' && !IsAsciiSpace(doc_[pos_])) {
+        ++pos_;
+      }
+      HtmlAttribute attr;
+      attr.name = AsciiToLower(doc_.substr(name_start, pos_ - name_start));
+      while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+      if (pos_ < doc_.size() && doc_[pos_] == '=') {
+        ++pos_;
+        while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+        if (pos_ < doc_.size() && (doc_[pos_] == '"' || doc_[pos_] == '\'')) {
+          char quote = doc_[pos_++];
+          size_t value_start = pos_;
+          while (pos_ < doc_.size() && doc_[pos_] != quote) ++pos_;
+          attr.value = std::string(doc_.substr(value_start, pos_ - value_start));
+          if (pos_ < doc_.size()) ++pos_;  // closing quote
+        } else {
+          size_t value_start = pos_;
+          while (pos_ < doc_.size() && doc_[pos_] != '>' &&
+                 !IsAsciiSpace(doc_[pos_])) {
+            ++pos_;
+          }
+          attr.value = std::string(doc_.substr(value_start, pos_ - value_start));
+        }
+      }
+      if (!attr.name.empty()) token->attrs.push_back(std::move(attr));
+    }
+  }
+
+  // <!-- comment --> or <!DOCTYPE ...> or any other <!...> declaration.
+  void LexDeclaration() {
+    size_t start = pos_;
+    HtmlToken token;
+    token.kind = HtmlToken::Kind::kComment;
+    token.begin = start;
+    if (doc_.compare(pos_, 4, "<!--") == 0) {
+      size_t close = doc_.find("-->", pos_ + 4);
+      pos_ = close == std::string_view::npos ? doc_.size() : close + 3;
+    } else {
+      size_t close = doc_.find('>', pos_);
+      pos_ = close == std::string_view::npos ? doc_.size() : close + 1;
+    }
+    token.end = pos_;
+    tokens_.push_back(std::move(token));
+  }
+
+  // <? ... > (or <? ... ?>).
+  void LexProcessing() {
+    HtmlToken token;
+    token.kind = HtmlToken::Kind::kProcessing;
+    token.begin = pos_;
+    size_t close = doc_.find('>', pos_);
+    pos_ = close == std::string_view::npos ? doc_.size() : close + 1;
+    token.end = pos_;
+    tokens_.push_back(std::move(token));
+  }
+
+  // Consumes raw text up to (not including) the matching </name ...>.
+  void LexRawText(const std::string& name) {
+    size_t body_start = pos_;
+    size_t scan = pos_;
+    size_t body_end = doc_.size();
+    std::string needle = "</" + name;
+    while (scan < doc_.size()) {
+      size_t candidate = doc_.find('<', scan);
+      if (candidate == std::string_view::npos) break;
+      if (candidate + needle.size() <= doc_.size() &&
+          AsciiEqualsIgnoreCase(doc_.substr(candidate, needle.size()),
+                                needle)) {
+        char after = candidate + needle.size() < doc_.size()
+                         ? doc_[candidate + needle.size()]
+                         : '>';
+        if (after == '>' || IsAsciiSpace(after)) {
+          body_end = candidate;
+          break;
+        }
+      }
+      scan = candidate + 1;
+    }
+    if (body_end > body_start) {
+      HtmlToken token;
+      token.kind = HtmlToken::Kind::kText;
+      token.begin = body_start;
+      token.end = body_end;
+      token.text = std::string(doc_.substr(body_start, body_end - body_start));
+      tokens_.push_back(std::move(token));
+    }
+    pos_ = body_end;
+  }
+
+  // Accumulates text up to the next '<'.
+  void LexTextRun() {
+    if (text_start_ == std::string_view::npos) text_start_ = pos_;
+    size_t next = doc_.find('<', pos_ + (doc_[pos_] == '<' ? 1 : 0));
+    pos_ = next == std::string_view::npos ? doc_.size() : next;
+    // Note: when the '<' at pos_ turns out not to start a tag, the main
+    // loop calls back into LexTextRun and we continue the same run.
+  }
+
+  void FlushText() {
+    if (text_start_ == std::string_view::npos) return;
+    size_t end = pos_;
+    if (end > text_start_) {
+      HtmlToken token;
+      token.kind = HtmlToken::Kind::kText;
+      token.begin = text_start_;
+      token.end = end;
+      token.text = std::string(doc_.substr(text_start_, end - text_start_));
+      tokens_.push_back(std::move(token));
+    }
+    text_start_ = std::string_view::npos;
+  }
+
+  std::string_view doc_;
+  size_t pos_ = 0;
+  size_t text_start_ = std::string_view::npos;
+  std::vector<HtmlToken> tokens_;
+};
+
+}  // namespace
+
+Result<std::vector<HtmlToken>> LexHtml(std::string_view document) {
+  Lexer lexer(document);
+  return lexer.Lex();
+}
+
+}  // namespace webrbd

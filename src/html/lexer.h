@@ -1,0 +1,28 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_HTML_LEXER_H_
+#define WEBRBD_HTML_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "html/token.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// Tokenizes an HTML document into tags, text runs, comments, and
+/// processing instructions.
+///
+/// The lexer is forgiving, in keeping with 1998-era markup: a '<' that does
+/// not open a plausible tag is treated as text; unterminated constructs are
+/// closed at end of input; attribute values may be single-quoted,
+/// double-quoted, or bare. <script>/<style> bodies are consumed as raw text.
+/// The lexer never fails on document *content*; it only reports errors for
+/// caller misuse (e.g. absurd size limits), so the common path is
+/// LexHtml(doc).value().
+Result<std::vector<HtmlToken>> LexHtml(std::string_view document);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_HTML_LEXER_H_

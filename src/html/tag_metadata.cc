@@ -1,0 +1,28 @@
+#include "html/tag_metadata.h"
+
+#include "util/string_util.h"
+
+namespace webrbd {
+
+bool IsVoidTag(std::string_view name) {
+  // HTML 3.2 / 4.0 empty elements.
+  return name == "br" || name == "hr" || name == "img" || name == "input" ||
+         name == "meta" || name == "link" || name == "area" ||
+         name == "base" || name == "basefont" || name == "col" ||
+         name == "frame" || name == "param" || name == "isindex" ||
+         name == "spacer" || name == "wbr" || name == "embed";
+}
+
+bool IsRawTextTag(std::string_view name) {
+  return name == "script" || name == "style";
+}
+
+bool IsValidTagName(std::string_view name) {
+  if (name.empty() || !IsAsciiAlpha(name[0])) return false;
+  for (char c : name) {
+    if (!IsAsciiAlnum(c) && c != '-' && c != ':') return false;
+  }
+  return true;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,31 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Static knowledge about HTML tag names, scoped to what the tag-tree
+// builder and lexer need. Deliberately era-appropriate: the vocabulary is
+// HTML 3.2/4.0, the kind of markup the paper's 1998 corpus used.
+
+#ifndef WEBRBD_HTML_TAG_METADATA_H_
+#define WEBRBD_HTML_TAG_METADATA_H_
+
+#include <string_view>
+
+namespace webrbd {
+
+/// True for tags that never take an end tag (<br>, <hr>, <img>, ...).
+/// The tree builder still handles unknown unclosed tags via the paper's
+/// missing-end-tag insertion; this list just classifies the common cases
+/// and lets the lexer/pretty-printer render them idiomatically.
+bool IsVoidTag(std::string_view lowercase_name);
+
+/// True for elements whose content is raw text up to the matching end tag
+/// (<script>, <style>); the lexer must not tokenize their bodies.
+bool IsRawTextTag(std::string_view lowercase_name);
+
+/// True iff the name is a syntactically plausible tag name: ASCII letter
+/// first, then letters/digits/hyphens. Used by the lexer to distinguish
+/// real tags from stray '<' characters in text.
+bool IsValidTagName(std::string_view name);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_HTML_TAG_METADATA_H_

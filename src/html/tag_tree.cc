@@ -1,0 +1,68 @@
+#include "html/tag_tree.h"
+
+namespace webrbd {
+
+const TagNode& TagTree::HighestFanoutSubtree() const {
+  const TagNode* best = root_.get();
+  PreOrderVisit(*root_, [&best](const TagNode& node, int) {
+    if (node.fanout() > best->fanout()) best = &node;
+  });
+  return *best;
+}
+
+size_t TagTree::CountStartTags(const TagNode& node) const {
+  if (&node == root_.get()) {
+    // The super-root has no start tag of its own; count the whole stream.
+    size_t count = 0;
+    for (const HtmlToken& token : tokens_) {
+      if (token.kind == HtmlToken::Kind::kStartTag) ++count;
+    }
+    return count;
+  }
+  size_t count = 0;
+  for (size_t i = node.token_begin; i <= node.token_end && i < tokens_.size();
+       ++i) {
+    if (tokens_[i].kind == HtmlToken::Kind::kStartTag) ++count;
+  }
+  return count;
+}
+
+std::string TagTree::PlainText(const TagNode& node) const {
+  std::string out;
+  size_t begin = node.token_begin;
+  size_t end = node.token_end;
+  if (&node == root_.get()) {
+    begin = 0;
+    end = tokens_.empty() ? 0 : tokens_.size() - 1;
+  }
+  for (size_t i = begin; i <= end && i < tokens_.size(); ++i) {
+    if (tokens_[i].kind == HtmlToken::Kind::kText) out += tokens_[i].text;
+  }
+  return out;
+}
+
+std::string TagTree::ToAsciiArt() const {
+  std::string out;
+  PreOrderVisit(*root_, [&out](const TagNode& node, int depth) {
+    for (int i = 0; i < depth; ++i) out += "  ";
+    out += node.name;
+    out += "\n";
+  });
+  return out;
+}
+
+std::pair<size_t, size_t> TagTree::TokenSpan(const TagNode& node) const {
+  if (&node == root_.get()) {
+    if (tokens_.empty()) return {1, 0};  // empty range
+    return {0, tokens_.size() - 1};
+  }
+  return {node.token_begin, node.token_end};
+}
+
+size_t TagTree::NodeCount() const {
+  size_t count = 0;
+  PreOrderVisit(*root_, [&count](const TagNode&, int) { ++count; });
+  return count > 0 ? count - 1 : 0;  // exclude the super-root
+}
+
+}  // namespace webrbd

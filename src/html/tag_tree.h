@@ -1,0 +1,123 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The paper's "tag tree": a tree of nested tag regions (Section 3). A node
+// identifies a region of the document; a region starts at a start-tag and
+// ends at its end-tag, or — when the end-tag is missing — just before the
+// next tag. Nodes carry the plain text immediately inside the region (the
+// paper's "I") and immediately after it ("O").
+
+#ifndef WEBRBD_HTML_TAG_TREE_H_
+#define WEBRBD_HTML_TAG_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "html/token.h"
+
+namespace webrbd {
+
+/// One region node of a tag tree.
+struct TagNode {
+  /// Lowercased tag name. The synthetic super-root is named "#document".
+  std::string name;
+
+  /// Attributes of the start tag.
+  std::vector<HtmlAttribute> attrs;
+
+  /// Byte range [region_begin, region_end) of the region in the document,
+  /// from the start of the opening tag through the end of the closing tag.
+  size_t region_begin = 0;
+  size_t region_end = 0;
+
+  /// Plain text between the start-tag and the next tag ("I" in Appendix A).
+  std::string inner_text;
+
+  /// Plain text between the end-tag and the next tag ("O" in Appendix A).
+  std::string tail_text;
+
+  /// True when the end tag was inserted by the builder (paper: "missing").
+  bool end_tag_synthesized = false;
+
+  /// Index range [token_begin, token_end] into TagTree::tokens() covering
+  /// this node's start tag through its end tag, inclusive.
+  size_t token_begin = 0;
+  size_t token_end = 0;
+
+  TagNode* parent = nullptr;
+  std::vector<std::unique_ptr<TagNode>> children;
+
+  /// Number of immediate children — the paper's "fan-out".
+  size_t fanout() const { return children.size(); }
+};
+
+/// An immutable tag tree plus the (rewritten, balanced) token stream it was
+/// built from. The heuristics in src/core walk the token stream restricted
+/// to a node's token span, which preserves the flat tag/text order the
+/// paper's interval and adjacency computations need.
+class TagTree {
+ public:
+  TagTree(std::unique_ptr<TagNode> root, std::vector<HtmlToken> tokens,
+          std::string document)
+      : root_(std::move(root)),
+        tokens_(std::move(tokens)),
+        document_(std::move(document)) {}
+
+  TagTree(TagTree&&) = default;
+  TagTree& operator=(TagTree&&) = default;
+
+  /// The synthetic "#document" super-root. Real top-level elements (usually
+  /// a single <html>) are its children.
+  const TagNode& root() const { return *root_; }
+
+  /// The balanced token stream: comments/processing discarded, missing end
+  /// tags inserted (marked synthetic), self-closing tags expanded.
+  const std::vector<HtmlToken>& tokens() const { return tokens_; }
+
+  /// The original document text.
+  const std::string& document() const { return document_; }
+
+  /// The node with the most immediate children (the paper's conjecture:
+  /// this subtree contains the records of interest). Ties resolve to the
+  /// earliest node in preorder. Returns the super-root for an empty tree.
+  const TagNode& HighestFanoutSubtree() const;
+
+  /// Number of start tags within `node`'s token span, including the node's
+  /// own start tag (the paper's "total number of tags in the subtree").
+  /// The super-root contributes no tag of its own.
+  size_t CountStartTags(const TagNode& node) const;
+
+  /// Concatenated plain text within the node's region, in document order.
+  std::string PlainText(const TagNode& node) const;
+
+  /// Renders the tree in the style of the paper's Figure 2(b):
+  /// one node per line, indented by depth.
+  std::string ToAsciiArt() const;
+
+  /// Total number of nodes (excluding the super-root).
+  size_t NodeCount() const;
+
+  /// Inclusive token-index range [first, last] covering `node`'s region in
+  /// tokens(). For the super-root this is the whole stream. The range is
+  /// empty (first > last) only for an empty document.
+  std::pair<size_t, size_t> TokenSpan(const TagNode& node) const;
+
+ private:
+  std::unique_ptr<TagNode> root_;
+  std::vector<HtmlToken> tokens_;
+  std::string document_;
+};
+
+/// Calls `visit(node, depth)` for every node in preorder, super-root at
+/// depth 0.
+template <typename Visitor>
+void PreOrderVisit(const TagNode& node, Visitor&& visit, int depth = 0) {
+  visit(node, depth);
+  for (const auto& child : node.children) {
+    PreOrderVisit(*child, visit, depth + 1);
+  }
+}
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_HTML_TAG_TREE_H_

@@ -1,0 +1,73 @@
+#include "html/text_index.h"
+
+#include <algorithm>
+
+namespace webrbd {
+
+namespace {
+
+// Mirrors the record extractor's inline-tag set (see
+// core/record_extractor.cc): boundaries of these tags do not interrupt
+// text flow.
+bool IsInlineTagName(const std::string& name) {
+  return name == "b" || name == "i" || name == "u" || name == "em" ||
+         name == "strong" || name == "font" || name == "a" ||
+         name == "span" || name == "small" || name == "big" ||
+         name == "tt" || name == "sup" || name == "sub";
+}
+
+}  // namespace
+
+TextIndex::TextIndex(const TagTree& tree, const TagNode& node)
+    : tree_(&tree), node_(&node) {
+  const auto [first, last] = tree.TokenSpan(node);
+  const auto& tokens = tree.tokens();
+  region_end_ = node.region_end;
+  if (&node == &tree.root()) region_end_ = tree.document().size();
+
+  for (size_t i = first; i <= last && i < tokens.size(); ++i) {
+    const HtmlToken& token = tokens[i];
+    if (token.kind == HtmlToken::Kind::kText) {
+      segments_.push_back(Segment{text_.size(), token.begin, false});
+      text_ += token.text;
+    } else if (token.kind == HtmlToken::Kind::kStartTag &&
+               !IsInlineTagName(token.name)) {
+      segments_.push_back(Segment{text_.size(), token.begin, true});
+      text_ += '\n';
+    }
+  }
+}
+
+size_t TextIndex::ToDocumentOffset(size_t text_offset) const {
+  if (segments_.empty()) return region_end_;
+  // Find the last segment whose text_begin <= text_offset.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), text_offset,
+      [](size_t offset, const Segment& segment) {
+        return offset < segment.text_begin;
+      });
+  if (it == segments_.begin()) return segments_.front().doc_begin;
+  --it;
+  if (it->synthetic) {
+    // Inside an inserted boundary byte: report the tag's position.
+    return it->doc_begin;
+  }
+  const size_t delta = text_offset - it->text_begin;
+  return std::min(it->doc_begin + delta, region_end_);
+}
+
+std::vector<size_t> TextIndex::SeparatorPositions(
+    const std::string& tag) const {
+  std::vector<size_t> positions;
+  const auto [first, last] = tree_->TokenSpan(*node_);
+  const auto& tokens = tree_->tokens();
+  for (size_t i = first; i <= last && i < tokens.size(); ++i) {
+    if (tokens[i].kind == HtmlToken::Kind::kStartTag &&
+        tokens[i].name == tag) {
+      positions.push_back(tokens[i].begin);
+    }
+  }
+  return positions;
+}
+
+}  // namespace webrbd

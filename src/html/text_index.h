@@ -1,0 +1,56 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// TextIndex: the plain text of a tag-tree region together with a mapping
+// from plain-text offsets back to document byte offsets. The paper's
+// integrated pipeline (Section 4.5) depends on this: recognizers run ONCE
+// over the region's plain text, each match is positioned in the document,
+// and the resulting Data-Record Table is partitioned at the separator
+// tags' document positions — no per-record re-scan.
+
+#ifndef WEBRBD_HTML_TEXT_INDEX_H_
+#define WEBRBD_HTML_TEXT_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "html/tag_tree.h"
+
+namespace webrbd {
+
+/// Plain text of a region plus offset mapping into the source document.
+class TextIndex {
+ public:
+  /// Builds the index over `node`'s region within `tree`. Text tokens are
+  /// concatenated verbatim (inline-rendering semantics); block-level tag
+  /// boundaries insert a single '\n' so words never glue across them.
+  TextIndex(const TagTree& tree, const TagNode& node);
+
+  /// The concatenated plain text.
+  const std::string& text() const { return text_; }
+
+  /// Document byte offset of plain-text offset `text_offset`. Synthetic
+  /// separator bytes map to the document position of the following text.
+  /// `text_offset == text().size()` maps to the region's end.
+  size_t ToDocumentOffset(size_t text_offset) const;
+
+  /// Document positions (start-tag begin offsets) of every occurrence of
+  /// `tag` start tags within the region, ascending.
+  std::vector<size_t> SeparatorPositions(const std::string& tag) const;
+
+ private:
+  struct Segment {
+    size_t text_begin;  // offset of this segment's first byte in text_
+    size_t doc_begin;   // document offset of that byte
+    bool synthetic;     // true for inserted '\n' boundary bytes
+  };
+
+  std::string text_;
+  std::vector<Segment> segments_;
+  size_t region_end_ = 0;
+  const TagTree* tree_;
+  const TagNode* node_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_HTML_TEXT_INDEX_H_

@@ -1,0 +1,67 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Token model for the HTML lexer. The paper's tag-tree construction consumes
+// a stream of start-tags, end-tags, plain text, and discardable tokens
+// (comments, doctypes, processing instructions).
+
+#ifndef WEBRBD_HTML_TOKEN_H_
+#define WEBRBD_HTML_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace webrbd {
+
+/// One parsed tag attribute. Names are lowercased; values are unquoted but
+/// otherwise verbatim.
+struct HtmlAttribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const HtmlAttribute& other) const {
+    return name == other.name && value == other.value;
+  }
+};
+
+/// One lexical token of an HTML document.
+struct HtmlToken {
+  enum class Kind {
+    kStartTag,  ///< <name attr=...>
+    kEndTag,    ///< </name>
+    kText,      ///< plain text run (entities NOT decoded; offsets matter more)
+    kComment,   ///< <!-- ... --> or any <! ...> declaration (doctype included)
+    kProcessing ///< <? ... > processing instruction
+  };
+
+  Kind kind = Kind::kText;
+
+  /// Lowercased tag name for start/end tags; empty otherwise.
+  std::string name;
+
+  /// Attributes of a start tag.
+  std::vector<HtmlAttribute> attrs;
+
+  /// Byte range [begin, end) of the token in the source document. Synthetic
+  /// tokens (inserted missing end-tags) carry a zero-width range at their
+  /// insertion point.
+  size_t begin = 0;
+  size_t end = 0;
+
+  /// Verbatim text for kText tokens.
+  std::string text;
+
+  /// True for XML-style self-closing start tags (<br/>).
+  bool self_closing = false;
+
+  /// True for end-tags synthesized by the tree builder (the paper's
+  /// "inserted missing end-tags").
+  bool synthetic = false;
+
+  bool IsTag() const {
+    return kind == Kind::kStartTag || kind == Kind::kEndTag;
+  }
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_HTML_TOKEN_H_

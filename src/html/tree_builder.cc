@@ -1,0 +1,210 @@
+#include "html/tree_builder.h"
+
+#include <map>
+#include <string>
+
+#include "html/lexer.h"
+
+namespace webrbd {
+
+namespace {
+
+// --- Step 2: balance the token stream -------------------------------------
+
+struct OpenTag {
+  std::string name;
+  size_t token_index;  // index of the start tag in the filtered stream
+};
+
+// Index of the first surviving tag token after `index`, or tokens.size().
+// Useless (discarded) tags do not count: the paper eliminates them in the
+// same pass, so regions extend past them.
+size_t NextTagIndex(const std::vector<HtmlToken>& tokens,
+                    const std::vector<bool>& discard, size_t index) {
+  for (size_t i = index + 1; i < tokens.size(); ++i) {
+    if (tokens[i].IsTag() && !discard[i]) return i;
+  }
+  return tokens.size();
+}
+
+HtmlToken SyntheticEndTag(const std::vector<HtmlToken>& tokens,
+                          const std::string& name, size_t insert_before) {
+  HtmlToken token;
+  token.kind = HtmlToken::Kind::kEndTag;
+  token.name = name;
+  token.synthetic = true;
+  size_t offset = insert_before < tokens.size() ? tokens[insert_before].begin
+                  : tokens.empty()              ? 0
+                                   : tokens.back().end;
+  token.begin = offset;
+  token.end = offset;
+  return token;
+}
+
+// Implements the paper's Step 2 on the token stream: drops useless tokens
+// and inserts missing end tags so that the result is balanced and properly
+// nested. An unclosed tag's synthesized end-tag is placed just before the
+// next tag after its start-tag, which is exactly the paper's region rule.
+std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
+  // Discard comments / declarations / processing instructions up front
+  // (the paper's "useless" <!... tags), and expand self-closing tags.
+  std::vector<HtmlToken> tokens;
+  tokens.reserve(raw.size());
+  for (HtmlToken& token : raw) {
+    if (token.kind == HtmlToken::Kind::kComment ||
+        token.kind == HtmlToken::Kind::kProcessing) {
+      continue;
+    }
+    if (token.kind == HtmlToken::Kind::kStartTag && token.self_closing) {
+      HtmlToken end;
+      end.kind = HtmlToken::Kind::kEndTag;
+      end.name = token.name;
+      end.synthetic = true;
+      end.begin = token.end;
+      end.end = token.end;
+      token.self_closing = false;
+      tokens.push_back(std::move(token));
+      tokens.push_back(std::move(end));
+      continue;
+    }
+    tokens.push_back(std::move(token));
+  }
+
+  std::vector<OpenTag> stack;
+  // insert_before token index -> synthesized end tags (in close order).
+  std::map<size_t, std::vector<HtmlToken>> insertions;
+  std::vector<bool> discard(tokens.size(), false);
+
+  auto close_unmatched = [&](const OpenTag& open) {
+    size_t at = NextTagIndex(tokens, discard, open.token_index);
+    insertions[at].push_back(SyntheticEndTag(tokens, open.name, at));
+  };
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const HtmlToken& token = tokens[i];
+    if (token.kind == HtmlToken::Kind::kStartTag) {
+      stack.push_back(OpenTag{token.name, i});
+    } else if (token.kind == HtmlToken::Kind::kEndTag) {
+      // Find the matching start tag on the stack.
+      int match = -1;
+      for (int s = static_cast<int>(stack.size()) - 1; s >= 0; --s) {
+        if (stack[s].name == token.name) {
+          match = s;
+          break;
+        }
+      }
+      if (match < 0) {
+        discard[i] = true;  // end tag with no corresponding start: useless
+        continue;
+      }
+      // Pop everything above the match, synthesizing their end tags.
+      for (int s = static_cast<int>(stack.size()) - 1; s > match; --s) {
+        close_unmatched(stack[s]);
+      }
+      stack.resize(static_cast<size_t>(match));
+    }
+  }
+  // Tags still open at end of input.
+  for (int s = static_cast<int>(stack.size()) - 1; s >= 0; --s) {
+    close_unmatched(stack[s]);
+  }
+
+  // Merge: emit synthesized ends scheduled before each index, then the
+  // surviving original token.
+  std::vector<HtmlToken> balanced;
+  balanced.reserve(tokens.size() + insertions.size());
+  for (size_t i = 0; i <= tokens.size(); ++i) {
+    auto it = insertions.find(i);
+    if (it != insertions.end()) {
+      for (HtmlToken& end : it->second) balanced.push_back(std::move(end));
+    }
+    if (i < tokens.size() && !discard[i]) {
+      balanced.push_back(std::move(tokens[i]));
+    }
+  }
+  return balanced;
+}
+
+// --- Step 3: build the tree from the balanced stream ----------------------
+
+Result<std::unique_ptr<TagNode>> BuildFromBalanced(
+    const std::vector<HtmlToken>& tokens, size_t document_size) {
+  auto root = std::make_unique<TagNode>();
+  root->name = "#document";
+  root->region_begin = 0;
+  root->region_end = document_size;
+  root->token_begin = 0;
+  root->token_end = tokens.empty() ? 0 : tokens.size() - 1;
+
+  std::vector<TagNode*> stack = {root.get()};
+  TagNode* last_closed = nullptr;
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const HtmlToken& token = tokens[i];
+    switch (token.kind) {
+      case HtmlToken::Kind::kStartTag: {
+        auto node = std::make_unique<TagNode>();
+        node->name = token.name;
+        node->attrs = token.attrs;
+        node->region_begin = token.begin;
+        node->token_begin = i;
+        node->parent = stack.back();
+        TagNode* raw = node.get();
+        stack.back()->children.push_back(std::move(node));
+        stack.push_back(raw);
+        last_closed = nullptr;
+        break;
+      }
+      case HtmlToken::Kind::kEndTag: {
+        if (stack.size() < 2 || stack.back()->name != token.name) {
+          return Status::Internal(
+              "tree builder: balanced stream violated nesting at token " +
+              std::to_string(i) + " </" + token.name + ">");
+        }
+        TagNode* node = stack.back();
+        stack.pop_back();
+        node->region_end = token.end;
+        node->token_end = i;
+        node->end_tag_synthesized = token.synthetic;
+        last_closed = node;
+        break;
+      }
+      case HtmlToken::Kind::kText: {
+        // "I": text between a start tag and the next tag goes to the node
+        // just opened; "O": text after an end tag goes to the node just
+        // closed.
+        if (last_closed != nullptr) {
+          last_closed->tail_text += token.text;
+        } else if (stack.back()->children.empty()) {
+          stack.back()->inner_text += token.text;
+        } else {
+          // Text between siblings with no intervening close (defensive;
+          // unreachable with a balanced stream).
+          stack.back()->children.back()->tail_text += token.text;
+        }
+        break;
+      }
+      case HtmlToken::Kind::kComment:
+      case HtmlToken::Kind::kProcessing:
+        return Status::Internal("tree builder: comment survived balancing");
+    }
+  }
+  if (stack.size() != 1) {
+    return Status::Internal("tree builder: unclosed nodes after balancing");
+  }
+  return root;
+}
+
+}  // namespace
+
+Result<TagTree> BuildTagTree(std::string_view document) {
+  auto lexed = LexHtml(document);
+  if (!lexed.ok()) return lexed.status();
+  std::vector<HtmlToken> balanced = BalanceTokens(std::move(lexed).value());
+  auto root = BuildFromBalanced(balanced, document.size());
+  if (!root.ok()) return root.status();
+  return TagTree(std::move(root).value(), std::move(balanced),
+                 std::string(document));
+}
+
+}  // namespace webrbd

@@ -1,0 +1,32 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The paper's Appendix A Tag-Tree Construction algorithm:
+//   Step 1  lex the document (html/lexer.h does this pass);
+//   Step 2  discard "useless" tags (comments / declarations, and end-tags
+//           with no corresponding start-tag) and insert every missing
+//           end-tag — an unclosed start-tag's region ends just before the
+//           next tag in the document;
+//   Step 3  build the tag tree from the now-balanced stream.
+//
+// The paper rewrites the document text between steps; we rewrite the token
+// stream instead, which is equivalent and avoids the copy. The whole
+// pipeline is O(n) in document length.
+
+#ifndef WEBRBD_HTML_TREE_BUILDER_H_
+#define WEBRBD_HTML_TREE_BUILDER_H_
+
+#include <string_view>
+
+#include "html/tag_tree.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// Builds the tag tree of `document`. Never fails on malformed markup (the
+/// algorithm is specified to repair it); only internal invariant violations
+/// produce an error.
+Result<TagTree> BuildTagTree(std::string_view document);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_HTML_TREE_BUILDER_H_

@@ -1,0 +1,296 @@
+#include "ontology/bundled.h"
+
+#include "gen/corpora.h"
+#include "ontology/parser.h"
+#include "util/string_util.h"
+
+namespace webrbd {
+
+namespace {
+
+// Renders a corpus list as one or more "  lexicon a, b, c" DSL lines.
+std::string LexiconLines(const std::vector<std::string>& entries) {
+  std::string out;
+  std::string line;
+  for (const std::string& entry : entries) {
+    if (line.size() + entry.size() > 70 && !line.empty()) {
+      out += "  lexicon " + line + "\n";
+      line.clear();
+    }
+    if (!line.empty()) line += ", ";
+    line += entry;
+  }
+  if (!line.empty()) out += "  lexicon " + line + "\n";
+  return out;
+}
+
+std::string AllCarModels() {
+  std::vector<std::string> models;
+  for (const std::string& make : gen::CarMakes()) {
+    for (const std::string& model : gen::ModelsOf(make)) {
+      models.push_back(model);
+    }
+  }
+  return LexiconLines(models);
+}
+
+std::string ObituaryDsl() {
+  std::string dsl = R"(ontology Obituary
+entity Deceased
+
+objectset DeceasedName
+  cardinality one-to-one
+  type name
+  pattern [A-Z][a-z]+ [A-Z]\. [A-Z][a-z]+
+end
+
+objectset DeathDate
+  cardinality functional
+  type date
+  keyword died on
+  keyword passed away on
+  pattern (January|February|March|April|May|June|July|August|September|October|November|December) [0-9]{1,2}, [0-9]{4}
+end
+
+objectset BirthDate
+  cardinality functional
+  type date
+  keyword was born
+  pattern (January|February|March|April|May|June|July|August|September|October|November|December) [0-9]{1,2}, [0-9]{4}
+end
+
+objectset FuneralDate
+  cardinality functional
+  type date
+  keyword funeral services
+  keyword services will be conducted
+  keyword graveside services
+  pattern (January|February|March|April|May|June|July|August|September|October|November|December) [0-9]{1,2}, [0-9]{4}
+end
+
+objectset Age
+  cardinality functional
+  type number
+  keyword age
+  pattern \bage [0-9]{1,3}\b
+end
+
+objectset IntermentPlace
+  cardinality functional
+  type place
+  keyword interment
+  pattern \bin [A-Z][A-Za-z ]+(Cemetery|Memorial Park|Memorial Gardens)\b
+end
+
+
+objectset Mortuary
+  cardinality functional
+  type business
+)";
+  dsl += LexiconLines(gen::Mortuaries());
+  dsl += R"(end
+
+objectset SurvivorName
+  cardinality many
+  type name
+  keyword survived by
+end
+)";
+  return dsl;
+}
+
+std::string CarAdDsl() {
+  std::string dsl = R"(ontology CarAd
+entity Car
+
+objectset Mileage
+  cardinality functional
+  type mileage
+  keyword miles
+  pattern \b[0-9][0-9,]*,000 miles\b
+end
+
+objectset Year
+  cardinality functional
+  type year
+  pattern \b19[6-9][0-9]\b
+end
+
+objectset Make
+  cardinality functional
+  type make
+)";
+  dsl += LexiconLines(gen::CarMakes());
+  dsl += R"(end
+
+objectset Model
+  cardinality functional
+  type model
+)";
+  dsl += AllCarModels();
+  dsl += R"(end
+
+objectset Price
+  cardinality functional
+  type money
+  pattern \$[0-9][0-9,]*
+end
+
+objectset PhoneNr
+  cardinality functional
+  type phone
+  pattern \b[0-9]{3}-[0-9]{4}\b
+end
+
+objectset Color
+  cardinality functional
+  type color
+)";
+  dsl += LexiconLines(gen::CarColors());
+  dsl += R"(end
+
+objectset Feature
+  cardinality many
+  type feature
+)";
+  dsl += LexiconLines(gen::CarFeatures());
+  dsl += "end\n";
+  return dsl;
+}
+
+std::string JobAdDsl() {
+  std::string dsl = R"(ontology ComputerJobAd
+entity Job
+
+objectset Experience
+  cardinality functional
+  type duration
+  keyword years experience
+  keyword years of experience
+  pattern \b[0-9]{1,2} years experience\b
+end
+
+objectset Degree
+  cardinality functional
+  type degree
+  keyword degree
+  pattern \b(BS|MS|BA|technical) degree\b
+end
+
+objectset Salary
+  cardinality functional
+  type money
+  keyword salary
+  keyword per year
+  pattern \$[0-9][0-9,]*\b
+end
+
+objectset JobTitle
+  cardinality functional
+  type title
+)";
+  dsl += LexiconLines(gen::JobTitles());
+  dsl += R"(end
+
+objectset Company
+  cardinality functional
+  type company
+  pattern [A-Z][A-Za-z]+ (Systems|Technologies|Consulting|Solutions|Software|Computing|Associates|Group|Corporation)
+end
+
+objectset ContactPhone
+  cardinality functional
+  type phone
+  pattern \b[0-9]{3}-[0-9]{4}\b
+end
+
+objectset Skill
+  cardinality many
+  type skill
+)";
+  dsl += LexiconLines(gen::Skills());
+  dsl += "end\n";
+  return dsl;
+}
+
+std::string CourseDsl() {
+  std::string dsl = R"(ontology UniversityCourse
+entity Course
+
+objectset Credits
+  cardinality functional
+  type number
+  keyword credit hours
+  keyword credits
+  pattern \b[0-9] credit hours\b
+end
+
+objectset Instructor
+  cardinality functional
+  type name
+  keyword instructor
+  pattern \bInstructor: [A-Z][a-z]+\b
+end
+
+objectset Prerequisite
+  cardinality functional
+  type code
+  keyword prerequisite
+  pattern \b[A-Z]{2,5} [0-9]{3}\b
+end
+
+objectset Room
+  cardinality functional
+  type room
+  keyword room
+  pattern \bRoom [0-9]{3}\b
+end
+
+objectset CourseCode
+  cardinality one-to-one
+  type code
+  pattern \b[A-Z]{2,5} [0-9]{3}\b
+end
+
+objectset MeetingTime
+  cardinality functional
+  type time
+  pattern \b[0-9]{1,2}:[0-9]{2}\b
+end
+
+objectset Days
+  cardinality functional
+  type days
+)";
+  dsl += LexiconLines(gen::WeekdayPatterns());
+  dsl += "end\n";
+  return dsl;
+}
+
+}  // namespace
+
+std::string DomainName(Domain domain) {
+  switch (domain) {
+    case Domain::kObituaries: return "obituaries";
+    case Domain::kCarAds: return "car advertisements";
+    case Domain::kJobAds: return "computer job advertisements";
+    case Domain::kCourses: return "university course descriptions";
+  }
+  return "unknown";
+}
+
+std::string BundledOntologyDsl(Domain domain) {
+  switch (domain) {
+    case Domain::kObituaries: return ObituaryDsl();
+    case Domain::kCarAds: return CarAdDsl();
+    case Domain::kJobAds: return JobAdDsl();
+    case Domain::kCourses: return CourseDsl();
+  }
+  return "";
+}
+
+Result<Ontology> BundledOntology(Domain domain) {
+  return ParseOntology(BundledOntologyDsl(domain));
+}
+
+}  // namespace webrbd

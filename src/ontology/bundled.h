@@ -1,0 +1,41 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The four application ontologies of the paper's experiments: obituaries,
+// car advertisements, computer job advertisements, and university course
+// descriptions (Sections 2 and 6). Each is authored in the ontology DSL
+// (with lexicons drawn from src/gen/corpora.h, the same lists the synthetic
+// document generator renders from) and parsed through ParseOntology, so the
+// bundled ontologies exercise the full Figure 1 "Ontology Parser" path.
+
+#ifndef WEBRBD_ONTOLOGY_BUNDLED_H_
+#define WEBRBD_ONTOLOGY_BUNDLED_H_
+
+#include "ontology/model.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// The paper's four application areas.
+enum class Domain {
+  kObituaries,
+  kCarAds,
+  kJobAds,
+  kCourses,
+};
+
+/// All domains, in the paper's presentation order.
+inline constexpr Domain kAllDomains[] = {Domain::kObituaries, Domain::kCarAds,
+                                         Domain::kJobAds, Domain::kCourses};
+
+/// Human-readable domain name ("obituaries", ...).
+std::string DomainName(Domain domain);
+
+/// DSL source of the bundled ontology for `domain`.
+std::string BundledOntologyDsl(Domain domain);
+
+/// Parses and returns the bundled ontology for `domain`.
+Result<Ontology> BundledOntology(Domain domain);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_ONTOLOGY_BUNDLED_H_

@@ -1,0 +1,53 @@
+#include "ontology/db_scheme.h"
+
+namespace webrbd {
+
+DatabaseScheme GenerateDatabaseScheme(const Ontology& ontology) {
+  DatabaseScheme scheme;
+
+  std::vector<db::Column> entity_columns;
+  entity_columns.push_back(
+      db::Column{"id", db::ValueType::kInt64, /*nullable=*/false});
+  for (const ObjectSet& object_set : ontology.object_sets()) {
+    switch (object_set.cardinality) {
+      case Cardinality::kOneToOne:
+      case Cardinality::kFunctional:
+        entity_columns.push_back(db::Column{object_set.name,
+                                            db::ValueType::kString,
+                                            /*nullable=*/true});
+        break;
+      case Cardinality::kMany: {
+        std::vector<db::Column> columns = {
+            db::Column{"entity_id", db::ValueType::kInt64, false},
+            db::Column{"value", db::ValueType::kString, false},
+        };
+        scheme.multivalue_tables.emplace_back(
+            ontology.entity_name() + "_" + object_set.name,
+            std::move(columns));
+        break;
+      }
+    }
+  }
+  scheme.entity_table =
+      db::Schema(ontology.entity_name(), std::move(entity_columns));
+  return scheme;
+}
+
+Result<db::Catalog> DatabaseScheme::CreateCatalog() const {
+  db::Catalog catalog;
+  auto created = catalog.CreateTable(entity_table);
+  if (!created.ok()) return created.status();
+  for (const db::Schema& schema : multivalue_tables) {
+    auto table = catalog.CreateTable(schema);
+    if (!table.ok()) return table.status();
+  }
+  return catalog;
+}
+
+std::vector<const db::Schema*> DatabaseScheme::AllSchemas() const {
+  std::vector<const db::Schema*> all = {&entity_table};
+  for (const db::Schema& schema : multivalue_tables) all.push_back(&schema);
+  return all;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,39 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The "Database Description" output of Figure 1's Ontology Parser: a
+// relational scheme generated from the ontology's cardinality constraints.
+
+#ifndef WEBRBD_ONTOLOGY_DB_SCHEME_H_
+#define WEBRBD_ONTOLOGY_DB_SCHEME_H_
+
+#include <vector>
+
+#include "db/catalog.h"
+#include "db/schema.h"
+#include "ontology/model.h"
+
+namespace webrbd {
+
+/// The generated relational scheme:
+///  - one entity table named after the entity of interest, with an `id`
+///    key column plus one nullable STRING column per one-to-one /
+///    functional object set (nullable because extraction may miss values);
+///  - one auxiliary table per many-valued object set, with (entity_id,
+///    value) columns.
+struct DatabaseScheme {
+  db::Schema entity_table;
+  std::vector<db::Schema> multivalue_tables;
+
+  /// Instantiates every table into a fresh catalog.
+  Result<db::Catalog> CreateCatalog() const;
+
+  /// All schemas, entity table first.
+  std::vector<const db::Schema*> AllSchemas() const;
+};
+
+/// Generates the scheme for `ontology`.
+DatabaseScheme GenerateDatabaseScheme(const Ontology& ontology);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_ONTOLOGY_DB_SCHEME_H_

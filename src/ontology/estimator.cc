@@ -1,0 +1,43 @@
+#include "ontology/estimator.h"
+
+namespace webrbd {
+
+Result<std::shared_ptr<OntologyRecordCountEstimator>>
+OntologyRecordCountEstimator::Create(const Ontology& ontology) {
+  auto compiled = MatchingRuleSet::Compile(ontology);
+  if (!compiled.ok()) return compiled.status();
+
+  std::shared_ptr<OntologyRecordCountEstimator> estimator(
+      new OntologyRecordCountEstimator());
+  estimator->rules_ = std::move(compiled).value();
+
+  for (const ObjectSet* object_set : ontology.RecordIdentifyingFields()) {
+    Field field;
+    field.rule = estimator->rules_.Find(object_set->name);
+    field.use_keywords = object_set->frame.HasKeywords();
+    estimator->fields_.push_back(field);
+    estimator->field_names_.push_back(object_set->name);
+  }
+  return estimator;
+}
+
+std::optional<double> OntologyRecordCountEstimator::EstimateRecordCount(
+    std::string_view plain_text) const {
+  if (fields_.size() < 3) return std::nullopt;  // paper: at least 3 fields
+  double total = 0.0;
+  for (const Field& field : fields_) {
+    total += static_cast<double>(
+        field.use_keywords ? field.rule->CountKeywordMatches(plain_text)
+                           : field.rule->CountValueMatches(plain_text));
+  }
+  return total / static_cast<double>(fields_.size());
+}
+
+Result<std::shared_ptr<const RecordCountEstimator>> MakeEstimatorForOntology(
+    const Ontology& ontology) {
+  auto estimator = OntologyRecordCountEstimator::Create(ontology);
+  if (!estimator.ok()) return estimator.status();
+  return std::shared_ptr<const RecordCountEstimator>(std::move(estimator).value());
+}
+
+}  // namespace webrbd

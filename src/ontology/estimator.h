@@ -1,0 +1,52 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_ONTOLOGY_ESTIMATOR_H_
+#define WEBRBD_ONTOLOGY_ESTIMATOR_H_
+
+#include <memory>
+
+#include "core/om_heuristic.h"
+#include "ontology/matching_rules.h"
+#include "ontology/model.h"
+
+namespace webrbd {
+
+/// Production RecordCountEstimator backing the OM heuristic (Section 4.5):
+/// counts indications of each record-identifying field in the plain text
+/// and averages the counts into a record-count estimate.
+class OntologyRecordCountEstimator : public RecordCountEstimator {
+ public:
+  /// Fails when the ontology's data frames do not compile.
+  static Result<std::shared_ptr<OntologyRecordCountEstimator>> Create(
+      const Ontology& ontology);
+
+  std::optional<double> EstimateRecordCount(
+      std::string_view plain_text) const override;
+
+  /// The record-identifying object-set names actually used, best first.
+  const std::vector<std::string>& field_names() const { return field_names_; }
+
+ private:
+  OntologyRecordCountEstimator() = default;
+
+  // For each field: prefer keyword counts (the paper's "indication that the
+  // value exists"); fall back to constant-value counts.
+  struct Field {
+    const CompiledObjectSetRule* rule;
+    bool use_keywords;
+  };
+
+  MatchingRuleSet rules_;
+  std::vector<Field> fields_;
+  std::vector<std::string> field_names_;
+};
+
+/// Convenience: builds the estimator and wires it into DiscoveryOptions-
+/// compatible form. Returns nullptr (OM abstains) when the ontology has too
+/// few record-identifying fields.
+Result<std::shared_ptr<const RecordCountEstimator>> MakeEstimatorForOntology(
+    const Ontology& ontology);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_ONTOLOGY_ESTIMATOR_H_

@@ -1,0 +1,83 @@
+#include "ontology/matching_rules.h"
+
+#include "util/string_util.h"
+
+namespace webrbd {
+
+std::string KeywordPhraseToPattern(std::string_view phrase) {
+  std::string pattern = "\\b";
+  bool pending_gap = false;
+  for (char c : phrase) {
+    if (IsAsciiSpace(c)) {
+      pending_gap = true;
+      continue;
+    }
+    if (pending_gap) {
+      pattern += "\\s+";
+      pending_gap = false;
+    }
+    if (IsAsciiAlnum(c)) {
+      pattern.push_back(c);
+    } else {
+      pattern.push_back('\\');
+      pattern.push_back(c);
+    }
+  }
+  pattern += "\\b";
+  return pattern;
+}
+
+size_t CompiledObjectSetRule::CountKeywordMatches(std::string_view text) const {
+  size_t count = 0;
+  for (const Regex& regex : keyword_regexes) count += regex.CountMatches(text);
+  return count;
+}
+
+size_t CompiledObjectSetRule::CountValueMatches(std::string_view text) const {
+  size_t count = 0;
+  for (const Regex& regex : value_regexes) count += regex.CountMatches(text);
+  count += value_lexicon.CountMatches(text);
+  return count;
+}
+
+Result<MatchingRuleSet> MatchingRuleSet::Compile(const Ontology& ontology) {
+  MatchingRuleSet set;
+  RegexOptions ci;
+  ci.case_insensitive = true;
+  for (const ObjectSet& object_set : ontology.object_sets()) {
+    CompiledObjectSetRule rule;
+    rule.object_set = object_set.name;
+    rule.cardinality = object_set.cardinality;
+    for (const std::string& keyword : object_set.frame.keywords) {
+      auto regex = Regex::Compile(KeywordPhraseToPattern(keyword), ci);
+      if (!regex.ok()) {
+        return Status::ParseError("object set " + object_set.name +
+                                  ", keyword '" + keyword +
+                                  "': " + regex.status().message());
+      }
+      rule.keyword_regexes.push_back(std::move(regex).value());
+    }
+    for (const std::string& pattern : object_set.frame.value_patterns) {
+      auto regex = Regex::Compile(pattern, ci);
+      if (!regex.ok()) {
+        return Status::ParseError("object set " + object_set.name +
+                                  ", pattern '" + pattern +
+                                  "': " + regex.status().message());
+      }
+      rule.value_regexes.push_back(std::move(regex).value());
+    }
+    rule.value_lexicon = Lexicon(object_set.frame.lexicon);
+    set.rules_.push_back(std::move(rule));
+  }
+  return set;
+}
+
+const CompiledObjectSetRule* MatchingRuleSet::Find(
+    const std::string& object_set) const {
+  for (const CompiledObjectSetRule& rule : rules_) {
+    if (rule.object_set == object_set) return &rule;
+  }
+  return nullptr;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,64 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The "Constant/Keyword Matching Rules" of Figure 1: each object set's data
+// frame compiled to executable matchers (regexes + lexicons).
+
+#ifndef WEBRBD_ONTOLOGY_MATCHING_RULES_H_
+#define WEBRBD_ONTOLOGY_MATCHING_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "ontology/model.h"
+#include "text/lexicon.h"
+#include "text/regex.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// What kind of evidence a match represents.
+enum class MatchKind {
+  kKeyword,   ///< a keyword phrase indicating the field's presence
+  kConstant,  ///< an actual field value (pattern or lexicon hit)
+};
+
+/// Compiled matchers for one object set.
+struct CompiledObjectSetRule {
+  std::string object_set;
+  Cardinality cardinality = Cardinality::kMany;
+
+  std::vector<Regex> keyword_regexes;  ///< word-bounded, case-insensitive
+  std::vector<Regex> value_regexes;    ///< case-insensitive
+  Lexicon value_lexicon;
+
+  /// Count of keyword occurrences in `text`.
+  size_t CountKeywordMatches(std::string_view text) const;
+
+  /// Count of constant-value occurrences in `text` (patterns + lexicon).
+  size_t CountValueMatches(std::string_view text) const;
+};
+
+/// All compiled rules of an ontology.
+class MatchingRuleSet {
+ public:
+  /// Compiles every data frame; fails on an invalid value pattern, naming
+  /// the offending object set.
+  static Result<MatchingRuleSet> Compile(const Ontology& ontology);
+
+  const std::vector<CompiledObjectSetRule>& rules() const { return rules_; }
+
+  /// Rule for `object_set`, or nullptr.
+  const CompiledObjectSetRule* Find(const std::string& object_set) const;
+
+ private:
+  std::vector<CompiledObjectSetRule> rules_;
+};
+
+/// Turns a keyword phrase into a word-bounded, whitespace-flexible,
+/// case-insensitive regex source (e.g. "died on" ->
+/// "\bdied\s+on\b"). Exposed for tests.
+std::string KeywordPhraseToPattern(std::string_view phrase);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_ONTOLOGY_MATCHING_RULES_H_

@@ -1,0 +1,98 @@
+#include "ontology/model.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace webrbd {
+
+const ObjectSet* Ontology::Find(const std::string& name) const {
+  for (const ObjectSet& object_set : object_sets_) {
+    if (object_set.name == name) return &object_set;
+  }
+  return nullptr;
+}
+
+std::vector<const ObjectSet*> Ontology::RecordIdentifyingFields(
+    int min_fields) const {
+  // Value types appearing in more than one object set cannot identify
+  // records by value alone (Section 4.5's date example).
+  std::map<std::string, int> type_usage;
+  for (const ObjectSet& object_set : object_sets_) {
+    if (!object_set.frame.value_type.empty()) {
+      ++type_usage[object_set.frame.value_type];
+    }
+  }
+  auto shared_type = [&](const ObjectSet& object_set) {
+    if (object_set.frame.value_type.empty()) return false;
+    return type_usage.at(object_set.frame.value_type) > 1;
+  };
+
+  // Order: (one-to-one before functional) x (keywords before values),
+  // skipping value-identified fields of shared type.
+  std::vector<const ObjectSet*> ordered;
+  for (Cardinality group : {Cardinality::kOneToOne, Cardinality::kFunctional}) {
+    for (bool want_keywords : {true, false}) {
+      for (const ObjectSet& object_set : object_sets_) {
+        if (object_set.cardinality != group) continue;
+        if (object_set.frame.HasKeywords() != want_keywords) continue;
+        if (!want_keywords) {
+          if (!object_set.frame.HasValueRecognizers()) continue;
+          if (shared_type(object_set)) continue;
+        }
+        ordered.push_back(&object_set);
+      }
+    }
+  }
+
+  // At least `min_fields`, no more than 20% of the object sets (but never
+  // below min_fields — the paper wants a usable average).
+  if (static_cast<int>(ordered.size()) < min_fields) return {};
+  const int cap = std::max(
+      min_fields,
+      static_cast<int>(0.20 * static_cast<double>(object_sets_.size())));
+  if (static_cast<int>(ordered.size()) > cap) {
+    ordered.resize(static_cast<size_t>(cap));
+  }
+  return ordered;
+}
+
+Status Ontology::Validate() const {
+  if (name_.empty()) {
+    return Status::InvalidArgument("ontology name must not be empty");
+  }
+  if (entity_name_.empty()) {
+    return Status::InvalidArgument("ontology entity must not be empty");
+  }
+  if (object_sets_.empty()) {
+    return Status::InvalidArgument("ontology has no object sets");
+  }
+  std::set<std::string> seen;
+  for (const ObjectSet& object_set : object_sets_) {
+    if (object_set.name.empty()) {
+      return Status::InvalidArgument("object set with empty name");
+    }
+    if (!seen.insert(object_set.name).second) {
+      return Status::InvalidArgument("duplicate object set: " +
+                                     object_set.name);
+    }
+    if (!object_set.frame.HasKeywords() &&
+        !object_set.frame.HasValueRecognizers()) {
+      return Status::InvalidArgument(
+          "object set " + object_set.name +
+          " has no keywords, patterns, or lexicon; it can never be matched");
+    }
+  }
+  return Status::OK();
+}
+
+std::string CardinalityName(Cardinality cardinality) {
+  switch (cardinality) {
+    case Cardinality::kOneToOne: return "one-to-one";
+    case Cardinality::kFunctional: return "functional";
+    case Cardinality::kMany: return "many";
+  }
+  return "unknown";
+}
+
+}  // namespace webrbd

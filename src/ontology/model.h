@@ -1,0 +1,108 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The application ontology of the paper's Figure 1: a small conceptual
+// model (object sets related to an entity of interest, with cardinality
+// constraints) augmented with data frames — constants, keywords, and
+// lexicons that let recognizers spot field values in plain text.
+//
+// Ontologies are "narrow in breadth" (a few dozen object sets at most) and
+// the target documents "rich in data" (Section 2); the model below captures
+// exactly the information the OM heuristic and the downstream extraction
+// pipeline consume.
+
+#ifndef WEBRBD_ONTOLOGY_MODEL_H_
+#define WEBRBD_ONTOLOGY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace webrbd {
+
+/// How many values of an object set one entity instance has.
+enum class Cardinality {
+  kOneToOne,    ///< exactly one per entity (1:1 correspondence)
+  kFunctional,  ///< at most one per entity (functionally dependent)
+  kMany,        ///< zero or more per entity
+};
+
+/// Data frame: the recognizable surface forms of an object set's values.
+struct DataFrame {
+  /// Regexes matching constant values (compiled case-insensitively).
+  std::vector<std::string> value_patterns;
+
+  /// Keyword phrases indicating the field's presence ("died on",
+  /// "asking price"). Matched case-insensitively on word boundaries.
+  std::vector<std::string> keywords;
+
+  /// Closed-world value list (makes, model names, month names, ...).
+  std::vector<std::string> lexicon;
+
+  /// Value type tag ("date", "money", "name", ...). Object sets sharing a
+  /// type are excluded from value-based record identification (Section 4.5:
+  /// a date matcher cannot tell death dates from funeral dates).
+  std::string value_type;
+
+  bool HasKeywords() const { return !keywords.empty(); }
+  bool HasValueRecognizers() const {
+    return !value_patterns.empty() || !lexicon.empty();
+  }
+};
+
+/// One object set and its relationship to the entity of interest.
+struct ObjectSet {
+  std::string name;
+
+  /// Cardinality of the relationship entity -> this object set.
+  Cardinality cardinality = Cardinality::kMany;
+
+  DataFrame frame;
+};
+
+/// A complete application ontology.
+class Ontology {
+ public:
+  Ontology() = default;
+  Ontology(std::string name, std::string entity_name,
+           std::vector<ObjectSet> object_sets)
+      : name_(std::move(name)),
+        entity_name_(std::move(entity_name)),
+        object_sets_(std::move(object_sets)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// The entity of interest (e.g. "Deceased", "Car").
+  const std::string& entity_name() const { return entity_name_; }
+
+  const std::vector<ObjectSet>& object_sets() const { return object_sets_; }
+
+  /// Lookup by name; nullptr when absent.
+  const ObjectSet* Find(const std::string& name) const;
+
+  /// Section 4.5's record-identifying field selection: object sets in
+  /// one-to-one correspondence with the entity first, then functionally
+  /// dependent ones; within each group keyword-indicated fields precede
+  /// value-identified ones, and value-identified fields whose value type is
+  /// shared with another object set are skipped. The list is capped at
+  /// max(3, 20% of the object-set count); when fewer than `min_fields`
+  /// qualify the result is empty (OM must abstain).
+  std::vector<const ObjectSet*> RecordIdentifyingFields(
+      int min_fields = 3) const;
+
+  /// Structural sanity checks: non-empty names, unique object sets, every
+  /// object set recognizable by keyword, pattern, or lexicon.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::string entity_name_;
+  std::vector<ObjectSet> object_sets_;
+};
+
+/// Human-readable cardinality name.
+std::string CardinalityName(Cardinality cardinality);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_ONTOLOGY_MODEL_H_

@@ -1,0 +1,148 @@
+#include "ontology/parser.h"
+
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace webrbd {
+
+namespace {
+
+// Splits a line into (directive, argument). The argument is everything
+// after the first whitespace run, trimmed.
+std::pair<std::string, std::string> SplitDirective(std::string_view line) {
+  size_t i = 0;
+  while (i < line.size() && !IsAsciiSpace(line[i])) ++i;
+  std::string directive(line.substr(0, i));
+  while (i < line.size() && IsAsciiSpace(line[i])) ++i;
+  return {std::move(directive), std::string(StripAsciiWhitespace(line.substr(i)))};
+}
+
+Status ErrorAt(size_t line_number, std::string_view msg) {
+  return Status::ParseError("ontology DSL line " +
+                            std::to_string(line_number) + ": " +
+                            std::string(msg));
+}
+
+}  // namespace
+
+Result<Ontology> ParseOntology(std::string_view text) {
+  std::string name;
+  std::string entity;
+  std::vector<ObjectSet> object_sets;
+  ObjectSet current;
+  bool in_objectset = false;
+
+  const std::vector<std::string> lines = Split(text, '\n');
+  for (size_t n = 0; n < lines.size(); ++n) {
+    const size_t line_number = n + 1;
+    std::string_view line = lines[n];
+    // Strip comments ('#' outside of nothing special; patterns rarely need
+    // a literal '#'; escape as [#] if they do).
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = StripAsciiWhitespace(line);
+    if (line.empty()) continue;
+
+    auto [directive, argument] = SplitDirective(line);
+
+    if (directive == "ontology") {
+      if (in_objectset) return ErrorAt(line_number, "'ontology' inside objectset");
+      if (!name.empty()) return ErrorAt(line_number, "duplicate 'ontology'");
+      if (argument.empty()) return ErrorAt(line_number, "'ontology' needs a name");
+      name = argument;
+    } else if (directive == "entity") {
+      if (in_objectset) return ErrorAt(line_number, "'entity' inside objectset");
+      if (!entity.empty()) return ErrorAt(line_number, "duplicate 'entity'");
+      if (argument.empty()) return ErrorAt(line_number, "'entity' needs a name");
+      entity = argument;
+    } else if (directive == "objectset") {
+      if (in_objectset) {
+        return ErrorAt(line_number, "missing 'end' before new objectset");
+      }
+      if (argument.empty()) {
+        return ErrorAt(line_number, "'objectset' needs a name");
+      }
+      current = ObjectSet();
+      current.name = argument;
+      in_objectset = true;
+    } else if (directive == "end") {
+      if (!in_objectset) return ErrorAt(line_number, "'end' outside objectset");
+      object_sets.push_back(std::move(current));
+      in_objectset = false;
+    } else if (directive == "cardinality") {
+      if (!in_objectset) {
+        return ErrorAt(line_number, "'cardinality' outside objectset");
+      }
+      if (argument == "one-to-one") {
+        current.cardinality = Cardinality::kOneToOne;
+      } else if (argument == "functional") {
+        current.cardinality = Cardinality::kFunctional;
+      } else if (argument == "many") {
+        current.cardinality = Cardinality::kMany;
+      } else {
+        return ErrorAt(line_number,
+                       "unknown cardinality '" + argument +
+                           "' (expected one-to-one, functional, or many)");
+      }
+    } else if (directive == "type") {
+      if (!in_objectset) return ErrorAt(line_number, "'type' outside objectset");
+      current.frame.value_type = argument;
+    } else if (directive == "keyword") {
+      if (!in_objectset) {
+        return ErrorAt(line_number, "'keyword' outside objectset");
+      }
+      if (argument.empty()) return ErrorAt(line_number, "empty keyword");
+      current.frame.keywords.push_back(argument);
+    } else if (directive == "pattern") {
+      if (!in_objectset) {
+        return ErrorAt(line_number, "'pattern' outside objectset");
+      }
+      if (argument.empty()) return ErrorAt(line_number, "empty pattern");
+      current.frame.value_patterns.push_back(argument);
+    } else if (directive == "lexicon") {
+      if (!in_objectset) {
+        return ErrorAt(line_number, "'lexicon' outside objectset");
+      }
+      for (const std::string& raw : Split(argument, ',')) {
+        std::string entry(StripAsciiWhitespace(raw));
+        if (!entry.empty()) current.frame.lexicon.push_back(std::move(entry));
+      }
+    } else {
+      return ErrorAt(line_number, "unknown directive '" + directive + "'");
+    }
+  }
+  if (in_objectset) {
+    return ErrorAt(lines.size(), "unterminated objectset " + current.name);
+  }
+
+  Ontology ontology(std::move(name), std::move(entity), std::move(object_sets));
+  WEBRBD_RETURN_IF_ERROR(ontology.Validate());
+  return ontology;
+}
+
+std::string OntologyToDsl(const Ontology& ontology) {
+  std::string out = "ontology " + ontology.name() + "\n";
+  out += "entity " + ontology.entity_name() + "\n";
+  for (const ObjectSet& object_set : ontology.object_sets()) {
+    out += "\nobjectset " + object_set.name + "\n";
+    out += "  cardinality " + CardinalityName(object_set.cardinality) + "\n";
+    if (!object_set.frame.value_type.empty()) {
+      out += "  type " + object_set.frame.value_type + "\n";
+    }
+    for (const std::string& keyword : object_set.frame.keywords) {
+      out += "  keyword " + keyword + "\n";
+    }
+    for (const std::string& pattern : object_set.frame.value_patterns) {
+      out += "  pattern " + pattern + "\n";
+    }
+    for (const std::string& entry : object_set.frame.lexicon) {
+      out += "  lexicon " + entry + "\n";
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,40 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Parser for the ontology DSL — the textual form of the paper's
+// "Application Ontology" input. The Ontology Parser of Figure 1 turns this
+// into matching rules (ontology/matching_rules.h) and a database scheme
+// (ontology/db_scheme.h).
+//
+// Format (line-oriented; '#' starts a comment):
+//
+//   ontology Obituary
+//   entity Deceased
+//
+//   objectset DeathDate
+//     cardinality functional        # one-to-one | functional | many
+//     type date                     # optional value-type tag
+//     keyword died on               # repeatable
+//     keyword passed away on
+//     pattern (Jan|Feb)[a-z]* \d{1,2}, \d{4}   # repeatable; regex to EOL
+//     lexicon January, February     # repeatable; comma-separated entries
+//   end
+
+#ifndef WEBRBD_ONTOLOGY_PARSER_H_
+#define WEBRBD_ONTOLOGY_PARSER_H_
+
+#include <string_view>
+
+#include "ontology/model.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// Parses the DSL text into a validated Ontology.
+Result<Ontology> ParseOntology(std::string_view text);
+
+/// Renders an Ontology back to DSL text (round-trips through ParseOntology).
+std::string OntologyToDsl(const Ontology& ontology);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_ONTOLOGY_PARSER_H_

@@ -1,0 +1,65 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Lexicon: a dictionary of words and multi-word phrases with position-aware
+// matching over plain text. The paper's data frames pair regex-style value
+// patterns with lexicons (e.g. lists of automobile makes, given names); the
+// recognizer uses both to detect constants and keywords.
+
+#ifndef WEBRBD_TEXT_LEXICON_H_
+#define WEBRBD_TEXT_LEXICON_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace webrbd {
+
+/// A matched lexicon entry within a text.
+struct LexiconMatch {
+  size_t begin = 0;          ///< byte offset of first matched character
+  size_t end = 0;            ///< one past the last matched character
+  std::string entry;         ///< the canonical (lowercased) lexicon entry
+};
+
+/// An immutable-after-build set of words/phrases, matched case-insensitively
+/// on word boundaries. Multi-word phrases match across arbitrary runs of
+/// whitespace between their words.
+class Lexicon {
+ public:
+  Lexicon() = default;
+
+  /// Builds from entries; each entry is a word or a space-separated phrase.
+  explicit Lexicon(const std::vector<std::string>& entries);
+
+  /// Adds one word or phrase. Duplicate adds are ignored.
+  void Add(std::string_view entry);
+
+  /// Number of distinct entries.
+  size_t size() const { return entry_count_; }
+  bool empty() const { return entry_count_ == 0; }
+
+  /// True iff the given word/phrase is an entry (case-insensitive).
+  bool Contains(std::string_view entry) const;
+
+  /// Finds all non-overlapping entry occurrences, longest-phrase-first at
+  /// each position, left to right.
+  std::vector<LexiconMatch> FindAll(std::string_view text) const;
+
+  /// Number of matches (same scan as FindAll without materializing).
+  size_t CountMatches(std::string_view text) const;
+
+ private:
+  struct Phrase {
+    std::vector<std::string> words;  // lowercased
+    std::string canonical;           // words joined by single spaces
+  };
+
+  // First lowercased word -> phrases beginning with it, longest first.
+  std::unordered_map<std::string, std::vector<Phrase>> by_first_word_;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_TEXT_LEXICON_H_

@@ -1,0 +1,52 @@
+#include "text/regex.h"
+
+#include "text/regex_compiler.h"
+
+namespace webrbd {
+
+Result<Regex> Regex::Compile(std::string_view pattern, RegexOptions options) {
+  auto ast = ParseRegex(pattern, options);
+  if (!ast.ok()) return ast.status();
+  auto program = CompileRegex(**ast);
+  if (!program.ok()) return program.status();
+  return Regex(std::string(pattern), std::move(program).value());
+}
+
+bool Regex::FullMatch(std::string_view text) const {
+  return VmFullMatch(*program_, text);
+}
+
+bool Regex::PartialMatch(std::string_view text) const {
+  return VmFind(*program_, text, 0).has_value();
+}
+
+std::optional<RegexMatch> Regex::Find(std::string_view text,
+                                      size_t start) const {
+  return VmFind(*program_, text, start);
+}
+
+std::vector<RegexMatch> Regex::FindAll(std::string_view text) const {
+  std::vector<RegexMatch> matches;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    std::optional<RegexMatch> m = VmFind(*program_, text, pos);
+    if (!m.has_value()) break;
+    matches.push_back(*m);
+    pos = m->end > m->begin ? m->end : m->begin + 1;
+  }
+  return matches;
+}
+
+size_t Regex::CountMatches(std::string_view text) const {
+  size_t count = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    std::optional<RegexMatch> m = VmFind(*program_, text, pos);
+    if (!m.has_value()) break;
+    ++count;
+    pos = m->end > m->begin ? m->end : m->begin + 1;
+  }
+  return count;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,67 @@
+#include "text/regex_ast.h"
+
+namespace webrbd {
+
+std::unique_ptr<RegexNode> RegexNode::Clone() const {
+  auto copy = std::make_unique<RegexNode>();
+  copy->kind = kind;
+  copy->char_class = char_class;
+  copy->min = min;
+  copy->max = max;
+  copy->anchor = anchor;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+std::unique_ptr<RegexNode> MakeEmptyNode() {
+  auto node = std::make_unique<RegexNode>();
+  node->kind = RegexNode::Kind::kEmpty;
+  return node;
+}
+
+std::unique_ptr<RegexNode> MakeClassNode(CharClass cc) {
+  auto node = std::make_unique<RegexNode>();
+  node->kind = RegexNode::Kind::kClass;
+  node->char_class = std::move(cc);
+  return node;
+}
+
+std::unique_ptr<RegexNode> MakeConcatNode(
+    std::vector<std::unique_ptr<RegexNode>> children) {
+  if (children.empty()) return MakeEmptyNode();
+  if (children.size() == 1) return std::move(children[0]);
+  auto node = std::make_unique<RegexNode>();
+  node->kind = RegexNode::Kind::kConcat;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<RegexNode> MakeAlternateNode(
+    std::vector<std::unique_ptr<RegexNode>> children) {
+  if (children.empty()) return MakeEmptyNode();
+  if (children.size() == 1) return std::move(children[0]);
+  auto node = std::make_unique<RegexNode>();
+  node->kind = RegexNode::Kind::kAlternate;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<RegexNode> MakeRepeatNode(std::unique_ptr<RegexNode> child,
+                                          int min, int max) {
+  auto node = std::make_unique<RegexNode>();
+  node->kind = RegexNode::Kind::kRepeat;
+  node->children.push_back(std::move(child));
+  node->min = min;
+  node->max = max;
+  return node;
+}
+
+std::unique_ptr<RegexNode> MakeAnchorNode(AnchorKind anchor) {
+  auto node = std::make_unique<RegexNode>();
+  node->kind = RegexNode::Kind::kAnchor;
+  node->anchor = anchor;
+  return node;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,63 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Abstract syntax tree for the regex dialect supported by webrbd's matcher.
+// The dialect covers what the paper's data frames and keyword rules need:
+// literals, character classes, Perl escapes, alternation, grouping, greedy
+// quantifiers (including bounded repetition), and zero-width anchors.
+
+#ifndef WEBRBD_TEXT_REGEX_AST_H_
+#define WEBRBD_TEXT_REGEX_AST_H_
+
+#include <memory>
+#include <vector>
+
+#include "text/char_class.h"
+
+namespace webrbd {
+
+/// Kind of zero-width assertion.
+enum class AnchorKind {
+  kTextBegin,        ///< ^  (also matches after \n: we use multiline-off,
+                     ///<     text-begin only — documents are matched whole)
+  kTextEnd,          ///< $
+  kWordBoundary,     ///< \b
+  kNotWordBoundary,  ///< \B
+};
+
+/// One node in a regex AST.
+struct RegexNode {
+  enum class Kind {
+    kEmpty,    ///< matches the empty string
+    kClass,    ///< one byte from char_class (literals are 1-byte classes)
+    kConcat,   ///< children in sequence
+    kAlternate,///< any one child
+    kRepeat,   ///< child repeated [min, max] times; max < 0 means unbounded
+    kAnchor,   ///< zero-width assertion
+  };
+
+  Kind kind = Kind::kEmpty;
+  CharClass char_class;                            // kClass
+  std::vector<std::unique_ptr<RegexNode>> children; // kConcat / kAlternate /
+                                                    // kRepeat (exactly one)
+  int min = 0;                                     // kRepeat
+  int max = -1;                                    // kRepeat (-1 = infinity)
+  AnchorKind anchor = AnchorKind::kTextBegin;      // kAnchor
+
+  /// Deep copy, used to expand bounded repetition at compile time.
+  std::unique_ptr<RegexNode> Clone() const;
+};
+
+/// Convenience constructors.
+std::unique_ptr<RegexNode> MakeEmptyNode();
+std::unique_ptr<RegexNode> MakeClassNode(CharClass cc);
+std::unique_ptr<RegexNode> MakeConcatNode(
+    std::vector<std::unique_ptr<RegexNode>> children);
+std::unique_ptr<RegexNode> MakeAlternateNode(
+    std::vector<std::unique_ptr<RegexNode>> children);
+std::unique_ptr<RegexNode> MakeRepeatNode(std::unique_ptr<RegexNode> child,
+                                          int min, int max);
+std::unique_ptr<RegexNode> MakeAnchorNode(AnchorKind anchor);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_TEXT_REGEX_AST_H_

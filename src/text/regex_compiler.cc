@@ -1,0 +1,202 @@
+#include "text/regex_compiler.h"
+
+#include <string>
+
+namespace webrbd {
+
+namespace {
+
+// Caps the compiled program size; bounded repetition over large groups can
+// otherwise balloon.
+constexpr size_t kMaxProgramSize = 1 << 18;
+
+class Compiler {
+ public:
+  Result<RegexProgram> Compile(const RegexNode& root) {
+    WEBRBD_RETURN_IF_ERROR(Emit(root));
+    program_.insts.push_back(RegexInst{RegexInst::Op::kMatch, 0, 0, 0,
+                                       AnchorKind::kTextBegin});
+    program_.anchored_at_start = StartsAnchored(root);
+    return std::move(program_);
+  }
+
+ private:
+  int Here() const { return static_cast<int>(program_.insts.size()); }
+
+  Status CheckSize() const {
+    if (program_.insts.size() > kMaxProgramSize) {
+      return Status::InvalidArgument("regex program too large");
+    }
+    return Status::OK();
+  }
+
+  Status Emit(const RegexNode& node) {
+    WEBRBD_RETURN_IF_ERROR(CheckSize());
+    switch (node.kind) {
+      case RegexNode::Kind::kEmpty:
+        return Status::OK();
+      case RegexNode::Kind::kClass: {
+        RegexInst inst;
+        inst.op = RegexInst::Op::kClass;
+        inst.class_id = InternClass(node.char_class);
+        program_.insts.push_back(inst);
+        return Status::OK();
+      }
+      case RegexNode::Kind::kAnchor: {
+        RegexInst inst;
+        inst.op = RegexInst::Op::kAssert;
+        inst.anchor = node.anchor;
+        program_.insts.push_back(inst);
+        return Status::OK();
+      }
+      case RegexNode::Kind::kConcat: {
+        for (const auto& child : node.children) {
+          WEBRBD_RETURN_IF_ERROR(Emit(*child));
+        }
+        return Status::OK();
+      }
+      case RegexNode::Kind::kAlternate:
+        return EmitAlternate(node);
+      case RegexNode::Kind::kRepeat:
+        return EmitRepeat(node);
+    }
+    return Status::Internal("unknown regex AST node kind");
+  }
+
+  Status EmitAlternate(const RegexNode& node) {
+    // branch_1 | branch_2 | ... compiles to a chain of splits with jumps
+    // past the remaining branches.
+    std::vector<int> jump_slots;
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const bool last = i + 1 == node.children.size();
+      int split_slot = -1;
+      if (!last) {
+        split_slot = Here();
+        program_.insts.push_back(RegexInst{RegexInst::Op::kSplit, 0, 0, 0,
+                                           AnchorKind::kTextBegin});
+        program_.insts[split_slot].x = Here();
+      }
+      WEBRBD_RETURN_IF_ERROR(Emit(*node.children[i]));
+      if (!last) {
+        jump_slots.push_back(Here());
+        program_.insts.push_back(RegexInst{RegexInst::Op::kJmp, 0, 0, 0,
+                                           AnchorKind::kTextBegin});
+        program_.insts[split_slot].y = Here();
+      }
+    }
+    for (int slot : jump_slots) program_.insts[slot].x = Here();
+    return Status::OK();
+  }
+
+  Status EmitRepeat(const RegexNode& node) {
+    const RegexNode& child = *node.children[0];
+    const int min = node.min;
+    const int max = node.max;
+
+    // Mandatory copies.
+    for (int i = 0; i < min; ++i) {
+      WEBRBD_RETURN_IF_ERROR(Emit(child));
+    }
+
+    if (max < 0) {
+      // child*  ==>  L: split(body, out); body; jmp L
+      int split_slot = Here();
+      program_.insts.push_back(RegexInst{RegexInst::Op::kSplit, 0, 0, 0,
+                                         AnchorKind::kTextBegin});
+      program_.insts[split_slot].x = Here();
+      WEBRBD_RETURN_IF_ERROR(Emit(child));
+      program_.insts.push_back(RegexInst{RegexInst::Op::kJmp, split_slot, 0, 0,
+                                         AnchorKind::kTextBegin});
+      program_.insts[split_slot].y = Here();
+      return Status::OK();
+    }
+
+    // Optional copies: each gets a split that can bail to the end.
+    std::vector<int> bail_slots;
+    for (int i = min; i < max; ++i) {
+      int split_slot = Here();
+      program_.insts.push_back(RegexInst{RegexInst::Op::kSplit, 0, 0, 0,
+                                         AnchorKind::kTextBegin});
+      program_.insts[split_slot].x = Here();
+      bail_slots.push_back(split_slot);
+      WEBRBD_RETURN_IF_ERROR(Emit(child));
+    }
+    for (int slot : bail_slots) program_.insts[slot].y = Here();
+    return Status::OK();
+  }
+
+  int InternClass(const CharClass& cc) {
+    for (size_t i = 0; i < program_.classes.size(); ++i) {
+      if (program_.classes[i].ranges() == cc.ranges()) {
+        return static_cast<int>(i);
+      }
+    }
+    program_.classes.push_back(cc);
+    return static_cast<int>(program_.classes.size() - 1);
+  }
+
+  // Conservatively detects patterns that can only start matching at text
+  // begin (a leading ^ on every alternation branch).
+  static bool StartsAnchored(const RegexNode& node) {
+    switch (node.kind) {
+      case RegexNode::Kind::kAnchor:
+        return node.anchor == AnchorKind::kTextBegin;
+      case RegexNode::Kind::kConcat:
+        return !node.children.empty() && StartsAnchored(*node.children[0]);
+      case RegexNode::Kind::kAlternate: {
+        for (const auto& child : node.children) {
+          if (!StartsAnchored(*child)) return false;
+        }
+        return !node.children.empty();
+      }
+      case RegexNode::Kind::kRepeat:
+        return node.min > 0 && StartsAnchored(*node.children[0]);
+      default:
+        return false;
+    }
+  }
+
+  RegexProgram program_;
+};
+
+}  // namespace
+
+Result<RegexProgram> CompileRegex(const RegexNode& root) {
+  Compiler compiler;
+  return compiler.Compile(root);
+}
+
+std::string RegexProgram::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < insts.size(); ++i) {
+    const RegexInst& inst = insts[i];
+    out += std::to_string(i);
+    out += ": ";
+    switch (inst.op) {
+      case RegexInst::Op::kClass:
+        out += "class " + classes[inst.class_id].ToString();
+        break;
+      case RegexInst::Op::kSplit:
+        out += "split " + std::to_string(inst.x) + ", " + std::to_string(inst.y);
+        break;
+      case RegexInst::Op::kJmp:
+        out += "jmp " + std::to_string(inst.x);
+        break;
+      case RegexInst::Op::kAssert:
+        switch (inst.anchor) {
+          case AnchorKind::kTextBegin: out += "assert ^"; break;
+          case AnchorKind::kTextEnd: out += "assert $"; break;
+          case AnchorKind::kWordBoundary: out += "assert \\b"; break;
+          case AnchorKind::kNotWordBoundary: out += "assert \\B"; break;
+        }
+        break;
+      case RegexInst::Op::kMatch:
+        out += "match";
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace webrbd

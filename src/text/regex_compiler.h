@@ -1,0 +1,18 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_TEXT_REGEX_COMPILER_H_
+#define WEBRBD_TEXT_REGEX_COMPILER_H_
+
+#include "text/regex_ast.h"
+#include "text/regex_program.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// Compiles an AST into an NFA program (classic Thompson construction;
+/// bounded repetition is expanded by cloning).
+Result<RegexProgram> CompileRegex(const RegexNode& root);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_TEXT_REGEX_COMPILER_H_

@@ -1,0 +1,319 @@
+#include "text/regex_parser.h"
+
+#include <string>
+
+#include "util/string_util.h"
+
+namespace webrbd {
+
+namespace {
+
+// Keeps bounded repetition from exploding the compiled program.
+constexpr int kMaxRepeatBound = 1000;
+
+class Parser {
+ public:
+  Parser(std::string_view pattern, const RegexOptions& options)
+      : pattern_(pattern), options_(options) {}
+
+  Result<std::unique_ptr<RegexNode>> Parse() {
+    auto node = ParseAlternation();
+    if (!node.ok()) return node.status();
+    if (!AtEnd()) {
+      return Error("unbalanced ')'");
+    }
+    return node;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+  char Take() { return pattern_[pos_++]; }
+  bool TryTake(char c) {
+    if (!AtEnd() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(std::string_view msg) const {
+    std::string full = "regex parse error at offset ";
+    full += std::to_string(pos_);
+    full += " in \"";
+    full += pattern_;
+    full += "\": ";
+    full += msg;
+    return Status::ParseError(full);
+  }
+
+  Result<std::unique_ptr<RegexNode>> ParseAlternation() {
+    std::vector<std::unique_ptr<RegexNode>> branches;
+    for (;;) {
+      auto branch = ParseConcat();
+      if (!branch.ok()) return branch.status();
+      branches.push_back(std::move(branch).value());
+      if (!TryTake('|')) break;
+    }
+    return MakeAlternateNode(std::move(branches));
+  }
+
+  Result<std::unique_ptr<RegexNode>> ParseConcat() {
+    std::vector<std::unique_ptr<RegexNode>> parts;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      auto part = ParseRepeat();
+      if (!part.ok()) return part.status();
+      parts.push_back(std::move(part).value());
+    }
+    return MakeConcatNode(std::move(parts));
+  }
+
+  Result<std::unique_ptr<RegexNode>> ParseRepeat() {
+    auto atom_result = ParseAtom();
+    if (!atom_result.ok()) return atom_result.status();
+    std::unique_ptr<RegexNode> atom = std::move(atom_result).value();
+
+    for (;;) {
+      int min = 0;
+      int max = -1;
+      if (TryTake('*')) {
+        min = 0;
+        max = -1;
+      } else if (TryTake('+')) {
+        min = 1;
+        max = -1;
+      } else if (TryTake('?')) {
+        min = 0;
+        max = 1;
+      } else if (!AtEnd() && Peek() == '{') {
+        size_t save = pos_;
+        ++pos_;
+        if (!ParseBound(&min, &max)) {
+          // Not a valid bound: treat '{' as a literal, per common practice.
+          pos_ = save;
+          break;
+        }
+      } else {
+        break;
+      }
+      if (!AtEnd() && Peek() == '?') {
+        return Error("non-greedy quantifiers are not supported");
+      }
+      if (atom->kind == RegexNode::Kind::kAnchor) {
+        return Error("quantifier applied to an anchor");
+      }
+      atom = MakeRepeatNode(std::move(atom), min, max);
+    }
+    return atom;
+  }
+
+  // Parses the body of "{m}", "{m,}", or "{m,n}" after the '{'. Returns
+  // false (without consuming definitively) when the text is not a bound.
+  bool ParseBound(int* min, int* max) {
+    int m = 0;
+    bool any_digit = false;
+    while (!AtEnd() && IsAsciiDigit(Peek())) {
+      m = m * 10 + (Take() - '0');
+      any_digit = true;
+      if (m > kMaxRepeatBound) return false;
+    }
+    if (!any_digit) return false;
+    int n = m;
+    if (TryTake(',')) {
+      if (TryTake('}')) {
+        *min = m;
+        *max = -1;
+        return true;
+      }
+      n = 0;
+      bool any = false;
+      while (!AtEnd() && IsAsciiDigit(Peek())) {
+        n = n * 10 + (Take() - '0');
+        any = true;
+        if (n > kMaxRepeatBound) return false;
+      }
+      if (!any || n < m) return false;
+    }
+    if (!TryTake('}')) return false;
+    *min = m;
+    *max = n;
+    return true;
+  }
+
+  Result<std::unique_ptr<RegexNode>> ParseAtom() {
+    if (AtEnd()) return Error("expected an atom");
+    char c = Take();
+    switch (c) {
+      case '(': {
+        // Accept both (...) and (?:...); captures are not reported either way.
+        if (!AtEnd() && Peek() == '?') {
+          ++pos_;
+          if (!TryTake(':')) {
+            return Error("only (?:...) groups are supported after '(?'");
+          }
+        }
+        auto inner = ParseAlternation();
+        if (!inner.ok()) return inner.status();
+        if (!TryTake(')')) return Error("missing ')'");
+        return inner;
+      }
+      case '[':
+        return ParseClass();
+      case '.': {
+        return MakeClassNode(CharClass::AnyExceptNewline());
+      }
+      case '^':
+        return MakeAnchorNode(AnchorKind::kTextBegin);
+      case '$':
+        return MakeAnchorNode(AnchorKind::kTextEnd);
+      case '\\':
+        return ParseEscape(/*in_class=*/false);
+      case '*':
+      case '+':
+      case '?':
+        return Error("quantifier with nothing to repeat");
+      case ')':
+        return Error("unexpected ')'");
+      default:
+        return MakeClassNode(LiteralClass(static_cast<unsigned char>(c)));
+    }
+  }
+
+  CharClass LiteralClass(unsigned char c) const {
+    CharClass cc = CharClass::Single(c);
+    if (options_.case_insensitive) cc.FoldAsciiCase();
+    return cc;
+  }
+
+  // Parses an escape sequence (the '\\' is already consumed). When
+  // `in_class`, anchors are invalid and the result must be a CharClass.
+  Result<std::unique_ptr<RegexNode>> ParseEscape(bool in_class) {
+    if (AtEnd()) return Error("dangling backslash");
+    char c = Take();
+    switch (c) {
+      case 'd':
+        return MakeClassNode(CharClass::Digits());
+      case 'D': {
+        CharClass cc = CharClass::Digits();
+        cc.Negate();
+        return MakeClassNode(std::move(cc));
+      }
+      case 'w':
+        return MakeClassNode(CharClass::WordChars());
+      case 'W': {
+        CharClass cc = CharClass::WordChars();
+        cc.Negate();
+        return MakeClassNode(std::move(cc));
+      }
+      case 's':
+        return MakeClassNode(CharClass::Whitespace());
+      case 'S': {
+        CharClass cc = CharClass::Whitespace();
+        cc.Negate();
+        return MakeClassNode(std::move(cc));
+      }
+      case 'b':
+        if (in_class) return Error("\\b is invalid inside a class");
+        return MakeAnchorNode(AnchorKind::kWordBoundary);
+      case 'B':
+        if (in_class) return Error("\\B is invalid inside a class");
+        return MakeAnchorNode(AnchorKind::kNotWordBoundary);
+      case 'n':
+        return MakeClassNode(LiteralClass('\n'));
+      case 't':
+        return MakeClassNode(LiteralClass('\t'));
+      case 'r':
+        return MakeClassNode(LiteralClass('\r'));
+      case 'f':
+        return MakeClassNode(LiteralClass('\f'));
+      case 'v':
+        return MakeClassNode(LiteralClass('\v'));
+      case '0':
+        return MakeClassNode(CharClass::Single('\0'));
+      default:
+        if (IsAsciiAlnum(c)) {
+          return Error("unsupported escape");
+        }
+        // Escaped punctuation matches itself.
+        return MakeClassNode(LiteralClass(static_cast<unsigned char>(c)));
+    }
+  }
+
+  // Parses a [...] class; the '[' is already consumed.
+  Result<std::unique_ptr<RegexNode>> ParseClass() {
+    CharClass cc;
+    bool negated = TryTake('^');
+    bool first = true;
+    for (;;) {
+      if (AtEnd()) return Error("missing ']'");
+      char c = Peek();
+      if (c == ']' && !first) {
+        ++pos_;
+        break;
+      }
+      first = false;
+      CharClass piece;
+      bool piece_is_single = false;
+      unsigned char single_value = 0;
+      if (c == '\\') {
+        ++pos_;
+        auto escaped = ParseEscape(/*in_class=*/true);
+        if (!escaped.ok()) return escaped.status();
+        piece = (*escaped)->char_class;
+        if (piece.ranges().size() == 1 &&
+            piece.ranges()[0].first == piece.ranges()[0].second) {
+          piece_is_single = true;
+          single_value = piece.ranges()[0].first;
+        }
+      } else {
+        ++pos_;
+        piece_is_single = true;
+        single_value = static_cast<unsigned char>(c);
+        piece = CharClass::Single(single_value);
+      }
+
+      // Range: only valid when both ends are single characters.
+      if (piece_is_single && !AtEnd() && Peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        ++pos_;  // consume '-'
+        char hi_char = Take();
+        unsigned char hi;
+        if (hi_char == '\\') {
+          auto escaped = ParseEscape(/*in_class=*/true);
+          if (!escaped.ok()) return escaped.status();
+          const auto& r = (*escaped)->char_class.ranges();
+          if (r.size() != 1 || r[0].first != r[0].second) {
+            return Error("invalid range end in class");
+          }
+          hi = r[0].first;
+        } else {
+          hi = static_cast<unsigned char>(hi_char);
+        }
+        if (hi < single_value) return Error("reversed range in class");
+        cc.Add(single_value, hi);
+      } else {
+        cc.AddClass(piece);
+      }
+    }
+    // Fold case before negating so that e.g. case-insensitive [^a]
+    // excludes both 'a' and 'A'.
+    if (options_.case_insensitive) cc.FoldAsciiCase();
+    if (negated) cc.Negate();
+    if (cc.empty()) return Error("empty character class");
+    return MakeClassNode(std::move(cc));
+  }
+
+  std::string_view pattern_;
+  const RegexOptions& options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RegexNode>> ParseRegex(std::string_view pattern,
+                                              const RegexOptions& options) {
+  Parser parser(pattern, options);
+  return parser.Parse();
+}
+
+}  // namespace webrbd

@@ -1,0 +1,39 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#ifndef WEBRBD_TEXT_REGEX_PARSER_H_
+#define WEBRBD_TEXT_REGEX_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "text/regex_ast.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// Options controlling pattern interpretation.
+struct RegexOptions {
+  /// When true, ASCII letters match either case.
+  bool case_insensitive = false;
+};
+
+/// Parses `pattern` into an AST.
+///
+/// Supported syntax:
+///   literals, `.`
+///   escapes: \d \D \w \W \s \S, \n \t \r \f \v, \\ \. \* etc.
+///   classes: [abc], [a-z0-9], [^...], escapes inside classes
+///   grouping: (...) and (?:...) (both non-capturing; this engine reports
+///             whole-match positions only)
+///   alternation: a|b
+///   greedy quantifiers: * + ? {m} {m,} {m,n}
+///   anchors: ^ $ \b \B
+///
+/// Unsupported (rejected with ParseError): non-greedy quantifiers (`*?`),
+/// backreferences, lookaround.
+Result<std::unique_ptr<RegexNode>> ParseRegex(std::string_view pattern,
+                                              const RegexOptions& options);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_TEXT_REGEX_PARSER_H_

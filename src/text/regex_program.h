@@ -1,0 +1,50 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Compiled form of a regex: a Thompson NFA rendered as a small bytecode
+// program executed by the Pike VM in regex_vm.{h,cc}.
+
+#ifndef WEBRBD_TEXT_REGEX_PROGRAM_H_
+#define WEBRBD_TEXT_REGEX_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/char_class.h"
+#include "text/regex_ast.h"
+
+namespace webrbd {
+
+/// One NFA instruction.
+struct RegexInst {
+  enum class Op : uint8_t {
+    kClass,   ///< consume one byte in classes[class_id]; fall through
+    kSplit,   ///< fork to x (preferred) and y
+    kJmp,     ///< jump to x
+    kAssert,  ///< zero-width check of `anchor`; fall through on success
+    kMatch,   ///< accept
+  };
+
+  Op op = Op::kMatch;
+  int x = 0;         // kSplit / kJmp target
+  int y = 0;         // kSplit alternative target
+  int class_id = 0;  // kClass
+  AnchorKind anchor = AnchorKind::kTextBegin;  // kAssert
+};
+
+/// A compiled program plus its character-class table.
+struct RegexProgram {
+  std::vector<RegexInst> insts;
+  std::vector<CharClass> classes;
+
+  /// True when the pattern can only match starting at text begin (leading ^),
+  /// which lets the VM skip the scan loop.
+  bool anchored_at_start = false;
+
+  /// Human-readable disassembly for debugging and tests.
+  std::string ToString() const;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_TEXT_REGEX_PROGRAM_H_

@@ -1,0 +1,189 @@
+#include "text/regex_vm.h"
+
+#include <vector>
+
+namespace webrbd {
+
+namespace {
+
+bool IsWordByte(std::string_view text, size_t index) {
+  if (index >= text.size()) return false;
+  char c = text[index];
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool IsWordByteBefore(std::string_view text, size_t pos) {
+  return pos > 0 && IsWordByte(text, pos - 1);
+}
+
+bool AssertHolds(AnchorKind anchor, std::string_view text, size_t pos) {
+  switch (anchor) {
+    case AnchorKind::kTextBegin:
+      return pos == 0;
+    case AnchorKind::kTextEnd:
+      return pos == text.size();
+    case AnchorKind::kWordBoundary:
+      return IsWordByteBefore(text, pos) != IsWordByte(text, pos);
+    case AnchorKind::kNotWordBoundary:
+      return IsWordByteBefore(text, pos) == IsWordByte(text, pos);
+  }
+  return false;
+}
+
+// A VM thread: program counter plus the text index at which its match began.
+struct Thread {
+  int pc;
+  size_t start;
+};
+
+class ThreadList {
+ public:
+  explicit ThreadList(size_t program_size) : seen_(program_size, 0) {}
+
+  void NewGeneration() {
+    ++generation_;
+    threads_.clear();
+  }
+
+  bool Mark(int pc) {
+    if (seen_[pc] == generation_) return false;
+    seen_[pc] = generation_;
+    return true;
+  }
+
+  void Push(Thread t) { threads_.push_back(t); }
+
+  const std::vector<Thread>& threads() const { return threads_; }
+
+ private:
+  std::vector<uint64_t> seen_;
+  uint64_t generation_ = 0;
+  std::vector<Thread> threads_;
+};
+
+class PikeVm {
+ public:
+  PikeVm(const RegexProgram& program, std::string_view text)
+      : program_(program),
+        text_(text),
+        clist_(program.insts.size()),
+        nlist_(program.insts.size()) {}
+
+  // Leftmost-first search from `start`.
+  std::optional<RegexMatch> Find(size_t start) {
+    std::optional<RegexMatch> best;
+    clist_.NewGeneration();
+    for (size_t pos = start;; ++pos) {
+      // Seed a new potential match start unless one is already committed.
+      if (!best.has_value() && pos <= text_.size() &&
+          (pos == start || !program_.anchored_at_start)) {
+        AddThread(&clist_, 0, pos, pos);
+      }
+      // Stop only when no thread is alive AND no future seed can revive the
+      // search (a match is committed, the text is exhausted, or the pattern
+      // is anchored). An empty list alone is not terminal: a seed whose
+      // leading assertion failed here may succeed at a later position.
+      if (clist_.threads().empty() &&
+          (best.has_value() || pos >= text_.size() ||
+           program_.anchored_at_start)) {
+        break;
+      }
+
+      nlist_.NewGeneration();
+      const auto& threads = clist_.threads();
+      for (size_t i = 0; i < threads.size(); ++i) {
+        const Thread& t = threads[i];
+        const RegexInst& inst = program_.insts[t.pc];
+        if (inst.op == RegexInst::Op::kMatch) {
+          // Leftmost-first: this match wins over anything a lower-priority
+          // thread could produce; cut the remainder of this generation.
+          best = RegexMatch{t.start, pos};
+          break;
+        }
+        // Only kClass instructions remain (epsilon ops were resolved when
+        // the thread was added).
+        if (pos < text_.size() &&
+            program_.classes[inst.class_id].Matches(
+                static_cast<unsigned char>(text_[pos]))) {
+          AddThread(&nlist_, t.pc + 1, pos + 1, t.start);
+        }
+      }
+      std::swap(clist_, nlist_);
+      if (pos >= text_.size()) break;
+    }
+    return best;
+  }
+
+  // Anchored whole-text match: succeeds iff some thread reaches kMatch
+  // exactly at end of text.
+  bool FullMatch() {
+    clist_.NewGeneration();
+    AddThread(&clist_, 0, 0, 0);
+    for (size_t pos = 0;; ++pos) {
+      if (clist_.threads().empty()) return false;
+      nlist_.NewGeneration();
+      for (const Thread& t : clist_.threads()) {
+        const RegexInst& inst = program_.insts[t.pc];
+        if (inst.op == RegexInst::Op::kMatch) {
+          if (pos == text_.size()) return true;
+          continue;  // a partial match is not a full match; thread dies
+        }
+        if (pos < text_.size() &&
+            program_.classes[inst.class_id].Matches(
+                static_cast<unsigned char>(text_[pos]))) {
+          AddThread(&nlist_, t.pc + 1, pos + 1, 0);
+        }
+      }
+      std::swap(clist_, nlist_);
+      if (pos >= text_.size()) return false;
+    }
+  }
+
+ private:
+  // Adds pc to the list, resolving epsilon transitions (jmp/split/assert)
+  // immediately so that lists only ever hold kClass / kMatch threads.
+  void AddThread(ThreadList* list, int pc, size_t pos, size_t start) {
+    if (!list->Mark(pc)) return;
+    const RegexInst& inst = program_.insts[pc];
+    switch (inst.op) {
+      case RegexInst::Op::kJmp:
+        AddThread(list, inst.x, pos, start);
+        return;
+      case RegexInst::Op::kSplit:
+        AddThread(list, inst.x, pos, start);
+        AddThread(list, inst.y, pos, start);
+        return;
+      case RegexInst::Op::kAssert:
+        if (AssertHolds(inst.anchor, text_, pos)) {
+          AddThread(list, pc + 1, pos, start);
+        }
+        return;
+      case RegexInst::Op::kClass:
+      case RegexInst::Op::kMatch:
+        list->Push(Thread{pc, start});
+        return;
+    }
+  }
+
+  const RegexProgram& program_;
+  std::string_view text_;
+  ThreadList clist_;
+  ThreadList nlist_;
+};
+
+}  // namespace
+
+std::optional<RegexMatch> VmFind(const RegexProgram& program,
+                                 std::string_view text, size_t start) {
+  if (start > text.size()) return std::nullopt;
+  PikeVm vm(program, text);
+  return vm.Find(start);
+}
+
+bool VmFullMatch(const RegexProgram& program, std::string_view text) {
+  PikeVm vm(program, text);
+  return vm.FullMatch();
+}
+
+}  // namespace webrbd

@@ -1,0 +1,37 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Pike VM: executes a compiled RegexProgram over a text in O(len * insts)
+// worst case, with no backtracking blow-ups regardless of pattern shape.
+
+#ifndef WEBRBD_TEXT_REGEX_VM_H_
+#define WEBRBD_TEXT_REGEX_VM_H_
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "text/regex_program.h"
+
+namespace webrbd {
+
+/// A half-open [begin, end) match span within the searched text.
+struct RegexMatch {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool operator==(const RegexMatch& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// Finds the leftmost match (Perl-style leftmost-first semantics) starting
+/// at or after `start`. Returns nullopt when nothing matches.
+std::optional<RegexMatch> VmFind(const RegexProgram& program,
+                                 std::string_view text, size_t start);
+
+/// True iff the program matches the entire text.
+bool VmFullMatch(const RegexProgram& program, std::string_view text);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_TEXT_REGEX_VM_H_

@@ -1,0 +1,82 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Result<T>: a value-or-Status holder so fallible factories can return one
+// object instead of a Status plus out-parameter.
+
+#ifndef WEBRBD_UTIL_RESULT_H_
+#define WEBRBD_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace webrbd {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Usage:
+///   Result<TagTree> r = TagTreeBuilder::Build(doc);
+///   if (!r.ok()) return r.status();
+///   TagTree tree = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success case).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure case).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or a fallback.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is set
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define WEBRBD_ASSIGN_OR_RETURN(lhs, expr)              \
+  do {                                                  \
+    auto _webrbd_result = (expr);                       \
+    if (!_webrbd_result.ok()) return _webrbd_result.status(); \
+    lhs = std::move(_webrbd_result).value();            \
+  } while (0)
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_UTIL_RESULT_H_

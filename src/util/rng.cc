@@ -1,0 +1,95 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace webrbd {
+
+namespace {
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+}  // namespace
+
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint32_t Rng::Below(uint32_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  uint64_t m = static_cast<uint64_t>(NextU32()) * bound;
+  uint32_t lo = static_cast<uint32_t>(m);
+  if (lo < bound) {
+    uint32_t threshold = (0u - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<uint64_t>(NextU32()) * bound;
+      lo = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+int Rng::RangeInclusive(int lo, int hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int>(
+                  Below(static_cast<uint32_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return (NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) sum += NextDouble();
+  return mean + (sum - 6.0) * stddev;
+}
+
+size_t Rng::PickWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // floating-point slack: last positive bucket
+}
+
+uint64_t StableHash64(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace webrbd

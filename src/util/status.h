@@ -1,0 +1,93 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Exception-free error handling for the webrbd library, modeled on the
+// Status idiom used by RocksDB and Arrow. Library code returns Status (or
+// Result<T>, see util/result.h) instead of throwing; callers are expected to
+// check ok() before using any out-parameters.
+
+#ifndef WEBRBD_UTIL_STATUS_H_
+#define WEBRBD_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace webrbd {
+
+/// Outcome of a fallible library operation.
+///
+/// A Status is either OK (the default) or carries an error code plus a
+/// human-readable message. Statuses are cheap to copy when OK and cheap to
+/// move always.
+class Status {
+ public:
+  /// Error taxonomy. Kept deliberately small; the message carries detail.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,   ///< caller passed something malformed
+    kNotFound,          ///< a lookup failed (tag, object set, file, ...)
+    kParseError,        ///< malformed input document / ontology / pattern
+    kFailedPrecondition,///< operation invoked in the wrong state
+    kUnsupported,       ///< feature intentionally not implemented
+    kInternal,          ///< invariant violation inside the library
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status ParseError(std::string_view msg) {
+    return Status(Code::kParseError, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status Unsupported(std::string_view msg) {
+    return Status(Code::kUnsupported, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == Code::kOk; }
+
+  Code code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code>: <message>" for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(Status::Code code);
+
+/// Propagates a non-OK status to the caller. Mirrors RocksDB's pattern.
+#define WEBRBD_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::webrbd::Status _webrbd_status = (expr);        \
+    if (!_webrbd_status.ok()) return _webrbd_status; \
+  } while (0)
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_UTIL_STATUS_H_

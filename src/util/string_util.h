@@ -1,0 +1,69 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Small string helpers shared across the library. All functions are
+// ASCII-oriented: the paper's 1998-era HTML corpus (and our synthetic
+// reproduction of it) is ASCII, and HTML tag names are ASCII by definition.
+
+#ifndef WEBRBD_UTIL_STRING_UTIL_H_
+#define WEBRBD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webrbd {
+
+/// Lowercases ASCII letters; leaves other bytes untouched.
+std::string AsciiToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True iff `c` is an ASCII letter.
+bool IsAsciiAlpha(char c);
+
+/// True iff `c` is an ASCII digit.
+bool IsAsciiDigit(char c);
+
+/// True iff `c` is ASCII alphanumeric.
+bool IsAsciiAlnum(char c);
+
+/// True iff `c` is ASCII whitespace (space, \t, \n, \r, \f, \v).
+bool IsAsciiSpace(char c);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Collapses runs of whitespace to single spaces and trims the ends.
+/// Used when cleaning record text after tag removal.
+std::string CollapseWhitespace(std::string_view s);
+
+/// Splits on a single character; keeps empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; drops empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// True iff `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True iff `needle` occurs in `haystack` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a ratio as a percentage string, e.g. 0.845 -> "84.5%".
+std::string FormatPercent(double ratio, int digits = 1);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_UTIL_STRING_UTIL_H_

@@ -1,0 +1,87 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace webrbd {
+
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  size_t digits = 0;
+  for (char c : cell) {
+    if (IsAsciiDigit(c)) {
+      ++digits;
+    } else if (c != '.' && c != '%' && c != '-' && c != '+' && c != ',') {
+      return false;
+    }
+  }
+  return digits > 0;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), /*is_rule=*/false});
+}
+
+void TablePrinter::AddRule() { rows_.push_back(Row{{}, /*is_rule=*/true}); }
+
+std::string TablePrinter::ToString() const {
+  size_t columns = headers_.size();
+  for (const Row& row : rows_) {
+    columns = std::max(columns, row.cells.size());
+  }
+  std::vector<size_t> widths(columns, 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = std::max(widths[c], headers_[c].size());
+  }
+  for (const Row& row : rows_) {
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_rule = [&]() {
+    std::string line;
+    for (size_t c = 0; c < columns; ++c) {
+      line += (c == 0 ? "+" : "+");
+      line += std::string(widths[c] + 2, '-');
+    }
+    line += "+\n";
+    return line;
+  };
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : "";
+      line += "| ";
+      size_t pad = widths[c] - cell.size();
+      if (LooksNumeric(cell)) {
+        line += std::string(pad, ' ') + cell;
+      } else {
+        line += cell + std::string(pad, ' ');
+      }
+      line += " ";
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string out = render_rule();
+  out += render_row(headers_);
+  out += render_rule();
+  for (const Row& row : rows_) {
+    out += row.is_rule ? render_rule() : render_row(row.cells);
+  }
+  out += render_rule();
+  return out;
+}
+
+}  // namespace webrbd

@@ -1,0 +1,49 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Fixed-width ASCII table rendering used by the experiment harnesses to
+// print the paper's tables (Tables 2-10) in a diff-friendly layout.
+
+#ifndef WEBRBD_UTIL_TABLE_PRINTER_H_
+#define WEBRBD_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace webrbd {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+///
+///   TablePrinter t({"Heuristic", "1", "2", "3", "4"});
+///   t.AddRow({"OM", "83%", "17%", "0%", "0%"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows extend the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  /// Renders the table. Columns are left-aligned except cells that parse as
+  /// numbers/percentages, which are right-aligned.
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,113 @@
+#include "core/candidate_tags.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/figure2.h"
+#include "html/tree_builder.h"
+
+namespace webrbd {
+namespace {
+
+TEST(CandidateTagsTest, Figure2CandidatesMatchPaper) {
+  TagTree tree = BuildTagTree(Figure2Document()).value();
+  auto analysis = ExtractCandidateTags(tree);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->subtree->name, "td");
+  EXPECT_EQ(analysis->subtree_total_tags, 19u);
+
+  // The paper: candidates {hr, b, br}; h1 irrelevant.
+  ASSERT_EQ(analysis->candidates.size(), 3u);
+  EXPECT_EQ(analysis->candidates[0].name, "b");  // sorted by child count
+  EXPECT_EQ(analysis->candidates[0].child_count, 8u);
+  EXPECT_EQ(analysis->candidates[1].name, "br");
+  EXPECT_EQ(analysis->candidates[1].child_count, 5u);
+  EXPECT_EQ(analysis->candidates[2].name, "hr");
+  EXPECT_EQ(analysis->candidates[2].child_count, 4u);
+
+  ASSERT_EQ(analysis->irrelevant.size(), 1u);
+  EXPECT_EQ(analysis->irrelevant[0].name, "h1");
+}
+
+TEST(CandidateTagsTest, FindLocatesCandidates) {
+  TagTree tree = BuildTagTree(Figure2Document()).value();
+  auto analysis = ExtractCandidateTags(tree).value();
+  ASSERT_NE(analysis.Find("hr"), nullptr);
+  EXPECT_EQ(analysis.Find("hr")->subtree_count, 4u);
+  EXPECT_EQ(analysis.Find("h1"), nullptr);
+  EXPECT_EQ(analysis.Find("nope"), nullptr);
+}
+
+TEST(CandidateTagsTest, SubtreeCountIncludesNestedTags) {
+  // Child-level b appears twice; a nested i inside b counts toward
+  // subtree_count of i's name only at child level it doesn't appear.
+  TagTree tree = BuildTagTree(
+                     "<td><b><i>x</i></b>t1<b><i>y</i></b>t2<b>z</b>t3"
+                     "<b>w</b>t4<b>v</b></td>")
+                     .value();
+  auto analysis = ExtractCandidateTags(tree).value();
+  EXPECT_EQ(analysis.subtree->name, "td");
+  const CandidateTag* b = analysis.Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->child_count, 5u);
+  EXPECT_EQ(b->subtree_count, 5u);
+  // i never appears at child level, so it is not a candidate at all.
+  EXPECT_EQ(analysis.Find("i"), nullptr);
+}
+
+TEST(CandidateTagsTest, ThresholdSweep) {
+  TagTree tree = BuildTagTree(Figure2Document()).value();
+  // h1 is 1/19 = 5.3%; at a 5% threshold it becomes a candidate.
+  CandidateOptions loose;
+  loose.irrelevance_threshold = 0.05;
+  auto analysis = ExtractCandidateTags(tree, loose).value();
+  EXPECT_NE(analysis.Find("h1"), nullptr);
+
+  // At 25%, only b (8/19 = 42%) and br (5/19 = 26%) survive.
+  CandidateOptions strict;
+  strict.irrelevance_threshold = 0.25;
+  analysis = ExtractCandidateTags(tree, strict).value();
+  EXPECT_EQ(analysis.candidates.size(), 2u);
+  EXPECT_EQ(analysis.Find("hr"), nullptr);
+}
+
+TEST(CandidateTagsTest, SingleCandidateDocument) {
+  std::string doc = "<table>";
+  for (int i = 0; i < 12; ++i) doc += "<tr>row " + std::to_string(i) + "</tr>";
+  doc += "</table>";
+  TagTree tree = BuildTagTree(doc).value();
+  auto analysis = ExtractCandidateTags(tree).value();
+  EXPECT_EQ(analysis.subtree->name, "table");
+  ASSERT_EQ(analysis.candidates.size(), 1u);
+  EXPECT_EQ(analysis.candidates[0].name, "tr");
+}
+
+TEST(CandidateTagsTest, NoTagsFails) {
+  TagTree tree = BuildTagTree("just text").value();
+  auto analysis = ExtractCandidateTags(tree);
+  EXPECT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(CandidateTagsTest, AllIrrelevantFails) {
+  // Many distinct single-occurrence tags: with a high threshold nothing
+  // qualifies.
+  TagTree tree =
+      BuildTagTree("<td><a>1</a><b>2</b><i>3</i><u>4</u><s>5</s></td>")
+          .value();
+  CandidateOptions options;
+  options.irrelevance_threshold = 0.9;
+  auto analysis = ExtractCandidateTags(tree, options);
+  EXPECT_FALSE(analysis.ok());
+}
+
+TEST(CandidateTagsTest, TieOnFanoutPrefersEarlierNode) {
+  TagTree tree =
+      BuildTagTree("<a><x>1</x><y>2</y></a><b><x>3</x><y>4</y></b>").value();
+  auto analysis = ExtractCandidateTags(tree).value();
+  // #document itself has fanout 2, tying a and b; preorder prefers the
+  // super-root, whose children are a and b.
+  EXPECT_EQ(analysis.subtree->name, "#document");
+}
+
+}  // namespace
+}  // namespace webrbd

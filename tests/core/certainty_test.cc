@@ -1,0 +1,121 @@
+#include "core/certainty.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd {
+namespace {
+
+TEST(CertaintyTest, PaperWorkedExample) {
+  // Section 5.1: 88%, 74%, 66% combine to "98.93%". The exact value is
+  // 0.989392 (= 2.28 - .6512 - .5808 - .4884 + .429792); the paper
+  // truncated rather than rounded.
+  EXPECT_NEAR(CombineCertainty({0.88, 0.74, 0.66}), 0.989392, 1e-6);
+}
+
+TEST(CertaintyTest, TwoFactorRule) {
+  EXPECT_DOUBLE_EQ(CombineTwoCertainty(0.5, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(CombineTwoCertainty(0.0, 0.3), 0.3);
+  EXPECT_DOUBLE_EQ(CombineTwoCertainty(1.0, 0.2), 1.0);
+}
+
+TEST(CertaintyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(CombineCertainty({}), 0.0);
+}
+
+TEST(CertaintyTest, SingleFactorPassesThrough) {
+  EXPECT_DOUBLE_EQ(CombineCertainty({0.42}), 0.42);
+}
+
+TEST(CertaintyTest, ZeroIsIdentity) {
+  EXPECT_DOUBLE_EQ(CombineCertainty({0.0, 0.6, 0.0}), 0.6);
+}
+
+TEST(CertaintyTest, Commutative) {
+  EXPECT_NEAR(CombineCertainty({0.3, 0.7, 0.1}),
+              CombineCertainty({0.1, 0.3, 0.7}), 1e-12);
+}
+
+TEST(CertaintyTest, Associative) {
+  const double ab_c =
+      CombineTwoCertainty(CombineTwoCertainty(0.2, 0.5), 0.9);
+  const double a_bc =
+      CombineTwoCertainty(0.2, CombineTwoCertainty(0.5, 0.9));
+  EXPECT_NEAR(ab_c, a_bc, 1e-12);
+}
+
+TEST(CertaintyTest, MonotoneInEachArgument) {
+  EXPECT_LT(CombineCertainty({0.3, 0.4}), CombineCertainty({0.3, 0.5}));
+  EXPECT_LE(CombineCertainty({0.3}), CombineCertainty({0.3, 0.0001}));
+}
+
+TEST(CertaintyTest, BoundedByOne) {
+  EXPECT_LE(CombineCertainty({0.99, 0.99, 0.99, 0.99, 0.99}), 1.0);
+  EXPECT_DOUBLE_EQ(CombineCertainty({1.0, 0.5}), 1.0);
+}
+
+TEST(CertaintyTest, NeverDecreasesBelowMax) {
+  const std::vector<double> factors = {0.4, 0.2, 0.7};
+  const double combined = CombineCertainty(factors);
+  for (double f : factors) EXPECT_GE(combined, f);
+}
+
+TEST(CertaintyFactorTableTest, PaperTable4Values) {
+  const CertaintyFactorTable table = CertaintyFactorTable::PaperTable4();
+  EXPECT_DOUBLE_EQ(table.Factor("OM", 1), 0.845);
+  EXPECT_DOUBLE_EQ(table.Factor("OM", 2), 0.125);
+  EXPECT_DOUBLE_EQ(table.Factor("RP", 1), 0.775);
+  EXPECT_DOUBLE_EQ(table.Factor("SD", 2), 0.225);
+  EXPECT_DOUBLE_EQ(table.Factor("IT", 1), 0.960);
+  EXPECT_DOUBLE_EQ(table.Factor("HT", 4), 0.020);
+  EXPECT_DOUBLE_EQ(table.Factor("SD", 4), 0.000);
+}
+
+TEST(CertaintyFactorTableTest, OutOfRangeRanksAreZero) {
+  const CertaintyFactorTable table = CertaintyFactorTable::PaperTable4();
+  EXPECT_DOUBLE_EQ(table.Factor("OM", 0), 0.0);
+  EXPECT_DOUBLE_EQ(table.Factor("OM", 5), 0.0);
+  EXPECT_DOUBLE_EQ(table.Factor("OM", -1), 0.0);
+  EXPECT_DOUBLE_EQ(table.Factor("XX", 1), 0.0);
+}
+
+TEST(CertaintyFactorTableTest, HasAndHeuristics) {
+  const CertaintyFactorTable table = CertaintyFactorTable::PaperTable4();
+  EXPECT_TRUE(table.Has("IT"));
+  EXPECT_FALSE(table.Has("ZZ"));
+  EXPECT_EQ(table.Heuristics(),
+            (std::vector<std::string>{"HT", "IT", "OM", "RP", "SD"}));
+}
+
+TEST(CertaintyFactorTableTest, SetOverrides) {
+  CertaintyFactorTable table;
+  table.Set("OM", {0.5, 0.25, 0.125, 0.0625});
+  EXPECT_DOUBLE_EQ(table.Factor("OM", 3), 0.125);
+  table.Set("OM", {1.0, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(table.Factor("OM", 1), 1.0);
+}
+
+// The paper's Figure 2 compound values, derived from Table 4 CFs and the
+// per-heuristic ranks worked in Section 5.3.
+TEST(CertaintyTest, Figure2CompoundValues) {
+  const CertaintyFactorTable t = CertaintyFactorTable::PaperTable4();
+  // hr: OM 1st, RP 1st, SD 1st, IT 1st, HT 3rd.
+  const double hr = CombineCertainty({t.Factor("OM", 1), t.Factor("RP", 1),
+                                      t.Factor("SD", 1), t.Factor("IT", 1),
+                                      t.Factor("HT", 3)});
+  EXPECT_NEAR(hr, 0.9996, 5e-5);
+  // b: OM 3rd, RP 3rd, SD 2nd, IT 3rd, HT 1st.
+  const double b = CombineCertainty({t.Factor("OM", 3), t.Factor("RP", 3),
+                                     t.Factor("SD", 2), t.Factor("IT", 3),
+                                     t.Factor("HT", 1)});
+  EXPECT_NEAR(b, 0.6475, 5e-4);
+  // br: OM 2nd, RP 2nd, SD 3rd, IT 2nd, HT 2nd.
+  const double br = CombineCertainty({t.Factor("OM", 2), t.Factor("RP", 2),
+                                      t.Factor("SD", 3), t.Factor("IT", 2),
+                                      t.Factor("HT", 2)});
+  EXPECT_NEAR(br, 0.5634, 5e-4);
+  EXPECT_GT(hr, b);
+  EXPECT_GT(b, br);
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,116 @@
+#include "core/combiner_baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/discovery.h"
+#include "eval/figure2.h"
+#include "html/tree_builder.h"
+
+namespace webrbd {
+namespace {
+
+class CombinerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_ = std::make_unique<TagTree>(
+        BuildTagTree(Figure2Document()).value());
+    auto discovery = RecordBoundaryDiscoverer().Discover(*tree_);
+    ASSERT_TRUE(discovery.ok());
+    results_ = discovery->heuristic_results;
+    analysis_ = std::move(discovery->analysis);
+  }
+
+  std::unique_ptr<TagTree> tree_;
+  std::vector<HeuristicResult> results_;
+  CandidateAnalysis analysis_;
+  CertaintyFactorTable table_ = CertaintyFactorTable::PaperTable4();
+};
+
+TEST_F(CombinerFixture, StanfordDelegatesToCompound) {
+  auto a = CombineWithRule(CombinerRule::kStanfordCertainty, results_,
+                           table_, analysis_);
+  auto b = CombineHeuristicResults(results_, table_, analysis_);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tag, b[i].tag);
+    EXPECT_DOUBLE_EQ(a[i].certainty, b[i].certainty);
+  }
+}
+
+TEST_F(CombinerFixture, AllRulesAgreeOnFigure2) {
+  // Figure 2 is easy: four of five heuristics rank hr first, so every
+  // sane fusion rule picks hr.
+  for (CombinerRule rule : kAllCombinerRules) {
+    auto fused = CombineWithRule(rule, results_, table_, analysis_);
+    ASSERT_FALSE(fused.empty()) << CombinerRuleName(rule);
+    EXPECT_EQ(fused.front().tag, "hr") << CombinerRuleName(rule);
+  }
+}
+
+TEST_F(CombinerFixture, ScoresAreNormalized) {
+  for (CombinerRule rule : kAllCombinerRules) {
+    for (const CompoundRankedTag& entry :
+         CombineWithRule(rule, results_, table_, analysis_)) {
+      EXPECT_GE(entry.certainty, 0.0) << CombinerRuleName(rule);
+      EXPECT_LE(entry.certainty, 1.0) << CombinerRuleName(rule);
+    }
+  }
+}
+
+TEST_F(CombinerFixture, RankingIsCompleteAndSorted) {
+  for (CombinerRule rule : kAllCombinerRules) {
+    auto fused = CombineWithRule(rule, results_, table_, analysis_);
+    EXPECT_EQ(fused.size(), analysis_.candidates.size());
+    for (size_t i = 1; i < fused.size(); ++i) {
+      EXPECT_GE(fused[i - 1].certainty, fused[i].certainty);
+    }
+  }
+}
+
+TEST(CombinerBaselinesTest, PluralityCountsTopVotesOnly) {
+  // Hand-built results: two heuristics vote for "a", one for "b".
+  CandidateAnalysis analysis;
+  analysis.candidates = {CandidateTag{"a", 3, 3}, CandidateTag{"b", 2, 2}};
+  auto make = [](const std::string& name, const std::string& first,
+                 const std::string& second) {
+    HeuristicResult result;
+    result.heuristic_name = name;
+    result.ranking = {{first, 1.0, 1}, {second, 2.0, 2}};
+    return result;
+  };
+  std::vector<HeuristicResult> results = {make("HT", "a", "b"),
+                                          make("SD", "a", "b"),
+                                          make("IT", "b", "a")};
+  auto fused = CombineWithRule(CombinerRule::kPluralityVote, results,
+                               CertaintyFactorTable::PaperTable4(), analysis);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_EQ(fused[0].tag, "a");
+  EXPECT_NEAR(fused[0].certainty, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fused[1].certainty, 1.0 / 3.0, 1e-12);
+}
+
+TEST(CombinerBaselinesTest, RankSumPenalizesUnranked) {
+  CandidateAnalysis analysis;
+  analysis.candidates = {CandidateTag{"a", 3, 3}, CandidateTag{"b", 2, 2}};
+  HeuristicResult only_a;
+  only_a.heuristic_name = "IT";
+  only_a.ranking = {{"a", 1.0, 1}};  // b unranked
+  auto fused = CombineWithRule(CombinerRule::kRankSum, {only_a},
+                               CertaintyFactorTable::PaperTable4(), analysis);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_EQ(fused[0].tag, "a");
+  EXPECT_GT(fused[0].certainty, fused[1].certainty);
+  EXPECT_DOUBLE_EQ(fused[1].certainty, 0.0);  // worst possible
+}
+
+TEST(CombinerBaselinesTest, RuleNames) {
+  EXPECT_EQ(CombinerRuleName(CombinerRule::kStanfordCertainty),
+            "stanford-certainty");
+  EXPECT_EQ(CombinerRuleName(CombinerRule::kPluralityVote),
+            "plurality-vote");
+  EXPECT_EQ(CombinerRuleName(CombinerRule::kBordaCount), "borda-count");
+  EXPECT_EQ(CombinerRuleName(CombinerRule::kRankSum), "rank-sum");
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,156 @@
+#include "core/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/figure2.h"
+#include "ontology/bundled.h"
+#include "ontology/estimator.h"
+
+namespace webrbd {
+namespace {
+
+std::shared_ptr<const RecordCountEstimator> ObituaryEstimator() {
+  auto ontology = BundledOntology(Domain::kObituaries);
+  EXPECT_TRUE(ontology.ok());
+  auto estimator = MakeEstimatorForOntology(*ontology);
+  EXPECT_TRUE(estimator.ok());
+  return std::move(estimator).value();
+}
+
+TEST(DiscoveryTest, Figure2EndToEndMatchesPaper) {
+  DiscoveryOptions options;
+  options.estimator = ObituaryEstimator();
+  auto discovery = DiscoverRecordBoundaries(Figure2Document(), options);
+  ASSERT_TRUE(discovery.ok()) << discovery.status().ToString();
+  const DiscoveryResult& result = discovery->result;
+
+  EXPECT_EQ(result.separator, kFigure2Separator);
+  ASSERT_EQ(result.compound_ranking.size(), 3u);
+  EXPECT_EQ(result.compound_ranking[0].tag, "hr");
+  // Section 5.3: ORSIH yields [(hr, 99.96%), (b, 64.75%), (br, 56.34%)].
+  EXPECT_NEAR(result.compound_ranking[0].certainty, 0.9996, 5e-4);
+  EXPECT_EQ(result.compound_ranking[1].tag, "b");
+  EXPECT_NEAR(result.compound_ranking[1].certainty, 0.6475, 5e-3);
+  EXPECT_EQ(result.compound_ranking[2].tag, "br");
+  EXPECT_NEAR(result.compound_ranking[2].certainty, 0.5634, 5e-3);
+
+  EXPECT_EQ(result.tied_best, std::vector<std::string>{"hr"});
+  ASSERT_EQ(result.heuristic_results.size(), 5u);
+  EXPECT_EQ(result.heuristic_results[0].heuristic_name, "OM");
+  EXPECT_EQ(result.heuristic_results[0].RankOf("hr"), 1);
+  EXPECT_EQ(result.heuristic_results[4].heuristic_name, "HT");
+  EXPECT_EQ(result.heuristic_results[4].RankOf("b"), 1);
+}
+
+TEST(DiscoveryTest, WorksWithoutEstimator) {
+  // OM abstains; the structural heuristics still find hr.
+  auto discovery = DiscoverRecordBoundaries(Figure2Document());
+  ASSERT_TRUE(discovery.ok());
+  EXPECT_EQ(discovery->result.separator, "hr");
+  EXPECT_TRUE(discovery->result.heuristic_results[0].ranking.empty());
+}
+
+TEST(DiscoveryTest, SubsetHeuristics) {
+  DiscoveryOptions options;
+  options.heuristics = "IH";
+  auto discovery = DiscoverRecordBoundaries(Figure2Document(), options);
+  ASSERT_TRUE(discovery.ok());
+  ASSERT_EQ(discovery->result.heuristic_results.size(), 2u);
+  EXPECT_EQ(discovery->result.heuristic_results[0].heuristic_name, "IT");
+  EXPECT_EQ(discovery->result.heuristic_results[1].heuristic_name, "HT");
+  // IT alone dominates: hr still wins.
+  EXPECT_EQ(discovery->result.separator, "hr");
+}
+
+TEST(DiscoveryTest, HtAloneFailsOnFigure2) {
+  // With only HT, the bold tag wins — the paper's argument for combining.
+  DiscoveryOptions options;
+  options.heuristics = "H";
+  auto discovery = DiscoverRecordBoundaries(Figure2Document(), options);
+  ASSERT_TRUE(discovery.ok());
+  EXPECT_EQ(discovery->result.separator, "b");
+}
+
+TEST(DiscoveryTest, InvalidHeuristicLetters) {
+  DiscoveryOptions options;
+  options.heuristics = "OXY";
+  auto discovery = DiscoverRecordBoundaries(Figure2Document(), options);
+  EXPECT_FALSE(discovery.ok());
+  EXPECT_EQ(discovery.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(DiscoveryTest, ParseHeuristicLetters) {
+  auto names = RecordBoundaryDiscoverer::ParseHeuristicLetters("ORSIH");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names,
+            (std::vector<std::string>{"OM", "RP", "SD", "IT", "HT"}));
+  EXPECT_TRUE(RecordBoundaryDiscoverer::ParseHeuristicLetters("S").ok());
+  EXPECT_FALSE(RecordBoundaryDiscoverer::ParseHeuristicLetters("").ok());
+  EXPECT_FALSE(RecordBoundaryDiscoverer::ParseHeuristicLetters("OO").ok());
+  EXPECT_FALSE(RecordBoundaryDiscoverer::ParseHeuristicLetters("Q").ok());
+}
+
+TEST(DiscoveryTest, AllCombinationsEnumerates26) {
+  auto combos = RecordBoundaryDiscoverer::AllCombinations();
+  EXPECT_EQ(combos.size(), 26u);  // C(5,2)+C(5,3)+C(5,4)+C(5,5)
+  // Sizes ascend; the last is the full set.
+  EXPECT_EQ(combos.front().size(), 2u);
+  EXPECT_EQ(combos.back(), "ORSIH");
+  // All distinct.
+  std::set<std::string> unique(combos.begin(), combos.end());
+  EXPECT_EQ(unique.size(), 26u);
+  // Each parses.
+  for (const std::string& combo : combos) {
+    EXPECT_TRUE(RecordBoundaryDiscoverer::ParseHeuristicLetters(combo).ok())
+        << combo;
+  }
+}
+
+TEST(DiscoveryTest, CustomCertaintyTableChangesOutcome) {
+  // A table that trusts only HT turns the Figure 2 answer into b.
+  CertaintyFactorTable table;
+  table.Set("HT", {0.99, 0.0, 0.0, 0.0});
+  DiscoveryOptions options;
+  options.heuristics = "ORSIH";
+  options.certainty = table;  // every other heuristic contributes zero
+  auto discovery = DiscoverRecordBoundaries(Figure2Document(), options);
+  ASSERT_TRUE(discovery.ok());
+  EXPECT_EQ(discovery->result.separator, "b");
+}
+
+TEST(DiscoveryTest, CustomItList) {
+  DiscoveryOptions options;
+  options.heuristics = "I";
+  options.it_separator_list = {"br", "hr"};
+  auto discovery = DiscoverRecordBoundaries(Figure2Document(), options);
+  ASSERT_TRUE(discovery.ok());
+  EXPECT_EQ(discovery->result.separator, "br");
+}
+
+TEST(DiscoveryTest, SingleCandidateDocument) {
+  std::string doc = "<table>";
+  for (int i = 0; i < 12; ++i) doc += "<tr>row " + std::to_string(i) + "</tr>";
+  doc += "</table>";
+  auto discovery = DiscoverRecordBoundaries(doc);
+  ASSERT_TRUE(discovery.ok());
+  EXPECT_EQ(discovery->result.separator, "tr");
+  EXPECT_EQ(discovery->result.tied_best, std::vector<std::string>{"tr"});
+}
+
+TEST(DiscoveryTest, FailsOnTaglessDocument) {
+  auto discovery = DiscoverRecordBoundaries("words only, no markup");
+  EXPECT_FALSE(discovery.ok());
+  EXPECT_EQ(discovery.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(DiscoveryTest, AnalysisExposedInResult) {
+  auto discovery = DiscoverRecordBoundaries(Figure2Document());
+  ASSERT_TRUE(discovery.ok());
+  EXPECT_EQ(discovery->result.analysis.subtree->name, "td");
+  EXPECT_EQ(discovery->result.analysis.candidates.size(), 3u);
+}
+
+}  // namespace
+}  // namespace webrbd

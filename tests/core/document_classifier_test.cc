@@ -1,0 +1,134 @@
+#include "core/document_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/figure2.h"
+#include "gen/sites.h"
+#include "html/tree_builder.h"
+#include "ontology/bundled.h"
+#include "ontology/estimator.h"
+
+namespace webrbd {
+namespace {
+
+std::shared_ptr<const RecordCountEstimator> Estimator(Domain domain) {
+  return MakeEstimatorForOntology(BundledOntology(domain).value()).value();
+}
+
+TEST(DocumentClassifierTest, Figure2IsMultiRecord) {
+  TagTree tree = BuildTagTree(Figure2Document()).value();
+  auto estimator = Estimator(Domain::kObituaries);
+  ClassificationResult result = ClassifyDocument(tree, estimator.get());
+  EXPECT_EQ(result.document_class, DocumentClass::kMultiRecord);
+  EXPECT_EQ(result.highest_fanout, 18u);
+  EXPECT_GE(result.max_candidate_count, 4u);
+  EXPECT_TRUE(result.estimate_available);
+  EXPECT_NEAR(result.estimated_records, 3.0, 1.0);
+  EXPECT_NE(result.rationale.find("fan-out 18"), std::string::npos);
+}
+
+TEST(DocumentClassifierTest, StructuralOnlyStillDetectsListings) {
+  TagTree tree = BuildTagTree(Figure2Document()).value();
+  ClassificationResult result = ClassifyDocument(tree, nullptr);
+  EXPECT_EQ(result.document_class, DocumentClass::kMultiRecord);
+  EXPECT_FALSE(result.estimate_available);
+}
+
+TEST(DocumentClassifierTest, DetailPageIsSingleRecord) {
+  for (Domain domain : kAllDomains) {
+    auto estimator = Estimator(domain);
+    gen::GeneratedDocument doc =
+        gen::RenderDetailPage(gen::CalibrationSites()[0], domain, 0);
+    TagTree tree = BuildTagTree(doc.html).value();
+    ClassificationResult result = ClassifyDocument(tree, estimator.get());
+    EXPECT_EQ(result.document_class, DocumentClass::kSingleRecord)
+        << DomainName(domain) << ": " << result.rationale;
+  }
+}
+
+TEST(DocumentClassifierTest, NavigationPageIsNoRecords) {
+  auto estimator = Estimator(Domain::kObituaries);
+  gen::GeneratedDocument doc =
+      gen::RenderNavigationPage(gen::CalibrationSites()[0]);
+  TagTree tree = BuildTagTree(doc.html).value();
+  ClassificationResult result = ClassifyDocument(tree, estimator.get());
+  // Navigation chrome repeats <a>/<br>, but the estimator sees no record
+  // fields; without multiple records the page must not classify as
+  // multi-record.
+  EXPECT_NE(result.document_class, DocumentClass::kMultiRecord)
+      << result.rationale;
+}
+
+TEST(DocumentClassifierTest, EmptyDocumentIsNoRecords) {
+  TagTree tree = BuildTagTree("").value();
+  ClassificationResult result = ClassifyDocument(tree, nullptr);
+  EXPECT_EQ(result.document_class, DocumentClass::kNoRecords);
+  EXPECT_EQ(result.highest_fanout, 0u);
+}
+
+TEST(DocumentClassifierTest, PlainTextIsNoRecords) {
+  TagTree tree = BuildTagTree("just a short note").value();
+  ClassificationResult result = ClassifyDocument(tree, nullptr);
+  EXPECT_EQ(result.document_class, DocumentClass::kNoRecords);
+}
+
+class ClassifierSweepTest : public ::testing::TestWithParam<Domain> {};
+
+TEST_P(ClassifierSweepTest, ListingPagesClassifyMultiRecord) {
+  auto estimator = Estimator(GetParam());
+  for (const gen::SiteTemplate& site : gen::TestSites(GetParam())) {
+    gen::GeneratedDocument doc = gen::RenderDocument(site, GetParam(), 0);
+    TagTree tree = BuildTagTree(doc.html).value();
+    ClassificationResult result = ClassifyDocument(tree, estimator.get());
+    EXPECT_EQ(result.document_class, DocumentClass::kMultiRecord)
+        << site.site_name << ": " << result.rationale;
+  }
+}
+
+TEST_P(ClassifierSweepTest, DetailPagesClassifySingleRecord) {
+  auto estimator = Estimator(GetParam());
+  int single = 0;
+  int total = 0;
+  for (const gen::SiteTemplate& site : gen::TestSites(GetParam())) {
+    for (int doc_index = 0; doc_index < 3; ++doc_index) {
+      gen::GeneratedDocument doc =
+          gen::RenderDetailPage(site, GetParam(), doc_index);
+      TagTree tree = BuildTagTree(doc.html).value();
+      ClassificationResult result = ClassifyDocument(tree, estimator.get());
+      ++total;
+      if (result.document_class == DocumentClass::kSingleRecord) ++single;
+      EXPECT_NE(result.document_class, DocumentClass::kMultiRecord)
+          << site.site_name << ": " << result.rationale;
+    }
+  }
+  // The large majority of detail pages classify as single-record.
+  EXPECT_GE(single * 10, total * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, ClassifierSweepTest,
+                         ::testing::ValuesIn(kAllDomains));
+
+TEST(DocumentClassifierTest, ThresholdsAreRespected) {
+  // Three repeated rows: below a min_separator_repeats of 5.
+  std::string doc = "<table>";
+  for (int i = 0; i < 3; ++i) doc += "<tr>row " + std::to_string(i) + "</tr>";
+  doc += "</table>";
+  TagTree tree = BuildTagTree(doc).value();
+  ClassifierOptions strict;
+  strict.min_separator_repeats = 5;
+  EXPECT_NE(ClassifyDocument(tree, nullptr, strict).document_class,
+            DocumentClass::kMultiRecord);
+  ClassifierOptions loose;
+  loose.min_separator_repeats = 2;
+  EXPECT_EQ(ClassifyDocument(tree, nullptr, loose).document_class,
+            DocumentClass::kMultiRecord);
+}
+
+TEST(DocumentClassNameTest, AllNamed) {
+  EXPECT_EQ(DocumentClassName(DocumentClass::kMultiRecord), "multi-record");
+  EXPECT_EQ(DocumentClassName(DocumentClass::kSingleRecord), "single-record");
+  EXPECT_EQ(DocumentClassName(DocumentClass::kNoRecords), "no-records");
+}
+
+}  // namespace
+}  // namespace webrbd

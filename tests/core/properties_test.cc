@@ -1,0 +1,173 @@
+// Cross-cutting property tests over generated documents: algebraic
+// invariants the pipeline must satisfy regardless of corpus content.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/compound.h"
+#include "core/discovery.h"
+#include "gen/sites.h"
+
+namespace webrbd {
+namespace {
+
+std::vector<gen::GeneratedDocument> SampleDocs() {
+  std::vector<gen::GeneratedDocument> docs;
+  for (size_t i = 0; i < gen::CalibrationSites().size(); i += 2) {
+    docs.push_back(gen::RenderDocument(gen::CalibrationSites()[i],
+                                       Domain::kObituaries, 1));
+    docs.push_back(
+        gen::RenderDocument(gen::CalibrationSites()[i], Domain::kCarAds, 2));
+  }
+  return docs;
+}
+
+// Raising the irrelevance threshold can only shrink the candidate set.
+TEST(CandidateProperties, ThresholdMonotonicity) {
+  for (const auto& doc : SampleDocs()) {
+    TagTree tree = BuildTagTree(doc.html).value();
+    std::set<std::string> previous;
+    bool first = true;
+    for (double threshold : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+      CandidateOptions options;
+      options.irrelevance_threshold = threshold;
+      auto analysis = ExtractCandidateTags(tree, options);
+      std::set<std::string> current;
+      if (analysis.ok()) {
+        for (const CandidateTag& c : analysis->candidates) {
+          current.insert(c.name);
+        }
+      }
+      if (!first) {
+        for (const std::string& tag : current) {
+          EXPECT_TRUE(previous.count(tag))
+              << doc.site_name << ": <" << tag
+              << "> appeared at a HIGHER threshold " << threshold;
+        }
+      }
+      previous = std::move(current);
+      first = false;
+    }
+  }
+}
+
+// Candidate + irrelevant counts partition the child tag names.
+TEST(CandidateProperties, CandidatesAndIrrelevantPartitionChildren) {
+  for (const auto& doc : SampleDocs()) {
+    TagTree tree = BuildTagTree(doc.html).value();
+    auto analysis = ExtractCandidateTags(tree).value();
+    std::set<std::string> classified;
+    for (const CandidateTag& c : analysis.candidates) {
+      EXPECT_TRUE(classified.insert(c.name).second) << "duplicate " << c.name;
+    }
+    for (const CandidateTag& c : analysis.irrelevant) {
+      EXPECT_TRUE(classified.insert(c.name).second) << "duplicate " << c.name;
+    }
+    std::set<std::string> child_names;
+    for (const auto& child : analysis.subtree->children) {
+      child_names.insert(child->name);
+    }
+    EXPECT_EQ(classified, child_names) << doc.site_name;
+    // Counts are consistent: child_count <= subtree_count.
+    for (const CandidateTag& c : analysis.candidates) {
+      EXPECT_LE(c.child_count, c.subtree_count) << c.name;
+      EXPECT_GE(c.child_count, 1u) << c.name;
+    }
+  }
+}
+
+// Adding a heuristic to a combination never lowers any tag's compound
+// certainty (CF combination is monotone), so the full ORSIH certainty
+// dominates every sub-combination's.
+TEST(CompoundProperties, AddingHeuristicsIsMonotone) {
+  auto doc = gen::RenderDocument(gen::CalibrationSites()[0],
+                                 Domain::kObituaries, 0);
+  auto discovery = DiscoverRecordBoundaries(doc.html).value();
+  const auto& results = discovery.result.heuristic_results;
+  const auto& analysis = discovery.result.analysis;
+  const CertaintyFactorTable table = CertaintyFactorTable::PaperTable4();
+
+  auto certainty_of = [](const std::vector<CompoundRankedTag>& ranking,
+                         const std::string& tag) {
+    for (const auto& entry : ranking) {
+      if (entry.tag == tag) return entry.certainty;
+    }
+    return 0.0;
+  };
+
+  // All prefixes of the heuristic list: {}, {OM}, {OM,RP}, ...
+  for (size_t k = 1; k < results.size(); ++k) {
+    std::vector<HeuristicResult> fewer(results.begin(),
+                                       results.begin() + k);
+    std::vector<HeuristicResult> more(results.begin(),
+                                      results.begin() + k + 1);
+    auto fewer_ranking = CombineHeuristicResults(fewer, table, analysis);
+    auto more_ranking = CombineHeuristicResults(more, table, analysis);
+    for (const CandidateTag& candidate : analysis.candidates) {
+      EXPECT_LE(certainty_of(fewer_ranking, candidate.name),
+                certainty_of(more_ranking, candidate.name) + 1e-12)
+          << candidate.name << " at k=" << k;
+    }
+  }
+}
+
+// Compound certainties are valid probabilities and every candidate is
+// ranked exactly once.
+TEST(CompoundProperties, RankingIsCompleteAndBounded) {
+  for (const auto& doc : SampleDocs()) {
+    auto discovery = DiscoverRecordBoundaries(doc.html).value();
+    const auto& ranking = discovery.result.compound_ranking;
+    EXPECT_EQ(ranking.size(), discovery.result.analysis.candidates.size());
+    std::set<std::string> seen;
+    double previous = 1.0 + 1e-12;
+    for (const CompoundRankedTag& entry : ranking) {
+      EXPECT_TRUE(seen.insert(entry.tag).second) << entry.tag;
+      EXPECT_GE(entry.certainty, 0.0);
+      EXPECT_LE(entry.certainty, 1.0);
+      EXPECT_LE(entry.certainty, previous);  // sorted descending
+      previous = entry.certainty;
+    }
+    EXPECT_FALSE(discovery.result.tied_best.empty());
+    EXPECT_EQ(discovery.result.tied_best.front(),
+              discovery.result.separator);
+  }
+}
+
+// The separator choice is invariant to the order of heuristic letters.
+TEST(CompoundProperties, HeuristicLetterOrderIrrelevant) {
+  auto doc =
+      gen::RenderDocument(gen::CalibrationSites()[3], Domain::kCarAds, 1);
+  std::string separator;
+  for (const char* letters : {"ORSIH", "HISRO", "SIHRO", "RHOSI"}) {
+    DiscoveryOptions options;
+    options.heuristics = letters;
+    auto discovery = DiscoverRecordBoundaries(doc.html, options).value();
+    if (separator.empty()) separator = discovery.result.separator;
+    EXPECT_EQ(discovery.result.separator, separator) << letters;
+  }
+}
+
+// Per-heuristic rankings never rank a non-candidate and never repeat tags.
+TEST(HeuristicProperties, RankingsAreWellFormed) {
+  for (const auto& doc : SampleDocs()) {
+    auto discovery = DiscoverRecordBoundaries(doc.html).value();
+    const auto& analysis = discovery.result.analysis;
+    for (const HeuristicResult& result : discovery.result.heuristic_results) {
+      std::set<std::string> seen;
+      int previous_rank = 0;
+      for (const RankedTag& ranked : result.ranking) {
+        EXPECT_NE(analysis.Find(ranked.tag), nullptr)
+            << result.heuristic_name << " ranked non-candidate "
+            << ranked.tag;
+        EXPECT_TRUE(seen.insert(ranked.tag).second);
+        EXPECT_GE(ranked.rank, 1);
+        EXPECT_GE(ranked.rank, previous_rank);  // non-decreasing
+        previous_rank = ranked.rank;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webrbd

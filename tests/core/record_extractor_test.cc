@@ -1,0 +1,85 @@
+#include "core/record_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/figure2.h"
+
+namespace webrbd {
+namespace {
+
+TEST(RecordExtractorTest, Figure2YieldsThreeObituaries) {
+  auto records = ExtractRecordsFromDocument(Figure2Document());
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_NE((*records)[0].text.find("Lemar K. Adamson"), std::string::npos);
+  EXPECT_NE((*records)[1].text.find("Brian Fielding Frost"), std::string::npos);
+  EXPECT_NE((*records)[2].text.find("Leonard Kenneth Gunther"),
+            std::string::npos);
+  // Tags are stripped and whitespace collapsed.
+  for (const ExtractedRecord& record : *records) {
+    EXPECT_EQ(record.text.find('<'), std::string::npos);
+    EXPECT_EQ(record.text.find('\n'), std::string::npos);
+  }
+}
+
+TEST(RecordExtractorTest, RecordSpansAreOrderedAndDisjoint) {
+  auto records = ExtractRecordsFromDocument(Figure2Document()).value();
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].begin, records[i - 1].end);
+  }
+  for (const ExtractedRecord& record : records) {
+    EXPECT_LT(record.begin, record.end);
+  }
+}
+
+TEST(RecordExtractorTest, LeadingChunkKeptOnRequest) {
+  RecordExtractorOptions options;
+  options.drop_leading_chunk = false;
+  auto records = ExtractRecordsFromDocument(Figure2Document(), {}, options);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_NE((*records)[0].text.find("Funeral Notices"), std::string::npos);
+}
+
+TEST(RecordExtractorTest, ExplicitSeparatorOverride) {
+  auto discovery = DiscoverRecordBoundaries(Figure2Document()).value();
+  // Splitting at <b> instead: every bold span starts a chunk.
+  auto records = ExtractRecords(discovery.tree, discovery.result.analysis, "b");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 8u);
+}
+
+TEST(RecordExtractorTest, MissingSeparatorFails) {
+  auto discovery = DiscoverRecordBoundaries(Figure2Document()).value();
+  auto records =
+      ExtractRecords(discovery.tree, discovery.result.analysis, "blink");
+  EXPECT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), Status::Code::kNotFound);
+}
+
+TEST(RecordExtractorTest, MinTextLengthFiltersEmptyChunks) {
+  // Trailing separator yields an empty final chunk, dropped by default.
+  const std::string doc =
+      "<td><hr>first record here<hr>second record here<hr></td>";
+  auto records = ExtractRecordsFromDocument(doc);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+
+  RecordExtractorOptions options;
+  options.min_text_length = 1000;
+  records = ExtractRecordsFromDocument(doc, {}, options);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(RecordExtractorTest, TextInsideNestedTagsSurvives) {
+  const std::string doc =
+      "<td><hr>one <b>bold</b> two<hr>three <i>ital</i> four<hr>xyz</td>";
+  auto records = ExtractRecordsFromDocument(doc).value();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].text, "one bold two");
+  EXPECT_EQ(records[1].text, "three ital four");
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,89 @@
+#include "core/tr_heuristic.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/figure2.h"
+#include "gen/sites.h"
+#include "html/tree_builder.h"
+
+namespace webrbd {
+namespace {
+
+using Seq = std::vector<std::string>;
+
+TEST(SegmentConsistencyTest, PerfectTiling) {
+  // hr (b br) hr (b br) hr (b br): every segment identical.
+  Seq sequence = {"hr", "b", "br", "hr", "b", "br", "hr", "b", "br"};
+  EXPECT_DOUBLE_EQ(TrHeuristic::SegmentConsistency(sequence, "hr"), 1.0);
+  // b as leader: segments (br hr), (br hr), (br): similarities 1 and 0.5,
+  // all non-empty -> 0.75.
+  EXPECT_NEAR(TrHeuristic::SegmentConsistency(sequence, "b"), 0.75, 1e-12);
+}
+
+TEST(SegmentConsistencyTest, PreambleIgnored) {
+  Seq sequence = {"h1", "img", "hr", "b", "hr", "b", "hr", "b"};
+  EXPECT_DOUBLE_EQ(TrHeuristic::SegmentConsistency(sequence, "hr"), 1.0);
+}
+
+TEST(SegmentConsistencyTest, RaggedSegmentsScoreLower) {
+  Seq sequence = {"hr", "b", "hr", "b", "br", "hr", "b", "b", "hr", "b"};
+  const double score = TrHeuristic::SegmentConsistency(sequence, "hr");
+  EXPECT_GT(score, 0.0);
+  EXPECT_LT(score, 1.0);
+  // Segments (b), (b br), (b b), (b): consecutive similarities all 0.5.
+  EXPECT_NEAR(score, 0.5, 1e-12);
+}
+
+TEST(SegmentConsistencyTest, EmptySegmentsPenalized) {
+  // b occurs twice per record with nothing between: half its segments are
+  // empty and the score collapses.
+  Seq sequence = {"hr", "b", "b", "hr", "b", "b", "hr", "b", "b"};
+  EXPECT_GT(TrHeuristic::SegmentConsistency(sequence, "hr"),
+            TrHeuristic::SegmentConsistency(sequence, "b"));
+}
+
+TEST(SegmentConsistencyTest, FewOccurrencesAbstain) {
+  EXPECT_DOUBLE_EQ(TrHeuristic::SegmentConsistency({"hr", "b", "br"}, "hr"),
+                   0.0);
+  EXPECT_DOUBLE_EQ(TrHeuristic::SegmentConsistency({}, "hr"), 0.0);
+  EXPECT_DOUBLE_EQ(TrHeuristic::SegmentConsistency({"b", "b"}, "hr"), 0.0);
+}
+
+TEST(TrHeuristicTest, RanksFigure2SeparatorFirst) {
+  TagTree tree = BuildTagTree(Figure2Document()).value();
+  auto analysis = ExtractCandidateTags(tree).value();
+  TrHeuristic tr;
+  auto result = tr.Rank(tree, analysis);
+  ASSERT_FALSE(result.ranking.empty());
+  // Figure 2's records differ slightly (b br b br / b b b br / b br b b br),
+  // but hr still yields the most consistent segmentation.
+  EXPECT_EQ(result.ranking[0].tag, "hr");
+  EXPECT_EQ(result.heuristic_name, "TR");
+}
+
+TEST(TrHeuristicTest, StrongAcrossGeneratedListings) {
+  // TR alone should rank a correct separator first on a clear majority of
+  // calibration documents (it is a generalization of RP, not a toy).
+  TrHeuristic tr;
+  int correct = 0;
+  int total = 0;
+  for (const gen::SiteTemplate& site : gen::CalibrationSites()) {
+    for (Domain domain : {Domain::kObituaries, Domain::kCarAds}) {
+      gen::GeneratedDocument doc = gen::RenderDocument(site, domain, 0);
+      TagTree tree = BuildTagTree(doc.html).value();
+      auto analysis = ExtractCandidateTags(tree);
+      if (!analysis.ok()) continue;
+      auto result = tr.Rank(tree, *analysis);
+      ++total;
+      if (!result.ranking.empty() &&
+          doc.IsCorrectSeparator(result.ranking[0].tag)) {
+        ++correct;
+      }
+    }
+  }
+  EXPECT_EQ(total, 20);
+  EXPECT_GE(correct * 10, total * 6) << correct << "/" << total;
+}
+
+}  // namespace
+}  // namespace webrbd

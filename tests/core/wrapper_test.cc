@@ -1,0 +1,105 @@
+#include "core/wrapper.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/figure2.h"
+#include "gen/sites.h"
+
+namespace webrbd {
+namespace {
+
+TEST(SiteWrapperTest, SerializationRoundTrips) {
+  SiteWrapper wrapper;
+  wrapper.separator = "hr";
+  wrapper.region_tag = "td";
+  wrapper.confidence = 0.9996;
+  auto parsed = SiteWrapper::Deserialize(wrapper.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->separator, "hr");
+  EXPECT_EQ(parsed->region_tag, "td");
+  EXPECT_NEAR(parsed->confidence, 0.9996, 1e-6);
+}
+
+TEST(SiteWrapperTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(SiteWrapper::Deserialize("").ok());
+  EXPECT_FALSE(SiteWrapper::Deserialize("hr-td-0.5").ok());
+  EXPECT_FALSE(SiteWrapper::Deserialize("@td:0.5").ok());
+  EXPECT_FALSE(SiteWrapper::Deserialize("hr@:0.5").ok());
+}
+
+TEST(WrapperEngineTest, LearnFromFigure2) {
+  WrapperEngine engine;
+  auto wrapper = engine.Learn(Figure2Document());
+  ASSERT_TRUE(wrapper.ok()) << wrapper.status().ToString();
+  EXPECT_EQ(wrapper->separator, "hr");
+  EXPECT_EQ(wrapper->region_tag, "td");
+  EXPECT_GT(wrapper->confidence, 0.9);
+}
+
+TEST(WrapperEngineTest, LearnOnceApplyAcrossSitePages) {
+  // Learn on page 0 of a site; apply to four more pages without relearn.
+  const gen::SiteTemplate& site = gen::CalibrationSites()[0];
+  WrapperEngine engine;
+  auto wrapper =
+      engine.Learn(gen::RenderDocument(site, Domain::kObituaries, 0).html);
+  ASSERT_TRUE(wrapper.ok());
+
+  for (int page = 1; page <= 4; ++page) {
+    gen::GeneratedDocument doc =
+        gen::RenderDocument(site, Domain::kObituaries, page);
+    auto outcome = engine.Apply(*wrapper, doc.html);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_FALSE(outcome->relearned) << "page " << page;
+    EXPECT_TRUE(doc.IsCorrectSeparator(outcome->wrapper.separator));
+    EXPECT_GE(outcome->records.size(), 10u);
+  }
+}
+
+TEST(WrapperEngineTest, DriftTriggersRelearn) {
+  // A wrapper learned on an <hr> site must relearn on a table-rows site.
+  WrapperEngine engine;
+  auto hr_wrapper = engine.Learn(
+      gen::RenderDocument(gen::CalibrationSites()[0], Domain::kCarAds, 0)
+          .html);
+  ASSERT_TRUE(hr_wrapper.ok());
+  ASSERT_EQ(hr_wrapper->separator, "hr");
+
+  gen::GeneratedDocument other = gen::RenderDocument(
+      gen::CalibrationSites()[2], Domain::kCarAds, 0);  // Houston: tables
+  auto outcome = engine.Apply(*hr_wrapper, other.html);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->relearned);
+  EXPECT_TRUE(other.IsCorrectSeparator(outcome->wrapper.separator))
+      << outcome->wrapper.separator;
+  EXPECT_GE(outcome->records.size(), 10u);
+}
+
+TEST(WrapperEngineTest, WrapperSweepAcrossAllSites) {
+  // Learn on each test site's document and apply to a second document of
+  // the same site: never a relearn, always the right separator.
+  WrapperEngine engine;
+  for (Domain domain : kAllDomains) {
+    for (const gen::SiteTemplate& site : gen::TestSites(domain)) {
+      auto wrapper =
+          engine.Learn(gen::RenderDocument(site, domain, 100).html);
+      ASSERT_TRUE(wrapper.ok()) << site.site_name;
+      gen::GeneratedDocument doc = gen::RenderDocument(site, domain, 101);
+      auto outcome = engine.Apply(*wrapper, doc.html);
+      ASSERT_TRUE(outcome.ok()) << site.site_name;
+      EXPECT_FALSE(outcome->relearned) << site.site_name;
+      EXPECT_TRUE(doc.IsCorrectSeparator(outcome->wrapper.separator))
+          << site.site_name;
+    }
+  }
+}
+
+TEST(WrapperEngineTest, ApplyFailsOnUnusableDocument) {
+  WrapperEngine engine;
+  SiteWrapper wrapper;
+  wrapper.separator = "hr";
+  wrapper.region_tag = "td";
+  EXPECT_FALSE(engine.Apply(wrapper, "plain text, no tags").ok());
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,79 @@
+#include "db/export.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd::db {
+namespace {
+
+Catalog SmallCatalog() {
+  Catalog catalog;
+  Table* people =
+      catalog
+          .CreateTable(Schema(
+              "people", {Column{"id", ValueType::kInt64, false},
+                         Column{"name", ValueType::kString, true},
+                         Column{"score", ValueType::kDouble, true}}))
+          .value();
+  EXPECT_TRUE(people
+                  ->Insert({Value::Int64(1), Value::String("Ada"),
+                            Value::Double(2.5)})
+                  .ok());
+  EXPECT_TRUE(
+      people->Insert({Value::Int64(2), Value::String("O'Brien, Bob"),
+                      Value::Null()})
+          .ok());
+  return catalog;
+}
+
+TEST(CsvExportTest, EscapeRules) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvExportTest, TableLayout) {
+  Catalog catalog = SmallCatalog();
+  const std::string csv = ToCsv(*catalog.GetTable("people"));
+  const std::string expected =
+      "id,name,score\n"
+      "1,Ada,2.5\n"
+      "2,\"O'Brien, Bob\",\n";
+  EXPECT_EQ(csv, expected);
+}
+
+TEST(CsvExportTest, EmptyTableHasHeaderOnly) {
+  Table table(Schema("t", {Column{"a", ValueType::kString, true}}));
+  EXPECT_EQ(ToCsv(table), "a\n");
+}
+
+TEST(SqlExportTest, QuoteRules) {
+  EXPECT_EQ(SqlQuote("plain"), "'plain'");
+  EXPECT_EQ(SqlQuote("O'Brien"), "'O''Brien'");
+  EXPECT_EQ(SqlQuote(""), "''");
+}
+
+TEST(SqlExportTest, DumpShape) {
+  Catalog catalog = SmallCatalog();
+  const std::string sql = ToSqlDump(catalog);
+  EXPECT_NE(sql.find("CREATE TABLE people (id INTEGER NOT NULL, "
+                     "name TEXT, score REAL);"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("INSERT INTO people VALUES (1, 'Ada', 2.5);"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("INSERT INTO people VALUES (2, 'O''Brien, Bob', NULL);"),
+            std::string::npos)
+      << sql;
+}
+
+TEST(SqlExportTest, CreateBeforeInsert) {
+  Catalog catalog = SmallCatalog();
+  const std::string sql = ToSqlDump(catalog);
+  EXPECT_LT(sql.find("CREATE TABLE"), sql.find("INSERT INTO"));
+}
+
+}  // namespace
+}  // namespace webrbd::db

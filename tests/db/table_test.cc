@@ -1,0 +1,189 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+#include "db/catalog.h"
+
+namespace webrbd::db {
+namespace {
+
+Schema PeopleSchema() {
+  return Schema("people", {Column{"id", ValueType::kInt64, false},
+                           Column{"name", ValueType::kString, true},
+                           Column{"age", ValueType::kInt64, true}});
+}
+
+Table PeopleTable() {
+  Table table(PeopleSchema());
+  EXPECT_TRUE(table
+                  .Insert({Value::Int64(1), Value::String("Ada"),
+                           Value::Int64(36)})
+                  .ok());
+  EXPECT_TRUE(table
+                  .Insert({Value::Int64(2), Value::String("Bob"),
+                           Value::Int64(64)})
+                  .ok());
+  EXPECT_TRUE(
+      table.Insert({Value::Int64(3), Value::String("Cyd"), Value::Null()})
+          .ok());
+  return table;
+}
+
+TEST(SchemaTest, ColumnIndexAndToString) {
+  Schema schema = PeopleSchema();
+  EXPECT_EQ(schema.ColumnIndex("name"), 1u);
+  EXPECT_FALSE(schema.ColumnIndex("nope").has_value());
+  const std::string ddl = schema.ToString();
+  EXPECT_NE(ddl.find("CREATE TABLE people"), std::string::npos);
+  EXPECT_NE(ddl.find("id INT64 NOT NULL"), std::string::npos);
+}
+
+TEST(TableTest, InsertValidatesArity) {
+  Table table(PeopleSchema());
+  auto status = table.Insert({Value::Int64(1)});
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+TEST(TableTest, InsertValidatesTypes) {
+  Table table(PeopleSchema());
+  auto status = table.Insert(
+      {Value::String("one"), Value::String("Ada"), Value::Int64(3)});
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("id"), std::string::npos);
+}
+
+TEST(TableTest, InsertValidatesNotNull) {
+  Table table(PeopleSchema());
+  auto status =
+      table.Insert({Value::Null(), Value::String("Ada"), Value::Int64(3)});
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(TableTest, NullAllowedInNullableColumns) {
+  Table table = PeopleTable();
+  EXPECT_EQ(table.row_count(), 3u);
+  EXPECT_TRUE(table.rows()[2][2].is_null());
+}
+
+TEST(TableTest, InsertNamedFillsUnnamedWithNull) {
+  Table table(PeopleSchema());
+  ASSERT_TRUE(table
+                  .InsertNamed({{"id", Value::Int64(9)},
+                                {"name", Value::String("Zed")}})
+                  .ok());
+  EXPECT_TRUE(table.rows()[0][2].is_null());
+  EXPECT_EQ(table.rows()[0][0].AsInt64(), 9);
+}
+
+TEST(TableTest, InsertNamedUnknownColumn) {
+  Table table(PeopleSchema());
+  auto status = table.InsertNamed({{"bogus", Value::Int64(1)}});
+  EXPECT_EQ(status.code(), Status::Code::kNotFound);
+}
+
+TEST(TableTest, SelectWithPredicate) {
+  Table table = PeopleTable();
+  auto rows = table.Select(
+      [](const Tuple& row) { return !row[2].is_null() && row[2].AsInt64() > 40; });
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].AsString(), "Bob");
+}
+
+TEST(TableTest, SelectWhereEquals) {
+  Table table = PeopleTable();
+  auto rows = table.SelectWhereEquals("name", Value::String("Ada"));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt64(), 1);
+  EXPECT_FALSE(table.SelectWhereEquals("zzz", Value::Int64(0)).ok());
+}
+
+TEST(TableTest, ProjectReordersColumns) {
+  Table table = PeopleTable();
+  auto rows = table.Project({"name", "id"});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][0].AsString(), "Ada");
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 1);
+  EXPECT_FALSE(table.Project({"ghost"}).ok());
+}
+
+TEST(TableTest, OrderBySortsNullsFirst) {
+  Table table = PeopleTable();
+  ASSERT_TRUE(table.OrderBy("age").ok());
+  EXPECT_TRUE(table.rows()[0][2].is_null());
+  EXPECT_EQ(table.rows()[1][1].AsString(), "Ada");
+  EXPECT_EQ(table.rows()[2][1].AsString(), "Bob");
+  EXPECT_FALSE(table.OrderBy("ghost").ok());
+}
+
+TEST(TableTest, CountByGroupsAndSorts) {
+  Table table(Schema("cars", {Column{"make", ValueType::kString, true}}));
+  for (const char* make : {"Ford", "Honda", "Ford", "Toyota", "Ford",
+                           "Honda"}) {
+    ASSERT_TRUE(table.Insert({Value::String(make)}).ok());
+  }
+  ASSERT_TRUE(table.Insert({Value::Null()}).ok());  // NULLs skipped
+  auto counts = table.CountBy("make");
+  ASSERT_TRUE(counts.ok());
+  ASSERT_EQ(counts->size(), 3u);
+  EXPECT_EQ((*counts)[0].first.AsString(), "Ford");
+  EXPECT_EQ((*counts)[0].second, 3u);
+  EXPECT_EQ((*counts)[1].first.AsString(), "Honda");
+  EXPECT_EQ((*counts)[1].second, 2u);
+  EXPECT_EQ((*counts)[2].second, 1u);
+  EXPECT_FALSE(table.CountBy("ghost").ok());
+}
+
+TEST(TableTest, CountByEmptyTable) {
+  Table table(Schema("t", {Column{"a", ValueType::kString, true}}));
+  auto counts = table.CountBy("a");
+  ASSERT_TRUE(counts.ok());
+  EXPECT_TRUE(counts->empty());
+}
+
+TEST(TableTest, ToStringCapsRows) {
+  Table table = PeopleTable();
+  const std::string full = table.ToString();
+  EXPECT_NE(full.find("Ada"), std::string::npos);
+  const std::string capped = table.ToString(1);
+  EXPECT_NE(capped.find("2 more rows"), std::string::npos);
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog catalog;
+  auto table = catalog.CreateTable(PeopleSchema());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(catalog.table_count(), 1u);
+  EXPECT_EQ(catalog.GetTable("people"), *table);
+  EXPECT_EQ(catalog.GetTable("ghost"), nullptr);
+}
+
+TEST(CatalogTest, RejectsDuplicateNames) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(PeopleSchema()).ok());
+  EXPECT_FALSE(catalog.CreateTable(PeopleSchema()).ok());
+}
+
+TEST(CatalogTest, RejectsEmptyName) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.CreateTable(Schema("", {})).ok());
+}
+
+TEST(CatalogTest, TableNamesInCreationOrder) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(Schema("zeta", {})).ok());
+  ASSERT_TRUE(catalog.CreateTable(Schema("alpha", {})).ok());
+  EXPECT_EQ(catalog.TableNames(),
+            (std::vector<std::string>{"zeta", "alpha"}));
+}
+
+TEST(CatalogTest, ToStringListsAllTables) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(PeopleSchema()).ok());
+  EXPECT_NE(catalog.ToString().find("people"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webrbd::db

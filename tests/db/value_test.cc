@@ -1,0 +1,51 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd::db {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int64(42).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::String("text").ToString(), "text");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Double(3.0).ToString(), "3.0");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int64(1), Value::Int64(1));
+  EXPECT_FALSE(Value::Int64(1) == Value::Int64(2));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_FALSE(Value::Null() == Value::Int64(0));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  // Numeric comparison crosses int/double.
+  EXPECT_EQ(Value::Int64(2), Value::Double(2.0));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Null(), Value::Int64(0));
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_LT(Value::Int64(5), Value::String(""));  // numbers < strings
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_LT(Value::Double(1.5), Value::Int64(2));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_EQ(ValueTypeName(ValueType::kNull), "NULL");
+  EXPECT_EQ(ValueTypeName(ValueType::kInt64), "INT64");
+  EXPECT_EQ(ValueTypeName(ValueType::kDouble), "DOUBLE");
+  EXPECT_EQ(ValueTypeName(ValueType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace webrbd::db

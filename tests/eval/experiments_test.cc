@@ -1,0 +1,198 @@
+#include "eval/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd::eval {
+namespace {
+
+// The calibration evaluations are expensive enough to share across tests.
+class CalibrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    obits_ = new std::vector<DocEvaluation>(
+        EvaluateCorpus(gen::GenerateCalibrationCorpus(Domain::kObituaries),
+                       Domain::kObituaries)
+            .value());
+    cars_ = new std::vector<DocEvaluation>(
+        EvaluateCorpus(gen::GenerateCalibrationCorpus(Domain::kCarAds),
+                       Domain::kCarAds)
+            .value());
+    derived_ = new CertaintyFactorTable(DeriveCertaintyFactors(
+        {RankDistribution(*obits_), RankDistribution(*cars_)}));
+  }
+  static void TearDownTestSuite() {
+    delete obits_;
+    delete cars_;
+    delete derived_;
+  }
+
+  static std::vector<DocEvaluation> Pooled() {
+    std::vector<DocEvaluation> pooled = *obits_;
+    pooled.insert(pooled.end(), cars_->begin(), cars_->end());
+    return pooled;
+  }
+
+  static std::vector<DocEvaluation>* obits_;
+  static std::vector<DocEvaluation>* cars_;
+  static CertaintyFactorTable* derived_;
+};
+
+std::vector<DocEvaluation>* CalibrationFixture::obits_ = nullptr;
+std::vector<DocEvaluation>* CalibrationFixture::cars_ = nullptr;
+CertaintyFactorTable* CalibrationFixture::derived_ = nullptr;
+
+TEST_F(CalibrationFixture, CorpusSizesMatchPaper) {
+  EXPECT_EQ(obits_->size(), 50u);
+  EXPECT_EQ(cars_->size(), 50u);
+}
+
+TEST_F(CalibrationFixture, RankDistributionRowsSumToOne) {
+  for (const auto* evals : {obits_, cars_}) {
+    for (const RankDistributionRow& row : RankDistribution(*evals)) {
+      double total = row.none_fraction;
+      for (double f : row.rank_fraction) total += f;
+      EXPECT_NEAR(total, 1.0, 1e-9) << row.heuristic;
+    }
+  }
+}
+
+TEST_F(CalibrationFixture, NoIndividualHeuristicIsPerfect) {
+  // The paper's core motivation: each heuristic fails somewhere.
+  SuccessSummary summary =
+      SummarizeSuccess(Pooled(), "ORSIH", *derived_);
+  for (const char* heuristic : kHeuristicOrder) {
+    EXPECT_LT(summary.individual[heuristic], 1.0) << heuristic;
+    EXPECT_GT(summary.individual[heuristic], 0.2) << heuristic;
+  }
+}
+
+TEST_F(CalibrationFixture, HtIsTheWeakestHeuristic) {
+  SuccessSummary summary = SummarizeSuccess(Pooled(), "ORSIH", *derived_);
+  for (const char* heuristic : {"OM", "RP", "SD", "IT"}) {
+    EXPECT_LE(summary.individual["HT"], summary.individual[heuristic])
+        << heuristic;
+  }
+}
+
+TEST_F(CalibrationFixture, CompoundHeuristicIsPerfectOnCalibration) {
+  // Table 5: ORSIH achieves 100% on the 100 calibration documents.
+  SuccessSummary summary = SummarizeSuccess(Pooled(), "ORSIH", *derived_);
+  EXPECT_DOUBLE_EQ(summary.compound, 1.0);
+}
+
+TEST_F(CalibrationFixture, CombinationSweepHas26Entries) {
+  auto sweep = CombinationSweep(Pooled(), *derived_);
+  ASSERT_EQ(sweep.size(), 26u);
+  for (const CombinationSuccess& entry : sweep) {
+    EXPECT_GE(entry.success_rate, 0.0);
+    EXPECT_LE(entry.success_rate, 1.0);
+  }
+  EXPECT_EQ(sweep.back().combo, "ORSIH");
+}
+
+TEST_F(CalibrationFixture, FullCombinationAmongTheBest) {
+  // The paper chose ORSIH because it tied for the best success rate.
+  auto sweep = CombinationSweep(Pooled(), *derived_);
+  double best = 0.0;
+  double orsih = 0.0;
+  for (const CombinationSuccess& entry : sweep) {
+    best = std::max(best, entry.success_rate);
+    if (entry.combo == "ORSIH") orsih = entry.success_rate;
+  }
+  EXPECT_DOUBLE_EQ(orsih, best);
+}
+
+TEST_F(CalibrationFixture, DerivedFactorsAreAverages) {
+  auto obit_rows = RankDistribution(*obits_);
+  auto car_rows = RankDistribution(*cars_);
+  for (size_t h = 0; h < obit_rows.size(); ++h) {
+    for (int rank = 1; rank <= 4; ++rank) {
+      const double expected =
+          (obit_rows[h].rank_fraction[static_cast<size_t>(rank - 1)] +
+           car_rows[h].rank_fraction[static_cast<size_t>(rank - 1)]) /
+          2.0;
+      EXPECT_NEAR(derived_->Factor(obit_rows[h].heuristic, rank), expected,
+                  1e-12);
+    }
+  }
+}
+
+class TestSetTest : public ::testing::TestWithParam<Domain> {};
+
+TEST_P(TestSetTest, CompoundRanksFirstOnEverySite) {
+  // Tables 6-9, column A: the compound heuristic ranks a correct separator
+  // first on every test document; Table 10: ORSIH success rate 100%.
+  auto rows = RunTestSet(GetParam(), "ORSIH",
+                         CertaintyFactorTable::PaperTable4());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 5u);
+  for (const TestSiteRow& row : *rows) {
+    EXPECT_EQ(row.compound_rank, 1) << row.site_name;
+  }
+}
+
+TEST_P(TestSetTest, IndividualRanksAreSmallOrAbstained) {
+  auto rows =
+      RunTestSet(GetParam(), "ORSIH", CertaintyFactorTable::PaperTable4());
+  ASSERT_TRUE(rows.ok());
+  for (const TestSiteRow& row : *rows) {
+    for (const auto& [heuristic, rank] : row.heuristic_rank) {
+      EXPECT_GE(rank, 0) << row.site_name << " " << heuristic;
+      EXPECT_LE(rank, 4) << row.site_name << " " << heuristic;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, TestSetTest,
+                         ::testing::ValuesIn(kAllDomains),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Domain::kObituaries: return "Obituaries";
+                             case Domain::kCarAds: return "CarAds";
+                             case Domain::kJobAds: return "JobAds";
+                             case Domain::kCourses: return "Courses";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(DocEvaluationTest, SuccessScoreSemantics) {
+  DocEvaluation evaluation;
+  evaluation.correct_separators = {"hr"};
+  // Two tags tied at the top, one correct: sc(D) = 1/2.
+  std::vector<CompoundRankedTag> tied = {{"hr", 0.9}, {"b", 0.9}, {"br", 0.1}};
+  EXPECT_DOUBLE_EQ(evaluation.SuccessScore(tied), 0.5);
+  // Single correct winner: 1.
+  std::vector<CompoundRankedTag> single = {{"hr", 0.9}, {"b", 0.5}};
+  EXPECT_DOUBLE_EQ(evaluation.SuccessScore(single), 1.0);
+  // Wrong winner: 0.
+  std::vector<CompoundRankedTag> wrong = {{"b", 0.9}, {"hr", 0.5}};
+  EXPECT_DOUBLE_EQ(evaluation.SuccessScore(wrong), 0.0);
+  // Empty ranking: 0.
+  EXPECT_DOUBLE_EQ(evaluation.SuccessScore({}), 0.0);
+}
+
+TEST(DocEvaluationTest, CompoundCorrectRankUsesCompetitionRanking) {
+  DocEvaluation evaluation;
+  evaluation.correct_separators = {"hr"};
+  std::vector<CompoundRankedTag> ranking = {
+      {"a", 0.9}, {"b", 0.9}, {"hr", 0.5}};
+  EXPECT_EQ(evaluation.CompoundCorrectRank(ranking), 3);
+  std::vector<CompoundRankedTag> tied = {{"hr", 0.9}, {"b", 0.9}};
+  EXPECT_EQ(evaluation.CompoundCorrectRank(tied), 1);
+  std::vector<CompoundRankedTag> missing = {{"b", 0.9}};
+  EXPECT_EQ(evaluation.CompoundCorrectRank(missing), 0);
+}
+
+TEST(DocEvaluationTest, MultipleCorrectSeparatorsTakeBestRank) {
+  DocEvaluation evaluation;
+  evaluation.correct_separators = {"tr", "td"};
+  HeuristicResult result;
+  result.heuristic_name = "HT";
+  result.ranking = {{"b", 10.0, 1}, {"td", 5.0, 2}, {"tr", 5.0, 2}};
+  evaluation.results.push_back(result);
+  EXPECT_EQ(evaluation.CorrectRank("HT"), 2);
+  EXPECT_EQ(evaluation.CorrectRank("SD"), 0);  // not present
+}
+
+}  // namespace
+}  // namespace webrbd::eval

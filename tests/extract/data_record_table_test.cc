@@ -1,0 +1,90 @@
+#include "extract/data_record_table.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd {
+namespace {
+
+DataRecordEntry Entry(std::string descriptor, std::string value, size_t begin,
+                      MatchKind kind = MatchKind::kConstant) {
+  DataRecordEntry entry;
+  entry.descriptor = std::move(descriptor);
+  entry.value = std::move(value);
+  entry.begin = begin;
+  entry.end = begin + entry.value.size();
+  entry.kind = kind;
+  return entry;
+}
+
+TEST(DataRecordTableTest, SortsByPosition) {
+  DataRecordTable table({Entry("B", "x", 50), Entry("A", "y", 10),
+                         Entry("C", "z", 30)});
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.entries()[0].descriptor, "A");
+  EXPECT_EQ(table.entries()[1].descriptor, "C");
+  EXPECT_EQ(table.entries()[2].descriptor, "B");
+}
+
+TEST(DataRecordTableTest, StableForEqualPositions) {
+  DataRecordTable table({Entry("First", "x", 10), Entry("Second", "y", 10)});
+  EXPECT_EQ(table.entries()[0].descriptor, "First");
+}
+
+TEST(DataRecordTableTest, CountAndFilterByDescriptor) {
+  DataRecordTable table({Entry("D", "a", 1), Entry("D", "b", 5),
+                         Entry("E", "c", 3),
+                         Entry("D", "kw", 7, MatchKind::kKeyword)});
+  EXPECT_EQ(table.CountFor("D"), 3u);
+  EXPECT_EQ(table.CountFor("D", MatchKind::kConstant), 2u);
+  EXPECT_EQ(table.CountFor("D", MatchKind::kKeyword), 1u);
+  EXPECT_EQ(table.CountFor("E"), 1u);
+  EXPECT_EQ(table.CountFor("F"), 0u);
+  EXPECT_EQ(table.ForDescriptor("D").size(), 3u);
+  EXPECT_TRUE(table.ForDescriptor("F").empty());
+}
+
+TEST(DataRecordTableTest, PartitionAtCuts) {
+  DataRecordTable table({Entry("A", "1", 5), Entry("B", "2", 15),
+                         Entry("C", "3", 25), Entry("D", "4", 35)});
+  auto parts = table.PartitionAt({10, 30});
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size(), 1u);  // pos 5
+  EXPECT_EQ(parts[1].size(), 2u);  // pos 15, 25
+  EXPECT_EQ(parts[2].size(), 1u);  // pos 35
+  EXPECT_EQ(parts[1].entries()[0].descriptor, "B");
+}
+
+TEST(DataRecordTableTest, PartitionBoundaryBelongsToRight) {
+  DataRecordTable table({Entry("X", "1", 10)});
+  auto parts = table.PartitionAt({10});
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].size(), 0u);
+  EXPECT_EQ(parts[1].size(), 1u);
+}
+
+TEST(DataRecordTableTest, PartitionWithNoCuts) {
+  DataRecordTable table({Entry("X", "1", 10)});
+  auto parts = table.PartitionAt({});
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 1u);
+}
+
+TEST(DataRecordTableTest, EmptyTable) {
+  DataRecordTable table;
+  EXPECT_TRUE(table.empty());
+  auto parts = table.PartitionAt({5, 10});
+  EXPECT_EQ(parts.size(), 3u);
+  for (const auto& part : parts) EXPECT_TRUE(part.empty());
+}
+
+TEST(DataRecordTableTest, ToStringShowsColumns) {
+  DataRecordTable table(
+      {Entry("DeathDate", "died on", 12, MatchKind::kKeyword)});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("DeathDate"), std::string::npos);
+  EXPECT_NE(out.find("died on"), std::string::npos);
+  EXPECT_NE(out.find("keyword"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webrbd

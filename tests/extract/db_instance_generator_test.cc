@@ -1,0 +1,116 @@
+#include "extract/db_instance_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ontology/bundled.h"
+
+namespace webrbd {
+namespace {
+
+ExtractedRecord Record(std::string text) {
+  ExtractedRecord record;
+  record.text = std::move(text);
+  return record;
+}
+
+TEST(DbInstanceGeneratorTest, KeywordCorrelationDisambiguatesDates) {
+  // Both dates match the shared date pattern under DeathDate, BirthDate,
+  // and FuneralDate; the preceding keywords must assign each to the right
+  // column (the paper's step-5 keyword/constant correlation).
+  auto ontology = BundledOntology(Domain::kObituaries).value();
+  auto generator = DatabaseInstanceGenerator::Create(ontology).value();
+  auto fields = generator.FieldsForRecord(
+      "Alice Smith died on September 30, 1998. She was born on May 1, 1918 "
+      "in Provo.");
+  std::map<std::string, std::string> by_name(fields.begin(), fields.end());
+  EXPECT_EQ(by_name["DeathDate"], "September 30, 1998");
+  EXPECT_EQ(by_name["BirthDate"], "May 1, 1918");
+  EXPECT_EQ(by_name.count("FuneralDate"), 0u);
+}
+
+TEST(DbInstanceGeneratorTest, AmbiguousConstantWithoutKeywordDropped) {
+  auto ontology = BundledOntology(Domain::kObituaries).value();
+  auto generator = DatabaseInstanceGenerator::Create(ontology).value();
+  // A bare date with no keyword within the window stays unassigned.
+  auto fields = generator.FieldsForRecord(
+      "The committee met. September 30, 1998 was a Wednesday.");
+  for (const auto& [name, value] : fields) {
+    EXPECT_NE(value, "September 30, 1998") << name;
+  }
+}
+
+TEST(DbInstanceGeneratorTest, PopulatesEntityTable) {
+  auto ontology = BundledOntology(Domain::kCarAds).value();
+  auto generator = DatabaseInstanceGenerator::Create(ontology).value();
+  std::vector<ExtractedRecord> records = {
+      Record("1994 Honda Accord, red, 78,000 miles, sunroof, leather seats. "
+             "$4,500. Call 555-3432."),
+      Record("1988 Ford Taurus, blue, 120,000 miles. $1,200."),
+  };
+  auto catalog = generator.Populate(records);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+
+  const db::Table* cars = catalog->GetTable("Car");
+  ASSERT_NE(cars, nullptr);
+  ASSERT_EQ(cars->row_count(), 2u);
+
+  const db::Schema& schema = cars->schema();
+  auto cell = [&](size_t row, const std::string& column) {
+    return cars->rows()[row][*schema.ColumnIndex(column)];
+  };
+  EXPECT_EQ(cell(0, "id").AsInt64(), 1);
+  EXPECT_EQ(cell(0, "Make").AsString(), "Honda");
+  EXPECT_EQ(cell(0, "Model").AsString(), "Accord");
+  EXPECT_EQ(cell(0, "Year").AsString(), "1994");
+  EXPECT_EQ(cell(0, "Price").AsString(), "$4,500");
+  EXPECT_EQ(cell(1, "Make").AsString(), "Ford");
+  EXPECT_EQ(cell(1, "Color").AsString(), "blue");
+}
+
+TEST(DbInstanceGeneratorTest, ManyValuedGoToAuxTable) {
+  auto ontology = BundledOntology(Domain::kCarAds).value();
+  auto generator = DatabaseInstanceGenerator::Create(ontology).value();
+  auto catalog = generator.Populate(
+      {Record("1990 Dodge Caravan, white, sunroof, cruise control, leather "
+              "seats. $2,000.")});
+  ASSERT_TRUE(catalog.ok());
+  const db::Table* features = catalog->GetTable("Car_Feature");
+  ASSERT_NE(features, nullptr);
+  EXPECT_EQ(features->row_count(), 3u);
+  for (const db::Tuple& row : features->rows()) {
+    EXPECT_EQ(row[0].AsInt64(), 1);  // entity_id
+  }
+}
+
+TEST(DbInstanceGeneratorTest, MissingFieldsStayNull) {
+  auto ontology = BundledOntology(Domain::kCarAds).value();
+  auto generator = DatabaseInstanceGenerator::Create(ontology).value();
+  auto catalog = generator.Populate({Record("1994 Honda Accord.")});
+  ASSERT_TRUE(catalog.ok());
+  const db::Table* cars = catalog->GetTable("Car");
+  const db::Schema& schema = cars->schema();
+  EXPECT_TRUE(cars->rows()[0][*schema.ColumnIndex("Price")].is_null());
+  EXPECT_FALSE(cars->rows()[0][*schema.ColumnIndex("Make")].is_null());
+}
+
+TEST(DbInstanceGeneratorTest, FunctionalTakesLeftmostConstant) {
+  auto ontology = BundledOntology(Domain::kCarAds).value();
+  auto generator = DatabaseInstanceGenerator::Create(ontology).value();
+  auto fields =
+      generator.FieldsForRecord("1994 Honda Accord; also mentions Toyota.");
+  std::map<std::string, std::string> by_name(fields.begin(), fields.end());
+  EXPECT_EQ(by_name["Make"], "Honda");
+}
+
+TEST(DbInstanceGeneratorTest, EmptyRecordListYieldsEmptyTables) {
+  auto ontology = BundledOntology(Domain::kJobAds).value();
+  auto generator = DatabaseInstanceGenerator::Create(ontology).value();
+  auto catalog = generator.Populate({});
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->GetTable("Job")->row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace webrbd

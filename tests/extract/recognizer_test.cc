@@ -1,0 +1,62 @@
+#include "extract/recognizer.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/bundled.h"
+#include "ontology/parser.h"
+
+namespace webrbd {
+namespace {
+
+TEST(RecognizerTest, ProducesPositionOrderedTable) {
+  auto ontology = BundledOntology(Domain::kObituaries).value();
+  auto recognizer = Recognizer::Create(ontology).value();
+  const std::string text =
+      "Alice M. Smith died on September 30, 1998, at age 80. She was born "
+      "on May 1, 1918. Funeral services will be held at Memorial Chapel.";
+  DataRecordTable table = recognizer.Recognize(text);
+  ASSERT_FALSE(table.empty());
+  for (size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GE(table.entries()[i].begin, table.entries()[i - 1].begin);
+  }
+  // Keyword evidence.
+  EXPECT_EQ(table.CountFor("DeathDate", MatchKind::kKeyword), 1u);
+  EXPECT_EQ(table.CountFor("BirthDate", MatchKind::kKeyword), 1u);
+  EXPECT_EQ(table.CountFor("FuneralDate", MatchKind::kKeyword), 1u);
+  EXPECT_EQ(table.CountFor("Age", MatchKind::kKeyword), 1u);
+  // Constants: both dates match the shared date pattern under multiple
+  // descriptors; the mortuary lexicon fires once.
+  EXPECT_GE(table.CountFor("DeathDate", MatchKind::kConstant), 2u);
+  EXPECT_EQ(table.CountFor("Mortuary", MatchKind::kConstant), 1u);
+}
+
+TEST(RecognizerTest, MatchSpansSliceTheText) {
+  auto ontology = BundledOntology(Domain::kCarAds).value();
+  auto recognizer = Recognizer::Create(ontology).value();
+  const std::string text = "1994 Honda Accord, 78,000 miles, $4,500";
+  DataRecordTable table = recognizer.Recognize(text);
+  for (const DataRecordEntry& entry : table.entries()) {
+    ASSERT_LE(entry.end, text.size());
+    EXPECT_EQ(text.substr(entry.begin, entry.end - entry.begin), entry.value);
+  }
+  EXPECT_EQ(table.CountFor("Make"), 1u);
+  EXPECT_EQ(table.CountFor("Model"), 1u);
+  EXPECT_EQ(table.CountFor("Year"), 1u);
+  EXPECT_EQ(table.CountFor("Price"), 1u);
+}
+
+TEST(RecognizerTest, EmptyTextYieldsEmptyTable) {
+  auto ontology = BundledOntology(Domain::kJobAds).value();
+  auto recognizer = Recognizer::Create(ontology).value();
+  EXPECT_TRUE(recognizer.Recognize("").empty());
+}
+
+TEST(RecognizerTest, BadPatternFailsCreation) {
+  auto ontology = ParseOntology(
+      "ontology T\nentity E\nobjectset Bad\npattern (((\nend\n");
+  ASSERT_TRUE(ontology.ok());
+  EXPECT_FALSE(Recognizer::Create(*ontology).ok());
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "gen/sites.h"
+#include "util/string_util.h"
+
+namespace webrbd::gen {
+namespace {
+
+TEST(ArchetypeOverrideTest, ResolvesPerDomain) {
+  SiteTemplate site;
+  site.archetype = LayoutArchetype::kHeadlined;
+  site.archetype_overrides = {{Domain::kCarAds, LayoutArchetype::kHrSeparated}};
+  EXPECT_EQ(site.ArchetypeFor(Domain::kObituaries),
+            LayoutArchetype::kHeadlined);
+  EXPECT_EQ(site.ArchetypeFor(Domain::kCarAds),
+            LayoutArchetype::kHrSeparated);
+  EXPECT_EQ(site.ArchetypeFor(Domain::kCourses),
+            LayoutArchetype::kHeadlined);
+}
+
+TEST(ArchetypeOverrideTest, SeattleServesDifferentSectionLayouts) {
+  const SiteTemplate* seattle = nullptr;
+  for (const SiteTemplate& site : CalibrationSites()) {
+    if (site.site_name == "Seattle Times") seattle = &site;
+  }
+  ASSERT_NE(seattle, nullptr);
+
+  GeneratedDocument obits = RenderDocument(*seattle, Domain::kObituaries, 0);
+  GeneratedDocument cars = RenderDocument(*seattle, Domain::kCarAds, 0);
+  EXPECT_EQ(obits.correct_separators, std::vector<std::string>{"h4"});
+  EXPECT_EQ(cars.correct_separators, std::vector<std::string>{"hr"});
+  EXPECT_TRUE(ContainsIgnoreCase(obits.html, "<h4>"));
+  EXPECT_TRUE(ContainsIgnoreCase(cars.html, "<hr>"));
+}
+
+TEST(ArchetypeOverrideTest, GroundTruthFollowsResolvedArchetype) {
+  SiteTemplate site;
+  site.site_name = "Override Test Gazette";
+  site.url = "override.test";
+  site.archetype = LayoutArchetype::kParagraphs;
+  site.archetype_overrides = {
+      {Domain::kJobAds, LayoutArchetype::kNestedTables}};
+
+  GeneratedDocument paragraphs = RenderDocument(site, Domain::kCourses, 0);
+  EXPECT_EQ(paragraphs.correct_separators, std::vector<std::string>{"p"});
+
+  GeneratedDocument nested = RenderDocument(site, Domain::kJobAds, 0);
+  EXPECT_EQ(nested.correct_separators,
+            (std::vector<std::string>{"table", "tr", "td"}));
+}
+
+}  // namespace
+}  // namespace webrbd::gen

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "gen/corpora.h"
+#include "gen/record_content.h"
+#include "gen/site_template.h"
+#include "gen/sites.h"
+#include "html/tree_builder.h"
+#include "util/string_util.h"
+
+namespace webrbd::gen {
+namespace {
+
+TEST(CorporaTest, ListsAreNonEmptyAndDistinctive) {
+  EXPECT_GE(FirstNames().size(), 50u);
+  EXPECT_GE(LastNames().size(), 50u);
+  EXPECT_GE(Cities().size(), 20u);
+  EXPECT_EQ(MonthNames().size(), 12u);
+  EXPECT_GE(CarMakes().size(), 15u);
+  EXPECT_GE(JobTitles().size(), 15u);
+  EXPECT_GE(Skills().size(), 20u);
+  EXPECT_GE(DepartmentCodes().size(), 15u);
+  EXPECT_GE(CourseTopics().size(), 15u);
+  EXPECT_GE(Mortuaries().size(), 5u);
+  EXPECT_GE(FillerSentences().size(), 10u);
+}
+
+TEST(CorporaTest, EveryMakeHasModels) {
+  for (const std::string& make : CarMakes()) {
+    EXPECT_FALSE(ModelsOf(make).empty()) << make;
+  }
+  EXPECT_TRUE(ModelsOf("NotAMake").empty());
+}
+
+TEST(CorporaTest, FillerSentencesAvoidOntologyKeywords) {
+  // Filler must not perturb the OM heuristic: no domain keyword may appear.
+  const char* keywords[] = {"died on", "passed away", "was born",
+                            "funeral services", "miles", "years experience",
+                            "salary", "credit hours", "instructor",
+                            "prerequisite"};
+  for (const std::string& sentence : FillerSentences()) {
+    for (const char* keyword : keywords) {
+      EXPECT_FALSE(ContainsIgnoreCase(sentence, keyword))
+          << "filler \"" << sentence << "\" contains keyword \"" << keyword
+          << "\"";
+    }
+  }
+}
+
+class RecordContentTest : public ::testing::TestWithParam<Domain> {};
+
+TEST_P(RecordContentTest, RecordsContainDomainSignals) {
+  Rng rng(1234);
+  ContentOptions options;
+  options.field_miss_prob = 0.0;  // force every field present
+  for (int i = 0; i < 20; ++i) {
+    GeneratedRecord record = GenerateRecord(GetParam(), options, &rng);
+    const std::string text = record.PlainText();
+    EXPECT_FALSE(text.empty());
+    switch (GetParam()) {
+      case Domain::kObituaries:
+        EXPECT_TRUE(ContainsIgnoreCase(text, "died on") ||
+                    ContainsIgnoreCase(text, "passed away on"))
+            << text;
+        EXPECT_TRUE(ContainsIgnoreCase(text, "was born")) << text;
+        EXPECT_TRUE(ContainsIgnoreCase(text, "funeral services")) << text;
+        break;
+      case Domain::kCarAds:
+        EXPECT_TRUE(ContainsIgnoreCase(text, "miles")) << text;
+        EXPECT_NE(text.find('$'), std::string::npos) << text;
+        break;
+      case Domain::kJobAds:
+        EXPECT_TRUE(ContainsIgnoreCase(text, "years experience")) << text;
+        EXPECT_TRUE(ContainsIgnoreCase(text, "salary")) << text;
+        break;
+      case Domain::kCourses:
+        EXPECT_TRUE(ContainsIgnoreCase(text, "credit hours")) << text;
+        EXPECT_TRUE(ContainsIgnoreCase(text, "prerequisite")) << text;
+        break;
+    }
+  }
+}
+
+TEST_P(RecordContentTest, AtLeastTwoEmphases) {
+  // Sites that render emphasis need >= 2 emphases per record so no
+  // candidate tag count sits exactly at the record count (OM degeneracy;
+  // see DESIGN.md). Verified with all fields present.
+  Rng rng(99);
+  ContentOptions options;
+  options.field_miss_prob = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    GeneratedRecord record = GenerateRecord(GetParam(), options, &rng);
+    int emphases = 0;
+    for (const RecordPiece& piece : record.pieces) {
+      if (piece.kind == RecordPiece::Kind::kEmphasis) ++emphases;
+    }
+    EXPECT_GE(emphases, 2) << DomainName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, RecordContentTest,
+                         ::testing::ValuesIn(kAllDomains));
+
+TEST(RecordContentTest, DeterministicForSameSeed) {
+  ContentOptions options;
+  Rng a(7), b(7);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(GenerateObituary(options, &a).PlainText(),
+              GenerateObituary(options, &b).PlainText());
+  }
+}
+
+TEST(SiteTemplateTest, RenderIsDeterministic) {
+  const SiteTemplate& site = CalibrationSites()[0];
+  GeneratedDocument a = RenderDocument(site, Domain::kObituaries, 3);
+  GeneratedDocument b = RenderDocument(site, Domain::kObituaries, 3);
+  EXPECT_EQ(a.html, b.html);
+  EXPECT_EQ(a.record_texts, b.record_texts);
+}
+
+TEST(SiteTemplateTest, DistinctDocIndexesDiffer) {
+  const SiteTemplate& site = CalibrationSites()[0];
+  EXPECT_NE(RenderDocument(site, Domain::kObituaries, 0).html,
+            RenderDocument(site, Domain::kObituaries, 1).html);
+}
+
+TEST(SiteTemplateTest, DomainsShareLayoutNotContent) {
+  const SiteTemplate& site = CalibrationSites()[0];
+  GeneratedDocument obits = RenderDocument(site, Domain::kObituaries, 0);
+  GeneratedDocument cars = RenderDocument(site, Domain::kCarAds, 0);
+  EXPECT_EQ(obits.correct_separators, cars.correct_separators);
+  EXPECT_NE(obits.html, cars.html);
+}
+
+TEST(SiteTemplateTest, GroundTruthSeparatorOccursInHtml) {
+  for (const SiteTemplate& site : CalibrationSites()) {
+    GeneratedDocument doc = RenderDocument(site, Domain::kCarAds, 0);
+    ASSERT_FALSE(doc.correct_separators.empty());
+    for (const std::string& separator : doc.correct_separators) {
+      EXPECT_TRUE(ContainsIgnoreCase(doc.html, "<" + separator))
+          << site.site_name << " lacks <" << separator << ">";
+    }
+    EXPECT_TRUE(doc.IsCorrectSeparator(doc.correct_separators[0]));
+    EXPECT_FALSE(doc.IsCorrectSeparator("blink"));
+  }
+}
+
+TEST(SiteTemplateTest, RecordCountWithinTemplateBounds) {
+  for (const SiteTemplate& site : CalibrationSites()) {
+    GeneratedDocument doc = RenderDocument(site, Domain::kJobAds, 2);
+    EXPECT_GE(static_cast<int>(doc.record_texts.size()), site.min_records);
+    EXPECT_LE(static_cast<int>(doc.record_texts.size()), site.max_records);
+  }
+}
+
+TEST(SiteTemplateTest, DocumentsParseIntoTrees) {
+  for (const SiteTemplate& site : CalibrationSites()) {
+    for (Domain domain : {Domain::kObituaries, Domain::kCarAds}) {
+      GeneratedDocument doc = RenderDocument(site, domain, 0);
+      auto tree = BuildTagTree(doc.html);
+      ASSERT_TRUE(tree.ok()) << site.site_name;
+      EXPECT_GT(tree->NodeCount(), 10u) << site.site_name;
+    }
+  }
+}
+
+TEST(SitesTest, RegistrySizesMatchPaper) {
+  EXPECT_EQ(CalibrationSites().size(), 10u);  // Table 1
+  for (Domain domain : kAllDomains) {
+    EXPECT_EQ(TestSites(domain).size(), 5u);  // Tables 6-9
+  }
+}
+
+TEST(SitesTest, SiteNamesMatchPaperTables) {
+  EXPECT_EQ(CalibrationSites()[0].site_name, "Salt Lake Tribune");
+  EXPECT_EQ(CalibrationSites()[9].site_name, "Access Atlanta");
+  EXPECT_EQ(TestSites(Domain::kObituaries)[0].site_name, "Alameda Newspaper");
+  EXPECT_EQ(TestSites(Domain::kCarAds)[1].site_name, "Sioux City Journal");
+  EXPECT_EQ(TestSites(Domain::kJobAds)[4].site_name, "Los Angeles Times");
+  EXPECT_EQ(TestSites(Domain::kCourses)[1].site_name, "MIT");
+}
+
+TEST(SitesTest, CorpusSizesMatchPaper) {
+  // 10 sites x 5 docs per application; 5 test docs per application.
+  EXPECT_EQ(GenerateCalibrationCorpus(Domain::kObituaries).size(), 50u);
+  EXPECT_EQ(GenerateCalibrationCorpus(Domain::kCarAds).size(), 50u);
+  EXPECT_EQ(GenerateTestCorpus(Domain::kCourses).size(), 5u);
+}
+
+TEST(SitesTest, CorpusDocumentsCarryMetadata) {
+  auto corpus = GenerateTestCorpus(Domain::kJobAds);
+  for (const GeneratedDocument& doc : corpus) {
+    EXPECT_EQ(doc.domain, Domain::kJobAds);
+    EXPECT_FALSE(doc.site_name.empty());
+    EXPECT_FALSE(doc.correct_separators.empty());
+    EXPECT_GE(doc.record_texts.size(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace webrbd::gen

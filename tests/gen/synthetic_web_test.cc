@@ -1,0 +1,93 @@
+#include "gen/synthetic_web.h"
+
+#include <gtest/gtest.h>
+
+#include "core/discovery.h"
+#include "core/document_classifier.h"
+#include "html/tree_builder.h"
+
+namespace webrbd::gen {
+namespace {
+
+TEST(SyntheticWebTest, IndexCoversAllSites) {
+  SyntheticWeb web;
+  EXPECT_EQ(web.site_count(), 30u);  // 10 calibration + 4x5 test sites
+  // 10 calibration sites x (1 nav + 2 domains x 8 pages) +
+  // 20 test sites x (1 nav + 1 domain x 8 pages).
+  EXPECT_EQ(web.url_count(), 10u * 17u + 20u * 9u);
+  EXPECT_EQ(web.AllUrls().size(), web.url_count());
+}
+
+TEST(SyntheticWebTest, FetchIsDeterministic) {
+  SyntheticWeb web;
+  const std::string url = "www.sltrib.com/obituaries/page0.html";
+  auto a = web.Fetch(url);
+  auto b = web.Fetch(url);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->document.html, b->document.html);
+  EXPECT_EQ(a->kind, PageKind::kListing);
+  EXPECT_EQ(a->domain, Domain::kObituaries);
+}
+
+TEST(SyntheticWebTest, SchemeIsOptional) {
+  SyntheticWeb web;
+  auto with = web.Fetch("http://www.sltrib.com/");
+  auto without = web.Fetch("www.sltrib.com/");
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->document.html, without->document.html);
+  EXPECT_EQ(with->kind, PageKind::kNavigation);
+}
+
+TEST(SyntheticWebTest, UnknownUrlIs404) {
+  SyntheticWeb web;
+  auto page = web.Fetch("www.example.com/nope.html");
+  EXPECT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), Status::Code::kNotFound);
+}
+
+TEST(SyntheticWebTest, ListingUrlsFilterByDomain) {
+  SyntheticWeb web;
+  // Courses: 5 test sites x 5 listing pages.
+  EXPECT_EQ(web.ListingUrls(Domain::kCourses).size(), 25u);
+  // Obituaries: 10 calibration + 5 test sites, 5 pages each.
+  EXPECT_EQ(web.ListingUrls(Domain::kObituaries).size(), 75u);
+  for (const std::string& url : web.ListingUrls(Domain::kCarAds)) {
+    EXPECT_NE(url.find("/autos/"), std::string::npos) << url;
+  }
+}
+
+TEST(SyntheticWebTest, ListingPagesDiscoverCorrectly) {
+  SyntheticWeb web;
+  // Spot-check one listing page per domain end to end.
+  for (Domain domain : kAllDomains) {
+    const auto urls = web.ListingUrls(domain);
+    ASSERT_FALSE(urls.empty());
+    auto page = web.Fetch(urls.back());
+    ASSERT_TRUE(page.ok());
+    auto discovery = DiscoverRecordBoundaries(page->document.html);
+    ASSERT_TRUE(discovery.ok()) << urls.back();
+    EXPECT_TRUE(page->document.IsCorrectSeparator(discovery->result.separator))
+        << urls.back();
+  }
+}
+
+TEST(SyntheticWebTest, PageKindsMatchClassifierExpectations) {
+  SyntheticWeb web;
+  // Structural-only classification (no ontology): listing pages must
+  // classify multi-record; detail/nav pages must carry their kinds.
+  auto listing = web.Fetch("www.sltrib.com/autos/page1.html");
+  ASSERT_TRUE(listing.ok());
+  TagTree tree = BuildTagTree(listing->document.html).value();
+  EXPECT_EQ(ClassifyDocument(tree).document_class,
+            DocumentClass::kMultiRecord);
+
+  auto detail = web.Fetch("www.sltrib.com/autos/item0.html");
+  ASSERT_TRUE(detail.ok());
+  EXPECT_EQ(detail->kind, PageKind::kDetail);
+  EXPECT_EQ(detail->document.record_texts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace webrbd::gen

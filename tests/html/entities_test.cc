@@ -1,0 +1,79 @@
+#include "html/entities.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd {
+namespace {
+
+TEST(EntitiesTest, CoreNamedEntities) {
+  EXPECT_EQ(DecodeEntities("Smith &amp; Sons"), "Smith & Sons");
+  EXPECT_EQ(DecodeEntities("a &lt; b &gt; c"), "a < b > c");
+  EXPECT_EQ(DecodeEntities("&quot;quoted&quot;"), "\"quoted\"");
+  EXPECT_EQ(DecodeEntities("it&apos;s"), "it's");
+  EXPECT_EQ(DecodeEntities("one&nbsp;two"), "one two");
+}
+
+TEST(EntitiesTest, TypographicEntities) {
+  EXPECT_EQ(DecodeEntities("&copy; 1998"), "(c) 1998");
+  EXPECT_EQ(DecodeEntities("Brand&trade;"), "Brand(TM)");
+  EXPECT_EQ(DecodeEntities("pp. 3&ndash;7"), "pp. 3-7");
+  EXPECT_EQ(DecodeEntities("wait&hellip;"), "wait...");
+}
+
+TEST(EntitiesTest, AccentsFallBackToAscii) {
+  EXPECT_EQ(DecodeEntities("caf&eacute;"), "cafe");
+  EXPECT_EQ(DecodeEntities("ma&ntilde;ana"), "manana");
+}
+
+TEST(EntitiesTest, NumericDecimal) {
+  EXPECT_EQ(DecodeEntities("&#65;&#66;&#67;"), "ABC");
+  EXPECT_EQ(DecodeEntities("&#32;"), " ");
+}
+
+TEST(EntitiesTest, NumericHex) {
+  EXPECT_EQ(DecodeEntities("&#x41;&#x61;"), "Aa");
+  EXPECT_EQ(DecodeEntities("&#X4a;"), "J");
+}
+
+TEST(EntitiesTest, NonAsciiBecomesPlaceholder) {
+  EXPECT_EQ(DecodeEntities("&#233;"), "?");
+  EXPECT_EQ(DecodeEntities("&#x2603;"), "?");
+}
+
+TEST(EntitiesTest, MalformedLeftVerbatim) {
+  EXPECT_EQ(DecodeEntities("AT&T"), "AT&T");  // bare ampersand
+  EXPECT_EQ(DecodeEntities("&bogusname;"), "&bogusname;");
+  EXPECT_EQ(DecodeEntities("&;"), "&;");
+  EXPECT_EQ(DecodeEntities("&#;"), "&#;");
+  EXPECT_EQ(DecodeEntities("&#x;"), "&#x;");
+  EXPECT_EQ(DecodeEntities("&#0;"), "&#0;");
+  EXPECT_EQ(DecodeEntities("& amp;"), "& amp;");
+  EXPECT_EQ(DecodeEntities("trailing &"), "trailing &");
+  // Distant semicolon: not an entity.
+  EXPECT_EQ(DecodeEntities("&this is no entity;"), "&this is no entity;");
+}
+
+TEST(EntitiesTest, MixedText) {
+  EXPECT_EQ(
+      DecodeEntities("Johnson &amp; Sons&nbsp;&copy; 1998 &#8212; all"),
+      "Johnson & Sons (c) 1998 ? all");  // em dash: non-ASCII placeholder
+}
+
+TEST(EntitiesTest, EmptyAndPlain) {
+  EXPECT_EQ(DecodeEntities(""), "");
+  EXPECT_EQ(DecodeEntities("plain text"), "plain text");
+}
+
+TEST(EntitiesTest, EncodeEscapesXmlSignificant) {
+  EXPECT_EQ(EncodeEntities("a < b & c > \"d\" 'e'"),
+            "a &lt; b &amp; c &gt; &quot;d&quot; &apos;e&apos;");
+  EXPECT_EQ(EncodeEntities("safe"), "safe");
+}
+
+TEST(EntitiesTest, RoundTrip) {
+  const std::string original = "Smith & Sons <est. \"1912\">";
+  EXPECT_EQ(DecodeEntities(EncodeEntities(original)), original);
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,145 @@
+// Randomized robustness tests: the lexer and tree builder must uphold
+// their invariants on arbitrary tag soup — the paper's corpus is the open
+// web, where every malformation occurs.
+
+#include <gtest/gtest.h>
+
+#include "html/lexer.h"
+#include "html/tree_builder.h"
+#include "util/rng.h"
+
+namespace webrbd {
+namespace {
+
+// Generates adversarial pseudo-HTML: random nesting, stray brackets,
+// unclosed/overclosed tags, comments, attribute junk.
+std::string RandomTagSoup(Rng* rng, size_t target_size) {
+  static const char* kNames[] = {"a", "b",  "td", "tr",    "table", "p",
+                                 "hr", "br", "h1", "font",  "div",  "x-y"};
+  static const char* kJunk[] = {
+      "< not a tag", ">", "<<", "&amp;", "<!-- comment <b> -->",
+      "<!DOCTYPE html>", "<?php echo ?>", "plain words here ",
+      "\"quotes\" and 'more' ", "<>", "</>", "1998 ",
+  };
+  std::string out;
+  std::vector<std::string> open;
+  while (out.size() < target_size) {
+    switch (rng->Below(8)) {
+      case 0:
+      case 1: {  // open a tag, sometimes with attributes
+        std::string name = kNames[rng->Below(12)];
+        out += "<" + name;
+        if (rng->Chance(0.3)) out += " attr=\"v>v\"";
+        if (rng->Chance(0.2)) out += " bare";
+        if (rng->Chance(0.1)) out += "/";
+        out += ">";
+        open.push_back(std::move(name));
+        break;
+      }
+      case 2: {  // close the innermost open tag
+        if (!open.empty()) {
+          out += "</" + open.back() + ">";
+          open.pop_back();
+        }
+        break;
+      }
+      case 3: {  // close a random (possibly mismatched) tag
+        out += std::string("</") + kNames[rng->Below(12)] + ">";
+        break;
+      }
+      case 4:
+      case 5:
+        out += "text ";
+        break;
+      case 6:
+        out += kJunk[rng->Below(12)];
+        break;
+      case 7:  // truncated tag
+        if (rng->Chance(0.3)) out += "<b";
+        else out += "word ";
+        break;
+    }
+  }
+  return out;
+}
+
+class TagSoupFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TagSoupFuzzTest, LexerCoversEveryByteInOrder) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  const std::string doc = RandomTagSoup(&rng, 2000);
+  auto tokens = LexHtml(doc);
+  ASSERT_TRUE(tokens.ok());
+  size_t pos = 0;
+  for (const HtmlToken& token : *tokens) {
+    ASSERT_EQ(token.begin, pos) << "gap or overlap at byte " << pos;
+    ASSERT_GE(token.end, token.begin);
+    pos = token.end;
+  }
+  EXPECT_EQ(pos, doc.size());
+}
+
+TEST_P(TagSoupFuzzTest, TreeBuilderBalancesAnySoup) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  const std::string doc = RandomTagSoup(&rng, 3000);
+  auto tree = BuildTagTree(doc);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+
+  // Invariant 1: the rewritten token stream is balanced and properly
+  // nested.
+  std::vector<std::string> stack;
+  for (const HtmlToken& token : tree->tokens()) {
+    if (token.kind == HtmlToken::Kind::kStartTag) {
+      stack.push_back(token.name);
+    } else if (token.kind == HtmlToken::Kind::kEndTag) {
+      ASSERT_FALSE(stack.empty());
+      ASSERT_EQ(stack.back(), token.name);
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+
+  // Invariant 2: regions nest — children inside parents, token spans
+  // strictly inside, byte regions monotone.
+  PreOrderVisit(tree->root(), [&](const TagNode& node, int depth) {
+    if (depth == 0) return;
+    EXPECT_LE(node.region_begin, node.region_end);
+    for (const auto& child : node.children) {
+      EXPECT_GE(child->region_begin, node.region_begin);
+      EXPECT_LE(child->region_end, node.region_end);
+      EXPECT_GT(child->token_begin, node.token_begin);
+      EXPECT_LT(child->token_end, node.token_end);
+    }
+  });
+
+  // Invariant 3: every text byte of the document is preserved in the
+  // stream (comments/declarations excluded by construction).
+  size_t text_bytes = 0;
+  for (const HtmlToken& token : tree->tokens()) {
+    if (token.kind == HtmlToken::Kind::kText) text_bytes += token.text.size();
+  }
+  auto raw = LexHtml(doc);
+  size_t raw_text_bytes = 0;
+  for (const HtmlToken& token : *raw) {
+    if (token.kind == HtmlToken::Kind::kText) {
+      raw_text_bytes += token.text.size();
+    }
+  }
+  EXPECT_EQ(text_bytes, raw_text_bytes);
+}
+
+TEST_P(TagSoupFuzzTest, BuildIsDeterministic) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 1);
+  const std::string doc = RandomTagSoup(&rng, 1500);
+  auto a = BuildTagTree(doc);
+  auto b = BuildTagTree(doc);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToAsciiArt(), b->ToAsciiArt());
+  EXPECT_EQ(a->tokens().size(), b->tokens().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TagSoupFuzzTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,190 @@
+#include "html/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd {
+namespace {
+
+std::vector<HtmlToken> Lex(std::string_view doc) {
+  auto tokens = LexHtml(doc);
+  EXPECT_TRUE(tokens.ok());
+  return std::move(tokens).value();
+}
+
+TEST(LexerTest, EmptyDocument) {
+  EXPECT_TRUE(Lex("").empty());
+}
+
+TEST(LexerTest, PlainTextOnly) {
+  auto tokens = Lex("just words");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, HtmlToken::Kind::kText);
+  EXPECT_EQ(tokens[0].text, "just words");
+  EXPECT_EQ(tokens[0].begin, 0u);
+  EXPECT_EQ(tokens[0].end, 10u);
+}
+
+TEST(LexerTest, SimpleTags) {
+  auto tokens = Lex("<b>hi</b>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, HtmlToken::Kind::kStartTag);
+  EXPECT_EQ(tokens[0].name, "b");
+  EXPECT_EQ(tokens[1].kind, HtmlToken::Kind::kText);
+  EXPECT_EQ(tokens[1].text, "hi");
+  EXPECT_EQ(tokens[2].kind, HtmlToken::Kind::kEndTag);
+  EXPECT_EQ(tokens[2].name, "b");
+}
+
+TEST(LexerTest, TagNamesLowercased) {
+  auto tokens = Lex("<HR><Br></TABLE>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].name, "hr");
+  EXPECT_EQ(tokens[1].name, "br");
+  EXPECT_EQ(tokens[2].name, "table");
+}
+
+TEST(LexerTest, TokenOffsetsCoverSource) {
+  const std::string doc = "a<b>c</b>d";
+  auto tokens = Lex(doc);
+  ASSERT_EQ(tokens.size(), 5u);
+  size_t pos = 0;
+  for (const HtmlToken& token : tokens) {
+    EXPECT_EQ(token.begin, pos);
+    pos = token.end;
+  }
+  EXPECT_EQ(pos, doc.size());
+}
+
+TEST(LexerTest, QuotedAttributes) {
+  auto tokens = Lex(R"(<body bgcolor="#FFFFFF" class='x y'>)");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attrs.size(), 2u);
+  EXPECT_EQ(tokens[0].attrs[0].name, "bgcolor");
+  EXPECT_EQ(tokens[0].attrs[0].value, "#FFFFFF");
+  EXPECT_EQ(tokens[0].attrs[1].name, "class");
+  EXPECT_EQ(tokens[0].attrs[1].value, "x y");
+}
+
+TEST(LexerTest, QuotedValueMayContainRightAngle) {
+  auto tokens = Lex(R"(<a title="a > b">x</a>)");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].attrs[0].value, "a > b");
+}
+
+TEST(LexerTest, BareAndValuelessAttributes) {
+  auto tokens = Lex("<hr width=100% noshade>");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attrs.size(), 2u);
+  EXPECT_EQ(tokens[0].attrs[0].name, "width");
+  EXPECT_EQ(tokens[0].attrs[0].value, "100%");
+  EXPECT_EQ(tokens[0].attrs[1].name, "noshade");
+  EXPECT_EQ(tokens[0].attrs[1].value, "");
+}
+
+TEST(LexerTest, AttributeNamesLowercasedValuesVerbatim) {
+  auto tokens = Lex("<h1 ALIGN=Left>");
+  ASSERT_EQ(tokens[0].attrs.size(), 1u);
+  EXPECT_EQ(tokens[0].attrs[0].name, "align");
+  EXPECT_EQ(tokens[0].attrs[0].value, "Left");
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Lex("a<!-- <b>not a tag</b> -->z");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, HtmlToken::Kind::kComment);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[2].text, "z");
+}
+
+TEST(LexerTest, UnterminatedCommentRunsToEnd) {
+  auto tokens = Lex("x<!-- never closed");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].kind, HtmlToken::Kind::kComment);
+  EXPECT_EQ(tokens[1].end, 18u);
+}
+
+TEST(LexerTest, DoctypeIsCommentKind) {
+  auto tokens = Lex("<!DOCTYPE html>x");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, HtmlToken::Kind::kComment);
+}
+
+TEST(LexerTest, ProcessingInstruction) {
+  auto tokens = Lex("<?xml version=\"1.0\"?>y");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, HtmlToken::Kind::kProcessing);
+}
+
+TEST(LexerTest, StrayLessThanIsText) {
+  auto tokens = Lex("3 < 4 and <2>");
+  // No valid tag anywhere: "<2" is not a tag name.
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, HtmlToken::Kind::kText);
+  EXPECT_EQ(tokens[0].text, "3 < 4 and <2>");
+}
+
+TEST(LexerTest, StrayLessThanBeforeRealTag) {
+  auto tokens = Lex("a < b <i>c</i>");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a < b ");
+  EXPECT_EQ(tokens[1].name, "i");
+}
+
+TEST(LexerTest, SelfClosingTag) {
+  auto tokens = Lex("<br/><img src=x />");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].self_closing);
+  EXPECT_TRUE(tokens[1].self_closing);
+  EXPECT_EQ(tokens[1].attrs.size(), 1u);
+}
+
+TEST(LexerTest, ScriptBodyIsRawText) {
+  auto tokens = Lex("<script>if (a < b) { x = \"<b>\"; }</script>after");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].name, "script");
+  EXPECT_EQ(tokens[1].kind, HtmlToken::Kind::kText);
+  EXPECT_NE(tokens[1].text.find("<b>"), std::string::npos);
+  EXPECT_EQ(tokens[2].kind, HtmlToken::Kind::kEndTag);
+  EXPECT_EQ(tokens[3].text, "after");
+}
+
+TEST(LexerTest, UnterminatedScriptRunsToEnd) {
+  auto tokens = Lex("<script>var x = 1;");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].text, "var x = 1;");
+}
+
+TEST(LexerTest, EndTagWithJunkAttributes) {
+  auto tokens = Lex("</td junk=1>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, HtmlToken::Kind::kEndTag);
+  EXPECT_EQ(tokens[0].name, "td");
+}
+
+TEST(LexerTest, UnterminatedTagAtEof) {
+  auto tokens = Lex("<table border=1");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, HtmlToken::Kind::kStartTag);
+  EXPECT_EQ(tokens[0].name, "table");
+}
+
+TEST(LexerTest, HyphenatedAndNamespacedTagNames) {
+  auto tokens = Lex("<my-tag><ns:tag>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].name, "my-tag");
+  EXPECT_EQ(tokens[1].name, "ns:tag");
+}
+
+TEST(LexerTest, Figure2StyleFragment) {
+  auto tokens =
+      Lex("<h1 align=\"left\">Funeral Notices - </h1> October 1, 1998\n<hr>");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].name, "h1");
+  EXPECT_EQ(tokens[1].text, "Funeral Notices - ");
+  EXPECT_EQ(tokens[2].name, "h1");
+  EXPECT_EQ(tokens[3].text, " October 1, 1998\n");
+  EXPECT_EQ(tokens[4].name, "hr");
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,268 @@
+#include "html/tree_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/figure2.h"
+
+namespace webrbd {
+namespace {
+
+TagTree MustBuild(std::string_view doc) {
+  auto tree = BuildTagTree(doc);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+// Flattened child-name list of a node, for shape assertions.
+std::vector<std::string> ChildNames(const TagNode& node) {
+  std::vector<std::string> names;
+  for (const auto& child : node.children) names.push_back(child->name);
+  return names;
+}
+
+const TagNode& OnlyChild(const TagNode& node) {
+  EXPECT_EQ(node.children.size(), 1u);
+  return *node.children[0];
+}
+
+TEST(TreeBuilderTest, EmptyDocument) {
+  TagTree tree = MustBuild("");
+  EXPECT_EQ(tree.root().name, "#document");
+  EXPECT_EQ(tree.NodeCount(), 0u);
+}
+
+TEST(TreeBuilderTest, TextOnlyDocument) {
+  TagTree tree = MustBuild("no tags here");
+  EXPECT_EQ(tree.NodeCount(), 0u);
+  EXPECT_EQ(tree.root().inner_text, "no tags here");
+}
+
+TEST(TreeBuilderTest, WellFormedNesting) {
+  TagTree tree = MustBuild("<a><b>x</b><c>y</c></a>");
+  const TagNode& a = OnlyChild(tree.root());
+  EXPECT_EQ(a.name, "a");
+  EXPECT_EQ(ChildNames(a), (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(a.children[0]->inner_text, "x");
+  EXPECT_EQ(a.children[1]->inner_text, "y");
+}
+
+TEST(TreeBuilderTest, Figure2TreeShape) {
+  TagTree tree = MustBuild(Figure2Document());
+  // #document -> html -> {head -> title, body -> table -> tr -> td -> ...}
+  const TagNode& html = OnlyChild(tree.root());
+  EXPECT_EQ(html.name, "html");
+  ASSERT_EQ(html.children.size(), 2u);
+  EXPECT_EQ(html.children[0]->name, "head");
+  EXPECT_EQ(OnlyChild(*html.children[0]).name, "title");
+  const TagNode& body = *html.children[1];
+  EXPECT_EQ(body.name, "body");
+  const TagNode& td = OnlyChild(OnlyChild(OnlyChild(body)));
+  EXPECT_EQ(td.name, "td");
+  // The exact child sequence of Figure 2(b).
+  EXPECT_EQ(ChildNames(td),
+            (std::vector<std::string>{
+                "h1", "hr", "b", "br", "b", "br", "hr", "b", "b", "b", "br",
+                "hr", "b", "br", "b", "b", "br", "hr"}));
+}
+
+TEST(TreeBuilderTest, MissingEndTagRegionEndsBeforeNextTag) {
+  // <font> is never closed: per the paper, its region ends just before the
+  // next tag, so <b> becomes its *sibling*, not its child.
+  TagTree tree = MustBuild("<td><font>text<b>x</b>more</td>");
+  const TagNode& td = OnlyChild(tree.root());
+  EXPECT_EQ(ChildNames(td), (std::vector<std::string>{"font", "b"}));
+  EXPECT_EQ(td.children[0]->inner_text, "text");
+  EXPECT_TRUE(td.children[0]->end_tag_synthesized);
+  EXPECT_FALSE(td.children[1]->end_tag_synthesized);
+  EXPECT_EQ(td.children[1]->tail_text, "more");
+}
+
+TEST(TreeBuilderTest, VoidTagsBecomeSiblings) {
+  TagTree tree = MustBuild("<td><hr>alpha<b>x</b><hr>beta</td>");
+  const TagNode& td = OnlyChild(tree.root());
+  EXPECT_EQ(ChildNames(td), (std::vector<std::string>{"hr", "b", "hr"}));
+  EXPECT_EQ(td.children[0]->inner_text, "alpha");
+  EXPECT_EQ(td.children[2]->inner_text, "beta");
+}
+
+TEST(TreeBuilderTest, UselessEndTagDiscarded) {
+  TagTree tree = MustBuild("<a>x</strike>y</a>");
+  const TagNode& a = OnlyChild(tree.root());
+  EXPECT_EQ(a.name, "a");
+  EXPECT_TRUE(a.children.empty());
+  // Region extends past the discarded </strike>: both text runs are inside.
+  EXPECT_EQ(a.inner_text, "xy");
+}
+
+TEST(TreeBuilderTest, MisnestedTagsRepaired) {
+  // <b><i></b></i>: i is closed where </b> appears; trailing </i> useless.
+  TagTree tree = MustBuild("<b>1<i>2</b>3</i>4");
+  const TagNode& b = OnlyChild(tree.root());
+  EXPECT_EQ(b.name, "b");
+  EXPECT_EQ(ChildNames(b), (std::vector<std::string>{"i"}));
+  EXPECT_TRUE(b.children[0]->end_tag_synthesized);
+}
+
+TEST(TreeBuilderTest, UnclosedAtEofFlattenPerRegionRule) {
+  // With no end tags at all, every region ends just before the next tag
+  // (the paper's rule), so html and body become top-level siblings.
+  TagTree tree = MustBuild("<html><body>text");
+  EXPECT_EQ(ChildNames(tree.root()),
+            (std::vector<std::string>{"html", "body"}));
+  const TagNode& html = *tree.root().children[0];
+  const TagNode& body = *tree.root().children[1];
+  EXPECT_TRUE(html.end_tag_synthesized);
+  EXPECT_TRUE(body.end_tag_synthesized);
+  EXPECT_EQ(body.inner_text, "text");
+}
+
+TEST(TreeBuilderTest, UnclosedAtEofKeepsClosedChildren) {
+  // A closed child nested in an unclosed ancestor: the ancestor's region
+  // ends before the child's start tag, per the region rule.
+  TagTree tree = MustBuild("<body>intro<b>x</b>");
+  EXPECT_EQ(ChildNames(tree.root()), (std::vector<std::string>{"body", "b"}));
+  EXPECT_EQ(tree.root().children[0]->inner_text, "intro");
+  EXPECT_FALSE(tree.root().children[1]->end_tag_synthesized);
+}
+
+TEST(TreeBuilderTest, CommentsAndDoctypeIgnored) {
+  TagTree tree = MustBuild("<!DOCTYPE html><a><!-- hidden <x> -->y</a>");
+  const TagNode& a = OnlyChild(tree.root());
+  EXPECT_EQ(a.name, "a");
+  EXPECT_TRUE(a.children.empty());
+  EXPECT_EQ(a.inner_text, "y");
+  for (const HtmlToken& token : tree.tokens()) {
+    EXPECT_NE(token.kind, HtmlToken::Kind::kComment);
+  }
+}
+
+TEST(TreeBuilderTest, SelfClosingTagExpands) {
+  TagTree tree = MustBuild("<p>a<br/>b</p>");
+  const TagNode& p = OnlyChild(tree.root());
+  EXPECT_EQ(ChildNames(p), (std::vector<std::string>{"br"}));
+  EXPECT_EQ(p.children[0]->tail_text, "b");
+}
+
+TEST(TreeBuilderTest, UnclosedParagraphsFlatten) {
+  // 1998-style <p> with no </p>: each p's region ends at the next tag.
+  TagTree tree = MustBuild("<td><p>one<p>two<p>three</td>");
+  const TagNode& td = OnlyChild(tree.root());
+  EXPECT_EQ(ChildNames(td), (std::vector<std::string>{"p", "p", "p"}));
+  EXPECT_EQ(td.children[0]->inner_text, "one");
+  EXPECT_EQ(td.children[2]->inner_text, "three");
+}
+
+TEST(TreeBuilderTest, UnclosedTableCellsFlatten) {
+  TagTree tree = MustBuild(
+      "<table><tr><td>r1<b>x</b><tr><td>r2</table>");
+  const TagNode& table = OnlyChild(tree.root());
+  // tr and td regions end before the record content (next tag), so all
+  // rows and cells surface as direct children of the table.
+  EXPECT_EQ(ChildNames(table),
+            (std::vector<std::string>{"tr", "td", "b", "tr", "td"}));
+}
+
+TEST(TreeBuilderTest, InnerAndTailText) {
+  TagTree tree = MustBuild("<a>inner<b>deep</b>tail-of-b</a>tail-of-a");
+  const TagNode& a = OnlyChild(tree.root());
+  EXPECT_EQ(a.inner_text, "inner");
+  EXPECT_EQ(a.children[0]->inner_text, "deep");
+  EXPECT_EQ(a.children[0]->tail_text, "tail-of-b");
+  EXPECT_EQ(a.tail_text, "tail-of-a");
+}
+
+TEST(TreeBuilderTest, RegionOffsetsNested) {
+  const std::string doc = "<a><b>x</b></a>";
+  TagTree tree = MustBuild(doc);
+  const TagNode& a = OnlyChild(tree.root());
+  EXPECT_EQ(a.region_begin, 0u);
+  EXPECT_EQ(a.region_end, doc.size());
+  const TagNode& b = *a.children[0];
+  EXPECT_EQ(b.region_begin, 3u);
+  EXPECT_EQ(b.region_end, 11u);
+  EXPECT_GE(b.region_begin, a.region_begin);
+  EXPECT_LE(b.region_end, a.region_end);
+}
+
+TEST(TreeBuilderTest, TokenSpansNestWithTree) {
+  TagTree tree = MustBuild(Figure2Document());
+  PreOrderVisit(tree.root(), [&](const TagNode& node, int depth) {
+    if (depth == 0) return;
+    EXPECT_LE(node.token_begin, node.token_end);
+    for (const auto& child : node.children) {
+      EXPECT_GT(child->token_begin, node.token_begin);
+      EXPECT_LT(child->token_end, node.token_end);
+    }
+  });
+}
+
+TEST(TreeBuilderTest, BalancedTokenStreamInvariant) {
+  // Every document — however broken — must balance after Step 2.
+  const char* cases[] = {
+      "",
+      "plain",
+      "<b>",
+      "</b>",
+      "<a><b><c>",
+      "</a></b></c>",
+      "<b><i>x</b></i>",
+      "<table><tr><td>a<tr><td>b",
+      "<p>a<p>b<p>c",
+      "text<hr>more<hr>",
+      "<a href='x'>link",
+  };
+  for (const char* doc : cases) {
+    TagTree tree = MustBuild(doc);
+    int depth = 0;
+    for (const HtmlToken& token : tree.tokens()) {
+      if (token.kind == HtmlToken::Kind::kStartTag) ++depth;
+      if (token.kind == HtmlToken::Kind::kEndTag) --depth;
+      EXPECT_GE(depth, 0) << doc;
+    }
+    EXPECT_EQ(depth, 0) << doc;
+  }
+}
+
+TEST(TreeBuilderTest, HighestFanoutSubtreeOnFigure2) {
+  TagTree tree = MustBuild(Figure2Document());
+  const TagNode& subtree = tree.HighestFanoutSubtree();
+  EXPECT_EQ(subtree.name, "td");
+  EXPECT_EQ(subtree.fanout(), 18u);
+}
+
+TEST(TreeBuilderTest, CountStartTagsOnFigure2) {
+  TagTree tree = MustBuild(Figure2Document());
+  const TagNode& td = tree.HighestFanoutSubtree();
+  // td + 18 children, none nested deeper.
+  EXPECT_EQ(tree.CountStartTags(td), 19u);
+}
+
+TEST(TreeBuilderTest, PlainTextConcatenatesRegion) {
+  TagTree tree = MustBuild("<a>one <b>two</b> three</a>");
+  const TagNode& a = OnlyChild(tree.root());
+  EXPECT_EQ(tree.PlainText(a), "one two three");
+}
+
+TEST(TreeBuilderTest, AsciiArtShowsIndentedNames) {
+  TagTree tree = MustBuild("<a><b></b></a>");
+  EXPECT_EQ(tree.ToAsciiArt(), "#document\n  a\n    b\n");
+}
+
+TEST(TreeBuilderTest, DeeplyNestedDocument) {
+  std::string doc;
+  const int depth = 200;
+  for (int i = 0; i < depth; ++i) doc += "<div>";
+  doc += "x";
+  for (int i = 0; i < depth; ++i) doc += "</div>";
+  TagTree tree = MustBuild(doc);
+  EXPECT_EQ(tree.NodeCount(), static_cast<size_t>(depth));
+}
+
+TEST(TreeBuilderTest, MultipleTopLevelElements) {
+  TagTree tree = MustBuild("<a>1</a><b>2</b>text");
+  EXPECT_EQ(ChildNames(tree.root()), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(tree.root().children[1]->tail_text, "text");
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,108 @@
+#include "ontology/bundled.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/estimator.h"
+#include "ontology/parser.h"
+
+namespace webrbd {
+namespace {
+
+class BundledOntologyTest : public ::testing::TestWithParam<Domain> {};
+
+TEST_P(BundledOntologyTest, ParsesAndValidates) {
+  auto ontology = BundledOntology(GetParam());
+  ASSERT_TRUE(ontology.ok()) << ontology.status().ToString();
+  EXPECT_TRUE(ontology->Validate().ok());
+  EXPECT_FALSE(ontology->name().empty());
+  EXPECT_FALSE(ontology->entity_name().empty());
+  EXPECT_GE(ontology->object_sets().size(), 5u);
+}
+
+TEST_P(BundledOntologyTest, HasRecordIdentifyingFields) {
+  auto ontology = BundledOntology(GetParam()).value();
+  auto fields = ontology.RecordIdentifyingFields();
+  ASSERT_GE(fields.size(), 3u)
+      << "OM must not abstain for " << DomainName(GetParam());
+}
+
+TEST_P(BundledOntologyTest, EstimatorCompiles) {
+  auto ontology = BundledOntology(GetParam()).value();
+  auto estimator = OntologyRecordCountEstimator::Create(ontology);
+  ASSERT_TRUE(estimator.ok()) << estimator.status().ToString();
+  EXPECT_GE((*estimator)->field_names().size(), 3u);
+}
+
+TEST_P(BundledOntologyTest, DslRoundTrips) {
+  const std::string dsl = BundledOntologyDsl(GetParam());
+  auto reparsed = ParseOntology(dsl);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(OntologyToDsl(*reparsed), OntologyToDsl(*BundledOntology(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, BundledOntologyTest,
+                         ::testing::ValuesIn(kAllDomains),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Domain::kObituaries: return "Obituaries";
+                             case Domain::kCarAds: return "CarAds";
+                             case Domain::kJobAds: return "JobAds";
+                             case Domain::kCourses: return "Courses";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(BundledOntologyTest, ObituaryEstimatorOnKnownText) {
+  auto ontology = BundledOntology(Domain::kObituaries).value();
+  auto estimator = OntologyRecordCountEstimator::Create(ontology).value();
+  // Two records' worth of field indications.
+  const std::string text =
+      "Alice Smith died on May 3, 1998, at age 80. She was born on May 1, "
+      "1918 in Provo. Funeral services will be held Monday. "
+      "Bob Jones passed away on May 4, 1998. He was born on June 2, 1920 in "
+      "Ogden. Funeral services will be conducted Tuesday.";
+  auto estimate = estimator->EstimateRecordCount(text);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_NEAR(*estimate, 2.0, 0.75);
+}
+
+TEST(BundledOntologyTest, ObituaryEstimatorZeroOnIrrelevantText) {
+  auto ontology = BundledOntology(Domain::kObituaries).value();
+  auto estimator = OntologyRecordCountEstimator::Create(ontology).value();
+  auto estimate = estimator->EstimateRecordCount(
+      "The quick brown fox jumps over the lazy dog.");
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_DOUBLE_EQ(*estimate, 0.0);
+}
+
+TEST(BundledOntologyTest, CarEstimatorCountsYearMakeMileage) {
+  auto ontology = BundledOntology(Domain::kCarAds).value();
+  auto estimator = OntologyRecordCountEstimator::Create(ontology).value();
+  const std::string text =
+      "1994 Honda Accord, red, 78,000 miles, $4,500. "
+      "1988 Ford Taurus, blue, 120,000 miles, $1,200.";
+  auto estimate = estimator->EstimateRecordCount(text);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_NEAR(*estimate, 2.0, 0.5);
+}
+
+TEST(BundledOntologyTest, DomainNames) {
+  EXPECT_EQ(DomainName(Domain::kObituaries), "obituaries");
+  EXPECT_EQ(DomainName(Domain::kCarAds), "car advertisements");
+  EXPECT_EQ(DomainName(Domain::kJobAds), "computer job advertisements");
+  EXPECT_EQ(DomainName(Domain::kCourses), "university course descriptions");
+}
+
+TEST(BundledOntologyTest, CourseCodeExcludedBySharedType) {
+  // CourseCode and Prerequisite share value type "code", so CourseCode
+  // (value-identified) must not be a record-identifying field; the three
+  // keyword fields are.
+  auto ontology = BundledOntology(Domain::kCourses).value();
+  auto fields = ontology.RecordIdentifyingFields();
+  for (const ObjectSet* field : fields) {
+    EXPECT_NE(field->name, "CourseCode");
+  }
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,79 @@
+#include "ontology/db_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/bundled.h"
+#include "ontology/parser.h"
+
+namespace webrbd {
+namespace {
+
+Ontology SmallOntology() {
+  return ParseOntology(R"(
+ontology T
+entity Car
+objectset Make
+  cardinality functional
+  lexicon Ford
+end
+objectset Vin
+  cardinality one-to-one
+  pattern [A-Z0-9]{17}
+end
+objectset Feature
+  cardinality many
+  lexicon sunroof
+end
+)")
+      .value();
+}
+
+TEST(DbSchemeTest, EntityTableShape) {
+  DatabaseScheme scheme = GenerateDatabaseScheme(SmallOntology());
+  EXPECT_EQ(scheme.entity_table.table_name(), "Car");
+  ASSERT_EQ(scheme.entity_table.column_count(), 3u);
+  EXPECT_EQ(scheme.entity_table.columns()[0].name, "id");
+  EXPECT_EQ(scheme.entity_table.columns()[0].type, db::ValueType::kInt64);
+  EXPECT_FALSE(scheme.entity_table.columns()[0].nullable);
+  EXPECT_EQ(scheme.entity_table.columns()[1].name, "Make");
+  EXPECT_EQ(scheme.entity_table.columns()[2].name, "Vin");
+}
+
+TEST(DbSchemeTest, ManyValuedGetAuxTables) {
+  DatabaseScheme scheme = GenerateDatabaseScheme(SmallOntology());
+  ASSERT_EQ(scheme.multivalue_tables.size(), 1u);
+  const db::Schema& aux = scheme.multivalue_tables[0];
+  EXPECT_EQ(aux.table_name(), "Car_Feature");
+  ASSERT_EQ(aux.column_count(), 2u);
+  EXPECT_EQ(aux.columns()[0].name, "entity_id");
+  EXPECT_EQ(aux.columns()[1].name, "value");
+}
+
+TEST(DbSchemeTest, CreateCatalogInstantiatesAllTables) {
+  DatabaseScheme scheme = GenerateDatabaseScheme(SmallOntology());
+  auto catalog = scheme.CreateCatalog();
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->table_count(), 2u);
+  EXPECT_NE(catalog->GetTable("Car"), nullptr);
+  EXPECT_NE(catalog->GetTable("Car_Feature"), nullptr);
+}
+
+TEST(DbSchemeTest, AllSchemasEntityFirst) {
+  DatabaseScheme scheme = GenerateDatabaseScheme(SmallOntology());
+  auto all = scheme.AllSchemas();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->table_name(), "Car");
+}
+
+TEST(DbSchemeTest, BundledOntologiesGenerateSchemes) {
+  for (Domain domain : kAllDomains) {
+    auto ontology = BundledOntology(domain).value();
+    DatabaseScheme scheme = GenerateDatabaseScheme(ontology);
+    EXPECT_EQ(scheme.entity_table.table_name(), ontology.entity_name());
+    auto catalog = scheme.CreateCatalog();
+    EXPECT_TRUE(catalog.ok()) << DomainName(domain);
+  }
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,96 @@
+#include "ontology/matching_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/parser.h"
+
+namespace webrbd {
+namespace {
+
+TEST(KeywordPhraseTest, SingleWord) {
+  EXPECT_EQ(KeywordPhraseToPattern("miles"), "\\bmiles\\b");
+}
+
+TEST(KeywordPhraseTest, MultiWordUsesFlexibleGaps) {
+  EXPECT_EQ(KeywordPhraseToPattern("died on"), "\\bdied\\s+on\\b");
+  EXPECT_EQ(KeywordPhraseToPattern("passed  away   on"),
+            "\\bpassed\\s+away\\s+on\\b");
+}
+
+TEST(KeywordPhraseTest, PunctuationEscaped) {
+  EXPECT_EQ(KeywordPhraseToPattern("C++"), "\\bC\\+\\+\\b");
+  EXPECT_EQ(KeywordPhraseToPattern("a.b"), "\\ba\\.b\\b");
+}
+
+Ontology TestOntology() {
+  constexpr char kDsl[] = R"(
+ontology T
+entity E
+objectset DeathDate
+  cardinality functional
+  keyword died on
+  keyword passed away on
+  pattern [0-9]{4}
+end
+objectset Mortuary
+  cardinality functional
+  lexicon Memorial Chapel, Heather Mortuary
+end
+)";
+  return ParseOntology(kDsl).value();
+}
+
+TEST(MatchingRulesTest, CompilesAndCounts) {
+  auto rules = MatchingRuleSet::Compile(TestOntology());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  const CompiledObjectSetRule* death = rules->Find("DeathDate");
+  ASSERT_NE(death, nullptr);
+  EXPECT_EQ(death->cardinality, Cardinality::kFunctional);
+
+  const std::string text =
+      "John died on September 30, 1998. Jane passed away on May 1, 1997. "
+      "Services at Memorial Chapel.";
+  EXPECT_EQ(death->CountKeywordMatches(text), 2u);
+  EXPECT_EQ(death->CountValueMatches(text), 2u);  // 1998, 1997
+
+  const CompiledObjectSetRule* mortuary = rules->Find("Mortuary");
+  ASSERT_NE(mortuary, nullptr);
+  EXPECT_EQ(mortuary->CountValueMatches(text), 1u);
+  EXPECT_EQ(mortuary->CountKeywordMatches(text), 0u);
+}
+
+TEST(MatchingRulesTest, KeywordsAreCaseInsensitive) {
+  auto rules = MatchingRuleSet::Compile(TestOntology()).value();
+  const CompiledObjectSetRule* death = rules.Find("DeathDate");
+  EXPECT_EQ(death->CountKeywordMatches("SHE DIED ON MONDAY"), 1u);
+  EXPECT_EQ(death->CountKeywordMatches("Died On"), 1u);
+}
+
+TEST(MatchingRulesTest, KeywordsNeedWordBoundaries) {
+  auto rules = MatchingRuleSet::Compile(TestOntology()).value();
+  const CompiledObjectSetRule* death = rules.Find("DeathDate");
+  EXPECT_EQ(death->CountKeywordMatches("studied onward"), 0u);
+}
+
+TEST(MatchingRulesTest, FlexibleWhitespaceInPhrases) {
+  auto rules = MatchingRuleSet::Compile(TestOntology()).value();
+  const CompiledObjectSetRule* death = rules.Find("DeathDate");
+  EXPECT_EQ(death->CountKeywordMatches("died\n  on"), 1u);
+}
+
+TEST(MatchingRulesTest, BadPatternNamesObjectSet) {
+  auto ontology = ParseOntology(
+      "ontology T\nentity E\nobjectset Bad\npattern [z-a]\nend\n");
+  ASSERT_TRUE(ontology.ok());
+  auto rules = MatchingRuleSet::Compile(*ontology);
+  ASSERT_FALSE(rules.ok());
+  EXPECT_NE(rules.status().message().find("Bad"), std::string::npos);
+}
+
+TEST(MatchingRulesTest, FindUnknownReturnsNull) {
+  auto rules = MatchingRuleSet::Compile(TestOntology()).value();
+  EXPECT_EQ(rules.Find("Nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,157 @@
+#include "ontology/model.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd {
+namespace {
+
+ObjectSet Make(std::string name, Cardinality cardinality,
+               std::vector<std::string> keywords = {},
+               std::vector<std::string> patterns = {},
+               std::string value_type = "") {
+  ObjectSet object_set;
+  object_set.name = std::move(name);
+  object_set.cardinality = cardinality;
+  object_set.frame.keywords = std::move(keywords);
+  object_set.frame.value_patterns = std::move(patterns);
+  object_set.frame.value_type = std::move(value_type);
+  return object_set;
+}
+
+std::vector<std::string> Names(const std::vector<const ObjectSet*>& sets) {
+  std::vector<std::string> names;
+  for (const ObjectSet* object_set : sets) names.push_back(object_set->name);
+  return names;
+}
+
+TEST(OntologyModelTest, FindByName) {
+  Ontology ontology("O", "E",
+                    {Make("A", Cardinality::kMany, {"k"}),
+                     Make("B", Cardinality::kFunctional, {"k"})});
+  ASSERT_NE(ontology.Find("A"), nullptr);
+  EXPECT_EQ(ontology.Find("A")->name, "A");
+  EXPECT_EQ(ontology.Find("missing"), nullptr);
+}
+
+TEST(OntologyModelTest, ValidateAcceptsWellFormed) {
+  Ontology ontology("O", "E", {Make("A", Cardinality::kMany, {"k"})});
+  EXPECT_TRUE(ontology.Validate().ok());
+}
+
+TEST(OntologyModelTest, ValidateRejectsEmptyName) {
+  Ontology ontology("", "E", {Make("A", Cardinality::kMany, {"k"})});
+  EXPECT_FALSE(ontology.Validate().ok());
+}
+
+TEST(OntologyModelTest, ValidateRejectsMissingEntity) {
+  Ontology ontology("O", "", {Make("A", Cardinality::kMany, {"k"})});
+  EXPECT_FALSE(ontology.Validate().ok());
+}
+
+TEST(OntologyModelTest, ValidateRejectsNoObjectSets) {
+  Ontology ontology("O", "E", {});
+  EXPECT_FALSE(ontology.Validate().ok());
+}
+
+TEST(OntologyModelTest, ValidateRejectsDuplicates) {
+  Ontology ontology("O", "E",
+                    {Make("A", Cardinality::kMany, {"k"}),
+                     Make("A", Cardinality::kMany, {"k"})});
+  EXPECT_FALSE(ontology.Validate().ok());
+}
+
+TEST(OntologyModelTest, ValidateRejectsUnmatchableObjectSet) {
+  Ontology ontology("O", "E", {Make("Silent", Cardinality::kMany)});
+  EXPECT_FALSE(ontology.Validate().ok());
+}
+
+TEST(RecordIdentifyingFieldsTest, RequiresAtLeastThree) {
+  Ontology two("O", "E",
+               {Make("A", Cardinality::kFunctional, {"ka"}),
+                Make("B", Cardinality::kFunctional, {"kb"})});
+  EXPECT_TRUE(two.RecordIdentifyingFields().empty());
+
+  Ontology three("O", "E",
+                 {Make("A", Cardinality::kFunctional, {"ka"}),
+                  Make("B", Cardinality::kFunctional, {"kb"}),
+                  Make("C", Cardinality::kFunctional, {"kc"})});
+  EXPECT_EQ(three.RecordIdentifyingFields().size(), 3u);
+}
+
+TEST(RecordIdentifyingFieldsTest, ManyValuedNeverQualifies) {
+  Ontology ontology("O", "E",
+                    {Make("A", Cardinality::kMany, {"ka"}),
+                     Make("B", Cardinality::kMany, {"kb"}),
+                     Make("C", Cardinality::kMany, {"kc"})});
+  EXPECT_TRUE(ontology.RecordIdentifyingFields().empty());
+}
+
+TEST(RecordIdentifyingFieldsTest, OneToOneBeforeFunctional) {
+  Ontology ontology(
+      "O", "E",
+      {Make("F1", Cardinality::kFunctional, {"k1"}),
+       Make("F2", Cardinality::kFunctional, {"k2"}),
+       Make("Pin", Cardinality::kOneToOne, {"kp"}),
+       Make("F3", Cardinality::kFunctional, {"k3"})});
+  auto fields = Names(ontology.RecordIdentifyingFields());
+  ASSERT_FALSE(fields.empty());
+  EXPECT_EQ(fields[0], "Pin");
+}
+
+TEST(RecordIdentifyingFieldsTest, KeywordsBeforeValues) {
+  Ontology ontology(
+      "O", "E",
+      {Make("ByValue", Cardinality::kFunctional, {}, {"[0-9]+"}, "num"),
+       Make("ByKw1", Cardinality::kFunctional, {"k1"}),
+       Make("ByKw2", Cardinality::kFunctional, {"k2"})});
+  auto fields = Names(ontology.RecordIdentifyingFields());
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "ByKw1");
+  EXPECT_EQ(fields[1], "ByKw2");
+  EXPECT_EQ(fields[2], "ByValue");
+}
+
+TEST(RecordIdentifyingFieldsTest, SharedValueTypeExcluded) {
+  // The paper's date example: two date-typed value fields cannot identify
+  // records by value; a keyword-bearing date field still can.
+  Ontology ontology(
+      "O", "E",
+      {Make("DeathDate", Cardinality::kFunctional, {"died on"}, {}, "date"),
+       Make("FuneralDate", Cardinality::kFunctional, {}, {"d+"}, "date"),
+       Make("BirthDate", Cardinality::kFunctional, {}, {"d+"}, "date"),
+       Make("Kw1", Cardinality::kFunctional, {"k1"}),
+       Make("Kw2", Cardinality::kFunctional, {"k2"})});
+  auto fields = Names(ontology.RecordIdentifyingFields());
+  EXPECT_EQ(fields, (std::vector<std::string>{"DeathDate", "Kw1", "Kw2"}));
+}
+
+TEST(RecordIdentifyingFieldsTest, CapAtTwentyPercentButNeverBelowThree) {
+  // 10 qualifying fields of 10 object sets: 20% = 2, floor is 3.
+  std::vector<ObjectSet> sets;
+  for (int i = 0; i < 10; ++i) {
+    sets.push_back(Make("F" + std::to_string(i), Cardinality::kFunctional,
+                        {"k" + std::to_string(i)}));
+  }
+  Ontology ontology("O", "E", std::move(sets));
+  EXPECT_EQ(ontology.RecordIdentifyingFields().size(), 3u);
+}
+
+TEST(RecordIdentifyingFieldsTest, CapScalesWithOntologySize) {
+  // 30 object sets, all qualifying: cap = 6.
+  std::vector<ObjectSet> sets;
+  for (int i = 0; i < 30; ++i) {
+    sets.push_back(Make("F" + std::to_string(i), Cardinality::kFunctional,
+                        {"k" + std::to_string(i)}));
+  }
+  Ontology ontology("O", "E", std::move(sets));
+  EXPECT_EQ(ontology.RecordIdentifyingFields().size(), 6u);
+}
+
+TEST(CardinalityNameTest, AllNamed) {
+  EXPECT_EQ(CardinalityName(Cardinality::kOneToOne), "one-to-one");
+  EXPECT_EQ(CardinalityName(Cardinality::kFunctional), "functional");
+  EXPECT_EQ(CardinalityName(Cardinality::kMany), "many");
+}
+
+}  // namespace
+}  // namespace webrbd

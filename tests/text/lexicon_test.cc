@@ -1,0 +1,110 @@
+#include "text/lexicon.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd {
+namespace {
+
+TEST(LexiconTest, EmptyLexicon) {
+  Lexicon lexicon;
+  EXPECT_TRUE(lexicon.empty());
+  EXPECT_EQ(lexicon.size(), 0u);
+  EXPECT_TRUE(lexicon.FindAll("anything at all").empty());
+  EXPECT_FALSE(lexicon.Contains("anything"));
+}
+
+TEST(LexiconTest, SingleWords) {
+  Lexicon lexicon({"Ford", "Honda"});
+  EXPECT_EQ(lexicon.size(), 2u);
+  EXPECT_TRUE(lexicon.Contains("ford"));
+  EXPECT_TRUE(lexicon.Contains("HONDA"));
+  EXPECT_FALSE(lexicon.Contains("Toyota"));
+
+  auto matches = lexicon.FindAll("A Ford and a honda.");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].entry, "ford");
+  EXPECT_EQ(matches[0].begin, 2u);
+  EXPECT_EQ(matches[0].end, 6u);
+  EXPECT_EQ(matches[1].entry, "honda");
+}
+
+TEST(LexiconTest, WordBoundariesRespected) {
+  Lexicon lexicon({"art"});
+  EXPECT_TRUE(lexicon.FindAll("the art of").size() == 1);
+  EXPECT_TRUE(lexicon.FindAll("state of the artform").empty());
+  EXPECT_TRUE(lexicon.FindAll("smart").empty());
+}
+
+TEST(LexiconTest, MultiWordPhrases) {
+  Lexicon lexicon({"Salt Lake City", "Grand Am"});
+  auto matches = lexicon.FindAll("Moved to salt lake city in a Grand Am.");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].entry, "salt lake city");
+  EXPECT_EQ(matches[1].entry, "grand am");
+}
+
+TEST(LexiconTest, LongestPhrasePreferred) {
+  Lexicon lexicon({"Salt", "Salt Lake City"});
+  auto matches = lexicon.FindAll("in Salt Lake City today");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].entry, "salt lake city");
+}
+
+TEST(LexiconTest, PhrasePrefixFallsBackToShorter) {
+  Lexicon lexicon({"Salt", "Salt Lake City"});
+  auto matches = lexicon.FindAll("pass the salt lake");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].entry, "salt");
+}
+
+TEST(LexiconTest, NonOverlappingLeftToRight) {
+  Lexicon lexicon({"a b", "b c"});
+  auto matches = lexicon.FindAll("a b c");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].entry, "a b");
+}
+
+TEST(LexiconTest, ApostrophesAndHyphensStayInWords) {
+  Lexicon lexicon({"O'Brien", "F-150"});
+  EXPECT_EQ(lexicon.FindAll("Mr. o'brien drives an F-150.").size(), 2u);
+}
+
+TEST(LexiconTest, DuplicatesIgnored) {
+  Lexicon lexicon;
+  lexicon.Add("Ford");
+  lexicon.Add("ford");
+  lexicon.Add("FORD");
+  EXPECT_EQ(lexicon.size(), 1u);
+}
+
+TEST(LexiconTest, WhitespaceNormalizedInPhrases) {
+  Lexicon lexicon({"  New   York  "});
+  EXPECT_TRUE(lexicon.Contains("new york"));
+  EXPECT_EQ(lexicon.FindAll("in New\n York city").size(), 1u);
+}
+
+TEST(LexiconTest, EmptyEntryIgnored) {
+  Lexicon lexicon;
+  lexicon.Add("");
+  lexicon.Add("   ");
+  EXPECT_TRUE(lexicon.empty());
+}
+
+TEST(LexiconTest, CountMatchesAgreesWithFindAll) {
+  Lexicon lexicon({"red", "blue"});
+  const std::string text = "red blue red green red";
+  EXPECT_EQ(lexicon.CountMatches(text), lexicon.FindAll(text).size());
+  EXPECT_EQ(lexicon.CountMatches(text), 4u);
+}
+
+TEST(LexiconTest, MatchSpansAreAccurate) {
+  Lexicon lexicon({"grand am"});
+  const std::string text = "1996 Grand Am for sale";
+  auto matches = lexicon.FindAll(text);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(text.substr(matches[0].begin, matches[0].end - matches[0].begin),
+            "Grand Am");
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,130 @@
+// Differential testing of the webrbd regex engine against std::regex
+// (ECMAScript grammar) on the dialect subset both engines share. Random
+// patterns and random texts; any disagreement on "does it match here" is
+// an engine bug.
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "text/regex.h"
+#include "util/rng.h"
+
+namespace webrbd {
+namespace {
+
+// Generates a random pattern in the shared dialect: literals from a small
+// alphabet, classes, dot, alternation, grouping, greedy quantifiers.
+// Anchors and \b are excluded (semantics identical but std::regex's
+// multiline defaults differ across standard libraries).
+std::string RandomPattern(Rng* rng, int depth = 0) {
+  auto atom = [&]() -> std::string {
+    switch (rng->Below(6)) {
+      case 0:
+      case 1:
+        return std::string(1, static_cast<char>('a' + rng->Below(4)));
+      case 2:
+        return ".";
+      case 3:
+        return "[ab]";
+      case 4:
+        return "[^c]";
+      default:
+        return "\\d";
+    }
+  };
+  std::string out;
+  const int parts = 1 + static_cast<int>(rng->Below(4));
+  for (int i = 0; i < parts; ++i) {
+    std::string piece;
+    bool quantifiable = true;
+    if (depth < 2 && rng->Chance(0.25)) {
+      piece = "(" + RandomPattern(rng, depth + 1) + ")";
+      // Never quantify groups: std::regex is a backtracker, and a nested
+      // quantified group like (a+)+ sends it exponential on mismatch.
+      // (Our Pike VM is immune — see RegexTest.PathologicalPatternStaysLinear
+      // — but the reference engine must survive the comparison.)
+      quantifiable = false;
+    } else {
+      piece = atom();
+    }
+    if (quantifiable) {
+      switch (rng->Below(6)) {
+        case 0: piece += "*"; break;
+        case 1: piece += "+"; break;
+        case 2: piece += "?"; break;
+        case 3: piece += "{1,3}"; break;
+        default: break;
+      }
+    }
+    out += piece;
+  }
+  if (depth < 2 && rng->Chance(0.3)) {
+    out += "|" + RandomPattern(rng, depth + 1);
+  }
+  return out;
+}
+
+std::string RandomText(Rng* rng) {
+  static const char kAlphabet[] = "aabbccdd01 ";
+  std::string text;
+  const int length = static_cast<int>(rng->Below(24));
+  for (int i = 0; i < length; ++i) {
+    text += kAlphabet[rng->Below(sizeof(kAlphabet) - 1)];
+  }
+  return text;
+}
+
+class RegexDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegexDifferentialTest, AgreesWithStdRegex) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 42);
+  int compared = 0;
+  while (compared < 60) {
+    const std::string pattern = RandomPattern(&rng);
+
+    std::unique_ptr<std::regex> reference;
+    try {
+      reference = std::make_unique<std::regex>(pattern);
+    } catch (const std::regex_error&) {
+      continue;  // not valid ECMAScript; skip
+    }
+    auto ours = Regex::Compile(pattern);
+    ASSERT_TRUE(ours.ok()) << "std::regex accepts but we reject: " << pattern
+                           << " (" << ours.status().ToString() << ")";
+
+    for (int t = 0; t < 6; ++t) {
+      const std::string text = RandomText(&rng);
+
+      // Partial-match agreement.
+      std::smatch match;
+      const bool reference_found =
+          std::regex_search(text, match, *reference);
+      const auto our_match = ours->Find(text);
+      ASSERT_EQ(our_match.has_value(), reference_found)
+          << "pattern \"" << pattern << "\" text \"" << text << "\"";
+
+      // Leftmost position agreement (both engines are leftmost-first).
+      if (reference_found) {
+        ASSERT_EQ(our_match->begin,
+                  static_cast<size_t>(match.position(0)))
+            << "pattern \"" << pattern << "\" text \"" << text << "\"";
+        ASSERT_EQ(our_match->end - our_match->begin,
+                  static_cast<size_t>(match.length(0)))
+            << "pattern \"" << pattern << "\" text \"" << text << "\"";
+      }
+
+      // Full-match agreement.
+      ASSERT_EQ(ours->FullMatch(text), std::regex_match(text, *reference))
+          << "pattern \"" << pattern << "\" text \"" << text << "\"";
+    }
+    ++compared;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexDifferentialTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace webrbd

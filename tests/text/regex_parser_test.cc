@@ -1,0 +1,148 @@
+#include "text/regex_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "text/regex_compiler.h"
+
+namespace webrbd {
+namespace {
+
+std::unique_ptr<RegexNode> MustParse(std::string_view pattern) {
+  auto ast = ParseRegex(pattern, {});
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  return std::move(ast).value();
+}
+
+TEST(RegexParserTest, LiteralBecomesConcatOfClasses) {
+  auto ast = MustParse("ab");
+  EXPECT_EQ(ast->kind, RegexNode::Kind::kConcat);
+  ASSERT_EQ(ast->children.size(), 2u);
+  EXPECT_EQ(ast->children[0]->kind, RegexNode::Kind::kClass);
+}
+
+TEST(RegexParserTest, SingleAtomNotWrapped) {
+  EXPECT_EQ(MustParse("a")->kind, RegexNode::Kind::kClass);
+  EXPECT_EQ(MustParse("(a)")->kind, RegexNode::Kind::kClass);
+}
+
+TEST(RegexParserTest, EmptyPatternMatchesEmpty) {
+  EXPECT_EQ(MustParse("")->kind, RegexNode::Kind::kEmpty);
+}
+
+TEST(RegexParserTest, AlternationShape) {
+  auto ast = MustParse("a|b|c");
+  EXPECT_EQ(ast->kind, RegexNode::Kind::kAlternate);
+  EXPECT_EQ(ast->children.size(), 3u);
+}
+
+TEST(RegexParserTest, EmptyAlternationBranchAllowed) {
+  auto ast = MustParse("a|");
+  EXPECT_EQ(ast->kind, RegexNode::Kind::kAlternate);
+  EXPECT_EQ(ast->children[1]->kind, RegexNode::Kind::kEmpty);
+}
+
+TEST(RegexParserTest, QuantifierBounds) {
+  auto star = MustParse("a*");
+  EXPECT_EQ(star->kind, RegexNode::Kind::kRepeat);
+  EXPECT_EQ(star->min, 0);
+  EXPECT_EQ(star->max, -1);
+
+  auto plus = MustParse("a+");
+  EXPECT_EQ(plus->min, 1);
+  EXPECT_EQ(plus->max, -1);
+
+  auto quest = MustParse("a?");
+  EXPECT_EQ(quest->min, 0);
+  EXPECT_EQ(quest->max, 1);
+
+  auto range = MustParse("a{2,5}");
+  EXPECT_EQ(range->min, 2);
+  EXPECT_EQ(range->max, 5);
+
+  auto exact = MustParse("a{3}");
+  EXPECT_EQ(exact->min, 3);
+  EXPECT_EQ(exact->max, 3);
+
+  auto open = MustParse("a{4,}");
+  EXPECT_EQ(open->min, 4);
+  EXPECT_EQ(open->max, -1);
+}
+
+TEST(RegexParserTest, HugeBoundRejectedAsLiteral) {
+  // Bounds above the cap are treated as literal braces, not repeats.
+  auto ast = ParseRegex("a{99999}", {});
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ((*ast)->kind, RegexNode::Kind::kConcat);
+}
+
+TEST(RegexParserTest, AnchorKinds) {
+  EXPECT_EQ(MustParse("^")->anchor, AnchorKind::kTextBegin);
+  EXPECT_EQ(MustParse("$")->anchor, AnchorKind::kTextEnd);
+  EXPECT_EQ(MustParse("\\b")->anchor, AnchorKind::kWordBoundary);
+  EXPECT_EQ(MustParse("\\B")->anchor, AnchorKind::kNotWordBoundary);
+}
+
+TEST(RegexParserTest, ErrorsNameTheOffset) {
+  auto status = ParseRegex("ab(", {}).status();
+  EXPECT_EQ(status.code(), Status::Code::kParseError);
+  EXPECT_NE(status.message().find("offset"), std::string::npos);
+}
+
+TEST(RegexParserTest, RejectsReversedClassRange) {
+  EXPECT_FALSE(ParseRegex("[9-0]", {}).ok());
+}
+
+TEST(RegexParserTest, RejectsQuantifiedAnchor) {
+  EXPECT_FALSE(ParseRegex("\\b+", {}).ok());
+  EXPECT_FALSE(ParseRegex("$?", {}).ok());
+}
+
+TEST(RegexParserTest, RejectsBadGroups) {
+  EXPECT_FALSE(ParseRegex("(?=a)", {}).ok());  // lookahead unsupported
+  EXPECT_FALSE(ParseRegex("(a", {}).ok());
+  EXPECT_FALSE(ParseRegex("a)", {}).ok());
+}
+
+TEST(RegexParserTest, CloneIsDeepAndEqualShape) {
+  auto ast = MustParse("(ab|c){2,3}");
+  auto clone = ast->Clone();
+  // Compile both; identical programs indicate identical structure.
+  auto p1 = CompileRegex(*ast);
+  auto p2 = CompileRegex(*clone);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->ToString(), p2->ToString());
+}
+
+TEST(RegexCompilerTest, ProgramEndsWithMatch) {
+  auto ast = MustParse("ab|c");
+  auto program = CompileRegex(*ast);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->insts.back().op, RegexInst::Op::kMatch);
+}
+
+TEST(RegexCompilerTest, AnchoredDetection) {
+  EXPECT_TRUE(CompileRegex(*MustParse("^abc"))->anchored_at_start);
+  EXPECT_TRUE(CompileRegex(*MustParse("^a|^b"))->anchored_at_start);
+  EXPECT_FALSE(CompileRegex(*MustParse("abc"))->anchored_at_start);
+  EXPECT_FALSE(CompileRegex(*MustParse("^a|b"))->anchored_at_start);
+  EXPECT_FALSE(CompileRegex(*MustParse("\\babc"))->anchored_at_start);
+}
+
+TEST(RegexCompilerTest, ClassInterning) {
+  auto program = CompileRegex(*MustParse("aaa"));
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->classes.size(), 1u);
+}
+
+TEST(RegexCompilerTest, DisassemblyMentionsOps) {
+  auto program = CompileRegex(*MustParse("a|b*"));
+  ASSERT_TRUE(program.ok());
+  const std::string dis = program->ToString();
+  EXPECT_NE(dis.find("split"), std::string::npos);
+  EXPECT_NE(dis.find("class"), std::string::npos);
+  EXPECT_NE(dis.find("match"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webrbd

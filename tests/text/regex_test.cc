@@ -1,0 +1,258 @@
+#include "text/regex.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace webrbd {
+namespace {
+
+Regex MustCompile(std::string_view pattern, bool case_insensitive = false) {
+  RegexOptions options;
+  options.case_insensitive = case_insensitive;
+  auto regex = Regex::Compile(pattern, options);
+  EXPECT_TRUE(regex.ok()) << regex.status().ToString();
+  return std::move(regex).value();
+}
+
+std::optional<RegexMatch> FindIn(std::string_view pattern,
+                                 std::string_view text) {
+  return MustCompile(pattern).Find(text);
+}
+
+TEST(RegexTest, LiteralMatching) {
+  EXPECT_TRUE(MustCompile("abc").PartialMatch("xxabcxx"));
+  EXPECT_FALSE(MustCompile("abc").PartialMatch("ab"));
+  auto m = FindIn("abc", "xxabc");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->begin, 2u);
+  EXPECT_EQ(m->end, 5u);
+}
+
+TEST(RegexTest, LeftmostMatchWins) {
+  auto m = FindIn("a+", "bb aaa a");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->begin, 3u);
+  EXPECT_EQ(m->end, 6u);  // greedy
+}
+
+TEST(RegexTest, Alternation) {
+  Regex r = MustCompile("cat|dog|bird");
+  EXPECT_TRUE(r.PartialMatch("hot dog stand"));
+  EXPECT_TRUE(r.PartialMatch("bird"));
+  EXPECT_TRUE(r.PartialMatch("catfish"));  // substring match
+  EXPECT_FALSE(r.PartialMatch("cow"));
+}
+
+TEST(RegexTest, AlternationPrefersEarlierBranchAtSameStart) {
+  // Leftmost-first: branch order decides among same-start matches.
+  auto m = FindIn("ab|abc", "abc");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->end, 2u);
+}
+
+TEST(RegexTest, Quantifiers) {
+  EXPECT_TRUE(MustCompile("ab*c").FullMatch("ac"));
+  EXPECT_TRUE(MustCompile("ab*c").FullMatch("abbbc"));
+  EXPECT_FALSE(MustCompile("ab+c").FullMatch("ac"));
+  EXPECT_TRUE(MustCompile("ab+c").FullMatch("abc"));
+  EXPECT_TRUE(MustCompile("ab?c").FullMatch("ac"));
+  EXPECT_TRUE(MustCompile("ab?c").FullMatch("abc"));
+  EXPECT_FALSE(MustCompile("ab?c").FullMatch("abbc"));
+}
+
+TEST(RegexTest, BoundedRepetition) {
+  Regex r = MustCompile("a{2,4}");
+  EXPECT_FALSE(r.FullMatch("a"));
+  EXPECT_TRUE(r.FullMatch("aa"));
+  EXPECT_TRUE(r.FullMatch("aaaa"));
+  EXPECT_FALSE(r.FullMatch("aaaaa"));
+  EXPECT_TRUE(MustCompile("a{3}").FullMatch("aaa"));
+  EXPECT_FALSE(MustCompile("a{3}").FullMatch("aa"));
+  EXPECT_TRUE(MustCompile("a{2,}").FullMatch("aaaaaa"));
+  EXPECT_FALSE(MustCompile("a{2,}").FullMatch("a"));
+}
+
+TEST(RegexTest, BraceWithoutBoundIsLiteral) {
+  EXPECT_TRUE(MustCompile("a{x}").FullMatch("a{x}"));
+  EXPECT_TRUE(MustCompile("{").FullMatch("{"));
+}
+
+TEST(RegexTest, Grouping) {
+  EXPECT_TRUE(MustCompile("(ab)+").FullMatch("ababab"));
+  EXPECT_FALSE(MustCompile("(ab)+").FullMatch("aba"));
+  EXPECT_TRUE(MustCompile("(?:ab|cd)+").FullMatch("abcdab"));
+}
+
+TEST(RegexTest, Classes) {
+  EXPECT_TRUE(MustCompile("[abc]+").FullMatch("cab"));
+  EXPECT_FALSE(MustCompile("[abc]+").FullMatch("abd"));
+  EXPECT_TRUE(MustCompile("[a-z0-9]+").FullMatch("a9z"));
+  EXPECT_TRUE(MustCompile("[^abc]").FullMatch("d"));
+  EXPECT_FALSE(MustCompile("[^abc]").FullMatch("a"));
+  EXPECT_TRUE(MustCompile("[]a]").FullMatch("]"));  // leading ] is literal
+  EXPECT_TRUE(MustCompile("[a-]").FullMatch("-"));  // trailing - is literal
+}
+
+TEST(RegexTest, ClassWithEscapes) {
+  EXPECT_TRUE(MustCompile("[\\d]+").FullMatch("123"));
+  EXPECT_TRUE(MustCompile("[\\w.]+").FullMatch("a.b_c"));
+  EXPECT_TRUE(MustCompile("[\\s]").FullMatch(" "));
+}
+
+TEST(RegexTest, PerlEscapes) {
+  EXPECT_TRUE(MustCompile("\\d{3}-\\d{4}").FullMatch("555-1234"));
+  EXPECT_FALSE(MustCompile("\\d{3}-\\d{4}").FullMatch("55-1234"));
+  EXPECT_TRUE(MustCompile("\\w+").FullMatch("hello_world42"));
+  EXPECT_TRUE(MustCompile("a\\sb").FullMatch("a b"));
+  EXPECT_TRUE(MustCompile("\\D").FullMatch("x"));
+  EXPECT_FALSE(MustCompile("\\D").FullMatch("5"));
+  EXPECT_TRUE(MustCompile("\\S").FullMatch("x"));
+  EXPECT_FALSE(MustCompile("\\W").FullMatch("x"));
+}
+
+TEST(RegexTest, EscapedMetacharacters) {
+  EXPECT_TRUE(MustCompile("\\$\\d+").FullMatch("$42"));
+  EXPECT_TRUE(MustCompile("a\\.b").FullMatch("a.b"));
+  EXPECT_FALSE(MustCompile("a\\.b").FullMatch("axb"));
+  EXPECT_TRUE(MustCompile("\\(\\)").FullMatch("()"));
+}
+
+TEST(RegexTest, Dot) {
+  EXPECT_TRUE(MustCompile("a.c").FullMatch("abc"));
+  EXPECT_TRUE(MustCompile("a.c").FullMatch("a c"));
+  EXPECT_FALSE(MustCompile("a.c").FullMatch("a\nc"));  // . excludes newline
+}
+
+TEST(RegexTest, Anchors) {
+  EXPECT_TRUE(MustCompile("^abc").PartialMatch("abcdef"));
+  EXPECT_FALSE(MustCompile("^abc").PartialMatch("xabc"));
+  EXPECT_TRUE(MustCompile("def$").PartialMatch("abcdef"));
+  EXPECT_FALSE(MustCompile("def$").PartialMatch("defx"));
+  EXPECT_TRUE(MustCompile("^$").FullMatch(""));
+  EXPECT_FALSE(MustCompile("^$").PartialMatch("x"));
+}
+
+TEST(RegexTest, WordBoundaries) {
+  Regex r = MustCompile("\\bmiles\\b", /*case_insensitive=*/true);
+  EXPECT_TRUE(r.PartialMatch("134,000 miles, cruise"));
+  EXPECT_TRUE(r.PartialMatch("miles"));
+  EXPECT_TRUE(r.PartialMatch(" MILES "));
+  EXPECT_FALSE(r.PartialMatch("smiles"));
+  EXPECT_FALSE(r.PartialMatch("mileston"));
+  EXPECT_TRUE(MustCompile("\\Bco").PartialMatch("taco"));
+  EXPECT_FALSE(MustCompile("\\Bco").PartialMatch("co op"));
+}
+
+// Regression: a seed thread whose leading assertion fails at one position
+// must not terminate the whole scan (found via OM heuristic returning zero
+// keyword matches).
+TEST(RegexTest, LeadingAssertionDoesNotStopScan) {
+  Regex r = MustCompile("\\bword\\b");
+  EXPECT_TRUE(r.PartialMatch("134,000 word, cruise"));
+  EXPECT_TRUE(r.PartialMatch(" word "));
+  EXPECT_TRUE(r.PartialMatch("000 word"));
+  auto m = r.Find("!! word");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->begin, 3u);
+}
+
+TEST(RegexTest, CaseInsensitive) {
+  Regex r = MustCompile("Honda", /*case_insensitive=*/true);
+  EXPECT_TRUE(r.PartialMatch("HONDA Civic"));
+  EXPECT_TRUE(r.PartialMatch("honda"));
+  EXPECT_FALSE(MustCompile("Honda").PartialMatch("HONDA"));
+}
+
+TEST(RegexTest, CaseInsensitiveNegatedClass) {
+  // [^a] must exclude both cases when folding.
+  Regex r = MustCompile("[^a]", /*case_insensitive=*/true);
+  EXPECT_FALSE(r.FullMatch("a"));
+  EXPECT_FALSE(r.FullMatch("A"));
+  EXPECT_TRUE(r.FullMatch("b"));
+}
+
+TEST(RegexTest, FindAllNonOverlapping) {
+  Regex r = MustCompile("\\d+");
+  auto matches = r.FindAll("a1b22c333");
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0], (RegexMatch{1, 2}));
+  EXPECT_EQ(matches[1], (RegexMatch{3, 5}));
+  EXPECT_EQ(matches[2], (RegexMatch{6, 9}));
+  EXPECT_EQ(r.CountMatches("a1b22c333"), 3u);
+}
+
+TEST(RegexTest, FindAllEmptyWidthAdvances) {
+  Regex r = MustCompile("x*");
+  auto matches = r.FindAll("ab");
+  // Must terminate and produce a bounded number of matches.
+  EXPECT_LE(matches.size(), 3u);
+}
+
+TEST(RegexTest, FindFromOffset) {
+  Regex r = MustCompile("ab");
+  auto m = r.Find("ab ab", 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->begin, 3u);
+  EXPECT_FALSE(r.Find("ab", 1).has_value());
+  EXPECT_FALSE(r.Find("ab", 99).has_value());
+}
+
+TEST(RegexTest, FullMatchNotFooledByShorterAlternative) {
+  // Leftmost-first Find would prefer "a", but FullMatch must accept via
+  // the longer branch.
+  EXPECT_TRUE(MustCompile("a|ab").FullMatch("ab"));
+  EXPECT_TRUE(MustCompile("a*").FullMatch(""));
+  EXPECT_FALSE(MustCompile("a").FullMatch("ab"));
+}
+
+TEST(RegexTest, MonthDatePattern) {
+  Regex r = MustCompile(
+      "(January|February|March|April|May|June|July|August|September|October|"
+      "November|December) [0-9]{1,2}, [0-9]{4}",
+      /*case_insensitive=*/true);
+  EXPECT_TRUE(r.PartialMatch("died on September 30, 1998."));
+  EXPECT_EQ(r.CountMatches("May 1, 1990 and June 22, 1991"), 2u);
+  EXPECT_FALSE(r.PartialMatch("Septembro 30, 1998"));
+}
+
+TEST(RegexTest, PathologicalPatternStaysLinear) {
+  // (a+)+b against a^40 with no b: catastrophic for backtrackers, fine for
+  // a Thompson/Pike engine. Guard with a generous wall-clock bound.
+  Regex r = MustCompile("(a+)+b");
+  std::string text(40, 'a');
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(r.PartialMatch(text));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
+}
+
+TEST(RegexTest, CompileErrors) {
+  EXPECT_FALSE(Regex::Compile("(", {}).ok());
+  EXPECT_FALSE(Regex::Compile(")", {}).ok());
+  EXPECT_FALSE(Regex::Compile("a**?", {}).ok());   // non-greedy unsupported
+  EXPECT_FALSE(Regex::Compile("*a", {}).ok());
+  EXPECT_FALSE(Regex::Compile("[a", {}).ok());
+  EXPECT_FALSE(Regex::Compile("[z-a]", {}).ok());
+  EXPECT_FALSE(Regex::Compile("a\\", {}).ok());
+  EXPECT_FALSE(Regex::Compile("\\q", {}).ok());    // unknown alnum escape
+  EXPECT_FALSE(Regex::Compile("^*", {}).ok());     // quantified anchor
+  EXPECT_FALSE(Regex::Compile("(?<name>a)", {}).ok());
+}
+
+TEST(RegexTest, PatternAccessor) {
+  Regex r = MustCompile("a+b");
+  EXPECT_EQ(r.pattern(), "a+b");
+}
+
+TEST(RegexTest, CopyableAndShared) {
+  Regex a = MustCompile("x+");
+  Regex b = a;  // shallow copy shares the program
+  EXPECT_TRUE(b.PartialMatch("xx"));
+  EXPECT_TRUE(a.PartialMatch("x"));
+}
+
+}  // namespace
+}  // namespace webrbd

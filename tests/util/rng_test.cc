@@ -1,0 +1,165 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace webrbd {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextU32() != b.NextU32()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(RngTest, DifferentStreamsDiverge) {
+  Rng a(7, 1), b(7, 2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextU32() != b.NextU32()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(42);
+  for (uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, BelowCoversAllResidues) {
+  Rng rng(5);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, RangeInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int v = rng.RangeInclusive(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, RangeInclusiveDegenerate) {
+  Rng rng(13);
+  EXPECT_EQ(rng.RangeInclusive(4, 4), 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);  // loose mean check
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+    EXPECT_FALSE(rng.Chance(-0.5));
+    EXPECT_TRUE(rng.Chance(1.5));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 5000; ++i) hits += rng.Chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 5000.0, 0.3, 0.04);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0.0, sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double variance = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.2);
+  EXPECT_NEAR(variance, 4.0, 0.6);
+}
+
+TEST(RngTest, PickWeightedRespectsZeros) {
+  Rng rng(31);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.PickWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, PickWeightedProportions) {
+  Rng rng(37);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 4000; ++i) ones += rng.PickWeighted(weights) == 1;
+  EXPECT_NEAR(ones / 4000.0, 0.75, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(StableHashTest, KnownProperties) {
+  EXPECT_EQ(StableHash64("abc"), StableHash64("abc"));
+  EXPECT_NE(StableHash64("abc"), StableHash64("abd"));
+  EXPECT_NE(StableHash64(""), StableHash64("a"));
+  // FNV-1a offset basis for the empty string.
+  EXPECT_EQ(StableHash64(""), 1469598103934665603ULL);
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,106 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace webrbd {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    Status::Code code;
+    std::string_view name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), Status::Code::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), Status::Code::kNotFound, "NotFound"},
+      {Status::ParseError("c"), Status::Code::kParseError, "ParseError"},
+      {Status::FailedPrecondition("d"), Status::Code::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Unsupported("e"), Status::Code::kUnsupported, "Unsupported"},
+      {Status::Internal("f"), Status::Code::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeName(c.status.code()), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+Status FailsThrough() {
+  WEBRBD_RETURN_IF_ERROR(Status::ParseError("inner"));
+  return Status::Internal("unreachable");
+}
+
+Status Passes() {
+  WEBRBD_RETURN_IF_ERROR(Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThrough(), Status::ParseError("inner"));
+  EXPECT_TRUE(Passes().ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  WEBRBD_ASSIGN_OR_RETURN(*out, Half(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseAssignOrReturn(3, &out).code(),
+            Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace webrbd

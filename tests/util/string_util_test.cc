@@ -1,0 +1,104 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd {
+namespace {
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("AbC-123_xYz"), "abc-123_xyz");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(StringUtilTest, AsciiEqualsIgnoreCase) {
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("HTML", "html"));
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("", ""));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase("html", "htm"));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringUtilTest, CharClassPredicates) {
+  EXPECT_TRUE(IsAsciiAlpha('a'));
+  EXPECT_TRUE(IsAsciiAlpha('Z'));
+  EXPECT_FALSE(IsAsciiAlpha('1'));
+  EXPECT_TRUE(IsAsciiDigit('0'));
+  EXPECT_FALSE(IsAsciiDigit('a'));
+  EXPECT_TRUE(IsAsciiAlnum('5'));
+  EXPECT_TRUE(IsAsciiAlnum('g'));
+  EXPECT_FALSE(IsAsciiAlnum('-'));
+  EXPECT_TRUE(IsAsciiSpace(' '));
+  EXPECT_TRUE(IsAsciiSpace('\t'));
+  EXPECT_TRUE(IsAsciiSpace('\n'));
+  EXPECT_FALSE(IsAsciiSpace('x'));
+}
+
+TEST(StringUtilTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripAsciiWhitespace("abc"), "abc");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StringUtilTest, CollapseWhitespace) {
+  EXPECT_EQ(CollapseWhitespace("  a   b\n\nc  "), "a b c");
+  EXPECT_EQ(CollapseWhitespace(""), "");
+  EXPECT_EQ(CollapseWhitespace(" \t "), "");
+  EXPECT_EQ(CollapseWhitespace("one"), "one");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("bar", "foobar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("Hello World", "WORLD"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "x"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("abcabc", "bc", "X"), "aXaX");
+  EXPECT_EQ(ReplaceAll("abc", "", "X"), "abc");
+  EXPECT_EQ(ReplaceAll("", "a", "b"), "");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringUtilTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.845), "84.5%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.9893, 2), "98.93%");
+}
+
+}  // namespace
+}  // namespace webrbd

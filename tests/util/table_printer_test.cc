@@ -1,0 +1,72 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace webrbd {
+namespace {
+
+TEST(TablePrinterTest, RendersHeadersAndRows) {
+  TablePrinter t({"Heuristic", "1", "2"});
+  t.AddRow({"OM", "83%", "17%"});
+  t.AddRow({"IT", "92%", "8%"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("Heuristic"), std::string::npos);
+  EXPECT_NE(out.find("OM"), std::string::npos);
+  EXPECT_NE(out.find("92%"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  const std::string out = t.ToString();
+  // Every rendered line has the same width.
+  size_t width = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, LongRowsExtendColumns) {
+  TablePrinter t({"x"});
+  t.AddRow({"1", "2", "3"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericCellsRightAligned) {
+  TablePrinter t({"name", "count"});
+  t.AddRow({"abcdef", "7"});
+  const std::string out = t.ToString();
+  // "7" is padded on the left within its column ("count" is 5 wide).
+  EXPECT_NE(out.find("    7"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RuleInsertsSeparator) {
+  TablePrinter t({"h"});
+  t.AddRow({"above"});
+  t.AddRule();
+  t.AddRow({"below"});
+  const std::string out = t.ToString();
+  // header rule + top + bottom + mid-rule = 4 dashed lines.
+  int rules = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter t({"alpha", "beta"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,321 @@
+// webrbd command-line tool: record-boundary discovery, record extraction,
+// database population, and document classification over HTML files.
+//
+//   webrbd_cli discover [options] FILE        show the separator consensus
+//   webrbd_cli extract  [options] FILE        print the records
+//   webrbd_cli populate [options] FILE        run the full pipeline
+//   webrbd_cli classify [options] FILE        multi-record / detail / none
+//   webrbd_cli demo                           run the paper's Figure 2
+//
+// Options:
+//   --heuristics LETTERS   subset of ORSIH (default ORSIH)
+//   --threshold FRACTION   candidate irrelevance threshold (default 0.10)
+//   --ontology FILE        ontology DSL enabling OM and field extraction
+//   --format FORMAT        extract: text|json   populate: table|csv|sql
+//   --keep-leading         keep the chunk before the first separator
+//
+// FILE may be "-" for stdin.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/document_classifier.h"
+#include "core/record_extractor.h"
+#include "db/export.h"
+#include "eval/figure2.h"
+#include "extract/db_instance_generator.h"
+#include "ontology/estimator.h"
+#include "ontology/parser.h"
+
+namespace webrbd {
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string file;
+  std::string heuristics = "ORSIH";
+  double threshold = 0.10;
+  std::string ontology_file;
+  std::string format;
+  bool keep_leading = false;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: webrbd_cli COMMAND [options] FILE\n"
+      "commands: discover | extract | populate | classify | demo\n"
+      "options:  --heuristics LETTERS  --threshold FRACTION\n"
+      "          --ontology FILE  --format FORMAT  --keep-leading\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  if (argc < 2) return false;
+  options->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--heuristics") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->heuristics = v;
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->threshold = std::atof(v);
+    } else if (arg == "--ontology") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->ontology_file = v;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->format = v;
+    } else if (arg == "--keep-leading") {
+      options->keep_leading = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else {
+      options->file = arg;
+    }
+  }
+  return true;
+}
+
+Result<std::string> ReadInput(const std::string& file) {
+  if (file == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + file);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// Builds discovery options (and, when an ontology is given, the OM
+// estimator) from the CLI flags.
+Result<DiscoveryOptions> MakeDiscoveryOptions(
+    const CliOptions& cli, std::optional<Ontology>* ontology_out) {
+  DiscoveryOptions options;
+  options.heuristics = cli.heuristics;
+  options.candidate_options.irrelevance_threshold = cli.threshold;
+  if (!cli.ontology_file.empty()) {
+    auto text = ReadInput(cli.ontology_file);
+    if (!text.ok()) return text.status();
+    auto ontology = ParseOntology(*text);
+    if (!ontology.ok()) return ontology.status();
+    auto estimator = MakeEstimatorForOntology(*ontology);
+    if (!estimator.ok()) return estimator.status();
+    options.estimator = std::move(estimator).value();
+    if (ontology_out != nullptr) *ontology_out = std::move(ontology).value();
+  }
+  return options;
+}
+
+int RunDiscover(const CliOptions& cli) {
+  auto html = ReadInput(cli.file);
+  if (!html.ok()) {
+    std::fprintf(stderr, "%s\n", html.status().ToString().c_str());
+    return 1;
+  }
+  std::optional<Ontology> ontology;
+  auto options = MakeDiscoveryOptions(cli, &ontology);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  auto discovery = DiscoverRecordBoundaries(*html, *options);
+  if (!discovery.ok()) {
+    std::fprintf(stderr, "%s\n", discovery.status().ToString().c_str());
+    return 1;
+  }
+  const DiscoveryResult& result = discovery->result;
+  std::printf("separator: <%s>\n", result.separator.c_str());
+  std::printf("region: <%s> fan-out %zu\n",
+              result.analysis.subtree->name.c_str(),
+              result.analysis.subtree->fanout());
+  std::printf("compound ranking:\n");
+  for (const CompoundRankedTag& ranked : result.compound_ranking) {
+    std::printf("  <%s>  %.2f%%\n", ranked.tag.c_str(),
+                100.0 * ranked.certainty);
+  }
+  std::printf("individual heuristics:\n");
+  for (const HeuristicResult& heuristic : result.heuristic_results) {
+    std::printf("  %s:", heuristic.heuristic_name.c_str());
+    if (heuristic.ranking.empty()) std::printf(" (no answer)");
+    for (const RankedTag& ranked : heuristic.ranking) {
+      std::printf(" %s=%d", ranked.tag.c_str(), ranked.rank);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunExtract(const CliOptions& cli) {
+  auto html = ReadInput(cli.file);
+  if (!html.ok()) {
+    std::fprintf(stderr, "%s\n", html.status().ToString().c_str());
+    return 1;
+  }
+  auto options = MakeDiscoveryOptions(cli, nullptr);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  RecordExtractorOptions extractor_options;
+  extractor_options.drop_leading_chunk = !cli.keep_leading;
+  auto records =
+      ExtractRecordsFromDocument(*html, *options, extractor_options);
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+    return 1;
+  }
+  if (cli.format == "json") {
+    std::printf("[\n");
+    for (size_t i = 0; i < records->size(); ++i) {
+      std::printf("  {\"index\": %zu, \"begin\": %zu, \"end\": %zu, "
+                  "\"text\": \"%s\"}%s\n",
+                  i, (*records)[i].begin, (*records)[i].end,
+                  JsonEscape((*records)[i].text).c_str(),
+                  i + 1 < records->size() ? "," : "");
+    }
+    std::printf("]\n");
+  } else {
+    for (size_t i = 0; i < records->size(); ++i) {
+      std::printf("--- record %zu ---\n%s\n", i + 1,
+                  (*records)[i].text.c_str());
+    }
+  }
+  return 0;
+}
+
+int RunPopulate(const CliOptions& cli) {
+  if (cli.ontology_file.empty()) {
+    std::fprintf(stderr, "populate requires --ontology FILE\n");
+    return 2;
+  }
+  auto html = ReadInput(cli.file);
+  if (!html.ok()) {
+    std::fprintf(stderr, "%s\n", html.status().ToString().c_str());
+    return 1;
+  }
+  std::optional<Ontology> ontology;
+  auto options = MakeDiscoveryOptions(cli, &ontology);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  auto records = ExtractRecordsFromDocument(*html, *options);
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+    return 1;
+  }
+  auto generator = DatabaseInstanceGenerator::Create(*ontology);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+  auto catalog = generator->Populate(*records);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  if (cli.format == "csv") {
+    for (const std::string& name : catalog->TableNames()) {
+      std::printf("-- %s --\n%s\n", name.c_str(),
+                  db::ToCsv(*catalog->GetTable(name)).c_str());
+    }
+  } else if (cli.format == "sql") {
+    std::printf("%s", db::ToSqlDump(*catalog).c_str());
+  } else {
+    std::printf("%s", catalog->ToString().c_str());
+  }
+  return 0;
+}
+
+int RunClassify(const CliOptions& cli) {
+  auto html = ReadInput(cli.file);
+  if (!html.ok()) {
+    std::fprintf(stderr, "%s\n", html.status().ToString().c_str());
+    return 1;
+  }
+  std::optional<Ontology> ontology;
+  auto options = MakeDiscoveryOptions(cli, &ontology);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  auto tree = BuildTagTree(*html);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  ClassificationResult result =
+      ClassifyDocument(*tree, options->estimator.get());
+  std::printf("%s (%s)\n", DocumentClassName(result.document_class).c_str(),
+              result.rationale.c_str());
+  return 0;
+}
+
+int RunDemo() {
+  std::printf("Running the paper's Figure 2 worked example.\n\n");
+  auto discovery = DiscoverRecordBoundaries(Figure2Document());
+  if (!discovery.ok()) {
+    std::fprintf(stderr, "%s\n", discovery.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\nseparator: <%s>\n", discovery->tree.ToAsciiArt().c_str(),
+              discovery->result.separator.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return Usage();
+  if (cli.command == "demo") return RunDemo();
+  if (cli.file.empty()) return Usage();
+  if (cli.command == "discover") return RunDiscover(cli);
+  if (cli.command == "extract") return RunExtract(cli);
+  if (cli.command == "populate") return RunPopulate(cli);
+  if (cli.command == "classify") return RunClassify(cli);
+  std::fprintf(stderr, "unknown command: %s\n", cli.command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace webrbd
+
+int main(int argc, char** argv) { return webrbd::Main(argc, argv); }
