@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Ablation harness for the design choices DESIGN.md calls out:
 //   1. the candidate-tag irrelevance threshold (paper: 10%),
 //   2. the RP pair-count floor (paper: 10% of the lowest candidate count),

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Component micro-benchmarks: the HTML lexer, the Appendix-A tag-tree
 // builder, candidate extraction, each of the five heuristics, the regex
 // engine, the lexicon matcher, the recognizer, and end-to-end discovery.

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Field-level extraction quality across the four domains — the paper's
 // Section 2 context: the surrounding extraction system reported recall
 // around 90% and precision near 95% (names in obituaries near 75%

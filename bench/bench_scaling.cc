@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Scaling benchmarks verifying the paper's complexity claims: tag-tree
 // construction and the full record-boundary discovery pipeline are O(n) in
 // document size for practical documents (Sections 3 and 5.3). Run with

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Regenerates Table 10: rank-1 success rates of the individual heuristics
 // and of ORSIH over the 20 test documents (Tables 6-9 pooled).
 

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Regenerates Table 3: per-heuristic rank distributions on the car-ad
 // calibration corpus (10 Table 1 sites x 5 documents).
 

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Regenerates Table 4: certainty factors obtained by averaging the
 // obituary and car-ad rank distributions (Tables 2 and 3).
 

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Regenerates Table 5: the success rate sc(D) = Y/X of every one of the 26
 // compound-heuristic combinations over the 100 calibration documents.
 

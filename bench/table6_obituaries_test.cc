@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Regenerates Table 6: test set 1, obituaries from five fresh sites.
 
 #include "bench/test_set_common.h"

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Regenerates Table 7: test set 2, car advertisements from five sites.
 
 #include "bench/test_set_common.h"

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Regenerates Table 8: test set 3, computer job advertisements.
 
 #include "bench/test_set_common.h"

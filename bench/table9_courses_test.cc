@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Regenerates Table 9: test set 4, university course descriptions.
 
 #include "bench/test_set_common.h"

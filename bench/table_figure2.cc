@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Regenerates the paper's worked example: Figure 2's document, its tag
 // tree (Figure 2(b)), the Section 3 candidate analysis, the five
 // individual heuristic rankings of Section 5.3, and the ORSIH compound

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
 #include "bench/test_set_common.h"
 
 #include <cstdio>

@@ -55,7 +55,7 @@ struct CandidateOptions {
 /// Fails with FailedPrecondition when the tree has no element nodes (no
 /// subtree to analyze) — the paper assumes multi-record documents, and a
 /// document with no tags cannot contain a separator tag.
-Result<CandidateAnalysis> ExtractCandidateTags(
+[[nodiscard]] Result<CandidateAnalysis> ExtractCandidateTags(
     const TagTree& tree, const CandidateOptions& options = {});
 
 }  // namespace webrbd

@@ -77,13 +77,13 @@ class RecordBoundaryDiscoverer {
   explicit RecordBoundaryDiscoverer(DiscoveryOptions options = {});
 
   /// Steps 2-6 of the algorithm on an existing tag tree.
-  Result<DiscoveryResult> Discover(const TagTree& tree) const;
+  [[nodiscard]] Result<DiscoveryResult> Discover(const TagTree& tree) const;
 
   const DiscoveryOptions& options() const { return options_; }
 
   /// Expands a heuristic letter string ("ORSIH") to names ({"OM", ...});
   /// rejects unknown or duplicate letters and empty strings.
-  static Result<std::vector<std::string>> ParseHeuristicLetters(
+  [[nodiscard]] static Result<std::vector<std::string>> ParseHeuristicLetters(
       const std::string& letters);
 
   /// All 26 non-trivial combinations of two or more heuristic letters, in
@@ -103,7 +103,7 @@ struct DocumentDiscovery {
 };
 
 /// Builds the tag tree of `document` and runs discovery on it.
-Result<DocumentDiscovery> DiscoverRecordBoundaries(
+[[nodiscard]] Result<DocumentDiscovery> DiscoverRecordBoundaries(
     std::string_view document, const DiscoveryOptions& options = {});
 
 }  // namespace webrbd

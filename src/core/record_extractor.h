@@ -45,12 +45,12 @@ struct RecordExtractorOptions {
 ///
 /// Fails with NotFound when the separator tag does not occur in the
 /// subtree.
-Result<std::vector<ExtractedRecord>> ExtractRecords(
+[[nodiscard]] Result<std::vector<ExtractedRecord>> ExtractRecords(
     const TagTree& tree, const CandidateAnalysis& analysis,
     const std::string& separator_tag, const RecordExtractorOptions& options = {});
 
 /// Convenience: discovery + extraction in one call.
-Result<std::vector<ExtractedRecord>> ExtractRecordsFromDocument(
+[[nodiscard]] Result<std::vector<ExtractedRecord>> ExtractRecordsFromDocument(
     std::string_view document, const DiscoveryOptions& discovery_options = {},
     const RecordExtractorOptions& extractor_options = {});
 

@@ -34,7 +34,7 @@ struct SiteWrapper {
 
   /// One-line serialization ("hr@td:0.9996") and its inverse.
   std::string Serialize() const;
-  static Result<SiteWrapper> Deserialize(const std::string& serialized);
+  [[nodiscard]] static Result<SiteWrapper> Deserialize(const std::string& serialized);
 };
 
 /// Outcome of applying a wrapper to a page.
@@ -57,13 +57,13 @@ class WrapperEngine {
   explicit WrapperEngine(DiscoveryOptions options = {});
 
   /// Runs full discovery on `html` and packages the result as a wrapper.
-  Result<SiteWrapper> Learn(std::string_view html) const;
+  [[nodiscard]] Result<SiteWrapper> Learn(std::string_view html) const;
 
   /// Splits `html` with `wrapper`, re-learning first when the drift check
   /// fails. The check requires that the page's record region is rooted at
   /// the wrapper's region_tag and contains the separator at least
   /// `min_separator_repeats` times.
-  Result<WrapperApplyOutcome> Apply(const SiteWrapper& wrapper,
+  [[nodiscard]] Result<WrapperApplyOutcome> Apply(const SiteWrapper& wrapper,
                                     std::string_view html) const;
 
   /// Drift-check threshold (default 3, matching the classifier's notion

@@ -23,7 +23,7 @@ class Catalog {
   Catalog& operator=(Catalog&&) = default;
 
   /// Creates an empty table; fails when the name exists.
-  Result<Table*> CreateTable(Schema schema);
+  [[nodiscard]] Result<Table*> CreateTable(Schema schema);
 
   /// Lookup; nullptr when absent.
   Table* GetTable(const std::string& name);

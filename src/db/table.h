@@ -29,29 +29,29 @@ class Table {
   const std::vector<Tuple>& rows() const { return rows_; }
 
   /// Validates arity, types, and NOT NULL constraints, then appends.
-  Status Insert(Tuple tuple);
+  [[nodiscard]] Status Insert(Tuple tuple);
 
   /// Inserts named values; unnamed columns become NULL.
-  Status InsertNamed(const std::vector<std::pair<std::string, Value>>& values);
+  [[nodiscard]] Status InsertNamed(const std::vector<std::pair<std::string, Value>>& values);
 
   /// Rows satisfying `predicate`.
   std::vector<Tuple> Select(
       const std::function<bool(const Tuple&)>& predicate) const;
 
   /// Rows where column `name` equals `value`.
-  Result<std::vector<Tuple>> SelectWhereEquals(const std::string& name,
+  [[nodiscard]] Result<std::vector<Tuple>> SelectWhereEquals(const std::string& name,
                                                const Value& value) const;
 
   /// Projects the named columns of every row, preserving row order.
-  Result<std::vector<Tuple>> Project(
+  [[nodiscard]] Result<std::vector<Tuple>> Project(
       const std::vector<std::string>& column_names) const;
 
   /// Sorts rows in place by the named column ascending.
-  Status OrderBy(const std::string& name);
+  [[nodiscard]] Status OrderBy(const std::string& name);
 
   /// Value frequencies of the named column (NULLs skipped), most frequent
   /// first; ties break by value order. A tiny GROUP BY ... COUNT(*).
-  Result<std::vector<std::pair<Value, size_t>>> CountBy(
+  [[nodiscard]] Result<std::vector<std::pair<Value, size_t>>> CountBy(
       const std::string& name) const;
 
   /// ASCII rendering of schema + rows (capped at `max_rows`).

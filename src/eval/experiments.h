@@ -55,7 +55,7 @@ struct DocEvaluation {
 
 /// Evaluates every document of a corpus. Fails if the ontology or any
 /// document analysis fails (the corpus is generated to always analyze).
-Result<std::vector<DocEvaluation>> EvaluateCorpus(
+[[nodiscard]] Result<std::vector<DocEvaluation>> EvaluateCorpus(
     const std::vector<gen::GeneratedDocument>& corpus, Domain domain);
 
 /// One row of Table 2/3: the fraction of documents on which the heuristic
@@ -96,7 +96,7 @@ struct TestSiteRow {
 
 /// Runs a test set (one document per site) under the compound heuristic
 /// `letters` with certainty factors `table`.
-Result<std::vector<TestSiteRow>> RunTestSet(Domain domain,
+[[nodiscard]] Result<std::vector<TestSiteRow>> RunTestSet(Domain domain,
                                             const std::string& letters,
                                             const CertaintyFactorTable& table);
 

@@ -60,7 +60,7 @@ struct ExtractionQualityReport {
 /// Records are aligned by index when the pipeline recovers exactly the
 /// ground-truth record count; misaligned documents contribute to
 /// `records_skipped` instead of polluting the field tallies.
-Result<ExtractionQualityReport> MeasureExtractionQuality(
+[[nodiscard]] Result<ExtractionQualityReport> MeasureExtractionQuality(
     Domain domain, const std::vector<gen::GeneratedDocument>& corpus);
 
 }  // namespace webrbd::eval

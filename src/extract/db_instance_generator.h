@@ -32,12 +32,12 @@ struct InstanceGeneratorOptions {
 class DatabaseInstanceGenerator {
  public:
   /// Compiles the ontology (recognizer + scheme). Fails on bad patterns.
-  static Result<DatabaseInstanceGenerator> Create(
+  [[nodiscard]] static Result<DatabaseInstanceGenerator> Create(
       const Ontology& ontology, InstanceGeneratorOptions options = {});
 
   /// Creates a fresh catalog from the scheme and inserts one entity row per
   /// record (plus aux-table rows for many-valued object sets).
-  Result<db::Catalog> Populate(
+  [[nodiscard]] Result<db::Catalog> Populate(
       const std::vector<ExtractedRecord>& records) const;
 
   /// Recognizes and assembles the column values for one record text;
@@ -54,7 +54,7 @@ class DatabaseInstanceGenerator {
       const DataRecordTable& record_table) const;
 
   /// Populates a fresh catalog with one entity row per partition.
-  Result<db::Catalog> PopulateFromPartitions(
+  [[nodiscard]] Result<db::Catalog> PopulateFromPartitions(
       const std::vector<DataRecordTable>& partitions) const;
 
   const DatabaseScheme& scheme() const { return scheme_; }
@@ -70,7 +70,7 @@ class DatabaseInstanceGenerator {
       const DataRecordTable& table) const;
 
   // Inserts one entity row (and its aux-table rows) into `catalog`.
-  Status InsertEntity(
+  [[nodiscard]] Status InsertEntity(
       db::Catalog* catalog, int64_t id,
       const std::vector<std::pair<std::string, std::string>>& fields) const;
 

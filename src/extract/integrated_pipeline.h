@@ -54,7 +54,7 @@ struct IntegratedResult {
 /// Runs the integrated pipeline on `html` with `ontology`. `base` supplies
 /// heuristics/certainty knobs; its estimator field is ignored (the OM
 /// estimate comes from the Data-Record Table, as the paper specifies).
-Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
+[[nodiscard]] Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
                                                const Ontology& ontology,
                                                DiscoveryOptions base = {});
 

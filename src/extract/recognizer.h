@@ -20,7 +20,7 @@ namespace webrbd {
 class Recognizer {
  public:
   /// Compiles the ontology's matching rules; fails on bad patterns.
-  static Result<Recognizer> Create(const Ontology& ontology);
+  [[nodiscard]] static Result<Recognizer> Create(const Ontology& ontology);
 
   /// Scans `plain_text` and returns the position-ordered table of matches.
   /// Overlapping matches from different object sets are all reported (the

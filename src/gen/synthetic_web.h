@@ -50,7 +50,7 @@ class SyntheticWeb {
 
   /// Fetches a URL; NotFound for anything off the map. Accepts with or
   /// without the "http://" scheme.
-  Result<WebPage> Fetch(const std::string& url) const;
+  [[nodiscard]] Result<WebPage> Fetch(const std::string& url) const;
 
   /// Every URL the web serves, in deterministic order.
   std::vector<std::string> AllUrls() const;

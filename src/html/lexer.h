@@ -21,7 +21,7 @@ namespace webrbd {
 /// The lexer never fails on document *content*; it only reports errors for
 /// caller misuse (e.g. absurd size limits), so the common path is
 /// LexHtml(doc).value().
-Result<std::vector<HtmlToken>> LexHtml(std::string_view document);
+[[nodiscard]] Result<std::vector<HtmlToken>> LexHtml(std::string_view document);
 
 }  // namespace webrbd
 

@@ -25,7 +25,7 @@ namespace webrbd {
 /// Builds the tag tree of `document`. Never fails on malformed markup (the
 /// algorithm is specified to repair it); only internal invariant violations
 /// produce an error.
-Result<TagTree> BuildTagTree(std::string_view document);
+[[nodiscard]] Result<TagTree> BuildTagTree(std::string_view document);
 
 }  // namespace webrbd
 

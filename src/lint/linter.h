@@ -1,0 +1,171 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// webrbd_lint: the repo's own static checker, built on the project's regex
+// engine (src/text). It enforces repo-specific correctness rules that
+// generic tooling cannot know about — most importantly the Status/Result
+// error-handling discipline from util/status.h and util/result.h.
+//
+// The checker is deliberately heuristic: it works line-by-line on scrubbed
+// source (comments and string literals blanked) and approximates scopes by
+// indentation. False positives are expected to be rare and are vetted via
+// the suppression file (tools/webrbd_lint_suppressions.txt) or an inline
+// `// lint:allow(<rule>)` comment on the offending line.
+//
+// Rules (see docs/static-analysis.md for the full contract):
+//   license-header      first line must carry the project license banner
+//   include-guard       headers must use WEBRBD_<PATH>_H_ guards
+//   banned-function     atoi / strcpy / sprintf are forbidden everywhere
+//   raw-new-delete      no raw new/delete expressions in library code (src/)
+//   throw-in-library    no `throw` from library code (src/)
+//   unchecked-status    a Status/Result-returning call used as a bare
+//                       statement discards the error
+//   unguarded-value     Result/optional `x.value()` with no dominating
+//                       `x.ok()` / `x.has_value()` check in the same scope
+
+#ifndef WEBRBD_LINT_LINTER_H_
+#define WEBRBD_LINT_LINTER_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/regex.h"
+#include "util/result.h"
+
+namespace webrbd {
+namespace lint {
+
+/// One rule violation at a specific source location.
+struct LintFinding {
+  std::string rule;       ///< rule identifier, e.g. "unchecked-status"
+  std::string path;       ///< repo-relative path with forward slashes
+  size_t line = 0;        ///< 1-based line number
+  std::string message;    ///< human-readable explanation
+  std::string line_text;  ///< the offending source line, trimmed
+};
+
+/// A source file handed to the linter. `path` must be repo-relative with
+/// forward slashes (e.g. "src/html/lexer.cc") — rule applicability and the
+/// expected include-guard name are derived from it.
+struct LintSource {
+  std::string path;
+  std::string content;
+};
+
+/// Static description of a rule, for --list-rules and the docs.
+struct LintRuleInfo {
+  std::string_view name;
+  std::string_view description;
+};
+
+/// All rules the linter knows about, in evaluation order.
+const std::vector<LintRuleInfo>& AllLintRules();
+
+/// Returns `content` with comments and string/char-literal bodies replaced
+/// by spaces, byte-for-byte (newlines preserved), so that line/column
+/// positions in the scrubbed text match the original. Handles //, /*...*/,
+/// "...", '...' and R"delim(...)delim" raw strings.
+std::string ScrubSource(std::string_view content);
+
+/// Parsed suppression list. File format, one entry per line:
+///
+///   <rule> <path-suffix> [<line-substring>]
+///
+/// `<rule>` may be `*` to match any rule. A finding is suppressed when the
+/// rule matches, the finding's path ends with `<path-suffix>`, and — if
+/// given — the offending line contains `<line-substring>`. Blank lines and
+/// lines starting with '#' are ignored.
+class SuppressionList {
+ public:
+  SuppressionList() = default;
+
+  /// Parses suppression-file text; rejects malformed lines.
+  [[nodiscard]] static Result<SuppressionList> Parse(std::string_view text);
+
+  /// True iff `finding` matches an entry and should be dropped.
+  bool Matches(const LintFinding& finding) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string rule;
+    std::string path_suffix;
+    std::string line_substring;  // empty = match any line
+  };
+  std::vector<Entry> entries_;
+};
+
+/// The checker. Two-pass: feed every file to CollectDeclarations() first so
+/// the unchecked-status rule knows the full set of Status/Result-returning
+/// function names, then call LintFile() on each file.
+class Linter {
+ public:
+  /// Compiles the rule patterns (using the project regex engine).
+  [[nodiscard]] static Result<Linter> Create();
+
+  /// Pass 1: records the names of functions declared in `source` whose
+  /// return type is Status or Result<...>.
+  void CollectDeclarations(const LintSource& source);
+
+  /// Pass 2: runs every rule over `source`, appending to `findings`.
+  /// Findings on lines carrying `// lint:allow(<rule>)` are dropped here;
+  /// file-level suppressions are the caller's job (SuppressionList).
+  void LintFile(const LintSource& source,
+                std::vector<LintFinding>* findings) const;
+
+  /// The names collected by pass 1 (exposed for tests/diagnostics).
+  const std::set<std::string>& status_returning_functions() const {
+    return status_functions_;
+  }
+
+ private:
+  Linter() = default;
+
+  void CheckLicenseHeader(const LintSource& source,
+                          std::vector<LintFinding>* findings) const;
+  void CheckIncludeGuard(const LintSource& source,
+                         const std::vector<std::string>& scrubbed_lines,
+                         std::vector<LintFinding>* findings) const;
+  void CheckBannedFunctions(const LintSource& source,
+                            const std::vector<std::string>& scrubbed_lines,
+                            std::vector<LintFinding>* findings) const;
+  void CheckRawNewDelete(const LintSource& source,
+                         const std::vector<std::string>& scrubbed_lines,
+                         std::vector<LintFinding>* findings) const;
+  void CheckThrow(const LintSource& source,
+                  const std::vector<std::string>& scrubbed_lines,
+                  std::vector<LintFinding>* findings) const;
+  void CheckUncheckedStatus(const LintSource& source,
+                            const std::vector<std::string>& scrubbed_lines,
+                            std::vector<LintFinding>* findings) const;
+  void CheckUnguardedValue(const LintSource& source,
+                           const std::vector<std::string>& scrubbed_lines,
+                           std::vector<LintFinding>* findings) const;
+
+  std::set<std::string> status_functions_;
+
+  // Compiled rule patterns; set by Create().
+  std::vector<Regex> banned_function_regexes_;
+  std::vector<Regex> new_delete_regexes_;
+  std::vector<Regex> throw_regexes_;
+  std::vector<Regex> value_call_regexes_;
+};
+
+/// Renders a finding as "path:line: [rule] message" plus the source line.
+std::string FormatFinding(const LintFinding& finding);
+
+/// Expected include-guard macro for a repo-relative header path: the path
+/// uppercased with separators mapped to '_', prefixed WEBRBD_, with a
+/// leading "src/" stripped (library headers are included as "html/lexer.h").
+std::string ExpectedIncludeGuard(std::string_view path);
+
+/// True iff `path` is library code (under src/), where the stricter
+/// raw-new-delete and throw-in-library rules apply.
+bool IsLibraryPath(std::string_view path);
+
+}  // namespace lint
+}  // namespace webrbd
+
+#endif  // WEBRBD_LINT_LINTER_H_

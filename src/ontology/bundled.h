@@ -34,7 +34,7 @@ std::string DomainName(Domain domain);
 std::string BundledOntologyDsl(Domain domain);
 
 /// Parses and returns the bundled ontology for `domain`.
-Result<Ontology> BundledOntology(Domain domain);
+[[nodiscard]] Result<Ontology> BundledOntology(Domain domain);
 
 }  // namespace webrbd
 

@@ -25,7 +25,7 @@ struct DatabaseScheme {
   std::vector<db::Schema> multivalue_tables;
 
   /// Instantiates every table into a fresh catalog.
-  Result<db::Catalog> CreateCatalog() const;
+  [[nodiscard]] Result<db::Catalog> CreateCatalog() const;
 
   /// All schemas, entity table first.
   std::vector<const db::Schema*> AllSchemas() const;

@@ -17,7 +17,7 @@ namespace webrbd {
 class OntologyRecordCountEstimator : public RecordCountEstimator {
  public:
   /// Fails when the ontology's data frames do not compile.
-  static Result<std::shared_ptr<OntologyRecordCountEstimator>> Create(
+  [[nodiscard]] static Result<std::shared_ptr<OntologyRecordCountEstimator>> Create(
       const Ontology& ontology);
 
   std::optional<double> EstimateRecordCount(
@@ -44,7 +44,7 @@ class OntologyRecordCountEstimator : public RecordCountEstimator {
 /// Convenience: builds the estimator and wires it into DiscoveryOptions-
 /// compatible form. Returns nullptr (OM abstains) when the ontology has too
 /// few record-identifying fields.
-Result<std::shared_ptr<const RecordCountEstimator>> MakeEstimatorForOntology(
+[[nodiscard]] Result<std::shared_ptr<const RecordCountEstimator>> MakeEstimatorForOntology(
     const Ontology& ontology);
 
 }  // namespace webrbd

@@ -43,7 +43,7 @@ class MatchingRuleSet {
  public:
   /// Compiles every data frame; fails on an invalid value pattern, naming
   /// the offending object set.
-  static Result<MatchingRuleSet> Compile(const Ontology& ontology);
+  [[nodiscard]] static Result<MatchingRuleSet> Compile(const Ontology& ontology);
 
   const std::vector<CompiledObjectSetRule>& rules() const { return rules_; }
 

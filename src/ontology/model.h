@@ -92,7 +92,7 @@ class Ontology {
 
   /// Structural sanity checks: non-empty names, unique object sets, every
   /// object set recognizable by keyword, pattern, or lexicon.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
  private:
   std::string name_;

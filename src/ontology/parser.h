@@ -30,7 +30,7 @@
 namespace webrbd {
 
 /// Parses the DSL text into a validated Ontology.
-Result<Ontology> ParseOntology(std::string_view text);
+[[nodiscard]] Result<Ontology> ParseOntology(std::string_view text);
 
 /// Renders an Ontology back to DSL text (round-trips through ParseOntology).
 std::string OntologyToDsl(const Ontology& ontology);

@@ -29,7 +29,7 @@ namespace webrbd {
 class Regex {
  public:
   /// Compiles `pattern`. See ParseRegex() for the supported dialect.
-  static Result<Regex> Compile(std::string_view pattern,
+  [[nodiscard]] static Result<Regex> Compile(std::string_view pattern,
                                RegexOptions options = {});
 
   /// The original pattern text.

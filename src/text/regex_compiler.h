@@ -11,7 +11,7 @@ namespace webrbd {
 
 /// Compiles an AST into an NFA program (classic Thompson construction;
 /// bounded repetition is expanded by cloning).
-Result<RegexProgram> CompileRegex(const RegexNode& root);
+[[nodiscard]] Result<RegexProgram> CompileRegex(const RegexNode& root);
 
 }  // namespace webrbd
 

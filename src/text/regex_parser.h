@@ -31,7 +31,7 @@ struct RegexOptions {
 ///
 /// Unsupported (rejected with ParseError): non-greedy quantifiers (`*?`),
 /// backreferences, lookaround.
-Result<std::unique_ptr<RegexNode>> ParseRegex(std::string_view pattern,
+[[nodiscard]] Result<std::unique_ptr<RegexNode>> ParseRegex(std::string_view pattern,
                                               const RegexOptions& options);
 
 }  // namespace webrbd

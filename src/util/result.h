@@ -22,7 +22,7 @@ namespace webrbd {
 ///   if (!r.ok()) return r.status();
 ///   TagTree tree = std::move(r).value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success case).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -18,8 +18,9 @@ namespace webrbd {
 ///
 /// A Status is either OK (the default) or carries an error code plus a
 /// human-readable message. Statuses are cheap to copy when OK and cheap to
-/// move always.
-class Status {
+/// move always. The class is [[nodiscard]]: a caller that drops a returned
+/// Status on the floor is a compile error under WEBRBD_WERROR.
+class [[nodiscard]] Status {
  public:
   /// Error taxonomy. Kept deliberately small; the message carries detail.
   enum class Code {
@@ -36,23 +37,23 @@ class Status {
   Status() : code_(Code::kOk) {}
 
   /// Factory helpers, one per error code.
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string_view msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string_view msg) {
     return Status(Code::kInvalidArgument, msg);
   }
-  static Status NotFound(std::string_view msg) {
+  [[nodiscard]] static Status NotFound(std::string_view msg) {
     return Status(Code::kNotFound, msg);
   }
-  static Status ParseError(std::string_view msg) {
+  [[nodiscard]] static Status ParseError(std::string_view msg) {
     return Status(Code::kParseError, msg);
   }
-  static Status FailedPrecondition(std::string_view msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string_view msg) {
     return Status(Code::kFailedPrecondition, msg);
   }
-  static Status Unsupported(std::string_view msg) {
+  [[nodiscard]] static Status Unsupported(std::string_view msg) {
     return Status(Code::kUnsupported, msg);
   }
-  static Status Internal(std::string_view msg) {
+  [[nodiscard]] static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
   }
 

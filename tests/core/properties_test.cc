@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Cross-cutting property tests over generated documents: algebraic
 // invariants the pipeline must satisfy regardless of corpus content.
 

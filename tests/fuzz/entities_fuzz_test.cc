@@ -1,0 +1,96 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Structure-aware fuzz driver for the HTML entity decoder. Inputs mix
+// well-formed references, every malformation class we know about, and raw
+// byte noise; the driver asserts the decoder's contract (determinism,
+// never-growing output, encode/decode round-trip) and, under
+// WEBRBD_SANITIZE builds, memory safety.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/fuzz_util.h"
+#include "html/entities.h"
+#include "util/rng.h"
+
+namespace webrbd {
+namespace {
+
+// Builds entity soup: valid named/numeric references interleaved with
+// truncated, unterminated, overlong, and garbage forms.
+std::string RandomEntitySoup(Rng* rng, size_t target_size) {
+  static const char* kValid[] = {
+      "&amp;",  "&lt;",    "&gt;",    "&quot;",  "&apos;",   "&nbsp;",
+      "&copy;", "&reg;",   "&trade;", "&mdash;", "&hellip;", "&eacute;",
+      "&#65;",  "&#x41;",  "&#38;",   "&#x26;",  "&#9;",     "&#127;",
+  };
+  static const char* kMalformed[] = {
+      "&",          "&#",          "&#x",        "&;",         "&#;",
+      "&#x;",       "&amp",        "&notareal;", "&#999999;",  "&#x110000;",
+      "&#xZZ;",     "&# 65;",      "&&amp;;",    "&#-12;",     "&#x26",
+      "&#18446744073709551999;",   "&longlonglonglonglongname;",
+  };
+  std::string out;
+  while (out.size() < target_size) {
+    switch (rng->Below(6)) {
+      case 0:
+      case 1:
+        out += kValid[rng->Below(18)];
+        break;
+      case 2:
+      case 3:
+        out += kMalformed[rng->Below(17)];
+        break;
+      case 4:  // plain printable text
+        for (int i = rng->RangeInclusive(1, 8); i > 0; --i) {
+          out += static_cast<char>(rng->RangeInclusive(0x20, 0x7e));
+        }
+        break;
+      case 5:  // raw byte noise, including NUL and high-bit bytes
+        for (int i = rng->RangeInclusive(1, 4); i > 0; --i) {
+          out += static_cast<char>(rng->Below(256));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+class EntityFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EntityFuzzTest, DecodeIsDeterministicAndNeverGrows) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 17);
+  const std::string soup = RandomEntitySoup(&rng, 1500);
+  SCOPED_TRACE(fuzz::SeedTrace(GetParam(), soup));
+
+  const std::string decoded = DecodeEntities(soup);
+  EXPECT_EQ(decoded, DecodeEntities(soup)) << "decode is not deterministic";
+  // Every reference decodes to something no longer than its textual form,
+  // and unknown forms pass through verbatim, so output never grows.
+  EXPECT_LE(decoded.size(), soup.size());
+}
+
+TEST_P(EntityFuzzTest, EncodeDecodeRoundTripsArbitraryBytes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 40503 + 29);
+  std::string original;
+  const size_t size = 64 + rng.Below(512);
+  original.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    // Bias toward the XML-significant characters so escaping paths are hot.
+    static const char kSignificant[] = {'&', '<', '>', '"', '\''};
+    if (rng.Chance(0.3)) {
+      original += kSignificant[rng.Below(5)];
+    } else {
+      original += static_cast<char>(rng.Below(256));
+    }
+  }
+  SCOPED_TRACE(fuzz::SeedTrace(GetParam(), original));
+
+  EXPECT_EQ(DecodeEntities(EncodeEntities(original)), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntityFuzzTest, ::testing::Range(0, 32));
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,51 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Shared helpers for the deterministic fuzz drivers in tests/fuzz/. Every
+// driver derives its inputs from an explicit integer seed (the gtest param)
+// so that any failure — including a sanitizer abort — is reproducible by
+// re-running the single seed printed in the test name and trace.
+
+#ifndef WEBRBD_TESTS_FUZZ_FUZZ_UTIL_H_
+#define WEBRBD_TESTS_FUZZ_FUZZ_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace webrbd {
+namespace fuzz {
+
+/// Renders `input` for a failure trace: printable bytes verbatim, others as
+/// \xNN escapes, truncated to `limit` bytes with a tail marker. The escaped
+/// form can be pasted back into a C++ string literal to reproduce.
+inline std::string DescribeInput(std::string_view input, size_t limit = 600) {
+  std::string out;
+  const size_t n = input.size() < limit ? input.size() : limit;
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(input[i]);
+    if (c >= 0x20 && c < 0x7f && c != '\\' && c != '"') {
+      out += static_cast<char>(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      static const char kHex[] = "0123456789abcdef";
+      out += "\\x";
+      out += kHex[c >> 4];
+      out += kHex[c & 0xf];
+    }
+  }
+  if (input.size() > limit) {
+    out += "... [" + std::to_string(input.size()) + " bytes total]";
+  }
+  return out;
+}
+
+/// Trace line tying a failure to its seed and input.
+inline std::string SeedTrace(int seed, std::string_view input) {
+  return "seed=" + std::to_string(seed) + " input=\"" + DescribeInput(input) +
+         "\"";
+}
+
+}  // namespace fuzz
+}  // namespace webrbd
+
+#endif  // WEBRBD_TESTS_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,158 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Structure-aware fuzz driver for the HTML lexer, tree builder, and the
+// discovery pipeline above them. Complements tests/html/fuzz_test.cc's flat
+// tag soup with document *shapes* the open web actually serves: deeply
+// nested structure, record-like repetition, attribute pathologies, comment
+// and CDATA edge cases, and raw byte noise (NUL, high-bit bytes).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "fuzz/fuzz_util.h"
+#include "html/lexer.h"
+#include "html/tree_builder.h"
+#include "util/rng.h"
+
+namespace webrbd {
+namespace {
+
+std::string RandomAttributes(Rng* rng) {
+  static const char* kAttrs[] = {
+      " a=\"v\"",      " href=plain",      " x='single'",
+      " b=\"unterminated", " c=\"<tag> inside\"", " empty=\"\"",
+      " bare",         " =orphan",          " d=\"&amp;&bogus;\"",
+  };
+  std::string out;
+  for (int i = rng->RangeInclusive(0, 3); i > 0; --i) {
+    out += kAttrs[rng->Below(9)];
+  }
+  if (rng->Chance(0.05)) {
+    out += " long=\"" + std::string(600, 'x') + "\"";
+  }
+  return out;
+}
+
+std::string RandomTextRun(Rng* rng) {
+  static const char* kRuns[] = {
+      "Ford Mustang 1998", "died on <b>April 1</b>", "$4,500 obo",
+      "&nbsp;&copy;",      "<!-- <tr> inside comment -->",
+      "<![CDATA[ <td> not a tag ]]>", "call 555-1212",
+  };
+  std::string out = kRuns[rng->Below(7)];
+  if (rng->Chance(0.15)) out += '\0';                        // embedded NUL
+  if (rng->Chance(0.15)) out += static_cast<char>(0xa0 + rng->Below(80));
+  return out;
+}
+
+// A record-list page: repeated <hr>/<tr>-separated chunks, nested containers,
+// malformed closes — the document class the paper's pipeline targets.
+std::string RandomRecordPage(Rng* rng) {
+  std::string out = "<html><body>";
+  const int records = rng->RangeInclusive(1, 12);
+  const bool table_form = rng->Chance(0.5);
+  if (table_form) out += "<table" + RandomAttributes(rng) + ">";
+  for (int i = 0; i < records; ++i) {
+    if (table_form) {
+      out += "<tr><td" + RandomAttributes(rng) + ">" + RandomTextRun(rng);
+      if (rng->Chance(0.7)) out += "</td>";
+      if (rng->Chance(0.6)) out += "</tr>";
+    } else {
+      out += "<hr>" + RandomTextRun(rng);
+      if (rng->Chance(0.4)) out += "<p>" + RandomTextRun(rng);
+    }
+    if (rng->Chance(0.2)) out += "</table>";  // stray close mid-list
+  }
+  if (rng->Chance(0.8)) out += "</body></html>";
+  return out;
+}
+
+// Deep nesting: the tree builder and every tree walker must survive depth
+// without exhausting the stack or corrupting spans.
+std::string DeeplyNested(Rng* rng, int depth) {
+  static const char* kNames[] = {"div", "b", "font", "td", "ul"};
+  std::vector<std::string> opened;
+  std::string out;
+  for (int i = 0; i < depth; ++i) {
+    const std::string name = kNames[rng->Below(5)];
+    out += "<" + name + ">";
+    opened.push_back(name);
+  }
+  out += "x";
+  // Close most of them, in order, leaving a random suffix unclosed.
+  const size_t closes = opened.size() - rng->Below(4);
+  for (size_t i = 0; i < closes && i < opened.size(); ++i) {
+    out += "</" + opened[opened.size() - 1 - i] + ">";
+  }
+  return out;
+}
+
+void CheckLexAndTreeInvariants(int seed, const std::string& doc) {
+  SCOPED_TRACE(fuzz::SeedTrace(seed, doc));
+  auto tokens = LexHtml(doc);
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  size_t pos = 0;
+  for (const HtmlToken& token : *tokens) {
+    ASSERT_EQ(token.begin, pos);
+    ASSERT_GE(token.end, token.begin);
+    pos = token.end;
+  }
+  ASSERT_EQ(pos, doc.size());
+
+  auto tree = BuildTagTree(doc);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  std::vector<std::string> stack;
+  for (const HtmlToken& token : tree->tokens()) {
+    if (token.kind == HtmlToken::Kind::kStartTag) {
+      stack.push_back(token.name);
+    } else if (token.kind == HtmlToken::Kind::kEndTag) {
+      ASSERT_FALSE(stack.empty());
+      ASSERT_EQ(stack.back(), token.name);
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+class HtmlStructureFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HtmlStructureFuzzTest, RecordPagesUpholdLexerAndTreeInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6700417 + 2);
+  for (int round = 0; round < 4; ++round) {
+    CheckLexAndTreeInvariants(GetParam(), RandomRecordPage(&rng));
+  }
+}
+
+TEST_P(HtmlStructureFuzzTest, DeepNestingIsSafe) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 900773 + 23);
+  const int depth = 32 + static_cast<int>(rng.Below(300));
+  CheckLexAndTreeInvariants(GetParam(), DeeplyNested(&rng, depth));
+}
+
+TEST_P(HtmlStructureFuzzTest, DiscoveryIsOkOrErrorNeverCrash) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 16807 + 41);
+  const std::string doc = RandomRecordPage(&rng);
+  SCOPED_TRACE(fuzz::SeedTrace(GetParam(), doc));
+  auto discovery = DiscoverRecordBoundaries(doc);
+  if (!discovery.ok()) {
+    EXPECT_FALSE(discovery.status().message().empty());
+    return;
+  }
+  // The consensus separator must be one of the candidates it ranked.
+  const DiscoveryResult& result = discovery->result;
+  if (!result.compound_ranking.empty()) {
+    bool found = false;
+    for (const std::string& tag : result.tied_best) {
+      if (tag == result.separator) found = true;
+    }
+    EXPECT_TRUE(found) << "separator not among tied_best";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtmlStructureFuzzTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace webrbd

@@ -1,0 +1,153 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Structure-aware fuzz driver for the ontology DSL parser. Generates
+// plausible ontologies from the DSL grammar, then applies mutation passes
+// (line deletion/duplication/truncation, token corruption, garbage
+// insertion) so both the happy path and every error path run under the
+// sanitizers. Accepted ontologies must validate, compile to matching
+// rules without crashing, and round-trip through OntologyToDsl.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+#include "ontology/matching_rules.h"
+#include "ontology/parser.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace webrbd {
+namespace {
+
+std::string RandomName(Rng* rng) {
+  static const char* kNames[] = {"DeathDate", "Age",     "Price", "Make",
+                                 "Model",     "Year",    "Phone", "Mileage",
+                                 "Name",      "Funeral", "x",     "A_B"};
+  return kNames[rng->Below(12)];
+}
+
+std::string RandomOntologyDsl(Rng* rng) {
+  static const char* kCardinalities[] = {"one-to-one", "functional", "many"};
+  static const char* kPatterns[] = {
+      "\\d{1,2}", "[A-Z][a-z]+", "(Jan|Feb|Mar)", "\\$\\d+",
+      "\\d{4}",   "[a-z]+",      "\\d+ miles",    "(19|20)\\d\\d",
+  };
+  static const char* kKeywords[] = {"died on", "asking price", "call",
+                                    "aged",    "interment",    "was born"};
+  static const char* kTypes[] = {"date", "money", "name", "phone"};
+
+  std::string out = "ontology " + RandomName(rng) + "\n";
+  out += "entity " + RandomName(rng) + "\n\n";
+  const int object_sets = rng->RangeInclusive(1, 6);
+  for (int i = 0; i < object_sets; ++i) {
+    out += "objectset " + RandomName(rng) + std::to_string(i) + "\n";
+    out += "  cardinality " + std::string(kCardinalities[rng->Below(3)]) + "\n";
+    if (rng->Chance(0.4)) {
+      out += "  type " + std::string(kTypes[rng->Below(4)]) + "\n";
+    }
+    int matchers = 0;
+    for (int k = rng->RangeInclusive(0, 2); k > 0; --k, ++matchers) {
+      out += "  keyword " + std::string(kKeywords[rng->Below(6)]) + "\n";
+    }
+    for (int p = rng->RangeInclusive(0, 2); p > 0; --p, ++matchers) {
+      out += "  pattern " + std::string(kPatterns[rng->Below(8)]) + "\n";
+    }
+    if (rng->Chance(0.5)) {
+      out += "  lexicon January, February, March\n";
+      ++matchers;
+    }
+    // The parser rejects object sets that can never match anything, so a
+    // *valid* generated object set must carry at least one matcher.
+    if (matchers == 0) {
+      out += "  pattern " + std::string(kPatterns[rng->Below(8)]) + "\n";
+    }
+    if (rng->Chance(0.2)) out += "  # a comment line\n";
+    out += "end\n\n";
+  }
+  return out;
+}
+
+// Corrupts structurally valid DSL text so error paths execute too.
+std::string Mutate(Rng* rng, std::string dsl) {
+  std::vector<std::string> lines = Split(dsl, '\n');
+  const int mutations = rng->RangeInclusive(0, 3);
+  for (int m = 0; m < mutations && !lines.empty(); ++m) {
+    const size_t index = rng->Below(static_cast<uint32_t>(lines.size()));
+    switch (rng->Below(6)) {
+      case 0:  // delete a line (often an `end`)
+        lines.erase(lines.begin() + static_cast<ptrdiff_t>(index));
+        break;
+      case 1:  // duplicate a line
+        lines.insert(lines.begin() + static_cast<ptrdiff_t>(index),
+                     lines[index]);
+        break;
+      case 2:  // truncate mid-line
+        lines[index] = lines[index].substr(0, lines[index].size() / 2);
+        break;
+      case 3:  // corrupt the first token
+        lines[index] = "zzz" + lines[index];
+        break;
+      case 4:  // garbage line with raw bytes
+        lines.insert(lines.begin() + static_cast<ptrdiff_t>(index),
+                     std::string("\x01garbage \xff\xfe value"));
+        break;
+      case 5:  // bad cardinality / unterminated pattern
+        lines.insert(lines.begin() + static_cast<ptrdiff_t>(index),
+                     rng->Chance(0.5) ? "  cardinality sometimes"
+                                      : "  pattern ([unclosed");
+        break;
+    }
+  }
+  return Join(lines, "\n");
+}
+
+class OntologyFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OntologyFuzzTest, ValidGrammarParsesValidatesAndRoundTrips) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1442695040888963407ULL + 5);
+  const std::string dsl = RandomOntologyDsl(&rng);
+  SCOPED_TRACE(fuzz::SeedTrace(GetParam(), dsl));
+
+  auto ontology = ParseOntology(dsl);
+  ASSERT_TRUE(ontology.ok()) << ontology.status().ToString();
+  EXPECT_TRUE(ontology->Validate().ok());
+
+  // Round-trip: render -> reparse -> render reaches a fixed point.
+  const std::string rendered = OntologyToDsl(*ontology);
+  auto reparsed = ParseOntology(rendered);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(OntologyToDsl(*reparsed), rendered);
+
+  // The matching-rule compiler must accept whatever the parser accepted
+  // (patterns are syntax-checked at parse time) or fail cleanly.
+  auto rules = MatchingRuleSet::Compile(*ontology);
+  if (!rules.ok()) {
+    EXPECT_FALSE(rules.status().message().empty());
+  }
+}
+
+TEST_P(OntologyFuzzTest, MutatedDslNeverCrashesParser) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2862933555777941757ULL + 19);
+  for (int round = 0; round < 8; ++round) {
+    const std::string dsl = Mutate(&rng, RandomOntologyDsl(&rng));
+    SCOPED_TRACE(fuzz::SeedTrace(GetParam(), dsl));
+    auto ontology = ParseOntology(dsl);
+    if (!ontology.ok()) {
+      EXPECT_FALSE(ontology.status().message().empty());
+      continue;
+    }
+    // Whatever still parses must still validate and compile-or-error.
+    EXPECT_TRUE(ontology->Validate().ok());
+    auto rules = MatchingRuleSet::Compile(*ontology);
+    if (!rules.ok()) {
+      EXPECT_FALSE(rules.status().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OntologyFuzzTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace webrbd

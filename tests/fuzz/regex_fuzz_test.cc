@@ -1,0 +1,173 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Structure-aware fuzz driver for the regex parser, compiler, and Pike VM.
+// Two pattern sources: a grammar-directed generator that emits mostly-valid
+// patterns exercising every AST node type, and a metacharacter-soup
+// generator that stresses the parser's error paths. Compiled patterns are
+// then run over adversarial texts and the VM's span invariants checked.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+#include "text/regex.h"
+#include "util/rng.h"
+
+namespace webrbd {
+namespace {
+
+// Grammar-directed pattern generation; depth-bounded so programs stay
+// within the compiler's size budget.
+std::string GenAtom(Rng* rng, int depth);
+
+std::string GenConcat(Rng* rng, int depth) {
+  std::string out;
+  for (int i = rng->RangeInclusive(1, 4); i > 0; --i) {
+    out += GenAtom(rng, depth);
+    switch (rng->Below(8)) {
+      case 0: out += "*"; break;
+      case 1: out += "+"; break;
+      case 2: out += "?"; break;
+      case 3:
+        out += "{" + std::to_string(rng->Below(3)) + "," +
+               std::to_string(rng->RangeInclusive(3, 5)) + "}";
+        break;
+      default: break;  // no quantifier
+    }
+  }
+  return out;
+}
+
+std::string GenAlternation(Rng* rng, int depth) {
+  std::string out = GenConcat(rng, depth);
+  for (int i = rng->RangeInclusive(0, 2); i > 0; --i) {
+    out += "|" + GenConcat(rng, depth);
+  }
+  return out;
+}
+
+std::string GenAtom(Rng* rng, int depth) {
+  static const char* kEscapes[] = {"\\d", "\\D", "\\w", "\\W", "\\s", "\\S",
+                                   "\\n", "\\t", "\\.", "\\*", "\\\\", "\\b",
+                                   "\\B"};
+  static const char* kClasses[] = {"[a-z]",   "[A-Z0-9]", "[^0-9]",
+                                   "[\\d,.]", "[a-fx-z]", "[^\\s<>]"};
+  if (depth > 0 && rng->Chance(0.25)) {
+    const char* open = rng->Chance(0.5) ? "(" : "(?:";
+    return open + GenAlternation(rng, depth - 1) + ")";
+  }
+  switch (rng->Below(6)) {
+    case 0: return std::string(1, static_cast<char>(rng->RangeInclusive('a', 'z')));
+    case 1: return std::string(1, static_cast<char>(rng->RangeInclusive('0', '9')));
+    case 2: return ".";
+    case 3: return kEscapes[rng->Below(13)];
+    case 4: return kClasses[rng->Below(6)];
+    // Raw printable byte; may be a metacharacter, which is the point.
+    default: return std::string(1, static_cast<char>(rng->RangeInclusive(' ', '~')));
+  }
+}
+
+// Metacharacter soup: mostly-invalid patterns driving the error paths.
+std::string RandomMetaSoup(Rng* rng, size_t size) {
+  static const char kMeta[] = "()[]{}|*+?\\^$.-,:abz019 \t";
+  std::string out;
+  for (size_t i = 0; i < size; ++i) {
+    out += kMeta[rng->Below(sizeof(kMeta) - 1)];
+  }
+  return out;
+}
+
+// Texts to match against: byte noise biased toward match-friendly runs.
+std::string RandomText(Rng* rng, size_t size) {
+  static const char* kSnippets[] = {"abc",  "1998", "  ",  "a1b2", "zzz",
+                                    "0,0.", "<td>", "\n",  "xyzzy", "42"};
+  std::string out;
+  while (out.size() < size) {
+    if (rng->Chance(0.7)) {
+      out += kSnippets[rng->Below(10)];
+    } else {
+      out += static_cast<char>(rng->Below(256));
+    }
+  }
+  return out;
+}
+
+void CheckMatchInvariants(const Regex& regex, const std::string& text) {
+  const std::vector<RegexMatch> matches = regex.FindAll(text);
+  size_t previous_end = 0;
+  bool first = true;
+  for (const RegexMatch& match : matches) {
+    ASSERT_LE(match.begin, match.end);
+    ASSERT_LE(match.end, text.size());
+    // Ordered and non-overlapping. An empty match may sit exactly at the
+    // previous match's end (the scan then advances one byte to terminate),
+    // so >= is the contract, not >.
+    if (!first) {
+      ASSERT_GE(match.begin, previous_end) << "overlapping matches";
+    }
+    previous_end = match.end;
+    first = false;
+  }
+  EXPECT_EQ(regex.CountMatches(text), matches.size());
+  auto found = regex.Find(text);
+  if (matches.empty()) {
+    EXPECT_FALSE(found.has_value());
+  } else {
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->begin, matches[0].begin);
+    EXPECT_EQ(found->end, matches[0].end);
+  }
+}
+
+class RegexFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegexFuzzTest, GrammarPatternsCompileAndMatchSafely) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6364136223846793005ULL + 3);
+  for (int round = 0; round < 8; ++round) {
+    const std::string pattern = GenAlternation(&rng, 3);
+    SCOPED_TRACE(fuzz::SeedTrace(GetParam(), pattern));
+    auto regex = Regex::Compile(pattern);
+    if (!regex.ok()) continue;  // grammar can still emit rejected forms
+    for (int t = 0; t < 4; ++t) {
+      const std::string text = RandomText(&rng, 160);
+      SCOPED_TRACE(fuzz::SeedTrace(GetParam(), text));
+      CheckMatchInvariants(*regex, text);
+    }
+  }
+}
+
+TEST_P(RegexFuzzTest, MetaSoupNeverCrashesParser) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 22695477 + 11);
+  for (int round = 0; round < 24; ++round) {
+    const std::string pattern = RandomMetaSoup(&rng, 1 + rng.Below(48));
+    SCOPED_TRACE(fuzz::SeedTrace(GetParam(), pattern));
+    auto regex = Regex::Compile(pattern);
+    if (!regex.ok()) {
+      EXPECT_FALSE(regex.status().message().empty());
+      continue;
+    }
+    const std::string text = RandomText(&rng, 120);
+    SCOPED_TRACE(fuzz::SeedTrace(GetParam(), text));
+    CheckMatchInvariants(*regex, text);
+  }
+}
+
+TEST_P(RegexFuzzTest, CaseInsensitiveOptionIsSafe) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 48271 + 7);
+  RegexOptions options;
+  options.case_insensitive = true;
+  const std::string pattern = GenAlternation(&rng, 2);
+  SCOPED_TRACE(fuzz::SeedTrace(GetParam(), pattern));
+  auto regex = Regex::Compile(pattern, options);
+  if (!regex.ok()) return;
+  const std::string text = RandomText(&rng, 200);
+  SCOPED_TRACE(fuzz::SeedTrace(GetParam(), text));
+  CheckMatchInvariants(*regex, text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexFuzzTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace webrbd

@@ -1,9 +1,12 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Randomized robustness tests: the lexer and tree builder must uphold
 // their invariants on arbitrary tag soup — the paper's corpus is the open
 // web, where every malformation occurs.
 
 #include <gtest/gtest.h>
 
+#include "fuzz/fuzz_util.h"
 #include "html/lexer.h"
 #include "html/tree_builder.h"
 #include "util/rng.h"
@@ -66,8 +69,11 @@ std::string RandomTagSoup(Rng* rng, size_t target_size) {
 class TagSoupFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(TagSoupFuzzTest, LexerCoversEveryByteInOrder) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 7919 + 13;
+  Rng rng(seed);
   const std::string doc = RandomTagSoup(&rng, 2000);
+  SCOPED_TRACE("rng seed=" + std::to_string(seed));
+  SCOPED_TRACE(fuzz::SeedTrace(GetParam(), doc));
   auto tokens = LexHtml(doc);
   ASSERT_TRUE(tokens.ok());
   size_t pos = 0;
@@ -80,8 +86,11 @@ TEST_P(TagSoupFuzzTest, LexerCoversEveryByteInOrder) {
 }
 
 TEST_P(TagSoupFuzzTest, TreeBuilderBalancesAnySoup) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 104729 + 7;
+  Rng rng(seed);
   const std::string doc = RandomTagSoup(&rng, 3000);
+  SCOPED_TRACE("rng seed=" + std::to_string(seed));
+  SCOPED_TRACE(fuzz::SeedTrace(GetParam(), doc));
   auto tree = BuildTagTree(doc);
   ASSERT_TRUE(tree.ok()) << tree.status().ToString();
 
@@ -129,8 +138,11 @@ TEST_P(TagSoupFuzzTest, TreeBuilderBalancesAnySoup) {
 }
 
 TEST_P(TagSoupFuzzTest, BuildIsDeterministic) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 1);
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 31 + 1;
+  Rng rng(seed);
   const std::string doc = RandomTagSoup(&rng, 1500);
+  SCOPED_TRACE("rng seed=" + std::to_string(seed));
+  SCOPED_TRACE(fuzz::SeedTrace(GetParam(), doc));
   auto a = BuildTagTree(doc);
   auto b = BuildTagTree(doc);
   ASSERT_TRUE(a.ok());

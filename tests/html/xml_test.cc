@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // The paper's footnote 1: "We have done all our work with HTML documents,
 // but most of this work should carry over directly to other document type
 // definitions (DTDs), such as XML." These tests exercise that carry-over:

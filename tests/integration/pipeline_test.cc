@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // End-to-end tests of the paper's Figure 1 pipeline: Web page -> record
 // separation -> record extraction -> constant/keyword recognition ->
 // populated database.

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Differential testing of the webrbd regex engine against std::regex
 // (ECMAScript grammar) on the dialect subset both engines share. Random
 // patterns and random texts; any disagreement on "does it match here" is

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // webrbd command-line tool: record-boundary discovery, record extraction,
 // database population, and document classification over HTML files.
 //

@@ -1,0 +1,173 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// webrbd_lint: command-line driver for the repo's static checker
+// (src/lint/linter.h). Walks the given files/directories, runs every rule,
+// filters findings through the suppression file, and exits non-zero when
+// any unsuppressed finding remains.
+//
+//   webrbd_lint [--root DIR] [--suppressions FILE] [--list-rules] PATH...
+//
+// PATH arguments are files or directories (searched recursively for
+// .cc/.h). --root sets the directory that findings and include-guard
+// expectations are computed relative to; it defaults to the common parent
+// implied by each PATH.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+#include "util/string_util.h"
+
+namespace webrbd {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+int Usage() {
+  std::cerr << "usage: webrbd_lint [--root DIR] [--suppressions FILE] "
+               "[--list-rules] PATH...\n";
+  return 2;
+}
+
+[[nodiscard]] Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+/// Path of `file` relative to `root`, with forward slashes; falls back to
+/// the path as given when it is not under `root`.
+std::string RelativePath(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") rel = file;
+  return rel.generic_string();
+}
+
+bool IsLintableFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+int Run(int argc, char** argv) {
+  std::string root_arg;
+  std::string suppressions_file;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return Usage();
+      root_arg = argv[i];
+    } else if (arg == "--suppressions") {
+      if (++i >= argc) return Usage();
+      suppressions_file = argv[i];
+    } else if (arg == "--list-rules") {
+      for (const LintRuleInfo& rule : AllLintRules()) {
+        std::cout << rule.name << ": " << rule.description << "\n";
+      }
+      return 0;
+    } else if (StartsWith(arg, "--")) {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  SuppressionList suppressions;
+  if (!suppressions_file.empty()) {
+    auto text = ReadFile(suppressions_file);
+    if (!text.ok()) {
+      std::cerr << "webrbd_lint: " << text.status().ToString() << "\n";
+      return 2;
+    }
+    auto parsed = SuppressionList::Parse(*text);
+    if (!parsed.ok()) {
+      std::cerr << "webrbd_lint: " << suppressions_file << ": "
+                << parsed.status().ToString() << "\n";
+      return 2;
+    }
+    suppressions = std::move(parsed).value();
+  }
+
+  // Collect every lintable file under the given paths.
+  std::vector<fs::path> files;
+  for (const std::string& path_arg : paths) {
+    fs::path path(path_arg);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file() && IsLintableFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::cerr << "webrbd_lint: no such file or directory: " << path_arg
+                << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  const fs::path root =
+      root_arg.empty() ? fs::current_path() : fs::path(root_arg);
+
+  auto linter = Linter::Create();
+  if (!linter.ok()) {
+    std::cerr << "webrbd_lint: " << linter.status().ToString() << "\n";
+    return 2;
+  }
+
+  // Pass 1: learn every Status/Result-returning function name, so the
+  // unchecked-status rule sees calls across translation units.
+  std::vector<LintSource> sources;
+  sources.reserve(files.size());
+  for (const fs::path& file : files) {
+    auto content = ReadFile(file);
+    if (!content.ok()) {
+      std::cerr << "webrbd_lint: " << content.status().ToString() << "\n";
+      return 2;
+    }
+    sources.push_back(LintSource{RelativePath(file, root),
+                                 std::move(content).value()});
+    linter->CollectDeclarations(sources.back());
+  }
+
+  // Pass 2: lint.
+  std::vector<LintFinding> findings;
+  for (const LintSource& source : sources) {
+    linter->LintFile(source, &findings);
+  }
+
+  size_t suppressed = 0;
+  size_t reported = 0;
+  for (const LintFinding& finding : findings) {
+    if (suppressions.Matches(finding)) {
+      ++suppressed;
+      continue;
+    }
+    ++reported;
+    std::cout << FormatFinding(finding) << "\n";
+  }
+  std::cout << "webrbd_lint: " << sources.size() << " files, " << reported
+            << " finding(s), " << suppressed << " suppressed\n";
+  return reported == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace webrbd
+
+int main(int argc, char** argv) { return webrbd::lint::Run(argc, argv); }
