@@ -1,0 +1,137 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Corpus-scale throughput harness for the batch-extraction engine
+// (src/extract/batch_pipeline.h). Sweeps worker threads over generated
+// corpora and reports docs/sec (items_per_second) and bytes/sec
+// (bytes_per_second), so scaling curves and the recognizer-cache win are
+// machine-readable:
+//
+//   build/bench/bench_throughput --benchmark_out=bench_throughput.json
+//       --benchmark_out_format=json
+//
+// Reading the output (see docs/performance.md):
+//   - BM_PerDocumentLoopNoCache/N: the pre-batch-engine baseline — one
+//     RunIntegratedPipeline per document with the ontology's matching
+//     rules recompiled every call.
+//   - BM_PerDocumentLoopCached/N: the same loop through the process-wide
+//     recognizer cache (what single-document callers get today).
+//   - BM_BatchPipeline/T/N: the batch engine with T worker threads over an
+//     N-document corpus. items_per_second is corpus docs/sec; compare
+//     T=1 with BM_PerDocumentLoopCached to see that batching adds no
+//     overhead, and T=1 vs T=8 for the scaling curve.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extract/batch_pipeline.h"
+#include "extract/recognizer.h"
+#include "gen/sites.h"
+#include "ontology/bundled.h"
+
+namespace webrbd {
+namespace {
+
+const Ontology& BenchOntology() {
+  static const Ontology ontology =
+      BundledOntology(Domain::kObituaries).value();
+  return ontology;
+}
+
+// Renders (once per size) an N-document obituary corpus cycled across the
+// Table 1 calibration sites, so layouts vary the way a crawl's would.
+const std::vector<std::string>& Corpus(size_t documents) {
+  static std::map<size_t, std::vector<std::string>> cache;
+  auto it = cache.find(documents);
+  if (it != cache.end()) return it->second;
+  const auto& sites = gen::CalibrationSites();
+  std::vector<std::string> corpus;
+  corpus.reserve(documents);
+  for (size_t i = 0; i < documents; ++i) {
+    const auto& site = sites[i % sites.size()];
+    corpus.push_back(gen::RenderDocument(site, Domain::kObituaries,
+                                         static_cast<int>(i / sites.size()))
+                         .html);
+  }
+  return cache.emplace(documents, std::move(corpus)).first->second;
+}
+
+size_t CorpusBytes(const std::vector<std::string>& corpus) {
+  size_t bytes = 0;
+  for (const std::string& document : corpus) bytes += document.size();
+  return bytes;
+}
+
+// The old per-document loop: matching rules recompiled for every document,
+// exactly what RunIntegratedPipeline did before the recognizer cache.
+void BM_PerDocumentLoopNoCache(benchmark::State& state) {
+  const auto& corpus = Corpus(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const std::string& document : corpus) {
+      auto recognizer = Recognizer::Create(BenchOntology());
+      benchmark::DoNotOptimize(RunIntegratedPipeline(
+          document, BenchOntology(), *recognizer));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(CorpusBytes(corpus)));
+}
+BENCHMARK(BM_PerDocumentLoopNoCache)->Arg(100)->Unit(benchmark::kMillisecond);
+
+// The same loop through the process-wide recognizer cache (the compat
+// overload) — the single-document caller's view after this change.
+void BM_PerDocumentLoopCached(benchmark::State& state) {
+  const auto& corpus = Corpus(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const std::string& document : corpus) {
+      benchmark::DoNotOptimize(
+          RunIntegratedPipeline(document, BenchOntology()));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(CorpusBytes(corpus)));
+}
+BENCHMARK(BM_PerDocumentLoopCached)->Arg(100)->Unit(benchmark::kMillisecond);
+
+// The batch engine: range(0) worker threads over a range(1)-document
+// corpus. UseRealTime because the work happens on pool threads.
+void BM_BatchPipeline(benchmark::State& state) {
+  const auto& corpus = Corpus(static_cast<size_t>(state.range(1)));
+  BatchOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  RecognizerCache cache;
+  options.cache = &cache;
+  size_t failed = 0;
+  for (auto _ : state) {
+    auto batch = RunBatchPipeline(corpus, BenchOntology(), options);
+    if (!batch.ok()) {
+      state.SkipWithError(batch.status().ToString().c_str());
+      return;
+    }
+    failed = batch->stats.failed;
+    benchmark::DoNotOptimize(batch);
+  }
+  state.counters["failed_docs"] =
+      benchmark::Counter(static_cast<double>(failed));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(CorpusBytes(corpus)));
+}
+BENCHMARK(BM_BatchPipeline)
+    ->ArgsProduct({{1, 2, 4, 8}, {100, 1000}})
+    ->ArgNames({"threads", "docs"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+}  // namespace
+}  // namespace webrbd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "extract/batch_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace webrbd {
+
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+// Auto chunk size: aim for ~4 tasks per worker so stragglers rebalance,
+// but never less than 1 document per task.
+size_t ResolveChunkSize(size_t requested, size_t corpus_size, int threads) {
+  if (requested > 0) return requested;
+  const size_t tasks = static_cast<size_t>(threads) * 4;
+  return std::max<size_t>(1, corpus_size / std::max<size_t>(1, tasks));
+}
+
+}  // namespace
+
+std::string CorpusStats::ToString() const {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "documents      %zu (%zu ok, %zu failed)\n", documents,
+                succeeded, failed);
+  out += line;
+  std::snprintf(line, sizeof(line), "bytes          %zu\n", total_bytes);
+  out += line;
+  std::snprintf(line, sizeof(line), "threads        %d\n", threads_used);
+  out += line;
+  std::snprintf(line, sizeof(line), "wall time      %.3f s\n", wall_seconds);
+  out += line;
+  std::snprintf(line, sizeof(line), "throughput     %.1f docs/s, %.2f MB/s\n",
+                docs_per_second, bytes_per_second / 1e6);
+  out += line;
+  for (const auto& [code, count] : failures_by_code) {
+    std::snprintf(line, sizeof(line), "failures       %s: %zu\n", code.c_str(),
+                  count);
+    out += line;
+  }
+  return out;
+}
+
+Result<BatchResult> RunBatchPipeline(const std::vector<std::string_view>& corpus,
+                                     const Ontology& ontology,
+                                     const BatchOptions& options) {
+  RecognizerCache& cache =
+      options.cache != nullptr ? *options.cache : GlobalRecognizerCache();
+  auto recognizer = cache.Get(ontology);
+  if (!recognizer.ok()) return recognizer.status();
+  const Recognizer& shared_recognizer = **recognizer;
+
+  const int threads = ResolveThreads(options.num_threads);
+  const auto start = std::chrono::steady_clock::now();
+
+  // Per-document slots, written by exactly one task each and read only
+  // after the owning future is waited on (the future's happens-before edge
+  // publishes the slot to this thread).
+  std::vector<std::optional<Result<IntegratedResult>>> slots(corpus.size());
+
+  auto process_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      slots[i].emplace(RunIntegratedPipeline(corpus[i], ontology,
+                                             shared_recognizer,
+                                             options.discovery));
+    }
+  };
+
+  if (threads == 1 || corpus.size() <= 1) {
+    // Inline fast path: no pool, no queue traffic. A 1-thread batch is
+    // therefore exactly the per-document loop plus the recognizer cache.
+    process_range(0, corpus.size());
+  } else {
+    const size_t chunk = ResolveChunkSize(options.chunk_size, corpus.size(),
+                                          threads);
+    ThreadPool pool(threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(corpus.size() / chunk + 1);
+    for (size_t begin = 0; begin < corpus.size(); begin += chunk) {
+      const size_t end = std::min(corpus.size(), begin + chunk);
+      futures.push_back(pool.Submit([&process_range, begin, end]() {
+        process_range(begin, end);
+      }));
+    }
+    for (std::future<void>& future : futures) future.get();
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+
+  BatchResult batch;
+  batch.documents.reserve(corpus.size());
+  batch.stats.documents = corpus.size();
+  batch.stats.threads_used = threads;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    batch.stats.total_bytes += corpus[i].size();
+    Result<IntegratedResult>& result = *slots[i];
+    if (result.ok()) {
+      ++batch.stats.succeeded;
+    } else {
+      ++batch.stats.failed;
+      ++batch.stats.failures_by_code[std::string(
+          StatusCodeName(result.status().code()))];
+    }
+    batch.documents.push_back(std::move(result));
+  }
+  batch.stats.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  if (batch.stats.wall_seconds > 0) {
+    batch.stats.docs_per_second =
+        static_cast<double>(batch.stats.documents) / batch.stats.wall_seconds;
+    batch.stats.bytes_per_second =
+        static_cast<double>(batch.stats.total_bytes) /
+        batch.stats.wall_seconds;
+  }
+  return batch;
+}
+
+Result<BatchResult> RunBatchPipeline(const std::vector<std::string>& corpus,
+                                     const Ontology& ontology,
+                                     const BatchOptions& options) {
+  std::vector<std::string_view> views;
+  views.reserve(corpus.size());
+  for (const std::string& document : corpus) views.emplace_back(document);
+  return RunBatchPipeline(views, ontology, options);
+}
+
+}  // namespace webrbd

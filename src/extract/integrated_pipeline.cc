@@ -4,6 +4,7 @@
 
 #include "extract/db_instance_generator.h"
 #include "extract/recognizer.h"
+#include "extract/recognizer_cache.h"
 #include "html/text_index.h"
 #include "html/tree_builder.h"
 
@@ -33,6 +34,7 @@ std::optional<double> EstimateFromTable(const Ontology& ontology,
 
 Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
                                                const Ontology& ontology,
+                                               const Recognizer& recognizer,
                                                DiscoveryOptions base) {
   auto tree = BuildTagTree(html);
   if (!tree.ok()) return tree.status();
@@ -45,10 +47,8 @@ Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
 
   // One recognizer pass over the region's plain text, every entry
   // re-positioned into document byte offsets.
-  auto recognizer = Recognizer::Create(ontology);
-  if (!recognizer.ok()) return recognizer.status();
   TextIndex index(*tree, *analysis->subtree);
-  DataRecordTable text_table = recognizer->Recognize(index.text());
+  DataRecordTable text_table = recognizer.Recognize(index.text());
   std::vector<DataRecordEntry> repositioned;
   repositioned.reserve(text_table.size());
   for (DataRecordEntry entry : text_table.entries()) {
@@ -95,6 +95,14 @@ Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
   if (!catalog.ok()) return catalog.status();
   result.catalog = std::move(catalog).value();
   return result;
+}
+
+Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
+                                               const Ontology& ontology,
+                                               DiscoveryOptions base) {
+  auto recognizer = GlobalRecognizerCache().Get(ontology);
+  if (!recognizer.ok()) return recognizer.status();
+  return RunIntegratedPipeline(html, ontology, **recognizer, std::move(base));
 }
 
 }  // namespace webrbd

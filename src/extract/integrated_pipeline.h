@@ -26,6 +26,7 @@
 #include "core/discovery.h"
 #include "db/catalog.h"
 #include "extract/data_record_table.h"
+#include "extract/recognizer.h"
 #include "ontology/model.h"
 #include "util/result.h"
 
@@ -51,9 +52,22 @@ struct IntegratedResult {
   db::Catalog catalog;
 };
 
-/// Runs the integrated pipeline on `html` with `ontology`. `base` supplies
-/// heuristics/certainty knobs; its estimator field is ignored (the OM
-/// estimate comes from the Data-Record Table, as the paper specifies).
+/// Runs the integrated pipeline on `html` with `ontology`, using a
+/// pre-built `recognizer` (see extract/recognizer_cache.h) so matching-rule
+/// compilation stays out of the per-document hot path. `recognizer` must
+/// have been created from `ontology` (or a structurally identical one).
+/// `base` supplies heuristics/certainty knobs; its estimator field is
+/// ignored (the OM estimate comes from the Data-Record Table, as the paper
+/// specifies). Thread-compatible: concurrent calls may share `recognizer`
+/// and `ontology`.
+[[nodiscard]] Result<IntegratedResult> RunIntegratedPipeline(
+    std::string_view html, const Ontology& ontology,
+    const Recognizer& recognizer, DiscoveryOptions base = {});
+
+/// Compatibility overload: fetches the compiled recognizer from the
+/// process-wide cache (compiling on the first call per ontology content)
+/// and forwards to the overload above. Single-document callers therefore
+/// no longer pay recompilation on every call either.
 [[nodiscard]] Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
                                                const Ontology& ontology,
                                                DiscoveryOptions base = {});

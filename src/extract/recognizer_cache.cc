@@ -1,0 +1,122 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "extract/recognizer_cache.h"
+
+#include <cstdio>
+
+namespace webrbd {
+
+namespace {
+
+// 64-bit FNV-1a, fed field-by-field with length prefixes so that
+// ("ab","c") and ("a","bc") hash differently.
+class Fnv1a {
+ public:
+  void AddBytes(std::string_view bytes) {
+    for (unsigned char c : bytes) {
+      hash_ ^= c;
+      hash_ *= kPrime;
+    }
+  }
+
+  void AddField(std::string_view field) {
+    AddSize(field.size());
+    AddBytes(field);
+  }
+
+  void AddSize(size_t n) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      unsigned char byte = static_cast<unsigned char>(
+          (static_cast<uint64_t>(n) >> shift) & 0xff);
+      hash_ ^= byte;
+      hash_ *= kPrime;
+    }
+  }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  static constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t hash_ = 14695981039346656037ull;
+};
+
+}  // namespace
+
+uint64_t OntologyFingerprint(const Ontology& ontology) {
+  Fnv1a fnv;
+  fnv.AddField(ontology.name());
+  fnv.AddField(ontology.entity_name());
+  fnv.AddSize(ontology.object_sets().size());
+  for (const ObjectSet& object_set : ontology.object_sets()) {
+    fnv.AddField(object_set.name);
+    fnv.AddSize(static_cast<size_t>(object_set.cardinality));
+    const DataFrame& frame = object_set.frame;
+    fnv.AddSize(frame.value_patterns.size());
+    for (const std::string& pattern : frame.value_patterns) {
+      fnv.AddField(pattern);
+    }
+    fnv.AddSize(frame.keywords.size());
+    for (const std::string& keyword : frame.keywords) fnv.AddField(keyword);
+    fnv.AddSize(frame.lexicon.size());
+    for (const std::string& entry : frame.lexicon) fnv.AddField(entry);
+    fnv.AddField(frame.value_type);
+  }
+  return fnv.hash();
+}
+
+std::string OntologyCacheKey(const Ontology& ontology) {
+  char fingerprint[24];
+  std::snprintf(fingerprint, sizeof(fingerprint), "#%016llx",
+                static_cast<unsigned long long>(OntologyFingerprint(ontology)));
+  return ontology.name() + fingerprint;
+}
+
+Result<std::shared_ptr<const Recognizer>> RecognizerCache::Get(
+    const Ontology& ontology) {
+  const std::string key = OntologyCacheKey(ontology);
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  // Miss: compile while holding the lock so concurrent first requests for
+  // the same ontology compile exactly once. Compilation is setup-scale
+  // work (milliseconds); contention here only happens on cold keys.
+  ++misses_;
+  auto recognizer = Recognizer::Create(ontology);
+  if (!recognizer.ok()) return recognizer.status();
+  auto shared =
+      std::make_shared<const Recognizer>(std::move(recognizer).value());
+  cache_.emplace(key, shared);
+  return shared;
+}
+
+size_t RecognizerCache::size() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+uint64_t RecognizerCache::hits() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t RecognizerCache::misses() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void RecognizerCache::Clear() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+RecognizerCache& GlobalRecognizerCache() {
+  static RecognizerCache cache;
+  return cache;
+}
+
+}  // namespace webrbd

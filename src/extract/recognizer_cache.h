@@ -1,0 +1,84 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// A compile-once, thread-shared cache of Recognizer instances. Compiling an
+// ontology's matching rules (regex parsing + NFA compilation for every data
+// frame, see ontology/matching_rules.h) is pure setup work, yet the original
+// pipeline paid it once per document. The cache moves compilation out of the
+// per-document hot path: the first Get() for an ontology compiles, every
+// later Get() — from any thread — returns the same immutable instance.
+//
+// Keying: ontologies are keyed by *content*, not object address, via a
+// structural fingerprint (OntologyFingerprint). Two Ontology objects with
+// identical names, object sets, and data frames share one compiled
+// recognizer; editing a data frame yields a new key. The ontology name is
+// kept in the key alongside the fingerprint so diagnostics stay readable
+// and accidental 64-bit collisions across differently-named ontologies are
+// impossible.
+//
+// Thread safety: all members are guarded by one mutex; the mutex is held
+// across a miss's compilation, so concurrent first requests for the same
+// ontology compile exactly once. Returned recognizers are const and safe to
+// use from any number of threads concurrently (the matchers keep no
+// per-match mutable state).
+
+#ifndef WEBRBD_EXTRACT_RECOGNIZER_CACHE_H_
+#define WEBRBD_EXTRACT_RECOGNIZER_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "extract/recognizer.h"
+#include "ontology/model.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// Structural 64-bit FNV-1a fingerprint of an ontology: covers the name,
+/// entity name, and every object set's name, cardinality, and data frame
+/// (patterns, keywords, lexicon, value type), in order.
+uint64_t OntologyFingerprint(const Ontology& ontology);
+
+/// The cache key for an ontology: "<name>#<fingerprint-hex>".
+std::string OntologyCacheKey(const Ontology& ontology);
+
+/// Thread-safe cache of compiled recognizers, keyed by ontology content.
+class RecognizerCache {
+ public:
+  RecognizerCache() = default;
+  RecognizerCache(const RecognizerCache&) = delete;
+  RecognizerCache& operator=(const RecognizerCache&) = delete;
+
+  /// Returns the recognizer for `ontology`, compiling it on first use.
+  /// Compilation failures are returned (and not cached, so a later call
+  /// with a corrected ontology of the same name succeeds).
+  [[nodiscard]] Result<std::shared_ptr<const Recognizer>> Get(
+      const Ontology& ontology);
+
+  /// Number of cached recognizers.
+  size_t size() const;
+
+  /// Lookup counters since construction (or the last Clear()).
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+  /// Drops every cached recognizer and resets the counters. Outstanding
+  /// shared_ptrs stay valid.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Recognizer>> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// The process-wide cache used by single-document callers that do not
+/// manage their own (see RunIntegratedPipeline's compatibility overload).
+RecognizerCache& GlobalRecognizerCache();
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_EXTRACT_RECOGNIZER_CACHE_H_

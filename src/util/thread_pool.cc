@@ -1,0 +1,83 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace webrbd {
+
+namespace {
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  unsigned hardware = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hardware));
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
+  const int count = ResolveThreadCount(num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+size_t ThreadPool::pending() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this]() {
+      return shutting_down_ || queue_.size() < queue_capacity_;
+    });
+    if (!shutting_down_) {
+      queue_.push_back(std::move(task));
+      // `task` was moved into the queue; notify under the lock so a
+      // worker blocked in WorkerLoop cannot miss the wakeup between its
+      // predicate check and its wait.
+      not_empty_.notify_one();
+      return;
+    }
+  }
+  // Caller-runs policy: the pool is shut down, so execute inline. The
+  // packaged task still routes the result (or exception) to the future.
+  task();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock,
+                      [this]() { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      not_full_.notify_one();
+    }
+    task();
+  }
+}
+
+}  // namespace webrbd

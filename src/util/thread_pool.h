@@ -1,0 +1,99 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// A fixed-size worker pool with a bounded task queue. This is the
+// concurrency substrate of the batch-extraction engine (see
+// extract/batch_pipeline.h): corpus-scale extraction fans documents out
+// across the pool while compiled recognizers are shared read-only.
+//
+// Design notes:
+//  - Submit() returns a std::future; an exception escaping the task is
+//    captured by the packaged task and rethrown from future::get() in the
+//    caller's thread, so worker threads never die silently.
+//  - The queue is bounded: Submit() blocks once `queue_capacity` tasks are
+//    waiting, which gives natural backpressure when producers outrun the
+//    workers (a corpus reader feeding a slow extraction stage cannot
+//    balloon memory).
+//  - Shutdown() (also run by the destructor) drains every queued task and
+//    joins the workers. Submitting after shutdown runs the task inline in
+//    the caller's thread ("caller runs" policy) so no work is ever lost.
+//  - All synchronization is one mutex plus two condition variables; the
+//    class is ThreadSanitizer-clean under WEBRBD_SANITIZE=thread.
+
+#ifndef WEBRBD_UTIL_THREAD_POOL_H_
+#define WEBRBD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace webrbd {
+
+/// Fixed-size thread pool with a bounded FIFO task queue.
+class ThreadPool {
+ public:
+  /// Default bound on the number of queued (not yet running) tasks.
+  static constexpr size_t kDefaultQueueCapacity = 1024;
+
+  /// Starts `num_threads` workers (0 means std::thread::hardware_concurrency,
+  /// itself clamped to at least 1). `queue_capacity` bounds the number of
+  /// queued tasks; it is clamped to at least 1.
+  explicit ThreadPool(int num_threads = 0,
+                      size_t queue_capacity = kDefaultQueueCapacity);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns a future for its result. Blocks while the
+  /// queue is at capacity (backpressure). If the pool is already shut down,
+  /// the task runs inline in the calling thread before Submit returns.
+  /// An exception thrown by `fn` is delivered through the returned future.
+  template <typename F>
+  std::future<std::invoke_result_t<std::decay_t<F>>> Submit(F&& fn) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Finishes every queued task, then joins the workers. Idempotent.
+  void Shutdown();
+
+  /// Number of worker threads.
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks currently waiting in the queue (excludes running tasks).
+  size_t pending() const;
+
+  /// Maximum number of queued tasks before Submit() blocks.
+  size_t queue_capacity() const { return queue_capacity_; }
+
+ private:
+  // Pushes a type-erased task, blocking on a full queue; runs it inline
+  // when the pool is shut down.
+  void Enqueue(std::function<void()> task);
+
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;  // signaled when a task is queued
+  std::condition_variable not_full_;   // signaled when a slot frees up
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,154 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "extract/batch_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/sites.h"
+#include "ontology/bundled.h"
+
+namespace webrbd {
+namespace {
+
+std::vector<std::string> SmallCorpus(Domain domain, int documents) {
+  const auto& sites = gen::CalibrationSites();
+  std::vector<std::string> corpus;
+  corpus.reserve(static_cast<size_t>(documents));
+  for (int i = 0; i < documents; ++i) {
+    const auto& site = sites[static_cast<size_t>(i) % sites.size()];
+    corpus.push_back(
+        gen::RenderDocument(site, domain, i / static_cast<int>(sites.size()))
+            .html);
+  }
+  return corpus;
+}
+
+TEST(BatchPipelineTest, MatchesSingleDocumentPipeline) {
+  Ontology ontology = BundledOntology(Domain::kObituaries).value();
+  std::vector<std::string> corpus = SmallCorpus(Domain::kObituaries, 4);
+  auto batch = RunBatchPipeline(corpus, ontology);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->documents.size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    auto single = RunIntegratedPipeline(corpus[i], ontology);
+    ASSERT_TRUE(single.ok());
+    ASSERT_TRUE(batch->documents[i].ok());
+    EXPECT_EQ(batch->documents[i]->separator, single->separator);
+    EXPECT_EQ(batch->documents[i]->partitions.size(),
+              single->partitions.size());
+    EXPECT_EQ(batch->documents[i]->catalog.ToString(),
+              single->catalog.ToString());
+  }
+}
+
+TEST(BatchPipelineTest, DeterministicAcrossThreadCounts) {
+  Ontology ontology = BundledOntology(Domain::kCarAds).value();
+  std::vector<std::string> corpus = SmallCorpus(Domain::kCarAds, 20);
+
+  BatchOptions serial;
+  serial.num_threads = 1;
+  auto one = RunBatchPipeline(corpus, ontology, serial);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+
+  BatchOptions parallel;
+  parallel.num_threads = 8;
+  parallel.chunk_size = 1;  // maximize interleaving
+  auto eight = RunBatchPipeline(corpus, ontology, parallel);
+  ASSERT_TRUE(eight.ok()) << eight.status().ToString();
+
+  EXPECT_EQ(one->stats.threads_used, 1);
+  EXPECT_EQ(eight->stats.threads_used, 8);
+  ASSERT_EQ(one->documents.size(), eight->documents.size());
+  for (size_t i = 0; i < one->documents.size(); ++i) {
+    ASSERT_EQ(one->documents[i].ok(), eight->documents[i].ok()) << "doc " << i;
+    if (!one->documents[i].ok()) continue;
+    EXPECT_EQ(one->documents[i]->separator, eight->documents[i]->separator);
+    EXPECT_EQ(one->documents[i]->table.size(), eight->documents[i]->table.size());
+    EXPECT_EQ(one->documents[i]->catalog.ToString(),
+              eight->documents[i]->catalog.ToString());
+  }
+  EXPECT_EQ(one->stats.succeeded, eight->stats.succeeded);
+  EXPECT_EQ(one->stats.failed, eight->stats.failed);
+  EXPECT_EQ(one->stats.total_bytes, eight->stats.total_bytes);
+}
+
+TEST(BatchPipelineTest, PerDocumentErrorsAreAggregatedNotDropped) {
+  Ontology ontology = BundledOntology(Domain::kObituaries).value();
+  std::vector<std::string> corpus = SmallCorpus(Domain::kObituaries, 3);
+  corpus.insert(corpus.begin() + 1, "no markup at all");  // doomed document
+
+  BatchOptions options;
+  options.num_threads = 4;
+  auto batch = RunBatchPipeline(corpus, ontology, options);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->documents.size(), 4u);
+  EXPECT_TRUE(batch->documents[0].ok());
+  EXPECT_FALSE(batch->documents[1].ok());
+  EXPECT_TRUE(batch->documents[2].ok());
+  EXPECT_TRUE(batch->documents[3].ok());
+  EXPECT_EQ(batch->stats.succeeded, 3u);
+  EXPECT_EQ(batch->stats.failed, 1u);
+  size_t counted = 0;
+  for (const auto& [code, count] : batch->stats.failures_by_code) {
+    counted += count;
+  }
+  EXPECT_EQ(counted, 1u);
+  // The stats render a human-readable summary.
+  EXPECT_NE(batch->stats.ToString().find("1 failed"), std::string::npos);
+}
+
+TEST(BatchPipelineTest, EmptyCorpus) {
+  Ontology ontology = BundledOntology(Domain::kCourses).value();
+  auto batch = RunBatchPipeline(std::vector<std::string>{}, ontology);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->documents.empty());
+  EXPECT_EQ(batch->stats.documents, 0u);
+  EXPECT_EQ(batch->stats.failed, 0u);
+}
+
+TEST(BatchPipelineTest, BadOntologyFailsTheWholeBatch) {
+  ObjectSet broken;
+  broken.name = "Broken";
+  broken.frame.value_patterns = {"(a"};
+  Ontology ontology("broken", "Entity", {broken});
+  std::vector<std::string> corpus = SmallCorpus(Domain::kObituaries, 2);
+  auto batch = RunBatchPipeline(corpus, ontology);
+  EXPECT_FALSE(batch.ok());
+}
+
+TEST(BatchPipelineTest, ReportsThroughputStats) {
+  Ontology ontology = BundledOntology(Domain::kJobAds).value();
+  std::vector<std::string> corpus = SmallCorpus(Domain::kJobAds, 6);
+  BatchOptions options;
+  options.num_threads = 2;
+  auto batch = RunBatchPipeline(corpus, ontology, options);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->stats.documents, 6u);
+  size_t bytes = 0;
+  for (const std::string& document : corpus) bytes += document.size();
+  EXPECT_EQ(batch->stats.total_bytes, bytes);
+  EXPECT_GT(batch->stats.wall_seconds, 0.0);
+  EXPECT_GT(batch->stats.docs_per_second, 0.0);
+  EXPECT_GT(batch->stats.bytes_per_second, 0.0);
+}
+
+TEST(BatchPipelineTest, UsesTheProvidedCache) {
+  RecognizerCache cache;
+  Ontology ontology = BundledOntology(Domain::kObituaries).value();
+  std::vector<std::string> corpus = SmallCorpus(Domain::kObituaries, 3);
+  BatchOptions options;
+  options.cache = &cache;
+  ASSERT_TRUE(RunBatchPipeline(corpus, ontology, options).ok());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // A second batch over the same ontology recompiles nothing.
+  ASSERT_TRUE(RunBatchPipeline(corpus, ontology, options).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_GE(cache.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace webrbd

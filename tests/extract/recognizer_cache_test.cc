@@ -1,0 +1,117 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "extract/recognizer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ontology/bundled.h"
+
+namespace webrbd {
+namespace {
+
+TEST(OntologyFingerprintTest, StableAndContentSensitive) {
+  Ontology a = BundledOntology(Domain::kObituaries).value();
+  Ontology b = BundledOntology(Domain::kObituaries).value();
+  // Two independently parsed copies of the same DSL fingerprint equal.
+  EXPECT_EQ(OntologyFingerprint(a), OntologyFingerprint(b));
+  EXPECT_EQ(OntologyCacheKey(a), OntologyCacheKey(b));
+  // A different ontology fingerprints differently.
+  Ontology cars = BundledOntology(Domain::kCarAds).value();
+  EXPECT_NE(OntologyFingerprint(a), OntologyFingerprint(cars));
+}
+
+TEST(OntologyFingerprintTest, SameNameDifferentContentDiffers) {
+  ObjectSet name_set;
+  name_set.name = "Name";
+  name_set.frame.keywords = {"died on"};
+  Ontology v1("obits", "Deceased", {name_set});
+  name_set.frame.keywords = {"passed away on"};
+  Ontology v2("obits", "Deceased", {name_set});
+  EXPECT_NE(OntologyFingerprint(v1), OntologyFingerprint(v2));
+  EXPECT_NE(OntologyCacheKey(v1), OntologyCacheKey(v2));
+}
+
+TEST(RecognizerCacheTest, SecondGetSharesTheCompiledInstance) {
+  RecognizerCache cache;
+  Ontology ontology = BundledOntology(Domain::kObituaries).value();
+  auto first = cache.Get(ontology);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.Get(ontology);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // pointer-identical
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // A structurally different ontology compiles its own entry.
+  Ontology cars = BundledOntology(Domain::kCarAds).value();
+  auto third = cache.Get(cars);
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(first->get(), third->get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(RecognizerCacheTest, CompilationFailureIsReturnedNotCached) {
+  ObjectSet broken;
+  broken.name = "Broken";
+  broken.frame.value_patterns = {"("};  // unbalanced: compile error
+  Ontology ontology("broken", "Entity", {broken});
+  RecognizerCache cache;
+  auto result = cache.Get(ontology);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RecognizerCacheTest, ClearResetsEntriesAndCounters) {
+  RecognizerCache cache;
+  Ontology ontology = BundledOntology(Domain::kJobAds).value();
+  ASSERT_TRUE(cache.Get(ontology).ok());
+  ASSERT_TRUE(cache.Get(ontology).ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // And the cache still works afterwards.
+  EXPECT_TRUE(cache.Get(ontology).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(RecognizerCacheTest, ConcurrentGetsCompileExactlyOnce) {
+  RecognizerCache cache;
+  Ontology ontology = BundledOntology(Domain::kCourses).value();
+  constexpr int kThreads = 8;
+  std::vector<const Recognizer*> seen(kThreads, nullptr);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, &ontology, &seen, t]() {
+        auto result = cache.Get(ontology);
+        if (result.ok()) seen[static_cast<size_t>(t)] = result->get();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(seen[static_cast<size_t>(t)], nullptr);
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(RecognizerCacheTest, GlobalCacheIsSharedAcrossCallSites) {
+  Ontology ontology = BundledOntology(Domain::kObituaries).value();
+  auto a = GlobalRecognizerCache().Get(ontology);
+  auto b = GlobalRecognizerCache().Get(ontology);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->get(), b->get());
+}
+
+}  // namespace
+}  // namespace webrbd

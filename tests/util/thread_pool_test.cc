@@ -1,0 +1,151 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace webrbd {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResultsThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownUnderLoadDrainsEveryTask) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(3, /*queue_capacity=*/256);
+    for (int i = 0; i < 200; ++i) {
+      // Futures intentionally dropped: completion is observed via the
+      // counter after the destructor-driven Shutdown() below.
+      pool.Submit([&executed]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs Shutdown() with most tasks still queued.
+  }
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPoolTest, ExplicitShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() { return 7; });
+  pool.Shutdown();
+  EXPECT_EQ(future.get(), 7);
+  pool.Shutdown();  // second call must be a no-op
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  const auto caller_id = std::this_thread::get_id();
+  auto future = pool.Submit([caller_id]() {
+    return std::this_thread::get_id() == caller_id;
+  });
+  EXPECT_TRUE(future.get());  // ran in the submitting thread
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker that ran the throwing task must survive for later tasks.
+  auto ok = pool.Submit([]() { return 41 + 1; });
+  EXPECT_EQ(ok.get(), 42);
+}
+
+TEST(ThreadPoolTest, BoundedQueueAppliesBackpressure) {
+  // One worker, capacity two. The worker is parked on a gate, so after
+  // 1 (running) + 2 (queued) submissions the next Submit must block until
+  // the gate opens.
+  ThreadPool pool(1, /*queue_capacity=*/2);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+
+  auto running = pool.Submit([open]() { open.wait(); });
+  // Give the worker a moment to dequeue the gate task.
+  while (pool.pending() > 0) std::this_thread::yield();
+  auto queued1 = pool.Submit([]() {});
+  auto queued2 = pool.Submit([]() {});
+
+  std::atomic<bool> fourth_accepted{false};
+  std::thread submitter([&pool, &fourth_accepted]() {
+    auto blocked = pool.Submit([]() {});  // must block: queue is full
+    fourth_accepted.store(true);
+    blocked.get();
+  });
+  // The queue never exceeds its capacity, and the fourth submission is
+  // still waiting while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(pool.pending(), 2u);
+  EXPECT_FALSE(fourth_accepted.load());
+
+  gate.set_value();
+  submitter.join();
+  EXPECT_TRUE(fourth_accepted.load());
+  running.get();
+  queued1.get();
+  queued2.get();
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  // Two tasks that each need the other to make progress can only finish
+  // if they run on distinct workers simultaneously.
+  ThreadPool pool(2);
+  std::promise<void> a_started;
+  std::promise<void> b_started;
+  auto a = pool.Submit([&a_started, f = b_started.get_future().share()]() {
+    a_started.set_value();
+    f.wait();
+  });
+  auto b = pool.Submit([&b_started, f = a_started.get_future().share()]() {
+    b_started.set_value();
+    f.wait();
+  });
+  a.get();
+  b.get();
+}
+
+TEST(ThreadPoolTest, ManyProducersOneQueue) {
+  ThreadPool pool(4, /*queue_capacity=*/8);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &sum]() {
+      for (int i = 0; i < 50; ++i) {
+        pool.Submit([&sum]() { sum.fetch_add(1, std::memory_order_relaxed); })
+            .wait();
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_EQ(sum.load(), 200);
+}
+
+}  // namespace
+}  // namespace webrbd

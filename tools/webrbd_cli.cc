@@ -7,6 +7,7 @@
 //   webrbd_cli extract  [options] FILE        print the records
 //   webrbd_cli populate [options] FILE        run the full pipeline
 //   webrbd_cli classify [options] FILE        multi-record / detail / none
+//   webrbd_cli batch    [options] DIR         batch pipeline over *.html in DIR
 //   webrbd_cli demo                           run the paper's Figure 2
 //
 // Options:
@@ -15,10 +16,16 @@
 //   --ontology FILE        ontology DSL enabling OM and field extraction
 //   --format FORMAT        extract: text|json   populate: table|csv|sql
 //   --keep-leading         keep the chunk before the first separator
+//   --threads N            batch: worker threads (default: all cores)
+//   --generate N           batch: run over N generated obituary documents
+//                          instead of a directory (no --ontology needed)
 //
 // FILE may be "-" for stdin.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -29,7 +36,10 @@
 #include "core/record_extractor.h"
 #include "db/export.h"
 #include "eval/figure2.h"
+#include "extract/batch_pipeline.h"
 #include "extract/db_instance_generator.h"
+#include "gen/sites.h"
+#include "ontology/bundled.h"
 #include "ontology/estimator.h"
 #include "ontology/parser.h"
 
@@ -44,15 +54,18 @@ struct CliOptions {
   std::string ontology_file;
   std::string format;
   bool keep_leading = false;
+  int threads = 0;
+  int generate = 0;
 };
 
 int Usage() {
   std::fprintf(
       stderr,
       "usage: webrbd_cli COMMAND [options] FILE\n"
-      "commands: discover | extract | populate | classify | demo\n"
+      "commands: discover | extract | populate | classify | batch | demo\n"
       "options:  --heuristics LETTERS  --threshold FRACTION\n"
-      "          --ontology FILE  --format FORMAT  --keep-leading\n");
+      "          --ontology FILE  --format FORMAT  --keep-leading\n"
+      "          --threads N  --generate N  (batch)\n");
   return 2;
 }
 
@@ -82,6 +95,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->format = v;
     } else if (arg == "--keep-leading") {
       options->keep_leading = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->threads = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--generate") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->generate = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -292,6 +313,102 @@ int RunClassify(const CliOptions& cli) {
   return 0;
 }
 
+// The `batch` subcommand: the batch-extraction engine over a directory of
+// HTML files (or --generate N synthetic obituary documents), printing the
+// corpus stats table. See docs/performance.md.
+int RunBatch(const CliOptions& cli) {
+  std::vector<std::string> corpus;
+  std::vector<std::string> names;
+  std::optional<Ontology> ontology;
+
+  if (cli.generate > 0) {
+    // Synthetic corpus: obituary listing pages cycled across the Table 1
+    // calibration sites, with the bundled obituaries ontology.
+    auto bundled = BundledOntology(Domain::kObituaries);
+    if (!bundled.ok()) {
+      std::fprintf(stderr, "%s\n", bundled.status().ToString().c_str());
+      return 1;
+    }
+    ontology = std::move(bundled).value();
+    const auto& sites = gen::CalibrationSites();
+    corpus.reserve(static_cast<size_t>(cli.generate));
+    for (int i = 0; i < cli.generate; ++i) {
+      const auto& site = sites[static_cast<size_t>(i) % sites.size()];
+      corpus.push_back(
+          gen::RenderDocument(site, Domain::kObituaries,
+                              i / static_cast<int>(sites.size()))
+              .html);
+    }
+  } else {
+    if (cli.ontology_file.empty()) {
+      std::fprintf(stderr, "batch requires --ontology FILE (or --generate N)\n");
+      return 2;
+    }
+    if (cli.file.empty()) {
+      std::fprintf(stderr, "batch requires a directory of HTML files\n");
+      return 2;
+    }
+    auto text = ReadInput(cli.ontology_file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto parsed = ParseOntology(*text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    ontology = std::move(parsed).value();
+
+    std::error_code ec;
+    std::filesystem::directory_iterator dir(cli.file, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot read directory %s: %s\n", cli.file.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    for (const auto& entry : dir) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".html" && ext != ".htm") continue;
+      names.push_back(entry.path().string());
+    }
+    std::sort(names.begin(), names.end());
+    corpus.reserve(names.size());
+    for (const std::string& name : names) {
+      auto html = ReadInput(name);
+      if (!html.ok()) {
+        std::fprintf(stderr, "%s\n", html.status().ToString().c_str());
+        return 1;
+      }
+      corpus.push_back(std::move(html).value());
+    }
+    if (corpus.empty()) {
+      std::fprintf(stderr, "no .html/.htm files in %s\n", cli.file.c_str());
+      return 1;
+    }
+  }
+
+  BatchOptions options;
+  options.num_threads = cli.threads;
+  options.discovery.heuristics = cli.heuristics;
+  options.discovery.candidate_options.irrelevance_threshold = cli.threshold;
+  auto batch = RunBatchPipeline(corpus, *ontology, options);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", batch->stats.ToString().c_str());
+  // Name the failing documents so corpus triage doesn't need a rerun.
+  for (size_t i = 0; i < batch->documents.size(); ++i) {
+    if (batch->documents[i].ok()) continue;
+    const std::string& label = i < names.size() ? names[i] : std::to_string(i);
+    std::fprintf(stderr, "failed %s: %s\n", label.c_str(),
+                 batch->documents[i].status().ToString().c_str());
+  }
+  return batch->stats.failed == 0 ? 0 : 1;
+}
+
 int RunDemo() {
   std::printf("Running the paper's Figure 2 worked example.\n\n");
   auto discovery = DiscoverRecordBoundaries(Figure2Document());
@@ -308,6 +425,7 @@ int Main(int argc, char** argv) {
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) return Usage();
   if (cli.command == "demo") return RunDemo();
+  if (cli.command == "batch") return RunBatch(cli);
   if (cli.file.empty()) return Usage();
   if (cli.command == "discover") return RunDiscover(cli);
   if (cli.command == "extract") return RunExtract(cli);
