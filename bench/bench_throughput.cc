@@ -19,6 +19,11 @@
 //     N-document corpus. items_per_second is corpus docs/sec; compare
 //     T=1 with BM_PerDocumentLoopCached to see that batching adds no
 //     overhead, and T=1 vs T=8 for the scaling curve.
+//   - BM_BatchPipelineInstrumented/T/N: the same run with stage metrics
+//     enabled; counters carry each stage's p50/p99 (microseconds) and the
+//     pool utilization. Compare its docs/sec against BM_BatchPipeline at
+//     the same T/N for the enabled-metrics overhead (docs/observability.md
+//     budgets it at under 2%).
 
 #include <benchmark/benchmark.h>
 
@@ -29,6 +34,7 @@
 #include "extract/batch_pipeline.h"
 #include "extract/recognizer.h"
 #include "gen/sites.h"
+#include "obs/metrics.h"
 #include "ontology/bundled.h"
 
 namespace webrbd {
@@ -102,6 +108,8 @@ BENCHMARK(BM_PerDocumentLoopCached)->Arg(100)->Unit(benchmark::kMillisecond);
 // The batch engine: range(0) worker threads over a range(1)-document
 // corpus. UseRealTime because the work happens on pool threads.
 void BM_BatchPipeline(benchmark::State& state) {
+  // Baseline runs measure the disabled-metrics hot path.
+  obs::SetMetricsEnabled(false);
   const auto& corpus = Corpus(static_cast<size_t>(state.range(1)));
   BatchOptions options;
   options.num_threads = static_cast<int>(state.range(0));
@@ -126,6 +134,50 @@ void BM_BatchPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchPipeline)
     ->ArgsProduct({{1, 2, 4, 8}, {100, 1000}})
+    ->ArgNames({"threads", "docs"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// The batch engine with stage metrics ON: exports each stage's latency
+// quantiles (from the run's CorpusStats stage table) as benchmark
+// counters, and measures the instrumentation overhead against
+// BM_BatchPipeline at the same threads/docs.
+void BM_BatchPipelineInstrumented(benchmark::State& state) {
+  obs::SetMetricsEnabled(true);
+  const auto& corpus = Corpus(static_cast<size_t>(state.range(1)));
+  BatchOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  RecognizerCache cache;
+  options.cache = &cache;
+  std::vector<StageLatencySummary> stage_latencies;
+  double pool_utilization = 0;
+  for (auto _ : state) {
+    auto batch = RunBatchPipeline(corpus, BenchOntology(), options);
+    if (!batch.ok()) {
+      obs::SetMetricsEnabled(false);
+      state.SkipWithError(batch.status().ToString().c_str());
+      return;
+    }
+    stage_latencies = std::move(batch->stats.stage_latencies);
+    pool_utilization = batch->stats.pool_utilization;
+    benchmark::DoNotOptimize(batch);
+  }
+  obs::SetMetricsEnabled(false);
+  for (const StageLatencySummary& stage : stage_latencies) {
+    state.counters[stage.name + "_p50_us"] =
+        benchmark::Counter(stage.p50_seconds * 1e6);
+    state.counters[stage.name + "_p99_us"] =
+        benchmark::Counter(stage.p99_seconds * 1e6);
+  }
+  state.counters["pool_utilization"] = benchmark::Counter(pool_utilization);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(CorpusBytes(corpus)));
+}
+BENCHMARK(BM_BatchPipelineInstrumented)
+    ->ArgsProduct({{1, 4}, {100}})
     ->ArgNames({"threads", "docs"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()

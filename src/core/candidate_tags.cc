@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/stages.h"
+
 namespace webrbd {
 
 const CandidateTag* CandidateAnalysis::Find(const std::string& name) const {
@@ -16,6 +18,7 @@ const CandidateTag* CandidateAnalysis::Find(const std::string& name) const {
 
 Result<CandidateAnalysis> ExtractCandidateTags(const TagTree& tree,
                                                const CandidateOptions& options) {
+  obs::ScopedTimer timer(obs::Stages().candidates);
   CandidateAnalysis analysis;
   analysis.subtree = &tree.HighestFanoutSubtree();
   if (analysis.subtree->fanout() == 0) {

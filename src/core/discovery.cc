@@ -7,6 +7,7 @@
 #include "core/ht_heuristic.h"
 #include "core/rp_heuristic.h"
 #include "core/sd_heuristic.h"
+#include "obs/stages.h"
 
 namespace webrbd {
 
@@ -111,11 +112,15 @@ Result<DiscoveryResult> RecordBoundaryDiscoverer::Discover(
   // one code path (the heuristic rankings stay available for diagnostics).
   result.heuristic_results.reserve(heuristics_.size());
   for (const auto& heuristic : heuristics_) {
+    obs::ScopedTimer timer(obs::Stages().ForHeuristic(heuristic->name()));
     result.heuristic_results.push_back(
         heuristic->Rank(tree, result.analysis));
   }
-  result.compound_ranking = CombineHeuristicResults(
-      result.heuristic_results, options_.certainty, result.analysis);
+  {
+    obs::ScopedTimer timer(obs::Stages().combine);
+    result.compound_ranking = CombineHeuristicResults(
+        result.heuristic_results, options_.certainty, result.analysis);
+  }
   if (result.compound_ranking.empty()) {
     return Status::Internal("compound ranking empty despite candidates");
   }

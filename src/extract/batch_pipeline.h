@@ -13,13 +13,26 @@
 //    fails (tagless input, no separator occurrences, ...) yields a non-OK
 //    Result in its slot and a per-status-code count in the stats, while
 //    every other document still completes.
+//  - A batch never dies half-reported: every chunk task's future is waited
+//    on before results are read, and an exception escaping a task (OOM, a
+//    throwing hook) is converted into Status::Internal entries for the
+//    documents of that chunk that produced no result — not UB, not a
+//    corpus-wide abort.
 //  - The single-thread path runs inline (no pool, no queue hop), so a
 //    1-thread batch is never slower than a hand-written per-document loop
 //    — and beats the pre-cache loop by the recognizer-compilation savings.
+//
+// Observability: when obs::MetricsEnabled(), a batch run additionally
+// fills CorpusStats::stage_latencies with the per-stage latency deltas of
+// this run (lex, tree build, candidates, each heuristic, combine,
+// recognize, DRT, DB-gen — see docs/observability.md) and
+// CorpusStats::pool_utilization with the worker pool's busy fraction.
 
 #ifndef WEBRBD_EXTRACT_BATCH_PIPELINE_H_
 #define WEBRBD_EXTRACT_BATCH_PIPELINE_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -52,6 +65,25 @@ struct BatchOptions {
   /// Recognizer cache to compile/fetch through; nullptr uses the
   /// process-wide GlobalRecognizerCache().
   RecognizerCache* cache = nullptr;
+
+  /// Called with the document index just before each document is
+  /// processed, on the processing thread. An exception it throws is
+  /// handled exactly like a failing extraction task (the affected
+  /// documents get Status::Internal results). Used by tests for fault
+  /// injection and by embedders for progress tracing; leave empty for no
+  /// overhead.
+  std::function<void(size_t)> document_hook;
+};
+
+/// One pipeline stage's latency summary for a single batch run.
+struct StageLatencySummary {
+  std::string name;          ///< short stage name, e.g. "lex", "recognize"
+  std::string metric;        ///< registry histogram name
+  uint64_t count = 0;        ///< spans recorded during this run
+  double total_seconds = 0;  ///< summed span time (across all workers)
+  double p50_seconds = 0;
+  double p95_seconds = 0;
+  double p99_seconds = 0;
 };
 
 /// Corpus-level throughput and failure accounting for one batch run.
@@ -68,8 +100,24 @@ struct CorpusStats {
   /// Failure counts keyed by StatusCodeName (e.g. "ParseError" -> 3).
   std::map<std::string, size_t> failures_by_code;
 
+  /// Per-stage latency deltas for this run, in pipeline order. Filled only
+  /// when obs::MetricsEnabled(); empty otherwise. Stage totals can exceed
+  /// wall_seconds on multi-thread runs (they sum across workers), and the
+  /// "candidates" stage records two spans per document (the integrated
+  /// pipeline analyzes candidates once directly and once inside
+  /// discovery).
+  std::vector<StageLatencySummary> stage_latencies;
+
+  /// Worker busy fraction of the pool over the batch window (0 when
+  /// metrics are disabled or the batch ran inline without a pool).
+  double pool_utilization = 0;
+
   /// Human-readable multi-line summary (the CLI's `batch` output).
   std::string ToString() const;
+
+  /// Machine-readable one-object JSON rendering of the same numbers,
+  /// including the per-stage latency table.
+  std::string ToJson() const;
 };
 
 /// Everything a batch run produces.

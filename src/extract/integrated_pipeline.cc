@@ -7,6 +7,7 @@
 #include "extract/recognizer_cache.h"
 #include "html/text_index.h"
 #include "html/tree_builder.h"
+#include "obs/stages.h"
 
 namespace webrbd {
 
@@ -36,6 +37,9 @@ Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
                                                const Ontology& ontology,
                                                const Recognizer& recognizer,
                                                DiscoveryOptions base) {
+  obs::ScopedTimer document_timer(obs::Stages().document);
+  obs::Stages().documents->Increment();
+
   auto tree = BuildTagTree(html);
   if (!tree.ok()) return tree.status();
 
@@ -49,16 +53,21 @@ Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
   // re-positioned into document byte offsets.
   TextIndex index(*tree, *analysis->subtree);
   DataRecordTable text_table = recognizer.Recognize(index.text());
-  std::vector<DataRecordEntry> repositioned;
-  repositioned.reserve(text_table.size());
-  for (DataRecordEntry entry : text_table.entries()) {
-    entry.begin = index.ToDocumentOffset(entry.begin);
-    entry.end = index.ToDocumentOffset(entry.end);
-    repositioned.push_back(std::move(entry));
-  }
 
   IntegratedResult result;
-  result.table = DataRecordTable(std::move(repositioned));
+  {
+    // DRT build: reposition the text-relative entries into document byte
+    // offsets and freeze them as this document's Data-Record Table.
+    obs::ScopedTimer drt_timer(obs::Stages().drt);
+    std::vector<DataRecordEntry> repositioned;
+    repositioned.reserve(text_table.size());
+    for (DataRecordEntry entry : text_table.entries()) {
+      entry.begin = index.ToDocumentOffset(entry.begin);
+      entry.end = index.ToDocumentOffset(entry.end);
+      repositioned.push_back(std::move(entry));
+    }
+    result.table = DataRecordTable(std::move(repositioned));
+  }
 
   // Discovery, with OM fed by the table-derived estimate (O(d)).
   base.estimator = std::make_shared<FixedRecordCountEstimator>(
@@ -73,7 +82,10 @@ Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
   result.separator = result.discovery.separator;
 
   // Partition the table at the separator's document positions; the
-  // leading partition is the page preamble.
+  // leading partition is the page preamble. The dbgen span covers
+  // partitioning plus entity generation — everything downstream of
+  // boundary discovery.
+  obs::ScopedTimer dbgen_timer(obs::Stages().dbgen);
   std::vector<size_t> cuts = index.SeparatorPositions(result.separator);
   if (cuts.empty()) {
     return Status::Internal("separator <" + result.separator +

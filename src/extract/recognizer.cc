@@ -2,6 +2,8 @@
 
 #include "extract/recognizer.h"
 
+#include "obs/stages.h"
+
 namespace webrbd {
 
 Result<Recognizer> Recognizer::Create(const Ontology& ontology) {
@@ -11,6 +13,7 @@ Result<Recognizer> Recognizer::Create(const Ontology& ontology) {
 }
 
 DataRecordTable Recognizer::Recognize(std::string_view plain_text) const {
+  obs::ScopedTimer timer(obs::Stages().recognize);
   std::vector<DataRecordEntry> entries;
   for (const CompiledObjectSetRule& rule : rules_.rules()) {
     for (const Regex& regex : rule.keyword_regexes) {

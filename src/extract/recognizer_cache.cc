@@ -3,6 +3,9 @@
 #include "extract/recognizer_cache.h"
 
 #include <cstdio>
+#include <utility>
+
+#include "obs/stages.h"
 
 namespace webrbd {
 
@@ -74,44 +77,104 @@ std::string OntologyCacheKey(const Ontology& ontology) {
 Result<std::shared_ptr<const Recognizer>> RecognizerCache::Get(
     const Ontology& ontology) {
   const std::string key = OntologyCacheKey(ontology);
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    return it->second;
+
+  std::shared_ptr<Slot> slot;
+  bool owner = false;
+  std::function<void(const std::string&)> hook;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      slot = it->second;
+    } else {
+      slot = std::make_shared<Slot>();
+      slots_.emplace(key, slot);
+      owner = true;
+      hook = compile_hook_;
+    }
   }
-  // Miss: compile while holding the lock so concurrent first requests for
-  // the same ontology compile exactly once. Compilation is setup-scale
-  // work (milliseconds); contention here only happens on cold keys.
-  ++misses_;
-  auto recognizer = Recognizer::Create(ontology);
-  if (!recognizer.ok()) return recognizer.status();
-  auto shared =
-      std::make_shared<const Recognizer>(std::move(recognizer).value());
-  cache_.emplace(key, shared);
+
+  if (!owner) {
+    // Fast path: already compiled. Otherwise wait on the in-flight
+    // compile's latch — without touching the map lock, so lookups for
+    // other keys proceed concurrently.
+    if (!slot->done.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> slot_lock(slot->mu);
+      slot->cv.wait(slot_lock, [&slot]() {
+        return slot->done.load(std::memory_order_acquire);
+      });
+    }
+    if (slot->value != nullptr) {
+      hits_.Increment();
+      obs::Cache().hits->Increment();
+      return slot->value;
+    }
+    misses_.Increment();
+    obs::Cache().misses->Increment();
+    return slot->error;
+  }
+
+  // Miss: this caller owns the compile. The map lock is NOT held here —
+  // a cold multi-millisecond compile cannot convoy hits on other keys.
+  misses_.Increment();
+  obs::Cache().misses->Increment();
+  if (hook) hook(key);
+  Result<Recognizer> recognizer = [&]() {
+    obs::ScopedTimer compile_timer(obs::Cache().compile);
+    return Recognizer::Create(ontology);
+  }();
+
+  std::shared_ptr<const Recognizer> shared;
+  Status error = Status::OK();
+  if (recognizer.ok()) {
+    shared = std::make_shared<const Recognizer>(std::move(recognizer).value());
+  } else {
+    error = recognizer.status();
+  }
+
+  {
+    std::unique_lock<std::mutex> slot_lock(slot->mu);
+    slot->value = shared;
+    slot->error = error;
+    slot->done.store(true, std::memory_order_release);
+  }
+  slot->cv.notify_all();
+
+  if (shared == nullptr) {
+    // Compilation failures are not cached: drop the slot (if it is still
+    // ours — Clear() may have removed it already) so a corrected ontology
+    // with the same name can compile later. Waiters already holding the
+    // slot still read the error from it.
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it != slots_.end() && it->second == slot) slots_.erase(it);
+    return error;
+  }
   return shared;
 }
 
 size_t RecognizerCache::size() const {
   std::unique_lock<std::mutex> lock(mu_);
-  return cache_.size();
-}
-
-uint64_t RecognizerCache::hits() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return hits_;
-}
-
-uint64_t RecognizerCache::misses() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return misses_;
+  size_t ready = 0;
+  for (const auto& [key, slot] : slots_) {
+    if (slot->done.load(std::memory_order_acquire) && slot->value != nullptr) {
+      ++ready;
+    }
+  }
+  return ready;
 }
 
 void RecognizerCache::Clear() {
   std::unique_lock<std::mutex> lock(mu_);
-  cache_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  slots_.clear();
+  hits_.Reset();
+  misses_.Reset();
+}
+
+void RecognizerCache::SetCompileHookForTest(
+    std::function<void(const std::string&)> hook) {
+  std::unique_lock<std::mutex> lock(mu_);
+  compile_hook_ = std::move(hook);
 }
 
 RecognizerCache& GlobalRecognizerCache() {

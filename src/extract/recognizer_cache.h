@@ -15,22 +15,34 @@
 // and accidental 64-bit collisions across differently-named ontologies are
 // impossible.
 //
-// Thread safety: all members are guarded by one mutex; the mutex is held
-// across a miss's compilation, so concurrent first requests for the same
-// ontology compile exactly once. Returned recognizers are const and safe to
-// use from any number of threads concurrently (the matchers keep no
-// per-match mutable state).
+// Thread safety & the no-convoy guarantee: the map mutex is held only for
+// slot lookup/insertion — never across compilation. A miss installs a
+// per-key in-flight slot and compiles OUTSIDE the map lock; concurrent
+// requests for the SAME key block on that slot's latch (compile exactly
+// once), while requests for OTHER keys — hits and misses alike — proceed
+// untouched. One cold multi-millisecond compile therefore no longer
+// convoys hits on already-compiled keys. Returned recognizers are const
+// and safe to use from any number of threads concurrently.
+//
+// Observability: per-instance hit/miss counts are lock-free obs::Counter
+// values (the accessors no longer take the mutex), and every cache also
+// reports process-wide hits/misses/compile-time to the global metrics
+// registry (webrbd_rcache_* — see docs/observability.md).
 
 #ifndef WEBRBD_EXTRACT_RECOGNIZER_CACHE_H_
 #define WEBRBD_EXTRACT_RECOGNIZER_CACHE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "extract/recognizer.h"
+#include "obs/metrics.h"
 #include "ontology/model.h"
 #include "util/result.h"
 
@@ -53,26 +65,50 @@ class RecognizerCache {
 
   /// Returns the recognizer for `ontology`, compiling it on first use.
   /// Compilation failures are returned (and not cached, so a later call
-  /// with a corrected ontology of the same name succeeds).
+  /// with a corrected ontology of the same name succeeds). Concurrent
+  /// callers for the same key wait on the in-flight compile; callers for
+  /// other keys are never blocked by it.
   [[nodiscard]] Result<std::shared_ptr<const Recognizer>> Get(
       const Ontology& ontology);
 
-  /// Number of cached recognizers.
+  /// Number of successfully compiled cached recognizers.
   size_t size() const;
 
-  /// Lookup counters since construction (or the last Clear()).
-  uint64_t hits() const;
-  uint64_t misses() const;
+  /// Lookup counters since construction (or the last Clear()). A waiter
+  /// that joins an in-flight compile counts as a hit when the compile
+  /// succeeds (it did not compile) and a miss when it fails.
+  uint64_t hits() const { return hits_.count(); }
+  uint64_t misses() const { return misses_.count(); }
 
   /// Drops every cached recognizer and resets the counters. Outstanding
-  /// shared_ptrs stay valid.
+  /// shared_ptrs stay valid; in-flight compiles complete for their
+  /// waiters but are not re-inserted.
   void Clear();
 
+  /// Test hook: invoked (outside every lock) with the cache key while a
+  /// compile is in flight, before Recognizer::Create. Lets tests make one
+  /// ontology's compile arbitrarily slow to pin down the no-convoy
+  /// guarantee. Not for production use.
+  void SetCompileHookForTest(std::function<void(const std::string&)> hook);
+
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const Recognizer>> cache_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  // One per key: either compiled (done && value) or failed (done &&
+  // !value) or in flight (!done). `value`/`error` are written before the
+  // release store to `done`, so any reader that observes done == true
+  // (acquire) sees them without taking `mu`.
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> done{false};
+    std::shared_ptr<const Recognizer> value;
+    Status error = Status::OK();
+  };
+
+  mutable std::mutex mu_;  // guards slots_ only — never held while compiling
+  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+  obs::Counter hits_;
+  obs::Counter misses_;
+  std::function<void(const std::string&)> compile_hook_;  // test-only
 };
 
 /// The process-wide cache used by single-document callers that do not

@@ -3,6 +3,7 @@
 #include "html/lexer.h"
 
 #include "html/tag_metadata.h"
+#include "obs/stages.h"
 #include "util/string_util.h"
 
 namespace webrbd {
@@ -152,7 +153,9 @@ class Lexer {
   }
 
   // Consumes raw text up to (not including) the matching </name ...>.
-  void LexRawText(const std::string& name) {
+  // Takes the tag name BY VALUE: the body appends to tokens_, which can
+  // reallocate and would dangle a reference into tokens_.back().name.
+  void LexRawText(std::string name) {
     size_t body_start = pos_;
     size_t scan = pos_;
     size_t body_end = doc_.size();
@@ -214,6 +217,7 @@ class Lexer {
 }  // namespace
 
 Result<std::vector<HtmlToken>> LexHtml(std::string_view document) {
+  obs::ScopedTimer timer(obs::Stages().lex);
   Lexer lexer(document);
   return lexer.Lex();
 }

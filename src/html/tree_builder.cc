@@ -6,6 +6,7 @@
 #include <string>
 
 #include "html/lexer.h"
+#include "obs/stages.h"
 
 namespace webrbd {
 
@@ -200,8 +201,9 @@ Result<std::unique_ptr<TagNode>> BuildFromBalanced(
 }  // namespace
 
 Result<TagTree> BuildTagTree(std::string_view document) {
-  auto lexed = LexHtml(document);
+  auto lexed = LexHtml(document);  // records the lex stage span itself
   if (!lexed.ok()) return lexed.status();
+  obs::ScopedTimer timer(obs::Stages().tree_build);
   std::vector<HtmlToken> balanced = BalanceTokens(std::move(lexed).value());
   auto root = BuildFromBalanced(balanced, document.size());
   if (!root.ok()) return root.status();

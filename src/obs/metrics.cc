@@ -1,0 +1,255 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace webrbd {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+// Shortest round-trippable double rendering, locale-independent enough for
+// both exposition formats (obs stays free of util/ dependencies).
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+template <typename Map, typename Make>
+auto* GetOrCreate(std::mutex& mu, Map& map, std::string_view name, Make make) {
+  std::unique_lock<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+const std::array<double, kFiniteBuckets>& BucketUpperBoundsSeconds() {
+  static const std::array<double, kFiniteBuckets> bounds = []() {
+    std::array<double, kFiniteBuckets> b{};
+    double bound = 1e-6;  // 1us
+    for (size_t i = 0; i < kFiniteBuckets; ++i) {
+      b[i] = bound;
+      bound *= 2;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+size_t Histogram::BucketIndex(uint64_t nanos) {
+  // Bucket i holds nanos <= 1000 * 2^i; anything past the last finite
+  // bound (~16.8s) lands in the overflow bucket.
+  uint64_t bound = 1000;
+  for (size_t i = 0; i < kFiniteBuckets; ++i) {
+    if (nanos <= bound) return i;
+    bound *= 2;
+  }
+  return kFiniteBuckets;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto& bounds = BucketUpperBoundsSeconds();
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kTotalBuckets; ++i) {
+    const uint64_t in_bucket = bucket_counts[i];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= kFiniteBuckets) {
+      // Overflow bucket: no upper bound; report the last finite bound.
+      return bounds[kFiniteBuckets - 1];
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double fraction =
+        std::clamp((target - before) / static_cast<double>(in_bucket), 0.0, 1.0);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds[kFiniteBuckets - 1];
+}
+
+HistogramSnapshot SubtractHistogram(const HistogramSnapshot& after,
+                                    const HistogramSnapshot& before) {
+  HistogramSnapshot delta;
+  delta.name = after.name;
+  delta.count = after.count >= before.count ? after.count - before.count : 0;
+  delta.sum_seconds =
+      after.sum_seconds >= before.sum_seconds
+          ? after.sum_seconds - before.sum_seconds
+          : 0;
+  for (size_t i = 0; i < kTotalBuckets; ++i) {
+    delta.bucket_counts[i] =
+        after.bucket_counts[i] >= before.bucket_counts[i]
+            ? after.bucket_counts[i] - before.bucket_counts[i]
+            : 0;
+  }
+  return delta;
+}
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(
+    std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::FindGauge(std::string_view name) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  const auto& bounds = BucketUpperBoundsSeconds();
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + counters[i].name +
+           "\": " + std::to_string(counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + gauges[i].name + "\": " + FormatDouble(gauges[i].value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + h.name + "\": {\n";
+    out += "      \"count\": " + std::to_string(h.count) + ",\n";
+    out += "      \"sum_seconds\": " + FormatDouble(h.sum_seconds) + ",\n";
+    out += "      \"p50\": " + FormatDouble(h.Quantile(0.50)) + ",\n";
+    out += "      \"p95\": " + FormatDouble(h.Quantile(0.95)) + ",\n";
+    out += "      \"p99\": " + FormatDouble(h.Quantile(0.99)) + ",\n";
+    out += "      \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t b = 0; b < kTotalBuckets; ++b) {
+      if (h.bucket_counts[b] == 0) continue;  // sparse: elide empty buckets
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "{\"le\": ";
+      out += b < kFiniteBuckets ? FormatDouble(bounds[b]) : "\"+Inf\"";
+      out += ", \"count\": " + std::to_string(h.bucket_counts[b]) + "}";
+    }
+    out += "]\n    }";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  const auto& bounds = BucketUpperBoundsSeconds();
+  std::string out;
+  for (const CounterSnapshot& c : counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < kTotalBuckets; ++b) {
+      cumulative += h.bucket_counts[b];
+      const std::string le =
+          b < kFiniteBuckets ? FormatDouble(bounds[b]) : "+Inf";
+      out += h.name + "_bucket{le=\"" + le +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_sum " + FormatDouble(h.sum_seconds) + "\n";
+    out += h.name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(mu_, counters_, name,
+                     []() { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(mu_, gauges_, name,
+                     []() { return std::make_unique<Gauge>(); });
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate(mu_, histograms_, name,
+                     []() { return std::make_unique<Histogram>(); });
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::unique_lock<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back(CounterSnapshot{name, counter->count()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back(GaugeSnapshot{name, gauge->current()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram->count();
+    h.sum_seconds = static_cast<double>(histogram->sum_nanos()) * 1e-9;
+    for (size_t b = 0; b < kTotalBuckets; ++b) {
+      h.bucket_counts[b] = histogram->bucket_count(b);
+    }
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace webrbd

@@ -1,0 +1,242 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The observability substrate: a lightweight, thread-safe metrics registry
+// (counters, gauges, fixed-bucket latency histograms) plus RAII ScopedTimer
+// spans. This is the measurement layer every perf change justifies itself
+// against (see docs/observability.md for the metric catalog).
+//
+// Design notes:
+//  - Metric objects are plain structs of relaxed atomics. Incrementing a
+//    counter or observing a histogram value is a handful of relaxed
+//    atomic RMWs — no locks on the hot path.
+//  - Timing (the only non-trivial per-event cost: two steady_clock reads
+//    per span) is gated on a process-global enabled flag. When metrics are
+//    disabled a ScopedTimer constructs to an inert two-word object and
+//    never touches the clock, so instrumented code pays one relaxed load
+//    per span. ScopedTimer never allocates in either mode.
+//  - The registry hands out stable pointers: a Counter*/Gauge*/Histogram*
+//    obtained once (typically through a function-local static, see
+//    obs/stages.h) stays valid for the process lifetime. The registry's
+//    own mutex is only taken on first registration and on Snapshot().
+//  - Snapshot() returns a consistent-enough copy (each atomic is read
+//    individually; totals may be mid-update by at most the events racing
+//    with the snapshot) renderable as JSON or Prometheus text exposition.
+//
+// This header intentionally depends on nothing but the standard library so
+// any layer (util/, html/, core/, extract/) can instrument itself without
+// dependency cycles.
+
+#ifndef WEBRBD_OBS_METRICS_H_
+#define WEBRBD_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webrbd {
+namespace obs {
+
+/// True iff timing spans are being recorded. Counters and gauges are always
+/// live (they are single relaxed RMWs); this flag only gates clock reads.
+bool MetricsEnabled();
+
+/// Turns span timing on or off, process-wide. Spans already in flight when
+/// the flag flips still complete and record.
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonically increasing event count. Thread-safe; relaxed ordering.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t count() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Resets to zero (snapshots, tests, RecognizerCache::Clear).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that goes up and down (queue depth, utilization). Thread-safe.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double current() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Upper bounds (in seconds) of the fixed latency buckets shared by every
+/// Histogram: 1us * 2^i for i in 0..kFiniteBuckets-1, plus an overflow
+/// bucket. Powers of two keep quantile estimates within a factor of two of
+/// the true value across nine decades (1us .. ~16.8s) with 26 slots.
+constexpr size_t kFiniteBuckets = 25;
+constexpr size_t kTotalBuckets = kFiniteBuckets + 1;  // + overflow
+
+/// bucket_upper_bounds()[i] is the inclusive upper bound of bucket i in
+/// seconds; the overflow bucket (index kFiniteBuckets) has no bound.
+const std::array<double, kFiniteBuckets>& BucketUpperBoundsSeconds();
+
+/// Fixed-bucket latency histogram. Observe() is a few relaxed atomic adds;
+/// quantiles are estimated at snapshot time by linear interpolation inside
+/// the owning bucket (error bounded by the bucket width, i.e. a factor of
+/// two — see ObsHistogramTest.QuantilesTrackSortedVectorOracle).
+class Histogram {
+ public:
+  void Observe(double seconds) {
+    ObserveNanos(seconds <= 0
+                     ? 0
+                     : static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  void ObserveNanos(uint64_t nanos) {
+    counts_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_nanos() const { return sum_nanos_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_nanos_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Bucket index for a latency of `nanos` (exposed for tests).
+  static size_t BucketIndex(uint64_t nanos);
+
+ private:
+  std::array<std::atomic<uint64_t>, kTotalBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+/// Point-in-time copy of one counter.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// Point-in-time copy of one gauge.
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0;
+};
+
+/// Point-in-time copy of one histogram, with quantile estimation.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum_seconds = 0;
+  std::array<uint64_t, kTotalBuckets> bucket_counts{};
+
+  /// Estimated q-quantile (q in [0,1]) in seconds; 0 when empty.
+  double Quantile(double q) const;
+};
+
+/// Subtracts `before` from `after` bucket-by-bucket; used to isolate one
+/// batch run's stage latencies from process-lifetime totals.
+HistogramSnapshot SubtractHistogram(const HistogramSnapshot& after,
+                                    const HistogramSnapshot& before);
+
+/// A full registry snapshot, renderable in both exposition formats.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;      // sorted by name
+  std::vector<GaugeSnapshot> gauges;          // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+
+  const CounterSnapshot* FindCounter(std::string_view name) const;
+  const GaugeSnapshot* FindGauge(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with p50/
+  /// p95/p99 and per-bucket counts per histogram.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format (counters as *_total-style plain
+  /// samples, histograms with _bucket{le=...}/_sum/_count series).
+  std::string ToPrometheus() const;
+};
+
+/// Named metric store. Get* registers on first use and returns a pointer
+/// stable for the registry's lifetime; later calls with the same name
+/// return the same object from any thread.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry all built-in instrumentation reports to.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (keeps registrations — pointers handed
+  /// out stay valid). For tests and bench warm-up isolation.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII span: observes the scope's wall time into `histogram` on
+/// destruction. A null histogram, or metrics disabled at construction,
+/// makes the timer inert (no clock reads, no allocation ever).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) {
+    if (histogram != nullptr && MetricsEnabled()) {
+      histogram_ = histogram;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->ObserveNanos(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count()));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace obs
+}  // namespace webrbd
+
+#endif  // WEBRBD_OBS_METRICS_H_

@@ -1,0 +1,114 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "obs/stages.h"
+
+namespace webrbd {
+namespace obs {
+
+namespace mn = metric_names;
+
+Histogram* StageMetrics::ForHeuristic(std::string_view heuristic_name) const {
+  if (heuristic_name == "OM") return heuristic_om;
+  if (heuristic_name == "RP") return heuristic_rp;
+  if (heuristic_name == "SD") return heuristic_sd;
+  if (heuristic_name == "IT") return heuristic_it;
+  if (heuristic_name == "HT") return heuristic_ht;
+  return nullptr;
+}
+
+const StageMetrics& Stages() {
+  static const StageMetrics stages = []() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    StageMetrics s;
+    s.lex = registry.GetHistogram(mn::kStageLex);
+    s.tree_build = registry.GetHistogram(mn::kStageTreeBuild);
+    s.candidates = registry.GetHistogram(mn::kStageCandidates);
+    s.heuristic_om = registry.GetHistogram(mn::kStageHeuristicOm);
+    s.heuristic_rp = registry.GetHistogram(mn::kStageHeuristicRp);
+    s.heuristic_sd = registry.GetHistogram(mn::kStageHeuristicSd);
+    s.heuristic_it = registry.GetHistogram(mn::kStageHeuristicIt);
+    s.heuristic_ht = registry.GetHistogram(mn::kStageHeuristicHt);
+    s.combine = registry.GetHistogram(mn::kStageCombine);
+    s.recognize = registry.GetHistogram(mn::kStageRecognize);
+    s.drt = registry.GetHistogram(mn::kStageDrt);
+    s.dbgen = registry.GetHistogram(mn::kStageDbGen);
+    s.document = registry.GetHistogram(mn::kStageDocument);
+    s.documents = registry.GetCounter(mn::kPipelineDocuments);
+    return s;
+  }();
+  return stages;
+}
+
+const PoolMetrics& Pool() {
+  static const PoolMetrics pool = []() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    PoolMetrics p;
+    p.queue_depth = registry.GetGauge(mn::kPoolQueueDepth);
+    p.workers = registry.GetGauge(mn::kPoolWorkers);
+    p.utilization = registry.GetGauge(mn::kPoolUtilization);
+    p.tasks = registry.GetCounter(mn::kPoolTasks);
+    p.inline_runs = registry.GetCounter(mn::kPoolInlineRuns);
+    p.busy_nanos = registry.GetCounter(mn::kPoolBusyNanos);
+    p.submit_block = registry.GetHistogram(mn::kPoolSubmitBlock);
+    return p;
+  }();
+  return pool;
+}
+
+const CacheMetrics& Cache() {
+  static const CacheMetrics cache = []() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    CacheMetrics c;
+    c.hits = registry.GetCounter(mn::kRcacheHits);
+    c.misses = registry.GetCounter(mn::kRcacheMisses);
+    c.compile = registry.GetHistogram(mn::kRcacheCompile);
+    return c;
+  }();
+  return cache;
+}
+
+const std::vector<StageName>& PipelineStageNames() {
+  static const std::vector<StageName> names = {
+      {"lex", mn::kStageLex},
+      {"tree", mn::kStageTreeBuild},
+      {"candidates", mn::kStageCandidates},
+      {"heuristic:OM", mn::kStageHeuristicOm},
+      {"heuristic:RP", mn::kStageHeuristicRp},
+      {"heuristic:SD", mn::kStageHeuristicSd},
+      {"heuristic:IT", mn::kStageHeuristicIt},
+      {"heuristic:HT", mn::kStageHeuristicHt},
+      {"combine", mn::kStageCombine},
+      {"recognize", mn::kStageRecognize},
+      {"drt", mn::kStageDrt},
+      {"dbgen", mn::kStageDbGen},
+      {"document", mn::kStageDocument},
+  };
+  return names;
+}
+
+const std::vector<std::string>& AllDocumentedMetricNames() {
+  static const std::vector<std::string> names = []() {
+    std::vector<std::string> all;
+    for (const StageName& stage : PipelineStageNames()) {
+      all.emplace_back(stage.metric);
+    }
+    for (std::string_view name :
+         {mn::kPipelineDocuments, mn::kPoolQueueDepth, mn::kPoolWorkers,
+          mn::kPoolUtilization, mn::kPoolTasks, mn::kPoolInlineRuns,
+          mn::kPoolBusyNanos, mn::kPoolSubmitBlock, mn::kRcacheHits,
+          mn::kRcacheMisses, mn::kRcacheCompile}) {
+      all.emplace_back(name);
+    }
+    return all;
+  }();
+  return names;
+}
+
+void EnsureDocumentedMetricsRegistered() {
+  Stages();
+  Pool();
+  Cache();
+}
+
+}  // namespace obs
+}  // namespace webrbd

@@ -1,0 +1,144 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The documented metric catalog for the Figure-1 pipeline, the thread
+// pool, and the recognizer cache — names plus pre-resolved pointer
+// bundles so hot paths never do a by-name registry lookup. Every name
+// here is part of the public observability contract (docs/observability.md)
+// and is asserted present by CI's metrics-snapshot check.
+
+#ifndef WEBRBD_OBS_STAGES_H_
+#define WEBRBD_OBS_STAGES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace webrbd {
+namespace obs {
+
+namespace metric_names {
+
+// Per-stage latency histograms (seconds). "stage" = one step of the
+// integrated per-document pipeline (extract/integrated_pipeline.h).
+inline constexpr std::string_view kStageLex = "webrbd_stage_lex_seconds";
+inline constexpr std::string_view kStageTreeBuild =
+    "webrbd_stage_tree_build_seconds";
+inline constexpr std::string_view kStageCandidates =
+    "webrbd_stage_candidates_seconds";
+inline constexpr std::string_view kStageHeuristicOm =
+    "webrbd_stage_heuristic_om_seconds";
+inline constexpr std::string_view kStageHeuristicRp =
+    "webrbd_stage_heuristic_rp_seconds";
+inline constexpr std::string_view kStageHeuristicSd =
+    "webrbd_stage_heuristic_sd_seconds";
+inline constexpr std::string_view kStageHeuristicIt =
+    "webrbd_stage_heuristic_it_seconds";
+inline constexpr std::string_view kStageHeuristicHt =
+    "webrbd_stage_heuristic_ht_seconds";
+inline constexpr std::string_view kStageCombine =
+    "webrbd_stage_combine_seconds";
+inline constexpr std::string_view kStageRecognize =
+    "webrbd_stage_recognize_seconds";
+inline constexpr std::string_view kStageDrt = "webrbd_stage_drt_seconds";
+inline constexpr std::string_view kStageDbGen = "webrbd_stage_dbgen_seconds";
+inline constexpr std::string_view kStageDocument =
+    "webrbd_stage_document_seconds";
+
+// Pipeline volume.
+inline constexpr std::string_view kPipelineDocuments =
+    "webrbd_pipeline_documents_total";
+
+// Thread pool (util/thread_pool.h). Aggregated across all pool instances.
+inline constexpr std::string_view kPoolQueueDepth = "webrbd_pool_queue_depth";
+inline constexpr std::string_view kPoolWorkers = "webrbd_pool_workers";
+inline constexpr std::string_view kPoolUtilization =
+    "webrbd_pool_utilization";
+inline constexpr std::string_view kPoolTasks = "webrbd_pool_tasks_total";
+inline constexpr std::string_view kPoolInlineRuns =
+    "webrbd_pool_inline_runs_total";
+inline constexpr std::string_view kPoolBusyNanos =
+    "webrbd_pool_busy_nanos_total";
+inline constexpr std::string_view kPoolSubmitBlock =
+    "webrbd_pool_submit_block_seconds";
+
+// Recognizer cache (extract/recognizer_cache.h). Process-wide totals
+// across every cache instance.
+inline constexpr std::string_view kRcacheHits = "webrbd_rcache_hits_total";
+inline constexpr std::string_view kRcacheMisses =
+    "webrbd_rcache_misses_total";
+inline constexpr std::string_view kRcacheCompile =
+    "webrbd_rcache_compile_seconds";
+
+}  // namespace metric_names
+
+/// Pre-resolved stage histograms for the integrated pipeline. All pointers
+/// live in MetricsRegistry::Global() and are valid forever.
+struct StageMetrics {
+  Histogram* lex;
+  Histogram* tree_build;
+  Histogram* candidates;
+  Histogram* heuristic_om;
+  Histogram* heuristic_rp;
+  Histogram* heuristic_sd;
+  Histogram* heuristic_it;
+  Histogram* heuristic_ht;
+  Histogram* combine;
+  Histogram* recognize;
+  Histogram* drt;
+  Histogram* dbgen;
+  Histogram* document;
+  Counter* documents;
+
+  /// Histogram for a heuristic's two-letter paper name ("OM", "RP", "SD",
+  /// "IT", "HT"); nullptr (an inert ScopedTimer) for unknown names.
+  Histogram* ForHeuristic(std::string_view heuristic_name) const;
+};
+
+/// The global pipeline-stage bundle, resolved once.
+const StageMetrics& Stages();
+
+/// Pre-resolved thread-pool metrics.
+struct PoolMetrics {
+  Gauge* queue_depth;
+  Gauge* workers;
+  Gauge* utilization;
+  Counter* tasks;
+  Counter* inline_runs;
+  Counter* busy_nanos;
+  Histogram* submit_block;
+};
+
+const PoolMetrics& Pool();
+
+/// Pre-resolved recognizer-cache metrics.
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Histogram* compile;
+};
+
+const CacheMetrics& Cache();
+
+/// Short display names for the per-stage latency table, paired with the
+/// registry histogram names, in pipeline order.
+struct StageName {
+  std::string_view short_name;  ///< e.g. "lex"
+  std::string_view metric;      ///< e.g. "webrbd_stage_lex_seconds"
+};
+const std::vector<StageName>& PipelineStageNames();
+
+/// Every documented metric name (the observability contract): CI fails if
+/// a snapshot after a batch run is missing any of these.
+const std::vector<std::string>& AllDocumentedMetricNames();
+
+/// Registers every documented metric in the global registry (idempotent),
+/// so a Snapshot() carries the full catalog even when a run never touched
+/// a subsystem (e.g. a 1-thread batch never exercises the pool).
+void EnsureDocumentedMetricsRegistered();
+
+}  // namespace obs
+}  // namespace webrbd
+
+#endif  // WEBRBD_OBS_STAGES_H_

@@ -16,9 +16,12 @@ int ResolveThreadCount(int requested) {
 
 }  // namespace
 
+thread_local const ThreadPool* ThreadPool::current_worker_pool_ = nullptr;
+
 ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
     : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
   const int count = ResolveThreadCount(num_threads);
+  obs::Pool().workers->Set(static_cast<double>(count));
   workers_.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
@@ -28,14 +31,29 @@ ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
+  bool first_shutdown = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    first_shutdown = !shutting_down_;
     shutting_down_ = true;
   }
   not_empty_.notify_all();
   not_full_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
+  }
+  if (first_shutdown && obs::MetricsEnabled() && !workers_.empty()) {
+    // Publish this pool's lifetime worker utilization: the fraction of
+    // worker-thread wall time spent actually running tasks.
+    const double lifetime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      created_)
+            .count();
+    if (lifetime > 0) {
+      obs::Pool().utilization->Set(
+          busy_seconds() /
+          (lifetime * static_cast<double>(workers_.size())));
+    }
   }
 }
 
@@ -44,14 +62,62 @@ size_t ThreadPool::pending() const {
   return queue_.size();
 }
 
+double ThreadPool::busy_seconds() const {
+  return static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+bool ThreadPool::IsWorkerThread() const {
+  return current_worker_pool_ == this;
+}
+
+void ThreadPool::RunTask(std::function<void()>& task) {
+  if (obs::MetricsEnabled()) {
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const auto stop = std::chrono::steady_clock::now();
+    const uint64_t nanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+    busy_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    obs::Pool().busy_nanos->Increment(nanos);
+  } else {
+    task();
+  }
+  obs::Pool().tasks->Increment();
+}
+
 void ThreadPool::Enqueue(std::function<void()> task) {
+  if (IsWorkerThread()) {
+    // Caller-runs policy for nested submissions: a worker that blocks on
+    // the bounded queue deadlocks the pool once every worker is a
+    // producer, and a worker that merely queues deadlocks the moment all
+    // workers wait on futures of still-queued tasks. Running inline keeps
+    // the future contract (result/exception delivered) and guarantees
+    // progress at any queue capacity.
+    obs::Pool().inline_runs->Increment();
+    RunTask(task);
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this]() {
-      return shutting_down_ || queue_.size() < queue_capacity_;
-    });
+    if (obs::MetricsEnabled()) {
+      const auto wait_start = std::chrono::steady_clock::now();
+      not_full_.wait(lock, [this]() {
+        return shutting_down_ || queue_.size() < queue_capacity_;
+      });
+      obs::Pool().submit_block->ObserveNanos(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wait_start)
+              .count()));
+    } else {
+      not_full_.wait(lock, [this]() {
+        return shutting_down_ || queue_.size() < queue_capacity_;
+      });
+    }
     if (!shutting_down_) {
       queue_.push_back(std::move(task));
+      obs::Pool().queue_depth->Add(1);
       // `task` was moved into the queue; notify under the lock so a
       // worker blocked in WorkerLoop cannot miss the wakeup between its
       // predicate check and its wait.
@@ -61,23 +127,27 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   }
   // Caller-runs policy: the pool is shut down, so execute inline. The
   // packaged task still routes the result (or exception) to the future.
-  task();
+  obs::Pool().inline_runs->Increment();
+  RunTask(task);
 }
 
 void ThreadPool::WorkerLoop() {
+  current_worker_pool_ = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_empty_.wait(lock,
                       [this]() { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down and fully drained
+      if (queue_.empty()) break;  // shutting down and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      obs::Pool().queue_depth->Add(-1);
       not_full_.notify_one();
     }
-    task();
+    RunTask(task);
   }
+  current_worker_pool_ = nullptr;
 }
 
 }  // namespace webrbd

@@ -13,16 +13,30 @@
 //    waiting, which gives natural backpressure when producers outrun the
 //    workers (a corpus reader feeding a slow extraction stage cannot
 //    balloon memory).
+//  - A Submit() from one of the pool's OWN worker threads always runs the
+//    task inline in that worker ("caller runs"). Blocking a worker on the
+//    bounded queue would deadlock once every worker is a producer (none
+//    left to consume), and even queueing without blocking deadlocks the
+//    moment all workers wait on futures of tasks still sitting in the
+//    queue — so nested submissions never touch the queue at all.
 //  - Shutdown() (also run by the destructor) drains every queued task and
 //    joins the workers. Submitting after shutdown runs the task inline in
-//    the caller's thread ("caller runs" policy) so no work is ever lost.
+//    the caller's thread, so no work is ever lost.
 //  - All synchronization is one mutex plus two condition variables; the
 //    class is ThreadSanitizer-clean under WEBRBD_SANITIZE=thread.
+//  - Observability (see docs/observability.md): queue depth, executed
+//    task and inline-run counts, cumulative worker busy time, and
+//    submit-block latency are reported to the global metrics registry;
+//    Shutdown() publishes the pool's lifetime worker utilization. Timing
+//    costs are only paid while obs::MetricsEnabled().
 
 #ifndef WEBRBD_UTIL_THREAD_POOL_H_
 #define WEBRBD_UTIL_THREAD_POOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -32,6 +46,8 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "obs/stages.h"
 
 namespace webrbd {
 
@@ -54,9 +70,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Schedules `fn` and returns a future for its result. Blocks while the
-  /// queue is at capacity (backpressure). If the pool is already shut down,
-  /// the task runs inline in the calling thread before Submit returns.
-  /// An exception thrown by `fn` is delivered through the returned future.
+  /// queue is at capacity (backpressure). If the pool is already shut
+  /// down, or the calling thread is one of this pool's own workers, the
+  /// task runs inline in the calling thread before Submit returns (the
+  /// worker case prevents nested-submit deadlock; the returned future is
+  /// already satisfied). An exception thrown by `fn` is delivered through
+  /// the returned future in every mode.
   template <typename F>
   std::future<std::invoke_result_t<std::decay_t<F>>> Submit(F&& fn) {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -78,20 +97,40 @@ class ThreadPool {
   /// Maximum number of queued tasks before Submit() blocks.
   size_t queue_capacity() const { return queue_capacity_; }
 
+  /// Cumulative wall time this pool's workers spent running tasks. Only
+  /// accumulates while obs::MetricsEnabled(); utilization over a window of
+  /// `wall` seconds is busy_seconds() delta / (wall * thread_count()).
+  double busy_seconds() const;
+
+  /// True iff the calling thread is one of this pool's workers (the
+  /// condition under which Submit runs tasks inline).
+  bool IsWorkerThread() const;
+
  private:
   // Pushes a type-erased task, blocking on a full queue; runs it inline
-  // when the pool is shut down.
+  // when the pool is shut down or the caller is one of this pool's
+  // workers.
   void Enqueue(std::function<void()> task);
 
   void WorkerLoop();
 
+  // Runs a task and charges its wall time to the busy counters.
+  void RunTask(std::function<void()>& task);
+
   const size_t queue_capacity_;
+  const std::chrono::steady_clock::time_point created_ =
+      std::chrono::steady_clock::now();
   mutable std::mutex mu_;
   std::condition_variable not_empty_;  // signaled when a task is queued
   std::condition_variable not_full_;   // signaled when a slot frees up
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;
+  std::atomic<uint64_t> busy_nanos_{0};
   std::vector<std::thread> workers_;
+
+  // Set to the owning pool for the lifetime of each worker thread, so
+  // Enqueue can detect nested submissions from this pool's own workers.
+  static thread_local const ThreadPool* current_worker_pool_;
 };
 
 }  // namespace webrbd

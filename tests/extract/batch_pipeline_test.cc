@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "gen/sites.h"
+#include "obs/metrics.h"
+#include "obs/stages.h"
 #include "ontology/bundled.h"
 
 namespace webrbd {
@@ -148,6 +151,118 @@ TEST(BatchPipelineTest, UsesTheProvidedCache) {
   ASSERT_TRUE(RunBatchPipeline(corpus, ontology, options).ok());
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_GE(cache.hits(), 1u);
+}
+
+TEST(BatchPipelineTest, ThrowingTaskBecomesPerDocumentInternalErrors) {
+  // Regression: an exception escaping one chunk task used to abandon the
+  // remaining futures and then dereference the chunk's unengaged result
+  // slots (UB). The throw is injected through document_hook; every
+  // document must still get a result and the affected ones must carry
+  // Status::Internal.
+  Ontology ontology = BundledOntology(Domain::kObituaries).value();
+  std::vector<std::string> corpus = SmallCorpus(Domain::kObituaries, 12);
+  BatchOptions options;
+  options.num_threads = 4;
+  options.chunk_size = 3;
+  options.document_hook = [](size_t index) {
+    if (index == 4) throw std::runtime_error("injected fault");
+  };
+  auto batch = RunBatchPipeline(corpus, ontology, options);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->documents.size(), corpus.size());
+  size_t internal = 0;
+  for (size_t i = 0; i < batch->documents.size(); ++i) {
+    if (batch->documents[i].ok()) continue;
+    EXPECT_EQ(batch->documents[i].status().code(), Status::Code::kInternal);
+    EXPECT_NE(batch->documents[i].status().message().find("injected fault"),
+              std::string::npos);
+    ++internal;
+  }
+  // The throw hits document 4; its chunk's not-yet-processed documents
+  // (4 and 5 of chunk [3,6)) fail, everything else completes.
+  EXPECT_GE(internal, 1u);
+  EXPECT_LE(internal, options.chunk_size);
+  EXPECT_EQ(batch->stats.failed, internal);
+  EXPECT_EQ(batch->stats.succeeded, corpus.size() - internal);
+  EXPECT_EQ(batch->stats.failures_by_code.at("Internal"), internal);
+}
+
+TEST(BatchPipelineTest, ThrowingHookOnInlinePathIsAlsoContained) {
+  Ontology ontology = BundledOntology(Domain::kObituaries).value();
+  std::vector<std::string> corpus = SmallCorpus(Domain::kObituaries, 3);
+  BatchOptions options;
+  options.num_threads = 1;  // inline path, no pool
+  options.document_hook = [](size_t index) {
+    if (index == 1) throw std::runtime_error("inline fault");
+  };
+  auto batch = RunBatchPipeline(corpus, ontology, options);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->documents.size(), 3u);
+  EXPECT_TRUE(batch->documents[0].ok());
+  EXPECT_FALSE(batch->documents[1].ok());
+  EXPECT_FALSE(batch->documents[2].ok());  // inline run stops at the throw
+  EXPECT_EQ(batch->documents[1].status().code(), Status::Code::kInternal);
+}
+
+TEST(BatchPipelineTest, StageLatenciesFilledWhenMetricsEnabled) {
+  obs::SetMetricsEnabled(true);
+  Ontology ontology = BundledOntology(Domain::kCarAds).value();
+  std::vector<std::string> corpus = SmallCorpus(Domain::kCarAds, 6);
+  BatchOptions options;
+  options.num_threads = 2;
+  auto batch = RunBatchPipeline(corpus, ontology, options);
+  obs::SetMetricsEnabled(false);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  const auto& stages = batch->stats.stage_latencies;
+  ASSERT_EQ(stages.size(), obs::PipelineStageNames().size());
+  for (size_t i = 0; i < stages.size(); ++i) {
+    EXPECT_EQ(stages[i].metric,
+              std::string(obs::PipelineStageNames()[i].metric));
+  }
+  // Every successful document records one span per core stage...
+  for (const char* name : {"lex", "tree", "document", "recognize", "drt"}) {
+    bool found = false;
+    for (const StageLatencySummary& stage : stages) {
+      if (stage.name != name) continue;
+      found = true;
+      EXPECT_GE(stage.count, corpus.size()) << name;
+      EXPECT_GE(stage.total_seconds, 0.0);
+      EXPECT_LE(stage.p50_seconds, stage.p99_seconds);
+    }
+    EXPECT_TRUE(found) << name;
+  }
+  // ...and the pool was actually utilized.
+  EXPECT_GT(batch->stats.pool_utilization, 0.0);
+  EXPECT_LE(batch->stats.pool_utilization, 1.0);
+
+  // Both renderings carry the stage table.
+  EXPECT_NE(batch->stats.ToString().find("stage latency"), std::string::npos);
+  EXPECT_NE(batch->stats.ToJson().find("\"stage_latencies\""),
+            std::string::npos);
+  EXPECT_NE(batch->stats.ToJson().find("webrbd_stage_lex_seconds"),
+            std::string::npos);
+}
+
+TEST(BatchPipelineTest, StageLatenciesEmptyWhenMetricsDisabled) {
+  ASSERT_FALSE(obs::MetricsEnabled());
+  Ontology ontology = BundledOntology(Domain::kJobAds).value();
+  std::vector<std::string> corpus = SmallCorpus(Domain::kJobAds, 2);
+  auto batch = RunBatchPipeline(corpus, ontology);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->stats.stage_latencies.empty());
+  EXPECT_EQ(batch->stats.pool_utilization, 0.0);
+}
+
+TEST(BatchPipelineTest, LongFailureCodeRowsSurviveToString) {
+  // Regression: ToString used fixed 160-byte snprintf lines, silently
+  // truncating long failure-code rows.
+  CorpusStats stats;
+  stats.documents = 1;
+  stats.failed = 1;
+  const std::string long_code(300, 'x');
+  stats.failures_by_code[long_code] = 1;
+  EXPECT_NE(stats.ToString().find(long_code), std::string::npos);
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -102,6 +105,101 @@ TEST(RecognizerCacheTest, ConcurrentGetsCompileExactlyOnce) {
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(RecognizerCacheTest, SlowCompileDoesNotConvoyOtherKeys) {
+  // Regression: Get() used to hold the cache mutex across compilation, so
+  // one cold compile convoyed every other lookup. Here the obituaries
+  // compile is parked on a gate; a lookup for a DIFFERENT ontology must
+  // complete while it is still parked.
+  RecognizerCache cache;
+  Ontology slow = BundledOntology(Domain::kObituaries).value();
+  Ontology fast = BundledOntology(Domain::kCarAds).value();
+  const std::string slow_key = OntologyCacheKey(slow);
+
+  std::promise<void> compile_entered;
+  std::promise<void> release_compile;
+  std::shared_future<void> release = release_compile.get_future().share();
+  std::atomic<bool> entered_once{false};
+  cache.SetCompileHookForTest(
+      [&slow_key, &compile_entered, release, &entered_once](
+          const std::string& key) {
+        if (key == slow_key && !entered_once.exchange(true)) {
+          compile_entered.set_value();
+          release.wait();
+        }
+      });
+
+  std::thread slow_caller([&cache, &slow]() {
+    auto result = cache.Get(slow);
+    EXPECT_TRUE(result.ok());
+  });
+  // Wait until the slow compile is definitely in flight (map lock released).
+  ASSERT_EQ(compile_entered.get_future().wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+
+  // A different key must not block behind the in-flight compile. Run it
+  // with a bounded wait so a reintroduced convoy fails the test instead of
+  // hanging CI.
+  auto fast_lookup = std::async(std::launch::async, [&cache, &fast]() {
+    return cache.Get(fast).ok();
+  });
+  ASSERT_EQ(fast_lookup.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "Get(fast) blocked behind an unrelated in-flight compile";
+  EXPECT_TRUE(fast_lookup.get());
+
+  release_compile.set_value();
+  slow_caller.join();
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(RecognizerCacheTest, WaitersJoinInFlightCompileExactlyOnce) {
+  // Several threads race for the SAME key while its compile is parked on a
+  // gate: all of them must wait on the in-flight slot (no second compile)
+  // and share the one instance.
+  RecognizerCache cache;
+  Ontology ontology = BundledOntology(Domain::kCourses).value();
+  std::promise<void> compile_entered;
+  std::promise<void> release_compile;
+  std::shared_future<void> release = release_compile.get_future().share();
+  std::atomic<int> compiles{0};
+  cache.SetCompileHookForTest(
+      [&compile_entered, release, &compiles](const std::string&) {
+        if (compiles.fetch_add(1) == 0) {
+          compile_entered.set_value();
+          release.wait();
+        }
+      });
+
+  std::thread owner([&cache, &ontology]() {
+    EXPECT_TRUE(cache.Get(ontology).ok());
+  });
+  ASSERT_EQ(compile_entered.get_future().wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  std::vector<const Recognizer*> seen(kWaiters, nullptr);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&cache, &ontology, &seen, t]() {
+      auto result = cache.Get(ontology);
+      if (result.ok()) seen[static_cast<size_t>(t)] = result->get();
+    });
+  }
+  release_compile.set_value();
+  owner.join();
+  for (std::thread& waiter : waiters) waiter.join();
+
+  EXPECT_EQ(compiles.load(), 1);
+  for (int t = 0; t < kWaiters; ++t) {
+    ASSERT_NE(seen[static_cast<size_t>(t)], nullptr);
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), static_cast<uint64_t>(kWaiters));
 }
 
 TEST(RecognizerCacheTest, GlobalCacheIsSharedAcrossCallSites) {

@@ -1,0 +1,330 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "obs/stages.h"
+
+// Test-binary-wide allocation counter: every operator new in this binary
+// funnels through here, letting ObsScopedTimerTest assert that a disabled
+// timer performs zero heap allocations. EVERY new/delete overload must be
+// replaced together — a partial set leaves some variants to the runtime
+// (or ASan's interceptors), and pairing those allocations with our
+// free()-backed delete trips ASan's alloc-dealloc-mismatch check.
+namespace {
+std::atomic<uint64_t> g_allocation_count{0};
+
+void* CountingAllocate(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* CountingAllocateAligned(std::size_t size, std::size_t alignment) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size == 0 ? alignment : size) != 0) {
+    std::abort();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountingAllocate(size); }
+void* operator new[](std::size_t size) { return CountingAllocate(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountingAllocate(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountingAllocate(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return CountingAllocateAligned(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return CountingAllocateAligned(size, static_cast<std::size_t>(alignment));
+}
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return CountingAllocateAligned(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return CountingAllocateAligned(size, static_cast<std::size_t>(alignment));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace webrbd {
+namespace obs {
+namespace {
+
+uint64_t AllocationCount() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+TEST(ObsMetricsTest, CounterIncrementsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.count(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.count(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.count(), 0u);
+}
+
+TEST(ObsMetricsTest, GaugeSetsAndAdds) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  gauge.Add(1.0);
+  gauge.Add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge.current(), 3.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.current(), 0.0);
+}
+
+TEST(ObsMetricsTest, RegistryHandsOutStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("obs_test_counter");
+  Counter* b = registry.GetCounter("obs_test_counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("obs_test_counter_2"));
+  EXPECT_EQ(registry.GetHistogram("obs_test_histogram"),
+            registry.GetHistogram("obs_test_histogram"));
+  EXPECT_EQ(registry.GetGauge("obs_test_gauge"),
+            registry.GetGauge("obs_test_gauge"));
+}
+
+TEST(ObsMetricsTest, RegistryIsThreadSafeUnderConcurrentUse) {
+  // Hammers registration, updates, and snapshots from many threads at
+  // once; run under TSan in CI. The counts must come out exact.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t]() {
+      const std::string own = "obs_race_own_" + std::to_string(t);
+      for (int i = 0; i < kIterations; ++i) {
+        registry.GetCounter("obs_race_shared")->Increment();
+        registry.GetCounter(own)->Increment();
+        registry.GetHistogram("obs_race_histogram")
+            ->ObserveNanos(static_cast<uint64_t>(i) * 1000);
+        registry.GetGauge("obs_race_gauge")->Add(1.0);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    MetricsSnapshot snapshot = registry.Snapshot();
+    (void)snapshot;
+    std::this_thread::yield();
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const CounterSnapshot* shared = snapshot.FindCounter("obs_race_shared");
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->value, static_cast<uint64_t>(kThreads) * kIterations);
+  const HistogramSnapshot* histogram =
+      snapshot.FindHistogram("obs_race_histogram");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, static_cast<uint64_t>(kThreads) * kIterations);
+  const GaugeSnapshot* gauge = snapshot.FindGauge("obs_race_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value,
+                   static_cast<double>(kThreads) * kIterations);
+}
+
+TEST(ObsHistogramTest, BucketIndexBoundaries) {
+  // Bucket i holds nanos <= 1000 * 2^i.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1000), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1001), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2000), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2001), 2u);
+  // Anything past the last finite bound lands in the overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), kFiniteBuckets);
+  // The finite bounds cover ~16.8s.
+  const auto& bounds = BucketUpperBoundsSeconds();
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_GT(bounds.back(), 16.0);
+}
+
+TEST(ObsHistogramTest, QuantilesTrackSortedVectorOracle) {
+  // Power-of-two buckets bound the quantile estimate within a factor of
+  // two of the exact (sorted-vector) value: the estimate interpolates
+  // inside the bucket that also contains the true order statistic.
+  Histogram histogram;
+  std::vector<uint64_t> values;
+  uint64_t state = 0x2545F4914F6CDD1Dull;  // deterministic xorshift
+  for (int i = 0; i < 10000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    // Spread across ~2us .. ~67ms so several buckets are populated.
+    const uint64_t nanos = 2000 + state % 67000000;
+    values.push_back(nanos);
+    histogram.ObserveNanos(nanos);
+  }
+  std::sort(values.begin(), values.end());
+
+  HistogramSnapshot snapshot;
+  snapshot.count = histogram.count();
+  snapshot.sum_seconds = static_cast<double>(histogram.sum_nanos()) * 1e-9;
+  for (size_t b = 0; b < kTotalBuckets; ++b) {
+    snapshot.bucket_counts[b] = histogram.bucket_count(b);
+  }
+
+  for (double q : {0.50, 0.95, 0.99}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const double oracle =
+        static_cast<double>(values[rank == 0 ? 0 : rank - 1]) * 1e-9;
+    const double estimate = snapshot.Quantile(q);
+    EXPECT_GE(estimate, oracle / 2.001) << "q=" << q;
+    EXPECT_LE(estimate, oracle * 2.001) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogramTest, QuantileOfEmptyHistogramIsZero) {
+  HistogramSnapshot snapshot;
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 0.0);
+}
+
+TEST(ObsHistogramTest, SubtractIsolatesOneWindow) {
+  Histogram histogram;
+  auto snap = [&histogram]() {
+    HistogramSnapshot s;
+    s.count = histogram.count();
+    s.sum_seconds = static_cast<double>(histogram.sum_nanos()) * 1e-9;
+    for (size_t b = 0; b < kTotalBuckets; ++b) {
+      s.bucket_counts[b] = histogram.bucket_count(b);
+    }
+    return s;
+  };
+  for (int i = 0; i < 10; ++i) histogram.ObserveNanos(1500);
+  HistogramSnapshot before = snap();
+  for (int i = 0; i < 7; ++i) histogram.ObserveNanos(3000);
+  HistogramSnapshot delta = SubtractHistogram(snap(), before);
+  EXPECT_EQ(delta.count, 7u);
+  EXPECT_EQ(delta.bucket_counts[Histogram::BucketIndex(1500)], 0u);
+  EXPECT_EQ(delta.bucket_counts[Histogram::BucketIndex(3000)], 7u);
+  EXPECT_NEAR(delta.sum_seconds, 7 * 3000e-9, 1e-12);
+}
+
+TEST(ObsScopedTimerTest, RecordsWhenEnabled) {
+  Histogram histogram;
+  SetMetricsEnabled(true);
+  {
+    ScopedTimer timer(&histogram);
+  }
+  SetMetricsEnabled(false);
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(ObsScopedTimerTest, DisabledModeRecordsNothingAndNeverAllocates) {
+  ASSERT_FALSE(MetricsEnabled());
+  Histogram histogram;
+  const uint64_t allocations_before = AllocationCount();
+  for (int i = 0; i < 1000; ++i) {
+    ScopedTimer timer(&histogram);
+  }
+  EXPECT_EQ(AllocationCount(), allocations_before);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(ObsScopedTimerTest, NullHistogramIsInertEvenWhenEnabled) {
+  SetMetricsEnabled(true);
+  {
+    ScopedTimer timer(nullptr);
+  }
+  SetMetricsEnabled(false);
+}
+
+TEST(ObsSnapshotTest, JsonAndPrometheusRenderings) {
+  MetricsRegistry registry;
+  registry.GetCounter("obs_render_total")->Increment(3);
+  registry.GetGauge("obs_render_gauge")->Set(0.25);
+  registry.GetHistogram("obs_render_seconds")->ObserveNanos(1500);
+  MetricsSnapshot snapshot = registry.Snapshot();
+
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"obs_render_total\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_render_gauge\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_render_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+
+  const std::string prom = snapshot.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE obs_render_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("obs_render_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE obs_render_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("obs_render_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("obs_render_seconds_sum"), std::string::npos);
+  EXPECT_NE(prom.find("obs_render_seconds_count 1"), std::string::npos);
+}
+
+TEST(ObsStagesTest, ForHeuristicMapsPaperNames) {
+  const StageMetrics& stages = Stages();
+  EXPECT_EQ(stages.ForHeuristic("OM"), stages.heuristic_om);
+  EXPECT_EQ(stages.ForHeuristic("RP"), stages.heuristic_rp);
+  EXPECT_EQ(stages.ForHeuristic("SD"), stages.heuristic_sd);
+  EXPECT_EQ(stages.ForHeuristic("IT"), stages.heuristic_it);
+  EXPECT_EQ(stages.ForHeuristic("HT"), stages.heuristic_ht);
+  EXPECT_EQ(stages.ForHeuristic("XX"), nullptr);
+}
+
+TEST(ObsStagesTest, DocumentedCatalogIsRegisteredAndComplete) {
+  EnsureDocumentedMetricsRegistered();
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (const std::string& name : AllDocumentedMetricNames()) {
+    const bool present = snapshot.FindCounter(name) != nullptr ||
+                         snapshot.FindGauge(name) != nullptr ||
+                         snapshot.FindHistogram(name) != nullptr;
+    EXPECT_TRUE(present) << name;
+  }
+  // The per-stage table covers every stage histogram exactly once.
+  for (const StageName& stage : PipelineStageNames()) {
+    EXPECT_NE(snapshot.FindHistogram(stage.metric), nullptr)
+        << stage.metric;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace webrbd

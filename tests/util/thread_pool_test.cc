@@ -130,6 +130,54 @@ TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
   b.get();
 }
 
+TEST(ThreadPoolTest, NestedSubmitFromWorkerRunsInline) {
+  // Regression: a worker submitting to its own pool used to go through the
+  // bounded queue. With capacity 1 the submit itself could block forever
+  // (every worker a producer), and even with space the pool deadlocked the
+  // moment all workers waited on futures of still-queued tasks. Nested
+  // submits now run inline on the calling worker.
+  ThreadPool pool(2, /*queue_capacity=*/1);
+  std::atomic<int> inner_done{0};
+  std::vector<std::future<void>> outer;
+  outer.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back(pool.Submit([&pool, &inner_done]() {
+      std::vector<std::future<int>> inner;
+      inner.reserve(4);
+      for (int j = 0; j < 4; ++j) {
+        inner.push_back(pool.Submit([&inner_done]() {
+          inner_done.fetch_add(1, std::memory_order_relaxed);
+          return 1;
+        }));
+      }
+      for (std::future<int>& f : inner) f.get();
+    }));
+  }
+  for (std::future<void>& f : outer) f.get();
+  EXPECT_EQ(inner_done.load(), 32);
+}
+
+TEST(ThreadPoolTest, NestedSubmitSatisfiesFutureImmediately) {
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  auto outer = pool.Submit([&pool]() {
+    auto inner = pool.Submit([]() { return 21 * 2; });
+    // The nested task ran inline, so its future is already satisfied and
+    // this get() cannot block on the (single, busy) worker.
+    return inner.get();
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPoolTest, IsWorkerThreadDistinguishesPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.IsWorkerThread());
+  auto in_a = a.Submit([&a, &b]() {
+    return a.IsWorkerThread() && !b.IsWorkerThread();
+  });
+  EXPECT_TRUE(in_a.get());
+}
+
 TEST(ThreadPoolTest, ManyProducersOneQueue) {
   ThreadPool pool(4, /*queue_capacity=*/8);
   std::atomic<int> sum{0};

@@ -19,6 +19,10 @@
 //   --threads N            batch: worker threads (default: all cores)
 //   --generate N           batch: run over N generated obituary documents
 //                          instead of a directory (no --ontology needed)
+//   --metrics-out FILE     enable pipeline metrics and write a snapshot to
+//                          FILE after the command ("-" for stdout; a .prom
+//                          suffix selects Prometheus text format, anything
+//                          else gets JSON). See docs/observability.md.
 //
 // FILE may be "-" for stdin.
 
@@ -39,6 +43,8 @@
 #include "extract/batch_pipeline.h"
 #include "extract/db_instance_generator.h"
 #include "gen/sites.h"
+#include "obs/metrics.h"
+#include "obs/stages.h"
 #include "ontology/bundled.h"
 #include "ontology/estimator.h"
 #include "ontology/parser.h"
@@ -56,6 +62,7 @@ struct CliOptions {
   bool keep_leading = false;
   int threads = 0;
   int generate = 0;
+  std::string metrics_out;
 };
 
 int Usage() {
@@ -65,7 +72,8 @@ int Usage() {
       "commands: discover | extract | populate | classify | batch | demo\n"
       "options:  --heuristics LETTERS  --threshold FRACTION\n"
       "          --ontology FILE  --format FORMAT  --keep-leading\n"
-      "          --threads N  --generate N  (batch)\n");
+      "          --threads N  --generate N  (batch)\n"
+      "          --metrics-out FILE  (any command; .prom = Prometheus text)\n");
   return 2;
 }
 
@@ -103,6 +111,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->generate = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->metrics_out = v;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -421,9 +433,30 @@ int RunDemo() {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  CliOptions cli;
-  if (!ParseArgs(argc, argv, &cli)) return Usage();
+// Writes the global metrics snapshot to cli.metrics_out ("-" = stdout; a
+// .prom suffix selects Prometheus text format, anything else JSON).
+// Returns false when the file cannot be written.
+bool WriteMetricsSnapshot(const CliOptions& cli) {
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const std::string& path = cli.metrics_out;
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  const std::string body =
+      prometheus ? snapshot.ToPrometheus() : snapshot.ToJson();
+  if (path == "-") {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  out << body;
+  return out.good();
+}
+
+int Dispatch(const CliOptions& cli) {
   if (cli.command == "demo") return RunDemo();
   if (cli.command == "batch") return RunBatch(cli);
   if (cli.file.empty()) return Usage();
@@ -433,6 +466,22 @@ int Main(int argc, char** argv) {
   if (cli.command == "classify") return RunClassify(cli);
   std::fprintf(stderr, "unknown command: %s\n", cli.command.c_str());
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return Usage();
+  if (!cli.metrics_out.empty()) {
+    obs::SetMetricsEnabled(true);
+    // Pre-register the documented catalog so the snapshot carries every
+    // contract metric even when a command never touches a subsystem.
+    obs::EnsureDocumentedMetricsRegistered();
+  }
+  int status = Dispatch(cli);
+  if (!cli.metrics_out.empty() && !WriteMetricsSnapshot(cli) && status == 0) {
+    status = 1;
+  }
+  return status;
 }
 
 }  // namespace
