@@ -16,8 +16,10 @@
 #include "core/rp_heuristic.h"
 #include "core/sd_heuristic.h"
 #include "extract/recognizer.h"
+#include "gen/adversarial.h"
 #include "gen/corpora.h"
 #include "gen/sites.h"
+#include "robust/limits.h"
 #include "html/lexer.h"
 #include "html/tree_builder.h"
 #include "ontology/bundled.h"
@@ -64,6 +66,26 @@ void BM_TagTreeBuild(benchmark::State& state) {
                           static_cast<int64_t>(Document().size()));
 }
 BENCHMARK(BM_TagTreeBuild);
+
+// The balancer's historical worst case: a run of unclosed starts followed
+// by a run of stray ends. The complexity fit across the range is the
+// regression guard — the pre-index balancer was quadratic here.
+void BM_TagTreeBuildStrayEndStorm(benchmark::State& state) {
+  const std::string doc = gen::RenderAdversarialDocument(
+      gen::AdversarialShape::kStrayEndStorm,
+      static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildTagTree(doc, robust::DocumentLimits::Unlimited()));
+  }
+  state.SetComplexityN(state.range(0));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_TagTreeBuildStrayEndStorm)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 200'000)
+    ->Complexity(benchmark::oN);
 
 void BM_CandidateExtraction(benchmark::State& state) {
   for (auto _ : state) {

@@ -131,7 +131,7 @@ Result<DiscoveryResult> RecordBoundaryDiscoverer::Discover(
 
 Result<DocumentDiscovery> DiscoverRecordBoundaries(
     std::string_view document, const DiscoveryOptions& options) {
-  auto tree = BuildTagTree(document);
+  auto tree = BuildTagTree(document, options.limits);
   if (!tree.ok()) return tree.status();
   RecordBoundaryDiscoverer discoverer(options);
   auto result = discoverer.Discover(*tree);

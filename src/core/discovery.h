@@ -18,6 +18,7 @@
 #include "core/it_heuristic.h"
 #include "core/om_heuristic.h"
 #include "html/tree_builder.h"
+#include "robust/limits.h"
 #include "util/result.h"
 
 namespace webrbd {
@@ -49,6 +50,11 @@ struct DiscoveryOptions {
   /// Record-count estimator backing OM. When null, OM abstains (useful for
   /// ontology-free operation; the other four heuristics are structural).
   std::shared_ptr<const RecordCountEstimator> estimator;
+
+  /// Per-document resource caps applied while lexing and tree building.
+  /// Defaults to the production limits; tests that build pathological
+  /// documents on purpose pass robust::DocumentLimits::Unlimited().
+  robust::DocumentLimits limits;
 };
 
 /// Everything the pipeline computed for one document.

@@ -42,7 +42,7 @@ Result<SiteWrapper> WrapperEngine::Learn(std::string_view html) const {
 
 Result<WrapperApplyOutcome> WrapperEngine::Apply(const SiteWrapper& wrapper,
                                                  std::string_view html) const {
-  auto tree = BuildTagTree(html);
+  auto tree = BuildTagTree(html, options_.limits);
   if (!tree.ok()) return tree.status();
   auto analysis = ExtractCandidateTags(*tree, options_.candidate_options);
   if (!analysis.ok()) return analysis.status();

@@ -40,7 +40,7 @@ Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
   obs::ScopedTimer document_timer(obs::Stages().document);
   obs::Stages().documents->Increment();
 
-  auto tree = BuildTagTree(html);
+  auto tree = BuildTagTree(html, base.limits);
   if (!tree.ok()) return tree.status();
 
   // Locate the record region (Section 3) — the same analysis the

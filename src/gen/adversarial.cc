@@ -1,0 +1,180 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "gen/adversarial.h"
+
+namespace webrbd::gen {
+
+namespace {
+
+std::string Repeat(std::string_view unit, size_t times) {
+  std::string out;
+  out.reserve(unit.size() * times);
+  for (size_t i = 0; i < times; ++i) out.append(unit);
+  return out;
+}
+
+std::string DepthBomb(size_t scale) {
+  // `scale` properly nested and closed <div>s: the tree genuinely reaches
+  // depth ~scale. (Unclosed tags would not do it: the paper's repair rule
+  // ends an unclosed region just before the next tag, flattening the
+  // nesting.) Trips max_tree_depth; in unlimited mode it exercises
+  // iterative tree destruction and traversal.
+  std::string doc = "<html><body>";
+  doc += Repeat("<div>", scale);
+  doc += "x";
+  doc += Repeat("</div>", scale);
+  doc += "</body></html>";
+  return doc;
+}
+
+std::string TagStorm(size_t scale) {
+  // A flat run of scale tiny elements: token volume with trivial nesting.
+  std::string doc = "<html><body>";
+  doc += Repeat("<b>x</b>", scale);
+  doc += "</body></html>";
+  return doc;
+}
+
+std::string StrayEndStorm(size_t scale) {
+  // Half unclosed starts followed by half stray ends: every stray end
+  // must be matched against a deep open stack (and discarded), and every
+  // unclosed start needs a synthesized end placed past the discarded run —
+  // the exact shape that made the old BalanceTokens quadratic.
+  std::string doc = "<html><body>";
+  doc += Repeat("<i>", scale / 2);
+  doc += Repeat("</p>", scale - scale / 2);
+  doc += "x";
+  return doc;
+}
+
+std::string UnterminatedQuote(size_t scale) {
+  // `scale` well-formed records followed by one whose attribute value is
+  // missing its closing quote, with no later quote anywhere: the lexer's
+  // bounded scan finds nothing and must take the unquoted-recovery path
+  // instead of swallowing the rest of the page into one attribute.
+  std::string doc = "<html><body>";
+  doc += Repeat("<div class=\"r\">text</div>", scale);
+  doc += "<div class=\"broken>final</div></body></html>";
+  return doc;
+}
+
+std::string UnterminatedComment(size_t scale) {
+  std::string doc = "<html><body><p>before</p><!-- never closed ";
+  doc += Repeat("filler ", scale);
+  return doc;
+}
+
+std::string UnterminatedRawText(size_t scale) {
+  std::string doc = "<html><body><p>before</p><script>var x = 'no close';";
+  doc += Repeat("x += 1;", scale);
+  return doc;
+}
+
+std::string EntityFlood(size_t scale) {
+  std::string doc = "<html><body><p>";
+  doc += Repeat("&amp;&#65;&bogus;", scale);
+  doc += "</p></body></html>";
+  return doc;
+}
+
+std::string MegaAttribute(size_t scale) {
+  // One properly quoted attribute value of ~scale bytes. Past the
+  // attribute-value cap the lexer's bounded quote scan cannot see the
+  // closing quote and takes the unquoted-recovery path, truncating.
+  std::string doc = "<html><body><div data-blob=\"";
+  doc += Repeat("x", scale);
+  doc += "\"><p>text</p></div></body></html>";
+  return doc;
+}
+
+}  // namespace
+
+const std::vector<AdversarialShape>& AllAdversarialShapes() {
+  static const std::vector<AdversarialShape> shapes = {
+      AdversarialShape::kDepthBomb,           AdversarialShape::kTagStorm,
+      AdversarialShape::kStrayEndStorm,       AdversarialShape::kUnterminatedQuote,
+      AdversarialShape::kUnterminatedComment, AdversarialShape::kUnterminatedRawText,
+      AdversarialShape::kEntityFlood,         AdversarialShape::kMegaAttribute,
+  };
+  return shapes;
+}
+
+std::string_view AdversarialShapeName(AdversarialShape shape) {
+  switch (shape) {
+    case AdversarialShape::kDepthBomb:
+      return "depth-bomb";
+    case AdversarialShape::kTagStorm:
+      return "tag-storm";
+    case AdversarialShape::kStrayEndStorm:
+      return "stray-end-storm";
+    case AdversarialShape::kUnterminatedQuote:
+      return "unterminated-quote";
+    case AdversarialShape::kUnterminatedComment:
+      return "unterminated-comment";
+    case AdversarialShape::kUnterminatedRawText:
+      return "unterminated-raw-text";
+    case AdversarialShape::kEntityFlood:
+      return "entity-flood";
+    case AdversarialShape::kMegaAttribute:
+      return "mega-attribute";
+  }
+  return "unknown";
+}
+
+std::string RenderAdversarialDocument(AdversarialShape shape, size_t scale) {
+  switch (shape) {
+    case AdversarialShape::kDepthBomb:
+      return DepthBomb(scale);
+    case AdversarialShape::kTagStorm:
+      return TagStorm(scale);
+    case AdversarialShape::kStrayEndStorm:
+      return StrayEndStorm(scale);
+    case AdversarialShape::kUnterminatedQuote:
+      return UnterminatedQuote(scale);
+    case AdversarialShape::kUnterminatedComment:
+      return UnterminatedComment(scale);
+    case AdversarialShape::kUnterminatedRawText:
+      return UnterminatedRawText(scale);
+    case AdversarialShape::kEntityFlood:
+      return EntityFlood(scale);
+    case AdversarialShape::kMegaAttribute:
+      return MegaAttribute(scale);
+  }
+  return {};
+}
+
+std::vector<std::string> AdversarialCorpus(size_t count) {
+  // Scales against the *production* caps: the depth bomb trips
+  // max_tree_depth (2048 > 512); the storms stay under the fatal caps but
+  // stress the balancer; the malformed shapes exercise lexer recovery; the
+  // mega attribute overruns max_attribute_value_bytes (128 KiB > 64 KiB).
+  auto default_scale = [](AdversarialShape shape) -> size_t {
+    switch (shape) {
+      case AdversarialShape::kDepthBomb:
+        return 2048;
+      case AdversarialShape::kTagStorm:
+      case AdversarialShape::kStrayEndStorm:
+        return 20000;
+      case AdversarialShape::kUnterminatedQuote:
+        return 64;
+      case AdversarialShape::kUnterminatedComment:
+      case AdversarialShape::kUnterminatedRawText:
+        return 2000;
+      case AdversarialShape::kEntityFlood:
+        return 5000;
+      case AdversarialShape::kMegaAttribute:
+        return 128 << 10;
+    }
+    return 1000;
+  };
+  const std::vector<AdversarialShape>& shapes = AllAdversarialShapes();
+  std::vector<std::string> corpus;
+  corpus.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    AdversarialShape shape = shapes[i % shapes.size()];
+    corpus.push_back(RenderAdversarialDocument(shape, default_scale(shape)));
+  }
+  return corpus;
+}
+
+}  // namespace webrbd::gen

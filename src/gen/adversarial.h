@@ -1,0 +1,49 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Deterministic adversarial-document generator: each shape is a distilled
+// pathological page targeting one specific blow-up in the HTML front end
+// (see robust/limits.h for the caps each shape is meant to trip and
+// docs/robustness.md for the catalog). Fully deterministic — same shape
+// and scale always render byte-identical documents — so fault-injection
+// tests and CLI smokes are reproducible without seed management.
+
+#ifndef WEBRBD_GEN_ADVERSARIAL_H_
+#define WEBRBD_GEN_ADVERSARIAL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webrbd::gen {
+
+/// The pathological page shapes. Each targets a distinct front-end hazard.
+enum class AdversarialShape {
+  kDepthBomb,           ///< scale nested, never-closed <div>s (tree depth)
+  kTagStorm,            ///< scale tiny elements in a row (token volume)
+  kStrayEndStorm,       ///< unclosed starts + stray ends (balancer blow-up)
+  kUnterminatedQuote,   ///< attribute values missing their closing quote
+  kUnterminatedComment, ///< <!-- with no --> before end of input
+  kUnterminatedRawText, ///< <script> with no </script>
+  kEntityFlood,         ///< scale character/entity references in one text run
+  kMegaAttribute,       ///< one attribute value of ~scale bytes
+};
+
+/// Every shape, in declaration order (for exhaustive fault injection).
+const std::vector<AdversarialShape>& AllAdversarialShapes();
+
+/// Stable lowercase identifier, e.g. "depth-bomb".
+std::string_view AdversarialShapeName(AdversarialShape shape);
+
+/// Renders the document for `shape` at the given scale (the number of
+/// repeating units; bytes for kMegaAttribute). Deterministic.
+std::string RenderAdversarialDocument(AdversarialShape shape, size_t scale);
+
+/// A document per shape at scales chosen to trip the production
+/// DocumentLimits caps where the shape has a fatal cap to trip, and to
+/// exercise the recovery paths where it does not. Cycles through the
+/// shapes when `count` exceeds their number.
+std::vector<std::string> AdversarialCorpus(size_t count);
+
+}  // namespace webrbd::gen
+
+#endif  // WEBRBD_GEN_ADVERSARIAL_H_

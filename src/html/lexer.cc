@@ -2,19 +2,33 @@
 
 #include "html/lexer.h"
 
+#include <string>
+
 #include "html/tag_metadata.h"
 #include "obs/stages.h"
+#include "robust/limits.h"
 #include "util/string_util.h"
 
 namespace webrbd {
 
 namespace {
 
+using robust::DocumentLimits;
+using robust::LimitExceeded;
+
 class Lexer {
  public:
-  explicit Lexer(std::string_view doc) : doc_(doc) {}
+  Lexer(std::string_view doc, const DocumentLimits& limits)
+      : doc_(doc), limits_(limits) {}
 
-  std::vector<HtmlToken> Lex() {
+  Result<std::vector<HtmlToken>> Lex() {
+    if (LimitExceeded(doc_.size(), limits_.max_document_bytes)) {
+      obs::Robust().trip_doc_bytes->Increment();
+      return Status::ResourceExhausted(
+          "document size " + std::to_string(doc_.size()) +
+          " exceeds max_document_bytes " +
+          std::to_string(limits_.max_document_bytes));
+    }
     // Pre-size the token vector from the document size. Across the
     // synthetic corpus one token spans ~28 bytes of HTML on average;
     // reserving doc/24 overshoots slightly, turning the push_back
@@ -22,6 +36,12 @@ class Lexer {
     // for virtually every real document.
     tokens_.reserve(doc_.size() / 24 + 4);
     while (pos_ < doc_.size()) {
+      if (LimitExceeded(tokens_.size(), limits_.max_tokens)) {
+        obs::Robust().trip_tokens->Increment();
+        return Status::ResourceExhausted(
+            "token stream exceeds max_tokens " +
+            std::to_string(limits_.max_tokens));
+      }
       if (doc_[pos_] == '<' && TryLexMarkup()) continue;
       LexTextRun();
     }
@@ -80,6 +100,7 @@ class Lexer {
   }
 
   void LexAttributes(HtmlToken* token) {
+    bool attrs_tripped = false;
     for (;;) {
       while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
       if (pos_ >= doc_.size() || doc_[pos_] == '>') return;
@@ -110,20 +131,58 @@ class Lexer {
         if (pos_ < doc_.size() && (doc_[pos_] == '"' || doc_[pos_] == '\'')) {
           char quote = doc_[pos_++];
           size_t value_start = pos_;
-          while (pos_ < doc_.size() && doc_[pos_] != quote) ++pos_;
-          attr.value = std::string(doc_.substr(value_start, pos_ - value_start));
-          if (pos_ < doc_.size()) ++pos_;  // closing quote
-        } else {
-          size_t value_start = pos_;
-          while (pos_ < doc_.size() && doc_[pos_] != '>' &&
-                 !IsAsciiSpace(doc_[pos_])) {
-            ++pos_;
+          // Look for the closing quote only within the attribute-value
+          // window; an unterminated quote must not swallow the rest of
+          // the document into one attribute.
+          size_t window = doc_.size() - value_start;
+          if (limits_.max_attribute_value_bytes != 0 &&
+              window > limits_.max_attribute_value_bytes) {
+            window = limits_.max_attribute_value_bytes;
           }
-          attr.value = std::string(doc_.substr(value_start, pos_ - value_start));
+          size_t rel = doc_.substr(value_start, window).find(quote);
+          if (rel != std::string_view::npos) {
+            attr.value = std::string(doc_.substr(value_start, rel));
+            pos_ = value_start + rel + 1;  // past the closing quote
+          } else {
+            // Recovery: no closing quote in the window. Rewind and re-lex
+            // the region as an unquoted value, so lexing resynchronizes at
+            // the next space or '>' instead of at end of input.
+            obs::Robust().lexer_recoveries->Increment();
+            pos_ = value_start;
+            LexUnquotedValue(&attr);
+          }
+        } else {
+          LexUnquotedValue(&attr);
         }
       }
-      if (!attr.name.empty()) token->attrs.push_back(std::move(attr));
+      if (attr.name.empty()) continue;
+      if (LimitExceeded(token->attrs.size() + 1,
+                        limits_.max_attributes_per_tag)) {
+        // Recoverable cap: parse (to keep positions in sync) but drop.
+        if (!attrs_tripped) {
+          attrs_tripped = true;
+          obs::Robust().trip_attrs->Increment();
+        }
+        continue;
+      }
+      token->attrs.push_back(std::move(attr));
     }
+  }
+
+  // Scans a bare attribute value (up to the next space or '>'), storing at
+  // most max_attribute_value_bytes of it.
+  void LexUnquotedValue(HtmlAttribute* attr) {
+    size_t value_start = pos_;
+    while (pos_ < doc_.size() && doc_[pos_] != '>' &&
+           !IsAsciiSpace(doc_[pos_])) {
+      ++pos_;
+    }
+    size_t length = pos_ - value_start;
+    if (LimitExceeded(length, limits_.max_attribute_value_bytes)) {
+      obs::Robust().trip_attr_value->Increment();
+      length = limits_.max_attribute_value_bytes;
+    }
+    attr->value = std::string(doc_.substr(value_start, length));
   }
 
   // <!-- comment --> or <!DOCTYPE ...> or any other <!...> declaration.
@@ -209,6 +268,7 @@ class Lexer {
   }
 
   std::string_view doc_;
+  const DocumentLimits limits_;
   size_t pos_ = 0;
   size_t text_start_ = std::string_view::npos;
   std::vector<HtmlToken> tokens_;
@@ -216,10 +276,15 @@ class Lexer {
 
 }  // namespace
 
-Result<std::vector<HtmlToken>> LexHtml(std::string_view document) {
+Result<std::vector<HtmlToken>> LexHtml(std::string_view document,
+                                       const robust::DocumentLimits& limits) {
   obs::ScopedTimer timer(obs::Stages().lex);
-  Lexer lexer(document);
+  Lexer lexer(document, limits);
   return lexer.Lex();
+}
+
+Result<std::vector<HtmlToken>> LexHtml(std::string_view document) {
+  return LexHtml(document, robust::DocumentLimits::Production());
 }
 
 }  // namespace webrbd

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "html/token.h"
+#include "robust/limits.h"
 #include "util/result.h"
 
 namespace webrbd {
@@ -17,10 +18,19 @@ namespace webrbd {
 /// The lexer is forgiving, in keeping with 1998-era markup: a '<' that does
 /// not open a plausible tag is treated as text; unterminated constructs are
 /// closed at end of input; attribute values may be single-quoted,
-/// double-quoted, or bare. <script>/<style> bodies are consumed as raw text.
-/// The lexer never fails on document *content*; it only reports errors for
-/// caller misuse (e.g. absurd size limits), so the common path is
-/// LexHtml(doc).value().
+/// double-quoted, or bare; a quoted value whose closing quote never comes
+/// is re-lexed as unquoted (counted in robust.lexer_recoveries) instead of
+/// swallowing the rest of the document. <script>/<style> bodies are
+/// consumed as raw text.
+///
+/// The lexer never fails on document *shape* — only on documents that
+/// exceed the fatal DocumentLimits caps (document bytes, token count),
+/// which return kResourceExhausted. Under DocumentLimits::Unlimited() the
+/// common path is LexHtml(doc, limits).value().
+[[nodiscard]] Result<std::vector<HtmlToken>> LexHtml(
+    std::string_view document, const robust::DocumentLimits& limits);
+
+/// Convenience overload using the production default limits.
 [[nodiscard]] Result<std::vector<HtmlToken>> LexHtml(std::string_view document);
 
 }  // namespace webrbd

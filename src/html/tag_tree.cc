@@ -4,6 +4,21 @@
 
 namespace webrbd {
 
+TagNode::~TagNode() {
+  if (children.empty()) return;
+  // Drain the subtree into a flat worklist so destruction never recurses:
+  // each node is detached from its children before it is destroyed, so the
+  // implicit member destructors only ever see empty vectors.
+  std::vector<std::unique_ptr<TagNode>> pending = std::move(children);
+  children.clear();
+  while (!pending.empty()) {
+    std::unique_ptr<TagNode> node = std::move(pending.back());
+    pending.pop_back();
+    for (auto& child : node->children) pending.push_back(std::move(child));
+    node->children.clear();
+  }
+}
+
 const TagNode& TagTree::HighestFanoutSubtree() const {
   const TagNode* best = root_.get();
   PreOrderVisit(*root_, [&best](const TagNode& node, int) {

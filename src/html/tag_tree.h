@@ -47,6 +47,16 @@ struct TagNode {
   TagNode* parent = nullptr;
   std::vector<std::unique_ptr<TagNode>> children;
 
+  TagNode() = default;
+  TagNode(TagNode&&) = default;
+  TagNode& operator=(TagNode&&) = default;
+
+  /// Destroys the subtree iteratively (explicit worklist). The default
+  /// destructor would recurse once per nesting level through the children
+  /// unique_ptrs and overflow the stack on deep-nesting bombs long before
+  /// any DocumentLimits cap could trip.
+  ~TagNode();
+
   /// Number of immediate children — the paper's "fan-out".
   size_t fanout() const { return children.size(); }
 };
@@ -109,12 +119,28 @@ class TagTree {
 };
 
 /// Calls `visit(node, depth)` for every node in preorder, super-root at
-/// depth 0.
+/// depth 0. Iterative (explicit stack): safe on arbitrarily deep trees,
+/// which machine-call recursion is not. This is the approved traversal
+/// helper — webrbd_lint's tagnode-recursion rule flags functions that
+/// recurse over TagNode children directly.
 template <typename Visitor>
 void PreOrderVisit(const TagNode& node, Visitor&& visit, int depth = 0) {
-  visit(node, depth);
-  for (const auto& child : node.children) {
-    PreOrderVisit(*child, visit, depth + 1);
+  struct Frame {
+    const TagNode* node;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({&node, depth});
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    visit(*frame.node, frame.depth);
+    // Children pushed in reverse so the first child pops (and is visited)
+    // first — identical order to the recursive formulation.
+    for (auto it = frame.node->children.rbegin();
+         it != frame.node->children.rend(); ++it) {
+      stack.push_back({it->get(), frame.depth + 1});
+    }
   }
 }
 

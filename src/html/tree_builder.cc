@@ -7,6 +7,7 @@
 
 #include "html/lexer.h"
 #include "obs/stages.h"
+#include "robust/limits.h"
 
 namespace webrbd {
 
@@ -19,16 +20,45 @@ struct OpenTag {
   size_t token_index;  // index of the start tag in the filtered stream
 };
 
-// Index of the first surviving tag token after `index`, or tokens.size().
-// Useless (discarded) tags do not count: the paper eliminates them in the
-// same pass, so regions extend past them.
-size_t NextTagIndex(const std::vector<HtmlToken>& tokens,
-                    const std::vector<bool>& discard, size_t index) {
-  for (size_t i = index + 1; i < tokens.size(); ++i) {
-    if (tokens[i].IsTag() && !discard[i]) return i;
+// Answers "first surviving tag at or after index i" in amortized
+// near-constant time. skip_[i] starts as the nearest tag at or after i
+// (discarded or not); Resolve() hops over tags discarded since then and
+// path-compresses the hops, so repeated queries never rescan a stretch of
+// discarded tags. Discards are permanent, which keeps the compressed links
+// valid: everything strictly between a link's source and target is, and
+// stays, discarded. This replaces a forward rescan per unclosed tag that
+// made Step 2 O(n^2) on stray-end-tag / unclosed-tag storms.
+class SurvivingTagIndex {
+ public:
+  SurvivingTagIndex(const std::vector<HtmlToken>& tokens,
+                    const std::vector<bool>& discard)
+      : discard_(discard), skip_(tokens.size() + 1) {
+    skip_[tokens.size()] = tokens.size();
+    for (size_t i = tokens.size(); i-- > 0;) {
+      skip_[i] = tokens[i].IsTag() ? i : skip_[i + 1];
+    }
   }
-  return tokens.size();
-}
+
+  /// Index of the first non-discarded tag at or after `from`, or
+  /// tokens.size() when none remains.
+  size_t Resolve(size_t from) {
+    path_.clear();
+    size_t i = from;
+    size_t j = skip_[i];
+    while (j < discard_.size() && discard_[j]) {
+      path_.push_back(i);
+      i = j + 1;
+      j = skip_[i];
+    }
+    for (size_t p : path_) skip_[p] = j;
+    return j;
+  }
+
+ private:
+  const std::vector<bool>& discard_;
+  std::vector<size_t> skip_;
+  std::vector<size_t> path_;  // reused across queries
+};
 
 HtmlToken SyntheticEndTag(const std::vector<HtmlToken>& tokens,
                           const std::string& name, size_t insert_before) {
@@ -48,6 +78,11 @@ HtmlToken SyntheticEndTag(const std::vector<HtmlToken>& tokens,
 // and inserts missing end tags so that the result is balanced and properly
 // nested. An unclosed tag's synthesized end-tag is placed just before the
 // next tag after its start-tag, which is exactly the paper's region rule.
+//
+// Near-linear by construction: matching an end tag consults a per-name
+// index of open-stack positions (instead of scanning the whole stack), and
+// placing a synthesized end tag consults the path-compressed
+// SurvivingTagIndex (instead of rescanning the token stream).
 std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
   // Discard comments / declarations / processing instructions up front
   // (the paper's "useless" <!... tags), and expand self-closing tags.
@@ -74,41 +109,47 @@ std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
   }
 
   std::vector<OpenTag> stack;
+  // Stack positions of each currently-open tag name, in increasing order;
+  // back() is the innermost open tag of that name.
+  std::map<std::string, std::vector<size_t>, std::less<>> open_by_name;
   // insert_before token index -> synthesized end tags (in close order).
   std::map<size_t, std::vector<HtmlToken>> insertions;
   std::vector<bool> discard(tokens.size(), false);
+  SurvivingTagIndex surviving(tokens, discard);
 
   auto close_unmatched = [&](const OpenTag& open) {
-    size_t at = NextTagIndex(tokens, discard, open.token_index);
+    size_t at = surviving.Resolve(open.token_index + 1);
     insertions[at].push_back(SyntheticEndTag(tokens, open.name, at));
   };
 
   for (size_t i = 0; i < tokens.size(); ++i) {
     const HtmlToken& token = tokens[i];
     if (token.kind == HtmlToken::Kind::kStartTag) {
+      open_by_name[token.name].push_back(stack.size());
       stack.push_back(OpenTag{token.name, i});
     } else if (token.kind == HtmlToken::Kind::kEndTag) {
-      // Find the matching start tag on the stack.
-      int match = -1;
-      for (int s = static_cast<int>(stack.size()) - 1; s >= 0; --s) {
-        if (stack[s].name == token.name) {
-          match = s;
-          break;
-        }
-      }
-      if (match < 0) {
+      // Innermost open tag of the same name, if any.
+      auto match_it = open_by_name.find(token.name);
+      if (match_it == open_by_name.end()) {
         discard[i] = true;  // end tag with no corresponding start: useless
         continue;
       }
-      // Pop everything above the match, synthesizing their end tags.
-      for (int s = static_cast<int>(stack.size()) - 1; s > match; --s) {
-        close_unmatched(stack[s]);
+      size_t match = match_it->second.back();
+      // Pop everything above the match (synthesizing their end tags,
+      // innermost first) plus the match itself, unindexing each popped
+      // entry: the entry being popped is always the innermost — and thus
+      // the last-indexed — occurrence of its name.
+      for (size_t s = stack.size(); s-- > match;) {
+        auto it = open_by_name.find(stack[s].name);
+        it->second.pop_back();
+        if (it->second.empty()) open_by_name.erase(it);
+        if (s > match) close_unmatched(stack[s]);
       }
-      stack.resize(static_cast<size_t>(match));
+      stack.resize(match);
     }
   }
   // Tags still open at end of input.
-  for (int s = static_cast<int>(stack.size()) - 1; s >= 0; --s) {
+  for (size_t s = stack.size(); s-- > 0;) {
     close_unmatched(stack[s]);
   }
 
@@ -131,7 +172,8 @@ std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
 // --- Step 3: build the tree from the balanced stream ----------------------
 
 Result<std::unique_ptr<TagNode>> BuildFromBalanced(
-    const std::vector<HtmlToken>& tokens, size_t document_size) {
+    const std::vector<HtmlToken>& tokens, size_t document_size,
+    const robust::DocumentLimits& limits) {
   auto root = std::make_unique<TagNode>();
   root->name = "#document";
   root->region_begin = 0;
@@ -146,6 +188,14 @@ Result<std::unique_ptr<TagNode>> BuildFromBalanced(
     const HtmlToken& token = tokens[i];
     switch (token.kind) {
       case HtmlToken::Kind::kStartTag: {
+        // stack holds the super-root plus every open element, so its size
+        // equals the nesting depth the new element would land at.
+        if (robust::LimitExceeded(stack.size(), limits.max_tree_depth)) {
+          obs::Robust().trip_depth->Increment();
+          return Status::ResourceExhausted(
+              "tag nesting exceeds max_tree_depth " +
+              std::to_string(limits.max_tree_depth));
+        }
         auto node = std::make_unique<TagNode>();
         node->name = token.name;
         node->attrs = token.attrs;
@@ -200,15 +250,20 @@ Result<std::unique_ptr<TagNode>> BuildFromBalanced(
 
 }  // namespace
 
-Result<TagTree> BuildTagTree(std::string_view document) {
-  auto lexed = LexHtml(document);  // records the lex stage span itself
+Result<TagTree> BuildTagTree(std::string_view document,
+                             const robust::DocumentLimits& limits) {
+  auto lexed = LexHtml(document, limits);  // records the lex stage span
   if (!lexed.ok()) return lexed.status();
   obs::ScopedTimer timer(obs::Stages().tree_build);
   std::vector<HtmlToken> balanced = BalanceTokens(std::move(lexed).value());
-  auto root = BuildFromBalanced(balanced, document.size());
+  auto root = BuildFromBalanced(balanced, document.size(), limits);
   if (!root.ok()) return root.status();
   return TagTree(std::move(root).value(), std::move(balanced),
                  std::string(document));
+}
+
+Result<TagTree> BuildTagTree(std::string_view document) {
+  return BuildTagTree(document, robust::DocumentLimits::Production());
 }
 
 }  // namespace webrbd

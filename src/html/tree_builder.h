@@ -18,13 +18,19 @@
 #include <string_view>
 
 #include "html/tag_tree.h"
+#include "robust/limits.h"
 #include "util/result.h"
 
 namespace webrbd {
 
 /// Builds the tag tree of `document`. Never fails on malformed markup (the
-/// algorithm is specified to repair it); only internal invariant violations
-/// produce an error.
+/// algorithm is specified to repair it); it fails with kResourceExhausted
+/// when the document trips a fatal DocumentLimits cap (size, token count,
+/// nesting depth), and with kInternal only on invariant violations.
+[[nodiscard]] Result<TagTree> BuildTagTree(std::string_view document,
+                                           const robust::DocumentLimits& limits);
+
+/// Convenience overload using the production default limits.
 [[nodiscard]] Result<TagTree> BuildTagTree(std::string_view document);
 
 }  // namespace webrbd

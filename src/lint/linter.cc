@@ -135,6 +135,9 @@ const std::vector<LintRuleInfo>& AllLintRules() {
        "a Status/Result-returning call must not be a bare statement"},
       {"unguarded-value",
        "x.value() requires a dominating x.ok()/x.has_value() check"},
+      {"tagnode-recursion",
+       "functions over TagNode iterate with an explicit stack, never "
+       "recurse (adversarial nesting overflows the call stack)"},
   };
   return kRules;
 }
@@ -370,6 +373,7 @@ void Linter::LintFile(const LintSource& source,
   CheckThrow(source, scrubbed_lines, findings);
   CheckUncheckedStatus(source, scrubbed_lines, findings);
   CheckUnguardedValue(source, scrubbed_lines, findings);
+  CheckTagNodeRecursion(source, scrubbed_lines, findings);
 }
 
 void Linter::CheckLicenseHeader(const LintSource& source,
@@ -598,6 +602,106 @@ void Linter::CheckUnguardedValue(const LintSource& source,
                          ".ok()' (or has_value) check in this scope",
                      findings);
         }
+      }
+    }
+  }
+}
+
+void Linter::CheckTagNodeRecursion(
+    const LintSource& source, const std::vector<std::string>& scrubbed_lines,
+    std::vector<LintFinding>* findings) const {
+  if (!IsLibraryPath(source.path)) return;
+  const std::vector<std::string> original_lines = SplitLines(source.content);
+
+  // Returns the position of a `name(` call on `line` (word boundary on the
+  // left, optional spaces before '('), or npos.
+  auto find_call = [](std::string_view line, const std::string& name,
+                      size_t from) -> size_t {
+    for (size_t pos = line.find(name, from); pos != std::string_view::npos;
+         pos = line.find(name, pos + 1)) {
+      if (pos > 0 && IsIdentChar(line[pos - 1])) continue;
+      size_t after = pos + name.size();
+      while (after < line.size() && IsAsciiSpace(line[after])) ++after;
+      if (after < line.size() && line[after] == '(') return pos;
+    }
+    return std::string_view::npos;
+  };
+
+  for (size_t i = 0; i < scrubbed_lines.size(); ++i) {
+    const std::string& line = scrubbed_lines[i];
+    const size_t type_pos = line.find("TagNode");
+    if (type_pos == std::string::npos) continue;
+    // A parameter of TagNode type: the '(' opening the list precedes the
+    // type on the same line, with the function name right before it.
+    const size_t paren = line.rfind('(', type_pos);
+    if (paren == std::string::npos) continue;
+    // The identifier directly before the '(' is the function name.
+    size_t name_end = paren;
+    while (name_end > 0 && IsAsciiSpace(line[name_end - 1])) --name_end;
+    size_t name_begin = name_end;
+    while (name_begin > 0 && IsIdentChar(line[name_begin - 1])) --name_begin;
+    const std::string name = line.substr(name_begin, name_end - name_begin);
+    static const std::set<std::string> kNotFunctions = {
+        "if", "for", "while", "switch", "return", "sizeof", "catch",
+        "TagNode"};
+    if (name.empty() || kNotFunctions.count(name) > 0) continue;
+
+    // Walk past the parameter list; a definition opens '{' before any ';'.
+    int paren_depth = 0;
+    size_t row = i;
+    size_t col = paren;
+    bool is_definition = false;
+    size_t body_row = 0;
+    size_t body_col = 0;
+    bool resolved = false;
+    for (size_t scanned = 0; row < scrubbed_lines.size() && scanned < 10 &&
+                             !resolved;
+         ++row, ++scanned) {
+      const std::string& text = scrubbed_lines[row];
+      for (size_t k = row == i ? col : 0; k < text.size(); ++k) {
+        if (text[k] == '(') ++paren_depth;
+        if (text[k] == ')') --paren_depth;
+        if (paren_depth > 0) continue;
+        if (text[k] == ';') {
+          resolved = true;  // declaration only
+          break;
+        }
+        if (text[k] == '{') {
+          is_definition = true;
+          body_row = row;
+          body_col = k + 1;
+          resolved = true;
+          break;
+        }
+      }
+    }
+    if (!is_definition) continue;
+
+    // Scan the body (indentation-bounded by brace depth) for a self-call.
+    int brace_depth = 1;
+    row = body_row;
+    for (size_t scanned = 0;
+         row < scrubbed_lines.size() && brace_depth > 0 && scanned < 400;
+         ++row, ++scanned) {
+      const std::string& text = scrubbed_lines[row];
+      const size_t start = row == body_row ? body_col : 0;
+      size_t end = text.size();
+      for (size_t k = start; k < text.size(); ++k) {
+        if (text[k] == '{') ++brace_depth;
+        if (text[k] == '}' && --brace_depth == 0) {
+          end = k;  // the body ends here; ignore the rest of the line
+          break;
+        }
+      }
+      const size_t call = find_call(text.substr(0, end), name, start);
+      if (call != std::string_view::npos) {
+        AddFinding(source, original_lines, row + 1, "tagnode-recursion",
+                   "'" + name +
+                       "' takes a TagNode and calls itself; adversarial "
+                       "nesting depth overflows the call stack — iterate "
+                       "with an explicit stack (see PreOrderVisit)",
+                   findings);
+        break;
       }
     }
   }

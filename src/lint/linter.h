@@ -21,6 +21,9 @@
 //                       statement discards the error
 //   unguarded-value     Result/optional `x.value()` with no dominating
 //                       `x.ok()` / `x.has_value()` check in the same scope
+//   tagnode-recursion   a function taking a TagNode must not call itself:
+//                       adversarial nesting depth overflows the call stack;
+//                       iterate with an explicit stack (see PreOrderVisit)
 
 #ifndef WEBRBD_LINT_LINTER_H_
 #define WEBRBD_LINT_LINTER_H_
@@ -143,6 +146,9 @@ class Linter {
   void CheckUnguardedValue(const LintSource& source,
                            const std::vector<std::string>& scrubbed_lines,
                            std::vector<LintFinding>* findings) const;
+  void CheckTagNodeRecursion(const LintSource& source,
+                             const std::vector<std::string>& scrubbed_lines,
+                             std::vector<LintFinding>* findings) const;
 
   std::set<std::string> status_functions_;
 

@@ -67,6 +67,26 @@ const CacheMetrics& Cache() {
   return cache;
 }
 
+uint64_t RobustMetrics::FatalTripTotal() const {
+  return trip_doc_bytes->count() + trip_tokens->count() + trip_depth->count();
+}
+
+const RobustMetrics& Robust() {
+  static const RobustMetrics robust = []() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    RobustMetrics r;
+    r.trip_doc_bytes = registry.GetCounter(mn::kRobustTripDocBytes);
+    r.trip_tokens = registry.GetCounter(mn::kRobustTripTokens);
+    r.trip_depth = registry.GetCounter(mn::kRobustTripDepth);
+    r.trip_attrs = registry.GetCounter(mn::kRobustTripAttrs);
+    r.trip_attr_value = registry.GetCounter(mn::kRobustTripAttrValue);
+    r.trip_regex_closure = registry.GetCounter(mn::kRobustTripRegexClosure);
+    r.lexer_recoveries = registry.GetCounter(mn::kRobustLexerRecoveries);
+    return r;
+  }();
+  return robust;
+}
+
 const std::vector<StageName>& PipelineStageNames() {
   static const std::vector<StageName> names = {
       {"lex", mn::kStageLex},
@@ -96,7 +116,10 @@ const std::vector<std::string>& AllDocumentedMetricNames() {
          {mn::kPipelineDocuments, mn::kPoolQueueDepth, mn::kPoolWorkers,
           mn::kPoolUtilization, mn::kPoolTasks, mn::kPoolInlineRuns,
           mn::kPoolBusyNanos, mn::kPoolSubmitBlock, mn::kRcacheHits,
-          mn::kRcacheMisses, mn::kRcacheCompile}) {
+          mn::kRcacheMisses, mn::kRcacheCompile, mn::kRobustTripDocBytes,
+          mn::kRobustTripTokens, mn::kRobustTripDepth, mn::kRobustTripAttrs,
+          mn::kRobustTripAttrValue, mn::kRobustTripRegexClosure,
+          mn::kRobustLexerRecoveries}) {
       all.emplace_back(name);
     }
     return all;
@@ -108,6 +131,7 @@ void EnsureDocumentedMetricsRegistered() {
   Stages();
   Pool();
   Cache();
+  Robust();
 }
 
 }  // namespace obs

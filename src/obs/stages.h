@@ -71,6 +71,24 @@ inline constexpr std::string_view kRcacheMisses =
 inline constexpr std::string_view kRcacheCompile =
     "webrbd_rcache_compile_seconds";
 
+// Robustness layer (robust/limits.h). Limit-trip counters record fatal
+// per-document kResourceExhausted rejections by tripped cap; recovery
+// counters record documents degraded-but-continued.
+inline constexpr std::string_view kRobustTripDocBytes =
+    "webrbd_robust_limit_trips_doc_bytes_total";
+inline constexpr std::string_view kRobustTripTokens =
+    "webrbd_robust_limit_trips_tokens_total";
+inline constexpr std::string_view kRobustTripDepth =
+    "webrbd_robust_limit_trips_depth_total";
+inline constexpr std::string_view kRobustTripAttrs =
+    "webrbd_robust_limit_trips_attrs_total";
+inline constexpr std::string_view kRobustTripAttrValue =
+    "webrbd_robust_limit_trips_attr_value_total";
+inline constexpr std::string_view kRobustTripRegexClosure =
+    "webrbd_robust_limit_trips_regex_closure_total";
+inline constexpr std::string_view kRobustLexerRecoveries =
+    "webrbd_robust_lexer_recoveries_total";
+
 }  // namespace metric_names
 
 /// Pre-resolved stage histograms for the integrated pipeline. All pointers
@@ -120,6 +138,25 @@ struct CacheMetrics {
 };
 
 const CacheMetrics& Cache();
+
+/// Pre-resolved robustness-layer counters (robust/limits.h). The trip
+/// counters map 1:1 to DocumentLimits caps; lexer_recoveries counts
+/// unterminated-quote fallbacks that degraded a document without failing
+/// it.
+struct RobustMetrics {
+  Counter* trip_doc_bytes;
+  Counter* trip_tokens;
+  Counter* trip_depth;
+  Counter* trip_attrs;
+  Counter* trip_attr_value;
+  Counter* trip_regex_closure;
+  Counter* lexer_recoveries;
+
+  /// Sum of the fatal limit-trip counters (doc bytes, tokens, depth).
+  uint64_t FatalTripTotal() const;
+};
+
+const RobustMetrics& Robust();
 
 /// Short display names for the per-stage latency table, paired with the
 /// registry histogram names, in pipeline order.

@@ -2,6 +2,7 @@
 
 #include "ontology/matching_rules.h"
 
+#include "robust/limits.h"
 #include "util/string_util.h"
 
 namespace webrbd {
@@ -46,6 +47,10 @@ Result<MatchingRuleSet> MatchingRuleSet::Compile(const Ontology& ontology) {
   MatchingRuleSet set;
   RegexOptions ci;
   ci.case_insensitive = true;
+  // Ontology patterns are untrusted DSL input; give their VM runs the
+  // production epsilon-closure backstop.
+  ci.closure_budget =
+      robust::DocumentLimits::Production().max_regex_closure_depth;
   for (const ObjectSet& object_set : ontology.object_sets()) {
     CompiledObjectSetRule rule;
     rule.object_set = object_set.name;

@@ -1,0 +1,34 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "robust/limits.h"
+
+namespace webrbd {
+namespace robust {
+
+DocumentLimits DocumentLimits::Unlimited() {
+  DocumentLimits limits;
+  limits.max_document_bytes = 0;
+  limits.max_tokens = 0;
+  limits.max_tree_depth = 0;
+  limits.max_attributes_per_tag = 0;
+  limits.max_attribute_value_bytes = 0;
+  limits.max_regex_closure_depth = 0;
+  return limits;
+}
+
+std::string DocumentLimits::ToString() const {
+  auto render = [](size_t v) {
+    return v == 0 ? std::string("unlimited") : std::to_string(v);
+  };
+  std::string out;
+  out += "max_document_bytes=" + render(max_document_bytes);
+  out += " max_tokens=" + render(max_tokens);
+  out += " max_tree_depth=" + render(max_tree_depth);
+  out += " max_attributes_per_tag=" + render(max_attributes_per_tag);
+  out += " max_attribute_value_bytes=" + render(max_attribute_value_bytes);
+  out += " max_regex_closure_depth=" + render(max_regex_closure_depth);
+  return out;
+}
+
+}  // namespace robust
+}  // namespace webrbd

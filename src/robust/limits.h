@@ -1,0 +1,80 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Per-document resource limits: the robustness contract that lets the
+// pipeline ingest untrusted web documents. Every cap here bounds a
+// specific blow-up an adversarial page can otherwise cause (see
+// docs/robustness.md for the full catalog and src/gen/adversarial.h for
+// the documents that exercise each one).
+//
+// Semantics:
+//  - A value of 0 means "unlimited" for that cap. DocumentLimits{} (and
+//    Production()) carry safe serving defaults; Unlimited() disables every
+//    cap and exists for tests that deliberately build pathological inputs.
+//  - Tripping a *fatal* cap (document bytes, token count, tree depth)
+//    fails that document with StatusCode::kResourceExhausted; a batch
+//    carries on with the remaining documents (graceful degradation,
+//    surfaced per-code in CorpusStats and in obs robust.* counters).
+//  - *Recoverable* caps (attributes per tag, attribute-value bytes, the
+//    lexer's unterminated-quote scan) degrade the document instead of
+//    failing it: the lexer drops/truncates and counts the event.
+
+#ifndef WEBRBD_ROBUST_LIMITS_H_
+#define WEBRBD_ROBUST_LIMITS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace webrbd {
+namespace robust {
+
+/// Caps applied while lexing, tree-building, and regex-matching a single
+/// document. Field value 0 disables the corresponding cap.
+struct DocumentLimits {
+  /// Fatal: documents larger than this many bytes are rejected before
+  /// lexing starts.
+  size_t max_document_bytes = 64ull << 20;  // 64 MiB
+
+  /// Fatal: lexing aborts once the token stream exceeds this count.
+  size_t max_tokens = 4'000'000;
+
+  /// Fatal: tree building aborts when element nesting exceeds this depth.
+  /// The default comfortably exceeds anything a real browser produces
+  /// (and the fuzz corpus's ~330-deep documents) while stopping
+  /// deep-nesting bombs long before memory or stack pressure matters.
+  size_t max_tree_depth = 512;
+
+  /// Recoverable: attributes beyond this count on one tag are dropped
+  /// (parsing still consumes them so lexing stays in sync).
+  size_t max_attributes_per_tag = 256;
+
+  /// Recoverable: attribute values are truncated to this many bytes; a
+  /// quoted value whose closing quote is not found within this window is
+  /// re-lexed as unquoted (the unterminated-quote recovery).
+  size_t max_attribute_value_bytes = 64 << 10;  // 64 KiB
+
+  /// Conservative: the regex VM stops expanding one epsilon closure after
+  /// this many instructions (it may then miss matches, never crash). The
+  /// closure is already bounded by program size via generation marking,
+  /// so this is a backstop against pathological compiled programs.
+  size_t max_regex_closure_depth = 1 << 20;
+
+  /// The serving defaults (same as a default-constructed instance).
+  static DocumentLimits Production() { return DocumentLimits{}; }
+
+  /// Every cap disabled — for tests that build pathological inputs on
+  /// purpose (e.g. the 1M-deep nesting regression).
+  static DocumentLimits Unlimited();
+
+  /// Human-readable "name=value" list for diagnostics.
+  std::string ToString() const;
+};
+
+/// True iff `value` exceeds `limit` under the 0-means-unlimited rule.
+inline bool LimitExceeded(size_t value, size_t limit) {
+  return limit != 0 && value > limit;
+}
+
+}  // namespace robust
+}  // namespace webrbd
+
+#endif  // WEBRBD_ROBUST_LIMITS_H_

@@ -11,7 +11,9 @@ Result<Regex> Regex::Compile(std::string_view pattern, RegexOptions options) {
   if (!ast.ok()) return ast.status();
   auto program = CompileRegex(**ast);
   if (!program.ok()) return program.status();
-  return Regex(std::string(pattern), std::move(program).value());
+  RegexProgram compiled = std::move(program).value();
+  compiled.closure_budget = options.closure_budget;
+  return Regex(std::string(pattern), std::move(compiled));
 }
 
 bool Regex::FullMatch(std::string_view text) const {

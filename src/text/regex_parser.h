@@ -15,6 +15,11 @@ namespace webrbd {
 struct RegexOptions {
   /// When true, ASCII letters match either case.
   bool case_insensitive = false;
+
+  /// Epsilon-closure budget copied into the compiled program (0 =
+  /// unbounded); see RegexProgram::closure_budget. Ontology-compiled
+  /// patterns set this from DocumentLimits::max_regex_closure_depth.
+  size_t closure_budget = 0;
 };
 
 /// Parses `pattern` into an AST.

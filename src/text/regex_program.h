@@ -41,6 +41,14 @@ struct RegexProgram {
   /// which lets the VM skip the scan loop.
   bool anchored_at_start = false;
 
+  /// Backstop on the VM's per-call epsilon-closure expansion, in
+  /// instructions (0 = unbounded). Closure work is already bounded by
+  /// program size via generation marking; a budget smaller than the
+  /// program makes matching conservative (threads beyond the budget are
+  /// dropped — matches can be missed, never miscounted as crashes). Set
+  /// from RegexOptions::closure_budget at compile time.
+  size_t closure_budget = 0;
+
   /// Human-readable disassembly for debugging and tests.
   std::string ToString() const;
 };

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "obs/stages.h"
+
 namespace webrbd {
 
 namespace {
@@ -145,26 +147,48 @@ class PikeVm {
  private:
   // Adds pc to the list, resolving epsilon transitions (jmp/split/assert)
   // immediately so that lists only ever hold kClass / kMatch threads.
+  //
+  // Iterative on an explicit work stack: the previous recursive version
+  // descended once per kJmp/kSplit, so a long alternation (a split chain
+  // linear in pattern size) overflowed the machine stack before matching a
+  // single byte. Popping LIFO with a split's preferred branch pushed last
+  // reproduces the recursive expansion order exactly, which is what gives
+  // the VM its leftmost-first semantics.
   void AddThread(ThreadList* list, int pc, size_t pos, size_t start) {
-    if (!list->Mark(pc)) return;
-    const RegexInst& inst = program_.insts[pc];
-    switch (inst.op) {
-      case RegexInst::Op::kJmp:
-        AddThread(list, inst.x, pos, start);
+    work_.clear();
+    work_.push_back(pc);
+    size_t expanded = 0;
+    while (!work_.empty()) {
+      int current = work_.back();
+      work_.pop_back();
+      if (!list->Mark(current)) continue;
+      if (program_.closure_budget != 0 && ++expanded > program_.closure_budget) {
+        // Budget backstop: degrade conservatively (drop the remaining
+        // closure; a match may be missed) rather than keep expanding.
+        obs::Robust().trip_regex_closure->Increment();
         return;
-      case RegexInst::Op::kSplit:
-        AddThread(list, inst.x, pos, start);
-        AddThread(list, inst.y, pos, start);
-        return;
-      case RegexInst::Op::kAssert:
-        if (AssertHolds(inst.anchor, text_, pos)) {
-          AddThread(list, pc + 1, pos, start);
-        }
-        return;
-      case RegexInst::Op::kClass:
-      case RegexInst::Op::kMatch:
-        list->Push(Thread{pc, start});
-        return;
+      }
+      const RegexInst& inst = program_.insts[current];
+      switch (inst.op) {
+        case RegexInst::Op::kJmp:
+          work_.push_back(inst.x);
+          break;
+        case RegexInst::Op::kSplit:
+          // x is the preferred branch: push it last so it pops (and fully
+          // expands) first.
+          work_.push_back(inst.y);
+          work_.push_back(inst.x);
+          break;
+        case RegexInst::Op::kAssert:
+          if (AssertHolds(inst.anchor, text_, pos)) {
+            work_.push_back(current + 1);
+          }
+          break;
+        case RegexInst::Op::kClass:
+        case RegexInst::Op::kMatch:
+          list->Push(Thread{current, start});
+          break;
+      }
     }
   }
 
@@ -172,6 +196,7 @@ class PikeVm {
   std::string_view text_;
   ThreadList clist_;
   ThreadList nlist_;
+  std::vector<int> work_;  // AddThread's explicit closure stack, reused
 };
 
 }  // namespace

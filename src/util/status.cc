@@ -20,6 +20,8 @@ std::string_view StatusCodeName(Status::Code code) {
       return "Unsupported";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -31,6 +31,7 @@ class [[nodiscard]] Status {
     kFailedPrecondition,///< operation invoked in the wrong state
     kUnsupported,       ///< feature intentionally not implemented
     kInternal,          ///< invariant violation inside the library
+    kResourceExhausted, ///< a DocumentLimits cap tripped (robust/limits.h)
   };
 
   /// Constructs an OK status.
@@ -55,6 +56,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
+  }
+  [[nodiscard]] static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
   }
 
   /// True iff this status represents success.

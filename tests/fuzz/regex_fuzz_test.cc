@@ -169,5 +169,33 @@ TEST_P(RegexFuzzTest, CaseInsensitiveOptionIsSafe) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegexFuzzTest, ::testing::Range(0, 24));
 
+// Fuzz-derived regression: a long chain of optional atoms compiles to one
+// split per atom, so the epsilon closure from the start state spans the
+// whole program. The recursive AddThread overflowed the call stack here
+// (one frame per split); the iterative worklist version must walk it flat.
+TEST(RegexDeepClosureRegression, LongOptionalChainMatchesWithoutOverflow) {
+  constexpr int kAtoms = 50'000;
+  std::string pattern;
+  pattern.reserve(static_cast<size_t>(kAtoms) * 2);
+  for (int i = 0; i < kAtoms; ++i) pattern += "a?";
+  auto regex = Regex::Compile(pattern);
+  ASSERT_TRUE(regex.ok()) << regex.status().ToString();
+  EXPECT_TRUE(regex->PartialMatch(""));
+  EXPECT_TRUE(regex->PartialMatch("aaaa"));
+  CheckMatchInvariants(*regex, "aaab");
+}
+
+// Same shape via nested groups: alternation splits instead of repeat
+// splits, closing the other recursive path through AddThread.
+TEST(RegexDeepClosureRegression, WideAlternationMatchesWithoutOverflow) {
+  constexpr int kBranches = 20'000;
+  std::string pattern = "x";
+  for (int i = 0; i < kBranches; ++i) pattern += "|x";
+  auto regex = Regex::Compile(pattern);
+  ASSERT_TRUE(regex.ok()) << regex.status().ToString();
+  EXPECT_TRUE(regex->PartialMatch("x"));
+  EXPECT_FALSE(regex->PartialMatch("y"));
+}
+
 }  // namespace
 }  // namespace webrbd

@@ -1,0 +1,64 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Guards the token balancer's near-linear behaviour on its historical
+// worst case: a long run of unclosed start tags followed by a long run
+// of stray end tags. The old implementation rescanned the open stack
+// (and the token tail) per stray end, going quadratic — minutes at this
+// size. The indexed rewrite finishes in well under a second even under
+// sanitizers, so a generous absolute bound cleanly separates the two.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "gen/adversarial.h"
+#include "html/tree_builder.h"
+#include "robust/limits.h"
+
+namespace webrbd {
+namespace {
+
+TEST(BalancerScalingTest, StrayEndStormStaysNearLinear) {
+  // ~200k tag tokens: 100k unclosed <i> + 100k stray </p>.
+  const std::string doc = gen::RenderAdversarialDocument(
+      gen::AdversarialShape::kStrayEndStorm, 200'000);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto tree = BuildTagTree(doc, robust::DocumentLimits::Unlimited());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  // Every stray </p> is discarded; every <i> gets a synthesized end tag.
+  size_t stray_p = 0;
+  size_t synthesized = 0;
+  for (const HtmlToken& token : tree->tokens()) {
+    if (token.kind == HtmlToken::Kind::kEndTag && token.name == "p") {
+      ++stray_p;
+    }
+    if (token.synthetic) ++synthesized;
+  }
+  EXPECT_EQ(stray_p, 0u);
+  EXPECT_GE(synthesized, 100'000u);
+
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30)
+      << "stray-end balancing is no longer near-linear";
+}
+
+TEST(BalancerScalingTest, InterleavedStormKeepsMatchingCorrect) {
+  // Stray ends interleaved with genuine pairs: the discard index must hop
+  // over discarded tokens without ever skipping a real match.
+  std::string doc = "<html><body>";
+  for (int i = 0; i < 5'000; ++i) {
+    doc += "</p><b>x</b></q>";
+  }
+  doc += "</body></html>";
+  auto tree = BuildTagTree(doc, robust::DocumentLimits::Unlimited());
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  // html + body + 5000 <b> elements survive; the strays do not.
+  EXPECT_EQ(tree->NodeCount(), 5'002u);
+}
+
+}  // namespace
+}  // namespace webrbd

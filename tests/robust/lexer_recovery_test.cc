@@ -1,0 +1,112 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Locks down the lexer's unterminated-quote recovery: when a quoted
+// attribute value has no closing quote within the attribute-value cap,
+// the lexer re-lexes it as an unquoted value (resynchronizing at the
+// next whitespace or '>') instead of swallowing the rest of the page,
+// and counts the fallback in robust.lexer_recoveries.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/adversarial.h"
+#include "html/lexer.h"
+#include "obs/stages.h"
+
+namespace webrbd {
+namespace {
+
+std::vector<HtmlToken> MustLex(const std::string& doc) {
+  auto tokens = LexHtml(doc);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? std::move(tokens).value() : std::vector<HtmlToken>{};
+}
+
+const HtmlToken* FindStartTag(const std::vector<HtmlToken>& tokens,
+                              std::string_view name) {
+  for (const HtmlToken& token : tokens) {
+    if (token.kind == HtmlToken::Kind::kStartTag && token.name == name) {
+      return &token;
+    }
+  }
+  return nullptr;
+}
+
+TEST(LexerRecoveryTest, UnterminatedQuoteResynchronizesAtTagEnd) {
+  const uint64_t before = obs::Robust().lexer_recoveries->count();
+  const std::vector<HtmlToken> tokens =
+      MustLex("<a href=\"x><b>bold</b>");
+  EXPECT_EQ(obs::Robust().lexer_recoveries->count(), before + 1);
+
+  // The broken tag closes at its own '>' with the partial value, and the
+  // following markup lexes normally instead of vanishing into the value.
+  const HtmlToken* a = FindStartTag(tokens, "a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->attrs.size(), 1u);
+  EXPECT_EQ(a->attrs[0].name, "href");
+  EXPECT_EQ(a->attrs[0].value, "x");
+  ASSERT_NE(FindStartTag(tokens, "b"), nullptr);
+  bool saw_bold_text = false;
+  for (const HtmlToken& token : tokens) {
+    if (token.kind == HtmlToken::Kind::kText && token.text == "bold") {
+      saw_bold_text = true;
+    }
+  }
+  EXPECT_TRUE(saw_bold_text);
+}
+
+TEST(LexerRecoveryTest, UnterminatedQuoteResynchronizesAtWhitespace) {
+  const std::vector<HtmlToken> tokens = MustLex("<a x=\"1 y=2><i>t</i>");
+  const HtmlToken* a = FindStartTag(tokens, "a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->attrs.size(), 2u);
+  EXPECT_EQ(a->attrs[0].name, "x");
+  EXPECT_EQ(a->attrs[0].value, "1");
+  EXPECT_EQ(a->attrs[1].name, "y");
+  EXPECT_EQ(a->attrs[1].value, "2");
+  EXPECT_NE(FindStartTag(tokens, "i"), nullptr);
+}
+
+TEST(LexerRecoveryTest, ProperlyQuotedValuesAreUntouched) {
+  const uint64_t before = obs::Robust().lexer_recoveries->count();
+  const std::vector<HtmlToken> tokens =
+      MustLex("<a href=\"x y.html\" id='z 9'>t</a>");
+  EXPECT_EQ(obs::Robust().lexer_recoveries->count(), before);
+  const HtmlToken* a = FindStartTag(tokens, "a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->attrs.size(), 2u);
+  EXPECT_EQ(a->attrs[0].value, "x y.html");
+  EXPECT_EQ(a->attrs[1].value, "z 9");
+}
+
+TEST(LexerRecoveryTest, GeneratorShapeRecoversExactlyOnce) {
+  const uint64_t before = obs::Robust().lexer_recoveries->count();
+  const std::vector<HtmlToken> tokens = MustLex(
+      gen::RenderAdversarialDocument(gen::AdversarialShape::kUnterminatedQuote,
+                                     8));
+  // Eight well-formed records plus the one broken trailer: one recovery.
+  EXPECT_EQ(obs::Robust().lexer_recoveries->count(), before + 1);
+  size_t divs = 0;
+  for (const HtmlToken& token : tokens) {
+    if (token.kind == HtmlToken::Kind::kStartTag && token.name == "div") {
+      ++divs;
+    }
+  }
+  EXPECT_EQ(divs, 9u);
+}
+
+TEST(LexerRecoveryTest, RecoveredStreamKeepsOrderedOffsets) {
+  const std::vector<HtmlToken> tokens =
+      MustLex("<p a=\"unclosed><q>text</q><r b='also unclosed>tail");
+  size_t previous_begin = 0;
+  for (const HtmlToken& token : tokens) {
+    EXPECT_LE(token.begin, token.end);
+    EXPECT_GE(token.begin, previous_begin);
+    previous_begin = token.begin;
+  }
+}
+
+}  // namespace
+}  // namespace webrbd

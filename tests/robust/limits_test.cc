@@ -1,0 +1,176 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Unit coverage for the robustness layer (robust/limits.h): every
+// DocumentLimits cap trips on the adversarial shape built to trip it,
+// increments its documented counter, degrades-or-fails exactly as the
+// contract in docs/robustness.md says, and goes quiet in unlimited mode.
+
+#include "robust/limits.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gen/adversarial.h"
+#include "html/lexer.h"
+#include "html/tree_builder.h"
+#include "obs/stages.h"
+#include "util/status.h"
+
+namespace webrbd {
+namespace {
+
+using gen::AdversarialShape;
+using gen::RenderAdversarialDocument;
+using robust::DocumentLimits;
+using robust::LimitExceeded;
+
+TEST(DocumentLimitsTest, ZeroMeansUnlimited) {
+  EXPECT_FALSE(LimitExceeded(1'000'000'000, 0));
+  EXPECT_FALSE(LimitExceeded(10, 10));
+  EXPECT_TRUE(LimitExceeded(11, 10));
+
+  const DocumentLimits unlimited = DocumentLimits::Unlimited();
+  EXPECT_EQ(unlimited.max_document_bytes, 0u);
+  EXPECT_EQ(unlimited.max_tokens, 0u);
+  EXPECT_EQ(unlimited.max_tree_depth, 0u);
+  EXPECT_EQ(unlimited.max_attributes_per_tag, 0u);
+  EXPECT_EQ(unlimited.max_attribute_value_bytes, 0u);
+  EXPECT_EQ(unlimited.max_regex_closure_depth, 0u);
+  EXPECT_NE(unlimited.ToString().find("unlimited"), std::string::npos);
+}
+
+TEST(DocumentLimitsTest, ProductionDefaultsAreFinite) {
+  const DocumentLimits production = DocumentLimits::Production();
+  EXPECT_GT(production.max_document_bytes, 0u);
+  EXPECT_GT(production.max_tokens, 0u);
+  EXPECT_GT(production.max_tree_depth, 0u);
+  EXPECT_GT(production.max_attributes_per_tag, 0u);
+  EXPECT_GT(production.max_attribute_value_bytes, 0u);
+  EXPECT_GT(production.max_regex_closure_depth, 0u);
+  EXPECT_EQ(production.ToString().find("unlimited"), std::string::npos);
+}
+
+TEST(DocumentLimitsTest, DocumentBytesCapTripsLexer) {
+  DocumentLimits limits = DocumentLimits::Production();
+  limits.max_document_bytes = 16;
+  const uint64_t before = obs::Robust().trip_doc_bytes->count();
+  auto tokens = LexHtml("<html><body><p>well past sixteen bytes</p>", limits);
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(tokens.status().message().find("max_document_bytes"),
+            std::string::npos);
+  EXPECT_EQ(obs::Robust().trip_doc_bytes->count(), before + 1);
+}
+
+TEST(DocumentLimitsTest, TokenCountCapTripsLexer) {
+  DocumentLimits limits = DocumentLimits::Production();
+  limits.max_tokens = 8;
+  const uint64_t before = obs::Robust().trip_tokens->count();
+  auto tokens =
+      LexHtml(RenderAdversarialDocument(AdversarialShape::kTagStorm, 50),
+              limits);
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(tokens.status().message().find("max_tokens"), std::string::npos);
+  EXPECT_EQ(obs::Robust().trip_tokens->count(), before + 1);
+}
+
+TEST(DocumentLimitsTest, TreeDepthCapTripsBuilder) {
+  DocumentLimits limits = DocumentLimits::Production();
+  limits.max_tree_depth = 16;
+  const uint64_t before = obs::Robust().trip_depth->count();
+  auto tree = BuildTagTree(
+      RenderAdversarialDocument(AdversarialShape::kDepthBomb, 100), limits);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(tree.status().message().find("max_tree_depth"), std::string::npos);
+  EXPECT_EQ(obs::Robust().trip_depth->count(), before + 1);
+}
+
+TEST(DocumentLimitsTest, NestingAtTheCapIsAccepted) {
+  DocumentLimits limits = DocumentLimits::Production();
+  limits.max_tree_depth = 32;
+  // 16 divs + html + body = 18 < 32.
+  auto tree = BuildTagTree(
+      RenderAdversarialDocument(AdversarialShape::kDepthBomb, 16), limits);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_GE(tree->NodeCount(), 18u);
+}
+
+TEST(DocumentLimitsTest, ProductionDepthClearsFuzzCorpusDepth) {
+  // tests/fuzz/html_structure_fuzz_test.cc nests to depth ~350; the
+  // production cap must sit above it so fuzzing never trips limits.
+  auto tree = BuildTagTree(
+      RenderAdversarialDocument(AdversarialShape::kDepthBomb, 400));
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+}
+
+TEST(DocumentLimitsTest, AttributeCountCapDropsExcessAttributes) {
+  DocumentLimits limits = DocumentLimits::Production();
+  limits.max_attributes_per_tag = 4;
+  std::string doc = "<html><body><div";
+  for (int i = 0; i < 20; ++i) {
+    doc += " a" + std::to_string(i) + "=\"v\"";
+  }
+  doc += ">x</div></body></html>";
+  const uint64_t before = obs::Robust().trip_attrs->count();
+  auto tokens = LexHtml(doc, limits);
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  const HtmlToken* div = nullptr;
+  for (const HtmlToken& token : *tokens) {
+    if (token.kind == HtmlToken::Kind::kStartTag && token.name == "div") {
+      div = &token;
+    }
+  }
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->attrs.size(), 4u);
+  // One trip per offending tag, not one per dropped attribute.
+  EXPECT_EQ(obs::Robust().trip_attrs->count(), before + 1);
+}
+
+TEST(DocumentLimitsTest, AttributeValueCapTruncatesMegaAttribute) {
+  DocumentLimits limits = DocumentLimits::Production();
+  limits.max_attribute_value_bytes = 32;
+  const uint64_t trips_before = obs::Robust().trip_attr_value->count();
+  const uint64_t recoveries_before = obs::Robust().lexer_recoveries->count();
+  auto tokens = LexHtml(
+      RenderAdversarialDocument(AdversarialShape::kMegaAttribute, 100),
+      limits);
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  const HtmlToken* div = nullptr;
+  for (const HtmlToken& token : *tokens) {
+    if (token.kind == HtmlToken::Kind::kStartTag && token.name == "div") {
+      div = &token;
+    }
+  }
+  ASSERT_NE(div, nullptr);
+  ASSERT_FALSE(div->attrs.empty());
+  EXPECT_LE(div->attrs[0].value.size(), 32u);
+  EXPECT_GT(obs::Robust().trip_attr_value->count(), trips_before);
+  EXPECT_GT(obs::Robust().lexer_recoveries->count(), recoveries_before);
+}
+
+TEST(DocumentLimitsTest, UnlimitedModeTripsNothing) {
+  const DocumentLimits unlimited = DocumentLimits::Unlimited();
+  const uint64_t fatal_before = obs::Robust().FatalTripTotal();
+  for (AdversarialShape shape : gen::AllAdversarialShapes()) {
+    auto tree =
+        BuildTagTree(RenderAdversarialDocument(shape, 256), unlimited);
+    EXPECT_TRUE(tree.ok()) << gen::AdversarialShapeName(shape) << ": "
+                           << tree.status().ToString();
+  }
+  EXPECT_EQ(obs::Robust().FatalTripTotal(), fatal_before);
+}
+
+TEST(DocumentLimitsTest, EveryShapeIsDeterministic) {
+  for (AdversarialShape shape : gen::AllAdversarialShapes()) {
+    EXPECT_EQ(RenderAdversarialDocument(shape, 64),
+              RenderAdversarialDocument(shape, 64))
+        << gen::AdversarialShapeName(shape);
+    EXPECT_FALSE(RenderAdversarialDocument(shape, 64).empty());
+  }
+}
+
+}  // namespace
+}  // namespace webrbd

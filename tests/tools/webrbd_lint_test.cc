@@ -337,6 +337,78 @@ TEST(LintRuleTest, GuardInPreviousFunctionDoesNotCount) {
   EXPECT_EQ(hits, 1);
 }
 
+TEST(LintRuleTest, TagNodeRecursionTriggers) {
+  const std::string source = std::string(kLicense) +
+                             "size_t CountNodes(const TagNode& node) {\n"
+                             "  size_t count = 1;\n"
+                             "  for (const auto& child : node.children) {\n"
+                             "    count += CountNodes(*child);\n"
+                             "  }\n"
+                             "  return count;\n"
+                             "}\n";
+  auto findings = LintFixture({"src/x/f.cc", source});
+  ASSERT_TRUE(Triggered(findings, "tagnode-recursion"));
+  for (const LintFinding& finding : findings) {
+    if (finding.rule == "tagnode-recursion") {
+      EXPECT_EQ(finding.line, 5u);
+    }
+  }
+}
+
+TEST(LintRuleTest, TagNodeRecursionMemberFunctionTriggers) {
+  const std::string source = std::string(kLicense) +
+                             "void Walker::Visit(const TagNode* node,\n"
+                             "                   int depth) {\n"
+                             "  for (const auto& child : node->children) {\n"
+                             "    Visit(child.get(), depth + 1);\n"
+                             "  }\n"
+                             "}\n";
+  auto findings = LintFixture({"src/x/f.cc", source});
+  EXPECT_TRUE(Triggered(findings, "tagnode-recursion"));
+}
+
+TEST(LintRuleTest, IterativeTagNodeFunctionDoesNotTrigger) {
+  const std::string source = std::string(kLicense) +
+                             "size_t CountNodes(const TagNode& node) {\n"
+                             "  std::vector<const TagNode*> stack = {&node};\n"
+                             "  size_t count = 0;\n"
+                             "  while (!stack.empty()) {\n"
+                             "    const TagNode* top = stack.back();\n"
+                             "    stack.pop_back();\n"
+                             "    ++count;\n"
+                             "    for (const auto& c : top->children) {\n"
+                             "      stack.push_back(c.get());\n"
+                             "    }\n"
+                             "  }\n"
+                             "  return count;\n"
+                             "}\n";
+  auto findings = LintFixture({"src/x/f.cc", source});
+  EXPECT_FALSE(Triggered(findings, "tagnode-recursion"));
+}
+
+TEST(LintRuleTest, TagNodeDeclarationAndOtherCallsDoNotTrigger) {
+  const std::string source = std::string(kLicense) +
+                             "size_t CountNodes(const TagNode& node);\n"
+                             "size_t Total(const TagNode& node) {\n"
+                             "  return CountNodes(node);\n"
+                             "}\n";
+  auto findings = LintFixture({"src/x/f.cc", source});
+  EXPECT_FALSE(Triggered(findings, "tagnode-recursion"));
+}
+
+TEST(LintRuleTest, TagNodeRecursionOutsideLibraryDoesNotTrigger) {
+  const std::string source = std::string(kLicense) +
+                             "size_t CountNodes(const TagNode& node) {\n"
+                             "  size_t count = 1;\n"
+                             "  for (const auto& c : node.children) {\n"
+                             "    count += CountNodes(*c);\n"
+                             "  }\n"
+                             "  return count;\n"
+                             "}\n";
+  auto findings = LintFixture({"tests/x/f_test.cc", source});
+  EXPECT_FALSE(Triggered(findings, "tagnode-recursion"));
+}
+
 // ------------------------------------------------- suppressions and allows
 
 TEST(SuppressionTest, FileSuppressionsFilterFindings) {

@@ -32,6 +32,8 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
        "FailedPrecondition"},
       {Status::Unsupported("e"), Status::Code::kUnsupported, "Unsupported"},
       {Status::Internal("f"), Status::Code::kInternal, "Internal"},
+      {Status::ResourceExhausted("g"), Status::Code::kResourceExhausted,
+       "ResourceExhausted"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -1,0 +1,79 @@
+# Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+#
+# ctest script: the degradation contract, end to end through the CLI. A
+# batch mixing benign and adversarial documents under the default limits
+# must finish (no crash, no hang), report the depth bomb as a per-document
+# ResourceExhausted failure, keep every benign document succeeding, and
+# surface nonzero robust.* counters in the metrics snapshot.
+#
+# Expects: -DWEBRBD_CLI=<path to webrbd_cli> -DOUT_DIR=<writable dir>
+
+set(json_file ${OUT_DIR}/adversarial_metrics.json)
+execute_process(
+    COMMAND ${WEBRBD_CLI} batch --generate 4 --generate-adversarial 8
+            --threads 2 --metrics-out ${json_file}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+# The depth bomb fails per-document, so the batch exits nonzero — but it
+# must be a clean failure report, not a crash (signals exit > 128 or with
+# a message-less rc string like "Segmentation fault").
+if(rc EQUAL 0)
+  message(FATAL_ERROR "adversarial batch reported no failures (expected the "
+                      "depth bomb to trip max_tree_depth)")
+endif()
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "adversarial batch exited with '${rc}' (crash?); "
+                      "stderr:\n${err}")
+endif()
+
+string(FIND "${err}${out}" "ResourceExhausted" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "adversarial batch did not report a ResourceExhausted "
+                      "document; stderr:\n${err}")
+endif()
+string(FIND "${err}${out}" "depth-bomb" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "the failing document was not the depth bomb; "
+                      "stderr:\n${err}")
+endif()
+
+# Exactly one adversarial shape trips a fatal cap at the default scales;
+# the rest degrade and recover. Counters must say so.
+file(READ ${json_file} json)
+string(FIND "${json}" "\"webrbd_robust_limit_trips_depth_total\": 0" zero)
+if(NOT zero EQUAL -1)
+  message(FATAL_ERROR "depth-trip counter is zero after a depth bomb")
+endif()
+string(FIND "${json}" "\"webrbd_robust_lexer_recoveries_total\": 0" zero)
+if(NOT zero EQUAL -1)
+  message(FATAL_ERROR "lexer-recovery counter is zero after malformed docs")
+endif()
+foreach(metric
+        webrbd_robust_limit_trips_depth_total
+        webrbd_robust_lexer_recoveries_total
+        webrbd_robust_limit_trips_attr_value_total)
+  string(FIND "${json}" "\"${metric}\"" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "metrics JSON is missing ${metric}")
+  endif()
+endforeach()
+
+# Unlimited mode must not resource-reject anything: the depth bomb is
+# processed in full and fails only because a million-tag chain has no
+# records to discover — a clean per-document failure, exit exactly 1.
+execute_process(
+    COMMAND ${WEBRBD_CLI} batch --generate-adversarial 1 --threads 1
+            --unlimited
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "unlimited depth-bomb run exited with '${rc}' "
+                      "(crash?); stderr:\n${err}")
+endif()
+string(FIND "${err}${out}" "ResourceExhausted" found)
+if(NOT found EQUAL -1)
+  message(FATAL_ERROR "--unlimited still tripped a limit:\n${err}")
+endif()

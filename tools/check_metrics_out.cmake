@@ -30,7 +30,14 @@ set(DOCUMENTED_METRICS
     webrbd_pool_submit_block_seconds
     webrbd_rcache_hits_total
     webrbd_rcache_misses_total
-    webrbd_rcache_compile_seconds)
+    webrbd_rcache_compile_seconds
+    webrbd_robust_limit_trips_doc_bytes_total
+    webrbd_robust_limit_trips_tokens_total
+    webrbd_robust_limit_trips_depth_total
+    webrbd_robust_limit_trips_attrs_total
+    webrbd_robust_limit_trips_attr_value_total
+    webrbd_robust_limit_trips_regex_closure_total
+    webrbd_robust_lexer_recoveries_total)
 
 set(json_file ${OUT_DIR}/metrics_out.json)
 execute_process(

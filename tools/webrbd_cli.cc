@@ -19,6 +19,13 @@
 //   --threads N            batch: worker threads (default: all cores)
 //   --generate N           batch: run over N generated obituary documents
 //                          instead of a directory (no --ontology needed)
+//   --generate-adversarial N  batch: append N deterministic adversarial
+//                          documents (src/gen/adversarial.h) to the corpus;
+//                          they must degrade per-document, never crash
+//   --max-doc-bytes N      override the document-size cap (0 = unlimited)
+//   --max-depth N          override the tree-depth cap (0 = unlimited)
+//   --unlimited            disable every per-document resource cap
+//                          (see docs/robustness.md for the limit catalog)
 //   --metrics-out FILE     enable pipeline metrics and write a snapshot to
 //                          FILE after the command ("-" for stdout; a .prom
 //                          suffix selects Prometheus text format, anything
@@ -42,12 +49,14 @@
 #include "eval/figure2.h"
 #include "extract/batch_pipeline.h"
 #include "extract/db_instance_generator.h"
+#include "gen/adversarial.h"
 #include "gen/sites.h"
 #include "obs/metrics.h"
 #include "obs/stages.h"
 #include "ontology/bundled.h"
 #include "ontology/estimator.h"
 #include "ontology/parser.h"
+#include "robust/limits.h"
 
 namespace webrbd {
 namespace {
@@ -62,8 +71,28 @@ struct CliOptions {
   bool keep_leading = false;
   int threads = 0;
   int generate = 0;
+  int generate_adversarial = 0;
   std::string metrics_out;
+  // Resource-limit overrides; -1 = keep the mode's default for that cap.
+  long long max_doc_bytes = -1;
+  long long max_depth = -1;
+  bool unlimited = false;
 };
+
+// The effective per-document limits: production defaults (or none, under
+// --unlimited), with any explicit per-cap overrides applied on top.
+robust::DocumentLimits LimitsFromCli(const CliOptions& cli) {
+  robust::DocumentLimits limits = cli.unlimited
+                                      ? robust::DocumentLimits::Unlimited()
+                                      : robust::DocumentLimits::Production();
+  if (cli.max_doc_bytes >= 0) {
+    limits.max_document_bytes = static_cast<size_t>(cli.max_doc_bytes);
+  }
+  if (cli.max_depth >= 0) {
+    limits.max_tree_depth = static_cast<size_t>(cli.max_depth);
+  }
+  return limits;
+}
 
 int Usage() {
   std::fprintf(
@@ -72,7 +101,8 @@ int Usage() {
       "commands: discover | extract | populate | classify | batch | demo\n"
       "options:  --heuristics LETTERS  --threshold FRACTION\n"
       "          --ontology FILE  --format FORMAT  --keep-leading\n"
-      "          --threads N  --generate N  (batch)\n"
+      "          --threads N  --generate N  --generate-adversarial N  (batch)\n"
+      "          --max-doc-bytes N  --max-depth N  --unlimited\n"
       "          --metrics-out FILE  (any command; .prom = Prometheus text)\n");
   return 2;
 }
@@ -111,6 +141,21 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->generate = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--generate-adversarial") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->generate_adversarial =
+          static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--max-doc-bytes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->max_doc_bytes = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--max-depth") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->max_depth = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--unlimited") {
+      options->unlimited = true;
     } else if (arg == "--metrics-out") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -167,6 +212,7 @@ Result<DiscoveryOptions> MakeDiscoveryOptions(
   DiscoveryOptions options;
   options.heuristics = cli.heuristics;
   options.candidate_options.irrelevance_threshold = cli.threshold;
+  options.limits = LimitsFromCli(cli);
   if (!cli.ontology_file.empty()) {
     auto text = ReadInput(cli.ontology_file);
     if (!text.ok()) return text.status();
@@ -313,7 +359,7 @@ int RunClassify(const CliOptions& cli) {
     std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
     return 1;
   }
-  auto tree = BuildTagTree(*html);
+  auto tree = BuildTagTree(*html, options->limits);
   if (!tree.ok()) {
     std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
     return 1;
@@ -333,9 +379,11 @@ int RunBatch(const CliOptions& cli) {
   std::vector<std::string> names;
   std::optional<Ontology> ontology;
 
-  if (cli.generate > 0) {
+  if (cli.generate > 0 || cli.generate_adversarial > 0) {
     // Synthetic corpus: obituary listing pages cycled across the Table 1
-    // calibration sites, with the bundled obituaries ontology.
+    // calibration sites, with the bundled obituaries ontology; optionally
+    // followed by deterministic adversarial documents that must degrade
+    // per-document (kResourceExhausted / recovered), never crash.
     auto bundled = BundledOntology(Domain::kObituaries);
     if (!bundled.ok()) {
       std::fprintf(stderr, "%s\n", bundled.status().ToString().c_str());
@@ -343,13 +391,26 @@ int RunBatch(const CliOptions& cli) {
     }
     ontology = std::move(bundled).value();
     const auto& sites = gen::CalibrationSites();
-    corpus.reserve(static_cast<size_t>(cli.generate));
+    corpus.reserve(
+        static_cast<size_t>(cli.generate + cli.generate_adversarial));
     for (int i = 0; i < cli.generate; ++i) {
       const auto& site = sites[static_cast<size_t>(i) % sites.size()];
       corpus.push_back(
           gen::RenderDocument(site, Domain::kObituaries,
                               i / static_cast<int>(sites.size()))
               .html);
+      names.push_back("generated:" + std::to_string(i));
+    }
+    if (cli.generate_adversarial > 0) {
+      const auto& shapes = gen::AllAdversarialShapes();
+      std::vector<std::string> adversarial = gen::AdversarialCorpus(
+          static_cast<size_t>(cli.generate_adversarial));
+      for (size_t i = 0; i < adversarial.size(); ++i) {
+        corpus.push_back(std::move(adversarial[i]));
+        names.push_back(
+            "adversarial:" +
+            std::string(gen::AdversarialShapeName(shapes[i % shapes.size()])));
+      }
     }
   } else {
     if (cli.ontology_file.empty()) {
@@ -405,6 +466,7 @@ int RunBatch(const CliOptions& cli) {
   options.num_threads = cli.threads;
   options.discovery.heuristics = cli.heuristics;
   options.discovery.candidate_options.irrelevance_threshold = cli.threshold;
+  options.discovery.limits = LimitsFromCli(cli);
   auto batch = RunBatchPipeline(corpus, *ontology, options);
   if (!batch.ok()) {
     std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
