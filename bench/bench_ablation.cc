@@ -55,12 +55,13 @@ const Corpus& FullCorpus() {
 // Mean success of a DiscoveryOptions variant over the full corpus; counts
 // a document as 1 when the chosen separator is correct, else 0 (documents
 // the variant cannot analyze count as 0).
-double Score(DiscoveryOptions options) {
+double Score(const DiscoveryOptions& options) {
   const Corpus& corpus = FullCorpus();
   double hits = 0.0;
   for (const gen::GeneratedDocument& doc : corpus.docs) {
-    options.estimator = corpus.estimators.at(doc.domain);
-    RecordBoundaryDiscoverer discoverer(options);
+    StandaloneDiscoveryOptions standalone(options);
+    standalone.estimator = corpus.estimators.at(doc.domain);
+    RecordBoundaryDiscoverer discoverer(std::move(standalone));
     auto tree = BuildTagTree(doc.html);
     if (!tree.ok()) continue;
     auto result = discoverer.Discover(*tree);
@@ -165,7 +166,7 @@ void AblateCombinerRules() {
   for (CombinerRule rule : kAllCombinerRules) {
     double hits = 0.0;
     for (const gen::GeneratedDocument& doc : corpus.docs) {
-      DiscoveryOptions options;
+      StandaloneDiscoveryOptions options;
       options.estimator = corpus.estimators.at(doc.domain);
       RecordBoundaryDiscoverer discoverer(options);
       auto tree = BuildTagTree(doc.html);
@@ -237,7 +238,7 @@ void AblateTrExtension() {
   double with_tr_guessed = 0.0;
   double with_tr_calibrated = 0.0;
   for (const gen::GeneratedDocument& doc : corpus.docs) {
-    DiscoveryOptions options;
+    StandaloneDiscoveryOptions options;
     options.estimator = corpus.estimators.at(doc.domain);
     RecordBoundaryDiscoverer discoverer(options);
     auto tree = BuildTagTree(doc.html);

@@ -22,6 +22,7 @@
 #include "robust/limits.h"
 #include "html/lexer.h"
 #include "html/tree_builder.h"
+#include "legacy_tree_baseline.h"
 #include "ontology/bundled.h"
 #include "ontology/estimator.h"
 #include "text/lexicon.h"
@@ -66,6 +67,19 @@ void BM_TagTreeBuild(benchmark::State& state) {
                           static_cast<int64_t>(Document().size()));
 }
 BENCHMARK(BM_TagTreeBuild);
+
+// The pre-arena builder (frozen in legacy_tree_baseline.cc): per-node heap
+// allocation, owned strings, string-keyed balancing. CI's bench-smoke
+// guard asserts BM_TagTreeBuild / BM_TagTreeBuildLegacy >= 1.2x by
+// bytes_per_second — a hardware-independent floor on the arena win.
+void BM_TagTreeBuildLegacy(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::LegacyBuildTagTree(Document()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Document().size()));
+}
+BENCHMARK(BM_TagTreeBuildLegacy);
 
 // The balancer's historical worst case: a run of unclosed starts followed
 // by a run of stray ends. The complexity fit across the range is the
@@ -124,7 +138,7 @@ void BM_DiscoveryStructuralOnly(benchmark::State& state) {
 BENCHMARK(BM_DiscoveryStructuralOnly);
 
 void BM_DiscoveryEndToEnd(benchmark::State& state) {
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator =
       MakeEstimatorForOntology(BundledOntology(Domain::kObituaries).value())
           .value();

@@ -1,7 +1,7 @@
 // Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
 //
 // Corpus-scale throughput harness for the batch-extraction engine
-// (src/extract/batch_pipeline.h). Sweeps worker threads over generated
+// (ExtractionContext::ExtractCorpus). Sweeps worker threads over generated
 // corpora and reports docs/sec (items_per_second) and bytes/sec
 // (bytes_per_second), so scaling curves and the recognizer-cache win are
 // machine-readable:
@@ -10,11 +10,11 @@
 //       --benchmark_out_format=json
 //
 // Reading the output (see docs/performance.md):
-//   - BM_PerDocumentLoopNoCache/N: the pre-batch-engine baseline — one
-//     RunIntegratedPipeline per document with the ontology's matching
-//     rules recompiled every call.
-//   - BM_PerDocumentLoopCached/N: the same loop through the process-wide
-//     recognizer cache (what single-document callers get today).
+//   - BM_PerDocumentLoopNoCache/N: the pre-batch-engine baseline — a
+//     fresh recognizer compiled and a fresh context built per document.
+//   - BM_PerDocumentLoopCached/N: the same loop rebuilding the context per
+//     document through the recognizer cache (what the deprecated
+//     RunIntegratedPipeline shim costs today).
 //   - BM_BatchPipeline/T/N: the batch engine with T worker threads over an
 //     N-document corpus. items_per_second is corpus docs/sec; compare
 //     T=1 with BM_PerDocumentLoopCached to see that batching adds no
@@ -31,7 +31,7 @@
 #include <string>
 #include <vector>
 
-#include "extract/batch_pipeline.h"
+#include "extract/extraction_context.h"
 #include "extract/recognizer.h"
 #include "gen/sites.h"
 #include "obs/metrics.h"
@@ -71,14 +71,15 @@ size_t CorpusBytes(const std::vector<std::string>& corpus) {
 }
 
 // The old per-document loop: matching rules recompiled for every document,
-// exactly what RunIntegratedPipeline did before the recognizer cache.
+// exactly what the pipeline did before the recognizer cache.
 void BM_PerDocumentLoopNoCache(benchmark::State& state) {
   const auto& corpus = Corpus(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     for (const std::string& document : corpus) {
       auto recognizer = Recognizer::Create(BenchOntology());
-      benchmark::DoNotOptimize(RunIntegratedPipeline(
-          document, BenchOntology(), *recognizer));
+      auto context = ExtractionContext::FromCompiledRecognizer(
+          BenchOntology(), *recognizer);
+      benchmark::DoNotOptimize(context.ExtractDocument(document));
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
@@ -88,14 +89,18 @@ void BM_PerDocumentLoopNoCache(benchmark::State& state) {
 }
 BENCHMARK(BM_PerDocumentLoopNoCache)->Arg(100)->Unit(benchmark::kMillisecond);
 
-// The same loop through the process-wide recognizer cache (the compat
-// overload) — the single-document caller's view after this change.
+// The same loop through the process-wide recognizer cache, rebuilding the
+// context per document — the deprecated-shim caller's view.
 void BM_PerDocumentLoopCached(benchmark::State& state) {
   const auto& corpus = Corpus(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     for (const std::string& document : corpus) {
-      benchmark::DoNotOptimize(
-          RunIntegratedPipeline(document, BenchOntology()));
+      auto context = ExtractionContext::Create(BenchOntology());
+      if (!context.ok()) {
+        state.SkipWithError(context.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(context->ExtractDocument(document));
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
@@ -111,13 +116,19 @@ void BM_BatchPipeline(benchmark::State& state) {
   // Baseline runs measure the disabled-metrics hot path.
   obs::SetMetricsEnabled(false);
   const auto& corpus = Corpus(static_cast<size_t>(state.range(1)));
-  BatchOptions options;
-  options.num_threads = static_cast<int>(state.range(0));
   RecognizerCache cache;
+  ContextOptions options;
   options.cache = &cache;
+  auto context = ExtractionContext::Create(BenchOntology(), options);
+  if (!context.ok()) {
+    state.SkipWithError(context.status().ToString().c_str());
+    return;
+  }
+  BatchRunOptions run;
+  run.num_threads = static_cast<int>(state.range(0));
   size_t failed = 0;
   for (auto _ : state) {
-    auto batch = RunBatchPipeline(corpus, BenchOntology(), options);
+    auto batch = context->ExtractCorpus(corpus, run);
     if (!batch.ok()) {
       state.SkipWithError(batch.status().ToString().c_str());
       return;
@@ -146,14 +157,21 @@ BENCHMARK(BM_BatchPipeline)
 void BM_BatchPipelineInstrumented(benchmark::State& state) {
   obs::SetMetricsEnabled(true);
   const auto& corpus = Corpus(static_cast<size_t>(state.range(1)));
-  BatchOptions options;
-  options.num_threads = static_cast<int>(state.range(0));
   RecognizerCache cache;
+  ContextOptions options;
   options.cache = &cache;
+  auto context = ExtractionContext::Create(BenchOntology(), options);
+  if (!context.ok()) {
+    obs::SetMetricsEnabled(false);
+    state.SkipWithError(context.status().ToString().c_str());
+    return;
+  }
+  BatchRunOptions run;
+  run.num_threads = static_cast<int>(state.range(0));
   std::vector<StageLatencySummary> stage_latencies;
   double pool_utilization = 0;
   for (auto _ : state) {
-    auto batch = RunBatchPipeline(corpus, BenchOntology(), options);
+    auto batch = context->ExtractCorpus(corpus, run);
     if (!batch.ok()) {
       obs::SetMetricsEnabled(false);
       state.SkipWithError(batch.status().ToString().c_str());

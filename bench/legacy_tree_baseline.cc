@@ -1,0 +1,226 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Frozen pre-arena tree builder — see legacy_tree_baseline.h. The code
+// below is the PR 4 src/html/tree_builder.cc with TagNode renamed to
+// LegacyTagNode, limits/obs hooks dropped (the bench corpus never trips
+// them), and the TagTree wrapper removed. Keep it byte-for-byte in spirit:
+// same data structures, same allocation pattern, same passes.
+
+#include "legacy_tree_baseline.h"
+
+#include <map>
+#include <utility>
+
+#include "html/lexer.h"
+#include "robust/limits.h"
+
+namespace webrbd::bench {
+
+LegacyTagNode::~LegacyTagNode() {
+  // Iterative subtree teardown, exactly as the original: the default
+  // destructor would recurse per nesting level.
+  std::vector<std::unique_ptr<LegacyTagNode>> pending;
+  pending.reserve(children.size());
+  for (auto& child : children) pending.push_back(std::move(child));
+  children.clear();
+  while (!pending.empty()) {
+    std::unique_ptr<LegacyTagNode> node = std::move(pending.back());
+    pending.pop_back();
+    for (auto& child : node->children) pending.push_back(std::move(child));
+    node->children.clear();
+  }
+}
+
+namespace {
+
+struct OpenTag {
+  std::string name;
+  size_t token_index;
+};
+
+class SurvivingTagIndex {
+ public:
+  SurvivingTagIndex(const std::vector<HtmlToken>& tokens,
+                    const std::vector<bool>& discard)
+      : discard_(discard), skip_(tokens.size() + 1) {
+    skip_[tokens.size()] = tokens.size();
+    for (size_t i = tokens.size(); i-- > 0;) {
+      skip_[i] = tokens[i].IsTag() ? i : skip_[i + 1];
+    }
+  }
+
+  size_t Resolve(size_t from) {
+    path_.clear();
+    size_t i = from;
+    size_t j = skip_[i];
+    while (j < discard_.size() && discard_[j]) {
+      path_.push_back(i);
+      i = j + 1;
+      j = skip_[i];
+    }
+    for (size_t p : path_) skip_[p] = j;
+    return j;
+  }
+
+ private:
+  const std::vector<bool>& discard_;
+  std::vector<size_t> skip_;
+  std::vector<size_t> path_;
+};
+
+HtmlToken SyntheticEndTag(const std::vector<HtmlToken>& tokens,
+                          const std::string& name, size_t insert_before) {
+  HtmlToken token;
+  token.kind = HtmlToken::Kind::kEndTag;
+  token.name = name;
+  token.synthetic = true;
+  size_t offset = insert_before < tokens.size() ? tokens[insert_before].begin
+                  : tokens.empty()              ? 0
+                                   : tokens.back().end;
+  token.begin = offset;
+  token.end = offset;
+  return token;
+}
+
+std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
+  std::vector<HtmlToken> tokens;
+  tokens.reserve(raw.size());
+  for (HtmlToken& token : raw) {
+    if (token.kind == HtmlToken::Kind::kComment ||
+        token.kind == HtmlToken::Kind::kProcessing) {
+      continue;
+    }
+    if (token.kind == HtmlToken::Kind::kStartTag && token.self_closing) {
+      HtmlToken end;
+      end.kind = HtmlToken::Kind::kEndTag;
+      end.name = token.name;
+      end.synthetic = true;
+      end.begin = token.end;
+      end.end = token.end;
+      token.self_closing = false;
+      tokens.push_back(std::move(token));
+      tokens.push_back(std::move(end));
+      continue;
+    }
+    tokens.push_back(std::move(token));
+  }
+
+  std::vector<OpenTag> stack;
+  std::map<std::string, std::vector<size_t>, std::less<>> open_by_name;
+  std::map<size_t, std::vector<HtmlToken>> insertions;
+  std::vector<bool> discard(tokens.size(), false);
+  SurvivingTagIndex surviving(tokens, discard);
+
+  auto close_unmatched = [&](const OpenTag& open) {
+    size_t at = surviving.Resolve(open.token_index + 1);
+    insertions[at].push_back(SyntheticEndTag(tokens, open.name, at));
+  };
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const HtmlToken& token = tokens[i];
+    if (token.kind == HtmlToken::Kind::kStartTag) {
+      open_by_name[token.name].push_back(stack.size());
+      stack.push_back(OpenTag{token.name, i});
+    } else if (token.kind == HtmlToken::Kind::kEndTag) {
+      auto match_it = open_by_name.find(token.name);
+      if (match_it == open_by_name.end()) {
+        discard[i] = true;
+        continue;
+      }
+      size_t match = match_it->second.back();
+      for (size_t s = stack.size(); s-- > match;) {
+        auto it = open_by_name.find(stack[s].name);
+        it->second.pop_back();
+        if (it->second.empty()) open_by_name.erase(it);
+        if (s > match) close_unmatched(stack[s]);
+      }
+      stack.resize(match);
+    }
+  }
+  for (size_t s = stack.size(); s-- > 0;) {
+    close_unmatched(stack[s]);
+  }
+
+  std::vector<HtmlToken> balanced;
+  balanced.reserve(tokens.size() + insertions.size());
+  for (size_t i = 0; i <= tokens.size(); ++i) {
+    auto it = insertions.find(i);
+    if (it != insertions.end()) {
+      for (HtmlToken& end : it->second) balanced.push_back(std::move(end));
+    }
+    if (i < tokens.size() && !discard[i]) {
+      balanced.push_back(std::move(tokens[i]));
+    }
+  }
+  return balanced;
+}
+
+std::unique_ptr<LegacyTagNode> BuildFromBalanced(
+    const std::vector<HtmlToken>& tokens, size_t document_size) {
+  auto root = std::make_unique<LegacyTagNode>();
+  root->name = "#document";
+  root->region_begin = 0;
+  root->region_end = document_size;
+  root->token_begin = 0;
+  root->token_end = tokens.empty() ? 0 : tokens.size() - 1;
+
+  std::vector<LegacyTagNode*> stack = {root.get()};
+  LegacyTagNode* last_closed = nullptr;
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const HtmlToken& token = tokens[i];
+    switch (token.kind) {
+      case HtmlToken::Kind::kStartTag: {
+        auto node = std::make_unique<LegacyTagNode>();
+        node->name = token.name;
+        node->attrs = token.attrs;
+        node->region_begin = token.begin;
+        node->token_begin = i;
+        node->parent = stack.back();
+        LegacyTagNode* raw = node.get();
+        stack.back()->children.push_back(std::move(node));
+        stack.push_back(raw);
+        last_closed = nullptr;
+        break;
+      }
+      case HtmlToken::Kind::kEndTag: {
+        if (stack.size() < 2 || stack.back()->name != token.name) {
+          return nullptr;
+        }
+        LegacyTagNode* node = stack.back();
+        stack.pop_back();
+        node->region_end = token.end;
+        node->token_end = i;
+        node->end_tag_synthesized = token.synthetic;
+        last_closed = node;
+        break;
+      }
+      case HtmlToken::Kind::kText: {
+        if (last_closed != nullptr) {
+          last_closed->tail_text += token.text;
+        } else if (stack.back()->children.empty()) {
+          stack.back()->inner_text += token.text;
+        } else {
+          stack.back()->children.back()->tail_text += token.text;
+        }
+        break;
+      }
+      case HtmlToken::Kind::kComment:
+      case HtmlToken::Kind::kProcessing:
+        return nullptr;
+    }
+  }
+  if (stack.size() != 1) return nullptr;
+  return root;
+}
+
+}  // namespace
+
+std::unique_ptr<LegacyTagNode> LegacyBuildTagTree(std::string_view document) {
+  auto lexed = LexHtml(document, robust::DocumentLimits::Production());
+  if (!lexed.ok()) return nullptr;
+  std::vector<HtmlToken> balanced = BalanceTokens(std::move(lexed).value());
+  return BuildFromBalanced(balanced, document.size());
+}
+
+}  // namespace webrbd::bench

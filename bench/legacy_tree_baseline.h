@@ -1,0 +1,52 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// A FROZEN copy of the pre-arena tag-tree builder (the PR 4 state of
+// src/html/tree_builder.cc): one heap-allocated node per element with
+// owned std::string name/text fields and unique_ptr child vectors, plus
+// the string-keyed balancing maps. It exists solely as the baseline of
+// bench_components' BM_TagTreeBuildLegacy, so the arena builder's speedup
+// is measured against the algorithm it replaced ON THE SAME HARDWARE —
+// CI's bench-smoke guard asserts the arena/legacy throughput ratio, which
+// is machine-independent, instead of an absolute MB/s number, which is
+// not. Do not "modernize" this file; its whole value is not changing.
+
+#ifndef WEBRBD_BENCH_LEGACY_TREE_BASELINE_H_
+#define WEBRBD_BENCH_LEGACY_TREE_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/token.h"
+
+namespace webrbd::bench {
+
+/// The pre-arena node layout: owned strings, unique_ptr children.
+struct LegacyTagNode {
+  std::string name;
+  std::vector<HtmlAttribute> attrs;
+  size_t region_begin = 0;
+  size_t region_end = 0;
+  std::string inner_text;
+  std::string tail_text;
+  bool end_tag_synthesized = false;
+  size_t token_begin = 0;
+  size_t token_end = 0;
+  LegacyTagNode* parent = nullptr;
+  std::vector<std::unique_ptr<LegacyTagNode>> children;
+
+  LegacyTagNode() = default;
+  ~LegacyTagNode();  // iterative, as in the original
+
+  size_t fanout() const { return children.size(); }
+};
+
+/// Lexes `document` and runs the frozen Step-2/Step-3 pipeline, returning
+/// the root (never fails on the well-formed bench corpus; returns nullptr
+/// on the error paths the original reported as Status).
+std::unique_ptr<LegacyTagNode> LegacyBuildTagTree(std::string_view document);
+
+}  // namespace webrbd::bench
+
+#endif  // WEBRBD_BENCH_LEGACY_TREE_BASELINE_H_

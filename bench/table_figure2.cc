@@ -22,7 +22,7 @@ int Run() {
   bench::PrintTitle("Figure 2 — sample document and worked example");
 
   auto ontology = BundledOntology(Domain::kObituaries).value();
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator = MakeEstimatorForOntology(ontology).value();
   options.certainty = CertaintyFactorTable::PaperTable4();
 
@@ -38,7 +38,7 @@ int Run() {
               discovery->tree.ToAsciiArt().c_str());
 
   std::printf("\nHighest-fan-out subtree: <%s> (fan-out %zu, %zu tags)\n",
-              result.analysis.subtree->name.c_str(),
+              std::string(result.analysis.subtree->name).c_str(),
               result.analysis.subtree->fanout(),
               result.analysis.subtree_total_tags);
   std::printf("Candidate tags:");

@@ -60,7 +60,7 @@ int main() {
     for (int doc_index = 0; doc_index < kDocsPerSite; ++doc_index) {
       gen::GeneratedDocument doc =
           gen::RenderDocument(site, domain, doc_index);
-      DiscoveryOptions options;
+      StandaloneDiscoveryOptions options;
       options.estimator = estimators[domain];
       auto discovery = DiscoverRecordBoundaries(doc.html, options);
       ++score.documents;

@@ -105,7 +105,7 @@ int main() {
   }
 
   // 3. Discovery + extraction, with OM driven by the new ontology.
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator = MakeEstimatorForOntology(*ontology).value();
   auto discovery = DiscoverRecordBoundaries(kListingsPage, options);
   if (!discovery.ok()) {

@@ -48,7 +48,7 @@ int main() {
   }
 
   // 3. Record extractor: discover the separator and chunk the page.
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator = MakeEstimatorForOntology(*ontology).value();
   auto records = ExtractRecordsFromDocument(Figure2Document(), options);
   if (!records.ok()) {

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       continue;
     }
     // A listing: discover the separator and pull the records.
-    DiscoveryOptions options;
+    StandaloneDiscoveryOptions options;
     options.estimator = estimators[page->domain];
     RecordBoundaryDiscoverer discoverer(options);
     auto result = discoverer.Discover(*tree);

@@ -3,7 +3,6 @@
 #include "core/candidate_tags.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "obs/stages.h"
 
@@ -27,31 +26,35 @@ Result<CandidateAnalysis> ExtractCandidateTags(const TagTree& tree,
   }
   analysis.subtree_total_tags = tree.CountStartTags(*analysis.subtree);
 
+  // Symbol-indexed counting: every node name is an interned TagSymbol, so
+  // both passes below are array increments, not string-keyed hashing.
+  const size_t symbol_count = tree.interner().size();
+  std::vector<size_t> child_counts(symbol_count, 0);
+  std::vector<size_t> subtree_counts(symbol_count, 0);
+
   // Count appearances among immediate children, preserving first-seen order.
-  std::vector<std::string> order;
-  std::unordered_map<std::string, size_t> child_counts;
-  for (const auto& child : analysis.subtree->children) {
-    auto [it, inserted] = child_counts.try_emplace(child->name, 0);
-    if (inserted) order.push_back(child->name);
-    ++it->second;
+  std::vector<TagSymbol> order;
+  for (const TagNode* child : analysis.subtree->children) {
+    if (child_counts[child->symbol] == 0) order.push_back(child->symbol);
+    ++child_counts[child->symbol];
   }
 
   // Count appearances anywhere in the subtree (start tags only).
-  std::unordered_map<std::string, size_t> subtree_counts;
   PreOrderVisit(*analysis.subtree,
                 [&](const TagNode& node, int depth) {
                   if (depth == 0) return;  // the subtree root itself
-                  ++subtree_counts[node.name];
+                  ++subtree_counts[node.symbol];
                 });
 
   const double threshold =
       options.irrelevance_threshold *
       static_cast<double>(analysis.subtree_total_tags);
-  for (const std::string& name : order) {
+  for (const TagSymbol symbol : order) {
     CandidateTag tag;
-    tag.name = name;
-    tag.child_count = child_counts[name];
-    tag.subtree_count = subtree_counts[name];
+    tag.name = std::string(tree.NameOf(symbol));
+    tag.symbol = symbol;
+    tag.child_count = child_counts[symbol];
+    tag.subtree_count = subtree_counts[symbol];
     if (static_cast<double>(tag.child_count) < threshold) {
       analysis.irrelevant.push_back(std::move(tag));
     } else {

@@ -19,7 +19,15 @@ namespace webrbd {
 
 /// One candidate separator tag with its usage counts.
 struct CandidateTag {
+  /// Owned copy of the tag name: the analysis outlives the tag tree (and
+  /// its intern table) in the integrated pipeline's results.
   std::string name;
+
+  /// Interned symbol of `name` within the tree the analysis came from;
+  /// valid only while that tree's arena lives. Heuristic token scans use
+  /// this for integer name comparisons.
+  TagSymbol symbol = kInvalidTagSymbol;
+
   size_t child_count = 0;    ///< appearances among the subtree root's children
   size_t subtree_count = 0;  ///< appearances anywhere in the subtree
 };

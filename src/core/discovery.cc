@@ -71,7 +71,8 @@ std::vector<std::string> RecordBoundaryDiscoverer::AllCombinations() {
   return combos;
 }
 
-RecordBoundaryDiscoverer::RecordBoundaryDiscoverer(DiscoveryOptions options)
+RecordBoundaryDiscoverer::RecordBoundaryDiscoverer(
+    StandaloneDiscoveryOptions options)
     : options_(std::move(options)) {
   auto names = ParseHeuristicLetters(options_.heuristics);
   // An invalid heuristic string yields an empty pipeline; Discover reports
@@ -130,7 +131,7 @@ Result<DiscoveryResult> RecordBoundaryDiscoverer::Discover(
 }
 
 Result<DocumentDiscovery> DiscoverRecordBoundaries(
-    std::string_view document, const DiscoveryOptions& options) {
+    std::string_view document, const StandaloneDiscoveryOptions& options) {
   auto tree = BuildTagTree(document, options.limits);
   if (!tree.ok()) return tree.status();
   RecordBoundaryDiscoverer discoverer(options);

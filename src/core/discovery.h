@@ -47,14 +47,30 @@ struct DiscoveryOptions {
   /// core/sd_heuristic.h).
   bool sd_normalize = false;
 
-  /// Record-count estimator backing OM. When null, OM abstains (useful for
-  /// ontology-free operation; the other four heuristics are structural).
-  std::shared_ptr<const RecordCountEstimator> estimator;
-
   /// Per-document resource caps applied while lexing and tree building.
   /// Defaults to the production limits; tests that build pathological
   /// documents on purpose pass robust::DocumentLimits::Unlimited().
   robust::DocumentLimits limits;
+};
+
+/// DiscoveryOptions plus the OM record-count estimator — the surface of
+/// the STANDALONE discovery entry points in this header only.
+///
+/// The estimator lives here, not in DiscoveryOptions, because the
+/// integrated pipeline (extract/) derives OM's estimate from the
+/// Data-Record Table itself, as the paper specifies. A caller-supplied
+/// estimator would be silently overwritten there; splitting the field out
+/// makes that trap unrepresentable instead of documented.
+struct StandaloneDiscoveryOptions : DiscoveryOptions {
+  /// Record-count estimator backing OM. When null, OM abstains (useful for
+  /// ontology-free operation; the other four heuristics are structural).
+  std::shared_ptr<const RecordCountEstimator> estimator;
+
+  StandaloneDiscoveryOptions() = default;
+  // Implicit on purpose: estimator-free call sites hand over plain
+  // DiscoveryOptions (e.g. the knobs shared with a batch run) unchanged.
+  StandaloneDiscoveryOptions(DiscoveryOptions base)  // NOLINT
+      : DiscoveryOptions(std::move(base)) {}
 };
 
 /// Everything the pipeline computed for one document.
@@ -80,12 +96,12 @@ struct DiscoveryResult {
 /// Runs the paper's discovery algorithm over pre-built tag trees.
 class RecordBoundaryDiscoverer {
  public:
-  explicit RecordBoundaryDiscoverer(DiscoveryOptions options = {});
+  explicit RecordBoundaryDiscoverer(StandaloneDiscoveryOptions options = {});
 
   /// Steps 2-6 of the algorithm on an existing tag tree.
   [[nodiscard]] Result<DiscoveryResult> Discover(const TagTree& tree) const;
 
-  const DiscoveryOptions& options() const { return options_; }
+  const StandaloneDiscoveryOptions& options() const { return options_; }
 
   /// Expands a heuristic letter string ("ORSIH") to names ({"OM", ...});
   /// rejects unknown or duplicate letters and empty strings.
@@ -97,7 +113,7 @@ class RecordBoundaryDiscoverer {
   static std::vector<std::string> AllCombinations();
 
  private:
-  DiscoveryOptions options_;
+  StandaloneDiscoveryOptions options_;
   std::vector<std::unique_ptr<SeparatorHeuristic>> heuristics_;
 };
 
@@ -110,7 +126,7 @@ struct DocumentDiscovery {
 
 /// Builds the tag tree of `document` and runs discovery on it.
 [[nodiscard]] Result<DocumentDiscovery> DiscoverRecordBoundaries(
-    std::string_view document, const DiscoveryOptions& options = {});
+    std::string_view document, const StandaloneDiscoveryOptions& options = {});
 
 }  // namespace webrbd
 

@@ -3,23 +3,8 @@
 #include "core/record_extractor.h"
 
 #include "html/entities.h"
+#include "html/inline_tags.h"
 #include "util/string_util.h"
-
-namespace webrbd {
-namespace {
-
-// Tags whose boundaries do not interrupt text flow; every other tag
-// renders as a line break when reconstructing record text, as a browser
-// would (e.g. <br> between two bold spans must not glue their words).
-bool IsInlineTag(const std::string& name) {
-  return name == "b" || name == "i" || name == "u" || name == "em" ||
-         name == "strong" || name == "font" || name == "a" ||
-         name == "span" || name == "small" || name == "big" ||
-         name == "tt" || name == "sup" || name == "sub";
-}
-
-}  // namespace
-}  // namespace webrbd
 
 namespace webrbd {
 
@@ -29,6 +14,11 @@ Result<std::vector<ExtractedRecord>> ExtractRecords(
     const RecordExtractorOptions& options) {
   const auto [first, last] = tree.TokenSpan(*analysis.subtree);
   const auto& tokens = tree.tokens();
+  const auto& symbols = tree.token_symbols();
+  // An unknown separator name has no symbol and therefore no occurrences;
+  // the scan below then reports NotFound exactly like before.
+  const TagSymbol separator_symbol = tree.SymbolOf(separator_tag);
+  const std::vector<bool> inline_symbol = InlineSymbolTable(tree.interner());
 
   struct Chunk {
     std::string raw_text;
@@ -43,7 +33,8 @@ Result<std::vector<ExtractedRecord>> ExtractRecords(
   for (size_t i = first; i <= last && i < tokens.size(); ++i) {
     const HtmlToken& token = tokens[i];
     if (token.kind == HtmlToken::Kind::kStartTag &&
-        token.name == separator_tag) {
+        symbols[i] == separator_symbol &&
+        separator_symbol != kInvalidTagSymbol) {
       current.end = token.begin;
       chunks.push_back(std::move(current));
       current = Chunk();
@@ -54,7 +45,7 @@ Result<std::vector<ExtractedRecord>> ExtractRecords(
       // inserting separators here would fabricate word breaks.
       current.raw_text += token.text;
     } else if (token.kind == HtmlToken::Kind::kStartTag &&
-               !IsInlineTag(token.name)) {
+               !inline_symbol[symbols[i]]) {
       current.raw_text += '\n';  // block-level boundary
     }
   }
@@ -81,7 +72,8 @@ Result<std::vector<ExtractedRecord>> ExtractRecords(
 }
 
 Result<std::vector<ExtractedRecord>> ExtractRecordsFromDocument(
-    std::string_view document, const DiscoveryOptions& discovery_options,
+    std::string_view document,
+    const StandaloneDiscoveryOptions& discovery_options,
     const RecordExtractorOptions& extractor_options) {
   auto discovery = DiscoverRecordBoundaries(document, discovery_options);
   if (!discovery.ok()) return discovery.status();

@@ -49,9 +49,11 @@ struct RecordExtractorOptions {
     const TagTree& tree, const CandidateAnalysis& analysis,
     const std::string& separator_tag, const RecordExtractorOptions& options = {});
 
-/// Convenience: discovery + extraction in one call.
+/// Convenience: standalone discovery + extraction in one call. Accepts a
+/// plain DiscoveryOptions too (implicitly converted, estimator unset).
 [[nodiscard]] Result<std::vector<ExtractedRecord>> ExtractRecordsFromDocument(
-    std::string_view document, const DiscoveryOptions& discovery_options = {},
+    std::string_view document,
+    const StandaloneDiscoveryOptions& discovery_options = {},
     const RecordExtractorOptions& extractor_options = {});
 
 }  // namespace webrbd

@@ -24,30 +24,34 @@ bool IsWhitespaceOnly(const std::string& text) {
 
 std::map<std::pair<std::string, std::string>, size_t> RpHeuristic::PairCounts(
     const TagTree& tree, const CandidateAnalysis& analysis) {
-  std::unordered_map<std::string, bool> is_candidate;
+  // Candidate membership as a per-symbol bitset: the scan below tests and
+  // compares interned symbols only.
+  std::vector<bool> is_candidate(tree.interner().size(), false);
   for (const CandidateTag& candidate : analysis.candidates) {
-    is_candidate[candidate.name] = true;
+    if (candidate.symbol != kInvalidTagSymbol) {
+      is_candidate[candidate.symbol] = true;
+    }
   }
 
   const auto [first, last] = tree.TokenSpan(*analysis.subtree);
   const auto& tokens = tree.tokens();
-  std::map<std::pair<std::string, std::string>, size_t> counts;
+  const auto& symbols = tree.token_symbols();
+  std::map<std::pair<TagSymbol, TagSymbol>, size_t> symbol_counts;
 
   // Walk start tags in document order; a pair forms when two candidate
   // start tags are consecutive with only whitespace text (and possibly end
   // tags) between them.
-  std::string prev_start_tag;
+  TagSymbol prev_start_tag = kInvalidTagSymbol;
   bool text_since_prev = false;
   for (size_t i = first; i <= last && i < tokens.size(); ++i) {
     const HtmlToken& token = tokens[i];
     switch (token.kind) {
       case HtmlToken::Kind::kStartTag:
-        if (!prev_start_tag.empty() && !text_since_prev &&
-            is_candidate.count(prev_start_tag) > 0 &&
-            is_candidate.count(token.name) > 0) {
-          ++counts[{prev_start_tag, token.name}];
+        if (prev_start_tag != kInvalidTagSymbol && !text_since_prev &&
+            is_candidate[prev_start_tag] && is_candidate[symbols[i]]) {
+          ++symbol_counts[{prev_start_tag, symbols[i]}];
         }
-        prev_start_tag = token.name;
+        prev_start_tag = symbols[i];
         text_since_prev = false;
         break;
       case HtmlToken::Kind::kText:
@@ -56,6 +60,14 @@ std::map<std::pair<std::string, std::string>, size_t> RpHeuristic::PairCounts(
       default:
         break;  // end tags do not break adjacency
     }
+  }
+
+  // Render the symbol pairs back to names for the public (test-facing)
+  // result shape.
+  std::map<std::pair<std::string, std::string>, size_t> counts;
+  for (const auto& [pair, count] : symbol_counts) {
+    counts[{std::string(tree.NameOf(pair.first)),
+            std::string(tree.NameOf(pair.second))}] = count;
   }
   return counts;
 }

@@ -9,14 +9,22 @@ namespace webrbd {
 std::vector<size_t> SdHeuristic::IntervalsFor(const TagTree& tree,
                                               const TagNode& subtree,
                                               const std::string& tag) {
+  return IntervalsFor(tree, subtree, tree.SymbolOf(tag));
+}
+
+std::vector<size_t> SdHeuristic::IntervalsFor(const TagTree& tree,
+                                              const TagNode& subtree,
+                                              TagSymbol tag) {
   const auto [first, last] = tree.TokenSpan(subtree);
   const auto& tokens = tree.tokens();
+  const auto& symbols = tree.token_symbols();
   std::vector<size_t> intervals;
+  if (tag == kInvalidTagSymbol) return intervals;
   bool seen_occurrence = false;
   size_t text_since = 0;
   for (size_t i = first; i <= last && i < tokens.size(); ++i) {
     const HtmlToken& token = tokens[i];
-    if (token.kind == HtmlToken::Kind::kStartTag && token.name == tag) {
+    if (symbols[i] == tag && token.kind == HtmlToken::Kind::kStartTag) {
       if (seen_occurrence) intervals.push_back(text_since);
       seen_occurrence = true;
       text_since = 0;
@@ -32,7 +40,7 @@ HeuristicResult SdHeuristic::Rank(const TagTree& tree,
   std::vector<std::pair<std::string, double>> scored;
   for (const CandidateTag& candidate : analysis.candidates) {
     std::vector<size_t> intervals =
-        IntervalsFor(tree, *analysis.subtree, candidate.name);
+        IntervalsFor(tree, *analysis.subtree, candidate.symbol);
     if (intervals.empty()) continue;  // single occurrence: no opinion
     double mean = 0.0;
     for (size_t v : intervals) mean += static_cast<double>(v);

@@ -37,6 +37,11 @@ class SdHeuristic : public SeparatorHeuristic {
                                           const TagNode& subtree,
                                           const std::string& tag);
 
+  /// Symbol-compare fast path of the above (the Rank hot loop).
+  static std::vector<size_t> IntervalsFor(const TagTree& tree,
+                                          const TagNode& subtree,
+                                          TagSymbol tag);
+
  private:
   bool normalize_;
 };

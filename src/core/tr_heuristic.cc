@@ -80,8 +80,8 @@ HeuristicResult TrHeuristic::Rank(const TagTree& /*tree*/,
                                   const CandidateAnalysis& analysis) const {
   std::vector<std::string> sequence;
   sequence.reserve(analysis.subtree->children.size());
-  for (const auto& child : analysis.subtree->children) {
-    sequence.push_back(child->name);
+  for (const TagNode* child : analysis.subtree->children) {
+    sequence.emplace_back(child->name);
   }
 
   std::vector<std::pair<std::string, double>> scored;

@@ -35,7 +35,7 @@ Result<SiteWrapper> WrapperEngine::Learn(std::string_view html) const {
   if (!discovery.ok()) return discovery.status();
   SiteWrapper wrapper;
   wrapper.separator = discovery->result.separator;
-  wrapper.region_tag = discovery->result.analysis.subtree->name;
+  wrapper.region_tag = std::string(discovery->result.analysis.subtree->name);
   wrapper.confidence = discovery->result.compound_ranking.front().certainty;
   return wrapper;
 }
@@ -63,7 +63,7 @@ Result<WrapperApplyOutcome> WrapperEngine::Apply(const SiteWrapper& wrapper,
     if (!discovery.ok()) return discovery.status();
     outcome.relearned = true;
     outcome.wrapper.separator = discovery->separator;
-    outcome.wrapper.region_tag = discovery->analysis.subtree->name;
+    outcome.wrapper.region_tag = std::string(discovery->analysis.subtree->name);
     outcome.wrapper.confidence =
         discovery->compound_ranking.front().certainty;
   }

@@ -82,7 +82,7 @@ Result<std::vector<DocEvaluation>> EvaluateCorpus(
   auto estimator = MakeEstimatorForOntology(*ontology);
   if (!estimator.ok()) return estimator.status();
 
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.heuristics = "ORSIH";
   options.estimator = std::move(estimator).value();
   RecordBoundaryDiscoverer discoverer(options);

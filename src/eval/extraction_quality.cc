@@ -71,7 +71,7 @@ Result<ExtractionQualityReport> MeasureExtractionQuality(
   auto generator = DatabaseInstanceGenerator::Create(*ontology);
   if (!generator.ok()) return generator.status();
 
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator = std::move(estimator).value();
 
   ExtractionQualityReport report;

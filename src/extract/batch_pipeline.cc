@@ -2,271 +2,22 @@
 
 #include "extract/batch_pipeline.h"
 
-#include <algorithm>
-#include <chrono>
-#include <exception>
-#include <future>
-#include <optional>
-#include <thread>
-#include <utility>
-
-#include "obs/metrics.h"
-#include "obs/stages.h"
-#include "util/string_util.h"
-#include "util/thread_pool.h"
-
 namespace webrbd {
 
-namespace {
+Result<BatchResult> RunBatchPipeline(
+    const std::vector<std::string_view>& corpus, const Ontology& ontology,
+    const BatchOptions& options) {
+  ContextOptions context_options;
+  context_options.discovery = options.discovery;
+  context_options.cache = options.cache;
+  auto context = ExtractionContext::Create(ontology, context_options);
+  if (!context.ok()) return context.status();
 
-int ResolveThreads(int requested) {
-  if (requested > 0) return requested;
-  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-}
-
-// Auto chunk size: aim for ~4 tasks per worker so stragglers rebalance,
-// but never less than 1 document per task.
-size_t ResolveChunkSize(size_t requested, size_t corpus_size, int threads) {
-  if (requested > 0) return requested;
-  const size_t tasks = static_cast<size_t>(threads) * 4;
-  return std::max<size_t>(1, corpus_size / std::max<size_t>(1, tasks));
-}
-
-// Human-scale latency rendering: 12.3us / 4.56ms / 1.23s.
-std::string FormatSeconds(double seconds) {
-  if (seconds < 1e-3) return FormatDouble(seconds * 1e6, 1) + "us";
-  if (seconds < 1.0) return FormatDouble(seconds * 1e3, 2) + "ms";
-  return FormatDouble(seconds, 3) + "s";
-}
-
-std::string PadRight(const std::string& s, size_t width) {
-  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
-}
-
-std::string PadLeft(const std::string& s, size_t width) {
-  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
-}
-
-// Collects the per-stage latency deltas of one batch run out of the global
-// registry snapshots taken around it.
-std::vector<StageLatencySummary> StageDeltas(
-    const obs::MetricsSnapshot& before, const obs::MetricsSnapshot& after) {
-  std::vector<StageLatencySummary> stages;
-  for (const obs::StageName& stage : obs::PipelineStageNames()) {
-    const obs::HistogramSnapshot* h_after = after.FindHistogram(stage.metric);
-    if (h_after == nullptr) continue;
-    obs::HistogramSnapshot delta = *h_after;
-    if (const obs::HistogramSnapshot* h_before =
-            before.FindHistogram(stage.metric)) {
-      delta = obs::SubtractHistogram(*h_after, *h_before);
-    }
-    StageLatencySummary summary;
-    summary.name = std::string(stage.short_name);
-    summary.metric = std::string(stage.metric);
-    summary.count = delta.count;
-    summary.total_seconds = delta.sum_seconds;
-    summary.p50_seconds = delta.Quantile(0.50);
-    summary.p95_seconds = delta.Quantile(0.95);
-    summary.p99_seconds = delta.Quantile(0.99);
-    stages.push_back(std::move(summary));
-  }
-  return stages;
-}
-
-}  // namespace
-
-std::string CorpusStats::ToString() const {
-  // Built with the project string formatter (util/string_util.h) — the
-  // previous fixed-size snprintf buffers silently truncated long
-  // failure-code rows.
-  std::string out;
-  out += "documents      " + std::to_string(documents) + " (" +
-         std::to_string(succeeded) + " ok, " + std::to_string(failed) +
-         " failed)\n";
-  out += "bytes          " + std::to_string(total_bytes) + "\n";
-  out += "threads        " + std::to_string(threads_used) + "\n";
-  out += "wall time      " + FormatDouble(wall_seconds, 3) + " s\n";
-  out += "throughput     " + FormatDouble(docs_per_second, 1) + " docs/s, " +
-         FormatDouble(bytes_per_second / 1e6, 2) + " MB/s\n";
-  for (const auto& [code, count] : failures_by_code) {
-    out += "failures       " + code + ": " + std::to_string(count) + "\n";
-  }
-  if (pool_utilization > 0) {
-    out += "pool util      " + FormatPercent(pool_utilization, 1) + "\n";
-  }
-  if (!stage_latencies.empty()) {
-    out += "stage latency  (spans, total across workers, p50/p95/p99)\n";
-    for (const StageLatencySummary& stage : stage_latencies) {
-      out += "  " + PadRight(stage.name, 14) +
-             PadLeft(std::to_string(stage.count), 8) + "  " +
-             PadLeft(FormatSeconds(stage.total_seconds), 9) + "  p50 " +
-             PadLeft(FormatSeconds(stage.p50_seconds), 9) + "  p95 " +
-             PadLeft(FormatSeconds(stage.p95_seconds), 9) + "  p99 " +
-             PadLeft(FormatSeconds(stage.p99_seconds), 9) + "\n";
-    }
-  }
-  return out;
-}
-
-std::string CorpusStats::ToJson() const {
-  std::string out = "{";
-  out += "\"documents\": " + std::to_string(documents);
-  out += ", \"succeeded\": " + std::to_string(succeeded);
-  out += ", \"failed\": " + std::to_string(failed);
-  out += ", \"total_bytes\": " + std::to_string(total_bytes);
-  out += ", \"wall_seconds\": " + FormatDouble(wall_seconds, 6);
-  out += ", \"docs_per_second\": " + FormatDouble(docs_per_second, 2);
-  out += ", \"bytes_per_second\": " + FormatDouble(bytes_per_second, 2);
-  out += ", \"threads_used\": " + std::to_string(threads_used);
-  out += ", \"pool_utilization\": " + FormatDouble(pool_utilization, 4);
-  out += ", \"failures_by_code\": {";
-  bool first = true;
-  for (const auto& [code, count] : failures_by_code) {
-    if (!first) out += ", ";
-    first = false;
-    out += "\"" + code + "\": " + std::to_string(count);
-  }
-  out += "}, \"stage_latencies\": [";
-  for (size_t i = 0; i < stage_latencies.size(); ++i) {
-    const StageLatencySummary& stage = stage_latencies[i];
-    if (i > 0) out += ", ";
-    out += "{\"stage\": \"" + stage.name + "\"";
-    out += ", \"metric\": \"" + stage.metric + "\"";
-    out += ", \"count\": " + std::to_string(stage.count);
-    out += ", \"total_seconds\": " + FormatDouble(stage.total_seconds, 6);
-    out += ", \"p50_seconds\": " + FormatDouble(stage.p50_seconds, 9);
-    out += ", \"p95_seconds\": " + FormatDouble(stage.p95_seconds, 9);
-    out += ", \"p99_seconds\": " + FormatDouble(stage.p99_seconds, 9) + "}";
-  }
-  out += "]}";
-  return out;
-}
-
-Result<BatchResult> RunBatchPipeline(const std::vector<std::string_view>& corpus,
-                                     const Ontology& ontology,
-                                     const BatchOptions& options) {
-  RecognizerCache& cache =
-      options.cache != nullptr ? *options.cache : GlobalRecognizerCache();
-  auto recognizer = cache.Get(ontology);
-  if (!recognizer.ok()) return recognizer.status();
-  const Recognizer& shared_recognizer = **recognizer;
-
-  const int threads = ResolveThreads(options.num_threads);
-  const bool metrics = obs::MetricsEnabled();
-  obs::MetricsSnapshot before;
-  if (metrics) before = obs::MetricsRegistry::Global().Snapshot();
-  const auto start = std::chrono::steady_clock::now();
-
-  // Per-document slots, written by exactly one task each and read only
-  // after the owning future is waited on (the future's happens-before edge
-  // publishes the slot to this thread).
-  std::vector<std::optional<Result<IntegratedResult>>> slots(corpus.size());
-
-  auto process_range = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      if (options.document_hook) options.document_hook(i);
-      slots[i].emplace(RunIntegratedPipeline(corpus[i], ontology,
-                                             shared_recognizer,
-                                             options.discovery));
-    }
-  };
-
-  // Converts a task exception into per-document results for the chunk's
-  // documents that never got one, so the batch reports the failure instead
-  // of dereferencing unengaged slots (or dying outright on one bad chunk).
-  auto fail_unfilled = [&](size_t begin, size_t end, const std::string& why) {
-    for (size_t i = begin; i < end; ++i) {
-      if (!slots[i].has_value()) {
-        slots[i].emplace(Status::Internal("batch task failed: " + why));
-      }
-    }
-  };
-
-  double pool_busy_seconds = 0;
-  if (threads == 1 || corpus.size() <= 1) {
-    // Inline fast path: no pool, no queue traffic. A 1-thread batch is
-    // therefore exactly the per-document loop plus the recognizer cache.
-    try {
-      process_range(0, corpus.size());
-    } catch (const std::exception& e) {
-      fail_unfilled(0, corpus.size(), e.what());
-    } catch (...) {
-      fail_unfilled(0, corpus.size(), "unknown exception");
-    }
-  } else {
-    const size_t chunk = ResolveChunkSize(options.chunk_size, corpus.size(),
-                                          threads);
-    ThreadPool pool(threads);
-    struct ChunkTask {
-      size_t begin;
-      size_t end;
-      std::future<void> future;
-    };
-    std::vector<ChunkTask> tasks;
-    tasks.reserve(corpus.size() / chunk + 1);
-    for (size_t begin = 0; begin < corpus.size(); begin += chunk) {
-      const size_t end = std::min(corpus.size(), begin + chunk);
-      tasks.push_back(ChunkTask{
-          begin, end, pool.Submit([&process_range, begin, end]() {
-            process_range(begin, end);
-          })});
-    }
-    // Wait on EVERY future before reading any slot: an early throwing
-    // get() must not abandon the chunks still in flight (their tasks
-    // would keep writing into `slots` after this frame died — UB), and a
-    // throwing chunk must surface as per-document errors, not kill the
-    // batch.
-    for (ChunkTask& task : tasks) {
-      try {
-        task.future.get();
-      } catch (const std::exception& e) {
-        fail_unfilled(task.begin, task.end, e.what());
-      } catch (...) {
-        fail_unfilled(task.begin, task.end, "unknown exception");
-      }
-    }
-    pool_busy_seconds = pool.busy_seconds();
-  }
-  // Belt and braces: no slot may be unengaged past this point.
-  fail_unfilled(0, corpus.size(), "task produced no result");
-
-  const auto stop = std::chrono::steady_clock::now();
-
-  BatchResult batch;
-  batch.documents.reserve(corpus.size());
-  batch.stats.documents = corpus.size();
-  batch.stats.threads_used = threads;
-  for (size_t i = 0; i < slots.size(); ++i) {
-    batch.stats.total_bytes += corpus[i].size();
-    Result<IntegratedResult>& result = *slots[i];
-    if (result.ok()) {
-      ++batch.stats.succeeded;
-    } else {
-      ++batch.stats.failed;
-      ++batch.stats.failures_by_code[std::string(
-          StatusCodeName(result.status().code()))];
-    }
-    batch.documents.push_back(std::move(result));
-  }
-  batch.stats.wall_seconds =
-      std::chrono::duration<double>(stop - start).count();
-  if (batch.stats.wall_seconds > 0) {
-    batch.stats.docs_per_second =
-        static_cast<double>(batch.stats.documents) / batch.stats.wall_seconds;
-    batch.stats.bytes_per_second =
-        static_cast<double>(batch.stats.total_bytes) /
-        batch.stats.wall_seconds;
-  }
-  if (metrics) {
-    batch.stats.stage_latencies =
-        StageDeltas(before, obs::MetricsRegistry::Global().Snapshot());
-    if (batch.stats.wall_seconds > 0 && threads > 1) {
-      batch.stats.pool_utilization =
-          pool_busy_seconds /
-          (batch.stats.wall_seconds * static_cast<double>(threads));
-    }
-  }
-  return batch;
+  BatchRunOptions run;
+  run.num_threads = options.num_threads;
+  run.chunk_size = options.chunk_size;
+  run.document_hook = options.document_hook;
+  return context->ExtractCorpus(corpus, run);
 }
 
 Result<BatchResult> RunBatchPipeline(const std::vector<std::string>& corpus,

@@ -1,143 +1,62 @@
 // Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
 //
-// The batch-extraction engine: corpus-scale fan-out of the integrated
-// per-document pipeline (extract/integrated_pipeline.h) across a worker
-// pool (util/thread_pool.h), with the ontology's matching rules compiled
-// once and shared read-only by every worker (extract/recognizer_cache.h).
+// DEPRECATED compatibility surface. The batch-extraction engine (worker
+// pool, chunked fan-out, deterministic input-order results, per-document
+// error aggregation, stage-latency accounting) now lives on
+// ExtractionContext::ExtractCorpus (extract/extraction_context.h):
 //
-// Guarantees:
-//  - Output is deterministic and thread-count independent: documents[i] is
-//    exactly what RunIntegratedPipeline would return for corpus[i], in
-//    input order, whether the engine runs on 1 thread or 64.
-//  - Per-document errors are aggregated, never dropped: a document that
-//    fails (tagless input, no separator occurrences, ...) yields a non-OK
-//    Result in its slot and a per-status-code count in the stats, while
-//    every other document still completes.
-//  - A batch never dies half-reported: every chunk task's future is waited
-//    on before results are read, and an exception escaping a task (OOM, a
-//    throwing hook) is converted into Status::Internal entries for the
-//    documents of that chunk that produced no result — not UB, not a
-//    corpus-wide abort.
-//  - The single-thread path runs inline (no pool, no queue hop), so a
-//    1-thread batch is never slower than a hand-written per-document loop
-//    — and beats the pre-cache loop by the recognizer-compilation savings.
+//   auto context = ExtractionContext::Create(ontology);
+//   auto batch   = context->ExtractCorpus(corpus, {.num_threads = 8});
 //
-// Observability: when obs::MetricsEnabled(), a batch run additionally
-// fills CorpusStats::stage_latencies with the per-stage latency deltas of
-// this run (lex, tree build, candidates, each heuristic, combine,
-// recognize, DRT, DB-gen — see docs/observability.md) and
-// CorpusStats::pool_utilization with the worker pool's busy fraction.
+// The RunBatchPipeline overloads below construct a throwaway context per
+// call and forward; BatchOptions survives only as their parameter bundle.
+// New code in this repository must not call them (webrbd_lint's
+// deprecated-pipeline-entry rule enforces this in src/ and tools/). They
+// will be removed two PRs after the context API landed.
 
 #ifndef WEBRBD_EXTRACT_BATCH_PIPELINE_H_
 #define WEBRBD_EXTRACT_BATCH_PIPELINE_H_
 
-#include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/discovery.h"
-#include "extract/integrated_pipeline.h"
-#include "extract/recognizer_cache.h"
+#include "extract/extraction_context.h"
 #include "util/result.h"
 
 namespace webrbd {
 
-/// Knobs for RunBatchPipeline.
+/// DEPRECATED parameter bundle of RunBatchPipeline; new code passes
+/// ContextOptions (per-context) and BatchRunOptions (per-run) instead.
 struct BatchOptions {
   /// Worker threads. 0 means one per hardware thread; 1 runs inline on the
   /// calling thread with no pool at all.
   int num_threads = 0;
 
-  /// Documents per pool task. 0 picks a chunk size that gives each worker
-  /// several tasks (for load balance) while amortizing queue traffic on
-  /// large corpora. Chunking also keeps one worker's documents consecutive,
-  /// so per-worker warm state (allocator caches, lexer buffers) is reused
-  /// across a run of documents instead of ping-ponging between threads.
+  /// Documents per pool task; 0 auto-sizes (see BatchRunOptions).
   size_t chunk_size = 0;
 
-  /// Per-document discovery knobs, forwarded to RunIntegratedPipeline.
-  /// (Its estimator field is ignored there, as always.)
+  /// Per-document discovery knobs.
   DiscoveryOptions discovery;
 
   /// Recognizer cache to compile/fetch through; nullptr uses the
   /// process-wide GlobalRecognizerCache().
   RecognizerCache* cache = nullptr;
 
-  /// Called with the document index just before each document is
-  /// processed, on the processing thread. An exception it throws is
-  /// handled exactly like a failing extraction task (the affected
-  /// documents get Status::Internal results). Used by tests for fault
-  /// injection and by embedders for progress tracing; leave empty for no
-  /// overhead.
+  /// Per-document pre-processing hook (see BatchRunOptions::document_hook).
   std::function<void(size_t)> document_hook;
 };
 
-/// One pipeline stage's latency summary for a single batch run.
-struct StageLatencySummary {
-  std::string name;          ///< short stage name, e.g. "lex", "recognize"
-  std::string metric;        ///< registry histogram name
-  uint64_t count = 0;        ///< spans recorded during this run
-  double total_seconds = 0;  ///< summed span time (across all workers)
-  double p50_seconds = 0;
-  double p95_seconds = 0;
-  double p99_seconds = 0;
-};
-
-/// Corpus-level throughput and failure accounting for one batch run.
-struct CorpusStats {
-  size_t documents = 0;      ///< corpus size
-  size_t succeeded = 0;      ///< documents with an OK result
-  size_t failed = 0;         ///< documents with a non-OK result
-  size_t total_bytes = 0;    ///< summed HTML sizes
-  double wall_seconds = 0;   ///< end-to-end wall time of the batch
-  double docs_per_second = 0;
-  double bytes_per_second = 0;
-  int threads_used = 1;      ///< resolved worker count
-
-  /// Failure counts keyed by StatusCodeName (e.g. "ParseError" -> 3).
-  std::map<std::string, size_t> failures_by_code;
-
-  /// Per-stage latency deltas for this run, in pipeline order. Filled only
-  /// when obs::MetricsEnabled(); empty otherwise. Stage totals can exceed
-  /// wall_seconds on multi-thread runs (they sum across workers), and the
-  /// "candidates" stage records two spans per document (the integrated
-  /// pipeline analyzes candidates once directly and once inside
-  /// discovery).
-  std::vector<StageLatencySummary> stage_latencies;
-
-  /// Worker busy fraction of the pool over the batch window (0 when
-  /// metrics are disabled or the batch ran inline without a pool).
-  double pool_utilization = 0;
-
-  /// Human-readable multi-line summary (the CLI's `batch` output).
-  std::string ToString() const;
-
-  /// Machine-readable one-object JSON rendering of the same numbers,
-  /// including the per-stage latency table.
-  std::string ToJson() const;
-};
-
-/// Everything a batch run produces.
-struct BatchResult {
-  /// documents[i] is the per-document outcome for corpus[i], input order.
-  std::vector<Result<IntegratedResult>> documents;
-
-  CorpusStats stats;
-};
-
-/// Runs the integrated pipeline over every document in `corpus` using
-/// `ontology`, fanning out across a thread pool per `options`. Fails
-/// outright only when the ontology itself does not compile; per-document
-/// failures land in their result slots. The string data behind `corpus`
-/// must outlive the call.
+/// DEPRECATED: use ExtractionContext::Create(...).ExtractCorpus(...).
+/// Behavior is identical (same engine underneath): deterministic
+/// input-order results, per-document error slots, aggregate CorpusStats.
 [[nodiscard]] Result<BatchResult> RunBatchPipeline(
     const std::vector<std::string_view>& corpus, const Ontology& ontology,
     const BatchOptions& options = {});
 
-/// Convenience overload for owned-string corpora.
+/// DEPRECATED convenience overload for owned-string corpora.
 [[nodiscard]] Result<BatchResult> RunBatchPipeline(
     const std::vector<std::string>& corpus, const Ontology& ontology,
     const BatchOptions& options = {});

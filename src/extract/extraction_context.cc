@@ -1,0 +1,405 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "extract/extraction_context.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <future>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "extract/db_instance_generator.h"
+#include "html/text_index.h"
+#include "html/tree_builder.h"
+#include "obs/metrics.h"
+#include "obs/stages.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace webrbd {
+
+namespace {
+
+// The paper's O(d) record-count estimate: one scan of the Data-Record
+// Table, counting each record-identifying field's indications (keyword
+// entries for keyword-bearing fields, constants otherwise) and averaging.
+std::optional<double> EstimateFromTable(const Ontology& ontology,
+                                        const DataRecordTable& table) {
+  const std::vector<const ObjectSet*> fields =
+      ontology.RecordIdentifyingFields();
+  if (fields.size() < 3) return std::nullopt;
+  double total = 0.0;
+  for (const ObjectSet* field : fields) {
+    total += static_cast<double>(
+        field->frame.HasKeywords()
+            ? table.CountFor(field->name, MatchKind::kKeyword)
+            : table.CountFor(field->name, MatchKind::kConstant));
+  }
+  return total / static_cast<double>(fields.size());
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+// Auto chunk size: aim for ~4 tasks per worker so stragglers rebalance,
+// but never less than 1 document per task.
+size_t ResolveChunkSize(size_t requested, size_t corpus_size, int threads) {
+  if (requested > 0) return requested;
+  const size_t tasks = static_cast<size_t>(threads) * 4;
+  return std::max<size_t>(1, corpus_size / std::max<size_t>(1, tasks));
+}
+
+// Human-scale latency rendering: 12.3us / 4.56ms / 1.23s.
+std::string FormatSeconds(double seconds) {
+  if (seconds < 1e-3) return FormatDouble(seconds * 1e6, 1) + "us";
+  if (seconds < 1.0) return FormatDouble(seconds * 1e3, 2) + "ms";
+  return FormatDouble(seconds, 3) + "s";
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+// Collects the per-stage latency deltas of one batch run out of the global
+// registry snapshots taken around it.
+std::vector<StageLatencySummary> StageDeltas(
+    const obs::MetricsSnapshot& before, const obs::MetricsSnapshot& after) {
+  std::vector<StageLatencySummary> stages;
+  for (const obs::StageName& stage : obs::PipelineStageNames()) {
+    const obs::HistogramSnapshot* h_after = after.FindHistogram(stage.metric);
+    if (h_after == nullptr) continue;
+    obs::HistogramSnapshot delta = *h_after;
+    if (const obs::HistogramSnapshot* h_before =
+            before.FindHistogram(stage.metric)) {
+      delta = obs::SubtractHistogram(*h_after, *h_before);
+    }
+    StageLatencySummary summary;
+    summary.name = std::string(stage.short_name);
+    summary.metric = std::string(stage.metric);
+    summary.count = delta.count;
+    summary.total_seconds = delta.sum_seconds;
+    summary.p50_seconds = delta.Quantile(0.50);
+    summary.p95_seconds = delta.Quantile(0.95);
+    summary.p99_seconds = delta.Quantile(0.99);
+    stages.push_back(std::move(summary));
+  }
+  return stages;
+}
+
+}  // namespace
+
+std::string CorpusStats::ToString() const {
+  // Built with the project string formatter (util/string_util.h) — the
+  // previous fixed-size snprintf buffers silently truncated long
+  // failure-code rows.
+  std::string out;
+  out += "documents      " + std::to_string(documents) + " (" +
+         std::to_string(succeeded) + " ok, " + std::to_string(failed) +
+         " failed)\n";
+  out += "bytes          " + std::to_string(total_bytes) + "\n";
+  out += "threads        " + std::to_string(threads_used) + "\n";
+  out += "wall time      " + FormatDouble(wall_seconds, 3) + " s\n";
+  out += "throughput     " + FormatDouble(docs_per_second, 1) + " docs/s, " +
+         FormatDouble(bytes_per_second / 1e6, 2) + " MB/s\n";
+  for (const auto& [code, count] : failures_by_code) {
+    out += "failures       " + code + ": " + std::to_string(count) + "\n";
+  }
+  if (pool_utilization > 0) {
+    out += "pool util      " + FormatPercent(pool_utilization, 1) + "\n";
+  }
+  if (!stage_latencies.empty()) {
+    out += "stage latency  (spans, total across workers, p50/p95/p99)\n";
+    for (const StageLatencySummary& stage : stage_latencies) {
+      out += "  " + PadRight(stage.name, 14) +
+             PadLeft(std::to_string(stage.count), 8) + "  " +
+             PadLeft(FormatSeconds(stage.total_seconds), 9) + "  p50 " +
+             PadLeft(FormatSeconds(stage.p50_seconds), 9) + "  p95 " +
+             PadLeft(FormatSeconds(stage.p95_seconds), 9) + "  p99 " +
+             PadLeft(FormatSeconds(stage.p99_seconds), 9) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string CorpusStats::ToJson() const {
+  std::string out = "{";
+  out += "\"documents\": " + std::to_string(documents);
+  out += ", \"succeeded\": " + std::to_string(succeeded);
+  out += ", \"failed\": " + std::to_string(failed);
+  out += ", \"total_bytes\": " + std::to_string(total_bytes);
+  out += ", \"wall_seconds\": " + FormatDouble(wall_seconds, 6);
+  out += ", \"docs_per_second\": " + FormatDouble(docs_per_second, 2);
+  out += ", \"bytes_per_second\": " + FormatDouble(bytes_per_second, 2);
+  out += ", \"threads_used\": " + std::to_string(threads_used);
+  out += ", \"pool_utilization\": " + FormatDouble(pool_utilization, 4);
+  out += ", \"failures_by_code\": {";
+  bool first = true;
+  for (const auto& [code, count] : failures_by_code) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + code + "\": " + std::to_string(count);
+  }
+  out += "}, \"stage_latencies\": [";
+  for (size_t i = 0; i < stage_latencies.size(); ++i) {
+    const StageLatencySummary& stage = stage_latencies[i];
+    if (i > 0) out += ", ";
+    out += "{\"stage\": \"" + stage.name + "\"";
+    out += ", \"metric\": \"" + stage.metric + "\"";
+    out += ", \"count\": " + std::to_string(stage.count);
+    out += ", \"total_seconds\": " + FormatDouble(stage.total_seconds, 6);
+    out += ", \"p50_seconds\": " + FormatDouble(stage.p50_seconds, 9);
+    out += ", \"p95_seconds\": " + FormatDouble(stage.p95_seconds, 9);
+    out += ", \"p99_seconds\": " + FormatDouble(stage.p99_seconds, 9) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Result<ExtractionContext> ExtractionContext::Create(const Ontology& ontology,
+                                                    ContextOptions options) {
+  RecognizerCache& cache =
+      options.cache != nullptr ? *options.cache : GlobalRecognizerCache();
+  auto recognizer = cache.Get(ontology);
+  if (!recognizer.ok()) return recognizer.status();
+  return ExtractionContext(&ontology, std::move(recognizer).value(),
+                           std::move(options));
+}
+
+ExtractionContext ExtractionContext::FromCompiledRecognizer(
+    const Ontology& ontology, const Recognizer& recognizer,
+    ContextOptions options) {
+  // Aliasing shared_ptr with no control block: borrowed, never freed here.
+  return ExtractionContext(
+      &ontology,
+      std::shared_ptr<const Recognizer>(std::shared_ptr<const Recognizer>(),
+                                        &recognizer),
+      std::move(options));
+}
+
+Result<IntegratedResult> ExtractionContext::ExtractDocument(
+    std::string_view html) const {
+  DocumentArena arena;
+  return ExtractDocument(html, arena);
+}
+
+Result<IntegratedResult> ExtractionContext::ExtractDocument(
+    std::string_view html, DocumentArena& arena) const {
+  obs::ScopedTimer document_timer(obs::Stages().document);
+  obs::Stages().documents->Increment();
+  const DiscoveryOptions& base = options_.discovery;
+
+  auto tree = BuildTagTree(html, base.limits, &arena);
+  if (!tree.ok()) return tree.status();
+
+  // Locate the record region (Section 3) — the same analysis the
+  // discoverer performs; done here first because the recognizer pass runs
+  // over this region's text.
+  auto analysis = ExtractCandidateTags(*tree, base.candidate_options);
+  if (!analysis.ok()) return analysis.status();
+
+  // One recognizer pass over the region's plain text, every entry
+  // re-positioned into document byte offsets.
+  TextIndex index(*tree, *analysis->subtree);
+  DataRecordTable text_table = recognizer_->Recognize(index.text());
+
+  IntegratedResult result;
+  {
+    // DRT build: reposition the text-relative entries into document byte
+    // offsets and freeze them as this document's Data-Record Table.
+    obs::ScopedTimer drt_timer(obs::Stages().drt);
+    std::vector<DataRecordEntry> repositioned;
+    repositioned.reserve(text_table.size());
+    for (DataRecordEntry entry : text_table.entries()) {
+      entry.begin = index.ToDocumentOffset(entry.begin);
+      entry.end = index.ToDocumentOffset(entry.end);
+      repositioned.push_back(std::move(entry));
+    }
+    result.table = DataRecordTable(std::move(repositioned));
+  }
+
+  // Discovery, with OM fed by the table-derived estimate (O(d)). The
+  // estimator is constructed HERE, on a standalone options copy — plain
+  // DiscoveryOptions cannot carry one, so no caller setting is ever
+  // overwritten.
+  StandaloneDiscoveryOptions discovery_options(base);
+  discovery_options.estimator = std::make_shared<FixedRecordCountEstimator>(
+      EstimateFromTable(*ontology_, result.table));
+  RecordBoundaryDiscoverer discoverer(std::move(discovery_options));
+  auto discovery = discoverer.Discover(*tree);
+  if (!discovery.ok()) return discovery.status();
+  result.discovery = std::move(discovery).value();
+  // The tag tree dies with this function; the subtree pointer must not
+  // escape (candidate tags and rankings remain valid by value).
+  result.discovery.analysis.subtree = nullptr;
+  result.separator = result.discovery.separator;
+
+  // Partition the table at the separator's document positions; the
+  // leading partition is the page preamble. The dbgen span covers
+  // partitioning plus entity generation — everything downstream of
+  // boundary discovery.
+  obs::ScopedTimer dbgen_timer(obs::Stages().dbgen);
+  std::vector<size_t> cuts = index.SeparatorPositions(result.separator);
+  if (cuts.empty()) {
+    return Status::Internal("separator <" + result.separator +
+                            "> has no occurrences in its own region");
+  }
+  std::vector<DataRecordTable> partitions = result.table.PartitionAt(cuts);
+  partitions.erase(partitions.begin());  // preamble
+  // A trailing separator (Figure 2's final <hr>) leaves an empty tail
+  // partition; drop it, mirroring the record extractor's empty-chunk rule.
+  while (!partitions.empty() && partitions.back().empty()) {
+    partitions.pop_back();
+  }
+  result.partitions = std::move(partitions);
+
+  // One entity per partition.
+  auto generator = DatabaseInstanceGenerator::Create(*ontology_);
+  if (!generator.ok()) return generator.status();
+  auto catalog = generator->PopulateFromPartitions(result.partitions);
+  if (!catalog.ok()) return catalog.status();
+  result.catalog = std::move(catalog).value();
+  return result;
+}
+
+Result<BatchResult> ExtractionContext::ExtractCorpus(
+    const std::vector<std::string_view>& corpus,
+    const BatchRunOptions& run) const {
+  const int threads = ResolveThreads(run.num_threads);
+  const bool metrics = obs::MetricsEnabled();
+  obs::MetricsSnapshot before;
+  if (metrics) before = obs::MetricsRegistry::Global().Snapshot();
+  const auto start = std::chrono::steady_clock::now();
+
+  // Per-document slots, written by exactly one task each and read only
+  // after the owning future is waited on (the future's happens-before edge
+  // publishes the slot to this thread).
+  std::vector<std::optional<Result<IntegratedResult>>> slots(corpus.size());
+
+  // One DocumentArena per chunk: a worker processes its chunk's documents
+  // consecutively through ONE warm arena, Reset() between documents, so
+  // block allocation and tag-name interning amortize across the chunk.
+  auto process_range = [&](size_t begin, size_t end) {
+    DocumentArena arena;
+    for (size_t i = begin; i < end; ++i) {
+      if (run.document_hook) run.document_hook(i);
+      arena.Reset();
+      slots[i].emplace(ExtractDocument(corpus[i], arena));
+    }
+  };
+
+  // Converts a task exception into per-document results for the chunk's
+  // documents that never got one, so the batch reports the failure instead
+  // of dereferencing unengaged slots (or dying outright on one bad chunk).
+  auto fail_unfilled = [&](size_t begin, size_t end, const std::string& why) {
+    for (size_t i = begin; i < end; ++i) {
+      if (!slots[i].has_value()) {
+        slots[i].emplace(Status::Internal("batch task failed: " + why));
+      }
+    }
+  };
+
+  double pool_busy_seconds = 0;
+  if (threads == 1 || corpus.size() <= 1) {
+    // Inline fast path: no pool, no queue traffic — and one arena for the
+    // whole corpus. A 1-thread batch is therefore exactly the
+    // per-document loop plus the warm recognizer and allocator.
+    try {
+      process_range(0, corpus.size());
+    } catch (const std::exception& e) {
+      fail_unfilled(0, corpus.size(), e.what());
+    } catch (...) {
+      fail_unfilled(0, corpus.size(), "unknown exception");
+    }
+  } else {
+    const size_t chunk =
+        ResolveChunkSize(run.chunk_size, corpus.size(), threads);
+    ThreadPool pool(threads);
+    struct ChunkTask {
+      size_t begin;
+      size_t end;
+      std::future<void> future;
+    };
+    std::vector<ChunkTask> tasks;
+    tasks.reserve(corpus.size() / chunk + 1);
+    for (size_t begin = 0; begin < corpus.size(); begin += chunk) {
+      const size_t end = std::min(corpus.size(), begin + chunk);
+      tasks.push_back(ChunkTask{
+          begin, end, pool.Submit([&process_range, begin, end]() {
+            process_range(begin, end);
+          })});
+    }
+    // Wait on EVERY future before reading any slot: an early throwing
+    // get() must not abandon the chunks still in flight (their tasks
+    // would keep writing into `slots` after this frame died — UB), and a
+    // throwing chunk must surface as per-document errors, not kill the
+    // batch.
+    for (ChunkTask& task : tasks) {
+      try {
+        task.future.get();
+      } catch (const std::exception& e) {
+        fail_unfilled(task.begin, task.end, e.what());
+      } catch (...) {
+        fail_unfilled(task.begin, task.end, "unknown exception");
+      }
+    }
+    pool_busy_seconds = pool.busy_seconds();
+  }
+  // Belt and braces: no slot may be unengaged past this point.
+  fail_unfilled(0, corpus.size(), "task produced no result");
+
+  const auto stop = std::chrono::steady_clock::now();
+
+  BatchResult batch;
+  batch.documents.reserve(corpus.size());
+  batch.stats.documents = corpus.size();
+  batch.stats.threads_used = threads;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    batch.stats.total_bytes += corpus[i].size();
+    Result<IntegratedResult>& result = *slots[i];
+    if (result.ok()) {
+      ++batch.stats.succeeded;
+    } else {
+      ++batch.stats.failed;
+      ++batch.stats.failures_by_code[std::string(
+          StatusCodeName(result.status().code()))];
+    }
+    batch.documents.push_back(std::move(result));
+  }
+  batch.stats.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  if (batch.stats.wall_seconds > 0) {
+    batch.stats.docs_per_second =
+        static_cast<double>(batch.stats.documents) / batch.stats.wall_seconds;
+    batch.stats.bytes_per_second =
+        static_cast<double>(batch.stats.total_bytes) /
+        batch.stats.wall_seconds;
+  }
+  if (metrics) {
+    batch.stats.stage_latencies =
+        StageDeltas(before, obs::MetricsRegistry::Global().Snapshot());
+    if (batch.stats.wall_seconds > 0 && threads > 1) {
+      batch.stats.pool_utilization =
+          pool_busy_seconds /
+          (batch.stats.wall_seconds * static_cast<double>(threads));
+    }
+  }
+  return batch;
+}
+
+Result<BatchResult> ExtractionContext::ExtractCorpus(
+    const std::vector<std::string>& corpus, const BatchRunOptions& run) const {
+  std::vector<std::string_view> views;
+  views.reserve(corpus.size());
+  for (const std::string& document : corpus) views.emplace_back(document);
+  return ExtractCorpus(views, run);
+}
+
+}  // namespace webrbd

@@ -1,0 +1,237 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The unified extraction API. An ExtractionContext is built ONCE per
+// (ontology, options) pair — compiling the ontology's matching rules
+// through a RecognizerCache at construction — and is then shared, const
+// and thread-safe, by every document and corpus extraction:
+//
+//   auto context = ExtractionContext::Create(ontology);
+//   auto result  = context->ExtractDocument(html);          // one page
+//   auto batch   = context->ExtractCorpus(corpus, {.num_threads = 8});
+//
+// This replaces the pre-PR-5 surface where RunIntegratedPipeline took the
+// ontology (and optionally a recognizer) per CALL and RunBatchPipeline
+// re-bundled the same knobs into a BatchOptions — two overload families
+// whose defaults could silently disagree. Those entry points survive as
+// thin deprecated shims (extract/integrated_pipeline.h,
+// extract/batch_pipeline.h) that construct a context per call.
+//
+// The context also owns the estimator wiring that used to be a trap:
+// DiscoveryOptions carries no record-count estimator (see
+// core/discovery.h's StandaloneDiscoveryOptions); the integrated flow
+// always derives OM's estimate from the Data-Record Table, as the paper
+// specifies, so a caller-supplied estimator can no longer be silently
+// overwritten — it is unrepresentable here.
+//
+// Memory: every per-document tag tree is bump-allocated from a
+// DocumentArena (html/arena.h). ExtractDocument uses a private arena by
+// default; the arena-taking overload and ExtractCorpus reuse ONE arena per
+// worker across a whole chunk of documents (Reset() between documents
+// retains the blocks and the tag-name intern table), which is where the
+// batch engine's warm-allocator throughput comes from.
+
+#ifndef WEBRBD_EXTRACT_EXTRACTION_CONTEXT_H_
+#define WEBRBD_EXTRACT_EXTRACTION_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/discovery.h"
+#include "db/catalog.h"
+#include "extract/data_record_table.h"
+#include "extract/recognizer.h"
+#include "extract/recognizer_cache.h"
+#include "html/arena.h"
+#include "ontology/model.h"
+#include "util/result.h"
+
+namespace webrbd {
+
+/// Everything the integrated pipeline produces for one document.
+struct IntegratedResult {
+  /// The consensus separator.
+  std::string separator;
+
+  /// Full discovery diagnostics (rankings, certainties).
+  DiscoveryResult discovery;
+
+  /// The Data-Record Table over the record region, positioned in DOCUMENT
+  /// byte offsets (the paper's Descriptor/String/Position).
+  DataRecordTable table;
+
+  /// The table partitioned at the separator's document positions; entry i
+  /// corresponds to record i (the preamble partition is already dropped).
+  std::vector<DataRecordTable> partitions;
+
+  /// One entity row per partition (plus aux-table rows).
+  db::Catalog catalog;
+};
+
+/// Per-context configuration, fixed at Create() time and shared by every
+/// extraction made through the context.
+struct ContextOptions {
+  /// Discovery knobs (heuristics, certainty table, candidate thresholds)
+  /// plus the per-document resource caps (discovery.limits, a
+  /// robust::DocumentLimits — these also bound the document arena).
+  DiscoveryOptions discovery;
+
+  /// Recognizer cache to compile/fetch through; nullptr uses the
+  /// process-wide GlobalRecognizerCache().
+  RecognizerCache* cache = nullptr;
+};
+
+/// Per-run knobs of ExtractCorpus (the context itself carries everything
+/// per-document).
+struct BatchRunOptions {
+  /// Worker threads. 0 means one per hardware thread; 1 runs inline on the
+  /// calling thread with no pool at all.
+  int num_threads = 0;
+
+  /// Documents per pool task. 0 picks a chunk size that gives each worker
+  /// several tasks (for load balance) while amortizing queue traffic on
+  /// large corpora. Chunking also keeps one worker's documents
+  /// consecutive, so the worker's DocumentArena stays warm (blocks and
+  /// intern table reused via Reset()) across a run of documents instead of
+  /// ping-ponging between threads.
+  size_t chunk_size = 0;
+
+  /// Called with the document index just before each document is
+  /// processed, on the processing thread. An exception it throws is
+  /// handled exactly like a failing extraction task (the affected
+  /// documents get Status::Internal results). Used by tests for fault
+  /// injection and by embedders for progress tracing; leave empty for no
+  /// overhead.
+  std::function<void(size_t)> document_hook;
+};
+
+/// One pipeline stage's latency summary for a single batch run.
+struct StageLatencySummary {
+  std::string name;          ///< short stage name, e.g. "lex", "recognize"
+  std::string metric;        ///< registry histogram name
+  uint64_t count = 0;        ///< spans recorded during this run
+  double total_seconds = 0;  ///< summed span time (across all workers)
+  double p50_seconds = 0;
+  double p95_seconds = 0;
+  double p99_seconds = 0;
+};
+
+/// Corpus-level throughput and failure accounting for one batch run.
+struct CorpusStats {
+  size_t documents = 0;      ///< corpus size
+  size_t succeeded = 0;      ///< documents with an OK result
+  size_t failed = 0;         ///< documents with a non-OK result
+  size_t total_bytes = 0;    ///< summed HTML sizes
+  double wall_seconds = 0;   ///< end-to-end wall time of the batch
+  double docs_per_second = 0;
+  double bytes_per_second = 0;
+  int threads_used = 1;      ///< resolved worker count
+
+  /// Failure counts keyed by StatusCodeName (e.g. "ParseError" -> 3).
+  std::map<std::string, size_t> failures_by_code;
+
+  /// Per-stage latency deltas for this run, in pipeline order. Filled only
+  /// when obs::MetricsEnabled(); empty otherwise. Stage totals can exceed
+  /// wall_seconds on multi-thread runs (they sum across workers), and the
+  /// "candidates" stage records two spans per document (the integrated
+  /// pipeline analyzes candidates once directly and once inside
+  /// discovery).
+  std::vector<StageLatencySummary> stage_latencies;
+
+  /// Worker busy fraction of the pool over the batch window (0 when
+  /// metrics are disabled or the batch ran inline without a pool).
+  double pool_utilization = 0;
+
+  /// Human-readable multi-line summary (the CLI's `batch` output).
+  std::string ToString() const;
+
+  /// Machine-readable one-object JSON rendering of the same numbers,
+  /// including the per-stage latency table.
+  std::string ToJson() const;
+};
+
+/// Everything a batch run produces.
+struct BatchResult {
+  /// documents[i] is the per-document outcome for corpus[i], input order.
+  std::vector<Result<IntegratedResult>> documents;
+
+  CorpusStats stats;
+};
+
+/// An immutable, thread-safe extraction engine for one ontology.
+///
+/// Lifetime: the context borrows `ontology` (and, via
+/// FromCompiledRecognizer, the recognizer); both must outlive it. The
+/// compiled recognizer obtained through Create() is shared-owned and keeps
+/// itself alive. Copying a context is cheap (it copies options and bumps
+/// the recognizer refcount).
+class ExtractionContext {
+ public:
+  /// Compiles (or fetches from the cache in `options.cache`) the
+  /// recognizer for `ontology` and returns a ready context. Fails only
+  /// when the ontology's matching rules do not compile.
+  [[nodiscard]] static Result<ExtractionContext> Create(
+      const Ontology& ontology, ContextOptions options = {});
+
+  /// Wraps an already-compiled `recognizer` (which must have been created
+  /// from `ontology` or a structurally identical one) without touching any
+  /// cache. The recognizer is borrowed, not owned.
+  [[nodiscard]] static ExtractionContext FromCompiledRecognizer(
+      const Ontology& ontology, const Recognizer& recognizer,
+      ContextOptions options = {});
+
+  /// Runs the paper's integrated flow on one document: recognize once over
+  /// the record region's text, estimate the record count from the
+  /// Data-Record Table, discover the separator, partition, and populate
+  /// the database catalog. Thread-safe: any number of threads may call
+  /// this concurrently on one context.
+  [[nodiscard]] Result<IntegratedResult> ExtractDocument(
+      std::string_view html) const;
+
+  /// Same, but builds the document's tag tree out of a caller-owned
+  /// `arena` so repeated calls reuse its blocks and intern table. The
+  /// caller must Reset() the arena between documents and must not share
+  /// one arena across concurrent calls.
+  [[nodiscard]] Result<IntegratedResult> ExtractDocument(
+      std::string_view html, DocumentArena& arena) const;
+
+  /// Runs ExtractDocument over every document in `corpus`, fanning out
+  /// across a thread pool per `run`. Output is deterministic and
+  /// thread-count independent: documents[i] is exactly what
+  /// ExtractDocument(corpus[i]) would return, in input order, whether the
+  /// engine runs on 1 thread or 64. Per-document errors land in their
+  /// result slots, never abort the corpus. The string data behind `corpus`
+  /// must outlive the call.
+  [[nodiscard]] Result<BatchResult> ExtractCorpus(
+      const std::vector<std::string_view>& corpus,
+      const BatchRunOptions& run = {}) const;
+
+  /// Convenience overload for owned-string corpora.
+  [[nodiscard]] Result<BatchResult> ExtractCorpus(
+      const std::vector<std::string>& corpus,
+      const BatchRunOptions& run = {}) const;
+
+  const Ontology& ontology() const { return *ontology_; }
+  const Recognizer& recognizer() const { return *recognizer_; }
+  const ContextOptions& options() const { return options_; }
+
+ private:
+  ExtractionContext(const Ontology* ontology,
+                    std::shared_ptr<const Recognizer> recognizer,
+                    ContextOptions options)
+      : ontology_(ontology),
+        recognizer_(std::move(recognizer)),
+        options_(std::move(options)) {}
+
+  const Ontology* ontology_;
+  std::shared_ptr<const Recognizer> recognizer_;
+  ContextOptions options_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_EXTRACT_EXTRACTION_CONTEXT_H_

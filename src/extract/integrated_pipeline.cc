@@ -2,119 +2,29 @@
 
 #include "extract/integrated_pipeline.h"
 
-#include "extract/db_instance_generator.h"
-#include "extract/recognizer.h"
-#include "extract/recognizer_cache.h"
-#include "html/text_index.h"
-#include "html/tree_builder.h"
-#include "obs/stages.h"
+#include <utility>
 
 namespace webrbd {
-
-namespace {
-
-// The paper's O(d) record-count estimate: one scan of the Data-Record
-// Table, counting each record-identifying field's indications (keyword
-// entries for keyword-bearing fields, constants otherwise) and averaging.
-std::optional<double> EstimateFromTable(const Ontology& ontology,
-                                        const DataRecordTable& table) {
-  const std::vector<const ObjectSet*> fields =
-      ontology.RecordIdentifyingFields();
-  if (fields.size() < 3) return std::nullopt;
-  double total = 0.0;
-  for (const ObjectSet* field : fields) {
-    total += static_cast<double>(
-        field->frame.HasKeywords()
-            ? table.CountFor(field->name, MatchKind::kKeyword)
-            : table.CountFor(field->name, MatchKind::kConstant));
-  }
-  return total / static_cast<double>(fields.size());
-}
-
-}  // namespace
 
 Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
                                                const Ontology& ontology,
                                                const Recognizer& recognizer,
                                                DiscoveryOptions base) {
-  obs::ScopedTimer document_timer(obs::Stages().document);
-  obs::Stages().documents->Increment();
-
-  auto tree = BuildTagTree(html, base.limits);
-  if (!tree.ok()) return tree.status();
-
-  // Locate the record region (Section 3) — the same analysis the
-  // discoverer performs; done here first because the recognizer pass runs
-  // over this region's text.
-  auto analysis = ExtractCandidateTags(*tree, base.candidate_options);
-  if (!analysis.ok()) return analysis.status();
-
-  // One recognizer pass over the region's plain text, every entry
-  // re-positioned into document byte offsets.
-  TextIndex index(*tree, *analysis->subtree);
-  DataRecordTable text_table = recognizer.Recognize(index.text());
-
-  IntegratedResult result;
-  {
-    // DRT build: reposition the text-relative entries into document byte
-    // offsets and freeze them as this document's Data-Record Table.
-    obs::ScopedTimer drt_timer(obs::Stages().drt);
-    std::vector<DataRecordEntry> repositioned;
-    repositioned.reserve(text_table.size());
-    for (DataRecordEntry entry : text_table.entries()) {
-      entry.begin = index.ToDocumentOffset(entry.begin);
-      entry.end = index.ToDocumentOffset(entry.end);
-      repositioned.push_back(std::move(entry));
-    }
-    result.table = DataRecordTable(std::move(repositioned));
-  }
-
-  // Discovery, with OM fed by the table-derived estimate (O(d)).
-  base.estimator = std::make_shared<FixedRecordCountEstimator>(
-      EstimateFromTable(ontology, result.table));
-  RecordBoundaryDiscoverer discoverer(base);
-  auto discovery = discoverer.Discover(*tree);
-  if (!discovery.ok()) return discovery.status();
-  result.discovery = std::move(discovery).value();
-  // The tag tree dies with this function; the subtree pointer must not
-  // escape (candidate tags and rankings remain valid by value).
-  result.discovery.analysis.subtree = nullptr;
-  result.separator = result.discovery.separator;
-
-  // Partition the table at the separator's document positions; the
-  // leading partition is the page preamble. The dbgen span covers
-  // partitioning plus entity generation — everything downstream of
-  // boundary discovery.
-  obs::ScopedTimer dbgen_timer(obs::Stages().dbgen);
-  std::vector<size_t> cuts = index.SeparatorPositions(result.separator);
-  if (cuts.empty()) {
-    return Status::Internal("separator <" + result.separator +
-                            "> has no occurrences in its own region");
-  }
-  std::vector<DataRecordTable> partitions = result.table.PartitionAt(cuts);
-  partitions.erase(partitions.begin());  // preamble
-  // A trailing separator (Figure 2's final <hr>) leaves an empty tail
-  // partition; drop it, mirroring the record extractor's empty-chunk rule.
-  while (!partitions.empty() && partitions.back().empty()) {
-    partitions.pop_back();
-  }
-  result.partitions = std::move(partitions);
-
-  // One entity per partition.
-  auto generator = DatabaseInstanceGenerator::Create(ontology);
-  if (!generator.ok()) return generator.status();
-  auto catalog = generator->PopulateFromPartitions(result.partitions);
-  if (!catalog.ok()) return catalog.status();
-  result.catalog = std::move(catalog).value();
-  return result;
+  ContextOptions options;
+  options.discovery = std::move(base);
+  return ExtractionContext::FromCompiledRecognizer(ontology, recognizer,
+                                                   std::move(options))
+      .ExtractDocument(html);
 }
 
 Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
                                                const Ontology& ontology,
                                                DiscoveryOptions base) {
-  auto recognizer = GlobalRecognizerCache().Get(ontology);
-  if (!recognizer.ok()) return recognizer.status();
-  return RunIntegratedPipeline(html, ontology, **recognizer, std::move(base));
+  ContextOptions options;
+  options.discovery = std::move(base);
+  auto context = ExtractionContext::Create(ontology, std::move(options));
+  if (!context.ok()) return context.status();
+  return context->ExtractDocument(html);
 }
 
 }  // namespace webrbd

@@ -1,76 +1,47 @@
 // Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
 //
-// The paper's integrated extraction flow (Section 4.5). The naive pipeline
-// re-runs every recognizer on every record; the paper instead argues that
-// within the larger data-extraction process the regular expressions run
-// over the record region's plain text exactly ONCE:
+// DEPRECATED compatibility surface. The integrated per-document flow
+// (Section 4.5 — recognize once, estimate from the Data-Record Table,
+// discover, partition, populate) now lives on ExtractionContext
+// (extract/extraction_context.h), which is built once per ontology and
+// reused across documents and corpora:
 //
-//   "the entries in the Data-Record Table are ordered by position in the
-//    document. Once we discover the separator tag, we can use the position
-//    of the separator tags in the document to partition the Data-Record
-//    Table into sets of entries that are in a one-to-one correspondence
-//    with the records" — and OM's contribution is then a single O(d) scan
-//    of that table.
+//   auto context = ExtractionContext::Create(ontology);
+//   auto result  = context->ExtractDocument(html);
 //
-// This module implements that flow: recognize once (document-positioned
-// table via html/text_index.h), estimate the record count from the table,
-// discover the separator, partition at its document positions, and
-// assemble one database row per partition.
+// The RunIntegratedPipeline overloads below construct a throwaway context
+// per call and forward. They remain for out-of-tree callers and for the
+// golden equivalence tests; new code in this repository must not call them
+// (webrbd_lint's deprecated-pipeline-entry rule enforces this in src/ and
+// tools/). They will be removed two PRs after the context API landed.
 
 #ifndef WEBRBD_EXTRACT_INTEGRATED_PIPELINE_H_
 #define WEBRBD_EXTRACT_INTEGRATED_PIPELINE_H_
 
-#include <string>
-#include <vector>
+#include <string_view>
 
 #include "core/discovery.h"
-#include "db/catalog.h"
-#include "extract/data_record_table.h"
-#include "extract/recognizer.h"
+#include "extract/extraction_context.h"
 #include "ontology/model.h"
 #include "util/result.h"
 
 namespace webrbd {
 
-/// Everything the integrated pipeline produces for one document.
-struct IntegratedResult {
-  /// The consensus separator.
-  std::string separator;
-
-  /// Full discovery diagnostics (rankings, certainties).
-  DiscoveryResult discovery;
-
-  /// The Data-Record Table over the record region, positioned in DOCUMENT
-  /// byte offsets (the paper's Descriptor/String/Position).
-  DataRecordTable table;
-
-  /// The table partitioned at the separator's document positions; entry i
-  /// corresponds to record i (the preamble partition is already dropped).
-  std::vector<DataRecordTable> partitions;
-
-  /// One entity row per partition (plus aux-table rows).
-  db::Catalog catalog;
-};
-
-/// Runs the integrated pipeline on `html` with `ontology`, using a
-/// pre-built `recognizer` (see extract/recognizer_cache.h) so matching-rule
-/// compilation stays out of the per-document hot path. `recognizer` must
-/// have been created from `ontology` (or a structurally identical one).
-/// `base` supplies heuristics/certainty knobs; its estimator field is
-/// ignored (the OM estimate comes from the Data-Record Table, as the paper
-/// specifies). Thread-compatible: concurrent calls may share `recognizer`
-/// and `ontology`.
+/// DEPRECATED: use ExtractionContext::FromCompiledRecognizer(...)
+/// .ExtractDocument(html). Runs the integrated pipeline on `html` with a
+/// pre-built `recognizer` created from `ontology`. `base` supplies the
+/// heuristic/certainty knobs; the OM estimate always comes from the
+/// Data-Record Table (DiscoveryOptions cannot carry an estimator).
 [[nodiscard]] Result<IntegratedResult> RunIntegratedPipeline(
     std::string_view html, const Ontology& ontology,
     const Recognizer& recognizer, DiscoveryOptions base = {});
 
-/// Compatibility overload: fetches the compiled recognizer from the
-/// process-wide cache (compiling on the first call per ontology content)
-/// and forwards to the overload above. Single-document callers therefore
-/// no longer pay recompilation on every call either.
-[[nodiscard]] Result<IntegratedResult> RunIntegratedPipeline(std::string_view html,
-                                               const Ontology& ontology,
-                                               DiscoveryOptions base = {});
+/// DEPRECATED: use ExtractionContext::Create(ontology).ExtractDocument(html).
+/// Fetches the compiled recognizer from the process-wide cache (compiling
+/// on the first call per ontology content) and forwards.
+[[nodiscard]] Result<IntegratedResult> RunIntegratedPipeline(
+    std::string_view html, const Ontology& ontology,
+    DiscoveryOptions base = {});
 
 }  // namespace webrbd
 

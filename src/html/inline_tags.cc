@@ -1,0 +1,31 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "html/inline_tags.h"
+
+namespace webrbd {
+
+namespace {
+
+constexpr std::string_view kInlineTagNames[] = {
+    "b",  "i",    "u",     "em",  "strong", "font", "a",
+    "span", "small", "big", "tt",  "sup",    "sub"};
+
+}  // namespace
+
+bool IsInlineTagName(std::string_view name) {
+  for (std::string_view inline_name : kInlineTagNames) {
+    if (name == inline_name) return true;
+  }
+  return false;
+}
+
+std::vector<bool> InlineSymbolTable(const TagNameInterner& interner) {
+  std::vector<bool> table(interner.size(), false);
+  for (std::string_view name : kInlineTagNames) {
+    const TagSymbol symbol = interner.Find(name);
+    if (symbol != kInvalidTagSymbol) table[symbol] = true;
+  }
+  return table;
+}
+
+}  // namespace webrbd

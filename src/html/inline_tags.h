@@ -1,0 +1,29 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The shared inline-tag set: tags whose boundaries do not interrupt text
+// flow when reconstructing a region's plain text (every other tag renders
+// as a line break, as a browser would). Used by html/text_index.cc and
+// core/record_extractor.cc, which must agree byte-for-byte.
+
+#ifndef WEBRBD_HTML_INLINE_TAGS_H_
+#define WEBRBD_HTML_INLINE_TAGS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "html/arena.h"
+
+namespace webrbd {
+
+/// True for tags whose boundaries do not interrupt text flow (b, i, a,
+/// span, ...).
+bool IsInlineTagName(std::string_view name);
+
+/// Per-symbol rendering of the inline set: table[s] is true iff
+/// interner.NameOf(s) is an inline tag. Sized to interner.size(); callers
+/// must bounds-check (or only index with symbols from the same interner).
+std::vector<bool> InlineSymbolTable(const TagNameInterner& interner);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_HTML_INLINE_TAGS_H_

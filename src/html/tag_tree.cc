@@ -4,23 +4,8 @@
 
 namespace webrbd {
 
-TagNode::~TagNode() {
-  if (children.empty()) return;
-  // Drain the subtree into a flat worklist so destruction never recurses:
-  // each node is detached from its children before it is destroyed, so the
-  // implicit member destructors only ever see empty vectors.
-  std::vector<std::unique_ptr<TagNode>> pending = std::move(children);
-  children.clear();
-  while (!pending.empty()) {
-    std::unique_ptr<TagNode> node = std::move(pending.back());
-    pending.pop_back();
-    for (auto& child : node->children) pending.push_back(std::move(child));
-    node->children.clear();
-  }
-}
-
 const TagNode& TagTree::HighestFanoutSubtree() const {
-  const TagNode* best = root_.get();
+  const TagNode* best = root_;
   PreOrderVisit(*root_, [&best](const TagNode& node, int) {
     if (node.fanout() > best->fanout()) best = &node;
   });
@@ -28,7 +13,7 @@ const TagNode& TagTree::HighestFanoutSubtree() const {
 }
 
 size_t TagTree::CountStartTags(const TagNode& node) const {
-  if (&node == root_.get()) {
+  if (&node == root_) {
     // The super-root has no start tag of its own; count the whole stream.
     size_t count = 0;
     for (const HtmlToken& token : tokens_) {
@@ -48,7 +33,7 @@ std::string TagTree::PlainText(const TagNode& node) const {
   std::string out;
   size_t begin = node.token_begin;
   size_t end = node.token_end;
-  if (&node == root_.get()) {
+  if (&node == root_) {
     begin = 0;
     end = tokens_.empty() ? 0 : tokens_.size() - 1;
   }
@@ -69,7 +54,7 @@ std::string TagTree::ToAsciiArt() const {
 }
 
 std::pair<size_t, size_t> TagTree::TokenSpan(const TagNode& node) const {
-  if (&node == root_.get()) {
+  if (&node == root_) {
     if (tokens_.empty()) return {1, 0};  // empty range
     return {0, tokens_.size() - 1};
   }

@@ -5,25 +5,44 @@
 // ends at its end-tag, or — when the end-tag is missing — just before the
 // next tag. Nodes carry the plain text immediately inside the region (the
 // paper's "I") and immediately after it ("O").
+//
+// Storage model: every TagNode (and each node's children array) lives in a
+// DocumentArena (html/arena.h); names are interned tag symbols backed by
+// the arena's intern table, child lists are contiguous pointer spans, and
+// text fields are views into the balanced token stream the TagTree owns.
+// Nodes are trivially destructible — destroying a tree is one arena
+// release, with no per-node work at any nesting depth.
 
 #ifndef WEBRBD_HTML_TAG_TREE_H_
 #define WEBRBD_HTML_TAG_TREE_H_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "html/arena.h"
 #include "html/token.h"
 
 namespace webrbd {
 
-/// One region node of a tag tree.
+/// One region node of a tag tree. Arena-allocated and trivially
+/// destructible: all reference-like members view storage owned elsewhere
+/// (the arena's intern table, the TagTree's token stream, the arena).
 struct TagNode {
-  /// Lowercased tag name. The synthetic super-root is named "#document".
-  std::string name;
+  /// Lowercased tag name, backed by the intern table. The synthetic
+  /// super-root is named "#document".
+  std::string_view name;
 
-  /// Attributes of the start tag.
-  std::vector<HtmlAttribute> attrs;
+  /// Interned symbol of `name` — integer name equality for the heuristics.
+  TagSymbol symbol = kInvalidTagSymbol;
+
+  /// Attributes of the start tag (views the owning token's attribute
+  /// vector, which the TagTree keeps alive).
+  std::span<const HtmlAttribute> attrs;
 
   /// Byte range [region_begin, region_end) of the region in the document,
   /// from the start of the opening tag through the end of the closing tag.
@@ -31,10 +50,10 @@ struct TagNode {
   size_t region_end = 0;
 
   /// Plain text between the start-tag and the next tag ("I" in Appendix A).
-  std::string inner_text;
+  std::string_view inner_text;
 
   /// Plain text between the end-tag and the next tag ("O" in Appendix A).
-  std::string tail_text;
+  std::string_view tail_text;
 
   /// True when the end tag was inserted by the builder (paper: "missing").
   bool end_tag_synthesized = false;
@@ -45,20 +64,43 @@ struct TagNode {
   size_t token_end = 0;
 
   TagNode* parent = nullptr;
-  std::vector<std::unique_ptr<TagNode>> children;
 
-  TagNode() = default;
-  TagNode(TagNode&&) = default;
-  TagNode& operator=(TagNode&&) = default;
-
-  /// Destroys the subtree iteratively (explicit worklist). The default
-  /// destructor would recurse once per nesting level through the children
-  /// unique_ptrs and overflow the stack on deep-nesting bombs long before
-  /// any DocumentLimits cap could trip.
-  ~TagNode();
+  /// Immediate children, in document order — one contiguous arena array.
+  std::span<TagNode* const> children;
 
   /// Number of immediate children — the paper's "fan-out".
   size_t fanout() const { return children.size(); }
+};
+
+static_assert(std::is_trivially_destructible_v<TagNode>,
+              "TagNode must die with its arena, destructor-free");
+
+/// Owns or borrows the DocumentArena a tree's nodes live in. Trees built
+/// standalone own a private arena; trees built by a batch worker borrow
+/// the worker's arena, which the worker Reset()s between documents.
+class ArenaHandle {
+ public:
+  explicit ArenaHandle(std::unique_ptr<DocumentArena> owned)
+      : owned_(std::move(owned)), arena_(owned_.get()) {}
+  explicit ArenaHandle(DocumentArena* borrowed) : arena_(borrowed) {}
+
+  ArenaHandle(ArenaHandle&& other) noexcept
+      : owned_(std::move(other.owned_)), arena_(other.arena_) {
+    other.arena_ = nullptr;
+  }
+  ArenaHandle& operator=(ArenaHandle&& other) noexcept {
+    owned_ = std::move(other.owned_);
+    arena_ = other.arena_;
+    other.arena_ = nullptr;
+    return *this;
+  }
+
+  DocumentArena* get() const { return arena_; }
+  DocumentArena* operator->() const { return arena_; }
+
+ private:
+  std::unique_ptr<DocumentArena> owned_;
+  DocumentArena* arena_;
 };
 
 /// An immutable tag tree plus the (rewritten, balanced) token stream it was
@@ -67,10 +109,12 @@ struct TagNode {
 /// paper's interval and adjacency computations need.
 class TagTree {
  public:
-  TagTree(std::unique_ptr<TagNode> root, std::vector<HtmlToken> tokens,
-          std::string document)
-      : root_(std::move(root)),
+  TagTree(ArenaHandle arena, TagNode* root, std::vector<HtmlToken> tokens,
+          std::vector<TagSymbol> token_symbols, std::string document)
+      : arena_(std::move(arena)),
+        root_(root),
         tokens_(std::move(tokens)),
+        token_symbols_(std::move(token_symbols)),
         document_(std::move(document)) {}
 
   TagTree(TagTree&&) = default;
@@ -83,6 +127,29 @@ class TagTree {
   /// The balanced token stream: comments/processing discarded, missing end
   /// tags inserted (marked synthetic), self-closing tags expanded.
   const std::vector<HtmlToken>& tokens() const { return tokens_; }
+
+  /// Interned tag symbol per token, parallel to tokens(). Text tokens
+  /// carry kInvalidTagSymbol. Heuristic scans compare these integers
+  /// instead of the tokens' name strings.
+  const std::vector<TagSymbol>& token_symbols() const {
+    return token_symbols_;
+  }
+
+  /// The intern table behind this tree's symbols (shared by every tree
+  /// built through the same arena).
+  const TagNameInterner& interner() const { return arena_->interner(); }
+
+  /// Symbol of a tag name within this tree's table; kInvalidTagSymbol for
+  /// names no tree on this arena has ever seen (which therefore cannot
+  /// occur in tokens()).
+  TagSymbol SymbolOf(std::string_view name) const {
+    return interner().Find(name);
+  }
+
+  /// Display name of an interned symbol.
+  std::string_view NameOf(TagSymbol symbol) const {
+    return interner().NameOf(symbol);
+  }
 
   /// The original document text.
   const std::string& document() const { return document_; }
@@ -113,8 +180,10 @@ class TagTree {
   std::pair<size_t, size_t> TokenSpan(const TagNode& node) const;
 
  private:
-  std::unique_ptr<TagNode> root_;
+  ArenaHandle arena_;
+  TagNode* root_;
   std::vector<HtmlToken> tokens_;
+  std::vector<TagSymbol> token_symbols_;
   std::string document_;
 };
 
@@ -139,7 +208,7 @@ void PreOrderVisit(const TagNode& node, Visitor&& visit, int depth = 0) {
     // first — identical order to the recursive formulation.
     for (auto it = frame.node->children.rbegin();
          it != frame.node->children.rend(); ++it) {
-      stack.push_back({it->get(), frame.depth + 1});
+      stack.push_back({*it, frame.depth + 1});
     }
   }
 }

@@ -4,26 +4,16 @@
 
 #include <algorithm>
 
+#include "html/inline_tags.h"
+
 namespace webrbd {
-
-namespace {
-
-// Mirrors the record extractor's inline-tag set (see
-// core/record_extractor.cc): boundaries of these tags do not interrupt
-// text flow.
-bool IsInlineTagName(const std::string& name) {
-  return name == "b" || name == "i" || name == "u" || name == "em" ||
-         name == "strong" || name == "font" || name == "a" ||
-         name == "span" || name == "small" || name == "big" ||
-         name == "tt" || name == "sup" || name == "sub";
-}
-
-}  // namespace
 
 TextIndex::TextIndex(const TagTree& tree, const TagNode& node)
     : tree_(&tree), node_(&node) {
   const auto [first, last] = tree.TokenSpan(node);
   const auto& tokens = tree.tokens();
+  const auto& symbols = tree.token_symbols();
+  const std::vector<bool> inline_symbol = InlineSymbolTable(tree.interner());
   region_end_ = node.region_end;
   if (&node == &tree.root()) region_end_ = tree.document().size();
 
@@ -33,7 +23,7 @@ TextIndex::TextIndex(const TagTree& tree, const TagNode& node)
       segments_.push_back(Segment{text_.size(), token.begin, false});
       text_ += token.text;
     } else if (token.kind == HtmlToken::Kind::kStartTag &&
-               !IsInlineTagName(token.name)) {
+               !inline_symbol[symbols[i]]) {
       segments_.push_back(Segment{text_.size(), token.begin, true});
       text_ += '\n';
     }
@@ -61,11 +51,14 @@ size_t TextIndex::ToDocumentOffset(size_t text_offset) const {
 std::vector<size_t> TextIndex::SeparatorPositions(
     const std::string& tag) const {
   std::vector<size_t> positions;
+  const TagSymbol symbol = tree_->SymbolOf(tag);
+  if (symbol == kInvalidTagSymbol) return positions;
   const auto [first, last] = tree_->TokenSpan(*node_);
   const auto& tokens = tree_->tokens();
+  const auto& symbols = tree_->token_symbols();
   for (size_t i = first; i <= last && i < tokens.size(); ++i) {
-    if (tokens[i].kind == HtmlToken::Kind::kStartTag &&
-        tokens[i].name == tag) {
+    if (symbols[i] == symbol &&
+        tokens[i].kind == HtmlToken::Kind::kStartTag) {
       positions.push_back(tokens[i].begin);
     }
   }

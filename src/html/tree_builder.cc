@@ -3,7 +3,10 @@
 #include "html/tree_builder.h"
 
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "html/lexer.h"
 #include "obs/stages.h"
@@ -15,9 +18,18 @@ namespace {
 
 // --- Step 2: balance the token stream -------------------------------------
 
+// The balanced stream plus the interned symbol of each token (text tokens
+// carry kInvalidTagSymbol). Interning happens here, in the same pass that
+// filters the raw stream, so Step 3 and every downstream heuristic compare
+// integers instead of name strings.
+struct BalancedStream {
+  std::vector<HtmlToken> tokens;
+  std::vector<TagSymbol> symbols;
+};
+
 struct OpenTag {
-  std::string name;
-  size_t token_index;  // index of the start tag in the filtered stream
+  TagSymbol symbol = kInvalidTagSymbol;
+  size_t token_index = 0;  // index of the start tag in the filtered stream
 };
 
 // Answers "first surviving tag at or after index i" in amortized
@@ -74,24 +86,39 @@ HtmlToken SyntheticEndTag(const std::vector<HtmlToken>& tokens,
   return token;
 }
 
+Status InternOverflow() {
+  obs::Robust().trip_arena_bytes->Increment();
+  return Status::ResourceExhausted(
+      "tag-name intern table overflow (more than 65534 distinct tag names)");
+}
+
 // Implements the paper's Step 2 on the token stream: drops useless tokens
 // and inserts missing end tags so that the result is balanced and properly
 // nested. An unclosed tag's synthesized end-tag is placed just before the
 // next tag after its start-tag, which is exactly the paper's region rule.
 //
-// Near-linear by construction: matching an end tag consults a per-name
+// Near-linear by construction: matching an end tag consults a per-symbol
 // index of open-stack positions (instead of scanning the whole stack), and
 // placing a synthesized end tag consults the path-compressed
 // SurvivingTagIndex (instead of rescanning the token stream).
-std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
+Result<BalancedStream> BalanceTokens(std::vector<HtmlToken> raw,
+                                     TagNameInterner& interner) {
   // Discard comments / declarations / processing instructions up front
-  // (the paper's "useless" <!... tags), and expand self-closing tags.
+  // (the paper's "useless" <!... tags), expand self-closing tags, and
+  // intern every surviving tag name.
   std::vector<HtmlToken> tokens;
+  std::vector<TagSymbol> symbols;
   tokens.reserve(raw.size());
+  symbols.reserve(raw.size());
   for (HtmlToken& token : raw) {
     if (token.kind == HtmlToken::Kind::kComment ||
         token.kind == HtmlToken::Kind::kProcessing) {
       continue;
+    }
+    TagSymbol symbol = kInvalidTagSymbol;
+    if (token.IsTag()) {
+      symbol = interner.Intern(token.name);
+      if (symbol == kInvalidTagSymbol) return InternOverflow();
     }
     if (token.kind == HtmlToken::Kind::kStartTag && token.self_closing) {
       HtmlToken end;
@@ -102,47 +129,57 @@ std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
       end.end = token.end;
       token.self_closing = false;
       tokens.push_back(std::move(token));
+      symbols.push_back(symbol);
       tokens.push_back(std::move(end));
+      symbols.push_back(symbol);
       continue;
     }
     tokens.push_back(std::move(token));
+    symbols.push_back(symbol);
   }
 
   std::vector<OpenTag> stack;
-  // Stack positions of each currently-open tag name, in increasing order;
-  // back() is the innermost open tag of that name.
-  std::map<std::string, std::vector<size_t>, std::less<>> open_by_name;
+  // Stack positions of each currently-open tag symbol, in increasing
+  // order; back() is the innermost open tag of that symbol. Indexed by
+  // symbol — the intern table keeps these ids dense.
+  std::vector<std::vector<size_t>> open_by_symbol;
   // insert_before token index -> synthesized end tags (in close order).
-  std::map<size_t, std::vector<HtmlToken>> insertions;
+  struct PendingEnd {
+    HtmlToken token;
+    TagSymbol symbol;
+  };
+  std::map<size_t, std::vector<PendingEnd>> insertions;
   std::vector<bool> discard(tokens.size(), false);
   SurvivingTagIndex surviving(tokens, discard);
 
   auto close_unmatched = [&](const OpenTag& open) {
     size_t at = surviving.Resolve(open.token_index + 1);
-    insertions[at].push_back(SyntheticEndTag(tokens, open.name, at));
+    insertions[at].push_back(PendingEnd{
+        SyntheticEndTag(tokens, tokens[open.token_index].name, at),
+        open.symbol});
   };
 
   for (size_t i = 0; i < tokens.size(); ++i) {
     const HtmlToken& token = tokens[i];
     if (token.kind == HtmlToken::Kind::kStartTag) {
-      open_by_name[token.name].push_back(stack.size());
-      stack.push_back(OpenTag{token.name, i});
+      const TagSymbol symbol = symbols[i];
+      if (symbol >= open_by_symbol.size()) open_by_symbol.resize(symbol + 1);
+      open_by_symbol[symbol].push_back(stack.size());
+      stack.push_back(OpenTag{symbol, i});
     } else if (token.kind == HtmlToken::Kind::kEndTag) {
-      // Innermost open tag of the same name, if any.
-      auto match_it = open_by_name.find(token.name);
-      if (match_it == open_by_name.end()) {
+      // Innermost open tag of the same symbol, if any.
+      const TagSymbol symbol = symbols[i];
+      if (symbol >= open_by_symbol.size() || open_by_symbol[symbol].empty()) {
         discard[i] = true;  // end tag with no corresponding start: useless
         continue;
       }
-      size_t match = match_it->second.back();
+      size_t match = open_by_symbol[symbol].back();
       // Pop everything above the match (synthesizing their end tags,
       // innermost first) plus the match itself, unindexing each popped
       // entry: the entry being popped is always the innermost — and thus
-      // the last-indexed — occurrence of its name.
+      // the last-indexed — occurrence of its symbol.
       for (size_t s = stack.size(); s-- > match;) {
-        auto it = open_by_name.find(stack[s].name);
-        it->second.pop_back();
-        if (it->second.empty()) open_by_name.erase(it);
+        open_by_symbol[stack[s].symbol].pop_back();
         if (s > match) close_unmatched(stack[s]);
       }
       stack.resize(match);
@@ -155,15 +192,20 @@ std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
 
   // Merge: emit synthesized ends scheduled before each index, then the
   // surviving original token.
-  std::vector<HtmlToken> balanced;
-  balanced.reserve(tokens.size() + insertions.size());
+  BalancedStream balanced;
+  balanced.tokens.reserve(tokens.size() + insertions.size());
+  balanced.symbols.reserve(tokens.size() + insertions.size());
   for (size_t i = 0; i <= tokens.size(); ++i) {
     auto it = insertions.find(i);
     if (it != insertions.end()) {
-      for (HtmlToken& end : it->second) balanced.push_back(std::move(end));
+      for (PendingEnd& end : it->second) {
+        balanced.tokens.push_back(std::move(end.token));
+        balanced.symbols.push_back(end.symbol);
+      }
     }
     if (i < tokens.size() && !discard[i]) {
-      balanced.push_back(std::move(tokens[i]));
+      balanced.tokens.push_back(std::move(tokens[i]));
+      balanced.symbols.push_back(symbols[i]);
     }
   }
   return balanced;
@@ -171,17 +213,41 @@ std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
 
 // --- Step 3: build the tree from the balanced stream ----------------------
 
-Result<std::unique_ptr<TagNode>> BuildFromBalanced(
-    const std::vector<HtmlToken>& tokens, size_t document_size,
-    const robust::DocumentLimits& limits) {
-  auto root = std::make_unique<TagNode>();
-  root->name = "#document";
+// Appends one text token's bytes to a node text field. The first run is a
+// zero-copy view into the token's own storage (owned by the TagTree); a
+// second run — possible when a comment was discarded between two text
+// tokens — coalesces into the arena.
+void AppendText(std::string_view* field, std::string_view piece,
+                DocumentArena& arena) {
+  *field = field->empty() ? piece : arena.Concat(*field, piece);
+}
+
+Result<TagNode*> BuildFromBalanced(DocumentArena& arena,
+                                   const BalancedStream& stream,
+                                   size_t document_size,
+                                   const robust::DocumentLimits& limits) {
+  const std::vector<HtmlToken>& tokens = stream.tokens;
+  const TagSymbol root_symbol = arena.interner().Intern("#document");
+  if (root_symbol == kInvalidTagSymbol) return InternOverflow();
+
+  TagNode* root = arena.New<TagNode>();
+  root->name = arena.interner().NameOf(root_symbol);
+  root->symbol = root_symbol;
   root->region_begin = 0;
   root->region_end = document_size;
   root->token_begin = 0;
   root->token_end = tokens.empty() ? 0 : tokens.size() - 1;
 
-  std::vector<TagNode*> stack = {root.get()};
+  // Open-element stack. `child_mark` is each frame's watermark into the
+  // shared `pending_children` scratch: closed nodes await adoption there,
+  // and when their parent closes, its children sit contiguously at
+  // [child_mark, end) — copied to the arena as one span.
+  struct OpenFrame {
+    TagNode* node;
+    size_t child_mark;
+  };
+  std::vector<OpenFrame> stack = {{root, 0}};
+  std::vector<TagNode*> pending_children;
   TagNode* last_closed = nullptr;
 
   for (size_t i = 0; i < tokens.size(); ++i) {
@@ -196,29 +262,42 @@ Result<std::unique_ptr<TagNode>> BuildFromBalanced(
               "tag nesting exceeds max_tree_depth " +
               std::to_string(limits.max_tree_depth));
         }
-        auto node = std::make_unique<TagNode>();
-        node->name = token.name;
-        node->attrs = token.attrs;
+        if (robust::LimitExceeded(arena.bytes_in_use(),
+                                  limits.max_arena_bytes)) {
+          obs::Robust().trip_arena_bytes->Increment();
+          return Status::ResourceExhausted(
+              "tag tree exceeds max_arena_bytes " +
+              std::to_string(limits.max_arena_bytes));
+        }
+        TagNode* node = arena.New<TagNode>();
+        node->symbol = stream.symbols[i];
+        node->name = arena.interner().NameOf(node->symbol);
+        node->attrs = {token.attrs.data(), token.attrs.size()};
         node->region_begin = token.begin;
         node->token_begin = i;
-        node->parent = stack.back();
-        TagNode* raw = node.get();
-        stack.back()->children.push_back(std::move(node));
-        stack.push_back(raw);
+        node->parent = stack.back().node;
+        stack.push_back(OpenFrame{node, pending_children.size()});
         last_closed = nullptr;
         break;
       }
       case HtmlToken::Kind::kEndTag: {
-        if (stack.size() < 2 || stack.back()->name != token.name) {
+        if (stack.size() < 2 ||
+            stack.back().node->symbol != stream.symbols[i]) {
           return Status::Internal(
               "tree builder: balanced stream violated nesting at token " +
               std::to_string(i) + " </" + token.name + ">");
         }
-        TagNode* node = stack.back();
+        OpenFrame frame = stack.back();
         stack.pop_back();
+        TagNode* node = frame.node;
         node->region_end = token.end;
         node->token_end = i;
         node->end_tag_synthesized = token.synthetic;
+        node->children =
+            arena.CopyArray(pending_children.data() + frame.child_mark,
+                            pending_children.size() - frame.child_mark);
+        pending_children.resize(frame.child_mark);
+        pending_children.push_back(node);
         last_closed = node;
         break;
       }
@@ -227,13 +306,13 @@ Result<std::unique_ptr<TagNode>> BuildFromBalanced(
         // just opened; "O": text after an end tag goes to the node just
         // closed.
         if (last_closed != nullptr) {
-          last_closed->tail_text += token.text;
-        } else if (stack.back()->children.empty()) {
-          stack.back()->inner_text += token.text;
+          AppendText(&last_closed->tail_text, token.text, arena);
+        } else if (pending_children.size() == stack.back().child_mark) {
+          AppendText(&stack.back().node->inner_text, token.text, arena);
         } else {
           // Text between siblings with no intervening close (defensive;
           // unreachable with a balanced stream).
-          stack.back()->children.back()->tail_text += token.text;
+          AppendText(&pending_children.back()->tail_text, token.text, arena);
         }
         break;
       }
@@ -245,25 +324,45 @@ Result<std::unique_ptr<TagNode>> BuildFromBalanced(
   if (stack.size() != 1) {
     return Status::Internal("tree builder: unclosed nodes after balancing");
   }
+  root->children =
+      arena.CopyArray(pending_children.data(), pending_children.size());
   return root;
+}
+
+Result<TagTree> BuildWithArena(std::string_view document,
+                               const robust::DocumentLimits& limits,
+                               ArenaHandle arena) {
+  DocumentArena& a = *arena.get();
+  auto lexed = LexHtml(document, limits);  // records the lex stage span
+  if (!lexed.ok()) return lexed.status();
+  obs::ScopedTimer timer(obs::Stages().tree_build);
+  auto balanced = BalanceTokens(std::move(lexed).value(), a.interner());
+  if (!balanced.ok()) return balanced.status();
+  auto root = BuildFromBalanced(a, *balanced, document.size(), limits);
+  if (!root.ok()) return root.status();
+  obs::Html().arena_bytes->Set(static_cast<double>(a.bytes_in_use()));
+  obs::Html().intern_table_size->Set(
+      static_cast<double>(a.interner().size()));
+  return TagTree(std::move(arena), *root, std::move(balanced->tokens),
+                 std::move(balanced->symbols), std::string(document));
 }
 
 }  // namespace
 
 Result<TagTree> BuildTagTree(std::string_view document,
                              const robust::DocumentLimits& limits) {
-  auto lexed = LexHtml(document, limits);  // records the lex stage span
-  if (!lexed.ok()) return lexed.status();
-  obs::ScopedTimer timer(obs::Stages().tree_build);
-  std::vector<HtmlToken> balanced = BalanceTokens(std::move(lexed).value());
-  auto root = BuildFromBalanced(balanced, document.size(), limits);
-  if (!root.ok()) return root.status();
-  return TagTree(std::move(root).value(), std::move(balanced),
-                 std::string(document));
+  return BuildWithArena(document, limits,
+                        ArenaHandle(std::make_unique<DocumentArena>()));
 }
 
 Result<TagTree> BuildTagTree(std::string_view document) {
   return BuildTagTree(document, robust::DocumentLimits::Production());
+}
+
+Result<TagTree> BuildTagTree(std::string_view document,
+                             const robust::DocumentLimits& limits,
+                             DocumentArena* arena) {
+  return BuildWithArena(document, limits, ArenaHandle(arena));
 }
 
 }  // namespace webrbd

@@ -11,12 +11,18 @@
 // The paper rewrites the document text between steps; we rewrite the token
 // stream instead, which is equivalent and avoids the copy. The whole
 // pipeline is O(n) in document length.
+//
+// Tag names are interned during Step 2 (one TagSymbol per distinct name),
+// and Step 3 bump-allocates every node out of a DocumentArena — either a
+// private one (the two-argument overloads) or a caller-supplied one that a
+// batch worker reuses, Reset() between documents, across its whole chunk.
 
 #ifndef WEBRBD_HTML_TREE_BUILDER_H_
 #define WEBRBD_HTML_TREE_BUILDER_H_
 
 #include <string_view>
 
+#include "html/arena.h"
 #include "html/tag_tree.h"
 #include "robust/limits.h"
 #include "util/result.h"
@@ -26,12 +32,21 @@ namespace webrbd {
 /// Builds the tag tree of `document`. Never fails on malformed markup (the
 /// algorithm is specified to repair it); it fails with kResourceExhausted
 /// when the document trips a fatal DocumentLimits cap (size, token count,
-/// nesting depth), and with kInternal only on invariant violations.
+/// nesting depth, arena bytes), and with kInternal only on invariant
+/// violations.
 [[nodiscard]] Result<TagTree> BuildTagTree(std::string_view document,
                                            const robust::DocumentLimits& limits);
 
 /// Convenience overload using the production default limits.
 [[nodiscard]] Result<TagTree> BuildTagTree(std::string_view document);
+
+/// Builds into a caller-owned `arena`, which must outlive the returned
+/// TagTree. The caller Reset()s the arena between documents (after the
+/// previous document's tree is gone) to reuse its blocks and intern table.
+/// On failure the arena may hold partial allocations until the next Reset.
+[[nodiscard]] Result<TagTree> BuildTagTree(std::string_view document,
+                                           const robust::DocumentLimits& limits,
+                                           DocumentArena* arena);
 
 }  // namespace webrbd
 

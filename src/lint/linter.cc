@@ -138,6 +138,9 @@ const std::vector<LintRuleInfo>& AllLintRules() {
       {"tagnode-recursion",
        "functions over TagNode iterate with an explicit stack, never "
        "recurse (adversarial nesting overflows the call stack)"},
+      {"deprecated-pipeline-entry",
+       "src/ and tools/ must not call the deprecated RunIntegratedPipeline/"
+       "RunBatchPipeline shims; construct an ExtractionContext instead"},
   };
   return kRules;
 }
@@ -374,6 +377,7 @@ void Linter::LintFile(const LintSource& source,
   CheckUncheckedStatus(source, scrubbed_lines, findings);
   CheckUnguardedValue(source, scrubbed_lines, findings);
   CheckTagNodeRecursion(source, scrubbed_lines, findings);
+  CheckDeprecatedPipelineEntry(source, scrubbed_lines, findings);
 }
 
 void Linter::CheckLicenseHeader(const LintSource& source,
@@ -702,6 +706,43 @@ void Linter::CheckTagNodeRecursion(
                        "with an explicit stack (see PreOrderVisit)",
                    findings);
         break;
+      }
+    }
+  }
+}
+
+void Linter::CheckDeprecatedPipelineEntry(
+    const LintSource& source, const std::vector<std::string>& scrubbed_lines,
+    std::vector<LintFinding>* findings) const {
+  // Only library and tool code is held to the new API; tests and bench
+  // exercise the shims on purpose (golden equivalence, migration cost).
+  if (!StartsWith(source.path, "src/") && !StartsWith(source.path, "tools/")) {
+    return;
+  }
+  // The shims themselves necessarily name the deprecated entry points.
+  static const std::vector<std::string_view> kShimFiles = {
+      "src/extract/integrated_pipeline.h", "src/extract/integrated_pipeline.cc",
+      "src/extract/batch_pipeline.h", "src/extract/batch_pipeline.cc"};
+  for (std::string_view shim : kShimFiles) {
+    if (source.path == shim) return;
+  }
+  const std::vector<std::string> original_lines = SplitLines(source.content);
+  static const std::vector<std::string_view> kDeprecated = {
+      "RunIntegratedPipeline", "RunBatchPipeline"};
+  for (size_t i = 0; i < scrubbed_lines.size(); ++i) {
+    const std::string& line = scrubbed_lines[i];
+    for (std::string_view name : kDeprecated) {
+      for (size_t pos = line.find(name); pos != std::string::npos;
+           pos = line.find(name, pos + 1)) {
+        if (pos > 0 && IsIdentChar(line[pos - 1])) continue;
+        size_t after = pos + name.size();
+        while (after < line.size() && IsAsciiSpace(line[after])) ++after;
+        if (after >= line.size() || line[after] != '(') continue;
+        AddFinding(source, original_lines, i + 1, "deprecated-pipeline-entry",
+                   "'" + std::string(name) +
+                       "' is a deprecated shim; build an ExtractionContext "
+                       "once and call ExtractDocument/ExtractCorpus",
+                   findings);
       }
     }
   }

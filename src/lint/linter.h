@@ -24,6 +24,10 @@
 //   tagnode-recursion   a function taking a TagNode must not call itself:
 //                       adversarial nesting depth overflows the call stack;
 //                       iterate with an explicit stack (see PreOrderVisit)
+//   deprecated-pipeline-entry
+//                       library and tool code (src/, tools/) must not call
+//                       the deprecated RunIntegratedPipeline/RunBatchPipeline
+//                       shims — construct an ExtractionContext instead
 
 #ifndef WEBRBD_LINT_LINTER_H_
 #define WEBRBD_LINT_LINTER_H_
@@ -149,6 +153,10 @@ class Linter {
   void CheckTagNodeRecursion(const LintSource& source,
                              const std::vector<std::string>& scrubbed_lines,
                              std::vector<LintFinding>* findings) const;
+  void CheckDeprecatedPipelineEntry(
+      const LintSource& source,
+      const std::vector<std::string>& scrubbed_lines,
+      std::vector<LintFinding>* findings) const;
 
   std::set<std::string> status_functions_;
 

@@ -68,7 +68,8 @@ const CacheMetrics& Cache() {
 }
 
 uint64_t RobustMetrics::FatalTripTotal() const {
-  return trip_doc_bytes->count() + trip_tokens->count() + trip_depth->count();
+  return trip_doc_bytes->count() + trip_tokens->count() +
+         trip_depth->count() + trip_arena_bytes->count();
 }
 
 const RobustMetrics& Robust() {
@@ -81,10 +82,22 @@ const RobustMetrics& Robust() {
     r.trip_attrs = registry.GetCounter(mn::kRobustTripAttrs);
     r.trip_attr_value = registry.GetCounter(mn::kRobustTripAttrValue);
     r.trip_regex_closure = registry.GetCounter(mn::kRobustTripRegexClosure);
+    r.trip_arena_bytes = registry.GetCounter(mn::kRobustTripArenaBytes);
     r.lexer_recoveries = registry.GetCounter(mn::kRobustLexerRecoveries);
     return r;
   }();
   return robust;
+}
+
+const HtmlMetrics& Html() {
+  static const HtmlMetrics html = []() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    HtmlMetrics h;
+    h.arena_bytes = registry.GetGauge(mn::kHtmlArenaBytes);
+    h.intern_table_size = registry.GetGauge(mn::kHtmlInternTableSize);
+    return h;
+  }();
+  return html;
 }
 
 const std::vector<StageName>& PipelineStageNames() {
@@ -119,7 +132,8 @@ const std::vector<std::string>& AllDocumentedMetricNames() {
           mn::kRcacheMisses, mn::kRcacheCompile, mn::kRobustTripDocBytes,
           mn::kRobustTripTokens, mn::kRobustTripDepth, mn::kRobustTripAttrs,
           mn::kRobustTripAttrValue, mn::kRobustTripRegexClosure,
-          mn::kRobustLexerRecoveries}) {
+          mn::kRobustTripArenaBytes, mn::kRobustLexerRecoveries,
+          mn::kHtmlArenaBytes, mn::kHtmlInternTableSize}) {
       all.emplace_back(name);
     }
     return all;
@@ -132,6 +146,7 @@ void EnsureDocumentedMetricsRegistered() {
   Pool();
   Cache();
   Robust();
+  Html();
 }
 
 }  // namespace obs

@@ -88,6 +88,15 @@ inline constexpr std::string_view kRobustTripRegexClosure =
     "webrbd_robust_limit_trips_regex_closure_total";
 inline constexpr std::string_view kRobustLexerRecoveries =
     "webrbd_robust_lexer_recoveries_total";
+inline constexpr std::string_view kRobustTripArenaBytes =
+    "webrbd_robust_limit_trips_arena_bytes_total";
+
+// HTML layer (html/arena.h): the tag-tree arena. arena_bytes is the bytes
+// the most recent tree build left in use in its arena; intern_table_size
+// is the distinct tag names in that arena's intern table.
+inline constexpr std::string_view kHtmlArenaBytes = "webrbd_html_arena_bytes";
+inline constexpr std::string_view kHtmlInternTableSize =
+    "webrbd_html_intern_table_size";
 
 }  // namespace metric_names
 
@@ -150,13 +159,23 @@ struct RobustMetrics {
   Counter* trip_attrs;
   Counter* trip_attr_value;
   Counter* trip_regex_closure;
+  Counter* trip_arena_bytes;
   Counter* lexer_recoveries;
 
-  /// Sum of the fatal limit-trip counters (doc bytes, tokens, depth).
+  /// Sum of the fatal limit-trip counters (doc bytes, tokens, depth,
+  /// arena bytes).
   uint64_t FatalTripTotal() const;
 };
 
 const RobustMetrics& Robust();
+
+/// Pre-resolved HTML-layer gauges (tag-tree arena accounting).
+struct HtmlMetrics {
+  Gauge* arena_bytes;
+  Gauge* intern_table_size;
+};
+
+const HtmlMetrics& Html();
 
 /// Short display names for the per-stage latency table, paired with the
 /// registry histogram names, in pipeline order.

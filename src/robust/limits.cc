@@ -12,6 +12,7 @@ DocumentLimits DocumentLimits::Unlimited() {
   limits.max_tree_depth = 0;
   limits.max_attributes_per_tag = 0;
   limits.max_attribute_value_bytes = 0;
+  limits.max_arena_bytes = 0;
   limits.max_regex_closure_depth = 0;
   return limits;
 }
@@ -26,6 +27,7 @@ std::string DocumentLimits::ToString() const {
   out += " max_tree_depth=" + render(max_tree_depth);
   out += " max_attributes_per_tag=" + render(max_attributes_per_tag);
   out += " max_attribute_value_bytes=" + render(max_attribute_value_bytes);
+  out += " max_arena_bytes=" + render(max_arena_bytes);
   out += " max_regex_closure_depth=" + render(max_regex_closure_depth);
   return out;
 }

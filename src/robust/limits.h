@@ -52,6 +52,13 @@ struct DocumentLimits {
   /// re-lexed as unquoted (the unterminated-quote recovery).
   size_t max_attribute_value_bytes = 64 << 10;  // 64 KiB
 
+  /// Fatal: tree building aborts when the document's arena (all TagNode
+  /// storage, children arrays, and coalesced text) exceeds this many
+  /// bytes. The default is far above what max_tokens-bounded documents
+  /// can reach (~2M nodes at ~128 bytes each) while capping allocator
+  /// blow-up if other caps are lifted.
+  size_t max_arena_bytes = 512ull << 20;  // 512 MiB
+
   /// Conservative: the regex VM stops expanding one epsilon closure after
   /// this many instructions (it may then miss matches, never crash). The
   /// closure is already bounded by program size via generation marking,

@@ -22,7 +22,7 @@ std::shared_ptr<const RecordCountEstimator> ObituaryEstimator() {
 }
 
 TEST(DiscoveryTest, Figure2EndToEndMatchesPaper) {
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator = ObituaryEstimator();
   auto discovery = DiscoverRecordBoundaries(Figure2Document(), options);
   ASSERT_TRUE(discovery.ok()) << discovery.status().ToString();

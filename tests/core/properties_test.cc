@@ -67,8 +67,8 @@ TEST(CandidateProperties, CandidatesAndIrrelevantPartitionChildren) {
       EXPECT_TRUE(classified.insert(c.name).second) << "duplicate " << c.name;
     }
     std::set<std::string> child_names;
-    for (const auto& child : analysis.subtree->children) {
-      child_names.insert(child->name);
+    for (const TagNode* child : analysis.subtree->children) {
+      child_names.insert(std::string(child->name));
     }
     EXPECT_EQ(classified, child_names) << doc.site_name;
     // Counts are consistent: child_count <= subtree_count.

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "extract/integrated_pipeline.h"
 #include "gen/sites.h"
 #include "obs/metrics.h"
 #include "obs/stages.h"

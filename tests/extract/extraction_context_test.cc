@@ -1,0 +1,175 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Golden equivalence suite for the ExtractionContext API redesign: the
+// deprecated RunIntegratedPipeline/RunBatchPipeline shims, the context
+// paths (with and without a reused arena), and the batch engine at 1 and 8
+// threads must all produce byte-identical IntegratedResults — same
+// separator, same partitions, same catalog dump — on the generator
+// corpora. This is the contract that lets callers migrate mechanically.
+
+#include "extract/extraction_context.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "db/export.h"
+#include "extract/batch_pipeline.h"
+#include "extract/integrated_pipeline.h"
+#include "gen/sites.h"
+#include "ontology/bundled.h"
+
+namespace webrbd {
+namespace {
+
+std::vector<std::string> SmallCorpus(Domain domain, int documents) {
+  const auto& sites = gen::CalibrationSites();
+  std::vector<std::string> corpus;
+  corpus.reserve(static_cast<size_t>(documents));
+  for (int i = 0; i < documents; ++i) {
+    const auto& site = sites[static_cast<size_t>(i) % sites.size()];
+    corpus.push_back(
+        gen::RenderDocument(site, domain, i / static_cast<int>(sites.size()))
+            .html);
+  }
+  return corpus;
+}
+
+// The byte-comparable projection of an IntegratedResult: separator,
+// partition boundaries/sizes, and the full SQL dump of the catalog.
+std::string Golden(const IntegratedResult& result) {
+  std::string out = "separator=" + result.separator + "\n";
+  out += "table_entries=" + std::to_string(result.table.size()) + "\n";
+  for (const DataRecordTable& partition : result.partitions) {
+    out += "partition=" + std::to_string(partition.size()) + "\n";
+  }
+  out += db::ToSqlDump(result.catalog);
+  return out;
+}
+
+class ExtractionContextGoldenTest : public ::testing::TestWithParam<Domain> {};
+
+TEST_P(ExtractionContextGoldenTest, ShimAndContextPathsAreByteIdentical) {
+  const Ontology ontology = BundledOntology(GetParam()).value();
+  const std::vector<std::string> corpus = SmallCorpus(GetParam(), 6);
+
+  auto context = ExtractionContext::Create(ontology);
+  ASSERT_TRUE(context.ok()) << context.status().ToString();
+
+  DocumentArena arena;
+  for (const std::string& html : corpus) {
+    auto via_context = context->ExtractDocument(html);
+    ASSERT_TRUE(via_context.ok()) << via_context.status().ToString();
+    const std::string golden = Golden(*via_context);
+
+    // Arena-reuse path: same bytes out of a warm arena.
+    arena.Reset();
+    auto via_arena = context->ExtractDocument(html, arena);
+    ASSERT_TRUE(via_arena.ok());
+    EXPECT_EQ(Golden(*via_arena), golden);
+
+    // Deprecated single-document shim (global recognizer cache).
+    auto via_shim = RunIntegratedPipeline(html, ontology);
+    ASSERT_TRUE(via_shim.ok());
+    EXPECT_EQ(Golden(*via_shim), golden);
+
+    // Deprecated recognizer-passing shim.
+    auto via_recognizer_shim =
+        RunIntegratedPipeline(html, ontology, context->recognizer());
+    ASSERT_TRUE(via_recognizer_shim.ok());
+    EXPECT_EQ(Golden(*via_recognizer_shim), golden);
+  }
+}
+
+TEST_P(ExtractionContextGoldenTest, BatchMatchesSingleAcrossThreadCounts) {
+  const Ontology ontology = BundledOntology(GetParam()).value();
+  const std::vector<std::string> corpus = SmallCorpus(GetParam(), 8);
+
+  auto context = ExtractionContext::Create(ontology);
+  ASSERT_TRUE(context.ok()) << context.status().ToString();
+
+  std::vector<std::string> singles;
+  singles.reserve(corpus.size());
+  for (const std::string& html : corpus) {
+    auto single = context->ExtractDocument(html);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    singles.push_back(Golden(*single));
+  }
+
+  for (int threads : {1, 8}) {
+    BatchRunOptions run;
+    run.num_threads = threads;
+    run.chunk_size = 2;  // several chunks, arena reused within each
+    auto batch = context->ExtractCorpus(corpus, run);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_EQ(batch->documents.size(), corpus.size());
+    EXPECT_EQ(batch->stats.succeeded, corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      ASSERT_TRUE(batch->documents[i].ok());
+      EXPECT_EQ(Golden(*batch->documents[i]), singles[i])
+          << "threads=" << threads << " doc=" << i;
+    }
+
+    // The deprecated batch shim rides the same engine.
+    BatchOptions legacy;
+    legacy.num_threads = threads;
+    legacy.chunk_size = 2;
+    auto shim_batch = RunBatchPipeline(corpus, ontology, legacy);
+    ASSERT_TRUE(shim_batch.ok());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      ASSERT_TRUE(shim_batch->documents[i].ok());
+      EXPECT_EQ(Golden(*shim_batch->documents[i]), singles[i])
+          << "shim threads=" << threads << " doc=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, ExtractionContextGoldenTest,
+                         ::testing::Values(Domain::kObituaries,
+                                           Domain::kCarAds),
+                         [](const ::testing::TestParamInfo<Domain>& info) {
+                           std::string name = DomainName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(ExtractionContextTest, CreateFailsOnUncompilableOntology) {
+  ObjectSet broken;
+  broken.name = "Broken";
+  broken.frame.value_patterns = {"(unclosed"};
+  Ontology ontology("broken", "Entity", {broken});
+  auto context = ExtractionContext::Create(ontology);
+  EXPECT_FALSE(context.ok());
+}
+
+TEST(ExtractionContextTest, UsesTheProvidedCache) {
+  const Ontology ontology = BundledOntology(Domain::kObituaries).value();
+  RecognizerCache cache;
+  ContextOptions options;
+  options.cache = &cache;
+  auto context = ExtractionContext::Create(ontology, options);
+  ASSERT_TRUE(context.ok());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // A second context over the same cache hits.
+  auto second = ExtractionContext::Create(ontology, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ExtractionContextTest, ExtractDocumentFailsOnTaglessInput) {
+  const Ontology ontology = BundledOntology(Domain::kObituaries).value();
+  auto context = ExtractionContext::Create(ontology);
+  ASSERT_TRUE(context.ok());
+  auto result = context->ExtractDocument("no markup at all");
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -95,7 +95,7 @@ TEST(IntegratedPipelineTest, AgreesWithPerRecordPipeline) {
     auto integrated = RunIntegratedPipeline(doc.html, ontology);
     ASSERT_TRUE(integrated.ok()) << integrated.status().ToString();
 
-    DiscoveryOptions options;
+    StandaloneDiscoveryOptions options;
     options.estimator = MakeEstimatorForOntology(ontology).value();
     auto records = ExtractRecordsFromDocument(doc.html, options);
     ASSERT_TRUE(records.ok());
@@ -145,7 +145,7 @@ TEST(IntegratedPipelineTest, OmEstimateMatchesTextEstimator) {
 
   // OM's ranking in the integrated run must match a run with the text
   // estimator (identical estimates produce identical rankings).
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator = estimator;
   RecordBoundaryDiscoverer discoverer(options);
   auto reference = discoverer.Discover(tree).value();

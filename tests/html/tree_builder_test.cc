@@ -18,7 +18,9 @@ TagTree MustBuild(std::string_view doc) {
 // Flattened child-name list of a node, for shape assertions.
 std::vector<std::string> ChildNames(const TagNode& node) {
   std::vector<std::string> names;
-  for (const auto& child : node.children) names.push_back(child->name);
+  for (const TagNode* child : node.children) {
+    names.emplace_back(child->name);
+  }
   return names;
 }
 

@@ -19,7 +19,7 @@ namespace {
 
 TEST(PipelineTest, Figure2ToPopulatedDatabase) {
   auto ontology = BundledOntology(Domain::kObituaries).value();
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator = MakeEstimatorForOntology(ontology).value();
 
   auto records = ExtractRecordsFromDocument(Figure2Document(), options);
@@ -72,7 +72,7 @@ class EverySiteTest : public ::testing::TestWithParam<SiteCase> {};
 TEST_P(EverySiteTest, DiscoversCorrectSeparator) {
   const SiteCase& c = GetParam();
   auto ontology = BundledOntology(c.domain).value();
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator = MakeEstimatorForOntology(ontology).value();
 
   for (int doc_index : {0, 7}) {
@@ -145,7 +145,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(PipelineTest, GeneratedObituariesPopulateDatabase) {
   auto ontology = BundledOntology(Domain::kObituaries).value();
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator = MakeEstimatorForOntology(ontology).value();
 
   gen::GeneratedDocument doc = gen::RenderDocument(
@@ -171,7 +171,7 @@ TEST(PipelineTest, GeneratedObituariesPopulateDatabase) {
 
 TEST(PipelineTest, GeneratedCarAdsPopulateDatabase) {
   auto ontology = BundledOntology(Domain::kCarAds).value();
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.estimator = MakeEstimatorForOntology(ontology).value();
 
   gen::GeneratedDocument doc =

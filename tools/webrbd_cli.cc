@@ -17,6 +17,9 @@
 //   --format FORMAT        extract: text|json   populate: table|csv|sql
 //   --keep-leading         keep the chunk before the first separator
 //   --threads N            batch: worker threads (default: all cores)
+//   --chunk-size N         batch: documents per pool task (default: auto,
+//                          ~4 tasks per worker; each task reuses one warm
+//                          document arena across its chunk)
 //   --generate N           batch: run over N generated obituary documents
 //                          instead of a directory (no --ontology needed)
 //   --generate-adversarial N  batch: append N deterministic adversarial
@@ -47,7 +50,7 @@
 #include "core/record_extractor.h"
 #include "db/export.h"
 #include "eval/figure2.h"
-#include "extract/batch_pipeline.h"
+#include "extract/extraction_context.h"
 #include "extract/db_instance_generator.h"
 #include "gen/adversarial.h"
 #include "gen/sites.h"
@@ -70,6 +73,7 @@ struct CliOptions {
   std::string format;
   bool keep_leading = false;
   int threads = 0;
+  long long chunk_size = 0;
   int generate = 0;
   int generate_adversarial = 0;
   std::string metrics_out;
@@ -101,7 +105,8 @@ int Usage() {
       "commands: discover | extract | populate | classify | batch | demo\n"
       "options:  --heuristics LETTERS  --threshold FRACTION\n"
       "          --ontology FILE  --format FORMAT  --keep-leading\n"
-      "          --threads N  --generate N  --generate-adversarial N  (batch)\n"
+      "          --threads N  --chunk-size N  --generate N\n"
+      "          --generate-adversarial N  (batch)\n"
       "          --max-doc-bytes N  --max-depth N  --unlimited\n"
       "          --metrics-out FILE  (any command; .prom = Prometheus text)\n");
   return 2;
@@ -137,6 +142,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->threads = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--chunk-size") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->chunk_size = std::strtoll(v, nullptr, 10);
+      if (options->chunk_size < 0) {
+        std::fprintf(stderr, "--chunk-size must be >= 0\n");
+        return false;
+      }
     } else if (arg == "--generate") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -207,9 +220,9 @@ std::string JsonEscape(const std::string& s) {
 
 // Builds discovery options (and, when an ontology is given, the OM
 // estimator) from the CLI flags.
-Result<DiscoveryOptions> MakeDiscoveryOptions(
+Result<StandaloneDiscoveryOptions> MakeDiscoveryOptions(
     const CliOptions& cli, std::optional<Ontology>* ontology_out) {
-  DiscoveryOptions options;
+  StandaloneDiscoveryOptions options;
   options.heuristics = cli.heuristics;
   options.candidate_options.irrelevance_threshold = cli.threshold;
   options.limits = LimitsFromCli(cli);
@@ -246,7 +259,7 @@ int RunDiscover(const CliOptions& cli) {
   const DiscoveryResult& result = discovery->result;
   std::printf("separator: <%s>\n", result.separator.c_str());
   std::printf("region: <%s> fan-out %zu\n",
-              result.analysis.subtree->name.c_str(),
+              std::string(result.analysis.subtree->name).c_str(),
               result.analysis.subtree->fanout());
   std::printf("compound ranking:\n");
   for (const CompoundRankedTag& ranked : result.compound_ranking) {
@@ -462,12 +475,19 @@ int RunBatch(const CliOptions& cli) {
     }
   }
 
-  BatchOptions options;
-  options.num_threads = cli.threads;
+  ContextOptions options;
   options.discovery.heuristics = cli.heuristics;
   options.discovery.candidate_options.irrelevance_threshold = cli.threshold;
   options.discovery.limits = LimitsFromCli(cli);
-  auto batch = RunBatchPipeline(corpus, *ontology, options);
+  auto context = ExtractionContext::Create(*ontology, options);
+  if (!context.ok()) {
+    std::fprintf(stderr, "%s\n", context.status().ToString().c_str());
+    return 1;
+  }
+  BatchRunOptions run;
+  run.num_threads = cli.threads;
+  run.chunk_size = static_cast<size_t>(cli.chunk_size);
+  auto batch = context->ExtractCorpus(corpus, run);
   if (!batch.ok()) {
     std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
     return 1;
