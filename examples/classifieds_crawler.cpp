@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // A batch "crawl" over the whole synthetic web: every site of the paper's
 // Tables 1 and 6-9, every application domain it serves, several documents
 // per site. For each document the pipeline discovers the separator and the

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Extending the heuristic set: the SeparatorHeuristic interface lets you
 // add a sixth opinion and fold it into the Stanford-certainty consensus
 // next to the paper's five.

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Bringing up a brand-new application domain — real-estate listings —
 // without touching library code. This is the paper's Section 2 claim made
 // executable: "When we change applications ... we change the ontology ...

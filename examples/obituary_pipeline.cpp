@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // The full Figure 1 pipeline, end to end, on the paper's own Figure 2
 // document:
 //

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Quickstart: discover record boundaries in an HTML document and pull out
 // the records.
 //

@@ -1,3 +1,5 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
 // Crawling the synthetic web with page classification: fetch every URL a
 // site serves, decide what kind of page it is (the paper's future-work
 // assumption check), and run record-boundary discovery only on the pages

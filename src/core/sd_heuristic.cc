@@ -9,7 +9,8 @@ namespace webrbd {
 std::vector<size_t> SdHeuristic::IntervalsFor(const TagTree& tree,
                                               const TagNode& subtree,
                                               const std::string& tag) {
-  return IntervalsFor(tree, subtree, tree.SymbolOf(tag));
+  // Delegation to the TagSymbol overload, not self-recursion: depth is 1.
+  return IntervalsFor(tree, subtree, tree.SymbolOf(tag));  // lint:allow(tagnode-recursion)
 }
 
 std::vector<size_t> SdHeuristic::IntervalsFor(const TagTree& tree,

@@ -82,7 +82,7 @@ Result<std::shared_ptr<const Recognizer>> RecognizerCache::Get(
   bool owner = false;
   std::function<void(const std::string&)> hook;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = slots_.find(key);
     if (it != slots_.end()) {
       slot = it->second;
@@ -99,10 +99,10 @@ Result<std::shared_ptr<const Recognizer>> RecognizerCache::Get(
     // compile's latch — without touching the map lock, so lookups for
     // other keys proceed concurrently.
     if (!slot->done.load(std::memory_order_acquire)) {
-      std::unique_lock<std::mutex> slot_lock(slot->mu);
-      slot->cv.wait(slot_lock, [&slot]() {
-        return slot->done.load(std::memory_order_acquire);
-      });
+      MutexLock slot_lock(&slot->mu);
+      while (!slot->done.load(std::memory_order_acquire)) {
+        slot->cv.Wait(slot->mu);
+      }
     }
     if (slot->value != nullptr) {
       hits_.Increment();
@@ -133,19 +133,19 @@ Result<std::shared_ptr<const Recognizer>> RecognizerCache::Get(
   }
 
   {
-    std::unique_lock<std::mutex> slot_lock(slot->mu);
+    MutexLock slot_lock(&slot->mu);
     slot->value = shared;
     slot->error = error;
     slot->done.store(true, std::memory_order_release);
   }
-  slot->cv.notify_all();
+  slot->cv.NotifyAll();
 
   if (shared == nullptr) {
     // Compilation failures are not cached: drop the slot (if it is still
     // ours — Clear() may have removed it already) so a corrected ontology
     // with the same name can compile later. Waiters already holding the
     // slot still read the error from it.
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = slots_.find(key);
     if (it != slots_.end() && it->second == slot) slots_.erase(it);
     return error;
@@ -154,7 +154,7 @@ Result<std::shared_ptr<const Recognizer>> RecognizerCache::Get(
 }
 
 size_t RecognizerCache::size() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t ready = 0;
   for (const auto& [key, slot] : slots_) {
     if (slot->done.load(std::memory_order_acquire) && slot->value != nullptr) {
@@ -165,7 +165,7 @@ size_t RecognizerCache::size() const {
 }
 
 void RecognizerCache::Clear() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   slots_.clear();
   hits_.Reset();
   misses_.Reset();
@@ -173,7 +173,7 @@ void RecognizerCache::Clear() {
 
 void RecognizerCache::SetCompileHookForTest(
     std::function<void(const std::string&)> hook) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   compile_hook_ = std::move(hook);
 }
 

@@ -22,7 +22,10 @@
 // once), while requests for OTHER keys — hits and misses alike — proceed
 // untouched. One cold multi-millisecond compile therefore no longer
 // convoys hits on already-compiled keys. Returned recognizers are const
-// and safe to use from any number of threads concurrently.
+// and safe to use from any number of threads concurrently. Both mutexes
+// are annotated util/mutex.h Mutex instances, so clang -Wthread-safety
+// and webrbd_lint's lock-discipline rule check the map accesses (the
+// slot's value/error are deliberately unannotated — see Slot).
 //
 // Observability: per-instance hit/miss counts are lock-free obs::Counter
 // values (the accessors no longer take the mutex), and every cache also
@@ -33,18 +36,18 @@
 #define WEBRBD_EXTRACT_RECOGNIZER_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "extract/recognizer.h"
 #include "obs/metrics.h"
 #include "ontology/model.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace webrbd {
 
@@ -69,10 +72,10 @@ class RecognizerCache {
   /// callers for the same key wait on the in-flight compile; callers for
   /// other keys are never blocked by it.
   [[nodiscard]] Result<std::shared_ptr<const Recognizer>> Get(
-      const Ontology& ontology);
+      const Ontology& ontology) WEBRBD_EXCLUDES(mu_);
 
   /// Number of successfully compiled cached recognizers.
-  size_t size() const;
+  size_t size() const WEBRBD_EXCLUDES(mu_);
 
   /// Lookup counters since construction (or the last Clear()). A waiter
   /// that joins an in-flight compile counts as a hit when the compile
@@ -83,32 +86,39 @@ class RecognizerCache {
   /// Drops every cached recognizer and resets the counters. Outstanding
   /// shared_ptrs stay valid; in-flight compiles complete for their
   /// waiters but are not re-inserted.
-  void Clear();
+  void Clear() WEBRBD_EXCLUDES(mu_);
 
   /// Test hook: invoked (outside every lock) with the cache key while a
   /// compile is in flight, before Recognizer::Create. Lets tests make one
   /// ontology's compile arbitrarily slow to pin down the no-convoy
   /// guarantee. Not for production use.
-  void SetCompileHookForTest(std::function<void(const std::string&)> hook);
+  void SetCompileHookForTest(std::function<void(const std::string&)> hook)
+      WEBRBD_EXCLUDES(mu_);
 
  private:
   // One per key: either compiled (done && value) or failed (done &&
   // !value) or in flight (!done). `value`/`error` are written before the
   // release store to `done`, so any reader that observes done == true
-  // (acquire) sees them without taking `mu`.
+  // (acquire) sees them without taking `mu` — they are deliberately NOT
+  // annotated WEBRBD_GUARDED_BY(mu): the static analyses cannot express a
+  // release/acquire publication protocol, and annotating would force a
+  // spurious lock on the lock-free fast path.
   struct Slot {
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
     std::atomic<bool> done{false};
     std::shared_ptr<const Recognizer> value;
     Status error = Status::OK();
   };
 
-  mutable std::mutex mu_;  // guards slots_ only — never held while compiling
-  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+  // Guards slots_ and compile_hook_ only — never held while compiling.
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_
+      WEBRBD_GUARDED_BY(mu_);
   obs::Counter hits_;
   obs::Counter misses_;
-  std::function<void(const std::string&)> compile_hook_;  // test-only
+  std::function<void(const std::string&)> compile_hook_
+      WEBRBD_GUARDED_BY(mu_);  // test-only
 };
 
 /// The process-wide cache used by single-document callers that do not

@@ -1,0 +1,252 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "lint/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace webrbd {
+namespace lint {
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool IsOpenBracket(std::string_view t) {
+  return t == "(" || t == "{" || t == "[";
+}
+
+std::string_view CloseFor(std::string_view open) {
+  if (open == "(") return ")";
+  if (open == "{") return "}";
+  return "]";
+}
+
+/// Names that can precede a '(' without being a function name.
+const std::set<std::string, std::less<>>& NonFunctionNames() {
+  static const std::set<std::string, std::less<>> kNames = {
+      "if",     "for",      "while",    "switch",  "return", "sizeof",
+      "catch",  "alignof",  "decltype", "new",     "delete", "throw",
+      "case",   "static_assert",        "alignas", "co_await",
+      "co_return", "co_yield", "assert"};
+  return kNames;
+}
+
+/// Tokens that may appear between a declarator's ')' and its body '{'.
+bool IsDeclaratorSuffixWord(std::string_view t) {
+  return t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+         t == "volatile" || t == "mutable" || t == "&" || t == "&&" ||
+         t == "try";
+}
+
+/// Annotation macros (util/thread_annotations.h) that carry an argument
+/// list and may sit between ')' and '{' on a declarator.
+bool IsAnnotationMacro(std::string_view t) {
+  return t.size() > 7 && t.substr(0, 7) == "WEBRBD_" &&
+         (t.find("REQUIRES") != std::string_view::npos ||
+          t.find("EXCLUDES") != std::string_view::npos ||
+          t.find("ACQUIRE") != std::string_view::npos ||
+          t.find("RELEASE") != std::string_view::npos ||
+          t.find("GUARDED") != std::string_view::npos);
+}
+
+}  // namespace
+
+FileAnalysis AnalyzeSource(std::string_view path, std::string_view content) {
+  FileAnalysis fa;
+  fa.path = std::string(path);
+  fa.content = content;
+  size_t start = 0;
+  while (start <= content.size()) {
+    const size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) {
+      fa.lines.emplace_back(content.substr(start));
+      break;
+    }
+    fa.lines.emplace_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  fa.tokens = Tokenize(content);
+  fa.code.reserve(fa.tokens.size());
+  for (size_t i = 0; i < fa.tokens.size(); ++i) {
+    if (fa.tokens[i].IsCode()) fa.code.push_back(i);
+  }
+  return fa;
+}
+
+size_t MatchingClose(const FileAnalysis& fa, size_t open_ci) {
+  if (open_ci >= fa.code_size() || !IsOpenBracket(fa.CodeText(open_ci))) {
+    return kNpos;
+  }
+  const std::string_view open = fa.CodeText(open_ci);
+  const std::string_view close = CloseFor(open);
+  int depth = 0;
+  for (size_t ci = open_ci; ci < fa.code_size(); ++ci) {
+    const std::string_view t = fa.CodeText(ci);
+    if (t == open) ++depth;
+    if (t == close) {
+      if (--depth == 0) return ci + 1;
+    }
+  }
+  return kNpos;
+}
+
+size_t SkipTemplateArgs(const FileAnalysis& fa, size_t open_ci) {
+  if (fa.CodeText(open_ci) != "<") return kNpos;
+  int depth = 0;
+  for (size_t ci = open_ci; ci < fa.code_size(); ++ci) {
+    const std::string_view t = fa.CodeText(ci);
+    if (t == "<") ++depth;
+    if (t == "<<") depth += 2;  // unlikely in a type, but stay balanced
+    if (t == ">") {
+      if (--depth == 0) return ci + 1;
+    }
+    if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return ci + 1;
+    }
+    if (t == ";") return kNpos;  // statement ended: not a template list
+  }
+  return kNpos;
+}
+
+std::vector<FunctionDef> FindFunctions(const FileAnalysis& fa) {
+  std::vector<FunctionDef> defs;
+  for (size_t ci = 0; ci + 1 < fa.code_size(); ++ci) {
+    const Token& tok = fa.Code(ci);
+    if (!tok.IsIdent() || tok.in_directive) continue;
+    if (fa.CodeText(ci + 1) != "(") continue;
+    if (NonFunctionNames().count(tok.text) > 0) continue;
+    // An annotation macro before an inline body would otherwise parse as a
+    // function named WEBRBD_REQUIRES owning that body.
+    if (IsAnnotationMacro(tok.text)) continue;
+    // Exclude calls: a call's name is preceded by '.', '->', '!', '(' of
+    // another call's argument list... Distinguishing declarators from
+    // calls perfectly needs a parser; the discriminator used here is what
+    // FOLLOWS the parameter list (calls are followed by operators or
+    // statement ends, declarators by '{', ';', or declarator suffixes),
+    // plus a receiver check: a name reached via '.' or '->' is a call.
+    if (ci > 0) {
+      const std::string_view prev = fa.CodeText(ci - 1);
+      if (prev == "." || prev == "->") continue;
+    }
+    const size_t params_end = MatchingClose(fa, ci + 1);
+    if (params_end == kNpos) continue;
+
+    FunctionDef def;
+    def.name = std::string(tok.text);
+    def.name_ci = ci;
+    def.params_begin = ci + 1;
+    def.params_end = params_end;
+
+    // Walk the declarator suffix looking for the body '{' or a ';'.
+    size_t cur = params_end;
+    bool matched = false;
+    while (cur < fa.code_size()) {
+      const std::string_view t = fa.CodeText(cur);
+      if (t == ";") {
+        matched = true;  // declaration only
+        break;
+      }
+      if (t == "{") {
+        def.is_definition = true;
+        def.body_begin = cur;
+        def.body_end = MatchingClose(fa, cur);
+        matched = def.body_end != kNpos;
+        break;
+      }
+      if (IsDeclaratorSuffixWord(t)) {
+        ++cur;
+        continue;
+      }
+      if (t == "=") {
+        // "= default", "= delete", "= 0": still a declaration.
+        const std::string_view next = fa.CodeText(cur + 1);
+        if (next == "default" || next == "delete" || next == "0") {
+          cur += 2;
+          continue;
+        }
+        break;  // initializer: this was a variable, not a function
+      }
+      if (fa.Code(cur).IsIdent() && IsAnnotationMacro(t)) {
+        cur = fa.CodeText(cur + 1) == "("
+                  ? MatchingClose(fa, cur + 1)
+                  : cur + 1;
+        if (cur == kNpos) break;
+        continue;
+      }
+      if (t == "noexcept" || t == "throw") {
+        ++cur;
+        if (fa.CodeText(cur) == "(") {
+          cur = MatchingClose(fa, cur);
+          if (cur == kNpos) break;
+        }
+        continue;
+      }
+      if (t == "->") {
+        // Trailing return type: skip tokens (ballancing <>/()) to '{'/';'.
+        ++cur;
+        while (cur < fa.code_size() && fa.CodeText(cur) != "{" &&
+               fa.CodeText(cur) != ";") {
+          if (fa.CodeText(cur) == "<") {
+            const size_t after = SkipTemplateArgs(fa, cur);
+            if (after == kNpos) break;
+            cur = after;
+          } else if (fa.CodeText(cur) == "(") {
+            cur = MatchingClose(fa, cur);
+            if (cur == kNpos) break;
+          } else {
+            ++cur;
+          }
+        }
+        continue;
+      }
+      if (t == ":") {
+        // Constructor initializer list: qualified-name + (...)/{...}
+        // groups separated by commas. A '{' NOT directly preceded by a
+        // member/base name is the constructor body, so the walk stops
+        // there and the outer loop picks it up.
+        ++cur;
+        while (cur < fa.code_size()) {
+          size_t name_tokens = 0;
+          while (cur < fa.code_size() &&
+                 (fa.Code(cur).IsIdent() || fa.CodeText(cur) == "::")) {
+            ++cur;
+            ++name_tokens;
+          }
+          if (name_tokens > 0 && fa.CodeText(cur) == "<") {
+            const size_t after = SkipTemplateArgs(fa, cur);
+            if (after == kNpos) break;
+            cur = after;
+          }
+          const std::string_view open = fa.CodeText(cur);
+          if (open != "(" && !(open == "{" && name_tokens > 0)) break;
+          const size_t after = MatchingClose(fa, cur);
+          if (after == kNpos) break;
+          cur = after;
+          if (fa.CodeText(cur) == ",") ++cur;
+        }
+        continue;
+      }
+      break;  // an operator etc.: this was a call, not a declarator
+    }
+    if (matched && def.is_definition) defs.push_back(def);
+  }
+  return defs;
+}
+
+const FunctionDef* EnclosingFunction(const std::vector<FunctionDef>& defs,
+                                     size_t ci) {
+  const FunctionDef* best = nullptr;
+  for (const FunctionDef& def : defs) {
+    if (!def.is_definition) continue;
+    if (ci < def.body_begin || ci >= def.body_end) continue;
+    if (best == nullptr ||
+        def.body_end - def.body_begin < best->body_end - best->body_begin) {
+      best = &def;
+    }
+  }
+  return best;
+}
+
+}  // namespace lint
+}  // namespace webrbd

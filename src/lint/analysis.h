@@ -1,0 +1,82 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Per-file analysis substrate for the lint engine: the tokenized view of
+// one source file plus the structural helpers every rule shares — balanced
+// bracket matching, template-argument skipping (">>" counts as two closing
+// angles), and function-definition discovery with body extents, so rules
+// can reason about scopes instead of indentation.
+
+#ifndef WEBRBD_LINT_ANALYSIS_H_
+#define WEBRBD_LINT_ANALYSIS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/token.h"
+#include "lint/tokenizer.h"
+
+namespace webrbd {
+namespace lint {
+
+/// The tokenized, pre-digested view of one source file that rules operate
+/// on. `code` indexes into `tokens`, skipping comments, so rules iterate
+/// code tokens by code-index (ci) and map back for positions.
+struct FileAnalysis {
+  std::string path;                      ///< repo-relative, forward slashes
+  std::string_view content;              ///< the original bytes
+  std::vector<std::string> lines;        ///< original lines (1-based access
+                                         ///< via lines[line - 1])
+  std::vector<Token> tokens;             ///< full stream incl. comments
+  std::vector<size_t> code;              ///< indices of non-comment tokens
+
+  const Token& Code(size_t ci) const { return tokens[code[ci]]; }
+  size_t code_size() const { return code.size(); }
+
+  /// Text of code token `ci`, or "" when out of range (safe lookahead).
+  std::string_view CodeText(size_t ci) const {
+    return ci < code.size() ? tokens[code[ci]].text : std::string_view();
+  }
+};
+
+/// Builds the analysis for one file. `content` must outlive the result.
+FileAnalysis AnalyzeSource(std::string_view path, std::string_view content);
+
+/// Code-index one past the bracket matching the opener at `open_ci`
+/// (which must be "(", "{", or "["); npos when unbalanced.
+size_t MatchingClose(const FileAnalysis& fa, size_t open_ci);
+
+/// Code-index one past the '>' closing the '<' at `open_ci`, treating
+/// ">>" as two closing angles; npos when unbalanced or when the span
+/// contains tokens that rule out a template argument list (';').
+size_t SkipTemplateArgs(const FileAnalysis& fa, size_t open_ci);
+
+/// A discovered function definition (or declaration).
+struct FunctionDef {
+  std::string name;        ///< unqualified name ("Visit", not "Walker::Visit")
+  size_t name_ci = 0;      ///< code-index of the name token
+  size_t params_begin = 0; ///< code-index of the '(' opening the parameters
+  size_t params_end = 0;   ///< one past the matching ')'
+  size_t body_begin = 0;   ///< code-index of the '{' (definitions only)
+  size_t body_end = 0;     ///< one past the matching '}' (definitions only)
+  bool is_definition = false;
+};
+
+/// Scans the stream for function declarations/definitions: an identifier
+/// followed by a balanced parameter list and then either a body brace
+/// (possibly after cv-qualifiers, ref-qualifiers, noexcept, attributes,
+/// annotation macros, a constructor init list, or a trailing return type)
+/// or a ';'. Control-flow keywords and lambda introducers are excluded.
+/// Bodies of nested lambdas/local classes remain part of the enclosing
+/// body extent.
+std::vector<FunctionDef> FindFunctions(const FileAnalysis& fa);
+
+/// The innermost function in `defs` whose body contains code-index `ci`,
+/// or nullptr.
+const FunctionDef* EnclosingFunction(const std::vector<FunctionDef>& defs,
+                                     size_t ci);
+
+}  // namespace lint
+}  // namespace webrbd
+
+#endif  // WEBRBD_LINT_ANALYSIS_H_

@@ -4,38 +4,15 @@
 
 #include <cctype>
 #include <sstream>
+#include <utility>
 
+#include "lint/analysis.h"
+#include "lint/rules.h"
 #include "util/string_util.h"
 
 namespace webrbd {
 namespace lint {
 namespace {
-
-constexpr std::string_view kLicenseBanner =
-    "Copyright (c) the webrbd authors";
-
-bool IsIdentChar(char c) {
-  return IsAsciiAlnum(c) || c == '_';
-}
-
-std::vector<std::string> SplitLines(std::string_view text) {
-  std::vector<std::string> lines;
-  size_t start = 0;
-  while (start <= text.size()) {
-    size_t nl = text.find('\n', start);
-    if (nl == std::string_view::npos) {
-      lines.emplace_back(text.substr(start));
-      break;
-    }
-    lines.emplace_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-bool IsSourceFile(std::string_view path) {
-  return EndsWith(path, ".cc") || EndsWith(path, ".h");
-}
 
 /// True iff the original line carries an inline `// lint:allow(<rule>)`.
 bool HasInlineAllow(std::string_view original_line, std::string_view rule) {
@@ -43,198 +20,86 @@ bool HasInlineAllow(std::string_view original_line, std::string_view rule) {
   return original_line.find(marker) != std::string_view::npos;
 }
 
-void AddFinding(const LintSource& source,
-                const std::vector<std::string>& original_lines, size_t line,
-                std::string_view rule, std::string message,
-                std::vector<LintFinding>* findings) {
-  const std::string& text =
-      line >= 1 && line <= original_lines.size() ? original_lines[line - 1]
-                                                 : std::string();
-  if (HasInlineAllow(text, rule)) return;
-  LintFinding finding;
-  finding.rule = rule;
-  finding.path = source.path;
-  finding.line = line;
-  finding.message = std::move(message);
-  finding.line_text = std::string(StripAsciiWhitespace(text));
-  findings->push_back(std::move(finding));
-}
-
-/// Parses a trailing qualified name + '(' from `s`: `A::B::Name (`.
-/// Returns the final identifier, or empty if `s` does not look like one.
-std::string QualifiedNameBeforeParen(std::string_view s) {
-  s = StripAsciiWhitespace(s);
-  std::string last;
-  size_t i = 0;
-  while (true) {
-    size_t begin = i;
-    while (i < s.size() && IsIdentChar(s[i])) ++i;
-    if (i == begin) return "";
-    last = std::string(s.substr(begin, i - begin));
-    if (i + 1 < s.size() && s[i] == ':' && s[i + 1] == ':') {
-      i += 2;
-      continue;
-    }
-    break;
+/// Blanks `count` bytes of `out` starting at `begin`, preserving newlines
+/// so line numbers stay aligned.
+void BlankRange(std::string* out, size_t begin, size_t count) {
+  for (size_t i = begin; i < begin + count && i < out->size(); ++i) {
+    if ((*out)[i] != '\n') (*out)[i] = ' ';
   }
-  while (i < s.size() && IsAsciiSpace(s[i])) ++i;
-  if (i < s.size() && s[i] == '(') return last;
-  return "";
-}
-
-/// Consumes a balanced `<...>` starting at s[pos] == '<'. Returns the index
-/// one past the matching '>', or npos if unbalanced on this line.
-size_t SkipTemplateArgs(std::string_view s, size_t pos) {
-  int depth = 0;
-  for (size_t i = pos; i < s.size(); ++i) {
-    if (s[i] == '<') ++depth;
-    if (s[i] == '>') {
-      --depth;
-      if (depth == 0) return i + 1;
-    }
-  }
-  return std::string_view::npos;
-}
-
-/// Strips declaration-specifier prefixes that may precede a return type.
-std::string_view StripDeclSpecifiers(std::string_view s) {
-  static const std::string_view kSpecifiers[] = {
-      "[[nodiscard]]", "static", "inline", "constexpr",
-      "virtual",       "friend", "explicit"};
-  bool stripped = true;
-  while (stripped) {
-    stripped = false;
-    s = StripAsciiWhitespace(s);
-    for (std::string_view spec : kSpecifiers) {
-      if (StartsWith(s, spec)) {
-        std::string_view rest = s.substr(spec.size());
-        if (rest.empty() || IsAsciiSpace(rest[0]) || spec.back() == ']') {
-          s = rest;
-          stripped = true;
-        }
-      }
-    }
-  }
-  return s;
 }
 
 }  // namespace
 
+void Reporter::Report(std::string_view rule, size_t line, size_t column,
+                      std::string message) {
+  static const std::string kEmpty;
+  const std::string& text = line >= 1 && line <= fa_.lines.size()
+                                ? fa_.lines[line - 1]
+                                : kEmpty;
+  if (HasInlineAllow(text, rule)) return;
+  LintFinding finding;
+  finding.rule = std::string(rule);
+  finding.path = fa_.path;
+  finding.line = line;
+  finding.message = std::move(message);
+  finding.line_text = std::string(StripAsciiWhitespace(text));
+  finding.column = column;
+  if (column > 0) {
+    size_t leading = 0;
+    while (leading < text.size() && IsAsciiSpace(text[leading])) ++leading;
+    if (column > leading && column - leading <= finding.line_text.size() + 1) {
+      finding.caret = column - leading;
+    }
+  }
+  findings_->push_back(std::move(finding));
+}
+
 const std::vector<LintRuleInfo>& AllLintRules() {
-  static const std::vector<LintRuleInfo> kRules = {
-      {"license-header",
-       "every source file starts with the project license banner"},
-      {"include-guard", "headers use WEBRBD_<PATH>_H_ include guards"},
-      {"banned-function",
-       "atoi / strcpy / sprintf are forbidden (unbounded or locale-bound)"},
-      {"raw-new-delete",
-       "library code (src/) must not use raw new/delete expressions"},
-      {"throw-in-library",
-       "library code (src/) reports errors via Status, never throw"},
-      {"unchecked-status",
-       "a Status/Result-returning call must not be a bare statement"},
-      {"unguarded-value",
-       "x.value() requires a dominating x.ok()/x.has_value() check"},
-      {"tagnode-recursion",
-       "functions over TagNode iterate with an explicit stack, never "
-       "recurse (adversarial nesting overflows the call stack)"},
-      {"deprecated-pipeline-entry",
-       "src/ and tools/ must not call the deprecated RunIntegratedPipeline/"
-       "RunBatchPipeline shims; construct an ExtractionContext instead"},
-  };
+  static const std::vector<LintRuleInfo> kRules = [] {
+    std::vector<LintRuleInfo> rules;
+    for (const auto& rule : MakeAllRules()) rules.push_back(rule->info());
+    return rules;
+  }();
   return kRules;
 }
 
 std::string ScrubSource(std::string_view content) {
   std::string out(content);
-  enum class State {
-    kNormal,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kNormal;
-  std::string raw_close;  // for raw strings: )delim"
-  size_t i = 0;
-  while (i < out.size()) {
-    char c = out[i];
-    switch (state) {
-      case State::kNormal:
-        if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
-          state = State::kLineComment;
-          out[i] = out[i + 1] = ' ';
-          i += 2;
-        } else if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
-          state = State::kBlockComment;
-          out[i] = out[i + 1] = ' ';
-          i += 2;
-        } else if (c == '"' && i >= 1 && out[i - 1] == 'R') {
-          // R"delim( ... )delim"
-          size_t open = out.find('(', i + 1);
-          if (open == std::string::npos) {
-            ++i;
-            break;
-          }
-          raw_close = ")" + out.substr(i + 1, open - i - 1) + "\"";
-          state = State::kRawString;
-          i = open + 1;
-        } else if (c == '"') {
-          state = State::kString;
-          ++i;
-        } else if (c == '\'') {
-          state = State::kChar;
-          ++i;
-        } else {
-          ++i;
-        }
+  for (const Token& token : Tokenize(content)) {
+    switch (token.kind) {
+      case TokenKind::kComment:
+        BlankRange(&out, token.offset, token.text.size());
         break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kNormal;
-        } else {
-          out[i] = ' ';
+      case TokenKind::kString:
+      case TokenKind::kCharLiteral: {
+        // Keep the delimiters (and any encoding prefix) so the scrubbed
+        // text still reads as a literal; blank only the body.
+        const size_t open = token.text.find_first_of("\"'");
+        if (open == std::string_view::npos) break;
+        const size_t body = token.offset + open + 1;
+        size_t body_len = token.text.size() - open - 1;
+        if (body_len > 0 &&
+            (token.text.back() == '"' || token.text.back() == '\'')) {
+          --body_len;  // closing delimiter survives
         }
-        ++i;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < out.size() && out[i + 1] == '/') {
-          out[i] = out[i + 1] = ' ';
-          state = State::kNormal;
-          i += 2;
-        } else {
-          if (c != '\n') out[i] = ' ';
-          ++i;
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        char close = state == State::kString ? '"' : '\'';
-        if (c == '\\' && i + 1 < out.size()) {
-          out[i] = ' ';
-          if (out[i + 1] != '\n') out[i + 1] = ' ';
-          i += 2;
-        } else if (c == close) {
-          state = State::kNormal;
-          ++i;
-        } else if (c == '\n') {
-          state = State::kNormal;  // unterminated; resync
-          ++i;
-        } else {
-          out[i] = ' ';
-          ++i;
-        }
+        BlankRange(&out, body, body_len);
         break;
       }
-      case State::kRawString:
-        if (out.compare(i, raw_close.size(), raw_close) == 0) {
-          i += raw_close.size();
-          state = State::kNormal;
-        } else {
-          if (c != '\n') out[i] = ' ';
-          ++i;
+      case TokenKind::kRawString: {
+        // R"delim( body )delim": keep prefix and both delimiter sequences.
+        const size_t quote = token.text.find('"');
+        const size_t open = token.text.find('(', quote);
+        if (quote == std::string_view::npos ||
+            open == std::string_view::npos) {
+          break;
         }
+        const size_t close_len = open - quote + 1;  // )delim"
+        if (token.text.size() < open + 1 + close_len) break;
+        BlankRange(&out, token.offset + open + 1,
+                   token.text.size() - open - 1 - close_len);
+        break;
+      }
+      default:
         break;
     }
   }
@@ -259,10 +124,21 @@ bool IsLibraryPath(std::string_view path) {
   return StartsWith(path, "src/");
 }
 
+bool IsLintableSourcePath(std::string_view path) {
+  return EndsWith(path, ".cc") || EndsWith(path, ".cpp") ||
+         EndsWith(path, ".h");
+}
+
 Result<SuppressionList> SuppressionList::Parse(std::string_view text) {
   SuppressionList list;
   size_t line_number = 0;
-  for (const std::string& raw_line : SplitLines(text)) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t nl = text.find('\n', start);
+    const std::string_view raw_line =
+        nl == std::string_view::npos ? text.substr(start)
+                                     : text.substr(start, nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
     ++line_number;
     std::string_view line = StripAsciiWhitespace(raw_line);
     if (line.empty() || line[0] == '#') continue;
@@ -276,6 +152,7 @@ Result<SuppressionList> SuppressionList::Parse(std::string_view text) {
     Entry entry;
     entry.rule = tokens[0];
     entry.path_suffix = tokens[1];
+    entry.source_line = std::string(line);
     if (tokens.size() > 2) {
       // The substring is everything after the second token, so it may
       // contain spaces.
@@ -297,463 +174,87 @@ Result<SuppressionList> SuppressionList::Parse(std::string_view text) {
   return list;
 }
 
+bool SuppressionList::EntryMatches(const Entry& entry,
+                                   const LintFinding& finding) const {
+  if (entry.rule != "*" && entry.rule != finding.rule) return false;
+  if (!EndsWith(finding.path, entry.path_suffix)) return false;
+  if (!entry.line_substring.empty() &&
+      finding.line_text.find(entry.line_substring) == std::string::npos) {
+    return false;
+  }
+  return true;
+}
+
 bool SuppressionList::Matches(const LintFinding& finding) const {
   for (const Entry& entry : entries_) {
-    if (entry.rule != "*" && entry.rule != finding.rule) continue;
-    if (!EndsWith(finding.path, entry.path_suffix)) continue;
-    if (!entry.line_substring.empty() &&
-        finding.line_text.find(entry.line_substring) == std::string::npos) {
-      continue;
-    }
-    return true;
+    if (EntryMatches(entry, finding)) return true;
   }
   return false;
 }
 
+std::vector<std::string> SuppressionList::StaleEntries(
+    const std::vector<LintFinding>& findings) const {
+  std::vector<std::string> stale;
+  for (const Entry& entry : entries_) {
+    bool used = false;
+    for (const LintFinding& finding : findings) {
+      if (EntryMatches(entry, finding)) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) stale.push_back(entry.source_line);
+  }
+  return stale;
+}
+
+Linter::Linter() = default;
+Linter::Linter(Linter&& other) noexcept = default;
+Linter& Linter::operator=(Linter&& other) noexcept = default;
+Linter::~Linter() = default;
+
 Result<Linter> Linter::Create() {
   Linter linter;
-  struct PatternSet {
-    std::vector<Regex>* target;
-    std::vector<std::string_view> patterns;
-  };
-  const PatternSet sets[] = {
-      {&linter.banned_function_regexes_,
-       {R"(\b(atoi|strcpy|sprintf)[ \t]*\()"}},
-      {&linter.new_delete_regexes_,
-       {R"(\bnew[ \t]+[A-Za-z_(])", R"(\bdelete(\[[ \t]*\])?[ \t]+[A-Za-z_*(])"}},
-      {&linter.throw_regexes_, {R"(\bthrow\b)"}},
-      {&linter.value_call_regexes_,
-       {R"([A-Za-z_][A-Za-z0-9_]*\.value\(\))",
-        R"(move\([A-Za-z_][A-Za-z0-9_]*\)\.value\(\))"}},
-  };
-  for (const PatternSet& set : sets) {
-    for (std::string_view pattern : set.patterns) {
-      auto regex = Regex::Compile(pattern);
-      if (!regex.ok()) return regex.status();
-      set.target->push_back(std::move(regex).value());
-    }
-  }
+  linter.rules_ = MakeAllRules();
+  linter.corpus_ = std::make_unique<Corpus>();
   return linter;
 }
 
 void Linter::CollectDeclarations(const LintSource& source) {
-  if (!IsSourceFile(source.path)) return;
-  const std::vector<std::string> lines = SplitLines(ScrubSource(source.content));
-  for (size_t i = 0; i < lines.size(); ++i) {
-    std::string_view line = StripDeclSpecifiers(lines[i]);
-    std::string_view rest;
-    if (StartsWith(line, "Status") && line.size() > 6 &&
-        IsAsciiSpace(line[6])) {
-      rest = line.substr(7);
-    } else if (StartsWith(line, "Result<")) {
-      size_t end = SkipTemplateArgs(line, 6);
-      if (end == std::string_view::npos) continue;
-      rest = line.substr(end);
-    } else {
-      continue;
-    }
-    rest = StripAsciiWhitespace(rest);
-    std::string name;
-    if (rest.empty() && i + 1 < lines.size()) {
-      // Return type alone on its line; the declarator starts the next line.
-      name = QualifiedNameBeforeParen(lines[i + 1]);
-    } else {
-      name = QualifiedNameBeforeParen(rest);
-    }
-    if (!name.empty()) status_functions_.insert(name);
-  }
+  if (!IsLintableSourcePath(source.path)) return;
+  const FileAnalysis fa = AnalyzeSource(source.path, source.content);
+  for (const auto& rule : rules_) rule->Collect(fa, corpus_.get());
 }
 
 void Linter::LintFile(const LintSource& source,
                       std::vector<LintFinding>* findings) const {
-  if (!IsSourceFile(source.path)) return;
-  const std::vector<std::string> scrubbed_lines =
-      SplitLines(ScrubSource(source.content));
-  CheckLicenseHeader(source, findings);
-  CheckIncludeGuard(source, scrubbed_lines, findings);
-  CheckBannedFunctions(source, scrubbed_lines, findings);
-  CheckRawNewDelete(source, scrubbed_lines, findings);
-  CheckThrow(source, scrubbed_lines, findings);
-  CheckUncheckedStatus(source, scrubbed_lines, findings);
-  CheckUnguardedValue(source, scrubbed_lines, findings);
-  CheckTagNodeRecursion(source, scrubbed_lines, findings);
-  CheckDeprecatedPipelineEntry(source, scrubbed_lines, findings);
+  if (!IsLintableSourcePath(source.path)) return;
+  const FileAnalysis fa = AnalyzeSource(source.path, source.content);
+  Reporter reporter(fa, findings);
+  for (const auto& rule : rules_) rule->Check(fa, *corpus_, &reporter);
 }
 
-void Linter::CheckLicenseHeader(const LintSource& source,
-                                std::vector<LintFinding>* findings) const {
-  const std::vector<std::string> lines = SplitLines(source.content);
-  if (!lines.empty() && lines[0].find(kLicenseBanner) != std::string::npos) {
-    return;
-  }
-  AddFinding(source, lines, 1, "license-header",
-             "file must start with '// " + std::string(kLicenseBanner) +
-                 ". Licensed under the Apache License 2.0.'",
-             findings);
-}
-
-void Linter::CheckIncludeGuard(const LintSource& source,
-                               const std::vector<std::string>& scrubbed_lines,
-                               std::vector<LintFinding>* findings) const {
-  if (!EndsWith(source.path, ".h")) return;
-  const std::string expected = ExpectedIncludeGuard(source.path);
-  const std::vector<std::string> original_lines = SplitLines(source.content);
-  for (size_t i = 0; i < scrubbed_lines.size(); ++i) {
-    std::string_view line = StripAsciiWhitespace(scrubbed_lines[i]);
-    if (!StartsWith(line, "#ifndef")) continue;
-    std::vector<std::string> tokens = SplitWhitespace(line);
-    if (tokens.size() < 2 || tokens[1] != expected) {
-      AddFinding(source, original_lines, i + 1, "include-guard",
-                 "include guard must be " + expected, findings);
-    }
-    return;  // only the first #ifndef is the guard
-  }
-  AddFinding(source, original_lines, 1, "include-guard",
-             "header has no include guard (expected " + expected + ")",
-             findings);
-}
-
-void Linter::CheckBannedFunctions(const LintSource& source,
-                                  const std::vector<std::string>& scrubbed_lines,
-                                  std::vector<LintFinding>* findings) const {
-  const std::vector<std::string> original_lines = SplitLines(source.content);
-  for (size_t i = 0; i < scrubbed_lines.size(); ++i) {
-    for (const Regex& regex : banned_function_regexes_) {
-      for (const RegexMatch& match : regex.FindAll(scrubbed_lines[i])) {
-        std::string_view text =
-            std::string_view(scrubbed_lines[i])
-                .substr(match.begin, match.end - match.begin);
-        std::string name(text.substr(0, text.find('(')));
-        name = std::string(StripAsciiWhitespace(name));
-        AddFinding(source, original_lines, i + 1, "banned-function",
-                   "'" + name +
-                       "' is banned: use StringToInt/snprintf/std::string "
-                       "instead",
-                   findings);
-      }
-    }
-  }
-}
-
-void Linter::CheckRawNewDelete(const LintSource& source,
-                               const std::vector<std::string>& scrubbed_lines,
-                               std::vector<LintFinding>* findings) const {
-  if (!IsLibraryPath(source.path)) return;
-  const std::vector<std::string> original_lines = SplitLines(source.content);
-  for (size_t i = 0; i < scrubbed_lines.size(); ++i) {
-    for (const Regex& regex : new_delete_regexes_) {
-      if (regex.PartialMatch(scrubbed_lines[i])) {
-        AddFinding(source, original_lines, i + 1, "raw-new-delete",
-                   "raw new/delete in library code: use std::make_unique / "
-                   "std::make_shared or a container",
-                   findings);
-        break;
-      }
-    }
-  }
-}
-
-void Linter::CheckThrow(const LintSource& source,
-                        const std::vector<std::string>& scrubbed_lines,
-                        std::vector<LintFinding>* findings) const {
-  if (!IsLibraryPath(source.path)) return;
-  const std::vector<std::string> original_lines = SplitLines(source.content);
-  for (size_t i = 0; i < scrubbed_lines.size(); ++i) {
-    for (const Regex& regex : throw_regexes_) {
-      if (regex.PartialMatch(scrubbed_lines[i])) {
-        AddFinding(source, original_lines, i + 1, "throw-in-library",
-                   "library code reports errors via Status/Result, never "
-                   "exceptions",
-                   findings);
-        break;
-      }
-    }
-  }
-}
-
-void Linter::CheckUncheckedStatus(const LintSource& source,
-                                  const std::vector<std::string>& scrubbed_lines,
-                                  std::vector<LintFinding>* findings) const {
-  const std::vector<std::string> original_lines = SplitLines(source.content);
-  for (size_t i = 0; i < scrubbed_lines.size(); ++i) {
-    std::string_view line = StripAsciiWhitespace(scrubbed_lines[i]);
-    if (line.empty() || line[0] == '#') continue;
-
-    // Statement position: the previous non-blank line must have ended a
-    // statement or opened a block; otherwise this line is a continuation.
-    bool statement_start = true;
-    for (size_t j = i; j-- > 0;) {
-      std::string_view prev = StripAsciiWhitespace(scrubbed_lines[j]);
-      if (prev.empty()) continue;
-      if (StartsWith(prev, "#")) break;
-      char last = prev.back();
-      statement_start = last == ';' || last == '{' || last == '}' ||
-                        last == ':' || last == ')' || prev == "else";
-      break;
-    }
-    if (!statement_start) continue;
-
-    // Parse an optional receiver chain (`obj.`, `ptr->`, `Class::`)
-    // followed by a callee name and '('.
-    size_t pos = 0;
-    std::string callee;
-    while (true) {
-      size_t begin = pos;
-      while (pos < line.size() && IsIdentChar(line[pos])) ++pos;
-      if (pos == begin) {
-        callee.clear();
-        break;
-      }
-      callee = std::string(line.substr(begin, pos - begin));
-      if (pos < line.size() && line[pos] == '.') {
-        ++pos;
-      } else if (pos + 1 < line.size() && line[pos] == '-' &&
-                 line[pos + 1] == '>') {
-        pos += 2;
-      } else if (pos + 1 < line.size() && line[pos] == ':' &&
-                 line[pos + 1] == ':') {
-        pos += 2;
-      } else {
-        break;
-      }
-    }
-    if (callee.empty() || pos >= line.size() || line[pos] != '(') continue;
-    if (status_functions_.find(callee) == status_functions_.end()) continue;
-
-    // Walk to the call's matching ')' (possibly lines below) and see what
-    // consumes the return value. A bare ';' means it was discarded.
-    int depth = 0;
-    size_t row = i;
-    size_t col = scrubbed_lines[i].find_first_not_of(" \t") + pos;
-    bool resolved = false;
-    bool discarded = false;
-    for (size_t scanned = 0; row < scrubbed_lines.size() && scanned < 100;
-         ++row, ++scanned) {
-      const std::string& text = scrubbed_lines[row];
-      for (size_t k = row == i ? col : 0; k < text.size(); ++k) {
-        if (text[k] == '(') ++depth;
-        if (text[k] == ')') {
-          --depth;
-          if (depth == 0) {
-            size_t next = text.find_first_not_of(" \t", k + 1);
-            discarded = next != std::string::npos && text[next] == ';';
-            resolved = true;
-            break;
-          }
-        }
-      }
-      if (resolved) break;
-      if (depth == 0) break;
-    }
-    if (resolved && discarded) {
-      AddFinding(source, original_lines, i + 1, "unchecked-status",
-                 "result of Status/Result-returning call '" + callee +
-                     "' is discarded; check it, propagate it with "
-                     "WEBRBD_RETURN_IF_ERROR, or cast to void",
-                 findings);
-    }
-  }
-}
-
-void Linter::CheckUnguardedValue(const LintSource& source,
-                                 const std::vector<std::string>& scrubbed_lines,
-                                 std::vector<LintFinding>* findings) const {
-  const std::vector<std::string> original_lines = SplitLines(source.content);
-  for (size_t i = 0; i < scrubbed_lines.size(); ++i) {
-    const std::string& line = scrubbed_lines[i];
-    for (const Regex& regex : value_call_regexes_) {
-      for (const RegexMatch& match : regex.FindAll(line)) {
-        std::string_view text =
-            std::string_view(line).substr(match.begin, match.end - match.begin);
-        // The identifier is either before the first '.' (x.value()) or
-        // inside move(...) (std::move(x).value()).
-        std::string ident;
-        if (StartsWith(text, "move(")) {
-          size_t close = text.find(')');
-          ident = std::string(text.substr(5, close - 5));
-        } else {
-          ident = std::string(text.substr(0, text.find('.')));
-        }
-
-        // Scan back to the start of the enclosing function (first line whose
-        // first column is non-blank) looking for a dominating guard.
-        const std::vector<std::string> guards = {
-            ident + ".ok(",        ident + "->ok(",
-            ident + ".has_value(", "(" + ident + ")",
-            "(!" + ident + ")",    "(*" + ident + ")",
-        };
-        bool guarded = false;
-        size_t j = i + 1;
-        while (j-- > 0) {
-          const std::string& candidate = scrubbed_lines[j];
-          for (const std::string& guard : guards) {
-            if (candidate.find(guard) != std::string::npos) {
-              // The guard must not be the value() expression itself.
-              if (j == i && candidate.find(guard) == match.begin) continue;
-              guarded = true;
-              break;
-            }
-          }
-          if (guarded) break;
-          if (j < i && !candidate.empty() && !IsAsciiSpace(candidate[0])) {
-            break;  // reached the enclosing function's signature
-          }
-        }
-        if (!guarded) {
-          AddFinding(source, original_lines, i + 1, "unguarded-value",
-                     "'" + ident +
-                         ".value()' has no dominating '" + ident +
-                         ".ok()' (or has_value) check in this scope",
-                     findings);
-        }
-      }
-    }
-  }
-}
-
-void Linter::CheckTagNodeRecursion(
-    const LintSource& source, const std::vector<std::string>& scrubbed_lines,
-    std::vector<LintFinding>* findings) const {
-  if (!IsLibraryPath(source.path)) return;
-  const std::vector<std::string> original_lines = SplitLines(source.content);
-
-  // Returns the position of a `name(` call on `line` (word boundary on the
-  // left, optional spaces before '('), or npos.
-  auto find_call = [](std::string_view line, const std::string& name,
-                      size_t from) -> size_t {
-    for (size_t pos = line.find(name, from); pos != std::string_view::npos;
-         pos = line.find(name, pos + 1)) {
-      if (pos > 0 && IsIdentChar(line[pos - 1])) continue;
-      size_t after = pos + name.size();
-      while (after < line.size() && IsAsciiSpace(line[after])) ++after;
-      if (after < line.size() && line[after] == '(') return pos;
-    }
-    return std::string_view::npos;
-  };
-
-  for (size_t i = 0; i < scrubbed_lines.size(); ++i) {
-    const std::string& line = scrubbed_lines[i];
-    const size_t type_pos = line.find("TagNode");
-    if (type_pos == std::string::npos) continue;
-    // A parameter of TagNode type: the '(' opening the list precedes the
-    // type on the same line, with the function name right before it.
-    const size_t paren = line.rfind('(', type_pos);
-    if (paren == std::string::npos) continue;
-    // The identifier directly before the '(' is the function name.
-    size_t name_end = paren;
-    while (name_end > 0 && IsAsciiSpace(line[name_end - 1])) --name_end;
-    size_t name_begin = name_end;
-    while (name_begin > 0 && IsIdentChar(line[name_begin - 1])) --name_begin;
-    const std::string name = line.substr(name_begin, name_end - name_begin);
-    static const std::set<std::string> kNotFunctions = {
-        "if", "for", "while", "switch", "return", "sizeof", "catch",
-        "TagNode"};
-    if (name.empty() || kNotFunctions.count(name) > 0) continue;
-
-    // Walk past the parameter list; a definition opens '{' before any ';'.
-    int paren_depth = 0;
-    size_t row = i;
-    size_t col = paren;
-    bool is_definition = false;
-    size_t body_row = 0;
-    size_t body_col = 0;
-    bool resolved = false;
-    for (size_t scanned = 0; row < scrubbed_lines.size() && scanned < 10 &&
-                             !resolved;
-         ++row, ++scanned) {
-      const std::string& text = scrubbed_lines[row];
-      for (size_t k = row == i ? col : 0; k < text.size(); ++k) {
-        if (text[k] == '(') ++paren_depth;
-        if (text[k] == ')') --paren_depth;
-        if (paren_depth > 0) continue;
-        if (text[k] == ';') {
-          resolved = true;  // declaration only
-          break;
-        }
-        if (text[k] == '{') {
-          is_definition = true;
-          body_row = row;
-          body_col = k + 1;
-          resolved = true;
-          break;
-        }
-      }
-    }
-    if (!is_definition) continue;
-
-    // Scan the body (indentation-bounded by brace depth) for a self-call.
-    int brace_depth = 1;
-    row = body_row;
-    for (size_t scanned = 0;
-         row < scrubbed_lines.size() && brace_depth > 0 && scanned < 400;
-         ++row, ++scanned) {
-      const std::string& text = scrubbed_lines[row];
-      const size_t start = row == body_row ? body_col : 0;
-      size_t end = text.size();
-      for (size_t k = start; k < text.size(); ++k) {
-        if (text[k] == '{') ++brace_depth;
-        if (text[k] == '}' && --brace_depth == 0) {
-          end = k;  // the body ends here; ignore the rest of the line
-          break;
-        }
-      }
-      const size_t call = find_call(text.substr(0, end), name, start);
-      if (call != std::string_view::npos) {
-        AddFinding(source, original_lines, row + 1, "tagnode-recursion",
-                   "'" + name +
-                       "' takes a TagNode and calls itself; adversarial "
-                       "nesting depth overflows the call stack — iterate "
-                       "with an explicit stack (see PreOrderVisit)",
-                   findings);
-        break;
-      }
-    }
-  }
-}
-
-void Linter::CheckDeprecatedPipelineEntry(
-    const LintSource& source, const std::vector<std::string>& scrubbed_lines,
-    std::vector<LintFinding>* findings) const {
-  // Only library and tool code is held to the new API; tests and bench
-  // exercise the shims on purpose (golden equivalence, migration cost).
-  if (!StartsWith(source.path, "src/") && !StartsWith(source.path, "tools/")) {
-    return;
-  }
-  // The shims themselves necessarily name the deprecated entry points.
-  static const std::vector<std::string_view> kShimFiles = {
-      "src/extract/integrated_pipeline.h", "src/extract/integrated_pipeline.cc",
-      "src/extract/batch_pipeline.h", "src/extract/batch_pipeline.cc"};
-  for (std::string_view shim : kShimFiles) {
-    if (source.path == shim) return;
-  }
-  const std::vector<std::string> original_lines = SplitLines(source.content);
-  static const std::vector<std::string_view> kDeprecated = {
-      "RunIntegratedPipeline", "RunBatchPipeline"};
-  for (size_t i = 0; i < scrubbed_lines.size(); ++i) {
-    const std::string& line = scrubbed_lines[i];
-    for (std::string_view name : kDeprecated) {
-      for (size_t pos = line.find(name); pos != std::string::npos;
-           pos = line.find(name, pos + 1)) {
-        if (pos > 0 && IsIdentChar(line[pos - 1])) continue;
-        size_t after = pos + name.size();
-        while (after < line.size() && IsAsciiSpace(line[after])) ++after;
-        if (after >= line.size() || line[after] != '(') continue;
-        AddFinding(source, original_lines, i + 1, "deprecated-pipeline-entry",
-                   "'" + std::string(name) +
-                       "' is a deprecated shim; build an ExtractionContext "
-                       "once and call ExtractDocument/ExtractCorpus",
-                   findings);
-      }
-    }
-  }
+const std::set<std::string>& Linter::status_returning_functions() const {
+  return corpus_->status_functions;
 }
 
 std::string FormatFinding(const LintFinding& finding) {
   std::ostringstream out;
-  out << finding.path << ":" << finding.line << ": [" << finding.rule << "] "
-      << finding.message;
+  out << finding.path << ":" << finding.line;
+  if (finding.column > 0) out << ":" << finding.column;
+  out << ": [" << finding.rule << "] " << finding.message;
   if (!finding.line_text.empty()) {
-    out << "\n    " << finding.line_text;
+    // Tabs render with terminal-dependent widths, which used to push the
+    // caret off target; normalize each to one space so byte offsets and
+    // display columns agree.
+    std::string text = finding.line_text;
+    for (char& c : text) {
+      if (c == '\t') c = ' ';
+    }
+    out << "\n    " << text;
+    if (finding.caret > 0 && finding.caret <= text.size() + 1) {
+      out << "\n    " << std::string(finding.caret - 1, ' ') << "^";
+    }
   }
   return out.str();
 }

@@ -1,14 +1,20 @@
 // Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
 //
-// webrbd_lint: the repo's own static checker, built on the project's regex
-// engine (src/text). It enforces repo-specific correctness rules that
-// generic tooling cannot know about — most importantly the Status/Result
-// error-handling discipline from util/status.h and util/result.h.
+// webrbd_lint: the repo's own static checker. Since v2 it is built on a
+// token-stream C++ analysis engine (lint/tokenizer.h, lint/analysis.h)
+// instead of per-line regexes: every rule sees real tokens (string
+// literals, raw strings, comments, and line continuations can no longer
+// confuse a rule) and structural helpers (balanced brackets, template
+// argument lists, function bodies) instead of approximating scopes by
+// indentation.
 //
-// The checker is deliberately heuristic: it works line-by-line on scrubbed
-// source (comments and string literals blanked) and approximates scopes by
-// indentation. False positives are expected to be rare and are vetted via
-// the suppression file (tools/webrbd_lint_suppressions.txt) or an inline
+// Rules run in two passes (see lint/rules.h): a Collect pass that gathers
+// cross-file facts into a Corpus — Status/Result-returning function names,
+// WEBRBD_GUARDED_BY annotations, lock-acquisition edges, the metric
+// catalog — and a Check pass that reports findings against it.
+//
+// False positives are expected to be rare and are vetted via the
+// suppression file (tools/webrbd_lint_suppressions.txt) or an inline
 // `// lint:allow(<rule>)` comment on the offending line.
 //
 // Rules (see docs/static-analysis.md for the full contract):
@@ -28,20 +34,30 @@
 //                       library and tool code (src/, tools/) must not call
 //                       the deprecated RunIntegratedPipeline/RunBatchPipeline
 //                       shims — construct an ExtractionContext instead
+//   arena-escape        a TagNode*/string_view borrowed from an arena-backed
+//                       tag tree must not be stored into a member, global,
+//                       or container that outlives the extraction call
+//   lock-discipline     lock acquisition order must be globally consistent,
+//                       and WEBRBD_GUARDED_BY fields need their mutex held
+//   metric-catalog      every webrbd_ metric name literal must appear in the
+//                       src/obs/stages.h catalog, and vice versa
 
 #ifndef WEBRBD_LINT_LINTER_H_
 #define WEBRBD_LINT_LINTER_H_
 
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "text/regex.h"
 #include "util/result.h"
 
 namespace webrbd {
 namespace lint {
+
+class Rule;
+struct Corpus;
 
 /// One rule violation at a specific source location.
 struct LintFinding {
@@ -50,6 +66,10 @@ struct LintFinding {
   size_t line = 0;        ///< 1-based line number
   std::string message;    ///< human-readable explanation
   std::string line_text;  ///< the offending source line, trimmed
+  size_t column = 0;      ///< 1-based byte column; 0 = whole-line finding
+  size_t caret = 0;       ///< 1-based caret position within line_text;
+                          ///< 0 = no caret (kept separate from `column`
+                          ///< because line_text is trimmed)
 };
 
 /// A source file handed to the linter. `path` must be repo-relative with
@@ -72,7 +92,8 @@ const std::vector<LintRuleInfo>& AllLintRules();
 /// Returns `content` with comments and string/char-literal bodies replaced
 /// by spaces, byte-for-byte (newlines preserved), so that line/column
 /// positions in the scrubbed text match the original. Handles //, /*...*/,
-/// "...", '...' and R"delim(...)delim" raw strings.
+/// "...", '...' and R"delim(...)delim" raw strings. Implemented on the
+/// tokenizer; kept public because tools and tests use it directly.
 std::string ScrubSource(std::string_view content);
 
 /// Parsed suppression list. File format, one entry per line:
@@ -93,6 +114,12 @@ class SuppressionList {
   /// True iff `finding` matches an entry and should be dropped.
   bool Matches(const LintFinding& finding) const;
 
+  /// Entries that matched none of `findings` (the pre-suppression list for
+  /// a whole run): stale suppressions that should be pruned. Returns the
+  /// original source line of each stale entry.
+  std::vector<std::string> StaleEntries(
+      const std::vector<LintFinding>& findings) const;
+
   size_t size() const { return entries_.size(); }
 
  private:
@@ -100,20 +127,29 @@ class SuppressionList {
     std::string rule;
     std::string path_suffix;
     std::string line_substring;  // empty = match any line
+    std::string source_line;     // the entry as written, for reporting
   };
+
+  bool EntryMatches(const Entry& entry, const LintFinding& finding) const;
+
   std::vector<Entry> entries_;
 };
 
 /// The checker. Two-pass: feed every file to CollectDeclarations() first so
-/// the unchecked-status rule knows the full set of Status/Result-returning
-/// function names, then call LintFile() on each file.
+/// cross-file rules (unchecked-status, lock-discipline, metric-catalog)
+/// see the whole corpus, then call LintFile() on each file.
 class Linter {
  public:
-  /// Compiles the rule patterns (using the project regex engine).
+  /// Builds the rule set.
   [[nodiscard]] static Result<Linter> Create();
 
-  /// Pass 1: records the names of functions declared in `source` whose
-  /// return type is Status or Result<...>.
+  Linter(Linter&& other) noexcept;
+  Linter& operator=(Linter&& other) noexcept;
+  ~Linter();
+
+  /// Pass 1: runs every rule's Collect pass over `source`, accumulating
+  /// cross-file facts (Status/Result-returning names, lock annotations and
+  /// acquisition edges, the metric catalog).
   void CollectDeclarations(const LintSource& source);
 
   /// Pass 2: runs every rule over `source`, appending to `findings`.
@@ -122,52 +158,21 @@ class Linter {
   void LintFile(const LintSource& source,
                 std::vector<LintFinding>* findings) const;
 
-  /// The names collected by pass 1 (exposed for tests/diagnostics).
-  const std::set<std::string>& status_returning_functions() const {
-    return status_functions_;
-  }
+  /// The Status/Result-returning function names collected by pass 1
+  /// (exposed for tests/diagnostics).
+  const std::set<std::string>& status_returning_functions() const;
 
  private:
-  Linter() = default;
+  Linter();
 
-  void CheckLicenseHeader(const LintSource& source,
-                          std::vector<LintFinding>* findings) const;
-  void CheckIncludeGuard(const LintSource& source,
-                         const std::vector<std::string>& scrubbed_lines,
-                         std::vector<LintFinding>* findings) const;
-  void CheckBannedFunctions(const LintSource& source,
-                            const std::vector<std::string>& scrubbed_lines,
-                            std::vector<LintFinding>* findings) const;
-  void CheckRawNewDelete(const LintSource& source,
-                         const std::vector<std::string>& scrubbed_lines,
-                         std::vector<LintFinding>* findings) const;
-  void CheckThrow(const LintSource& source,
-                  const std::vector<std::string>& scrubbed_lines,
-                  std::vector<LintFinding>* findings) const;
-  void CheckUncheckedStatus(const LintSource& source,
-                            const std::vector<std::string>& scrubbed_lines,
-                            std::vector<LintFinding>* findings) const;
-  void CheckUnguardedValue(const LintSource& source,
-                           const std::vector<std::string>& scrubbed_lines,
-                           std::vector<LintFinding>* findings) const;
-  void CheckTagNodeRecursion(const LintSource& source,
-                             const std::vector<std::string>& scrubbed_lines,
-                             std::vector<LintFinding>* findings) const;
-  void CheckDeprecatedPipelineEntry(
-      const LintSource& source,
-      const std::vector<std::string>& scrubbed_lines,
-      std::vector<LintFinding>* findings) const;
-
-  std::set<std::string> status_functions_;
-
-  // Compiled rule patterns; set by Create().
-  std::vector<Regex> banned_function_regexes_;
-  std::vector<Regex> new_delete_regexes_;
-  std::vector<Regex> throw_regexes_;
-  std::vector<Regex> value_call_regexes_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+  std::unique_ptr<Corpus> corpus_;
 };
 
 /// Renders a finding as "path:line: [rule] message" plus the source line.
+/// Findings with a column render as "path:line:column:" and add a caret
+/// line; tabs in the source line are normalized to single spaces so the
+/// caret cannot drift on tab-indented code.
 std::string FormatFinding(const LintFinding& finding);
 
 /// Expected include-guard macro for a repo-relative header path: the path
@@ -178,6 +183,9 @@ std::string ExpectedIncludeGuard(std::string_view path);
 /// True iff `path` is library code (under src/), where the stricter
 /// raw-new-delete and throw-in-library rules apply.
 bool IsLibraryPath(std::string_view path);
+
+/// True iff `path` names a file the linter understands (.cc, .cpp, .h).
+bool IsLintableSourcePath(std::string_view path);
 
 }  // namespace lint
 }  // namespace webrbd

@@ -1,0 +1,352 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// lock-discipline: two related checks over the lock annotations from
+// util/thread_annotations.h and the lock sites themselves.
+//
+// 1. Lock ordering. The Collect pass builds a lock-acquisition graph: an
+//    edge (A, B) means some function acquired B while holding A (scoped
+//    RAII acquisitions — MutexLock, std::lock_guard/unique_lock/scoped_lock
+//    — scoped to their enclosing block, plus explicit .lock() calls scoped
+//    to end of block). The Check pass flags every site whose edge (A, B)
+//    coexists with a reverse edge (B, A) anywhere in the corpus: a
+//    deadlock-capable ordering inversion.
+//
+// 2. Guarded fields. Fields annotated WEBRBD_GUARDED_BY(mu) must only be
+//    touched in scopes that hold `mu` — via a local RAII acquisition or a
+//    WEBRBD_REQUIRES(mu) contract on the enclosing function. To keep
+//    same-named fields of unrelated classes from cross-talking, the check
+//    runs only in the files sharing the declaring header's stem
+//    ("src/util/thread_pool" covers the .h and the .cc). Calls to
+//    functions annotated WEBRBD_REQUIRES / WEBRBD_EXCLUDES are checked
+//    against the same held-set (bare calls only; cross-object calls are
+//    clang -Wthread-safety's job, which CI runs as a separate pass).
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/analysis.h"
+#include "lint/rules.h"
+#include "util/string_util.h"
+
+namespace webrbd {
+namespace lint {
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+/// File path without its extension, the unit of guarded-field locality.
+std::string PathStem(std::string_view path) {
+  const size_t dot = path.rfind('.');
+  return std::string(dot == std::string_view::npos ? path
+                                                   : path.substr(0, dot));
+}
+
+/// One lock acquisition: `mutex` is held over code-indices
+/// [at, scope_end).
+struct Acquisition {
+  std::string mutex;
+  size_t at = 0;
+  size_t scope_end = 0;
+  size_t line = 0;
+};
+
+/// The last identifier inside the bracket group opened at `open_ci`,
+/// ignoring `&` and `this`: `(&pool->mu_)` -> "mu_".
+std::string LastIdentInGroup(const FileAnalysis& fa, size_t open_ci) {
+  const size_t close = MatchingClose(fa, open_ci);
+  if (close == kNpos) return "";
+  std::string last;
+  for (size_t ci = open_ci + 1; ci + 1 < close; ++ci) {
+    const Token& token = fa.Code(ci);
+    if (token.IsIdent() && !token.Is("this")) last = std::string(token.text);
+  }
+  return last;
+}
+
+/// End (exclusive) of the innermost block containing code-index `ci`,
+/// bounded below by `lower` and above by `upper`.
+size_t EnclosingBlockEnd(const FileAnalysis& fa, size_t ci, size_t lower,
+                         size_t upper) {
+  int depth = 0;
+  for (size_t j = ci; j-- > lower;) {
+    const std::string_view t = fa.CodeText(j);
+    if (t == "}") {
+      ++depth;
+    } else if (t == "{") {
+      if (depth == 0) {
+        const size_t end = MatchingClose(fa, j);
+        return end == kNpos ? upper : std::min(end, upper);
+      }
+      --depth;
+    }
+  }
+  return upper;
+}
+
+/// All acquisitions inside one function body, in token order.
+std::vector<Acquisition> FindAcquisitions(const FileAnalysis& fa,
+                                          const FunctionDef& def) {
+  std::vector<Acquisition> acquisitions;
+  auto add = [&](std::string mutex, size_t ci) {
+    if (mutex.empty()) return;
+    Acquisition acq;
+    acq.mutex = std::move(mutex);
+    acq.at = ci;
+    acq.scope_end =
+        EnclosingBlockEnd(fa, ci, def.body_begin + 1, def.body_end);
+    acq.line = fa.Code(ci).line;
+    acquisitions.push_back(std::move(acq));
+  };
+  for (size_t ci = def.body_begin + 1; ci + 1 < def.body_end; ++ci) {
+    const Token& token = fa.Code(ci);
+    if (!token.IsIdent() || token.in_directive) continue;
+    // `MutexLock lock(&mu_);` — the project's annotated RAII guard.
+    if (token.Is("MutexLock") && fa.Code(ci + 1).IsIdent() &&
+        fa.CodeText(ci + 2) == "(") {
+      add(LastIdentInGroup(fa, ci + 2), ci);
+      continue;
+    }
+    // `std::lock_guard<std::mutex> l(mu_);` and friends.
+    if (token.Is("lock_guard") || token.Is("unique_lock") ||
+        token.Is("scoped_lock")) {
+      size_t p = ci + 1;
+      if (fa.CodeText(p) == "<") {
+        p = SkipTemplateArgs(fa, p);
+        if (p == kNpos) continue;
+      }
+      if (p < fa.code_size() && fa.Code(p).IsIdent() &&
+          fa.CodeText(p + 1) == "(") {
+        add(LastIdentInGroup(fa, p + 1), ci);
+      }
+      continue;
+    }
+    // Explicit `mu_.lock();` — held until end of block (heuristic).
+    if ((fa.CodeText(ci + 1) == "." || fa.CodeText(ci + 1) == "->") &&
+        fa.CodeText(ci + 2) == "lock" && fa.CodeText(ci + 3) == "(" &&
+        fa.CodeText(ci + 4) == ")") {
+      add(std::string(token.text), ci);
+      continue;
+    }
+  }
+  return acquisitions;
+}
+
+class LockDisciplineRule : public Rule {
+ public:
+  LintRuleInfo info() const override {
+    return {"lock-discipline",
+            "lock acquisition order must be globally consistent and "
+            "WEBRBD_GUARDED_BY fields must be accessed with their mutex "
+            "held"};
+  }
+
+  void Collect(const FileAnalysis& fa, Corpus* corpus) override {
+    if (!StartsWith(fa.path, "src/")) return;
+    const std::string stem = PathStem(fa.path);
+
+    for (size_t ci = 0; ci < fa.code_size(); ++ci) {
+      const Token& token = fa.Code(ci);
+      if (!token.IsIdent()) continue;
+      // `Type field_ WEBRBD_GUARDED_BY(mu_);`
+      if (token.Is("WEBRBD_GUARDED_BY") && fa.CodeText(ci + 1) == "(" &&
+          ci > 0 && fa.Code(ci - 1).IsIdent()) {
+        Corpus::GuardedField field;
+        field.mutex = LastIdentInGroup(fa, ci + 1);
+        field.stem = stem;
+        field.path = fa.path;
+        field.line = fa.Code(ci - 1).line;
+        if (!field.mutex.empty()) {
+          corpus->guarded_fields.emplace(std::string(fa.CodeText(ci - 1)),
+                                         std::move(field));
+        }
+      }
+      // `void Drain() WEBRBD_REQUIRES(mu_);` / `... WEBRBD_EXCLUDES(mu_)`
+      if ((token.Is("WEBRBD_REQUIRES") || token.Is("WEBRBD_EXCLUDES")) &&
+          fa.CodeText(ci + 1) == "(") {
+        const std::string fn = FunctionNameBeforeAnnotation(fa, ci);
+        const std::string mutex = LastIdentInGroup(fa, ci + 1);
+        if (!fn.empty() && !mutex.empty()) {
+          Corpus::FnContract& contract = corpus->fn_contracts[fn];
+          contract.stem = stem;
+          if (token.Is("WEBRBD_REQUIRES")) {
+            contract.requires_held.insert(mutex);
+          } else {
+            contract.excludes_held.insert(mutex);
+          }
+        }
+      }
+    }
+
+    // Lock-order edges.
+    for (const FunctionDef& def : FindFunctions(fa)) {
+      if (!def.is_definition) continue;
+      const std::vector<Acquisition> acqs = FindAcquisitions(fa, def);
+      for (size_t i = 0; i < acqs.size(); ++i) {
+        for (size_t j = i + 1; j < acqs.size(); ++j) {
+          if (acqs[j].at >= acqs[i].scope_end) continue;
+          if (acqs[i].mutex == acqs[j].mutex) continue;
+          corpus->lock_edges.emplace(
+              std::make_pair(acqs[i].mutex, acqs[j].mutex),
+              Corpus::LockSite{fa.path, acqs[j].line});
+        }
+      }
+    }
+  }
+
+  void Check(const FileAnalysis& fa, const Corpus& corpus,
+             Reporter* reporter) const override {
+    if (!StartsWith(fa.path, "src/")) return;
+    const std::string stem = PathStem(fa.path);
+    const std::vector<FunctionDef> defs = FindFunctions(fa);
+
+    std::set<std::pair<std::string, std::string>> reported_pairs;
+    for (const FunctionDef& def : defs) {
+      if (!def.is_definition) continue;
+      const std::vector<Acquisition> acqs = FindAcquisitions(fa, def);
+
+      // 1. Ordering inversions against the whole-corpus edge set.
+      for (size_t i = 0; i < acqs.size(); ++i) {
+        for (size_t j = i + 1; j < acqs.size(); ++j) {
+          if (acqs[j].at >= acqs[i].scope_end) continue;
+          if (acqs[i].mutex == acqs[j].mutex) continue;
+          const auto reverse = corpus.lock_edges.find(
+              std::make_pair(acqs[j].mutex, acqs[i].mutex));
+          if (reverse == corpus.lock_edges.end()) continue;
+          if (!reported_pairs
+                   .insert(std::make_pair(acqs[i].mutex, acqs[j].mutex))
+                   .second) {
+            continue;
+          }
+          reporter->ReportAt(
+              info().name, fa.Code(acqs[j].at),
+              "'" + acqs[j].mutex + "' acquired while holding '" +
+                  acqs[i].mutex + "', but the opposite order exists at " +
+                  reverse->second.path + ":" +
+                  std::to_string(reverse->second.line) +
+                  " — pick one global order to avoid deadlock");
+        }
+      }
+
+      // 2. Guarded fields and annotated calls inside this function.
+      const Corpus::FnContract* contract = ContractFor(corpus, def, stem);
+      for (size_t ci = def.body_begin + 1; ci + 1 < def.body_end; ++ci) {
+        const Token& token = fa.Code(ci);
+        if (!token.IsIdent() || token.in_directive) continue;
+        const std::string name(token.text);
+
+        const auto field = corpus.guarded_fields.find(name);
+        if (field != corpus.guarded_fields.end() &&
+            field->second.stem == stem &&
+            fa.CodeText(ci + 1) != "WEBRBD_GUARDED_BY" &&
+            fa.CodeText(ci - 1) != "." && fa.CodeText(ci - 1) != "->" &&
+            !MutexHeld(fa, acqs, contract, ci, field->second.mutex)) {
+          reporter->ReportAt(
+              info().name, token,
+              "'" + name + "' is annotated WEBRBD_GUARDED_BY(" +
+                  field->second.mutex + ") (" + field->second.path + ":" +
+                  std::to_string(field->second.line) +
+                  ") but is accessed without holding '" +
+                  field->second.mutex + "'");
+        }
+
+        // Bare call to a REQUIRES/EXCLUDES-annotated same-stem function.
+        if (fa.CodeText(ci + 1) != "(") continue;
+        if (IsDefinitionName(defs, ci)) continue;
+        const std::string_view prev = ci > 0 ? fa.CodeText(ci - 1) : "";
+        if (prev == "." || prev == "->" || prev == "::" || prev == "&") {
+          continue;
+        }
+        const auto fn = corpus.fn_contracts.find(name);
+        if (fn == corpus.fn_contracts.end() || fn->second.stem != stem) {
+          continue;
+        }
+        for (const std::string& mutex : fn->second.requires_held) {
+          if (!MutexHeld(fa, acqs, contract, ci, mutex)) {
+            reporter->ReportAt(info().name, token,
+                               "call to '" + name +
+                                   "' requires holding '" + mutex +
+                                   "' (WEBRBD_REQUIRES)");
+          }
+        }
+        for (const std::string& mutex : fn->second.excludes_held) {
+          if (MutexHeld(fa, acqs, contract, ci, mutex)) {
+            reporter->ReportAt(info().name, token,
+                               "call to '" + name + "' must not hold '" +
+                                   mutex + "' (WEBRBD_EXCLUDES): it "
+                                   "acquires that mutex itself");
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  /// The declarator name annotated at code-index `macro_ci`: the
+  /// identifier before the '(' opening the parameter list that precedes
+  /// the annotation (`void Drain() WEBRBD_REQUIRES(mu_)` -> "Drain").
+  static std::string FunctionNameBeforeAnnotation(const FileAnalysis& fa,
+                                                  size_t macro_ci) {
+    int depth = 0;
+    for (size_t j = macro_ci; j-- > 0;) {
+      const std::string_view t = fa.CodeText(j);
+      if (t == ")") ++depth;
+      if (t == "(") {
+        if (--depth == 0) {
+          return j > 0 && fa.Code(j - 1).IsIdent()
+                     ? std::string(fa.CodeText(j - 1))
+                     : std::string();
+        }
+      }
+      if (depth == 0 && (t == ";" || t == "}")) break;
+    }
+    return "";
+  }
+
+  static const Corpus::FnContract* ContractFor(const Corpus& corpus,
+                                               const FunctionDef& def,
+                                               const std::string& stem) {
+    const auto it = corpus.fn_contracts.find(def.name);
+    if (it == corpus.fn_contracts.end() || it->second.stem != stem) {
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  static bool MutexHeld(const FileAnalysis& fa,
+                        const std::vector<Acquisition>& acqs,
+                        const Corpus::FnContract* contract, size_t ci,
+                        const std::string& mutex) {
+    (void)fa;
+    if (contract != nullptr && contract->requires_held.count(mutex) > 0) {
+      return true;
+    }
+    for (const Acquisition& acq : acqs) {
+      if (acq.mutex == mutex && acq.at < ci && ci < acq.scope_end) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool IsDefinitionName(const std::vector<FunctionDef>& defs,
+                               size_t ci) {
+    for (const FunctionDef& def : defs) {
+      if (def.name_ci == ci) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeLockDisciplineRule() {
+  return std::make_unique<LockDisciplineRule>();
+}
+
+}  // namespace lint
+}  // namespace webrbd

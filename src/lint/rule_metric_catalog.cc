@@ -1,0 +1,147 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// metric-catalog: src/obs/stages.h is the single catalog of observable
+// metric names (`inline constexpr std::string_view kFoo = "webrbd_...";`).
+// This rule keeps the catalog and the code from drifting apart, in both
+// directions:
+//
+//   - every "webrbd_..." metric-name string literal in src/ or tools/
+//     (outside the catalog itself) must be declared in the catalog — new
+//     metrics cannot be minted ad hoc at a registry call site;
+//   - every catalog constant must be referenced somewhere outside its own
+//     declaration — a metric documented but never emitted is dead weight
+//     that dashboards will wait on forever.
+//
+// The rule disarms itself when the catalog header is not part of the
+// linted file set (e.g. linting only tests/), since neither direction can
+// be evaluated then. Tests and bench are exempt from the literal check:
+// they legitimately probe derived names like "webrbd_..._seconds_count".
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/analysis.h"
+#include "lint/rules.h"
+#include "util/string_util.h"
+
+namespace webrbd {
+namespace lint {
+namespace {
+
+constexpr std::string_view kCatalogPath = "src/obs/stages.h";
+constexpr std::string_view kMetricPrefix = "webrbd_";
+
+/// The unquoted value of a plain string token, or "" for other tokens
+/// (raw strings and prefixed literals never hold metric names here).
+std::string_view LiteralBody(const Token& token) {
+  if (token.kind != TokenKind::kString) return {};
+  std::string_view text = token.text;
+  const size_t open = text.find('"');
+  if (open == std::string_view::npos || text.size() < open + 2 ||
+      text.back() != '"') {
+    return {};
+  }
+  return text.substr(open + 1, text.size() - open - 2);
+}
+
+/// True iff `body` is shaped like a whole metric name: "webrbd_" followed
+/// by at least one more [a-z0-9_] character and nothing else. Tool banner
+/// strings ("webrbd_lint: ...") and the bare prefix are not metric names.
+bool LooksLikeMetricName(std::string_view body) {
+  if (!StartsWith(body, kMetricPrefix) || body.size() <= kMetricPrefix.size()) {
+    return false;
+  }
+  for (char c : body) {
+    if (!(c >= 'a' && c <= 'z') && !(c >= '0' && c <= '9') && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+class MetricCatalogRule : public Rule {
+ public:
+  LintRuleInfo info() const override {
+    return {"metric-catalog",
+            "every webrbd_ metric name literal must be declared in the "
+            "src/obs/stages.h catalog, and every catalog constant must be "
+            "used"};
+  }
+
+  void Collect(const FileAnalysis& fa, Corpus* corpus) override {
+    if (fa.path == kCatalogPath) {
+      corpus->catalog_seen = true;
+      // `inline constexpr std::string_view kFoo = "webrbd_foo";`
+      for (size_t ci = 0; ci + 2 < fa.code_size(); ++ci) {
+        const Token& token = fa.Code(ci);
+        if (!token.IsIdent() || token.text.size() < 2 ||
+            token.text[0] != 'k') {
+          continue;
+        }
+        if (fa.CodeText(ci + 1) != "=") continue;
+        const std::string_view body = LiteralBody(fa.Code(ci + 2));
+        if (!LooksLikeMetricName(body)) continue;
+        corpus->metric_catalog.emplace(std::string(body),
+                                       std::string(token.text));
+        corpus->catalog_decl_line.emplace(std::string(token.text),
+                                          token.line);
+      }
+      return;
+    }
+    // Anywhere else, remember which k-constants are referenced, so the
+    // catalog's never-used check can run during the catalog's own Check.
+    for (size_t ci = 0; ci < fa.code_size(); ++ci) {
+      const Token& token = fa.Code(ci);
+      if (token.IsIdent() && token.text.size() >= 2 &&
+          token.text[0] == 'k') {
+        corpus->referenced_constants.insert(std::string(token.text));
+      }
+    }
+  }
+
+  void Check(const FileAnalysis& fa, const Corpus& corpus,
+             Reporter* reporter) const override {
+    if (!corpus.catalog_seen) return;
+
+    if (fa.path == kCatalogPath) {
+      // Direction 2: documented but never emitted.
+      for (const auto& [literal, constant] : corpus.metric_catalog) {
+        if (corpus.referenced_constants.count(constant) > 0) continue;
+        const auto line = corpus.catalog_decl_line.find(constant);
+        reporter->Report(
+            info().name,
+            line != corpus.catalog_decl_line.end() ? line->second : 1, 0,
+            "catalog constant '" + constant + "' (\"" + literal +
+                "\") is never referenced outside the catalog; delete it or "
+                "wire the metric up");
+      }
+      return;
+    }
+
+    // Direction 1: emitted but not documented.
+    if (!StartsWith(fa.path, "src/") && !StartsWith(fa.path, "tools/")) {
+      return;
+    }
+    for (size_t ci = 0; ci < fa.code_size(); ++ci) {
+      const Token& token = fa.Code(ci);
+      const std::string_view body = LiteralBody(token);
+      if (!LooksLikeMetricName(body)) continue;
+      if (corpus.metric_catalog.count(std::string(body)) > 0) continue;
+      reporter->ReportAt(
+          info().name, token,
+          "metric name \"" + std::string(body) +
+              "\" is not declared in the catalog (src/obs/stages.h); add a "
+              "metric_names:: constant and use it here");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeMetricCatalogRule() {
+  return std::make_unique<MetricCatalogRule>();
+}
+
+}  // namespace lint
+}  // namespace webrbd

@@ -1,0 +1,48 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The token model for the webrbd_lint analysis engine. The tokenizer
+// (lint/tokenizer.h) turns C++ source into a flat stream of these; every
+// rule in src/lint works on the stream (or on views derived from it)
+// instead of on raw lines, so string literals, comments, raw strings, and
+// line continuations can never confuse a rule.
+
+#ifndef WEBRBD_LINT_TOKEN_H_
+#define WEBRBD_LINT_TOKEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace webrbd {
+namespace lint {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,   ///< identifiers and keywords (rules compare text)
+  kNumber,       ///< integer / floating literals, incl. ' separators
+  kString,       ///< "..." including encoding prefixes (u8, L, ...)
+  kRawString,    ///< R"delim(...)delim" including prefix and delimiters
+  kCharLiteral,  ///< '...'
+  kComment,      ///< one // comment or one whole /*...*/ block
+  kDirective,    ///< the introducing "#word" of a preprocessor directive
+  kPunct,        ///< operators and punctuation, maximal munch
+};
+
+/// One lexed token. `text` views into the source buffer passed to
+/// Tokenize(); it stays valid as long as that buffer does.
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string_view text;
+  size_t offset = 0;        ///< byte offset of the first character
+  size_t line = 0;          ///< 1-based physical line of the first character
+  size_t column = 0;        ///< 1-based byte column on that line
+  bool in_directive = false;  ///< token belongs to a preprocessor directive
+
+  bool Is(std::string_view s) const { return text == s; }
+  bool IsIdent() const { return kind == TokenKind::kIdentifier; }
+  bool IsCode() const { return kind != TokenKind::kComment; }
+};
+
+}  // namespace lint
+}  // namespace webrbd
+
+#endif  // WEBRBD_LINT_TOKEN_H_

@@ -1,0 +1,345 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "lint/tokenizer.h"
+
+#include <cstddef>
+
+namespace webrbd {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+bool IsIdentChar(char c) { return IsIdentStart(c) || IsDigit(c); }
+
+bool IsHorizontalSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+/// The multi-character punctuators we munch greedily, longest first.
+/// (Only operators a rule could care about need to be here; anything else
+/// falls through to single-character tokens.)
+constexpr std::string_view kPunct3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+constexpr std::string_view kPunct2[] = {"->", "::", "<<", ">>", "<=", ">=",
+                                        "==", "!=", "&&", "||", "+=", "-=",
+                                        "*=", "/=", "%=", "&=", "|=", "^=",
+                                        "++", "--", ".*", "##"};
+
+/// A raw-string prefix is R, uR, UR, LR, or u8R immediately before '"'.
+/// `end` is the index one past the candidate prefix (the '"' position).
+bool IsRawStringPrefix(std::string_view ident) {
+  return ident == "R" || ident == "uR" || ident == "UR" || ident == "LR" ||
+         ident == "u8R";
+}
+
+bool IsEncodingPrefix(std::string_view ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view source) : src_(source) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    tokens.reserve(src_.size() / 6 + 16);
+    bool at_line_start = true;   // only whitespace/comments since newline
+    bool in_directive = false;   // inside a preprocessor directive line
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      // Line continuations splice lines everywhere (phase 2): whitespace
+      // that keeps a directive alive.
+      if (c == '\\' && NextIsNewline(pos_ + 1)) {
+        ConsumeSplice();
+        continue;
+      }
+      if (c == '\n') {
+        Advance();
+        at_line_start = true;
+        in_directive = false;
+        continue;
+      }
+      if (IsHorizontalSpace(c)) {
+        Advance();
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == '/' || src_[pos_ + 1] == '*')) {
+        tokens.push_back(LexComment(in_directive));
+        continue;  // comments do not clear at_line_start
+      }
+      if (c == '#' && at_line_start) {
+        tokens.push_back(LexDirectiveIntro());
+        in_directive = true;
+        at_line_start = false;
+        continue;
+      }
+      at_line_start = false;
+      Token token;
+      if (IsIdentStart(c)) {
+        token = LexIdentifierOrLiteralPrefix();
+      } else if (IsDigit(c) || (c == '.' && pos_ + 1 < src_.size() &&
+                                IsDigit(src_[pos_ + 1]))) {
+        token = LexNumber();
+      } else if (c == '"') {
+        token = LexString(pos_);
+      } else if (c == '\'') {
+        token = LexCharLiteral();
+      } else {
+        token = LexPunct();
+      }
+      token.in_directive = in_directive;
+      tokens.push_back(token);
+    }
+    return tokens;
+  }
+
+ private:
+  bool NextIsNewline(size_t i) const {
+    // Accept \r\n as well as \n after the backslash.
+    if (i < src_.size() && src_[i] == '\n') return true;
+    return i + 1 < src_.size() && src_[i] == '\r' && src_[i + 1] == '\n';
+  }
+
+  void ConsumeSplice() {
+    Advance();  // backslash
+    if (pos_ < src_.size() && src_[pos_] == '\r') Advance();
+    if (pos_ < src_.size() && src_[pos_] == '\n') Advance();
+  }
+
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  Token Begin(TokenKind kind) const {
+    Token token;
+    token.kind = kind;
+    token.offset = pos_;
+    token.line = line_;
+    token.column = column_;
+    return token;
+  }
+
+  void Finish(Token* token) const {
+    token->text = src_.substr(token->offset, pos_ - token->offset);
+  }
+
+  Token LexComment(bool in_directive) {
+    Token token = Begin(TokenKind::kComment);
+    token.in_directive = in_directive;
+    if (src_[pos_ + 1] == '/') {
+      while (pos_ < src_.size() && src_[pos_] != '\n') {
+        if (src_[pos_] == '\\' && NextIsNewline(pos_ + 1)) {
+          ConsumeSplice();  // // comments honor line splices too
+        } else {
+          Advance();
+        }
+      }
+    } else {
+      Advance();  // '/'
+      Advance();  // '*'
+      while (pos_ < src_.size()) {
+        if (src_[pos_] == '*' && pos_ + 1 < src_.size() &&
+            src_[pos_ + 1] == '/') {
+          Advance();
+          Advance();
+          break;
+        }
+        Advance();
+      }
+    }
+    Finish(&token);
+    return token;
+  }
+
+  Token LexDirectiveIntro() {
+    Token token = Begin(TokenKind::kDirective);
+    token.in_directive = true;
+    Advance();  // '#'
+    while (pos_ < src_.size() &&
+           (IsHorizontalSpace(src_[pos_]) ||
+            (src_[pos_] == '\\' && NextIsNewline(pos_ + 1)))) {
+      if (src_[pos_] == '\\') {
+        ConsumeSplice();
+      } else {
+        Advance();
+      }
+    }
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) Advance();
+    Finish(&token);
+    return token;
+  }
+
+  Token LexIdentifierOrLiteralPrefix() {
+    const size_t start = pos_;
+    Token token = Begin(TokenKind::kIdentifier);
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) Advance();
+    const std::string_view ident = src_.substr(start, pos_ - start);
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      if (IsRawStringPrefix(ident)) return LexRawString(&token);
+      if (IsEncodingPrefix(ident)) return LexString(token.offset, &token);
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        IsEncodingPrefix(ident)) {
+      return LexCharLiteral(&token);
+    }
+    Finish(&token);
+    return token;
+  }
+
+  Token LexNumber() {
+    Token token = Begin(TokenKind::kNumber);
+    // pp-number: digits, idents, dots, exponent signs, and ' separators
+    // (a separator quote is always followed by an alphanumeric character,
+    // which is how 1'000 is distinguished from 1 followed by '\0'... ).
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        Advance();
+      } else if ((c == '+' || c == '-') &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+                  src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')) {
+        Advance();
+      } else if (c == '\'' && pos_ + 1 < src_.size() &&
+                 IsIdentChar(src_[pos_ + 1])) {
+        Advance();  // digit separator
+      } else {
+        break;
+      }
+    }
+    Finish(&token);
+    return token;
+  }
+
+  /// Lexes "..." starting at src_[pos_] == '"'. When `started` is given,
+  /// the token began earlier at an encoding prefix.
+  Token LexString(size_t, Token* started = nullptr) {
+    Token token = started != nullptr ? *started : Begin(TokenKind::kString);
+    token.kind = TokenKind::kString;
+    Advance();  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        if (NextIsNewline(pos_ + 1)) {
+          ConsumeSplice();
+          continue;
+        }
+        Advance();
+        if (pos_ < src_.size() && src_[pos_] != '\n') Advance();
+        continue;
+      }
+      if (c == '"') {
+        Advance();
+        break;
+      }
+      if (c == '\n') break;  // unterminated: resync at the newline
+      Advance();
+    }
+    Finish(&token);
+    return token;
+  }
+
+  Token LexRawString(Token* started) {
+    Token token = *started;
+    token.kind = TokenKind::kRawString;
+    Advance();  // opening quote
+    // Collect the delimiter up to '('.
+    const size_t delim_start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n') {
+      Advance();
+    }
+    if (pos_ >= src_.size() || src_[pos_] != '(') {
+      // Malformed; treat like an ordinary string from here.
+      Finish(&token);
+      return token;
+    }
+    const std::string_view delim =
+        src_.substr(delim_start, pos_ - delim_start);
+    Advance();  // '('
+    // Scan for )delim"
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == ')' &&
+          src_.compare(pos_ + 1, delim.size(), delim) == 0 &&
+          pos_ + 1 + delim.size() < src_.size() &&
+          src_[pos_ + 1 + delim.size()] == '"') {
+        for (size_t i = 0; i < delim.size() + 2; ++i) Advance();
+        break;
+      }
+      Advance();
+    }
+    Finish(&token);
+    return token;
+  }
+
+  Token LexCharLiteral(Token* started = nullptr) {
+    Token token =
+        started != nullptr ? *started : Begin(TokenKind::kCharLiteral);
+    token.kind = TokenKind::kCharLiteral;
+    Advance();  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        Advance();
+        if (pos_ < src_.size() && src_[pos_] != '\n') Advance();
+        continue;
+      }
+      if (c == '\'') {
+        Advance();
+        break;
+      }
+      if (c == '\n') break;  // unterminated: resync
+      Advance();
+    }
+    Finish(&token);
+    return token;
+  }
+
+  Token LexPunct() {
+    Token token = Begin(TokenKind::kPunct);
+    const std::string_view rest = src_.substr(pos_);
+    for (std::string_view p : kPunct3) {
+      if (rest.substr(0, 3) == p) {
+        Advance();
+        Advance();
+        Advance();
+        Finish(&token);
+        return token;
+      }
+    }
+    for (std::string_view p : kPunct2) {
+      if (rest.substr(0, 2) == p) {
+        Advance();
+        Advance();
+        Finish(&token);
+        return token;
+      }
+    }
+    Advance();
+    Finish(&token);
+    return token;
+  }
+
+  const std::string_view src_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view source) {
+  return Tokenizer(source).Run();
+}
+
+}  // namespace lint
+}  // namespace webrbd

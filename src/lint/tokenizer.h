@@ -1,0 +1,44 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// A lightweight C++ tokenizer for the webrbd_lint analysis engine. It is
+// not a compiler front end: it lexes identifiers, literals, comments,
+// preprocessor directives, and punctuation with enough fidelity that lint
+// rules can reason about statements, scopes, and nesting without being
+// fooled by the things that break line-based regex linting:
+//
+//  - string/char literals and raw strings (R"delim(...)delim"), including
+//    encoding prefixes (u8"...", LR"(...)"): one token each, so code-like
+//    text inside them is never mistaken for code;
+//  - // and /*...*/ comments: one token each (block comments may span
+//    many lines), emitted into the stream so rules that care (and the
+//    scrubber) can see them, and skipped by everything else;
+//  - backslash-newline line continuations: treated as whitespace that does
+//    not terminate a preprocessor directive (C++ phase-2 splicing);
+//  - preprocessor directives: the introducing `#word` becomes one
+//    kDirective token and every token up to the (unescaped) end of line is
+//    flagged in_directive, so statement-level rules can skip macro bodies;
+//  - maximal-munch punctuation (`->`, `::`, `>>`, `<=>`...), so template
+//    nesting helpers can treat `>>` as two closing angles.
+//
+// Tokens view into the caller's buffer; no text is copied.
+
+#ifndef WEBRBD_LINT_TOKENIZER_H_
+#define WEBRBD_LINT_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace webrbd {
+namespace lint {
+
+/// Lexes `source` into a token stream. Never fails: unterminated literals
+/// end at the next newline (resync), an unterminated block comment or raw
+/// string extends to end of input. The returned tokens view into `source`.
+std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace lint
+}  // namespace webrbd
+
+#endif  // WEBRBD_LINT_TOKENIZER_H_

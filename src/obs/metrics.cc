@@ -20,9 +20,12 @@ std::string FormatDouble(double value) {
   return buffer;
 }
 
+// Lookup-or-register on an already-locked name map. Locking happens at
+// each call site (not in a helper taking std::mutex&) so both clang's
+// -Wthread-safety pass and webrbd_lint's lock-discipline rule can see the
+// acquisition guarding the map access.
 template <typename Map, typename Make>
-auto* GetOrCreate(std::mutex& mu, Map& map, std::string_view name, Make make) {
-  std::unique_lock<std::mutex> lock(mu);
+auto* GetOrCreate(Map& map, std::string_view name, Make make) {
   auto it = map.find(name);
   if (it == map.end()) {
     it = map.emplace(std::string(name), make()).first;
@@ -205,23 +208,26 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  return GetOrCreate(mu_, counters_, name,
+  MutexLock lock(&mu_);
+  return GetOrCreate(counters_, name,
                      []() { return std::make_unique<Counter>(); });
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  return GetOrCreate(mu_, gauges_, name,
+  MutexLock lock(&mu_);
+  return GetOrCreate(gauges_, name,
                      []() { return std::make_unique<Gauge>(); });
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  return GetOrCreate(mu_, histograms_, name,
+  MutexLock lock(&mu_);
+  return GetOrCreate(histograms_, name,
                      []() { return std::make_unique<Histogram>(); });
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.push_back(CounterSnapshot{name, counter->count()});
@@ -245,7 +251,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

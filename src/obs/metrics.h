@@ -17,14 +17,18 @@
 //  - The registry hands out stable pointers: a Counter*/Gauge*/Histogram*
 //    obtained once (typically through a function-local static, see
 //    obs/stages.h) stays valid for the process lifetime. The registry's
-//    own mutex is only taken on first registration and on Snapshot().
+//    own mutex is only taken on first registration and on Snapshot(); it
+//    is an annotated util/mutex.h Mutex, so clang -Wthread-safety and
+//    webrbd_lint's lock-discipline rule both verify the name maps are
+//    only touched with it held.
 //  - Snapshot() returns a consistent-enough copy (each atomic is read
 //    individually; totals may be mid-update by at most the events racing
 //    with the snapshot) renderable as JSON or Prometheus text exposition.
 //
-// This header intentionally depends on nothing but the standard library so
-// any layer (util/, html/, core/, extract/) can instrument itself without
-// dependency cycles.
+// This header intentionally depends on nothing but the standard library
+// and the header-only annotated mutex wrappers (util/mutex.h, themselves
+// std-only), so any layer (util/, html/, core/, extract/) can instrument
+// itself without dependency cycles.
 
 #ifndef WEBRBD_OBS_METRICS_H_
 #define WEBRBD_OBS_METRICS_H_
@@ -35,10 +39,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace webrbd {
 namespace obs {
@@ -190,21 +196,24 @@ class MetricsRegistry {
   /// The process-wide registry all built-in instrumentation reports to.
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
-  Histogram* GetHistogram(std::string_view name);
+  Counter* GetCounter(std::string_view name) WEBRBD_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) WEBRBD_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name) WEBRBD_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const WEBRBD_EXCLUDES(mu_);
 
   /// Zeroes every registered metric (keeps registrations — pointers handed
   /// out stay valid). For tests and bench warm-up isolation.
-  void ResetAll();
+  void ResetAll() WEBRBD_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      WEBRBD_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      WEBRBD_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      WEBRBD_GUARDED_BY(mu_);
 };
 
 /// RAII span: observes the scope's wall time into `histogram` on

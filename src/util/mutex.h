@@ -1,0 +1,81 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable_any carrying the thread-safety capability
+// attributes from util/thread_annotations.h. libstdc++'s std::mutex has
+// no such attributes, so clang's -Wthread-safety (and webrbd_lint's
+// lock-discipline rule, which reads the same annotations textually) can
+// only verify code built on these wrappers.
+//
+// Conventions:
+//  - protect state with a `Mutex` and annotate every protected field
+//    WEBRBD_GUARDED_BY(mu_);
+//  - acquire with `MutexLock lock(&mu_);` — scoped, never manual
+//    lock()/unlock() pairs;
+//  - wait with an explicit `while (!pred()) cv_.Wait(mu_);` loop, NOT a
+//    lambda-predicate overload: the analysis cannot see through lambda
+//    captures, and the loop form keeps the guarded reads inside the
+//    visibly-locked scope;
+//  - annotate methods that acquire `mu_` themselves WEBRBD_EXCLUDES(mu_)
+//    and internal helpers that expect it held WEBRBD_REQUIRES(mu_).
+
+#ifndef WEBRBD_UTIL_MUTEX_H_
+#define WEBRBD_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace webrbd {
+
+/// An annotated standard mutex. Lowercase lock/unlock keep it a C++
+/// BasicLockable, so std::condition_variable_any can wait on it directly.
+class WEBRBD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WEBRBD_ACQUIRE() { mu_.lock(); }
+  void unlock() WEBRBD_RELEASE() { mu_.unlock(); }
+  bool try_lock() WEBRBD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex; the only sanctioned way to acquire one.
+class WEBRBD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) WEBRBD_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() WEBRBD_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable for Mutex. Wait() atomically releases the mutex and
+/// reacquires it before returning, so from the caller's (and the
+/// analysis') point of view the capability is held across the call — use
+/// it inside an explicit `while (!predicate)` loop under a MutexLock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) WEBRBD_REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_UTIL_MUTEX_H_

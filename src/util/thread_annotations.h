@@ -1,0 +1,78 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Clang thread-safety-analysis attribute macros, WEBRBD_-prefixed. Under
+// clang with -Wthread-safety (the dedicated CI job) these expand to the
+// static-analysis attributes; under GCC and MSVC they expand to nothing,
+// so library code can annotate freely without a hard clang dependency.
+//
+// The annotations are doubly load-bearing: clang verifies them
+// interprocedurally in CI, and webrbd_lint's lock-discipline rule reads
+// the same macros textually to check guarded-field access and lock
+// ordering on every build, compiler-independent (see
+// docs/static-analysis.md for the conventions).
+//
+// Use util/mutex.h (Mutex, MutexLock, CondVar) rather than std::mutex
+// directly: libstdc++'s std::mutex carries no capability attributes, so
+// only the annotated wrappers make the analysis effective.
+
+#ifndef WEBRBD_UTIL_THREAD_ANNOTATIONS_H_
+#define WEBRBD_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && __has_attribute(capability)
+#define WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(x)
+#endif
+
+/// A type that is a lockable capability ("mutex").
+#define WEBRBD_CAPABILITY(x) \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// An RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define WEBRBD_SCOPED_CAPABILITY \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// A data member that may only be read or written while holding `x`.
+#define WEBRBD_GUARDED_BY(x) \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// A pointer member whose POINTEE may only be accessed while holding `x`.
+#define WEBRBD_PT_GUARDED_BY(x) \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// A function that acquires the given capabilities and holds them on
+/// return.
+#define WEBRBD_ACQUIRE(...) \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// A function that releases the given capabilities (held on entry).
+#define WEBRBD_RELEASE(...) \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// A function that may only be called while holding the given
+/// capabilities; they remain held across the call.
+#define WEBRBD_REQUIRES(...) \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// A function that may only be called while NOT holding the given
+/// capabilities (typically because it acquires them itself).
+#define WEBRBD_EXCLUDES(...) \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// A function that tries to acquire the capability, returning `result` on
+/// success.
+#define WEBRBD_TRY_ACQUIRE(result, ...) \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(  \
+      try_acquire_capability(result, __VA_ARGS__))
+
+/// A function returning a reference to the given capability.
+#define WEBRBD_RETURN_CAPABILITY(x) \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Use only with a
+/// comment explaining the invariant the analysis cannot see.
+#define WEBRBD_NO_THREAD_SAFETY_ANALYSIS \
+  WEBRBD_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // WEBRBD_UTIL_THREAD_ANNOTATIONS_H_

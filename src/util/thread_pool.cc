@@ -33,12 +33,12 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 void ThreadPool::Shutdown() {
   bool first_shutdown = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     first_shutdown = !shutting_down_;
     shutting_down_ = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -58,7 +58,7 @@ void ThreadPool::Shutdown() {
 }
 
 size_t ThreadPool::pending() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -100,20 +100,23 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    // Explicit wait loops, not lambda predicates: the thread-safety
+    // analyses cannot see through lambda captures, and the loop keeps the
+    // guarded reads visibly inside the locked scope (see util/mutex.h).
     if (obs::MetricsEnabled()) {
       const auto wait_start = std::chrono::steady_clock::now();
-      not_full_.wait(lock, [this]() {
-        return shutting_down_ || queue_.size() < queue_capacity_;
-      });
+      while (!shutting_down_ && queue_.size() >= queue_capacity_) {
+        not_full_.Wait(mu_);
+      }
       obs::Pool().submit_block->ObserveNanos(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - wait_start)
               .count()));
     } else {
-      not_full_.wait(lock, [this]() {
-        return shutting_down_ || queue_.size() < queue_capacity_;
-      });
+      while (!shutting_down_ && queue_.size() >= queue_capacity_) {
+        not_full_.Wait(mu_);
+      }
     }
     if (!shutting_down_) {
       queue_.push_back(std::move(task));
@@ -121,7 +124,7 @@ void ThreadPool::Enqueue(std::function<void()> task) {
       // `task` was moved into the queue; notify under the lock so a
       // worker blocked in WorkerLoop cannot miss the wakeup between its
       // predicate check and its wait.
-      not_empty_.notify_one();
+      not_empty_.NotifyOne();
       return;
     }
   }
@@ -136,14 +139,13 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock,
-                      [this]() { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) not_empty_.Wait(mu_);
       if (queue_.empty()) break;  // shutting down and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
       obs::Pool().queue_depth->Add(-1);
-      not_full_.notify_one();
+      not_full_.NotifyOne();
     }
     RunTask(task);
   }

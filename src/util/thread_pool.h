@@ -22,8 +22,11 @@
 //  - Shutdown() (also run by the destructor) drains every queued task and
 //    joins the workers. Submitting after shutdown runs the task inline in
 //    the caller's thread, so no work is ever lost.
-//  - All synchronization is one mutex plus two condition variables; the
-//    class is ThreadSanitizer-clean under WEBRBD_SANITIZE=thread.
+//  - All synchronization is one annotated Mutex plus two CondVars (see
+//    util/mutex.h): the guarded fields carry WEBRBD_GUARDED_BY and the
+//    locking methods WEBRBD_EXCLUDES, so both clang's -Wthread-safety CI
+//    pass and webrbd_lint's lock-discipline rule verify the discipline.
+//    The class is ThreadSanitizer-clean under WEBRBD_SANITIZE=thread.
 //  - Observability (see docs/observability.md): queue depth, executed
 //    task and inline-run counts, cumulative worker busy time, and
 //    submit-block latency are reported to the global metrics registry;
@@ -35,19 +38,19 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "obs/stages.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace webrbd {
 
@@ -86,13 +89,13 @@ class ThreadPool {
   }
 
   /// Finishes every queued task, then joins the workers. Idempotent.
-  void Shutdown();
+  void Shutdown() WEBRBD_EXCLUDES(mu_);
 
   /// Number of worker threads.
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
   /// Tasks currently waiting in the queue (excludes running tasks).
-  size_t pending() const;
+  size_t pending() const WEBRBD_EXCLUDES(mu_);
 
   /// Maximum number of queued tasks before Submit() blocks.
   size_t queue_capacity() const { return queue_capacity_; }
@@ -110,9 +113,9 @@ class ThreadPool {
   // Pushes a type-erased task, blocking on a full queue; runs it inline
   // when the pool is shut down or the caller is one of this pool's
   // workers.
-  void Enqueue(std::function<void()> task);
+  void Enqueue(std::function<void()> task) WEBRBD_EXCLUDES(mu_);
 
-  void WorkerLoop();
+  void WorkerLoop() WEBRBD_EXCLUDES(mu_);
 
   // Runs a task and charges its wall time to the busy counters.
   void RunTask(std::function<void()>& task);
@@ -120,11 +123,11 @@ class ThreadPool {
   const size_t queue_capacity_;
   const std::chrono::steady_clock::time_point created_ =
       std::chrono::steady_clock::now();
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;  // signaled when a task is queued
-  std::condition_variable not_full_;   // signaled when a slot frees up
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;  // signaled when a task is queued
+  CondVar not_full_;   // signaled when a slot frees up
+  std::deque<std::function<void()>> queue_ WEBRBD_GUARDED_BY(mu_);
+  bool shutting_down_ WEBRBD_GUARDED_BY(mu_) = false;
   std::atomic<uint64_t> busy_nanos_{0};
   std::vector<std::thread> workers_;
 

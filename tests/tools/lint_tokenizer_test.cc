@@ -1,0 +1,215 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Tests for the lint engine's C++ tokenizer and analysis substrate
+// (lint/tokenizer.h, lint/analysis.h): the constructs that historically
+// confuse line- and regex-based linting — raw strings, line continuations,
+// nested template argument lists, and comments that contain code — must
+// come out of the tokenizer as single, correctly-classified tokens.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/analysis.h"
+#include "lint/tokenizer.h"
+
+namespace webrbd {
+namespace lint {
+namespace {
+
+std::vector<Token> CodeTokens(const std::vector<Token>& tokens) {
+  std::vector<Token> code;
+  for (const Token& token : tokens) {
+    if (token.IsCode()) code.push_back(token);
+  }
+  return code;
+}
+
+const Token* FindToken(const std::vector<Token>& tokens, std::string_view text,
+                       TokenKind kind) {
+  for (const Token& token : tokens) {
+    if (token.kind == kind && token.text == text) return &token;
+  }
+  return nullptr;
+}
+
+// -------------------------------------------------------------- raw strings
+
+TEST(LintTokenizerTest, RawStringIsOneToken) {
+  const auto tokens = Tokenize("auto s = R\"(throw \"x\"; atoi(q);)\";");
+  const Token* raw = nullptr;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kRawString) raw = &token;
+  }
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->text, "R\"(throw \"x\"; atoi(q);)\"");
+  // Nothing inside the raw string leaks out as identifiers.
+  EXPECT_EQ(FindToken(tokens, "throw", TokenKind::kIdentifier), nullptr);
+  EXPECT_EQ(FindToken(tokens, "atoi", TokenKind::kIdentifier), nullptr);
+}
+
+TEST(LintTokenizerTest, RawStringCustomDelimiterStopsOnlyAtItsOwnDelimiter) {
+  // The undelimited terminator )" appears INSIDE the literal; only )ab"
+  // ends it.
+  const auto tokens = Tokenize("auto s = R\"ab(x)\" y)ab\"; int z;");
+  const Token* raw = nullptr;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kRawString) raw = &token;
+  }
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->text, "R\"ab(x)\" y)ab\"");
+  EXPECT_NE(FindToken(tokens, "z", TokenKind::kIdentifier), nullptr);
+}
+
+TEST(LintTokenizerTest, RawStringPrefixVariantsAreRawStrings) {
+  for (const char* source :
+       {"auto a = LR\"(x)\";", "auto a = u8R\"(x)\";", "auto a = uR\"(x)\";"}) {
+    const auto tokens = Tokenize(source);
+    bool saw_raw = false;
+    for (const Token& token : tokens) {
+      saw_raw = saw_raw || token.kind == TokenKind::kRawString;
+    }
+    EXPECT_TRUE(saw_raw) << source;
+  }
+}
+
+// ------------------------------------------------------- line continuations
+
+TEST(LintTokenizerTest, LineContinuationExtendsDirective) {
+  const auto tokens = Tokenize(
+      "#define CHECK(x) \\\n"
+      "  do_check(x)\n"
+      "int after;");
+  // Tokens on the continued line still belong to the directive...
+  const Token* cont = FindToken(tokens, "do_check", TokenKind::kIdentifier);
+  ASSERT_NE(cont, nullptr);
+  EXPECT_TRUE(cont->in_directive);
+  // ...and the first token after the (unescaped) newline does not.
+  const Token* after = FindToken(tokens, "after", TokenKind::kIdentifier);
+  ASSERT_NE(after, nullptr);
+  EXPECT_FALSE(after->in_directive);
+}
+
+TEST(LintTokenizerTest, LineContinuationInCodeIsWhitespace) {
+  const auto tokens = Tokenize("int a \\\n= 3;");
+  const auto code = CodeTokens(tokens);
+  ASSERT_GE(code.size(), 4u);
+  EXPECT_EQ(code[0].text, "int");
+  EXPECT_EQ(code[1].text, "a");
+  EXPECT_EQ(code[2].text, "=");
+  EXPECT_EQ(code[3].text, "3");
+  // The '=' lands on physical line 2.
+  EXPECT_EQ(code[2].line, 2u);
+}
+
+// --------------------------------------------------------- nested templates
+
+TEST(LintTokenizerTest, SkipTemplateArgsTreatsDoubleCloseAsTwoAngles) {
+  const FileAnalysis fa = AnalyzeSource(
+      "src/x/f.cc", "std::map<std::string, std::vector<int>> m;");
+  // Find the first '<' (after "map").
+  size_t open = 0;
+  for (; open < fa.code_size(); ++open) {
+    if (fa.CodeText(open) == "<") break;
+  }
+  ASSERT_LT(open, fa.code_size());
+  const size_t after = SkipTemplateArgs(fa, open);
+  ASSERT_NE(after, static_cast<size_t>(-1));
+  EXPECT_EQ(fa.CodeText(after), "m");
+}
+
+TEST(LintTokenizerTest, SkipTemplateArgsRejectsComparisonChains) {
+  // `a < b; c > d` is not a template argument list: the ';' aborts it.
+  const FileAnalysis fa = AnalyzeSource("src/x/f.cc", "bool x = a < b; c > d;");
+  size_t open = 0;
+  for (; open < fa.code_size(); ++open) {
+    if (fa.CodeText(open) == "<") break;
+  }
+  ASSERT_LT(open, fa.code_size());
+  EXPECT_EQ(SkipTemplateArgs(fa, open), static_cast<size_t>(-1));
+}
+
+// -------------------------------------------------- comments that hold code
+
+TEST(LintTokenizerTest, CommentedOutCodeIsOneCommentToken) {
+  const auto tokens = Tokenize(
+      "int live = 1;\n"
+      "// int dead = atoi(s);\n"
+      "/* throw Error(\"x\");\n   also multi-line */\n"
+      "int tail = 2;");
+  size_t comments = 0;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kComment) ++comments;
+  }
+  EXPECT_EQ(comments, 2u);  // one line comment, one whole block comment
+  const auto code = CodeTokens(tokens);
+  // No identifier from inside either comment survives as a code token.
+  for (const Token& token : code) {
+    EXPECT_NE(token.text, "atoi");
+    EXPECT_NE(token.text, "throw");
+    EXPECT_NE(token.text, "dead");
+  }
+  EXPECT_NE(FindToken(code, "tail", TokenKind::kIdentifier), nullptr);
+}
+
+TEST(LintTokenizerTest, CodeIndexViewSkipsComments) {
+  const FileAnalysis fa =
+      AnalyzeSource("src/x/f.cc", "int a; /* gap */ int b; // end\n");
+  // fa.code holds only non-comment tokens, in order.
+  std::vector<std::string> texts;
+  for (size_t ci = 0; ci < fa.code_size(); ++ci) {
+    texts.push_back(std::string(fa.CodeText(ci)));
+  }
+  EXPECT_EQ(texts,
+            (std::vector<std::string>{"int", "a", ";", "int", "b", ";"}));
+}
+
+// ------------------------------------------------------- strings & literals
+
+TEST(LintTokenizerTest, EscapedQuotesStayInsideTheLiteral) {
+  const auto tokens = Tokenize("const char* s = \"a\\\"b\"; char c = '\\'';");
+  const Token* str = nullptr;
+  const Token* chr = nullptr;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kString) str = &token;
+    if (token.kind == TokenKind::kCharLiteral) chr = &token;
+  }
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->text, "\"a\\\"b\"");
+  ASSERT_NE(chr, nullptr);
+  EXPECT_EQ(chr->text, "'\\''");
+}
+
+TEST(LintTokenizerTest, PositionsAreOneBasedLinesAndColumns) {
+  const auto tokens = Tokenize("int a;\n  int b;\n");
+  const Token* b = FindToken(tokens, "b", TokenKind::kIdentifier);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->line, 2u);
+  EXPECT_EQ(b->column, 7u);  // "  int b;" — b is the 7th byte
+}
+
+// --------------------------------------------------------- function finding
+
+TEST(LintTokenizerTest, FindFunctionsGetsBodyExtents) {
+  const FileAnalysis fa = AnalyzeSource("src/x/f.cc",
+                                        "int Twice(int v) { return v * 2; }\n"
+                                        "void Decl(int v);\n"
+                                        "int y = Call(3);\n");
+  const auto defs = FindFunctions(fa);
+  const FunctionDef* twice = nullptr;
+  for (const FunctionDef& def : defs) {
+    if (def.name == "Twice") twice = &def;
+    // Declarations and calls are not definitions and are not returned.
+    EXPECT_NE(def.name, "Decl");
+    EXPECT_NE(def.name, "Call");
+  }
+  ASSERT_NE(twice, nullptr);
+  EXPECT_TRUE(twice->is_definition);
+  EXPECT_EQ(fa.CodeText(twice->body_begin), "{");
+  EXPECT_EQ(fa.CodeText(twice->body_end - 1), "}");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace webrbd

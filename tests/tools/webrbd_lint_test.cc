@@ -495,6 +495,22 @@ TEST(SuppressionTest, MalformedAndUnknownRulesAreRejected) {
   EXPECT_FALSE(SuppressionList::Parse("not-a-rule src/x/f.cc\n").ok());
 }
 
+TEST(SuppressionTest, StaleEntriesAreTheOnesMatchingNoFinding) {
+  auto suppressions = SuppressionList::Parse(
+      "banned-function src/x/f.cc atoi(\n"
+      "throw-in-library src/gone/file.cc\n");
+  ASSERT_TRUE(suppressions.ok());
+
+  const std::vector<LintFinding> findings = {
+      {"banned-function", "src/x/f.cc", 4, "msg", "int x = atoi(s);"}};
+  const std::vector<std::string> stale = suppressions->StaleEntries(findings);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "throw-in-library src/gone/file.cc");
+
+  // With no findings at all, every entry is stale.
+  EXPECT_EQ(suppressions->StaleEntries({}).size(), 2u);
+}
+
 TEST(SuppressionTest, InlineAllowDropsFinding) {
   const std::string source =
       std::string(kLicense) +
@@ -534,6 +550,44 @@ TEST(LinterTest, FormatFindingIsStable) {
   EXPECT_EQ(FormatFinding(finding),
             "src/x/f.cc:12: [banned-function] no sprintf\n"
             "    sprintf(buf, fmt);");
+}
+
+TEST(LinterTest, FormatFindingRendersColumnAndCaret) {
+  LintFinding finding{"banned-function", "src/x/f.cc", 12, "no atoi",
+                      "int x = atoi(s);"};
+  finding.column = 11;
+  finding.caret = 9;  // points at "atoi" within the trimmed text
+  EXPECT_EQ(FormatFinding(finding),
+            "src/x/f.cc:12:11: [banned-function] no atoi\n"
+            "    int x = atoi(s);\n"
+            "            ^");
+}
+
+TEST(LinterTest, FormatFindingNormalizesTabsSoTheCaretLandsOnTarget) {
+  // Tab-indented source: caret offsets are in bytes of the trimmed text,
+  // so embedded tabs must render one column wide for the caret to align.
+  LintFinding finding{"banned-function", "src/x/f.cc", 3, "no atoi",
+                      "int\tx = atoi(s);"};
+  finding.column = 12;
+  finding.caret = 10;
+  EXPECT_EQ(FormatFinding(finding),
+            "src/x/f.cc:3:12: [banned-function] no atoi\n"
+            "    int x = atoi(s);\n"
+            "             ^");
+}
+
+TEST(LinterTest, FindingsCarryColumnsAndCaretsFromTheEngine) {
+  const std::string source =
+      std::string(kLicense) + "\tint n = atoi(s);\n";
+  auto findings = LintFixture({"src/x/f.cc", source});
+  ASSERT_TRUE(Triggered(findings, "banned-function"));
+  for (const LintFinding& finding : findings) {
+    if (finding.rule != "banned-function") continue;
+    EXPECT_EQ(finding.line, 2u);
+    EXPECT_EQ(finding.column, 10u);  // byte column of "atoi" (after the tab)
+    EXPECT_EQ(finding.caret, 9u);    // within the trimmed line text
+    EXPECT_EQ(finding.line_text, "int n = atoi(s);");
+  }
 }
 
 }  // namespace

@@ -5,12 +5,15 @@
 // filters findings through the suppression file, and exits non-zero when
 // any unsuppressed finding remains.
 //
-//   webrbd_lint [--root DIR] [--suppressions FILE] [--list-rules] PATH...
+//   webrbd_lint [--root DIR] [--suppressions FILE] [--check-suppressions]
+//               [--list-rules] PATH...
 //
 // PATH arguments are files or directories (searched recursively for
-// .cc/.h). --root sets the directory that findings and include-guard
+// .cc/.cpp/.h). --root sets the directory that findings and include-guard
 // expectations are computed relative to; it defaults to the common parent
-// implied by each PATH.
+// implied by each PATH. --check-suppressions additionally fails the run
+// when an entry in the suppression file matches no finding: stale entries
+// are dead weight that silently widen what future findings get swallowed.
 
 #include <algorithm>
 #include <filesystem>
@@ -31,7 +34,7 @@ namespace fs = std::filesystem;
 
 int Usage() {
   std::cerr << "usage: webrbd_lint [--root DIR] [--suppressions FILE] "
-               "[--list-rules] PATH...\n";
+               "[--check-suppressions] [--list-rules] PATH...\n";
   return 2;
 }
 
@@ -56,12 +59,13 @@ std::string RelativePath(const fs::path& file, const fs::path& root) {
 
 bool IsLintableFile(const fs::path& path) {
   const std::string ext = path.extension().string();
-  return ext == ".cc" || ext == ".h";
+  return ext == ".cc" || ext == ".cpp" || ext == ".h";
 }
 
 int Run(int argc, char** argv) {
   std::string root_arg;
   std::string suppressions_file;
+  bool check_suppressions = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +75,8 @@ int Run(int argc, char** argv) {
     } else if (arg == "--suppressions") {
       if (++i >= argc) return Usage();
       suppressions_file = argv[i];
+    } else if (arg == "--check-suppressions") {
+      check_suppressions = true;
     } else if (arg == "--list-rules") {
       for (const LintRuleInfo& rule : AllLintRules()) {
         std::cout << rule.name << ": " << rule.description << "\n";
@@ -161,9 +167,24 @@ int Run(int argc, char** argv) {
     ++reported;
     std::cout << FormatFinding(finding) << "\n";
   }
+
+  // Stale-suppression audit: an entry that matched nothing in this run is
+  // masking a finding that no longer exists (fixed code, renamed file, or
+  // a rule change) and should be pruned.
+  size_t stale = 0;
+  if (check_suppressions) {
+    for (const std::string& entry : suppressions.StaleEntries(findings)) {
+      ++stale;
+      std::cout << suppressions_file << ": stale suppression (matches no "
+                << "finding): " << entry << "\n";
+    }
+  }
+
   std::cout << "webrbd_lint: " << sources.size() << " files, " << reported
-            << " finding(s), " << suppressed << " suppressed\n";
-  return reported == 0 ? 0 : 1;
+            << " finding(s), " << suppressed << " suppressed";
+  if (check_suppressions) std::cout << ", " << stale << " stale entr(ies)";
+  std::cout << "\n";
+  return reported == 0 && stale == 0 ? 0 : 1;
 }
 
 }  // namespace
