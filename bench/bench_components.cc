@@ -20,8 +20,10 @@
 #include "gen/corpora.h"
 #include "gen/sites.h"
 #include "robust/limits.h"
+#include "html/arena.h"
 #include "html/lexer.h"
 #include "html/tree_builder.h"
+#include "legacy_lexer_baseline.h"
 #include "legacy_tree_baseline.h"
 #include "ontology/bundled.h"
 #include "ontology/estimator.h"
@@ -51,13 +53,51 @@ const CandidateAnalysis& Analysis() {
 }
 
 void BM_Lexer(benchmark::State& state) {
+  DocumentArena arena;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(LexHtml(Document()));
+    arena.Reset();  // retains blocks: steady-state batch-worker shape
+    benchmark::DoNotOptimize(LexHtml(Document(), arena));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(Document().size()));
 }
 BENCHMARK(BM_Lexer);
+
+// The pre-SWAR lexer (frozen in legacy_lexer_baseline.cc): byte-at-a-time
+// scanning and owning std::string tokens. CI's bench-smoke guard asserts
+// BM_Lexer / BM_LexerLegacy >= 1.8x by bytes_per_second — a
+// hardware-independent floor on the SWAR + zero-copy win.
+void BM_LexerLegacy(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::LegacyLexHtml(Document(), robust::DocumentLimits::Production()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Document().size()));
+}
+BENCHMARK(BM_LexerLegacy);
+
+// The raw-text worst case the bulk scan fixes: a <script> body made of
+// near-miss "</scrip" closers. The legacy lexer re-compared the closer
+// name at every '<'; the SWAR path rejects each candidate in O(1).
+void BM_LexerRawTextStorm(benchmark::State& state) {
+  const std::string doc = gen::RenderAdversarialDocument(
+      gen::AdversarialShape::kRawTextCloseStorm,
+      static_cast<size_t>(state.range(0)));
+  DocumentArena arena;
+  for (auto _ : state) {
+    arena.Reset();
+    benchmark::DoNotOptimize(
+        LexHtml(doc, robust::DocumentLimits::Unlimited(), arena));
+  }
+  state.SetComplexityN(state.range(0));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_LexerRawTextStorm)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oN);
 
 void BM_TagTreeBuild(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,252 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Frozen pre-SWAR lexer — see legacy_lexer_baseline.h. The code below is
+// the PR 6 src/html/lexer.cc with HtmlToken renamed to LegacyHtmlToken and
+// the obs counter hooks dropped; every scan loop, recovery path, and
+// limits check is kept byte-for-byte in behavior. Do not modernize.
+
+#include "legacy_lexer_baseline.h"
+
+#include <string>
+
+#include "html/tag_metadata.h"
+#include "util/string_util.h"
+
+namespace webrbd::bench {
+
+namespace {
+
+using robust::DocumentLimits;
+using robust::LimitExceeded;
+
+class LegacyLexer {
+ public:
+  LegacyLexer(std::string_view doc, const DocumentLimits& limits)
+      : doc_(doc), limits_(limits) {}
+
+  Result<std::vector<LegacyHtmlToken>> Lex() {
+    if (LimitExceeded(doc_.size(), limits_.max_document_bytes)) {
+      return Status::ResourceExhausted(
+          "document size " + std::to_string(doc_.size()) +
+          " exceeds max_document_bytes " +
+          std::to_string(limits_.max_document_bytes));
+    }
+    tokens_.reserve(doc_.size() / 24 + 4);
+    while (pos_ < doc_.size()) {
+      if (LimitExceeded(tokens_.size(), limits_.max_tokens)) {
+        return Status::ResourceExhausted(
+            "token stream exceeds max_tokens " +
+            std::to_string(limits_.max_tokens));
+      }
+      if (doc_[pos_] == '<' && TryLexMarkup()) continue;
+      LexTextRun();
+    }
+    FlushText();
+    return std::move(tokens_);
+  }
+
+ private:
+  bool TryLexMarkup() {
+    size_t start = pos_;
+    if (start + 1 >= doc_.size()) return false;
+    char next = doc_[start + 1];
+    if (next == '!') {
+      FlushText();
+      LexDeclaration();
+      return true;
+    }
+    if (next == '?') {
+      FlushText();
+      LexProcessing();
+      return true;
+    }
+    bool is_end = next == '/';
+    size_t name_start = start + (is_end ? 2 : 1);
+    size_t i = name_start;
+    while (i < doc_.size() && (IsAsciiAlnum(doc_[i]) || doc_[i] == '-' ||
+                               doc_[i] == ':')) {
+      ++i;
+    }
+    std::string name = AsciiToLower(doc_.substr(name_start, i - name_start));
+    if (!IsValidTagName(name)) return false;  // stray '<'
+
+    FlushText();
+    LegacyHtmlToken& token = tokens_.emplace_back();
+    token.kind = is_end ? HtmlToken::Kind::kEndTag : HtmlToken::Kind::kStartTag;
+    token.name = std::move(name);
+    token.begin = start;
+    pos_ = i;
+    if (!is_end) {
+      LexAttributes(&token);
+    } else {
+      while (pos_ < doc_.size() && doc_[pos_] != '>') ++pos_;
+    }
+    if (pos_ < doc_.size() && doc_[pos_] == '>') ++pos_;
+    token.end = pos_;
+    bool raw_text = token.kind == HtmlToken::Kind::kStartTag &&
+                    !token.self_closing && IsRawTextTag(token.name);
+    if (raw_text) LexRawText(tokens_.back().name);
+    return true;
+  }
+
+  void LexAttributes(LegacyHtmlToken* token) {
+    for (;;) {
+      while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+      if (pos_ >= doc_.size() || doc_[pos_] == '>') return;
+      if (doc_[pos_] == '/') {
+        size_t slash = pos_;
+        ++pos_;
+        while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+        if (pos_ < doc_.size() && doc_[pos_] == '>') {
+          token->self_closing = true;
+          return;
+        }
+        pos_ = slash + 1;  // stray slash; skip it
+        continue;
+      }
+      size_t name_start = pos_;
+      while (pos_ < doc_.size() && doc_[pos_] != '=' && doc_[pos_] != '>' &&
+             doc_[pos_] != '/' && !IsAsciiSpace(doc_[pos_])) {
+        ++pos_;
+      }
+      LegacyHtmlAttribute attr;
+      attr.name = AsciiToLower(doc_.substr(name_start, pos_ - name_start));
+      while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+      if (pos_ < doc_.size() && doc_[pos_] == '=') {
+        ++pos_;
+        while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+        if (pos_ < doc_.size() && (doc_[pos_] == '"' || doc_[pos_] == '\'')) {
+          char quote = doc_[pos_++];
+          size_t value_start = pos_;
+          size_t window = doc_.size() - value_start;
+          if (limits_.max_attribute_value_bytes != 0 &&
+              window > limits_.max_attribute_value_bytes) {
+            window = limits_.max_attribute_value_bytes;
+          }
+          size_t rel = doc_.substr(value_start, window).find(quote);
+          if (rel != std::string_view::npos) {
+            attr.value = std::string(doc_.substr(value_start, rel));
+            pos_ = value_start + rel + 1;  // past the closing quote
+          } else {
+            pos_ = value_start;
+            LexUnquotedValue(&attr);
+          }
+        } else {
+          LexUnquotedValue(&attr);
+        }
+      }
+      if (attr.name.empty()) continue;
+      if (LimitExceeded(token->attrs.size() + 1,
+                        limits_.max_attributes_per_tag)) {
+        continue;  // recoverable cap: parse (to keep positions) but drop
+      }
+      token->attrs.push_back(std::move(attr));
+    }
+  }
+
+  void LexUnquotedValue(LegacyHtmlAttribute* attr) {
+    size_t value_start = pos_;
+    while (pos_ < doc_.size() && doc_[pos_] != '>' &&
+           !IsAsciiSpace(doc_[pos_])) {
+      ++pos_;
+    }
+    size_t length = pos_ - value_start;
+    if (LimitExceeded(length, limits_.max_attribute_value_bytes)) {
+      length = limits_.max_attribute_value_bytes;
+    }
+    attr->value = std::string(doc_.substr(value_start, length));
+  }
+
+  void LexDeclaration() {
+    size_t start = pos_;
+    LegacyHtmlToken& token = tokens_.emplace_back();
+    token.kind = HtmlToken::Kind::kComment;
+    token.begin = start;
+    if (doc_.compare(pos_, 4, "<!--") == 0) {
+      size_t close = doc_.find("-->", pos_ + 4);
+      pos_ = close == std::string_view::npos ? doc_.size() : close + 3;
+    } else {
+      size_t close = doc_.find('>', pos_);
+      pos_ = close == std::string_view::npos ? doc_.size() : close + 1;
+    }
+    token.end = pos_;
+  }
+
+  void LexProcessing() {
+    LegacyHtmlToken& token = tokens_.emplace_back();
+    token.kind = HtmlToken::Kind::kProcessing;
+    token.begin = pos_;
+    size_t close = doc_.find('>', pos_);
+    pos_ = close == std::string_view::npos ? doc_.size() : close + 1;
+    token.end = pos_;
+  }
+
+  // The O(n·m) candidate rescan the SWAR lexer's LexRawText replaced —
+  // kept as-is: this is exactly the cost the raw-text-close-storm
+  // adversarial shape measures the fix against.
+  void LexRawText(std::string name) {
+    size_t body_start = pos_;
+    size_t scan = pos_;
+    size_t body_end = doc_.size();
+    std::string needle = "</" + name;
+    while (scan < doc_.size()) {
+      size_t candidate = doc_.find('<', scan);
+      if (candidate == std::string_view::npos) break;
+      if (candidate + needle.size() <= doc_.size() &&
+          AsciiEqualsIgnoreCase(doc_.substr(candidate, needle.size()),
+                                needle)) {
+        char after = candidate + needle.size() < doc_.size()
+                         ? doc_[candidate + needle.size()]
+                         : '>';
+        if (after == '>' || IsAsciiSpace(after)) {
+          body_end = candidate;
+          break;
+        }
+      }
+      scan = candidate + 1;
+    }
+    if (body_end > body_start) {
+      LegacyHtmlToken& token = tokens_.emplace_back();
+      token.kind = HtmlToken::Kind::kText;
+      token.begin = body_start;
+      token.end = body_end;
+      token.text.assign(doc_.substr(body_start, body_end - body_start));
+    }
+    pos_ = body_end;
+  }
+
+  void LexTextRun() {
+    if (text_start_ == std::string_view::npos) text_start_ = pos_;
+    size_t next = doc_.find('<', pos_ + (doc_[pos_] == '<' ? 1 : 0));
+    pos_ = next == std::string_view::npos ? doc_.size() : next;
+  }
+
+  void FlushText() {
+    if (text_start_ == std::string_view::npos) return;
+    size_t end = pos_;
+    if (end > text_start_) {
+      LegacyHtmlToken& token = tokens_.emplace_back();
+      token.kind = HtmlToken::Kind::kText;
+      token.begin = text_start_;
+      token.end = end;
+      token.text.assign(doc_.substr(text_start_, end - text_start_));
+    }
+    text_start_ = std::string_view::npos;
+  }
+
+  std::string_view doc_;
+  const DocumentLimits limits_;
+  size_t pos_ = 0;
+  size_t text_start_ = std::string_view::npos;
+  std::vector<LegacyHtmlToken> tokens_;
+};
+
+}  // namespace
+
+Result<std::vector<LegacyHtmlToken>> LegacyLexHtml(
+    std::string_view document, const robust::DocumentLimits& limits) {
+  LegacyLexer lexer(document, limits);
+  return lexer.Lex();
+}
+
+}  // namespace webrbd::bench

@@ -1,0 +1,66 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// A FROZEN copy of the pre-SWAR HTML lexer (the PR 6 state of
+// src/html/lexer.cc): byte-at-a-time scanning with one owned std::string
+// per token name / text run / attribute value. It exists for two reasons:
+//
+//   1. bench_components' BM_LexerLegacy — the baseline of CI's bench-smoke
+//      lexer ratio guard, so the SWAR lexer's speedup is measured against
+//      the algorithm it replaced ON THE SAME HARDWARE (a machine-
+//      independent ratio, not an absolute MB/s number), and
+//   2. tests/html/lexer_equivalence_test.cc — the golden reference the
+//      SWAR lexer's token stream is diffed against, field by field, over
+//      the synthetic corpus, every adversarial shape, and the fuzz seeds.
+//
+// Do not "modernize" this file; its whole value is not changing. The obs
+// counters of the original are dropped (a frozen baseline must not bump
+// production metrics), but the DocumentLimits behavior is kept exactly:
+// the caps change the emitted token stream (attribute windowing and
+// truncation), and the equivalence suite compares limited streams too.
+
+#ifndef WEBRBD_BENCH_LEGACY_LEXER_BASELINE_H_
+#define WEBRBD_BENCH_LEGACY_LEXER_BASELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/token.h"
+#include "robust/limits.h"
+#include "util/result.h"
+
+namespace webrbd::bench {
+
+/// The pre-SWAR attribute layout: owned name/value strings.
+struct LegacyHtmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// The pre-SWAR token layout: owned name/text strings. Kind and the
+/// begin/end/self_closing/synthetic fields are shared with the live
+/// HtmlToken so equivalence comparisons need no mapping table.
+struct LegacyHtmlToken {
+  HtmlToken::Kind kind = HtmlToken::Kind::kText;
+  std::string name;
+  std::vector<LegacyHtmlAttribute> attrs;
+  size_t begin = 0;
+  size_t end = 0;
+  std::string text;
+  bool self_closing = false;
+  bool synthetic = false;
+
+  bool IsTag() const {
+    return kind == HtmlToken::Kind::kStartTag ||
+           kind == HtmlToken::Kind::kEndTag;
+  }
+};
+
+/// The frozen lexer. Same token stream, same limits behavior, and same
+/// recovery semantics as the PR 6 src/html/lexer.cc.
+[[nodiscard]] Result<std::vector<LegacyHtmlToken>> LegacyLexHtml(
+    std::string_view document, const robust::DocumentLimits& limits);
+
+}  // namespace webrbd::bench
+
+#endif  // WEBRBD_BENCH_LEGACY_LEXER_BASELINE_H_

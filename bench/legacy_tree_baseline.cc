@@ -11,7 +11,7 @@
 #include <map>
 #include <utility>
 
-#include "html/lexer.h"
+#include "legacy_lexer_baseline.h"
 #include "robust/limits.h"
 
 namespace webrbd::bench {
@@ -40,7 +40,7 @@ struct OpenTag {
 
 class SurvivingTagIndex {
  public:
-  SurvivingTagIndex(const std::vector<HtmlToken>& tokens,
+  SurvivingTagIndex(const std::vector<LegacyHtmlToken>& tokens,
                     const std::vector<bool>& discard)
       : discard_(discard), skip_(tokens.size() + 1) {
     skip_[tokens.size()] = tokens.size();
@@ -68,9 +68,9 @@ class SurvivingTagIndex {
   std::vector<size_t> path_;
 };
 
-HtmlToken SyntheticEndTag(const std::vector<HtmlToken>& tokens,
+LegacyHtmlToken SyntheticEndTag(const std::vector<LegacyHtmlToken>& tokens,
                           const std::string& name, size_t insert_before) {
-  HtmlToken token;
+  LegacyHtmlToken token;
   token.kind = HtmlToken::Kind::kEndTag;
   token.name = name;
   token.synthetic = true;
@@ -82,16 +82,16 @@ HtmlToken SyntheticEndTag(const std::vector<HtmlToken>& tokens,
   return token;
 }
 
-std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
-  std::vector<HtmlToken> tokens;
+std::vector<LegacyHtmlToken> BalanceTokens(std::vector<LegacyHtmlToken> raw) {
+  std::vector<LegacyHtmlToken> tokens;
   tokens.reserve(raw.size());
-  for (HtmlToken& token : raw) {
+  for (LegacyHtmlToken& token : raw) {
     if (token.kind == HtmlToken::Kind::kComment ||
         token.kind == HtmlToken::Kind::kProcessing) {
       continue;
     }
     if (token.kind == HtmlToken::Kind::kStartTag && token.self_closing) {
-      HtmlToken end;
+      LegacyHtmlToken end;
       end.kind = HtmlToken::Kind::kEndTag;
       end.name = token.name;
       end.synthetic = true;
@@ -107,7 +107,7 @@ std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
 
   std::vector<OpenTag> stack;
   std::map<std::string, std::vector<size_t>, std::less<>> open_by_name;
-  std::map<size_t, std::vector<HtmlToken>> insertions;
+  std::map<size_t, std::vector<LegacyHtmlToken>> insertions;
   std::vector<bool> discard(tokens.size(), false);
   SurvivingTagIndex surviving(tokens, discard);
 
@@ -117,7 +117,7 @@ std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
   };
 
   for (size_t i = 0; i < tokens.size(); ++i) {
-    const HtmlToken& token = tokens[i];
+    const LegacyHtmlToken& token = tokens[i];
     if (token.kind == HtmlToken::Kind::kStartTag) {
       open_by_name[token.name].push_back(stack.size());
       stack.push_back(OpenTag{token.name, i});
@@ -141,12 +141,12 @@ std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
     close_unmatched(stack[s]);
   }
 
-  std::vector<HtmlToken> balanced;
+  std::vector<LegacyHtmlToken> balanced;
   balanced.reserve(tokens.size() + insertions.size());
   for (size_t i = 0; i <= tokens.size(); ++i) {
     auto it = insertions.find(i);
     if (it != insertions.end()) {
-      for (HtmlToken& end : it->second) balanced.push_back(std::move(end));
+      for (LegacyHtmlToken& end : it->second) balanced.push_back(std::move(end));
     }
     if (i < tokens.size() && !discard[i]) {
       balanced.push_back(std::move(tokens[i]));
@@ -156,7 +156,7 @@ std::vector<HtmlToken> BalanceTokens(std::vector<HtmlToken> raw) {
 }
 
 std::unique_ptr<LegacyTagNode> BuildFromBalanced(
-    const std::vector<HtmlToken>& tokens, size_t document_size) {
+    const std::vector<LegacyHtmlToken>& tokens, size_t document_size) {
   auto root = std::make_unique<LegacyTagNode>();
   root->name = "#document";
   root->region_begin = 0;
@@ -168,7 +168,7 @@ std::unique_ptr<LegacyTagNode> BuildFromBalanced(
   LegacyTagNode* last_closed = nullptr;
 
   for (size_t i = 0; i < tokens.size(); ++i) {
-    const HtmlToken& token = tokens[i];
+    const LegacyHtmlToken& token = tokens[i];
     switch (token.kind) {
       case HtmlToken::Kind::kStartTag: {
         auto node = std::make_unique<LegacyTagNode>();
@@ -217,9 +217,9 @@ std::unique_ptr<LegacyTagNode> BuildFromBalanced(
 }  // namespace
 
 std::unique_ptr<LegacyTagNode> LegacyBuildTagTree(std::string_view document) {
-  auto lexed = LexHtml(document, robust::DocumentLimits::Production());
+  auto lexed = LegacyLexHtml(document, robust::DocumentLimits::Production());
   if (!lexed.ok()) return nullptr;
-  std::vector<HtmlToken> balanced = BalanceTokens(std::move(lexed).value());
+  std::vector<LegacyHtmlToken> balanced = BalanceTokens(std::move(lexed).value());
   return BuildFromBalanced(balanced, document.size());
 }
 

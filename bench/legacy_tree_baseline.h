@@ -18,14 +18,14 @@
 #include <string_view>
 #include <vector>
 
-#include "html/token.h"
+#include "legacy_lexer_baseline.h"
 
 namespace webrbd::bench {
 
 /// The pre-arena node layout: owned strings, unique_ptr children.
 struct LegacyTagNode {
   std::string name;
-  std::vector<HtmlAttribute> attrs;
+  std::vector<LegacyHtmlAttribute> attrs;
   size_t region_begin = 0;
   size_t region_end = 0;
   std::string inner_text;
@@ -42,7 +42,9 @@ struct LegacyTagNode {
   size_t fanout() const { return children.size(); }
 };
 
-/// Lexes `document` and runs the frozen Step-2/Step-3 pipeline, returning
+/// Lexes `document` with the frozen legacy lexer (owning tokens — the
+/// allocation pattern this baseline is meant to preserve) and runs the
+/// frozen Step-2/Step-3 pipeline, returning
 /// the root (never fails on the well-formed bench corpus; returns nullptr
 /// on the error paths the original reported as Status).
 std::unique_ptr<LegacyTagNode> LegacyBuildTagTree(std::string_view document);

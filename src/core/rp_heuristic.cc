@@ -13,7 +13,7 @@ namespace webrbd {
 
 namespace {
 
-bool IsWhitespaceOnly(const std::string& text) {
+bool IsWhitespaceOnly(std::string_view text) {
   for (char c : text) {
     if (!IsAsciiSpace(c)) return false;
   }

@@ -87,6 +87,19 @@ std::string MegaAttribute(size_t scale) {
   return doc;
 }
 
+std::string RawTextCloseStorm(size_t scale) {
+  // A <script> body of `scale` near-miss closers. Every "</scrip" unit
+  // starts a '<' candidate whose prefix matches the real "</script" closer
+  // for seven bytes before differing, so a lexer that re-compares the full
+  // closer at every '<' does O(needle) work per unit across the whole
+  // body. The SWAR lexer's O(1) rejects (the '/' byte, then the byte after
+  // the name) dispose of each candidate without a name compare.
+  std::string doc = "<html><body><script>";
+  doc += Repeat("</scrip", scale);
+  doc += "</script><p>after</p></body></html>";
+  return doc;
+}
+
 }  // namespace
 
 const std::vector<AdversarialShape>& AllAdversarialShapes() {
@@ -95,6 +108,7 @@ const std::vector<AdversarialShape>& AllAdversarialShapes() {
       AdversarialShape::kStrayEndStorm,       AdversarialShape::kUnterminatedQuote,
       AdversarialShape::kUnterminatedComment, AdversarialShape::kUnterminatedRawText,
       AdversarialShape::kEntityFlood,         AdversarialShape::kMegaAttribute,
+      AdversarialShape::kRawTextCloseStorm,
   };
   return shapes;
 }
@@ -117,6 +131,8 @@ std::string_view AdversarialShapeName(AdversarialShape shape) {
       return "entity-flood";
     case AdversarialShape::kMegaAttribute:
       return "mega-attribute";
+    case AdversarialShape::kRawTextCloseStorm:
+      return "raw-text-close-storm";
   }
   return "unknown";
 }
@@ -139,6 +155,8 @@ std::string RenderAdversarialDocument(AdversarialShape shape, size_t scale) {
       return EntityFlood(scale);
     case AdversarialShape::kMegaAttribute:
       return MegaAttribute(scale);
+    case AdversarialShape::kRawTextCloseStorm:
+      return RawTextCloseStorm(scale);
   }
   return {};
 }
@@ -164,6 +182,8 @@ std::vector<std::string> AdversarialCorpus(size_t count) {
         return 5000;
       case AdversarialShape::kMegaAttribute:
         return 128 << 10;
+      case AdversarialShape::kRawTextCloseStorm:
+        return 20000;
     }
     return 1000;
   };

@@ -26,6 +26,7 @@ enum class AdversarialShape {
   kUnterminatedRawText, ///< <script> with no </script>
   kEntityFlood,         ///< scale character/entity references in one text run
   kMegaAttribute,       ///< one attribute value of ~scale bytes
+  kRawTextCloseStorm,   ///< <script> body of scale near-miss "</scrip" closers
 };
 
 /// Every shape, in declaration order (for exhaustive fault injection).

@@ -3,6 +3,9 @@
 #include "html/arena.h"
 
 #include <algorithm>
+#include <string>
+
+#include "util/string_util.h"
 
 namespace webrbd {
 
@@ -34,6 +37,10 @@ std::string_view TagNameInterner::Store(std::string_view name) {
 }
 
 TagSymbol TagNameInterner::Intern(std::string_view name) {
+  // Symbols are keyed by the lowercased name. The lexer already hands out
+  // lowercase names, so the ContainsAsciiUpper word-scan is a nearly free
+  // guard; only defensive callers with mixed-case input pay the transform.
+  if (ContainsAsciiUpper(name)) return Intern(AsciiToLower(name));
   auto it = map_.find(name);
   if (it != map_.end()) return it->second;
   if (names_.size() >= kInvalidTagSymbol) return kInvalidTagSymbol;

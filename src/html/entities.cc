@@ -1,10 +1,21 @@
 // Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Entity decoding on the bulk-copy model: DecodeEntities locates each '&'
+// with a word-at-a-time scan (util/swar.h) and copies the un-entitied
+// stretches between them in bulk — text with no references at all (the
+// overwhelming common case) is returned as one copy without ever looking
+// at individual bytes. Named references resolve through a perfect-hash
+// table built at compile time over the fixed HTML 3.2/4.0-era entity set;
+// collision-freedom is enforced by static_assert, so lookup is one hash,
+// one slot probe, one verifying compare — no tree walk, no heap.
 
 #include "html/entities.h"
 
-#include <map>
+#include <array>
+#include <cstdint>
 
 #include "util/string_util.h"
+#include "util/swar.h"
 
 namespace webrbd {
 
@@ -13,30 +24,103 @@ namespace {
 // Named entities of the HTML 3.2/4.0 era, with ASCII fallbacks for glyphs
 // outside 7-bit ASCII (the synthetic corpus and the paper's heuristics are
 // ASCII-oriented; see util/string_util.h).
-const std::map<std::string, std::string, std::less<>>& NamedEntities() {
-  static const std::map<std::string, std::string, std::less<>> kEntities = {
-      {"amp", "&"},     {"lt", "<"},       {"gt", ">"},
-      {"quot", "\""},   {"apos", "'"},     {"nbsp", " "},
-      {"copy", "(c)"},  {"reg", "(R)"},    {"trade", "(TM)"},
-      {"mdash", "--"},  {"ndash", "-"},    {"hellip", "..."},
-      {"lsquo", "'"},   {"rsquo", "'"},    {"ldquo", "\""},
-      {"rdquo", "\""},  {"middot", "*"},   {"bull", "*"},
-      {"sect", "S"},    {"para", "P"},     {"deg", " deg"},
-      {"frac12", "1/2"},{"frac14", "1/4"}, {"cent", "c"},
-      {"pound", "GBP"}, {"yen", "JPY"},    {"times", "x"},
-      {"divide", "/"},  {"plusmn", "+/-"},
-      {"eacute", "e"},  {"egrave", "e"},   {"agrave", "a"},
-      {"aacute", "a"},  {"iacute", "i"},   {"oacute", "o"},
-      {"uacute", "u"},  {"ntilde", "n"},   {"ccedil", "c"},
-      {"ouml", "o"},    {"uuml", "u"},     {"auml", "a"},
-  };
-  return kEntities;
+struct EntityEntry {
+  std::string_view name;
+  std::string_view value;
+};
+
+constexpr EntityEntry kNamedEntities[] = {
+    {"amp", "&"},     {"lt", "<"},       {"gt", ">"},
+    {"quot", "\""},   {"apos", "'"},     {"nbsp", " "},
+    {"copy", "(c)"},  {"reg", "(R)"},    {"trade", "(TM)"},
+    {"mdash", "--"},  {"ndash", "-"},    {"hellip", "..."},
+    {"lsquo", "'"},   {"rsquo", "'"},    {"ldquo", "\""},
+    {"rdquo", "\""},  {"middot", "*"},   {"bull", "*"},
+    {"sect", "S"},    {"para", "P"},     {"deg", " deg"},
+    {"frac12", "1/2"},{"frac14", "1/4"}, {"cent", "c"},
+    {"pound", "GBP"}, {"yen", "JPY"},    {"times", "x"},
+    {"divide", "/"},  {"plusmn", "+/-"},
+    {"eacute", "e"},  {"egrave", "e"},   {"agrave", "a"},
+    {"aacute", "a"},  {"iacute", "i"},   {"oacute", "o"},
+    {"uacute", "u"},  {"ntilde", "n"},   {"ccedil", "c"},
+    {"ouml", "o"},    {"uuml", "u"},     {"auml", "a"},
+};
+
+constexpr size_t kEntityCount =
+    sizeof(kNamedEntities) / sizeof(kNamedEntities[0]);
+constexpr size_t kEntityTableSize = 256;  // power of two; ~6x load headroom
+
+static_assert(kEntityCount < 255,
+              "slot indexes are stored as uint8_t (0 = empty)");
+
+// FNV-1a with a searched seed: FindEntitySeed walks seeds at compile time
+// until every entity name lands in a distinct slot, making the table a
+// true perfect hash for this fixed set. Adding an entity re-runs the
+// search automatically; it can slow compilation slightly but cannot break
+// correctness (the static_assert below guards the search's contract).
+constexpr uint32_t EntityHash(std::string_view s, uint32_t seed) {
+  uint32_t h = seed;
+  for (const char c : s) {
+    h = (h ^ static_cast<uint8_t>(c)) * 16777619u;
+  }
+  return h;
+}
+
+// Folds the high hash bits into the slot before the power-of-two modulo.
+// Without this the slot would depend only on the hash's low byte — and,
+// because FNV's low bits are a function of the seed's low bits alone, the
+// seed search would cycle through a handful of effective variants and
+// could never find a collision-free one.
+constexpr uint32_t EntitySlot(std::string_view s, uint32_t seed) {
+  uint32_t h = EntityHash(s, seed);
+  h ^= h >> 16;
+  h ^= h >> 8;
+  return h % kEntityTableSize;
+}
+
+constexpr bool SeedIsCollisionFree(uint32_t seed) {
+  bool used[kEntityTableSize] = {};
+  for (const EntityEntry& entry : kNamedEntities) {
+    const uint32_t slot = EntitySlot(entry.name, seed);
+    if (used[slot]) return false;
+    used[slot] = true;
+  }
+  return true;
+}
+
+constexpr uint32_t FindEntitySeed() {
+  for (uint32_t seed = 0x811c9dc5u;; ++seed) {
+    if (SeedIsCollisionFree(seed)) return seed;
+  }
+}
+
+constexpr uint32_t kEntitySeed = FindEntitySeed();
+static_assert(SeedIsCollisionFree(kEntitySeed),
+              "entity hash table must be collision-free");
+
+constexpr std::array<uint8_t, kEntityTableSize> BuildEntityTable() {
+  std::array<uint8_t, kEntityTableSize> table{};  // 0 = empty, else index+1
+  for (size_t i = 0; i < kEntityCount; ++i) {
+    table[EntitySlot(kNamedEntities[i].name, kEntitySeed)] =
+        static_cast<uint8_t>(i + 1);
+  }
+  return table;
+}
+
+constexpr std::array<uint8_t, kEntityTableSize> kEntityTable =
+    BuildEntityTable();
+
+const EntityEntry* FindNamedEntity(std::string_view body) {
+  const uint8_t slot = kEntityTable[EntitySlot(body, kEntitySeed)];
+  if (slot == 0) return nullptr;
+  const EntityEntry& entry = kNamedEntities[slot - 1];
+  return entry.name == body ? &entry : nullptr;
 }
 
 // Decodes the reference beginning at text[start] (which is '&'). On
 // success sets *consumed and *decoded and returns true.
 bool DecodeOne(std::string_view text, size_t start, size_t* consumed,
-               std::string* decoded) {
+               std::string_view* decoded, char* numeric_storage) {
   const size_t semi = text.find(';', start + 1);
   // Entity names are short; a distant semicolon means a bare ampersand.
   if (semi == std::string_view::npos || semi == start + 1 ||
@@ -69,14 +153,14 @@ bool DecodeOne(std::string_view text, size_t start, size_t* consumed,
       }
     }
     if (!any || code == 0) return false;
-    *decoded = code < 128 ? std::string(1, static_cast<char>(code))
-                          : std::string("?");
+    *numeric_storage = code < 128 ? static_cast<char>(code) : '?';
+    *decoded = {numeric_storage, 1};
     *consumed = semi - start + 1;
     return true;
   }
-  auto it = NamedEntities().find(body);
-  if (it == NamedEntities().end()) return false;
-  *decoded = it->second;
+  const EntityEntry* entry = FindNamedEntity(body);
+  if (entry == nullptr) return false;
+  *decoded = entry->value;
   *consumed = semi - start + 1;
   return true;
 }
@@ -84,21 +168,26 @@ bool DecodeOne(std::string_view text, size_t start, size_t* consumed,
 }  // namespace
 
 std::string DecodeEntities(std::string_view text) {
+  size_t amp = swar::FindByte(text, 0, '&');
+  if (amp == text.size()) return std::string(text);  // no references at all
   std::string out;
   out.reserve(text.size());
   size_t i = 0;
   while (i < text.size()) {
-    if (text[i] == '&') {
-      size_t consumed = 0;
-      std::string decoded;
-      if (DecodeOne(text, i, &consumed, &decoded)) {
-        out += decoded;
-        i += consumed;
-        continue;
-      }
+    out.append(text.substr(i, amp - i));  // bulk copy the plain stretch
+    i = amp;
+    if (i >= text.size()) break;
+    size_t consumed = 0;
+    std::string_view decoded;
+    char numeric_storage = 0;
+    if (DecodeOne(text, i, &consumed, &decoded, &numeric_storage)) {
+      out.append(decoded);
+      i += consumed;
+    } else {
+      out.push_back('&');
+      ++i;
     }
-    out.push_back(text[i]);
-    ++i;
+    amp = swar::FindByte(text, i, '&');
   }
   return out;
 }

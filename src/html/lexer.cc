@@ -1,13 +1,31 @@
 // Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// SWAR fast-path lexer. The token-stream SEMANTICS are pinned by the
+// frozen pre-SWAR copy in bench/legacy_lexer_baseline.cc and the golden
+// equivalence suite (tests/html/lexer_equivalence_test.cc): every control-
+// flow decision below — the loop-top max_tokens check, the attribute
+// recovery paths, the quoted-value window, the raw-text close rules —
+// mirrors the legacy lexer exactly. What changed is HOW bytes move:
+//
+//   - text runs, raw-text bodies, comment/PI closers, and quoted attribute
+//     values are located by util/swar.h bulk scans (8–16 bytes/iteration)
+//     instead of per-char loops, and
+//   - tokens are zero-copy: name/text/attribute values are string_views of
+//     the source buffer; tag/attribute names are lowercased lazily, with
+//     an arena spill only when the source spelling is mixed-case (counted
+//     in webrbd_html_lexer_name_spills_total).
 
 #include "html/lexer.h"
 
+#include <array>
+#include <cstdint>
 #include <string>
 
 #include "html/tag_metadata.h"
 #include "obs/stages.h"
 #include "robust/limits.h"
 #include "util/string_util.h"
+#include "util/swar.h"
 
 namespace webrbd {
 
@@ -16,10 +34,40 @@ namespace {
 using robust::DocumentLimits;
 using robust::LimitExceeded;
 
+// Byte-class table for the short scans (tag names, attribute names,
+// whitespace runs) where a table lookup beats setting up a word loop.
+constexpr uint8_t kSpace = 1;         // space \t \n \r \f \v
+constexpr uint8_t kTagNameChar = 2;   // [A-Za-z0-9:-]
+constexpr uint8_t kAttrNameStop = 4;  // '=' '>' '/' or whitespace
+constexpr uint8_t kAlpha = 8;         // [A-Za-z]
+
+constexpr std::array<uint8_t, 256> BuildCharClasses() {
+  std::array<uint8_t, 256> table{};
+  for (const char c : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+    table[static_cast<uint8_t>(c)] |= kSpace | kAttrNameStop;
+  }
+  for (int c = 'a'; c <= 'z'; ++c) table[c] |= kTagNameChar | kAlpha;
+  for (int c = 'A'; c <= 'Z'; ++c) table[c] |= kTagNameChar | kAlpha;
+  for (int c = '0'; c <= '9'; ++c) table[c] |= kTagNameChar;
+  table[static_cast<uint8_t>('-')] |= kTagNameChar;
+  table[static_cast<uint8_t>(':')] |= kTagNameChar;
+  for (const char c : {'=', '>', '/'}) {
+    table[static_cast<uint8_t>(c)] |= kAttrNameStop;
+  }
+  return table;
+}
+
+constexpr std::array<uint8_t, 256> kCharClass = BuildCharClasses();
+
+inline bool Is(char c, uint8_t mask) {
+  return (kCharClass[static_cast<uint8_t>(c)] & mask) != 0;
+}
+
 class Lexer {
  public:
-  Lexer(std::string_view doc, const DocumentLimits& limits)
-      : doc_(doc), limits_(limits) {}
+  Lexer(std::string_view doc, const DocumentLimits& limits,
+        DocumentArena& arena)
+      : doc_(doc), limits_(limits), arena_(arena) {}
 
   Result<std::vector<HtmlToken>> Lex() {
     if (LimitExceeded(doc_.size(), limits_.max_document_bytes)) {
@@ -30,11 +78,12 @@ class Lexer {
           std::to_string(limits_.max_document_bytes));
     }
     // Pre-size the token vector from the document size. Across the
-    // synthetic corpus one token spans ~28 bytes of HTML on average;
-    // reserving doc/24 overshoots slightly, turning the push_back
-    // reallocation cascade (and its token moves) into a single allocation
-    // for virtually every real document.
-    tokens_.reserve(doc_.size() / 24 + 4);
+    // synthetic corpus one token spans ~21–28 bytes of HTML; reserving
+    // doc/16 overshoots by a modest constant factor, turning the
+    // push_back reallocation cascade (and its token moves, ~15% of lex
+    // time when it triggers) into a single allocation for virtually
+    // every real document.
+    tokens_.reserve(doc_.size() / 16 + 4);
     while (pos_ < doc_.size()) {
       if (LimitExceeded(tokens_.size(), limits_.max_tokens)) {
         obs::Robust().trip_tokens->Increment();
@@ -46,10 +95,29 @@ class Lexer {
       LexTextRun();
     }
     FlushText();
+    obs::Html().lexer_bytes->Increment(doc_.size());
+    obs::Html().lexer_tokens->Increment(tokens_.size());
+    if (name_spills_ > 0) {
+      obs::Html().lexer_name_spills->Increment(name_spills_);
+    }
     return std::move(tokens_);
   }
 
  private:
+  /// The lazy-lowercase step: already-lowercase source bytes (checked
+  /// word-at-a-time) are viewed in place; mixed-case names are lowercased
+  /// into the arena once and the copy viewed instead.
+  std::string_view LowerName(std::string_view raw) {
+    if (!ContainsAsciiUpper(raw)) return raw;
+    ++name_spills_;
+    char* out = static_cast<char*>(arena_.Allocate(raw.size(), 1));
+    for (size_t i = 0; i < raw.size(); ++i) {
+      const char c = raw[i];
+      out[i] = c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+    }
+    return {out, raw.size()};
+  }
+
   // Attempts to lex a markup construct at pos_ (which points at '<').
   // Returns false when the '<' is just text.
   bool TryLexMarkup() {
@@ -69,19 +137,21 @@ class Lexer {
     bool is_end = next == '/';
     size_t name_start = start + (is_end ? 2 : 1);
     size_t i = name_start;
-    while (i < doc_.size() && (IsAsciiAlnum(doc_[i]) || doc_[i] == '-' ||
-                               doc_[i] == ':')) {
-      ++i;
-    }
-    std::string name = AsciiToLower(doc_.substr(name_start, i - name_start));
-    if (!IsValidTagName(name)) return false;  // stray '<'
+    while (i < doc_.size() && Is(doc_[i], kTagNameChar)) ++i;
+    std::string_view raw_name = doc_.substr(name_start, i - name_start);
+    // The scan above only consumed [A-Za-z0-9:-] bytes, so IsValidTagName
+    // reduces to "non-empty and starts with a letter" — checked inline on
+    // the raw spelling, which equals the legacy lowercase-then-validate
+    // order (validity is case-insensitive) without spilling names of
+    // stray '<'s that never become tags.
+    if (raw_name.empty() || !Is(raw_name[0], kAlpha)) return false;
 
     FlushText();
     // Build the token in place; LexAttributes appends nothing to tokens_,
     // so the reference stays valid while attributes are filled in.
     HtmlToken& token = tokens_.emplace_back();
     token.kind = is_end ? HtmlToken::Kind::kEndTag : HtmlToken::Kind::kStartTag;
-    token.name = std::move(name);
+    token.name = LowerName(raw_name);
     token.begin = start;
     pos_ = i;
     if (!is_end) {
@@ -89,26 +159,26 @@ class Lexer {
     } else {
       // Skip anything up to '>' (end tags legally have no attributes, but
       // tolerate junk).
-      while (pos_ < doc_.size() && doc_[pos_] != '>') ++pos_;
+      pos_ = swar::FindByte(doc_, pos_, '>');
     }
     if (pos_ < doc_.size() && doc_[pos_] == '>') ++pos_;
     token.end = pos_;
     bool raw_text = token.kind == HtmlToken::Kind::kStartTag &&
                     !token.self_closing && IsRawTextTag(token.name);
-    if (raw_text) LexRawText(tokens_.back().name);
+    if (raw_text) LexRawText(token.name);
     return true;
   }
 
   void LexAttributes(HtmlToken* token) {
     bool attrs_tripped = false;
     for (;;) {
-      while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+      while (pos_ < doc_.size() && Is(doc_[pos_], kSpace)) ++pos_;
       if (pos_ >= doc_.size() || doc_[pos_] == '>') return;
       if (doc_[pos_] == '/') {
         // Possible XML-style self-closing slash.
         size_t slash = pos_;
         ++pos_;
-        while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+        while (pos_ < doc_.size() && Is(doc_[pos_], kSpace)) ++pos_;
         if (pos_ < doc_.size() && doc_[pos_] == '>') {
           token->self_closing = true;
           return;
@@ -118,16 +188,13 @@ class Lexer {
       }
       // Attribute name.
       size_t name_start = pos_;
-      while (pos_ < doc_.size() && doc_[pos_] != '=' && doc_[pos_] != '>' &&
-             doc_[pos_] != '/' && !IsAsciiSpace(doc_[pos_])) {
-        ++pos_;
-      }
+      while (pos_ < doc_.size() && !Is(doc_[pos_], kAttrNameStop)) ++pos_;
       HtmlAttribute attr;
-      attr.name = AsciiToLower(doc_.substr(name_start, pos_ - name_start));
-      while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+      attr.name = LowerName(doc_.substr(name_start, pos_ - name_start));
+      while (pos_ < doc_.size() && Is(doc_[pos_], kSpace)) ++pos_;
       if (pos_ < doc_.size() && doc_[pos_] == '=') {
         ++pos_;
-        while (pos_ < doc_.size() && IsAsciiSpace(doc_[pos_])) ++pos_;
+        while (pos_ < doc_.size() && Is(doc_[pos_], kSpace)) ++pos_;
         if (pos_ < doc_.size() && (doc_[pos_] == '"' || doc_[pos_] == '\'')) {
           char quote = doc_[pos_++];
           size_t value_start = pos_;
@@ -139,10 +206,11 @@ class Lexer {
               window > limits_.max_attribute_value_bytes) {
             window = limits_.max_attribute_value_bytes;
           }
-          size_t rel = doc_.substr(value_start, window).find(quote);
-          if (rel != std::string_view::npos) {
-            attr.value = std::string(doc_.substr(value_start, rel));
-            pos_ = value_start + rel + 1;  // past the closing quote
+          size_t hit = swar::FindByte(doc_.substr(0, value_start + window),
+                                      value_start, quote);
+          if (hit < value_start + window) {
+            attr.value = doc_.substr(value_start, hit - value_start);
+            pos_ = hit + 1;  // past the closing quote
           } else {
             // Recovery: no closing quote in the window. Rewind and re-lex
             // the region as an unquoted value, so lexing resynchronizes at
@@ -165,7 +233,7 @@ class Lexer {
         }
         continue;
       }
-      token->attrs.push_back(std::move(attr));
+      token->attrs.push_back(attr);
     }
   }
 
@@ -174,7 +242,7 @@ class Lexer {
   void LexUnquotedValue(HtmlAttribute* attr) {
     size_t value_start = pos_;
     while (pos_ < doc_.size() && doc_[pos_] != '>' &&
-           !IsAsciiSpace(doc_[pos_])) {
+           !Is(doc_[pos_], kSpace)) {
       ++pos_;
     }
     size_t length = pos_ - value_start;
@@ -182,7 +250,20 @@ class Lexer {
       obs::Robust().trip_attr_value->Increment();
       length = limits_.max_attribute_value_bytes;
     }
-    attr->value = std::string(doc_.substr(value_start, length));
+    attr->value = doc_.substr(value_start, length);
+  }
+
+  // First "-->" at or after `from`; doc_.size() when there is none. A '-'
+  // bulk scan plus two byte checks — the first match necessarily starts at
+  // a '-', so this equals doc_.find("-->", from).
+  size_t FindCommentClose(size_t from) {
+    size_t scan = from;
+    for (;;) {
+      size_t c = swar::FindByte(doc_, scan, '-');
+      if (c + 3 > doc_.size()) return doc_.size();
+      if (doc_[c + 1] == '-' && doc_[c + 2] == '>') return c;
+      scan = c + 1;
+    }
   }
 
   // <!-- comment --> or <!DOCTYPE ...> or any other <!...> declaration.
@@ -192,11 +273,11 @@ class Lexer {
     token.kind = HtmlToken::Kind::kComment;
     token.begin = start;
     if (doc_.compare(pos_, 4, "<!--") == 0) {
-      size_t close = doc_.find("-->", pos_ + 4);
-      pos_ = close == std::string_view::npos ? doc_.size() : close + 3;
+      size_t close = FindCommentClose(pos_ + 4);
+      pos_ = close == doc_.size() ? doc_.size() : close + 3;
     } else {
-      size_t close = doc_.find('>', pos_);
-      pos_ = close == std::string_view::npos ? doc_.size() : close + 1;
+      size_t close = swar::FindByte(doc_, pos_, '>');
+      pos_ = close == doc_.size() ? doc_.size() : close + 1;
     }
     token.end = pos_;
   }
@@ -206,29 +287,32 @@ class Lexer {
     HtmlToken& token = tokens_.emplace_back();
     token.kind = HtmlToken::Kind::kProcessing;
     token.begin = pos_;
-    size_t close = doc_.find('>', pos_);
-    pos_ = close == std::string_view::npos ? doc_.size() : close + 1;
+    size_t close = swar::FindByte(doc_, pos_, '>');
+    pos_ = close == doc_.size() ? doc_.size() : close + 1;
     token.end = pos_;
   }
 
   // Consumes raw text up to (not including) the matching </name ...>.
-  // Takes the tag name BY VALUE: the body appends to tokens_, which can
-  // reallocate and would dangle a reference into tokens_.back().name.
-  void LexRawText(std::string name) {
+  // One bulk '<' scan with O(1) rejects ('</' then the byte after the
+  // name) before the case-insensitive name compare — the legacy lexer
+  // compared the full "</name" needle at every '<' in the body, which the
+  // raw-text-close-storm adversarial shape turns pathological.
+  void LexRawText(std::string_view name) {
     size_t body_start = pos_;
     size_t scan = pos_;
     size_t body_end = doc_.size();
-    std::string needle = "</" + name;
+    const size_t close_size = 2 + name.size();  // "</" + name
     while (scan < doc_.size()) {
-      size_t candidate = doc_.find('<', scan);
-      if (candidate == std::string_view::npos) break;
-      if (candidate + needle.size() <= doc_.size() &&
-          AsciiEqualsIgnoreCase(doc_.substr(candidate, needle.size()),
-                                needle)) {
-        char after = candidate + needle.size() < doc_.size()
-                         ? doc_[candidate + needle.size()]
+      size_t candidate = swar::FindByte(doc_, scan, '<');
+      if (candidate >= doc_.size()) break;
+      if (candidate + 1 < doc_.size() && doc_[candidate + 1] == '/' &&
+          candidate + close_size <= doc_.size()) {
+        char after = candidate + close_size < doc_.size()
+                         ? doc_[candidate + close_size]
                          : '>';
-        if (after == '>' || IsAsciiSpace(after)) {
+        if ((after == '>' || Is(after, kSpace)) &&
+            AsciiEqualsIgnoreCase(doc_.substr(candidate + 2, name.size()),
+                                  name)) {
           body_end = candidate;
           break;
         }
@@ -240,7 +324,7 @@ class Lexer {
       token.kind = HtmlToken::Kind::kText;
       token.begin = body_start;
       token.end = body_end;
-      token.text.assign(doc_.substr(body_start, body_end - body_start));
+      token.text = doc_.substr(body_start, body_end - body_start);
     }
     pos_ = body_end;
   }
@@ -248,8 +332,7 @@ class Lexer {
   // Accumulates text up to the next '<'.
   void LexTextRun() {
     if (text_start_ == std::string_view::npos) text_start_ = pos_;
-    size_t next = doc_.find('<', pos_ + (doc_[pos_] == '<' ? 1 : 0));
-    pos_ = next == std::string_view::npos ? doc_.size() : next;
+    pos_ = swar::FindByte(doc_, pos_ + (doc_[pos_] == '<' ? 1 : 0), '<');
     // Note: when the '<' at pos_ turns out not to start a tag, the main
     // loop calls back into LexTextRun and we continue the same run.
   }
@@ -262,29 +345,33 @@ class Lexer {
       token.kind = HtmlToken::Kind::kText;
       token.begin = text_start_;
       token.end = end;
-      token.text.assign(doc_.substr(text_start_, end - text_start_));
+      token.text = doc_.substr(text_start_, end - text_start_);
     }
     text_start_ = std::string_view::npos;
   }
 
   std::string_view doc_;
   const DocumentLimits limits_;
+  DocumentArena& arena_;
   size_t pos_ = 0;
   size_t text_start_ = std::string_view::npos;
+  uint64_t name_spills_ = 0;
   std::vector<HtmlToken> tokens_;
 };
 
 }  // namespace
 
 Result<std::vector<HtmlToken>> LexHtml(std::string_view document,
-                                       const robust::DocumentLimits& limits) {
+                                       const robust::DocumentLimits& limits,
+                                       DocumentArena& arena) {
   obs::ScopedTimer timer(obs::Stages().lex);
-  Lexer lexer(document, limits);
+  Lexer lexer(document, limits, arena);
   return lexer.Lex();
 }
 
-Result<std::vector<HtmlToken>> LexHtml(std::string_view document) {
-  return LexHtml(document, robust::DocumentLimits::Production());
+Result<std::vector<HtmlToken>> LexHtml(std::string_view document,
+                                       DocumentArena& arena) {
+  return LexHtml(document, robust::DocumentLimits::Production(), arena);
 }
 
 }  // namespace webrbd

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "html/arena.h"
 #include "html/token.h"
 #include "robust/limits.h"
 #include "util/result.h"
@@ -23,15 +24,24 @@ namespace webrbd {
 /// swallowing the rest of the document. <script>/<style> bodies are
 /// consumed as raw text.
 ///
+/// ZERO-COPY: the returned tokens BORROW `document` (and `arena`, for the
+/// rare mixed-case tag-name spill — see html/token.h). The caller must keep
+/// both alive for as long as it uses the tokens; `document` must therefore
+/// be stable storage, not a temporary. Hot paths scan word-at-a-time via
+/// util/swar.h (SSE2/NEON under the WEBRBD_SIMD build option).
+///
 /// The lexer never fails on document *shape* — only on documents that
 /// exceed the fatal DocumentLimits caps (document bytes, token count),
 /// which return kResourceExhausted. Under DocumentLimits::Unlimited() the
-/// common path is LexHtml(doc, limits).value().
+/// common path is LexHtml(doc, limits, arena).value().
 [[nodiscard]] Result<std::vector<HtmlToken>> LexHtml(
-    std::string_view document, const robust::DocumentLimits& limits);
+    std::string_view document, const robust::DocumentLimits& limits,
+    DocumentArena& arena);
 
-/// Convenience overload using the production default limits.
-[[nodiscard]] Result<std::vector<HtmlToken>> LexHtml(std::string_view document);
+/// Convenience overload using the production default limits. The same
+/// borrowing contract applies.
+[[nodiscard]] Result<std::vector<HtmlToken>> LexHtml(std::string_view document,
+                                                     DocumentArena& arena);
 
 }  // namespace webrbd
 

@@ -109,8 +109,14 @@ class ArenaHandle {
 /// paper's interval and adjacency computations need.
 class TagTree {
  public:
+  /// `document` is the exact buffer the tokens were lexed from: token
+  /// name/text/attribute views borrow its bytes (html/token.h), so the
+  /// tree holds it behind a unique_ptr — a stable heap address that moving
+  /// the TagTree never relocates (a plain std::string member would SSO-
+  /// relocate small documents on move and dangle every view).
   TagTree(ArenaHandle arena, TagNode* root, std::vector<HtmlToken> tokens,
-          std::vector<TagSymbol> token_symbols, std::string document)
+          std::vector<TagSymbol> token_symbols,
+          std::unique_ptr<std::string> document)
       : arena_(std::move(arena)),
         root_(root),
         tokens_(std::move(tokens)),
@@ -151,8 +157,8 @@ class TagTree {
     return interner().NameOf(symbol);
   }
 
-  /// The original document text.
-  const std::string& document() const { return document_; }
+  /// The original document text (the buffer the token views borrow).
+  const std::string& document() const { return *document_; }
 
   /// The node with the most immediate children (the paper's conjecture:
   /// this subtree contains the records of interest). Ties resolve to the
@@ -184,7 +190,7 @@ class TagTree {
   TagNode* root_;
   std::vector<HtmlToken> tokens_;
   std::vector<TagSymbol> token_symbols_;
-  std::string document_;
+  std::unique_ptr<std::string> document_;
 };
 
 /// Calls `visit(node, depth)` for every node in preorder, super-root at

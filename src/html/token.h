@@ -3,27 +3,38 @@
 // Token model for the HTML lexer. The paper's tag-tree construction consumes
 // a stream of start-tags, end-tags, plain text, and discardable tokens
 // (comments, doctypes, processing instructions).
+//
+// ZERO-COPY LIFETIME CONTRACT: every string_view in an HtmlToken borrows
+// either the source document buffer passed to LexHtml or the DocumentArena
+// passed alongside it (mixed-case tag/attribute names are lowercased into
+// the arena; everything else views the document verbatim). Tokens are valid
+// only while BOTH outlive them. TagTree honors this by owning a
+// stable-address copy of the document plus the arena; code that must keep
+// token-derived text past extraction copies it into a std::string —
+// webrbd_lint's arena-escape rule flags violations in src/.
 
 #ifndef WEBRBD_HTML_TOKEN_H_
 #define WEBRBD_HTML_TOKEN_H_
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 namespace webrbd {
 
 /// One parsed tag attribute. Names are lowercased; values are unquoted but
-/// otherwise verbatim.
+/// otherwise verbatim. Both fields view the source buffer (the name views
+/// the arena instead when the source spelling was mixed-case).
 struct HtmlAttribute {
-  std::string name;
-  std::string value;
+  std::string_view name;
+  std::string_view value;
 
   bool operator==(const HtmlAttribute& other) const {
     return name == other.name && value == other.value;
   }
 };
 
-/// One lexical token of an HTML document.
+/// One lexical token of an HTML document. See the lifetime contract above:
+/// name/text/attrs are borrowed views, not owned strings.
 struct HtmlToken {
   enum class Kind {
     kStartTag,  ///< <name attr=...>
@@ -35,8 +46,10 @@ struct HtmlToken {
 
   Kind kind = Kind::kText;
 
-  /// Lowercased tag name for start/end tags; empty otherwise.
-  std::string name;
+  /// Lowercased tag name for start/end tags; empty otherwise. Views the
+  /// source bytes when they are already lowercase (the overwhelming common
+  /// case), or an arena-spilled lowercase copy when they are not.
+  std::string_view name;
 
   /// Attributes of a start tag.
   std::vector<HtmlAttribute> attrs;
@@ -47,8 +60,8 @@ struct HtmlToken {
   size_t begin = 0;
   size_t end = 0;
 
-  /// Verbatim text for kText tokens.
-  std::string text;
+  /// Verbatim text for kText tokens — a view of the source bytes.
+  std::string_view text;
 
   /// True for XML-style self-closing start tags (<br/>).
   bool self_closing = false;

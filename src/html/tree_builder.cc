@@ -73,7 +73,7 @@ class SurvivingTagIndex {
 };
 
 HtmlToken SyntheticEndTag(const std::vector<HtmlToken>& tokens,
-                          const std::string& name, size_t insert_before) {
+                          std::string_view name, size_t insert_before) {
   HtmlToken token;
   token.kind = HtmlToken::Kind::kEndTag;
   token.name = name;
@@ -285,7 +285,7 @@ Result<TagNode*> BuildFromBalanced(DocumentArena& arena,
             stack.back().node->symbol != stream.symbols[i]) {
           return Status::Internal(
               "tree builder: balanced stream violated nesting at token " +
-              std::to_string(i) + " </" + token.name + ">");
+              std::to_string(i) + " </" + std::string(token.name) + ">");
         }
         OpenFrame frame = stack.back();
         stack.pop_back();
@@ -333,7 +333,11 @@ Result<TagTree> BuildWithArena(std::string_view document,
                                const robust::DocumentLimits& limits,
                                ArenaHandle arena) {
   DocumentArena& a = *arena.get();
-  auto lexed = LexHtml(document, limits);  // records the lex stage span
+  // The zero-copy lexer borrows the buffer it lexes (html/lexer.h), so the
+  // tree's stable document copy is made FIRST and that copy is what gets
+  // lexed — behind a unique_ptr, whose heap address survives TagTree moves.
+  auto doc = std::make_unique<std::string>(document);
+  auto lexed = LexHtml(*doc, limits, a);  // records the lex stage span
   if (!lexed.ok()) return lexed.status();
   obs::ScopedTimer timer(obs::Stages().tree_build);
   auto balanced = BalanceTokens(std::move(lexed).value(), a.interner());
@@ -344,7 +348,7 @@ Result<TagTree> BuildWithArena(std::string_view document,
   obs::Html().intern_table_size->Set(
       static_cast<double>(a.interner().size()));
   return TagTree(std::move(arena), *root, std::move(balanced->tokens),
-                 std::move(balanced->symbols), std::string(document));
+                 std::move(balanced->symbols), std::move(doc));
 }
 
 }  // namespace

@@ -2,17 +2,19 @@
 //
 // arena-escape: TagNode pointers and string_views handed out by the
 // arena-backed tag tree (src/html/document_arena.h) only live until the
-// ExtractionContext's arena is reset after the ExtractDocument call. This
-// rule flags the storage patterns that outlive that window:
+// ExtractionContext's arena is reset after the ExtractDocument call, and
+// HtmlToken's name/text/attr views (src/html/token.h) borrow the source
+// document buffer and the lexer's arena the same way. This rule flags the
+// storage patterns that outlive that window:
 //
 //   - assigning a borrowed value to a member (`last_node_ = node;`) or a
 //     global (`g_last = node->text;`), and
 //   - inserting one into a member/global container
 //     (`nodes_.push_back(node)`).
 //
-// "Borrowed" is tracked per function: TagNode*/TagNode& parameters and
-// locals, plus locals of view type (string_view / auto) initialized from a
-// borrowed value. An assignment only counts when the borrowed variable is
+// "Borrowed" is tracked per function: TagNode*/& and HtmlToken*/&
+// parameters and locals, plus locals of view type (string_view / auto)
+// initialized from a borrowed value. An assignment only counts when the borrowed variable is
 // the ROOT of the stored expression (`node`, `&node`, `node->text`,
 // `node->text()`), so scalar derivations (`CountNodes(node)`,
 // `node->children().size()`) pass.
@@ -39,8 +41,9 @@ constexpr size_t kNpos = static_cast<size_t>(-1);
 /// on a borrowed chain.
 const std::set<std::string, std::less<>>& ScalarMethods() {
   static const std::set<std::string, std::less<>> kMethods = {
-      "size",  "length", "empty", "count", "depth",
-      "id",    "node_id", "index", "kind",  "level"};
+      "size",  "length",  "empty", "count",        "depth",
+      "id",    "node_id", "index", "kind",         "level",
+      "begin", "end",     "IsTag", "self_closing", "synthetic"};
   return kMethods;
 }
 
@@ -64,9 +67,9 @@ class ArenaEscapeRule : public Rule {
  public:
   LintRuleInfo info() const override {
     return {"arena-escape",
-            "a TagNode*/string_view borrowed from an arena-backed tag tree "
-            "must not be stored in a member, global, or container that "
-            "outlives the extraction call"};
+            "a TagNode*, HtmlToken, or string_view borrowing arena- or "
+            "document-backed storage must not be stored in a member, "
+            "global, or container that outlives the extraction call"};
   }
 
   void Check(const FileAnalysis& fa, const Corpus&,
@@ -87,7 +90,8 @@ class ArenaEscapeRule : public Rule {
     // an already-borrowed value.
     std::set<std::string> borrowed;
     for (size_t ci = def.params_begin; ci + 2 < def.body_end; ++ci) {
-      if (fa.CodeText(ci) != "TagNode") continue;
+      const std::string_view type = fa.CodeText(ci);
+      if (type != "TagNode" && type != "HtmlToken") continue;
       const std::string_view mod = fa.CodeText(ci + 1);
       if (mod != "*" && mod != "&") continue;
       if (!fa.Code(ci + 2).IsIdent()) continue;
@@ -108,10 +112,10 @@ class ArenaEscapeRule : public Rule {
           reporter->ReportAt(
               info().name, token,
               "'" + root +
-                  "' borrows from the arena-backed tag tree; storing it in "
-                  "'" + std::string(token.text) +
-                  "' outlives the ExtractDocument call — copy to "
-                  "std::string (or keep a TagNodeId) instead");
+                  "' borrows arena- or document-backed storage; storing it "
+                  "in '" + std::string(token.text) +
+                  "' outlives the owning document — copy to std::string "
+                  "(or keep a TagNodeId) instead");
         } else if (IsViewDeclaration(fa, ci)) {
           borrowed.insert(std::string(token.text));  // borrow propagates
         }
@@ -142,10 +146,10 @@ class ArenaEscapeRule : public Rule {
           reporter->ReportAt(
               info().name, token,
               "'" + root +
-                  "' borrows from the arena-backed tag tree; inserting it "
-                  "into '" + std::string(token.text) +
-                  "' outlives the ExtractDocument call — copy to "
-                  "std::string (or keep a TagNodeId) instead");
+                  "' borrows arena- or document-backed storage; inserting "
+                  "it into '" + std::string(token.text) +
+                  "' outlives the owning document — copy to std::string "
+                  "(or keep a TagNodeId) instead");
           break;
         }
         ci = close;
@@ -203,7 +207,8 @@ class ArenaEscapeRule : public Rule {
     size_t p = name_ci - 1;
     std::string_view t = fa.CodeText(p);
     if ((t == "*" || t == "&") && p > 0) t = fa.CodeText(--p);
-    return t == "auto" || t == "string_view" || t == "TagNode";
+    return t == "auto" || t == "string_view" || t == "TagNode" ||
+           t == "HtmlToken";
   }
 };
 

@@ -95,6 +95,9 @@ const HtmlMetrics& Html() {
     HtmlMetrics h;
     h.arena_bytes = registry.GetGauge(mn::kHtmlArenaBytes);
     h.intern_table_size = registry.GetGauge(mn::kHtmlInternTableSize);
+    h.lexer_bytes = registry.GetCounter(mn::kHtmlLexerBytes);
+    h.lexer_tokens = registry.GetCounter(mn::kHtmlLexerTokens);
+    h.lexer_name_spills = registry.GetCounter(mn::kHtmlLexerNameSpills);
     return h;
   }();
   return html;
@@ -133,7 +136,8 @@ const std::vector<std::string>& AllDocumentedMetricNames() {
           mn::kRobustTripTokens, mn::kRobustTripDepth, mn::kRobustTripAttrs,
           mn::kRobustTripAttrValue, mn::kRobustTripRegexClosure,
           mn::kRobustTripArenaBytes, mn::kRobustLexerRecoveries,
-          mn::kHtmlArenaBytes, mn::kHtmlInternTableSize}) {
+          mn::kHtmlArenaBytes, mn::kHtmlInternTableSize, mn::kHtmlLexerBytes,
+          mn::kHtmlLexerTokens, mn::kHtmlLexerNameSpills}) {
       all.emplace_back(name);
     }
     return all;

@@ -98,6 +98,18 @@ inline constexpr std::string_view kHtmlArenaBytes = "webrbd_html_arena_bytes";
 inline constexpr std::string_view kHtmlInternTableSize =
     "webrbd_html_intern_table_size";
 
+// HTML layer (html/lexer.h): SWAR lexer volume. lexer_bytes/lexer_tokens
+// count the bytes and tokens of every successfully lexed document (bytes /
+// seconds-in-kStageLex gives live lexer throughput); lexer_name_spills
+// counts mixed-case tag/attribute names that forced an arena-side
+// lowercase copy instead of a zero-copy view of the source.
+inline constexpr std::string_view kHtmlLexerBytes =
+    "webrbd_html_lexer_bytes_total";
+inline constexpr std::string_view kHtmlLexerTokens =
+    "webrbd_html_lexer_tokens_total";
+inline constexpr std::string_view kHtmlLexerNameSpills =
+    "webrbd_html_lexer_name_spills_total";
+
 }  // namespace metric_names
 
 /// Pre-resolved stage histograms for the integrated pipeline. All pointers
@@ -169,10 +181,14 @@ struct RobustMetrics {
 
 const RobustMetrics& Robust();
 
-/// Pre-resolved HTML-layer gauges (tag-tree arena accounting).
+/// Pre-resolved HTML-layer metrics: tag-tree arena accounting gauges plus
+/// the SWAR lexer volume counters.
 struct HtmlMetrics {
   Gauge* arena_bytes;
   Gauge* intern_table_size;
+  Counter* lexer_bytes;
+  Counter* lexer_tokens;
+  Counter* lexer_name_spills;
 };
 
 const HtmlMetrics& Html();

@@ -7,6 +7,7 @@
 namespace webrbd {
 
 std::string AsciiToLower(std::string_view s) {
+  if (!ContainsAsciiUpper(s)) return std::string(s);  // bulk copy, no scan
   std::string out;
   out.reserve(s.size());
   for (char c : s) {

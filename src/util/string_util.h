@@ -11,9 +11,21 @@
 #include <string_view>
 #include <vector>
 
+#include "util/swar.h"
+
 namespace webrbd {
 
-/// Lowercases ASCII letters; leaves other bytes untouched.
+/// True iff `s` contains at least one ASCII uppercase letter. Answered
+/// word-at-a-time (util/swar.h) without allocating: the pre-check behind
+/// AsciiToLower's already-lower fast path, the lexer's lazy tag-name
+/// lowercasing, and the interner's normalization guard.
+inline bool ContainsAsciiUpper(std::string_view s) {
+  return swar::ContainsAsciiUpper(s);
+}
+
+/// Lowercases ASCII letters; leaves other bytes untouched. Already-lower
+/// input (the common case for tag/attribute names) takes a bulk-copy fast
+/// path instead of the per-byte transform.
 std::string AsciiToLower(std::string_view s);
 
 /// Case-insensitive ASCII equality.

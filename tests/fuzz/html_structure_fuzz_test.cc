@@ -13,6 +13,7 @@
 
 #include "core/discovery.h"
 #include "fuzz/fuzz_util.h"
+#include "html/arena.h"
 #include "html/lexer.h"
 #include "html/tree_builder.h"
 #include "util/rng.h"
@@ -92,7 +93,8 @@ std::string DeeplyNested(Rng* rng, int depth) {
 
 void CheckLexAndTreeInvariants(int seed, const std::string& doc) {
   SCOPED_TRACE(fuzz::SeedTrace(seed, doc));
-  auto tokens = LexHtml(doc);
+  DocumentArena arena;
+  auto tokens = LexHtml(doc, arena);
   ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
   size_t pos = 0;
   for (const HtmlToken& token : *tokens) {
@@ -107,7 +109,7 @@ void CheckLexAndTreeInvariants(int seed, const std::string& doc) {
   std::vector<std::string> stack;
   for (const HtmlToken& token : tree->tokens()) {
     if (token.kind == HtmlToken::Kind::kStartTag) {
-      stack.push_back(token.name);
+      stack.emplace_back(token.name);
     } else if (token.kind == HtmlToken::Kind::kEndTag) {
       ASSERT_FALSE(stack.empty());
       ASSERT_EQ(stack.back(), token.name);

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include "fuzz/fuzz_util.h"
+#include "html/arena.h"
 #include "html/lexer.h"
 #include "html/tree_builder.h"
+#include "legacy_lexer_baseline.h"
 #include "util/rng.h"
 
 namespace webrbd {
@@ -74,7 +76,8 @@ TEST_P(TagSoupFuzzTest, LexerCoversEveryByteInOrder) {
   const std::string doc = RandomTagSoup(&rng, 2000);
   SCOPED_TRACE("rng seed=" + std::to_string(seed));
   SCOPED_TRACE(fuzz::SeedTrace(GetParam(), doc));
-  auto tokens = LexHtml(doc);
+  DocumentArena arena;
+  auto tokens = LexHtml(doc, arena);
   ASSERT_TRUE(tokens.ok());
   size_t pos = 0;
   for (const HtmlToken& token : *tokens) {
@@ -83,6 +86,29 @@ TEST_P(TagSoupFuzzTest, LexerCoversEveryByteInOrder) {
     pos = token.end;
   }
   EXPECT_EQ(pos, doc.size());
+
+  // Differential check against the frozen pre-SWAR lexer: the fast path
+  // must produce the identical token stream on arbitrary soup.
+  auto legacy = bench::LegacyLexHtml(doc, robust::DocumentLimits::Production());
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_EQ(tokens->size(), legacy->size());
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    const HtmlToken& got = (*tokens)[i];
+    const bench::LegacyHtmlToken& want = (*legacy)[i];
+    ASSERT_EQ(got.kind, want.kind) << "token " << i;
+    ASSERT_EQ(got.name, want.name) << "token " << i;
+    ASSERT_EQ(got.text, want.text) << "token " << i;
+    ASSERT_EQ(got.begin, want.begin) << "token " << i;
+    ASSERT_EQ(got.end, want.end) << "token " << i;
+    ASSERT_EQ(got.self_closing, want.self_closing) << "token " << i;
+    ASSERT_EQ(got.attrs.size(), want.attrs.size()) << "token " << i;
+    for (size_t a = 0; a < got.attrs.size(); ++a) {
+      ASSERT_EQ(got.attrs[a].name, want.attrs[a].name)
+          << "token " << i << " attr " << a;
+      ASSERT_EQ(got.attrs[a].value, want.attrs[a].value)
+          << "token " << i << " attr " << a;
+    }
+  }
 }
 
 TEST_P(TagSoupFuzzTest, TreeBuilderBalancesAnySoup) {
@@ -99,7 +125,7 @@ TEST_P(TagSoupFuzzTest, TreeBuilderBalancesAnySoup) {
   std::vector<std::string> stack;
   for (const HtmlToken& token : tree->tokens()) {
     if (token.kind == HtmlToken::Kind::kStartTag) {
-      stack.push_back(token.name);
+      stack.emplace_back(token.name);
     } else if (token.kind == HtmlToken::Kind::kEndTag) {
       ASSERT_FALSE(stack.empty());
       ASSERT_EQ(stack.back(), token.name);
@@ -127,7 +153,8 @@ TEST_P(TagSoupFuzzTest, TreeBuilderBalancesAnySoup) {
   for (const HtmlToken& token : tree->tokens()) {
     if (token.kind == HtmlToken::Kind::kText) text_bytes += token.text.size();
   }
-  auto raw = LexHtml(doc);
+  DocumentArena arena;
+  auto raw = LexHtml(doc, arena);
   size_t raw_text_bytes = 0;
   for (const HtmlToken& token : *raw) {
     if (token.kind == HtmlToken::Kind::kText) {

@@ -1,0 +1,265 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Golden token-stream equivalence: the SWAR fast-path lexer must produce
+// a byte-identical token stream to the frozen pre-SWAR lexer
+// (bench/legacy_lexer_baseline.cc) on every document class the project
+// generates — the synthetic calibration corpus, every adversarial shape
+// at production and unlimited caps, and seeded random tag soup — and it
+// must fail with the identical status when the legacy lexer fails. The
+// concurrency variant runs the comparison from eight threads at once so
+// the sanitizer jobs would catch any shared mutable state in the fast
+// path (the acceptance bar: equivalence at 1 and 8 threads under
+// ASan/UBSan).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/adversarial.h"
+#include "gen/sites.h"
+#include "html/arena.h"
+#include "html/lexer.h"
+#include "legacy_lexer_baseline.h"
+#include "ontology/bundled.h"
+#include "robust/limits.h"
+#include "util/rng.h"
+
+namespace webrbd {
+namespace {
+
+// Field-by-field stream comparison. Returns "" when the streams match;
+// otherwise a description of the first divergence. Kept assertion-free so
+// the concurrency test can call it off the main thread.
+std::string DiffTokenStreams(const std::vector<HtmlToken>& got,
+                             const std::vector<bench::LegacyHtmlToken>& want) {
+  std::ostringstream diff;
+  if (got.size() != want.size()) {
+    diff << "token count " << got.size() << " vs legacy " << want.size();
+    return diff.str();
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    const HtmlToken& g = got[i];
+    const bench::LegacyHtmlToken& w = want[i];
+    if (g.kind != w.kind) {
+      diff << "token " << i << ": kind " << static_cast<int>(g.kind) << " vs "
+           << static_cast<int>(w.kind);
+    } else if (g.name != w.name) {
+      diff << "token " << i << ": name '" << g.name << "' vs '" << w.name
+           << "'";
+    } else if (g.text != w.text) {
+      diff << "token " << i << ": text differs at kind "
+           << static_cast<int>(g.kind);
+    } else if (g.begin != w.begin || g.end != w.end) {
+      diff << "token " << i << ": span [" << g.begin << "," << g.end
+           << ") vs [" << w.begin << "," << w.end << ")";
+    } else if (g.self_closing != w.self_closing) {
+      diff << "token " << i << ": self_closing mismatch";
+    } else if (g.synthetic != w.synthetic) {
+      diff << "token " << i << ": synthetic mismatch";
+    } else if (g.attrs.size() != w.attrs.size()) {
+      diff << "token " << i << ": attr count " << g.attrs.size() << " vs "
+           << w.attrs.size();
+    } else {
+      bool attr_diff = false;
+      for (size_t a = 0; a < g.attrs.size(); ++a) {
+        if (g.attrs[a].name != w.attrs[a].name ||
+            g.attrs[a].value != w.attrs[a].value) {
+          diff << "token " << i << " attr " << a << ": '" << g.attrs[a].name
+               << "'='" << g.attrs[a].value << "' vs '" << w.attrs[a].name
+               << "'='" << w.attrs[a].value << "'";
+          attr_diff = true;
+          break;
+        }
+      }
+      if (!attr_diff) continue;
+    }
+    return diff.str();
+  }
+  return "";
+}
+
+// Lexes `doc` with both lexers under `limits` and returns "" on full
+// equivalence (stream AND status), else the divergence.
+std::string CompareLexers(const std::string& doc,
+                          const robust::DocumentLimits& limits) {
+  DocumentArena arena;
+  auto fast = LexHtml(doc, limits, arena);
+  auto legacy = bench::LegacyLexHtml(doc, limits);
+  if (fast.ok() != legacy.ok()) {
+    return "ok() " + std::string(fast.ok() ? "true" : "false") +
+           " vs legacy " + std::string(legacy.ok() ? "true" : "false");
+  }
+  if (!fast.ok()) {
+    if (fast.status().code() != legacy.status().code()) {
+      return "status code mismatch: " + fast.status().ToString() + " vs " +
+             legacy.status().ToString();
+    }
+    if (fast.status().message() != legacy.status().message()) {
+      return "status message mismatch: " + fast.status().ToString() + " vs " +
+             legacy.status().ToString();
+    }
+    return "";
+  }
+  return DiffTokenStreams(*fast, *legacy);
+}
+
+// Adversarial pseudo-HTML mirroring tests/html/fuzz_test.cc's generator:
+// random nesting, stray brackets, mismatched closes, comments, attribute
+// junk, truncated tags — the shapes most likely to expose a divergence in
+// recovery behavior.
+std::string RandomTagSoup(Rng* rng, size_t target_size) {
+  static const char* kNames[] = {"a",  "B",  "td", "TR",   "table", "p",
+                                 "hr", "br", "h1", "FONT", "div",   "x-y"};
+  static const char* kJunk[] = {
+      "< not a tag", ">", "<<", "&amp;", "<!-- comment <b> -->",
+      "<!DOCTYPE html>", "<?php echo ?>", "plain words here ",
+      "\"quotes\" and 'more' ", "<>", "</>", "1998 ",
+      "<script>if (a<b) x;</script>", "<ScRiPt>y</scRIPT>",
+      "<a href=\"unclosed>text", "&#65;&bogus;&#x41;",
+  };
+  std::string out;
+  std::vector<std::string> open;
+  while (out.size() < target_size) {
+    switch (rng->Below(8)) {
+      case 0:
+      case 1: {
+        std::string name = kNames[rng->Below(12)];
+        out += "<" + name;
+        if (rng->Chance(0.3)) out += " attr=\"v>v\"";
+        if (rng->Chance(0.2)) out += " bare";
+        if (rng->Chance(0.1)) out += "/";
+        out += ">";
+        open.push_back(std::move(name));
+        break;
+      }
+      case 2: {
+        if (!open.empty()) {
+          out += "</" + open.back() + ">";
+          open.pop_back();
+        }
+        break;
+      }
+      case 3:
+        out += std::string("</") + kNames[rng->Below(12)] + ">";
+        break;
+      case 4:
+      case 5:
+        out += "text ";
+        break;
+      case 6:
+        out += kJunk[rng->Below(16)];
+        break;
+      case 7:
+        if (rng->Chance(0.3)) out += "<b";
+        else out += "word ";
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(LexerEquivalenceTest, SyntheticCorpusMatchesLegacyByteForByte) {
+  const auto& sites = gen::CalibrationSites();
+  const robust::DocumentLimits limits = robust::DocumentLimits::Production();
+  for (size_t s = 0; s < sites.size(); ++s) {
+    for (int page = 0; page < 3; ++page) {
+      const std::string doc =
+          gen::RenderDocument(sites[s], Domain::kObituaries, page).html;
+      EXPECT_EQ(CompareLexers(doc, limits), "")
+          << "site " << s << " page " << page;
+    }
+  }
+}
+
+TEST(LexerEquivalenceTest, EveryAdversarialShapeMatchesLegacy) {
+  for (gen::AdversarialShape shape : gen::AllAdversarialShapes()) {
+    // Production scale under production caps (exercises the recoverable
+    // degradation paths identically), and a small scale with no caps at
+    // all (exercises the unbounded scans identically).
+    const std::string production_doc = gen::AdversarialCorpus(9).at(
+        static_cast<size_t>(shape));
+    EXPECT_EQ(
+        CompareLexers(production_doc, robust::DocumentLimits::Production()),
+        "")
+        << gen::AdversarialShapeName(shape) << " under production limits";
+    const std::string small_doc = gen::RenderAdversarialDocument(shape, 256);
+    EXPECT_EQ(CompareLexers(small_doc, robust::DocumentLimits::Unlimited()),
+              "")
+        << gen::AdversarialShapeName(shape) << " under unlimited limits";
+  }
+}
+
+TEST(LexerEquivalenceTest, RandomTagSoupMatchesLegacy) {
+  const robust::DocumentLimits limits = robust::DocumentLimits::Production();
+  for (int seed = 0; seed < 48; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+    const std::string doc = RandomTagSoup(&rng, 2000);
+    EXPECT_EQ(CompareLexers(doc, limits), "") << "seed " << seed;
+  }
+}
+
+TEST(LexerEquivalenceTest, TightCapsFailIdentically) {
+  // Fatal caps must produce the same status code AND message from both
+  // lexers (batch failure accounting keys on the message).
+  robust::DocumentLimits tiny = robust::DocumentLimits::Production();
+  tiny.max_document_bytes = 16;
+  EXPECT_EQ(CompareLexers("<html><body><p>well past sixteen</p>", tiny), "");
+
+  robust::DocumentLimits few_tokens = robust::DocumentLimits::Production();
+  few_tokens.max_tokens = 8;
+  EXPECT_EQ(CompareLexers(gen::RenderAdversarialDocument(
+                              gen::AdversarialShape::kTagStorm, 50),
+                          few_tokens),
+            "");
+
+  robust::DocumentLimits small_values = robust::DocumentLimits::Production();
+  small_values.max_attribute_value_bytes = 32;
+  EXPECT_EQ(CompareLexers(gen::RenderAdversarialDocument(
+                              gen::AdversarialShape::kMegaAttribute, 100),
+                          small_values),
+            "");
+}
+
+TEST(LexerEquivalenceTest, EightThreadsAgreeWithLegacy) {
+  // Eight threads each compare a disjoint seed range plus the shared
+  // adversarial corpus, with per-thread arenas. Run under ASan/UBSan (and
+  // the TSan batch job) this pins down that the fast path has no hidden
+  // shared state.
+  constexpr int kThreads = 8;
+  const std::vector<std::string> shared = gen::AdversarialCorpus(9);
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &shared, &failures] {
+      const robust::DocumentLimits limits =
+          robust::DocumentLimits::Production();
+      for (int seed = t * 8; seed < t * 8 + 8; ++seed) {
+        Rng rng(static_cast<uint64_t>(seed) * 104729 + 7);
+        const std::string doc = RandomTagSoup(&rng, 1500);
+        std::string diff = CompareLexers(doc, limits);
+        if (!diff.empty()) {
+          failures[t] = "seed " + std::to_string(seed) + ": " + diff;
+          return;
+        }
+      }
+      for (size_t i = 0; i < shared.size(); ++i) {
+        std::string diff = CompareLexers(shared[i], limits);
+        if (!diff.empty()) {
+          failures[t] = "shared doc " + std::to_string(i) + ": " + diff;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace webrbd

@@ -4,11 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include "html/arena.h"
+
 namespace webrbd {
 namespace {
 
+// Tokens borrow the caller's document bytes and this arena (mixed-case tag
+// names spill here); the function-static arena outlives every assertion.
 std::vector<HtmlToken> Lex(std::string_view doc) {
-  auto tokens = LexHtml(doc);
+  static DocumentArena arena;
+  auto tokens = LexHtml(doc, arena);
   EXPECT_TRUE(tokens.ok());
   return std::move(tokens).value();
 }

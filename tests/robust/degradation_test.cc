@@ -137,7 +137,8 @@ TEST(RobustBatchDegradationTest, EveryShapeSurvivesTheBatchPipeline) {
   Ontology ontology = BundledOntology(Domain::kObituaries).value();
   // Production-scale corpus: one document per adversarial shape, at the
   // scales chosen to trip (or stress) the production caps.
-  const std::vector<std::string> corpus = gen::AdversarialCorpus(8);
+  const std::vector<std::string> corpus =
+      gen::AdversarialCorpus(gen::AllAdversarialShapes().size());
 
   BatchOptions options;
   options.num_threads = 2;

@@ -8,18 +8,27 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "gen/adversarial.h"
+#include "html/arena.h"
 #include "html/lexer.h"
 #include "obs/stages.h"
 
 namespace webrbd {
 namespace {
 
-std::vector<HtmlToken> MustLex(const std::string& doc) {
-  auto tokens = LexHtml(doc);
+std::vector<HtmlToken> MustLex(std::string_view doc_text) {
+  // Tokens are zero-copy views into the document and the arena, so both
+  // must outlive the assertions: the deque gives each document stable
+  // storage for the test's lifetime, the function-static arena keeps any
+  // spilled tag names alive too.
+  static DocumentArena arena;
+  static std::deque<std::string> docs;
+  const std::string& doc = docs.emplace_back(doc_text);
+  auto tokens = LexHtml(doc, arena);
   EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
   return tokens.ok() ? std::move(tokens).value() : std::vector<HtmlToken>{};
 }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "gen/adversarial.h"
+#include "html/arena.h"
 #include "html/lexer.h"
 #include "html/tree_builder.h"
 #include "obs/stages.h"
@@ -55,7 +56,9 @@ TEST(DocumentLimitsTest, DocumentBytesCapTripsLexer) {
   DocumentLimits limits = DocumentLimits::Production();
   limits.max_document_bytes = 16;
   const uint64_t before = obs::Robust().trip_doc_bytes->count();
-  auto tokens = LexHtml("<html><body><p>well past sixteen bytes</p>", limits);
+  DocumentArena arena;
+  auto tokens = LexHtml("<html><body><p>well past sixteen bytes</p>", limits,
+                        arena);
   ASSERT_FALSE(tokens.ok());
   EXPECT_EQ(tokens.status().code(), Status::Code::kResourceExhausted);
   EXPECT_NE(tokens.status().message().find("max_document_bytes"),
@@ -67,9 +70,10 @@ TEST(DocumentLimitsTest, TokenCountCapTripsLexer) {
   DocumentLimits limits = DocumentLimits::Production();
   limits.max_tokens = 8;
   const uint64_t before = obs::Robust().trip_tokens->count();
-  auto tokens =
-      LexHtml(RenderAdversarialDocument(AdversarialShape::kTagStorm, 50),
-              limits);
+  const std::string doc =
+      RenderAdversarialDocument(AdversarialShape::kTagStorm, 50);
+  DocumentArena arena;
+  auto tokens = LexHtml(doc, limits, arena);
   ASSERT_FALSE(tokens.ok());
   EXPECT_EQ(tokens.status().code(), Status::Code::kResourceExhausted);
   EXPECT_NE(tokens.status().message().find("max_tokens"), std::string::npos);
@@ -115,7 +119,8 @@ TEST(DocumentLimitsTest, AttributeCountCapDropsExcessAttributes) {
   }
   doc += ">x</div></body></html>";
   const uint64_t before = obs::Robust().trip_attrs->count();
-  auto tokens = LexHtml(doc, limits);
+  DocumentArena arena;
+  auto tokens = LexHtml(doc, limits, arena);
   ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
   const HtmlToken* div = nullptr;
   for (const HtmlToken& token : *tokens) {
@@ -134,9 +139,11 @@ TEST(DocumentLimitsTest, AttributeValueCapTruncatesMegaAttribute) {
   limits.max_attribute_value_bytes = 32;
   const uint64_t trips_before = obs::Robust().trip_attr_value->count();
   const uint64_t recoveries_before = obs::Robust().lexer_recoveries->count();
-  auto tokens = LexHtml(
-      RenderAdversarialDocument(AdversarialShape::kMegaAttribute, 100),
-      limits);
+  // Tokens borrow the document, so it must outlive the attr assertions.
+  const std::string doc =
+      RenderAdversarialDocument(AdversarialShape::kMegaAttribute, 100);
+  DocumentArena arena;
+  auto tokens = LexHtml(doc, limits, arena);
   ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
   const HtmlToken* div = nullptr;
   for (const HtmlToken& token : *tokens) {

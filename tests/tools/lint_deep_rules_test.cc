@@ -129,6 +129,70 @@ TEST(ArenaEscapeRuleTest, ArenaOwningLayerIsExempt) {
   EXPECT_FALSE(Triggered(findings, "arena-escape"));
 }
 
+TEST(ArenaEscapeRuleTest, MemberAssignmentOfBorrowedTokenViewTriggers) {
+  // HtmlToken's name/text/attr views borrow the source document buffer
+  // (and the lexer arena); stashing one in a member escapes exactly like
+  // a TagNode borrow.
+  const std::string source = std::string(kLicense) +
+                             "void Walker::Visit(const HtmlToken& token) {\n"
+                             "  separator_ = token.name;\n"
+                             "}\n";
+  auto findings = LintFixture({"src/extract/walker.cc", source});
+  EXPECT_TRUE(Triggered(findings, "arena-escape"));
+}
+
+TEST(ArenaEscapeRuleTest, ContainerInsertOfBorrowedTokenTriggers) {
+  const std::string source = std::string(kLicense) +
+                             "void Walker::Visit(const HtmlToken& token) {\n"
+                             "  kept_.push_back(token.text);\n"
+                             "}\n";
+  auto findings = LintFixture({"src/extract/walker.cc", source});
+  EXPECT_TRUE(Triggered(findings, "arena-escape"));
+}
+
+TEST(ArenaEscapeRuleTest, TokenBorrowPropagatesThroughViewLocals) {
+  const std::string source = std::string(kLicense) +
+                             "void Walker::Visit(const HtmlToken& token) {\n"
+                             "  std::string_view name = token.name;\n"
+                             "  tag_ = name;\n"
+                             "}\n";
+  auto findings = LintFixture({"src/extract/walker.cc", source});
+  EXPECT_TRUE(Triggered(findings, "arena-escape"));
+}
+
+TEST(ArenaEscapeRuleTest, TokenScalarFieldsDoNotTrigger) {
+  // begin/end/kind/self_closing are value copies, not borrows.
+  const std::string source = std::string(kLicense) +
+                             "void Walker::Visit(const HtmlToken& token) {\n"
+                             "  begin_ = token.begin;\n"
+                             "  end_ = token.end;\n"
+                             "  kind_ = token.kind;\n"
+                             "  closed_ = token.self_closing;\n"
+                             "}\n";
+  auto findings = LintFixture({"src/extract/walker.cc", source});
+  EXPECT_FALSE(Triggered(findings, "arena-escape"));
+}
+
+TEST(ArenaEscapeRuleTest, CopyingTokenViewToStringDoesNotTrigger) {
+  // The blessed fix: materialize the view into an owning std::string.
+  const std::string source =
+      std::string(kLicense) +
+      "void Walker::Visit(const HtmlToken& token) {\n"
+      "  names_.push_back(std::string(token.name));\n"
+      "}\n";
+  auto findings = LintFixture({"src/extract/walker.cc", source});
+  EXPECT_FALSE(Triggered(findings, "arena-escape"));
+}
+
+TEST(ArenaEscapeRuleTest, LexerLayerIsExemptForTokens) {
+  const std::string source = std::string(kLicense) +
+                             "void Lexer::Flush(const HtmlToken& token) {\n"
+                             "  tokens_.push_back(token);\n"
+                             "}\n";
+  auto findings = LintFixture({"src/html/lexer.cc", source});
+  EXPECT_FALSE(Triggered(findings, "arena-escape"));
+}
+
 TEST(ArenaEscapeRuleTest, InlineAllowSuppresses) {
   const std::string source =
       std::string(kLicense) +

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+# Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+"""Condenses google-benchmark JSON into the repo-root BENCH_throughput.json.
+
+Reads any number of --benchmark_out JSON files (bench_components.json,
+bench_throughput.json) and emits one small machine-readable summary with
+the headline MB/s numbers the README and CI artifacts track:
+
+    lexer / lexer_legacy       BM_Lexer vs the frozen pre-SWAR baseline
+    tree_build / tree_legacy   BM_TagTreeBuild vs the frozen pre-arena one
+    batch_pipeline             best BM_BatchPipeline/<threads>/<docs> run
+
+Each section is included only when its benchmarks are present in the
+inputs, so partial runs still summarize. Usage:
+
+    tools/bench_summary.py --out BENCH_throughput.json a.json b.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(paths):
+    runs = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for bench in data.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            runs[bench["name"]] = bench
+    return runs
+
+
+def mb_per_second(bench):
+    return round(bench["bytes_per_second"] / 1e6, 1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, help="summary JSON path")
+    parser.add_argument("inputs", nargs="+", help="benchmark JSON files")
+    args = parser.parse_args()
+
+    runs = load_benchmarks(args.inputs)
+    summary = {}
+
+    pairs = [
+        ("lexer", "BM_Lexer", "lexer_legacy", "BM_LexerLegacy"),
+        ("tree_build", "BM_TagTreeBuild",
+         "tree_build_legacy", "BM_TagTreeBuildLegacy"),
+    ]
+    for fast_key, fast_name, legacy_key, legacy_name in pairs:
+        if fast_name in runs:
+            summary[fast_key + "_mb_s"] = mb_per_second(runs[fast_name])
+        if legacy_name in runs:
+            summary[legacy_key + "_mb_s"] = mb_per_second(runs[legacy_name])
+        if fast_name in runs and legacy_name in runs:
+            summary[fast_key + "_speedup"] = round(
+                runs[fast_name]["bytes_per_second"]
+                / runs[legacy_name]["bytes_per_second"], 2)
+
+    batch = [b for name, b in runs.items()
+             if name.startswith("BM_BatchPipeline/")]
+    if batch:
+        best = max(batch, key=lambda b: b["bytes_per_second"])
+        summary["batch_pipeline_mb_s"] = mb_per_second(best)
+        summary["batch_pipeline_best_config"] = best["name"]
+
+    if not summary:
+        print("bench_summary: no recognized benchmarks in inputs",
+              file=sys.stderr)
+        return 1
+
+    with open(args.out, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_summary: wrote {args.out}: "
+          f"{json.dumps(summary, sort_keys=True)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

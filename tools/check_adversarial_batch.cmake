@@ -10,7 +10,7 @@
 
 set(json_file ${OUT_DIR}/adversarial_metrics.json)
 execute_process(
-    COMMAND ${WEBRBD_CLI} batch --generate 4 --generate-adversarial 8
+    COMMAND ${WEBRBD_CLI} batch --generate 4 --generate-adversarial 9
             --threads 2 --metrics-out ${json_file}
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out

@@ -37,7 +37,10 @@ set(DOCUMENTED_METRICS
     webrbd_robust_limit_trips_attrs_total
     webrbd_robust_limit_trips_attr_value_total
     webrbd_robust_limit_trips_regex_closure_total
-    webrbd_robust_lexer_recoveries_total)
+    webrbd_robust_lexer_recoveries_total
+    webrbd_html_lexer_bytes_total
+    webrbd_html_lexer_tokens_total
+    webrbd_html_lexer_name_spills_total)
 
 set(json_file ${OUT_DIR}/metrics_out.json)
 execute_process(
