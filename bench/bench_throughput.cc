@@ -33,7 +33,9 @@
 
 #include "extract/extraction_context.h"
 #include "extract/recognizer.h"
+#include "extract/template_cache.h"
 #include "gen/sites.h"
+#include "gen/template_skew.h"
 #include "obs/metrics.h"
 #include "ontology/bundled.h"
 
@@ -197,6 +199,93 @@ void BM_BatchPipelineInstrumented(benchmark::State& state) {
 BENCHMARK(BM_BatchPipelineInstrumented)
     ->ArgsProduct({{1, 4}, {100}})
     ->ArgNames({"threads", "docs"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// ---------------------------------------------------------------------------
+// Template memoization (extract/template_cache.h).
+//
+// BM_BatchPipelineTemplateSkew/T/N/cache: the batch engine over an
+// N-page corpus drawn from 100 templates with Zipf-distributed page
+// counts — the repeat-template shape of a real crawl. cache=0 runs the
+// full five-heuristic rank per page; cache=1 memoizes boundaries per
+// template. The run is the STRUCTURE-ONLY configuration (an ontology with
+// no object sets, so the recognizer and OM are no-ops): that isolates the
+// structure stages the cache elides. With a full ontology the recognize
+// stage dominates per-document time and bounds the whole-pipeline win
+// near 1.05x (Amdahl; see docs/performance.md) — the cache is a
+// structure-stage optimization, and this benchmark measures exactly that.
+// Counters carry the observed hit rate; compare cache=1 vs cache=0
+// items_per_second at the same T/N for the speedup the summary tooling
+// (tools/bench_summary.py) reports.
+
+const gen::TemplateSkewCorpus& SkewCorpus(size_t pages) {
+  static std::map<size_t, gen::TemplateSkewCorpus> cache;
+  auto it = cache.find(pages);
+  if (it != cache.end()) return it->second;
+  gen::TemplateSkewOptions options;
+  options.num_templates = 100;
+  options.num_pages = static_cast<int>(pages);
+  return cache.emplace(pages, gen::GenerateTemplateSkewCorpus(options))
+      .first->second;
+}
+
+const Ontology& StructureOnlyOntology() {
+  // A named entity with zero object sets: nothing to recognize, OM
+  // abstains, the catalog stage still has a table name.
+  static const Ontology ontology("structure-only", "Record", {});
+  return ontology;
+}
+
+void BM_BatchPipelineTemplateSkew(benchmark::State& state) {
+  obs::SetMetricsEnabled(false);
+  const bool cache_on = state.range(2) != 0;
+  const auto& corpus = SkewCorpus(static_cast<size_t>(state.range(1)));
+
+  TemplateCache template_cache;  // private: runs never share entries
+  RecognizerCache recognizer_cache;
+  ContextOptions options;
+  options.cache = &recognizer_cache;
+  options.template_memoization = cache_on ? TemplateMemoization::kAlways
+                                          : TemplateMemoization::kNever;
+  options.template_cache = &template_cache;
+  auto context = ExtractionContext::Create(StructureOnlyOntology(), options);
+  if (!context.ok()) {
+    state.SkipWithError(context.status().ToString().c_str());
+    return;
+  }
+  BatchRunOptions run;
+  run.num_threads = static_cast<int>(state.range(0));
+  size_t failed = 0;
+  for (auto _ : state) {
+    // The cache persists across iterations: the first iteration pays the
+    // per-template misses, later ones run warm — matching a long-lived
+    // batch service. Hit rate converges to 1 - templates / (iters * N).
+    auto batch = context->ExtractCorpus(corpus.pages, run);
+    if (!batch.ok()) {
+      state.SkipWithError(batch.status().ToString().c_str());
+      return;
+    }
+    failed = batch->stats.failed;
+    benchmark::DoNotOptimize(batch);
+  }
+  const double lookups = static_cast<double>(template_cache.hits() +
+                                             template_cache.misses());
+  state.counters["hit_rate"] = benchmark::Counter(
+      lookups > 0 ? static_cast<double>(template_cache.hits()) / lookups : 0);
+  state.counters["fallbacks"] =
+      benchmark::Counter(static_cast<double>(template_cache.fallbacks()));
+  state.counters["failed_docs"] =
+      benchmark::Counter(static_cast<double>(failed));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.pages.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(CorpusBytes(corpus.pages)));
+}
+BENCHMARK(BM_BatchPipelineTemplateSkew)
+    ->ArgsProduct({{1, 8}, {10000}, {0, 1}})
+    ->ArgNames({"threads", "docs", "cache"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();

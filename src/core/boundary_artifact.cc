@@ -1,0 +1,171 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "core/boundary_artifact.h"
+
+#include <algorithm>
+
+namespace webrbd {
+
+namespace {
+
+// Occurrences of `symbol` among `node`'s immediate children.
+size_t CountChildrenWithSymbol(const TagNode& node, TagSymbol symbol) {
+  size_t count = 0;
+  for (const TagNode* child : node.children) {
+    if (child->symbol == symbol) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+BoundaryArtifact CaptureBoundaryArtifact(const TagTree& tree,
+                                         const TagNode& subtree,
+                                         const DiscoveryResult& discovery) {
+  BoundaryArtifact artifact;
+  artifact.separator = discovery.separator;
+
+  // Walk parent links up to the super-root, recording each node's index
+  // within its parent's children, then reverse into root-to-node order.
+  for (const TagNode* node = &subtree; node->parent != nullptr;
+       node = node->parent) {
+    const auto& siblings = node->parent->children;
+    const auto it = std::find(siblings.begin(), siblings.end(), node);
+    artifact.subtree_path.push_back(
+        static_cast<size_t>(it - siblings.begin()));
+    artifact.subtree_path_names.emplace_back(node->name);
+  }
+  std::reverse(artifact.subtree_path.begin(), artifact.subtree_path.end());
+  std::reverse(artifact.subtree_path_names.begin(),
+               artifact.subtree_path_names.end());
+
+  artifact.separator_child_count =
+      CountChildrenWithSymbol(subtree, tree.SymbolOf(artifact.separator));
+
+  // Detach the diagnostics from the tree: the subtree pointer dies with the
+  // tree, and candidate symbols are only meaningful in its intern table.
+  artifact.discovery = discovery;
+  artifact.discovery.analysis.subtree = nullptr;
+  for (CandidateTag& candidate : artifact.discovery.analysis.candidates) {
+    candidate.symbol = kInvalidTagSymbol;
+  }
+  for (CandidateTag& candidate : artifact.discovery.analysis.irrelevant) {
+    candidate.symbol = kInvalidTagSymbol;
+  }
+  return artifact;
+}
+
+std::optional<ReappliedBoundary> ReapplyBoundaryArtifact(
+    const BoundaryArtifact& artifact, const TagTree& tree) {
+  const TagNode* node = &tree.root();
+  for (size_t step = 0; step < artifact.subtree_path.size(); ++step) {
+    const size_t index = artifact.subtree_path[step];
+    if (index >= node->children.size()) return std::nullopt;
+    node = node->children[index];
+    if (node->name != artifact.subtree_path_names[step]) return std::nullopt;
+  }
+
+  const TagSymbol separator_symbol = tree.SymbolOf(artifact.separator);
+  if (separator_symbol == kInvalidTagSymbol) return std::nullopt;
+
+  const size_t count = CountChildrenWithSymbol(*node, separator_symbol);
+  if (count == 0) return std::nullopt;
+  const size_t expected = artifact.separator_child_count;
+  if (expected > 0 && (count > expected * 4 || count * 4 < expected)) {
+    return std::nullopt;
+  }
+
+  return ReappliedBoundary{node, count};
+}
+
+std::optional<StreamBoundary> ReapplyBoundaryArtifact(
+    const BoundaryArtifact& artifact, const std::vector<HtmlToken>& tokens,
+    const std::vector<TagSymbol>& symbols, const TagNameInterner& interner) {
+  // From a start tag at `i`, the index one past its matching end tag.
+  // O(subtree size) by depth counting; a balanced stream always matches.
+  auto skip_subtree = [&tokens](size_t i) {
+    size_t depth = 1;
+    ++i;
+    while (i < tokens.size() && depth > 0) {
+      if (tokens[i].kind == HtmlToken::Kind::kStartTag) {
+        ++depth;
+      } else if (tokens[i].kind == HtmlToken::Kind::kEndTag) {
+        --depth;
+      }
+      ++i;
+    }
+    return i;
+  };
+
+  // Resolve the child-index path on the stream. A node's immediate
+  // children are exactly the top-level start tags of the token range
+  // strictly inside its own start/end pair; the super-root's are the
+  // top-level start tags of the whole stream. Each step scans the current
+  // range once, hopping over whole sibling subtrees.
+  size_t begin = 0;                 // children scan range of current node
+  size_t end = tokens.size();
+  size_t span_first = 0;            // current node's inclusive token span
+  size_t span_last = tokens.empty() ? 0 : tokens.size() - 1;
+  for (size_t step = 0; step < artifact.subtree_path.size(); ++step) {
+    const size_t target = artifact.subtree_path[step];
+    size_t ordinal = 0;
+    bool resolved = false;
+    for (size_t i = begin; i < end;) {
+      if (tokens[i].kind != HtmlToken::Kind::kStartTag) {
+        ++i;
+        continue;
+      }
+      if (ordinal < target) {
+        ++ordinal;
+        i = skip_subtree(i);
+        continue;
+      }
+      if (interner.NameOf(symbols[i]) != artifact.subtree_path_names[step]) {
+        return std::nullopt;
+      }
+      const size_t past = skip_subtree(i);
+      span_first = i;
+      span_last = past - 1;  // the matching end tag
+      begin = i + 1;
+      end = past - 1;        // children live strictly inside the pair
+      resolved = true;
+      break;
+    }
+    if (!resolved) return std::nullopt;  // child index out of range
+  }
+
+  const TagSymbol separator = interner.Find(artifact.separator);
+  if (separator == kInvalidTagSymbol) return std::nullopt;
+
+  // Separator occurrences among the immediate children — the same count
+  // CountChildrenWithSymbol produces on the built tree.
+  size_t count = 0;
+  for (size_t i = begin; i < end;) {
+    if (tokens[i].kind == HtmlToken::Kind::kStartTag) {
+      if (symbols[i] == separator) ++count;
+      i = skip_subtree(i);
+    } else {
+      ++i;
+    }
+  }
+  if (count == 0) return std::nullopt;
+  const size_t expected = artifact.separator_child_count;
+  if (expected > 0 && (count > expected * 4 || count * 4 < expected)) {
+    return std::nullopt;
+  }
+
+  // Mirror of TextIndex::SeparatorPositionsInRegion: every separator
+  // start tag in the node's INCLUSIVE span (own start tag and nested
+  // occurrences included), in document order.
+  StreamBoundary boundary;
+  boundary.separator_child_count = count;
+  for (size_t i = span_first; i <= span_last && i < tokens.size(); ++i) {
+    if (symbols[i] == separator &&
+        tokens[i].kind == HtmlToken::Kind::kStartTag) {
+      boundary.separator_positions.push_back(tokens[i].begin);
+    }
+  }
+  return boundary;
+}
+
+}  // namespace webrbd

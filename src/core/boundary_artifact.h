@@ -1,0 +1,115 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// A discovered record boundary as a storable, re-applicable artifact — the
+// template-memoization currency (extract/template_cache.h). A
+// DiscoveryResult is tied to the TagTree it was computed on (subtree
+// pointer, arena-local tag symbols); a BoundaryArtifact is the same
+// decision expressed in tree-independent terms: the separator as a tag
+// NAME, the record subtree as a root-to-node child-index path with the
+// expected tag name at every step, and the full discovery diagnostics with
+// every per-tree reference neutered.
+//
+// Re-application is deliberately paranoid. Fingerprints are 64-bit hashes,
+// and even a true fingerprint match only says the page SHAPE repeats — the
+// memoized separator must still make sense on the page at hand. Reapply
+// therefore re-resolves the subtree path (verifying each step's tag name),
+// re-resolves the separator name in the new tree's intern table, and
+// requires a plausible separator count among the subtree's children. Any
+// mismatch yields nullopt and the caller falls back to the full
+// five-heuristic rank — a cache can make extraction faster, never wrong.
+
+#ifndef WEBRBD_CORE_BOUNDARY_ARTIFACT_H_
+#define WEBRBD_CORE_BOUNDARY_ARTIFACT_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "html/tag_tree.h"
+
+namespace webrbd {
+
+/// A record-boundary decision detached from the tree it came from.
+/// Copyable, owns all its storage, safe to share across threads once
+/// published (it is immutable in the template cache).
+struct BoundaryArtifact {
+  /// The consensus separator tag name (never a symbol — symbols are
+  /// arena-local and meaningless in another document's intern table).
+  std::string separator;
+
+  /// Child-index path from the super-root to the record subtree, paired
+  /// step-for-step with `subtree_path_names`. An empty path addresses the
+  /// super-root itself.
+  std::vector<size_t> subtree_path;
+
+  /// Expected tag name at each path step, verified on re-application so a
+  /// fingerprint collision cannot silently select an unrelated subtree.
+  std::vector<std::string> subtree_path_names;
+
+  /// Separator occurrences among the subtree's immediate children on the
+  /// page that populated this artifact — the re-application plausibility
+  /// anchor.
+  size_t separator_child_count = 0;
+
+  /// Full diagnostics of the populating page's discovery, with the
+  /// subtree pointer nulled and every candidate symbol invalidated. Pages
+  /// served from the cache report these rankings verbatim: the certainty
+  /// factors describe the TEMPLATE (computed once on the first page seen),
+  /// not the individual page.
+  DiscoveryResult discovery;
+};
+
+/// Captures `discovery` (computed on `tree`, record region `subtree`) as a
+/// tree-independent artifact.
+BoundaryArtifact CaptureBoundaryArtifact(const TagTree& tree,
+                                         const TagNode& subtree,
+                                         const DiscoveryResult& discovery);
+
+/// A successfully re-applied artifact: the record subtree resolved in the
+/// NEW tree, plus the separator's child count there.
+struct ReappliedBoundary {
+  const TagNode* subtree = nullptr;
+  size_t separator_child_count = 0;
+};
+
+/// Re-applies `artifact` to `tree`. Returns nullopt — demanding a full
+/// re-discovery — when the subtree path does not resolve (index out of
+/// range or step-name mismatch), the separator name is unknown to the
+/// tree's intern table, the separator never appears among the subtree's
+/// children, or its count is implausible (off by more than 4x from the
+/// populating page — template pages vary in record count, but not by
+/// orders of magnitude).
+std::optional<ReappliedBoundary> ReapplyBoundaryArtifact(
+    const BoundaryArtifact& artifact, const TagTree& tree);
+
+/// A boundary re-applied at the STREAM level, before (or without) Step-3
+/// node construction: instead of a resolved TagNode, the caller gets the
+/// separator's document byte positions within the resolved subtree's token
+/// span — exactly what TextIndex::SeparatorPositionsInRegion would return
+/// on the built tree — which is everything the rule-less integrated flow
+/// still needs downstream.
+struct StreamBoundary {
+  /// tokens[i].begin of every separator start tag in the subtree's span
+  /// (the span includes the subtree's own start tag, mirroring
+  /// SeparatorPositionsInRegion). Never empty on success.
+  std::vector<size_t> separator_positions;
+
+  /// Separator occurrences among the subtree's immediate children.
+  size_t separator_child_count = 0;
+};
+
+/// Re-applies `artifact` to a balanced token stream (the tokens/symbols of
+/// html/tree_builder.h's LexAndBalance, whose symbols index `interner`).
+/// Applies the SAME acceptance rules as the tree overload — the two agree
+/// on every balanced stream, accepting and rejecting identically (a
+/// dedicated test pins the equivalence) — so a template-cache hit on a
+/// rule-less ontology can skip node construction entirely.
+std::optional<StreamBoundary> ReapplyBoundaryArtifact(
+    const BoundaryArtifact& artifact, const std::vector<HtmlToken>& tokens,
+    const std::vector<TagSymbol>& symbols, const TagNameInterner& interner);
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_CORE_BOUNDARY_ARTIFACT_H_

@@ -3,6 +3,7 @@
 #include "extract/extraction_context.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <exception>
 #include <future>
@@ -10,11 +11,13 @@
 #include <thread>
 #include <utility>
 
+#include "core/boundary_artifact.h"
 #include "extract/db_instance_generator.h"
 #include "html/text_index.h"
 #include "html/tree_builder.h"
 #include "obs/metrics.h"
 #include "obs/stages.h"
+#include "util/fnv.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -38,6 +41,36 @@ std::optional<double> EstimateFromTable(const Ontology& ontology,
             : table.CountFor(field->name, MatchKind::kConstant));
   }
   return total / static_cast<double>(fields.size());
+}
+
+// The template-cache fingerprint salt: everything a boundary decision
+// depends on BESIDES page structure. Two contexts produce colliding page
+// fingerprints only when the same tree shape would get the same separator
+// through the same ontology, heuristics, and knobs — which is exactly when
+// sharing an entry is correct. Doubles are hashed by bit pattern; the
+// knobs are configuration constants, not computed floats, so bitwise
+// equality is the right notion.
+uint64_t ComputeTemplateSalt(const Ontology& ontology,
+                             const DiscoveryOptions& discovery) {
+  FnvHasher fnv;
+  fnv.AddU64(OntologyFingerprint(ontology));
+  fnv.AddField(discovery.heuristics);
+  for (const std::string& heuristic : discovery.certainty.Heuristics()) {
+    fnv.AddField(heuristic);
+    for (int rank = 1; rank <= CertaintyFactorTable::kDepth; ++rank) {
+      fnv.AddU64(
+          std::bit_cast<uint64_t>(discovery.certainty.Factor(heuristic, rank)));
+    }
+  }
+  fnv.AddU64(std::bit_cast<uint64_t>(
+      discovery.candidate_options.irrelevance_threshold));
+  fnv.AddSize(discovery.it_separator_list.size());
+  for (const std::string& separator : discovery.it_separator_list) {
+    fnv.AddField(separator);
+  }
+  fnv.AddU64(std::bit_cast<uint64_t>(discovery.rp_pair_floor));
+  fnv.AddSize(discovery.sd_normalize ? 1 : 0);
+  return fnv.hash();
 }
 
 int ResolveThreads(int requested) {
@@ -163,6 +196,24 @@ std::string CorpusStats::ToJson() const {
   return out;
 }
 
+ExtractionContext::ExtractionContext(
+    const Ontology* ontology, std::shared_ptr<const Recognizer> recognizer,
+    ContextOptions options)
+    : ontology_(ontology),
+      recognizer_(std::move(recognizer)),
+      options_(std::move(options)),
+      template_salt_(ComputeTemplateSalt(*ontology_, options_.discovery)) {
+  // Compile the instance generator ONCE per context instead of once per
+  // document (Create re-compiles every value pattern in the ontology).
+  // On a compile failure the pointer stays null and the per-document
+  // fallback in ExtractDocumentImpl surfaces the same error.
+  auto generator = DatabaseInstanceGenerator::Create(*ontology_);
+  if (generator.ok()) {
+    generator_ = std::make_shared<const DatabaseInstanceGenerator>(
+        std::move(generator).value());
+  }
+}
+
 Result<ExtractionContext> ExtractionContext::Create(const Ontology& ontology,
                                                     ContextOptions options) {
   RecognizerCache& cache =
@@ -187,86 +238,208 @@ ExtractionContext ExtractionContext::FromCompiledRecognizer(
 Result<IntegratedResult> ExtractionContext::ExtractDocument(
     std::string_view html) const {
   DocumentArena arena;
-  return ExtractDocument(html, arena);
+  return ExtractDocumentImpl(
+      html, arena,
+      options_.template_memoization == TemplateMemoization::kAlways);
 }
 
 Result<IntegratedResult> ExtractionContext::ExtractDocument(
     std::string_view html, DocumentArena& arena) const {
+  return ExtractDocumentImpl(
+      html, arena,
+      options_.template_memoization == TemplateMemoization::kAlways);
+}
+
+Result<IntegratedResult> ExtractionContext::ExtractDocumentImpl(
+    std::string_view html, DocumentArena& arena, bool use_cache) const {
   obs::ScopedTimer document_timer(obs::Stages().document);
   obs::Stages().documents->Increment();
   const DiscoveryOptions& base = options_.discovery;
+  const bool has_rules = !recognizer_->rules().rules().empty();
 
-  auto tree = BuildTagTree(html, base.limits, &arena);
+  // Everything downstream of boundary discovery, shared by the memoized
+  // fast path and the full flow: partition the table at the separator's
+  // document positions (the leading partition is the page preamble) and
+  // generate one entity per partition. The dbgen span covers both.
+  auto finish = [this](IntegratedResult result,
+                       std::vector<size_t> cuts) -> Result<IntegratedResult> {
+    obs::ScopedTimer dbgen_timer(obs::Stages().dbgen);
+    if (cuts.empty()) {
+      return Status::Internal("separator <" + result.separator +
+                              "> has no occurrences in its own region");
+    }
+    std::vector<DataRecordTable> partitions = result.table.PartitionAt(cuts);
+    partitions.erase(partitions.begin());  // preamble
+    // A trailing separator (Figure 2's final <hr>) leaves an empty tail
+    // partition; drop it, mirroring the record extractor's empty-chunk
+    // rule.
+    while (!partitions.empty() && partitions.back().empty()) {
+      partitions.pop_back();
+    }
+    result.partitions = std::move(partitions);
+
+    // One entity per partition, through the generator compiled once at
+    // context construction. The null fallback covers the one construction
+    // path that cannot report a compile failure (FromCompiledRecognizer):
+    // compiling here per document reproduces the error the caller would
+    // have seen.
+    Result<db::Catalog> catalog = Status::Internal("generator unset");
+    if (generator_ != nullptr) {
+      catalog = generator_->PopulateFromPartitions(result.partitions);
+    } else {
+      auto generator = DatabaseInstanceGenerator::Create(*ontology_);
+      if (!generator.ok()) return generator.status();
+      catalog = generator->PopulateFromPartitions(result.partitions);
+    }
+    if (!catalog.ok()) return catalog.status();
+    result.catalog = std::move(catalog).value();
+    return result;
+  };
+
+  // Steps 1+2 only: the balanced token stream is enough to fingerprint
+  // the page and, on a rule-less cache hit, to re-apply the memoized
+  // boundary — Step 3 (node construction, the most expensive phase after
+  // lexing) then never runs for that document.
+  auto balanced = LexAndBalance(html, base.limits, arena);
+  if (!balanced.ok()) return balanced.status();
+
+  // Template memoization: fingerprint the page shape and try to serve the
+  // boundary from the cache. A hit is only a hint — the artifact must
+  // re-apply cleanly to THIS page (subtree path resolves step-by-name,
+  // separator present among its children in plausible numbers), else we
+  // record a fallback, evict the stale entry, and run the full rank. The
+  // cache can therefore only change timing, never output (assuming pages
+  // that share a template agree on their boundary, which is what sharing
+  // a template means).
+  TemplateCache* cache = nullptr;
+  uint64_t fingerprint = 0;
+  std::shared_ptr<const BoundaryArtifact> memoized;
+  std::shared_ptr<const BoundaryArtifact> captured;
+  if (use_cache) {
+    cache = options_.template_cache != nullptr ? options_.template_cache
+                                               : &GlobalTemplateCache();
+    fingerprint = PageFingerprint(balanced->tokens, balanced->symbols,
+                                  arena.interner(), template_salt_);
+    memoized = cache->Lookup(fingerprint);
+  }
+
+  if (memoized != nullptr && !has_rules) {
+    // Rule-less hit: re-apply on the stream. Success hands back the
+    // separator's cut positions directly — identical to what the built
+    // tree would yield — and the document completes without a single
+    // TagNode being allocated. The table stays empty (no matching rules),
+    // so partitioning needs nothing but the cuts.
+    auto boundary = ReapplyBoundaryArtifact(*memoized, balanced->tokens,
+                                            balanced->symbols,
+                                            arena.interner());
+    if (boundary.has_value()) {
+      IntegratedResult result;
+      result.discovery = memoized->discovery;
+      result.separator = memoized->separator;
+      return finish(std::move(result),
+                    std::move(boundary->separator_positions));
+    }
+    cache->RecordFallback();
+    cache->Erase(fingerprint);
+    memoized = nullptr;
+  }
+
+  auto tree = BuildTagTreeFromBalanced(std::move(balanced).value(),
+                                       base.limits, &arena);
   if (!tree.ok()) return tree.status();
 
-  // Locate the record region (Section 3) — the same analysis the
+  std::optional<ReappliedBoundary> reapplied;
+  if (memoized != nullptr) {
+    reapplied = ReapplyBoundaryArtifact(*memoized, *tree);
+    if (!reapplied.has_value()) {
+      cache->RecordFallback();
+      cache->Erase(fingerprint);
+      memoized = nullptr;
+    }
+  }
+
+  // Locate the record region (Section 3). On a cache hit the memoized
+  // subtree path already resolved it — both candidate-analysis passes,
+  // the highest-fan-out scan, the five heuristics, and the certainty
+  // combination are skipped. Otherwise run the same analysis the
   // discoverer performs; done here first because the recognizer pass runs
   // over this region's text.
-  auto analysis = ExtractCandidateTags(*tree, base.candidate_options);
-  if (!analysis.ok()) return analysis.status();
+  const TagNode* region = nullptr;
+  if (reapplied.has_value()) {
+    region = reapplied->subtree;
+  } else {
+    auto analysis = ExtractCandidateTags(*tree, base.candidate_options);
+    if (!analysis.ok()) return analysis.status();
+    region = analysis->subtree;
+  }
 
   // One recognizer pass over the region's plain text, every entry
-  // re-positioned into document byte offsets.
-  TextIndex index(*tree, *analysis->subtree);
-  DataRecordTable text_table = recognizer_->Recognize(index.text());
-
+  // re-positioned into document byte offsets. An ontology that compiles
+  // to zero matching rules (structure-only: boundary discovery without
+  // entity extraction) yields an empty table no matter what the text
+  // says, so the text materialization, the recognizer scan, and the DRT
+  // reposition are all skipped — separator cut points then come straight
+  // off the region's token span below.
+  std::optional<TextIndex> index;
   IntegratedResult result;
-  {
+  if (has_rules) {
+    index.emplace(*tree, *region);
+    DataRecordTable text_table = recognizer_->Recognize(index->text());
+
     // DRT build: reposition the text-relative entries into document byte
     // offsets and freeze them as this document's Data-Record Table.
     obs::ScopedTimer drt_timer(obs::Stages().drt);
     std::vector<DataRecordEntry> repositioned;
     repositioned.reserve(text_table.size());
     for (DataRecordEntry entry : text_table.entries()) {
-      entry.begin = index.ToDocumentOffset(entry.begin);
-      entry.end = index.ToDocumentOffset(entry.end);
+      entry.begin = index->ToDocumentOffset(entry.begin);
+      entry.end = index->ToDocumentOffset(entry.end);
       repositioned.push_back(std::move(entry));
     }
     result.table = DataRecordTable(std::move(repositioned));
   }
 
-  // Discovery, with OM fed by the table-derived estimate (O(d)). The
-  // estimator is constructed HERE, on a standalone options copy — plain
-  // DiscoveryOptions cannot carry one, so no caller setting is ever
-  // overwritten.
-  StandaloneDiscoveryOptions discovery_options(base);
-  discovery_options.estimator = std::make_shared<FixedRecordCountEstimator>(
-      EstimateFromTable(*ontology_, result.table));
-  RecordBoundaryDiscoverer discoverer(std::move(discovery_options));
-  auto discovery = discoverer.Discover(*tree);
-  if (!discovery.ok()) return discovery.status();
-  result.discovery = std::move(discovery).value();
-  // The tag tree dies with this function; the subtree pointer must not
-  // escape (candidate tags and rankings remain valid by value).
-  result.discovery.analysis.subtree = nullptr;
-  result.separator = result.discovery.separator;
-
-  // Partition the table at the separator's document positions; the
-  // leading partition is the page preamble. The dbgen span covers
-  // partitioning plus entity generation — everything downstream of
-  // boundary discovery.
-  obs::ScopedTimer dbgen_timer(obs::Stages().dbgen);
-  std::vector<size_t> cuts = index.SeparatorPositions(result.separator);
-  if (cuts.empty()) {
-    return Status::Internal("separator <" + result.separator +
-                            "> has no occurrences in its own region");
+  if (reapplied.has_value()) {
+    // Served from the template cache: the diagnostics are the populating
+    // page's (certainty factors describe the template, computed once);
+    // the artifact is already detached from any tree.
+    result.discovery = memoized->discovery;
+    result.separator = memoized->separator;
+  } else {
+    // Discovery, with OM fed by the table-derived estimate (O(d)). The
+    // estimator is constructed HERE, on a standalone options copy — plain
+    // DiscoveryOptions cannot carry one, so no caller setting is ever
+    // overwritten.
+    StandaloneDiscoveryOptions discovery_options(base);
+    discovery_options.estimator = std::make_shared<FixedRecordCountEstimator>(
+        EstimateFromTable(*ontology_, result.table));
+    RecordBoundaryDiscoverer discoverer(std::move(discovery_options));
+    auto discovery = discoverer.Discover(*tree);
+    if (!discovery.ok()) return discovery.status();
+    if (cache != nullptr) {
+      // Captured now (the tree must still be alive), inserted only after
+      // the document extracts end-to-end — a boundary that cannot drive a
+      // successful extraction must not be memoized. The capture happens
+      // once per template, off every hit's path.
+      captured = std::make_shared<const BoundaryArtifact>(
+          CaptureBoundaryArtifact(*tree, *region, discovery.value()));
+    }
+    result.discovery = std::move(discovery).value();
+    // The tag tree dies with this function; the subtree pointer must not
+    // escape (candidate tags and rankings remain valid by value).
+    result.discovery.analysis.subtree = nullptr;
+    result.separator = result.discovery.separator;
   }
-  std::vector<DataRecordTable> partitions = result.table.PartitionAt(cuts);
-  partitions.erase(partitions.begin());  // preamble
-  // A trailing separator (Figure 2's final <hr>) leaves an empty tail
-  // partition; drop it, mirroring the record extractor's empty-chunk rule.
-  while (!partitions.empty() && partitions.back().empty()) {
-    partitions.pop_back();
-  }
-  result.partitions = std::move(partitions);
 
-  // One entity per partition.
-  auto generator = DatabaseInstanceGenerator::Create(*ontology_);
-  if (!generator.ok()) return generator.status();
-  auto catalog = generator->PopulateFromPartitions(result.partitions);
-  if (!catalog.ok()) return catalog.status();
-  result.catalog = std::move(catalog).value();
-  return result;
+  std::vector<size_t> cuts =
+      index.has_value()
+          ? index->SeparatorPositions(result.separator)
+          : TextIndex::SeparatorPositionsInRegion(*tree, *region,
+                                                  result.separator);
+  auto finished = finish(std::move(result), std::move(cuts));
+  if (!finished.ok()) return finished.status();
+  if (captured != nullptr) cache->Put(fingerprint, std::move(captured));
+  return finished;
 }
 
 Result<BatchResult> ExtractionContext::ExtractCorpus(
@@ -283,6 +456,12 @@ Result<BatchResult> ExtractionContext::ExtractCorpus(
   // publishes the slot to this thread).
   std::vector<std::optional<Result<IntegratedResult>>> slots(corpus.size());
 
+  // Batch runs memoize boundaries by template unless the context says
+  // never (TemplateMemoization::kAuto resolves to ON here — this is the
+  // repeat-template workload the cache exists for).
+  const bool use_cache =
+      options_.template_memoization != TemplateMemoization::kNever;
+
   // One DocumentArena per chunk: a worker processes its chunk's documents
   // consecutively through ONE warm arena, Reset() between documents, so
   // block allocation and tag-name interning amortize across the chunk.
@@ -291,7 +470,7 @@ Result<BatchResult> ExtractionContext::ExtractCorpus(
     for (size_t i = begin; i < end; ++i) {
       if (run.document_hook) run.document_hook(i);
       arena.Reset();
-      slots[i].emplace(ExtractDocument(corpus[i], arena));
+      slots[i].emplace(ExtractDocumentImpl(corpus[i], arena, use_cache));
     }
   };
 

@@ -46,11 +46,27 @@
 #include "extract/data_record_table.h"
 #include "extract/recognizer.h"
 #include "extract/recognizer_cache.h"
+#include "extract/template_cache.h"
 #include "html/arena.h"
 #include "ontology/model.h"
 #include "util/result.h"
 
 namespace webrbd {
+
+class DatabaseInstanceGenerator;
+
+/// When extractions through a context may serve record boundaries from a
+/// TemplateCache (extract/template_cache.h).
+enum class TemplateMemoization {
+  /// Batch runs (ExtractCorpus) use the cache; standalone ExtractDocument
+  /// calls do not. Batch is where templates repeat and the cache pays;
+  /// a lone document gets the full five-heuristic treatment.
+  kAuto,
+  /// Every extraction consults the cache, including single documents.
+  kAlways,
+  /// No extraction touches the cache.
+  kNever,
+};
 
 /// Everything the integrated pipeline produces for one document.
 struct IntegratedResult {
@@ -83,6 +99,16 @@ struct ContextOptions {
   /// Recognizer cache to compile/fetch through; nullptr uses the
   /// process-wide GlobalRecognizerCache().
   RecognizerCache* cache = nullptr;
+
+  /// Template-memoization policy (see TemplateMemoization). The default
+  /// kAuto turns the boundary cache on for batch runs only.
+  TemplateMemoization template_memoization = TemplateMemoization::kAuto;
+
+  /// Boundary cache to memoize through; nullptr uses the process-wide
+  /// GlobalTemplateCache(). The context's fingerprint salt covers the
+  /// ontology and every discovery knob, so contexts with different
+  /// configurations safely share one cache.
+  TemplateCache* template_cache = nullptr;
 };
 
 /// Per-run knobs of ExtractCorpus (the context itself carries everything
@@ -219,17 +245,32 @@ class ExtractionContext {
   const Recognizer& recognizer() const { return *recognizer_; }
   const ContextOptions& options() const { return options_; }
 
+  /// The fingerprint salt this context stamps into every page fingerprint:
+  /// a hash of the ontology and all discovery knobs. Exposed for tests
+  /// that pre-populate a TemplateCache out of band.
+  uint64_t template_salt() const { return template_salt_; }
+
  private:
   ExtractionContext(const Ontology* ontology,
                     std::shared_ptr<const Recognizer> recognizer,
-                    ContextOptions options)
-      : ontology_(ontology),
-        recognizer_(std::move(recognizer)),
-        options_(std::move(options)) {}
+                    ContextOptions options);
+
+  /// The shared per-document flow behind both public ExtractDocument
+  /// overloads and ExtractCorpus; `use_cache` resolves the context's
+  /// TemplateMemoization policy for this call site.
+  [[nodiscard]] Result<IntegratedResult> ExtractDocumentImpl(
+      std::string_view html, DocumentArena& arena, bool use_cache) const;
 
   const Ontology* ontology_;
   std::shared_ptr<const Recognizer> recognizer_;
   ContextOptions options_;
+  uint64_t template_salt_ = 0;
+
+  /// Instance generator compiled once at construction and shared by every
+  /// document (it is immutable after Create). Null only when the
+  /// ontology's patterns fail to compile — ExtractDocumentImpl then
+  /// reproduces the compile error per document.
+  std::shared_ptr<const DatabaseInstanceGenerator> generator_;
 };
 
 }  // namespace webrbd

@@ -6,47 +6,12 @@
 #include <utility>
 
 #include "obs/stages.h"
+#include "util/fnv.h"
 
 namespace webrbd {
 
-namespace {
-
-// 64-bit FNV-1a, fed field-by-field with length prefixes so that
-// ("ab","c") and ("a","bc") hash differently.
-class Fnv1a {
- public:
-  void AddBytes(std::string_view bytes) {
-    for (unsigned char c : bytes) {
-      hash_ ^= c;
-      hash_ *= kPrime;
-    }
-  }
-
-  void AddField(std::string_view field) {
-    AddSize(field.size());
-    AddBytes(field);
-  }
-
-  void AddSize(size_t n) {
-    for (int shift = 0; shift < 64; shift += 8) {
-      unsigned char byte = static_cast<unsigned char>(
-          (static_cast<uint64_t>(n) >> shift) & 0xff);
-      hash_ ^= byte;
-      hash_ *= kPrime;
-    }
-  }
-
-  uint64_t hash() const { return hash_; }
-
- private:
-  static constexpr uint64_t kPrime = 1099511628211ull;
-  uint64_t hash_ = 14695981039346656037ull;
-};
-
-}  // namespace
-
 uint64_t OntologyFingerprint(const Ontology& ontology) {
-  Fnv1a fnv;
+  FnvHasher fnv;
   fnv.AddField(ontology.name());
   fnv.AddField(ontology.entity_name());
   fnv.AddSize(ontology.object_sets().size());

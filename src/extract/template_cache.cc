@@ -1,0 +1,306 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "extract/template_cache.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/stages.h"
+#include "util/fnv.h"
+
+namespace webrbd {
+
+namespace {
+
+// Order-sensitive 64-bit mix (the hash_combine recipe): extends a parent
+// path hash by one step's name hash. Mix(a, b) != Mix(b, a), so sibling
+// order inside a path and nesting depth both shape the result.
+uint64_t MixPathStep(uint64_t parent, uint64_t name_hash) {
+  return parent ^ (name_hash + 0x9e3779b97f4a7c15ull + (parent << 6) +
+                   (parent >> 2));
+}
+
+}  // namespace
+
+// Open-addressing set of path hashes: the fingerprint runs once per
+// document on the batch hot path, so dedup must not allocate per node or
+// sort per node. Linear probing over a power-of-two table; 0 is the empty
+// sentinel (a 0 path hash would be re-inserted per occurrence — harmless,
+// the distinct list dedups by value below).
+class PathHashSet {
+ public:
+  void Reset(size_t expected) {
+    size_t capacity = 64;
+    while (capacity < expected * 2) capacity <<= 1;
+    if (slots_.size() < capacity) slots_.resize(capacity);
+    std::fill(slots_.begin(), slots_.end(), 0);
+    mask_ = slots_.size() - 1;
+    used_ = 0;
+  }
+
+  // Returns true when `value` was not yet in the set.
+  bool Insert(uint64_t value) {
+    if (value == 0) value = 1;  // keep the empty sentinel unambiguous
+    if (used_ * 2 >= slots_.size()) Grow();
+    size_t slot = static_cast<size_t>(value) & mask_;
+    while (slots_[slot] != 0) {
+      if (slots_[slot] == value) return false;
+      slot = (slot + 1) & mask_;
+    }
+    slots_[slot] = value;
+    ++used_;
+    return true;
+  }
+
+ private:
+  void Grow() {
+    std::vector<uint64_t> old;
+    old.swap(slots_);
+    slots_.assign(old.size() * 2, 0);
+    mask_ = slots_.size() - 1;
+    used_ = 0;
+    for (uint64_t value : old) {
+      if (value != 0) static_cast<void>(Insert(value));
+    }
+  }
+
+  std::vector<uint64_t> slots_;
+  size_t mask_ = 0;
+  size_t used_ = 0;
+};
+
+uint64_t PageFingerprint(const TagTree& tree, uint64_t salt) {
+  // Scratch buffers are thread-local: the fingerprint runs per document
+  // inside batch workers, and reusing the buffers removes every per-call
+  // allocation once a worker is warm. Each thread has its own copies, so
+  // concurrent fingerprints never share state.
+  struct Frame {
+    const TagNode* node;
+    uint64_t path;
+  };
+  thread_local std::vector<uint64_t> name_hash_by_symbol;
+  thread_local std::vector<Frame> stack;
+  thread_local std::vector<uint64_t> distinct;
+  thread_local PathHashSet seen;
+
+  // Per-symbol memo of the tag-name byte hash: symbols are small dense
+  // integers, and a page re-uses few distinct names, so the FNV pass over
+  // name bytes runs once per distinct NAME instead of once per node. The
+  // memo is keyed by name bytes via the arena-local symbol, so it must
+  // not outlive this call (symbols mean different names in the next
+  // arena) — cleared on entry, cheap because it shrinks to the page's
+  // symbol range. 0 doubles as the "not yet computed" sentinel (FNV-1a of
+  // a non-empty name is never 0 in practice; a false re-compute would be
+  // harmless).
+  name_hash_by_symbol.clear();
+  auto name_hash = [](const TagNode& node) {
+    if (node.symbol == kInvalidTagSymbol) {  // the "#document" super-root
+      FnvHasher hasher;
+      hasher.AddField(node.name);
+      return hasher.hash();
+    }
+    const size_t symbol = node.symbol;
+    if (symbol >= name_hash_by_symbol.size()) {
+      name_hash_by_symbol.resize(symbol + 1, 0);
+    }
+    if (name_hash_by_symbol[symbol] == 0) {
+      FnvHasher hasher;
+      hasher.AddField(node.name);
+      name_hash_by_symbol[symbol] = hasher.hash();
+    }
+    return name_hash_by_symbol[symbol];
+  };
+
+  // Root-to-node path hash per node, via an explicit stack (deep trees
+  // must not recurse the machine stack — see PreOrderVisit's rationale).
+  // Paths repeat massively on record-structured pages (that is the whole
+  // premise), so dedup happens inline and only the DISTINCT set — tens of
+  // entries, not thousands — is sorted and folded.
+  stack.clear();
+  distinct.clear();
+  seen.Reset(64);
+  const uint64_t root_path = name_hash(tree.root());
+  for (const TagNode* child : tree.root().children) {
+    stack.push_back({child, MixPathStep(root_path, name_hash(*child))});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (seen.Insert(frame.path)) distinct.push_back(frame.path);
+    for (const TagNode* child : frame.node->children) {
+      stack.push_back({child, MixPathStep(frame.path, name_hash(*child))});
+    }
+  }
+
+  // Sorted for traversal-order independence, folded through the
+  // length-prefix discipline (count first, then each hash).
+  std::sort(distinct.begin(), distinct.end());
+  FnvHasher fingerprint;
+  fingerprint.AddU64(salt);
+  fingerprint.AddSize(distinct.size());
+  for (uint64_t path : distinct) fingerprint.AddU64(path);
+  return fingerprint.hash();
+}
+
+uint64_t PageFingerprint(const std::vector<HtmlToken>& tokens,
+                         const std::vector<TagSymbol>& symbols,
+                         const TagNameInterner& interner, uint64_t salt) {
+  // The stream walk visits exactly the nodes Step 3 would build (every
+  // start tag of a balanced stream becomes one TagNode), maintaining the
+  // root-to-here path hash on an explicit depth stack. Because the fold
+  // below sorts the distinct set, traversal order is immaterial and this
+  // produces bit-for-bit the tree fingerprint above — without any node
+  // having been allocated. Same thread_local scratch discipline.
+  thread_local std::vector<uint64_t> name_hash_by_symbol;
+  thread_local std::vector<uint64_t> path_stack;
+  thread_local std::vector<uint64_t> distinct;
+  thread_local PathHashSet seen;
+
+  name_hash_by_symbol.clear();
+  auto name_hash = [&](TagSymbol symbol) {
+    const size_t index = symbol;
+    if (index >= name_hash_by_symbol.size()) {
+      name_hash_by_symbol.resize(index + 1, 0);
+    }
+    if (name_hash_by_symbol[index] == 0) {
+      FnvHasher hasher;
+      hasher.AddField(interner.NameOf(symbol));
+      name_hash_by_symbol[index] = hasher.hash();
+    }
+    return name_hash_by_symbol[index];
+  };
+
+  path_stack.clear();
+  distinct.clear();
+  seen.Reset(64);
+  FnvHasher root_hasher;
+  root_hasher.AddField("#document");  // Step 3's super-root name
+  path_stack.push_back(root_hasher.hash());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    switch (tokens[i].kind) {
+      case HtmlToken::Kind::kStartTag: {
+        const uint64_t path =
+            MixPathStep(path_stack.back(), name_hash(symbols[i]));
+        if (seen.Insert(path)) distinct.push_back(path);
+        path_stack.push_back(path);
+        break;
+      }
+      case HtmlToken::Kind::kEndTag:
+        // A balanced stream never pops past the super-root; the guard
+        // keeps a hypothetically malformed stream from underflowing.
+        if (path_stack.size() > 1) path_stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::sort(distinct.begin(), distinct.end());
+  FnvHasher fingerprint;
+  fingerprint.AddU64(salt);
+  fingerprint.AddSize(distinct.size());
+  for (uint64_t path : distinct) fingerprint.AddU64(path);
+  return fingerprint.hash();
+}
+
+TemplateCache::TemplateCache(size_t capacity)
+    : shard_capacity_(std::max<size_t>(1, capacity / kShards)) {}
+
+std::shared_ptr<const BoundaryArtifact> TemplateCache::Lookup(
+    uint64_t fingerprint) {
+  Shard& shard = ShardFor(fingerprint);
+  std::shared_ptr<const BoundaryArtifact> artifact;
+  {
+    MutexLock lock(&shard.mu);
+    auto it = shard.entries.find(fingerprint);
+    if (it != shard.entries.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_position);
+      artifact = it->second.artifact;
+    }
+  }
+  if (artifact != nullptr) {
+    hits_.Increment();
+    obs::Templates().hits->Increment();
+  } else {
+    misses_.Increment();
+    obs::Templates().misses->Increment();
+  }
+  return artifact;
+}
+
+void TemplateCache::Put(uint64_t fingerprint,
+                        std::shared_ptr<const BoundaryArtifact> artifact) {
+  Shard& shard = ShardFor(fingerprint);
+  size_t evicted = 0;
+  {
+    MutexLock lock(&shard.mu);
+    auto it = shard.entries.find(fingerprint);
+    if (it != shard.entries.end()) {
+      it->second.artifact = std::move(artifact);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_position);
+    } else {
+      shard.lru.push_front(fingerprint);
+      shard.entries.emplace(fingerprint,
+                            Entry{std::move(artifact), shard.lru.begin()});
+      entry_count_.fetch_add(1, std::memory_order_relaxed);
+      while (shard.entries.size() > shard_capacity_) {
+        shard.entries.erase(shard.lru.back());
+        shard.lru.pop_back();
+        entry_count_.fetch_sub(1, std::memory_order_relaxed);
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) {
+    evictions_.Increment(evicted);
+    obs::Templates().evictions->Increment(evicted);
+  }
+  obs::Templates().size->Set(
+      static_cast<double>(entry_count_.load(std::memory_order_relaxed)));
+}
+
+void TemplateCache::Erase(uint64_t fingerprint) {
+  Shard& shard = ShardFor(fingerprint);
+  {
+    MutexLock lock(&shard.mu);
+    auto it = shard.entries.find(fingerprint);
+    if (it == shard.entries.end()) return;
+    shard.lru.erase(it->second.lru_position);
+    shard.entries.erase(it);
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  obs::Templates().size->Set(
+      static_cast<double>(entry_count_.load(std::memory_order_relaxed)));
+}
+
+void TemplateCache::RecordFallback() {
+  fallbacks_.Increment();
+  obs::Templates().fallbacks->Increment();
+}
+
+size_t TemplateCache::size() const {
+  return entry_count_.load(std::memory_order_relaxed);
+}
+
+void TemplateCache::Clear() {
+  for (Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    entry_count_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+  hits_.Reset();
+  misses_.Reset();
+  fallbacks_.Reset();
+  evictions_.Reset();
+  obs::Templates().size->Set(
+      static_cast<double>(entry_count_.load(std::memory_order_relaxed)));
+}
+
+TemplateCache& GlobalTemplateCache() {
+  static TemplateCache cache;
+  return cache;
+}
+
+}  // namespace webrbd

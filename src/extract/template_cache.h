@@ -1,0 +1,169 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Template memoization: a thread-shared, sharded LRU cache of discovered
+// record boundaries keyed by a structural page fingerprint. Real corpora
+// are millions of pages drawn from thousands of *templates*; the paper's
+// five-heuristic rank re-derives the same boundary for every page of a
+// template. This cache computes a near-free structural fingerprint per
+// page (tag names are already interned to uint16_t symbols) and lets the
+// batch engine skip candidate analysis, the highest-fan-out scan, and the
+// full heuristic rank for repeat templates — the wrapper-reuse idea of the
+// post-Embley literature turned into a throughput multiplier.
+//
+// Fingerprint: FNV-1a (util/fnv.h, the recognizer cache's length-prefix
+// discipline) over the SORTED SET OF DISTINCT ROOT-TO-NODE TAG-PATH
+// HASHES, salted by the caller. Hashing the distinct path set — rather
+// than the raw token sequence — makes the fingerprint count-invariant:
+// two pages of one template with 10 and 25 records contain the same
+// distinct tag paths and land on the same entry, while any difference in
+// nesting (a <b><i> pair as siblings vs. nested) or in tag vocabulary
+// changes the set. Path hashes are order-sensitive mixes of per-name
+// FNV-1a hashes of the tag-name BYTES (never raw TagSymbol values, which
+// are arena-local), so pages sharing a tag-name multiset but differing in
+// tree shape do not collide. The salt carries everything else the
+// boundary decision depends on (ontology fingerprint, heuristic
+// configuration — see ExtractionContext), so one process can safely run
+// differently-configured contexts against one shared cache.
+//
+// Correctness stance: a cache hit is a HINT, not an answer. The caller
+// must re-validate the artifact against the page at hand
+// (core/boundary_artifact.h's ReapplyBoundaryArtifact) and fall back to
+// the full rank on any mismatch, recording a fallback and refreshing or
+// evicting the entry. Extraction output must be byte-identical with the
+// cache on or off; the cache may only change timing.
+//
+// Thread safety: 16 independent shards, each an annotated Mutex over an
+// unordered_map + intrusive LRU list. A lookup or insert takes exactly
+// one shard lock for a few pointer moves — there is no global lock and no
+// compile-under-lock (entries are built OUTSIDE the cache and inserted
+// ready), so unlike the RecognizerCache there is no in-flight latch: two
+// threads racing on a cold fingerprint both run the full rank and the
+// second insert wins. That duplicate work is bounded (one extra rank per
+// template per racing thread) and keeps the hot path lock-hold time at a
+// handful of instructions.
+//
+// Observability: per-instance lock-free counters plus process-wide
+// webrbd_template_cache_{hits,misses,fallbacks,evictions}_total and the
+// webrbd_template_cache_size gauge (obs::Templates(), stages.h).
+
+#ifndef WEBRBD_EXTRACT_TEMPLATE_CACHE_H_
+#define WEBRBD_EXTRACT_TEMPLATE_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/boundary_artifact.h"
+#include "html/tag_tree.h"
+#include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace webrbd {
+
+/// Structural fingerprint of a page: salted FNV-1a over the sorted set of
+/// distinct root-to-node tag-path hashes of `tree`. Count-invariant across
+/// pages of one template, shape- and vocabulary-sensitive otherwise. The
+/// salt must encode every non-structural input the memoized decision
+/// depends on; equal (tree shape, salt) pairs — and only those — may share
+/// a cache entry.
+uint64_t PageFingerprint(const TagTree& tree, uint64_t salt);
+
+/// Stream-level variant: the SAME fingerprint, computed from a balanced
+/// token stream (html/tree_builder.h's LexAndBalance output) before — or
+/// without — Step-3 node construction. `interner` must be the table the
+/// stream's symbols index. Guaranteed equal to PageFingerprint on the tree
+/// built from the same stream; a dedicated test pins the equivalence. This
+/// is what lets the batch hit path skip building TagNodes entirely.
+uint64_t PageFingerprint(const std::vector<HtmlToken>& tokens,
+                         const std::vector<TagSymbol>& symbols,
+                         const TagNameInterner& interner, uint64_t salt);
+
+/// Thread-safe sharded LRU cache of boundary artifacts by fingerprint.
+class TemplateCache {
+ public:
+  /// Default total capacity, in entries. Templates are thousands, not
+  /// millions; at well under a kilobyte per artifact this is a few MB.
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit TemplateCache(size_t capacity = kDefaultCapacity);
+  TemplateCache(const TemplateCache&) = delete;
+  TemplateCache& operator=(const TemplateCache&) = delete;
+
+  /// Returns the artifact for `fingerprint` (marking it most recently
+  /// used) or nullptr, counting a hit or a miss.
+  std::shared_ptr<const BoundaryArtifact> Lookup(uint64_t fingerprint);
+
+  /// Inserts or overwrites the entry for `fingerprint`, evicting the
+  /// shard's least recently used entry when over capacity. Overwriting is
+  /// how a successful fallback refreshes a stale template.
+  void Put(uint64_t fingerprint,
+           std::shared_ptr<const BoundaryArtifact> artifact);
+
+  /// Drops the entry for `fingerprint`, if present — the CF-disagreement
+  /// path for templates whose memoized boundary no longer extracts.
+  void Erase(uint64_t fingerprint);
+
+  /// Records that a hit failed re-validation and the caller fell back to
+  /// the full rank (pure accounting; pair with Put or Erase).
+  void RecordFallback();
+
+  /// Current entry count, summed across shards.
+  size_t size() const;
+
+  /// Drops every entry and resets the per-instance counters.
+  void Clear();
+
+  /// Per-instance lookup accounting since construction (or Clear()).
+  uint64_t hits() const { return hits_.count(); }
+  uint64_t misses() const { return misses_.count(); }
+  uint64_t fallbacks() const { return fallbacks_.count(); }
+  uint64_t evictions() const { return evictions_.count(); }
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Entry {
+    std::shared_ptr<const BoundaryArtifact> artifact;
+    std::list<uint64_t>::iterator lru_position;
+  };
+
+  struct Shard {
+    Mutex mu;
+    std::unordered_map<uint64_t, Entry> entries WEBRBD_GUARDED_BY(mu);
+    // Most recently used at the front; holds exactly the map's keys.
+    std::list<uint64_t> lru WEBRBD_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(uint64_t fingerprint) {
+    return shards_[fingerprint % kShards];
+  }
+  const Shard& ShardFor(uint64_t fingerprint) const {
+    return shards_[fingerprint % kShards];
+  }
+
+  std::array<Shard, kShards> shards_;
+  size_t shard_capacity_;  // immutable after construction
+
+  // Entry count across shards, maintained under the shard locks but read
+  // lock-free for the size gauge.
+  std::atomic<size_t> entry_count_{0};
+
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter fallbacks_;
+  obs::Counter evictions_;
+};
+
+/// The process-wide cache used when ContextOptions::template_cache is
+/// null. Shared by every context; the per-context fingerprint salt keeps
+/// differently-configured contexts from reading each other's entries.
+TemplateCache& GlobalTemplateCache();
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_EXTRACT_TEMPLATE_CACHE_H_

@@ -100,6 +100,25 @@ std::string RawTextCloseStorm(size_t scale) {
   return doc;
 }
 
+std::string DistinctTagStorm(size_t scale) {
+  // `scale` elements, every one a never-before-seen tag name, with the
+  // scale baked into each name so documents of different scales share no
+  // names at all. Each tag interns a fresh symbol whose bytes land in the
+  // interner's monotonic pool — the pool that deliberately survives
+  // DocumentArena::Reset() — so this is the shape that grows a long-lived
+  // batch worker's intern table without bound unless interner bytes are
+  // charged against max_arena_bytes (html/tree_builder.cc). Extreme scales
+  // also approach the 16-bit symbol cap (65534 distinct names).
+  std::string doc = "<html><body>";
+  const std::string prefix = "t" + std::to_string(scale) + "x";
+  for (size_t i = 0; i < scale; ++i) {
+    const std::string name = prefix + std::to_string(i);
+    doc += "<" + name + ">x</" + name + ">";
+  }
+  doc += "</body></html>";
+  return doc;
+}
+
 }  // namespace
 
 const std::vector<AdversarialShape>& AllAdversarialShapes() {
@@ -108,7 +127,7 @@ const std::vector<AdversarialShape>& AllAdversarialShapes() {
       AdversarialShape::kStrayEndStorm,       AdversarialShape::kUnterminatedQuote,
       AdversarialShape::kUnterminatedComment, AdversarialShape::kUnterminatedRawText,
       AdversarialShape::kEntityFlood,         AdversarialShape::kMegaAttribute,
-      AdversarialShape::kRawTextCloseStorm,
+      AdversarialShape::kRawTextCloseStorm,   AdversarialShape::kDistinctTagStorm,
   };
   return shapes;
 }
@@ -133,6 +152,8 @@ std::string_view AdversarialShapeName(AdversarialShape shape) {
       return "mega-attribute";
     case AdversarialShape::kRawTextCloseStorm:
       return "raw-text-close-storm";
+    case AdversarialShape::kDistinctTagStorm:
+      return "distinct-tag-storm";
   }
   return "unknown";
 }
@@ -157,6 +178,8 @@ std::string RenderAdversarialDocument(AdversarialShape shape, size_t scale) {
       return MegaAttribute(scale);
     case AdversarialShape::kRawTextCloseStorm:
       return RawTextCloseStorm(scale);
+    case AdversarialShape::kDistinctTagStorm:
+      return DistinctTagStorm(scale);
   }
   return {};
 }
@@ -184,6 +207,12 @@ std::vector<std::string> AdversarialCorpus(size_t count) {
         return 128 << 10;
       case AdversarialShape::kRawTextCloseStorm:
         return 20000;
+      case AdversarialShape::kDistinctTagStorm:
+        // Well under the 65534-symbol cap and a tiny slice of the
+        // production arena budget: under production limits this document
+        // extracts (degraded-but-fine); the interner-budget trip is pinned
+        // by the regression test with a small max_arena_bytes.
+        return 8000;
     }
     return 1000;
   };

@@ -27,6 +27,7 @@ enum class AdversarialShape {
   kEntityFlood,         ///< scale character/entity references in one text run
   kMegaAttribute,       ///< one attribute value of ~scale bytes
   kRawTextCloseStorm,   ///< <script> body of scale near-miss "</scrip" closers
+  kDistinctTagStorm,    ///< scale never-repeated tag names (intern-pool growth)
 };
 
 /// Every shape, in declaration order (for exhaustive fault injection).

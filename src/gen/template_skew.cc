@@ -1,0 +1,247 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "gen/template_skew.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "gen/corpora.h"
+#include "util/rng.h"
+
+namespace webrbd::gen {
+
+namespace {
+
+// The record-region archetype digit. Mirrors the SiteTemplate families but
+// rendered with a FIXED per-record markup shape: every record of a
+// template emits exactly the same tag sequence.
+enum class SkewArchetype {
+  kHrSeparated,
+  kParagraphs,
+  kTableRows,
+  kHeadlined,
+  kBrBlocks,
+};
+
+constexpr int kArchetypes = 5;
+const char* const kEmphasisTags[] = {"b", "i", "em", "strong"};
+constexpr int kEmphasisChoices = 4;
+constexpr int kHeadingChoices = 3;  // h1 / h2 / h3
+constexpr int kDepthChoices = 4;    // 0..3 wrapper <div> levels
+const char* const kChromeTags[] = {"ul", "ol", "center"};
+constexpr int kChromeChoices = 3;
+
+// The structural knobs of template `id`, decoded mixed-radix so distinct
+// ids below 720 yield distinct knob combinations (and therefore distinct
+// distinct-tag-path sets: each digit changes a tag name or a path depth).
+struct TemplateShape {
+  SkewArchetype archetype;
+  const char* emphasis_tag;
+  int heading_level;       // 1..3
+  int wrapper_depth;       // 0..3
+  const char* chrome_tag;  // nav-list container
+};
+
+TemplateShape DecodeShape(int id) {
+  TemplateShape shape;
+  shape.archetype = static_cast<SkewArchetype>(id % kArchetypes);
+  id /= kArchetypes;
+  shape.emphasis_tag = kEmphasisTags[id % kEmphasisChoices];
+  id /= kEmphasisChoices;
+  shape.heading_level = 1 + (id % kHeadingChoices);
+  id /= kHeadingChoices;
+  shape.wrapper_depth = id % kDepthChoices;
+  id /= kDepthChoices;
+  shape.chrome_tag = kChromeTags[id % kChromeChoices];
+  return shape;
+}
+
+std::string PersonName(Rng& rng) {
+  return rng.Pick(FirstNames()) + " " + rng.Pick(LastNames());
+}
+
+// One record's inner markup: emphasized name, place, dateline, a detail
+// link — the markup density of a real 1998 listing row. Identical tag
+// sequence for every record of every page (content-only variation).
+//
+// The distinct-tag count is a tuned constant, not an accident. Candidate
+// extraction (core/candidate_tags.cc) keeps a direct child of the record
+// region only when it holds >= 10% of the subtree's start tags, so a
+// record may carry at most nine distinct tags before they all drop below
+// threshold and the document fails with "no candidate separator tags".
+// Every archetype therefore renders records FLAT — separator-or-lead tag
+// plus eight inline fields as direct region children, nine distinct
+// candidates at ~11.1% each. A wrapped form (<p>record</p>,
+// <tr><td>record</td></tr>) would instead leave the wrapper as the
+// region's only candidate and most of the ranking work would vanish.
+std::string RecordBody(const TemplateShape& shape, Rng& rng) {
+  std::string body;
+  body += "<";
+  body += shape.emphasis_tag;
+  body += ">";
+  body += PersonName(rng);
+  body += "</";
+  body += shape.emphasis_tag;
+  body += "> of <font size=2>";
+  body += rng.Pick(Cities());
+  body += "</font>, <small>";
+  body += rng.Pick(MonthNames());
+  body += " ";
+  body += std::to_string(rng.RangeInclusive(1, 28));
+  body += "</small> <tt>#";
+  body += std::to_string(rng.RangeInclusive(1000, 9999));
+  body += "</tt> <cite>";
+  body += rng.Pick(LastNames());
+  body += "</cite> <u>";
+  body += rng.Pick(Cities());
+  body += "</u> <code>";
+  body += std::to_string(rng.RangeInclusive(10, 99));
+  body += "</code> <a href=\"detail.html\">more</a>";
+  return body;
+}
+
+void AppendRecords(const TemplateShape& shape, int record_count, Rng& rng,
+                   std::string* html) {
+  switch (shape.archetype) {
+    case SkewArchetype::kHrSeparated:
+      *html += "<table><tr><td>\n";
+      for (int r = 0; r < record_count; ++r) {
+        if (r > 0) *html += "<hr>\n";
+        *html += RecordBody(shape, rng);
+        *html += "\n";
+      }
+      *html += "</td></tr></table>\n";
+      break;
+    case SkewArchetype::kParagraphs:
+      // Flat paragraph-lead form: a closed <p> lead line followed by the
+      // record's inline fields as direct region children (the wrapped
+      // <p>record</p> form would leave <p> as the region's only
+      // candidate; the flat form keeps all nine in play).
+      *html += "<div>\n";
+      for (int r = 0; r < record_count; ++r) {
+        *html += "<p>";
+        *html += rng.Pick(Cities());
+        *html += "</p>\n";
+        *html += RecordBody(shape, rng);
+        *html += "\n";
+      }
+      *html += "</div>\n";
+      break;
+    case SkewArchetype::kTableRows:
+      // Flat cell-lead form inside one row: a closed <td> lead followed
+      // by the record's inline fields as direct children of the <tr>
+      // region (the wrapped <tr><td>record</td></tr> form would leave
+      // <tr> as the region's only candidate).
+      *html += "<table><tr>\n";
+      for (int r = 0; r < record_count; ++r) {
+        *html += "<td>";
+        *html += rng.Pick(Cities());
+        *html += "</td>";
+        *html += RecordBody(shape, rng);
+        *html += "\n";
+      }
+      *html += "</tr></table>\n";
+      break;
+    case SkewArchetype::kHeadlined:
+      *html += "<div>\n";
+      for (int r = 0; r < record_count; ++r) {
+        *html += "<h4>";
+        *html += PersonName(rng);
+        *html += "</h4>\n";
+        *html += RecordBody(shape, rng);
+        *html += "\n";
+      }
+      *html += "</div>\n";
+      break;
+    case SkewArchetype::kBrBlocks:
+      *html += "<div>\n";
+      for (int r = 0; r < record_count; ++r) {
+        *html += RecordBody(shape, rng);
+        *html += "<br>\n";
+      }
+      *html += "</div>\n";
+      break;
+  }
+}
+
+std::string RenderSkewPage(int template_id, int page_index,
+                           const TemplateSkewOptions& options) {
+  const TemplateShape shape = DecodeShape(template_id);
+  // Content stream: unique per (seed, template, page) so regenerating the
+  // corpus never changes a page already generated.
+  Rng rng(options.seed ^ StableHash64("template-skew-page"),
+          (static_cast<uint64_t>(template_id) << 32) |
+              static_cast<uint64_t>(page_index));
+
+  std::string html;
+  html += "<html><head><title>Listings page ";
+  html += std::to_string(page_index);
+  html += "</title></head>\n<body>\n";
+  html += "<h" + std::to_string(shape.heading_level) + ">";
+  html += rng.Pick(Cities());
+  html += " Listings</h" + std::to_string(shape.heading_level) + ">\n";
+
+  // Page chrome: a fixed-shape nav list (three links; link COUNT does not
+  // change the distinct path set, but keeping it fixed keeps the page
+  // chrome from competing with the record region for fan-out).
+  html += "<";
+  html += shape.chrome_tag;
+  html += ">";
+  for (int link = 0; link < 3; ++link) {
+    html += "<li><a href=\"index.html\">";
+    html += rng.Pick(MonthNames());
+    html += "</a></li>";
+  }
+  html += "</";
+  html += shape.chrome_tag;
+  html += ">\n";
+
+  for (int d = 0; d < shape.wrapper_depth; ++d) html += "<div>\n";
+  const int record_count =
+      rng.RangeInclusive(options.min_records, options.max_records);
+  AppendRecords(shape, record_count, rng, &html);
+  for (int d = 0; d < shape.wrapper_depth; ++d) html += "</div>\n";
+
+  html += "</body></html>\n";
+  return html;
+}
+
+}  // namespace
+
+TemplateSkewCorpus GenerateTemplateSkewCorpus(
+    const TemplateSkewOptions& options) {
+  TemplateSkewCorpus corpus;
+  if (options.num_templates <= 0 || options.num_pages <= 0) return corpus;
+
+  // Zipf weights over template ranks: rank k gets 1 / (k + 1)^s.
+  std::vector<double> cumulative(static_cast<size_t>(options.num_templates));
+  double total = 0.0;
+  for (int k = 0; k < options.num_templates; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), options.zipf_exponent);
+    cumulative[static_cast<size_t>(k)] = total;
+  }
+
+  Rng assign(options.seed ^ StableHash64("template-skew-assign"));
+  corpus.pages.reserve(static_cast<size_t>(options.num_pages));
+  corpus.template_of_page.reserve(static_cast<size_t>(options.num_pages));
+  corpus.pages_per_template.assign(
+      static_cast<size_t>(options.num_templates), 0);
+  for (int page = 0; page < options.num_pages; ++page) {
+    const double draw = assign.NextDouble() * total;
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), draw);
+    const int template_id =
+        std::min(static_cast<int>(it - cumulative.begin()),
+                 options.num_templates - 1);
+    corpus.template_of_page.push_back(template_id);
+    ++corpus.pages_per_template[static_cast<size_t>(template_id)];
+    corpus.pages.push_back(RenderSkewPage(template_id, page, options));
+  }
+  for (int count : corpus.pages_per_template) {
+    if (count > 0) ++corpus.distinct_templates_used;
+  }
+  return corpus;
+}
+
+}  // namespace webrbd::gen

@@ -1,0 +1,77 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Template-skew corpus mode: N structurally distinct page templates with a
+// Zipf-distributed page count per template. Real crawls are dominated by a
+// few hot templates with a long tail of rare ones — exactly the shape that
+// makes template memoization (extract/template_cache.h) pay. Unlike the
+// SiteTemplate renderers, whose probabilistic inline markup lets two pages
+// of one site differ in tag vocabulary, every page of one skew template
+// carries an IDENTICAL distinct tag-path set: only record count and text
+// content vary. That makes the corpus a precision instrument — the cache's
+// hit rate on it is (pages - distinct templates) / pages by construction,
+// so benchmark regressions point at the cache, not at generator noise.
+
+#ifndef WEBRBD_GEN_TEMPLATE_SKEW_H_
+#define WEBRBD_GEN_TEMPLATE_SKEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace webrbd::gen {
+
+/// Knobs for GenerateTemplateSkewCorpus.
+struct TemplateSkewOptions {
+  /// Distinct page templates. Each index maps to a unique combination of
+  /// separator archetype, emphasis tag, heading level, and wrapper nesting
+  /// (mixed-radix decomposition), so any two templates differ in their
+  /// distinct tag-path set. At most 720 unique combinations exist; beyond
+  /// that, templates repeat structure.
+  int num_templates = 100;
+
+  /// Total pages. Template assignment is Zipf-distributed: template rank k
+  /// gets weight 1 / (k + 1)^zipf_exponent.
+  int num_pages = 10000;
+
+  /// Skew strength. 0 = uniform; ~1 = classic web-like skew where the top
+  /// handful of templates covers most pages.
+  double zipf_exponent = 1.0;
+
+  /// Records per page, uniform in [min_records, max_records]. The default
+  /// span keeps every page of a template within the template cache's
+  /// factor-4 separator-count plausibility window (40 / 14 < 4), at a
+  /// listing-page record count that amortizes the per-document fixed
+  /// costs the way a real 1998 directory page did.
+  int min_records = 14;
+  int max_records = 40;
+
+  /// Master seed. Same options => byte-identical corpus, any platform.
+  uint64_t seed = 0x5eedf00d;
+};
+
+/// A generated skew corpus.
+struct TemplateSkewCorpus {
+  /// Page HTML, in corpus order.
+  std::vector<std::string> pages;
+
+  /// Which template produced pages[i].
+  std::vector<int> template_of_page;
+
+  /// Histogram: pages generated per template (index = template id).
+  std::vector<int> pages_per_template;
+
+  /// Templates that produced at least one page (<= options.num_templates;
+  /// heavy skew can starve the tail). A cache-enabled batch over `pages`
+  /// misses exactly this many times.
+  int distinct_templates_used = 0;
+};
+
+/// Renders the corpus. Deterministic in `options`; pages of one template
+/// share their distinct tag-path set (and therefore their template-cache
+/// fingerprint) by construction.
+TemplateSkewCorpus GenerateTemplateSkewCorpus(
+    const TemplateSkewOptions& options = {});
+
+}  // namespace webrbd::gen
+
+#endif  // WEBRBD_GEN_TEMPLATE_SKEW_H_

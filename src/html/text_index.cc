@@ -50,12 +50,17 @@ size_t TextIndex::ToDocumentOffset(size_t text_offset) const {
 
 std::vector<size_t> TextIndex::SeparatorPositions(
     const std::string& tag) const {
+  return SeparatorPositionsInRegion(*tree_, *node_, tag);
+}
+
+std::vector<size_t> TextIndex::SeparatorPositionsInRegion(
+    const TagTree& tree, const TagNode& node, const std::string& tag) {
   std::vector<size_t> positions;
-  const TagSymbol symbol = tree_->SymbolOf(tag);
+  const TagSymbol symbol = tree.SymbolOf(tag);
   if (symbol == kInvalidTagSymbol) return positions;
-  const auto [first, last] = tree_->TokenSpan(*node_);
-  const auto& tokens = tree_->tokens();
-  const auto& symbols = tree_->token_symbols();
+  const auto [first, last] = tree.TokenSpan(node);
+  const auto& tokens = tree.tokens();
+  const auto& symbols = tree.token_symbols();
   for (size_t i = first; i <= last && i < tokens.size(); ++i) {
     if (symbols[i] == symbol &&
         tokens[i].kind == HtmlToken::Kind::kStartTag) {

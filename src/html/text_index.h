@@ -37,6 +37,14 @@ class TextIndex {
   /// `tag` start tags within the region, ascending.
   std::vector<size_t> SeparatorPositions(const std::string& tag) const;
 
+  /// Same scan without constructing an index: separator positions come
+  /// straight off the region's token span, no text materialization. For
+  /// callers that need cut points but never read the region text (an
+  /// ontology with no matching rules produces an empty Data-Record Table,
+  /// so there is nothing to recognize or reposition).
+  static std::vector<size_t> SeparatorPositionsInRegion(
+      const TagTree& tree, const TagNode& node, const std::string& tag);
+
  private:
   struct Segment {
     size_t text_begin;  // offset of this segment's first byte in text_

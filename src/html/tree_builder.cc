@@ -2,8 +2,10 @@
 
 #include "html/tree_builder.h"
 
-#include <map>
+#include <algorithm>
+#include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -92,6 +94,19 @@ Status InternOverflow() {
       "tag-name intern table overflow (more than 65534 distinct tag names)");
 }
 
+// Interner pool bytes count against the ARENA byte budget: the pool is
+// monotonic and survives DocumentArena::Reset() by design (warm symbols
+// across a batch chunk), which also means a corpus of documents with
+// all-distinct tag names grows it for the life of the worker. Charging it
+// to max_arena_bytes turns that unbounded growth into an ordinary
+// per-document kResourceExhausted degradation.
+Status ArenaBudgetExceeded(const robust::DocumentLimits& limits) {
+  obs::Robust().trip_arena_bytes->Increment();
+  return Status::ResourceExhausted(
+      "tag tree + tag-name intern table exceed max_arena_bytes " +
+      std::to_string(limits.max_arena_bytes));
+}
+
 // Implements the paper's Step 2 on the token stream: drops useless tokens
 // and inserts missing end tags so that the result is balanced and properly
 // nested. An unclosed tag's synthesized end-tag is placed just before the
@@ -102,14 +117,31 @@ Status InternOverflow() {
 // placing a synthesized end tag consults the path-compressed
 // SurvivingTagIndex (instead of rescanning the token stream).
 Result<BalancedStream> BalanceTokens(std::vector<HtmlToken> raw,
-                                     TagNameInterner& interner) {
+                                     DocumentArena& arena,
+                                     const robust::DocumentLimits& limits) {
+  TagNameInterner& interner = arena.interner();
+  // Direct-mapped memo in front of the interner's hash map: a
+  // markup-dense page interns the same handful of names hundreds of
+  // times, and the per-call map lookup is the single largest cost of this
+  // whole pass. Keyed by (first byte, length) — a collision or a cold
+  // name just falls through to the real Intern, so the memo can only
+  // return symbols the interner itself produced.
+  struct InternMemoEntry {
+    std::string_view name;
+    TagSymbol symbol = kInvalidTagSymbol;
+  };
+  std::array<InternMemoEntry, 32> intern_memo;
+
   // Discard comments / declarations / processing instructions up front
   // (the paper's "useless" <!... tags), expand self-closing tags, and
-  // intern every surviving tag name.
+  // intern every surviving tag name. The merge below may append a few
+  // synthesized end tags; the extra headroom lets the in-place path run
+  // without a mid-stream reallocation on typical markup.
   std::vector<HtmlToken> tokens;
   std::vector<TagSymbol> symbols;
-  tokens.reserve(raw.size());
-  symbols.reserve(raw.size());
+  const size_t headroom = raw.size() + raw.size() / 16 + 8;
+  tokens.reserve(headroom);
+  symbols.reserve(headroom);
   for (HtmlToken& token : raw) {
     if (token.kind == HtmlToken::Kind::kComment ||
         token.kind == HtmlToken::Kind::kProcessing) {
@@ -117,8 +149,29 @@ Result<BalancedStream> BalanceTokens(std::vector<HtmlToken> raw,
     }
     TagSymbol symbol = kInvalidTagSymbol;
     if (token.IsTag()) {
-      symbol = interner.Intern(token.name);
-      if (symbol == kInvalidTagSymbol) return InternOverflow();
+      // First byte, last byte, and length — enough to spread the markup
+      // vocabulary (notably td/tt/tr, which share first byte and length).
+      const size_t first = static_cast<unsigned char>(
+          token.name.empty() ? 0 : token.name.front());
+      const size_t last = static_cast<unsigned char>(
+          token.name.empty() ? 0 : token.name.back());
+      const size_t slot =
+          (first * 31 + last * 7 + token.name.size()) % intern_memo.size();
+      InternMemoEntry& memo = intern_memo[slot];
+      if (memo.name == token.name) {
+        symbol = memo.symbol;
+      } else {
+        const size_t names_before = interner.size();
+        symbol = interner.Intern(token.name);
+        if (symbol == kInvalidTagSymbol) return InternOverflow();
+        if (interner.size() != names_before &&
+            robust::LimitExceeded(
+                arena.bytes_in_use() + interner.storage_bytes(),
+                limits.max_arena_bytes)) {
+          return ArenaBudgetExceeded(limits);
+        }
+        memo = {token.name, symbol};
+      }
     }
     if (token.kind == HtmlToken::Kind::kStartTag && token.self_closing) {
       HtmlToken end;
@@ -143,20 +196,38 @@ Result<BalancedStream> BalanceTokens(std::vector<HtmlToken> raw,
   // order; back() is the innermost open tag of that symbol. Indexed by
   // symbol — the intern table keeps these ids dense.
   std::vector<std::vector<size_t>> open_by_symbol;
-  // insert_before token index -> synthesized end tags (in close order).
+  // (insert_before token index, synthesized end tag) pairs, collected in
+  // close order and stable-sorted by index before the merge — same-index
+  // ends keep their close order.
   struct PendingEnd {
     HtmlToken token;
     TagSymbol symbol;
   };
-  std::map<size_t, std::vector<PendingEnd>> insertions;
+  std::vector<std::pair<size_t, PendingEnd>> insertions;
   std::vector<bool> discard(tokens.size(), false);
-  SurvivingTagIndex surviving(tokens, discard);
+  size_t discarded = 0;
+  // Built lazily: an unclosed tag's end usually lands a token or two past
+  // its start (void <hr>/<br> markup), found by a short forward scan. The
+  // path-compressed index is only materialized when a scan would
+  // degenerate — long discarded stretches from stray-end-tag storms.
+  std::optional<SurvivingTagIndex> surviving;
+
+  auto resolve_surviving = [&](size_t from) {
+    const size_t scan_limit = std::min(tokens.size(), from + 64);
+    for (size_t j = from; j < scan_limit; ++j) {
+      if (tokens[j].IsTag() && !discard[j]) return j;
+    }
+    if (scan_limit == tokens.size()) return tokens.size();
+    if (!surviving.has_value()) surviving.emplace(tokens, discard);
+    return surviving->Resolve(from);
+  };
 
   auto close_unmatched = [&](const OpenTag& open) {
-    size_t at = surviving.Resolve(open.token_index + 1);
-    insertions[at].push_back(PendingEnd{
-        SyntheticEndTag(tokens, tokens[open.token_index].name, at),
-        open.symbol});
+    size_t at = resolve_surviving(open.token_index + 1);
+    insertions.emplace_back(
+        at, PendingEnd{
+                SyntheticEndTag(tokens, tokens[open.token_index].name, at),
+                open.symbol});
   };
 
   for (size_t i = 0; i < tokens.size(); ++i) {
@@ -171,6 +242,7 @@ Result<BalancedStream> BalanceTokens(std::vector<HtmlToken> raw,
       const TagSymbol symbol = symbols[i];
       if (symbol >= open_by_symbol.size() || open_by_symbol[symbol].empty()) {
         discard[i] = true;  // end tag with no corresponding start: useless
+        ++discarded;
         continue;
       }
       size_t match = open_by_symbol[symbol].back();
@@ -190,18 +262,59 @@ Result<BalancedStream> BalanceTokens(std::vector<HtmlToken> raw,
     close_unmatched(stack[s]);
   }
 
+  // Already balanced (nothing discarded, nothing synthesized): the
+  // filtered stream IS the result — no merge pass, no re-copy.
+  if (insertions.empty() && discarded == 0) {
+    return BalancedStream{std::move(tokens), std::move(symbols)};
+  }
+
   // Merge: emit synthesized ends scheduled before each index, then the
-  // surviving original token.
+  // surviving original token. Two sorted streams, one pointer walk.
+  std::stable_sort(
+      insertions.begin(), insertions.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Nothing discarded and room reserved: merge IN PLACE, shifting the
+  // tail backward past each insertion point instead of re-copying the
+  // whole stream into fresh vectors. Writing back-to-front keeps every
+  // unread original ahead of the write cursor, and same-index insertions
+  // — ascending in the sorted vector — are emitted in order by walking
+  // them from the back.
+  if (discarded == 0 &&
+      tokens.capacity() >= tokens.size() + insertions.size()) {
+    const size_t original = tokens.size();
+    tokens.resize(original + insertions.size());
+    symbols.resize(original + insertions.size());
+    size_t write = tokens.size();
+    size_t pending = insertions.size();
+    for (size_t i = original;; --i) {
+      while (pending > 0 && insertions[pending - 1].first == i) {
+        --pending;
+        --write;
+        tokens[write] = std::move(insertions[pending].second.token);
+        symbols[write] = insertions[pending].second.symbol;
+      }
+      if (i == 0) break;
+      --write;
+      if (write != i - 1) {
+        tokens[write] = std::move(tokens[i - 1]);
+        symbols[write] = symbols[i - 1];
+      }
+    }
+    return BalancedStream{std::move(tokens), std::move(symbols)};
+  }
+
   BalancedStream balanced;
   balanced.tokens.reserve(tokens.size() + insertions.size());
   balanced.symbols.reserve(tokens.size() + insertions.size());
+  size_t next_insertion = 0;
   for (size_t i = 0; i <= tokens.size(); ++i) {
-    auto it = insertions.find(i);
-    if (it != insertions.end()) {
-      for (PendingEnd& end : it->second) {
-        balanced.tokens.push_back(std::move(end.token));
-        balanced.symbols.push_back(end.symbol);
-      }
+    while (next_insertion < insertions.size() &&
+           insertions[next_insertion].first == i) {
+      PendingEnd& end = insertions[next_insertion].second;
+      balanced.tokens.push_back(std::move(end.token));
+      balanced.symbols.push_back(end.symbol);
+      ++next_insertion;
     }
     if (i < tokens.size() && !discard[i]) {
       balanced.tokens.push_back(std::move(tokens[i]));
@@ -262,12 +375,10 @@ Result<TagNode*> BuildFromBalanced(DocumentArena& arena,
               "tag nesting exceeds max_tree_depth " +
               std::to_string(limits.max_tree_depth));
         }
-        if (robust::LimitExceeded(arena.bytes_in_use(),
-                                  limits.max_arena_bytes)) {
-          obs::Robust().trip_arena_bytes->Increment();
-          return Status::ResourceExhausted(
-              "tag tree exceeds max_arena_bytes " +
-              std::to_string(limits.max_arena_bytes));
+        if (robust::LimitExceeded(
+                arena.bytes_in_use() + arena.interner().storage_bytes(),
+                limits.max_arena_bytes)) {
+          return ArenaBudgetExceeded(limits);
         }
         TagNode* node = arena.New<TagNode>();
         node->symbol = stream.symbols[i];
@@ -326,32 +437,71 @@ Result<TagNode*> BuildFromBalanced(DocumentArena& arena,
   }
   root->children =
       arena.CopyArray(pending_children.data(), pending_children.size());
+  // Final budget check: child-span copies and text spans land at CLOSE
+  // time, after the last per-start-tag check, so a document can finish
+  // over budget without ever tripping mid-build.
+  if (robust::LimitExceeded(
+          arena.bytes_in_use() + arena.interner().storage_bytes(),
+          limits.max_arena_bytes)) {
+    return ArenaBudgetExceeded(limits);
+  }
   return root;
+}
+
+// Step 3 behind an ArenaHandle: shared by the public from-balanced entry
+// point and the all-in-one builders. Both tree_build spans (Step 2 in
+// LexAndBalance, Step 3 here) land in the same stage histogram.
+Result<TagTree> FromBalancedWithHandle(BalancedDocument balanced,
+                                       const robust::DocumentLimits& limits,
+                                       ArenaHandle arena) {
+  DocumentArena& a = *arena.get();
+  obs::ScopedTimer timer(obs::Stages().tree_build);
+  const size_t document_size = balanced.document->size();
+  BalancedStream stream{std::move(balanced.tokens),
+                        std::move(balanced.symbols)};
+  auto root = BuildFromBalanced(a, stream, document_size, limits);
+  if (!root.ok()) return root.status();
+  obs::Html().arena_bytes->Set(static_cast<double>(a.bytes_in_use()));
+  obs::Html().intern_table_size->Set(
+      static_cast<double>(a.interner().size()));
+  return TagTree(std::move(arena), *root, std::move(stream.tokens),
+                 std::move(stream.symbols), std::move(balanced.document));
 }
 
 Result<TagTree> BuildWithArena(std::string_view document,
                                const robust::DocumentLimits& limits,
                                ArenaHandle arena) {
-  DocumentArena& a = *arena.get();
-  // The zero-copy lexer borrows the buffer it lexes (html/lexer.h), so the
-  // tree's stable document copy is made FIRST and that copy is what gets
-  // lexed — behind a unique_ptr, whose heap address survives TagTree moves.
-  auto doc = std::make_unique<std::string>(document);
-  auto lexed = LexHtml(*doc, limits, a);  // records the lex stage span
-  if (!lexed.ok()) return lexed.status();
-  obs::ScopedTimer timer(obs::Stages().tree_build);
-  auto balanced = BalanceTokens(std::move(lexed).value(), a.interner());
+  auto balanced = LexAndBalance(document, limits, *arena.get());
   if (!balanced.ok()) return balanced.status();
-  auto root = BuildFromBalanced(a, *balanced, document.size(), limits);
-  if (!root.ok()) return root.status();
-  obs::Html().arena_bytes->Set(static_cast<double>(a.bytes_in_use()));
-  obs::Html().intern_table_size->Set(
-      static_cast<double>(a.interner().size()));
-  return TagTree(std::move(arena), *root, std::move(balanced->tokens),
-                 std::move(balanced->symbols), std::move(doc));
+  return FromBalancedWithHandle(std::move(balanced).value(), limits,
+                                std::move(arena));
 }
 
 }  // namespace
+
+Result<BalancedDocument> LexAndBalance(std::string_view document,
+                                       const robust::DocumentLimits& limits,
+                                       DocumentArena& arena) {
+  // The zero-copy lexer borrows the buffer it lexes (html/lexer.h), so the
+  // stream's stable document copy is made FIRST and that copy is what gets
+  // lexed — behind a unique_ptr, whose heap address survives moves of the
+  // BalancedDocument (and of any TagTree later built from it).
+  auto doc = std::make_unique<std::string>(document);
+  auto lexed = LexHtml(*doc, limits, arena);  // records the lex stage span
+  if (!lexed.ok()) return lexed.status();
+  obs::ScopedTimer timer(obs::Stages().tree_build);
+  auto balanced = BalanceTokens(std::move(lexed).value(), arena, limits);
+  if (!balanced.ok()) return balanced.status();
+  return BalancedDocument{std::move(balanced->tokens),
+                          std::move(balanced->symbols), std::move(doc)};
+}
+
+Result<TagTree> BuildTagTreeFromBalanced(BalancedDocument balanced,
+                                         const robust::DocumentLimits& limits,
+                                         DocumentArena* arena) {
+  return FromBalancedWithHandle(std::move(balanced), limits,
+                                ArenaHandle(arena));
+}
 
 Result<TagTree> BuildTagTree(std::string_view document,
                              const robust::DocumentLimits& limits) {

@@ -20,14 +20,38 @@
 #ifndef WEBRBD_HTML_TREE_BUILDER_H_
 #define WEBRBD_HTML_TREE_BUILDER_H_
 
+#include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "html/arena.h"
+#include "html/lexer.h"
 #include "html/tag_tree.h"
 #include "robust/limits.h"
 #include "util/result.h"
 
 namespace webrbd {
+
+/// Steps 1+2 only: the lexed, balanced, symbol-interned token stream plus
+/// the stable document copy its string_views borrow. The intermediate
+/// currency of the split pipeline below — and everything a STREAM-LEVEL
+/// consumer needs: the template cache fingerprints pages and re-applies
+/// memoized boundaries on this stream alone, skipping Step 3 (node
+/// construction, the most expensive phase) for every cache hit of a
+/// rule-less ontology.
+struct BalancedDocument {
+  /// Balanced stream: properly nested, comments/declarations dropped,
+  /// missing end tags synthesized (token.synthetic).
+  std::vector<HtmlToken> tokens;
+
+  /// symbols[i] is tokens[i]'s interned tag symbol in the arena the stream
+  /// was balanced through (kInvalidTagSymbol for text tokens).
+  std::vector<TagSymbol> symbols;
+
+  /// The stable copy of the input that every token view points into.
+  std::unique_ptr<std::string> document;
+};
 
 /// Builds the tag tree of `document`. Never fails on malformed markup (the
 /// algorithm is specified to repair it); it fails with kResourceExhausted
@@ -47,6 +71,23 @@ namespace webrbd {
 [[nodiscard]] Result<TagTree> BuildTagTree(std::string_view document,
                                            const robust::DocumentLimits& limits,
                                            DocumentArena* arena);
+
+/// Steps 1+2 of BuildTagTree as a separate phase: copies `document`, lexes
+/// it, and balances the token stream, interning tag names into `arena`'s
+/// table. The result feeds either a stream-level consumer or
+/// BuildTagTreeFromBalanced; `arena` must be the one later passed there.
+/// Fails exactly when the corresponding BuildTagTree prefix would.
+[[nodiscard]] Result<BalancedDocument> LexAndBalance(
+    std::string_view document, const robust::DocumentLimits& limits,
+    DocumentArena& arena);
+
+/// Step 3: builds the tag tree out of an already-balanced stream. `arena`
+/// must be the arena `balanced` was produced through (its symbols index
+/// that arena's intern table) and must outlive the returned tree. Together
+/// with LexAndBalance this is exactly the three-argument BuildTagTree.
+[[nodiscard]] Result<TagTree> BuildTagTreeFromBalanced(
+    BalancedDocument balanced, const robust::DocumentLimits& limits,
+    DocumentArena* arena);
 
 }  // namespace webrbd
 

@@ -67,6 +67,20 @@ const CacheMetrics& Cache() {
   return cache;
 }
 
+const TemplateCacheMetrics& Templates() {
+  static const TemplateCacheMetrics templates = []() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    TemplateCacheMetrics t;
+    t.hits = registry.GetCounter(mn::kTemplateCacheHits);
+    t.misses = registry.GetCounter(mn::kTemplateCacheMisses);
+    t.fallbacks = registry.GetCounter(mn::kTemplateCacheFallbacks);
+    t.evictions = registry.GetCounter(mn::kTemplateCacheEvictions);
+    t.size = registry.GetGauge(mn::kTemplateCacheSize);
+    return t;
+  }();
+  return templates;
+}
+
 uint64_t RobustMetrics::FatalTripTotal() const {
   return trip_doc_bytes->count() + trip_tokens->count() +
          trip_depth->count() + trip_arena_bytes->count();
@@ -132,7 +146,10 @@ const std::vector<std::string>& AllDocumentedMetricNames() {
          {mn::kPipelineDocuments, mn::kPoolQueueDepth, mn::kPoolWorkers,
           mn::kPoolUtilization, mn::kPoolTasks, mn::kPoolInlineRuns,
           mn::kPoolBusyNanos, mn::kPoolSubmitBlock, mn::kRcacheHits,
-          mn::kRcacheMisses, mn::kRcacheCompile, mn::kRobustTripDocBytes,
+          mn::kRcacheMisses, mn::kRcacheCompile, mn::kTemplateCacheHits,
+          mn::kTemplateCacheMisses, mn::kTemplateCacheFallbacks,
+          mn::kTemplateCacheEvictions, mn::kTemplateCacheSize,
+          mn::kRobustTripDocBytes,
           mn::kRobustTripTokens, mn::kRobustTripDepth, mn::kRobustTripAttrs,
           mn::kRobustTripAttrValue, mn::kRobustTripRegexClosure,
           mn::kRobustTripArenaBytes, mn::kRobustLexerRecoveries,
@@ -149,6 +166,7 @@ void EnsureDocumentedMetricsRegistered() {
   Stages();
   Pool();
   Cache();
+  Templates();
   Robust();
   Html();
 }

@@ -110,6 +110,23 @@ inline constexpr std::string_view kHtmlLexerTokens =
 inline constexpr std::string_view kHtmlLexerNameSpills =
     "webrbd_html_lexer_name_spills_total";
 
+// Template cache (extract/template_cache.h). Process-wide totals across
+// every cache instance. hits = documents whose boundary was served from a
+// memoized template; fallbacks = hits whose re-validation failed (the full
+// rank ran anyway and refreshed the entry); evictions = entries dropped by
+// LRU capacity pressure. size is the entry count of the most recently
+// touched cache instance.
+inline constexpr std::string_view kTemplateCacheHits =
+    "webrbd_template_cache_hits_total";
+inline constexpr std::string_view kTemplateCacheMisses =
+    "webrbd_template_cache_misses_total";
+inline constexpr std::string_view kTemplateCacheFallbacks =
+    "webrbd_template_cache_fallbacks_total";
+inline constexpr std::string_view kTemplateCacheEvictions =
+    "webrbd_template_cache_evictions_total";
+inline constexpr std::string_view kTemplateCacheSize =
+    "webrbd_template_cache_size";
+
 }  // namespace metric_names
 
 /// Pre-resolved stage histograms for the integrated pipeline. All pointers
@@ -159,6 +176,17 @@ struct CacheMetrics {
 };
 
 const CacheMetrics& Cache();
+
+/// Pre-resolved template-cache metrics (extract/template_cache.h).
+struct TemplateCacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* fallbacks;
+  Counter* evictions;
+  Gauge* size;
+};
+
+const TemplateCacheMetrics& Templates();
 
 /// Pre-resolved robustness-layer counters (robust/limits.h). The trip
 /// counters map 1:1 to DocumentLimits caps; lexer_recoveries counts

@@ -1,0 +1,58 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// 64-bit FNV-1a, fed field-by-field with length prefixes so that
+// ("ab","c") and ("a","bc") hash differently. Shared by every structural
+// fingerprint in the repository (ontology fingerprints in
+// extract/recognizer_cache.h, page fingerprints in
+// extract/template_cache.h) so the length-prefix discipline cannot drift
+// between them.
+
+#ifndef WEBRBD_UTIL_FNV_H_
+#define WEBRBD_UTIL_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace webrbd {
+
+class FnvHasher {
+ public:
+  /// Folds the raw bytes in, with no length prefix. Use AddField for
+  /// variable-length data so adjacent fields cannot alias.
+  void AddBytes(std::string_view bytes) {
+    for (unsigned char c : bytes) {
+      hash_ ^= c;
+      hash_ *= kPrime;
+    }
+  }
+
+  /// Folds a variable-length field in: its length first, then its bytes.
+  void AddField(std::string_view field) {
+    AddSize(field.size());
+    AddBytes(field);
+  }
+
+  /// Folds a size/integer in as eight little-endian bytes (fixed width, so
+  /// no prefix is needed).
+  void AddSize(size_t n) { AddU64(static_cast<uint64_t>(n)); }
+
+  /// Folds a 64-bit value in as eight little-endian bytes.
+  void AddU64(uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      unsigned char byte = static_cast<unsigned char>((v >> shift) & 0xff);
+      hash_ ^= byte;
+      hash_ *= kPrime;
+    }
+  }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  static constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t hash_ = 14695981039346656037ull;
+};
+
+}  // namespace webrbd
+
+#endif  // WEBRBD_UTIL_FNV_H_

@@ -179,8 +179,9 @@ TEST(LexerEquivalenceTest, EveryAdversarialShapeMatchesLegacy) {
     // Production scale under production caps (exercises the recoverable
     // degradation paths identically), and a small scale with no caps at
     // all (exercises the unbounded scans identically).
-    const std::string production_doc = gen::AdversarialCorpus(9).at(
-        static_cast<size_t>(shape));
+    const std::string production_doc =
+        gen::AdversarialCorpus(gen::AllAdversarialShapes().size())
+            .at(static_cast<size_t>(shape));
     EXPECT_EQ(
         CompareLexers(production_doc, robust::DocumentLimits::Production()),
         "")
@@ -229,7 +230,8 @@ TEST(LexerEquivalenceTest, EightThreadsAgreeWithLegacy) {
   // the TSan batch job) this pins down that the fast path has no hidden
   // shared state.
   constexpr int kThreads = 8;
-  const std::vector<std::string> shared = gen::AdversarialCorpus(9);
+  const std::vector<std::string> shared =
+      gen::AdversarialCorpus(gen::AllAdversarialShapes().size());
   std::vector<std::string> failures(kThreads);
   std::vector<std::thread> workers;
   workers.reserve(kThreads);

@@ -170,6 +170,70 @@ TEST(DocumentLimitsTest, UnlimitedModeTripsNothing) {
   EXPECT_EQ(obs::Robust().FatalTripTotal(), fatal_before);
 }
 
+TEST(DocumentLimitsTest, ArenaBytesCapCountsInternPool) {
+  // distinct-tag-storm: thousands of never-repeated tag names. The tag
+  // TREE for such a page is small, but the monotonic intern pool grows by
+  // every name; max_arena_bytes must charge that pool, or the storm
+  // bypasses the cap entirely.
+  DocumentLimits limits = DocumentLimits::Production();
+  limits.max_arena_bytes = 64 << 10;  // 64 KiB
+  const uint64_t before = obs::Robust().trip_arena_bytes->count();
+  auto tree = BuildTagTree(
+      RenderAdversarialDocument(AdversarialShape::kDistinctTagStorm, 4000),
+      limits);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(tree.status().message().find("max_arena_bytes"),
+            std::string::npos);
+  EXPECT_EQ(obs::Robust().trip_arena_bytes->count(), before + 1);
+}
+
+TEST(DocumentLimitsTest, InternPoolAccountingSurvivesArenaReset) {
+  // The intern pool outlives Reset() by design (warm-arena reuse). The
+  // accounting must follow: a second storm document with all-new names
+  // (different scale => disjoint name prefix) trips a budget the first
+  // document fit under.
+  // Scale 1500 builds a ~216 KiB tree plus a ~16 KiB intern pool
+  // (232,808 bytes); a 236 KiB budget clears that, but not the same tree
+  // with the pool grown to ~28 KiB by a second round of all-new names
+  // (245,240 bytes).
+  DocumentLimits limits = DocumentLimits::Production();
+  limits.max_arena_bytes = 236 << 10;
+  DocumentArena arena;
+  auto first = BuildTagTree(
+      RenderAdversarialDocument(AdversarialShape::kDistinctTagStorm, 1500),
+      limits, &arena);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const size_t retained = arena.interner().storage_bytes();
+  EXPECT_GT(retained, 0u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.interner().storage_bytes(), retained);
+  auto second = BuildTagTree(
+      RenderAdversarialDocument(AdversarialShape::kDistinctTagStorm, 1501),
+      limits, &arena);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(second.status().message().find("max_arena_bytes"),
+            std::string::npos);
+}
+
+TEST(DocumentLimitsTest, DistinctTagStormDegradesCleanlyUnderProduction) {
+  // Under stock production limits the storm must resolve per-document —
+  // either a clean build or a clean kResourceExhausted, never a crash,
+  // and the arena stays within the cap either way.
+  const DocumentLimits production = DocumentLimits::Production();
+  DocumentArena arena;
+  auto tree = BuildTagTree(
+      RenderAdversarialDocument(AdversarialShape::kDistinctTagStorm, 8000),
+      production, &arena);
+  if (!tree.ok()) {
+    EXPECT_EQ(tree.status().code(), Status::Code::kResourceExhausted);
+  }
+  EXPECT_LE(arena.bytes_in_use() + arena.interner().storage_bytes(),
+            production.max_arena_bytes);
+}
+
 TEST(DocumentLimitsTest, EveryShapeIsDeterministic) {
   for (AdversarialShape shape : gen::AllAdversarialShapes()) {
     EXPECT_EQ(RenderAdversarialDocument(shape, 64),

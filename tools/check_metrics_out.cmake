@@ -31,6 +31,11 @@ set(DOCUMENTED_METRICS
     webrbd_rcache_hits_total
     webrbd_rcache_misses_total
     webrbd_rcache_compile_seconds
+    webrbd_template_cache_hits_total
+    webrbd_template_cache_misses_total
+    webrbd_template_cache_fallbacks_total
+    webrbd_template_cache_evictions_total
+    webrbd_template_cache_size
     webrbd_robust_limit_trips_doc_bytes_total
     webrbd_robust_limit_trips_tokens_total
     webrbd_robust_limit_trips_depth_total

@@ -37,6 +37,8 @@
 // FILE may be "-" for stdin.
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -98,6 +100,53 @@ robust::DocumentLimits LimitsFromCli(const CliOptions& cli) {
   return limits;
 }
 
+// Strict parsing for integer-valued flags: the whole value must be one
+// non-negative decimal integer within [0, max_value]. The previous
+// strtol(v, nullptr, 10) calls silently turned "--threads abc" into 0 and
+// ignored trailing garbage ("--generate 10x"); every such input is a
+// usage error now.
+bool ParseCount(const char* flag, const char* v, long long max_value,
+                long long* out) {
+  if (v == nullptr || *v == '\0') {
+    std::fprintf(stderr, "%s: missing value\n", flag);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') {
+    std::fprintf(stderr, "%s: expected a decimal integer, got \"%s\"\n", flag,
+                 v);
+    return false;
+  }
+  if (errno == ERANGE || parsed < 0 || parsed > max_value) {
+    std::fprintf(stderr, "%s: value out of range [0, %lld]: \"%s\"\n", flag,
+                 max_value, v);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+// Same discipline for fractional flags (--threshold): full-string parse,
+// finite, non-negative.
+bool ParseFraction(const char* flag, const char* v, double* out) {
+  if (v == nullptr || *v == '\0') {
+    std::fprintf(stderr, "%s: missing value\n", flag);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE || !(parsed >= 0.0)) {
+    std::fprintf(stderr, "%s: expected a non-negative number, got \"%s\"\n",
+                 flag, v);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -125,9 +174,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       if (v == nullptr) return false;
       options->heuristics = v;
     } else if (arg == "--threshold") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options->threshold = std::atof(v);
+      if (!ParseFraction("--threshold", next(), &options->threshold)) {
+        return false;
+      }
     } else if (arg == "--ontology") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -139,34 +188,35 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--keep-leading") {
       options->keep_leading = true;
     } else if (arg == "--threads") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options->threads = static_cast<int>(std::strtol(v, nullptr, 10));
+      long long threads = 0;
+      if (!ParseCount("--threads", next(), INT_MAX, &threads)) return false;
+      options->threads = static_cast<int>(threads);
     } else if (arg == "--chunk-size") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options->chunk_size = std::strtoll(v, nullptr, 10);
-      if (options->chunk_size < 0) {
-        std::fprintf(stderr, "--chunk-size must be >= 0\n");
+      if (!ParseCount("--chunk-size", next(), LLONG_MAX,
+                      &options->chunk_size)) {
         return false;
       }
     } else if (arg == "--generate") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options->generate = static_cast<int>(std::strtol(v, nullptr, 10));
+      long long n = 0;
+      if (!ParseCount("--generate", next(), INT_MAX, &n)) return false;
+      options->generate = static_cast<int>(n);
     } else if (arg == "--generate-adversarial") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options->generate_adversarial =
-          static_cast<int>(std::strtol(v, nullptr, 10));
+      long long n = 0;
+      if (!ParseCount("--generate-adversarial", next(), INT_MAX, &n)) {
+        return false;
+      }
+      options->generate_adversarial = static_cast<int>(n);
     } else if (arg == "--max-doc-bytes") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options->max_doc_bytes = std::strtoll(v, nullptr, 10);
+      // -1 stays the internal "keep the mode's default" sentinel; the user
+      // can only set values >= 0 (0 = unlimited).
+      if (!ParseCount("--max-doc-bytes", next(), LLONG_MAX,
+                      &options->max_doc_bytes)) {
+        return false;
+      }
     } else if (arg == "--max-depth") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options->max_depth = std::strtoll(v, nullptr, 10);
+      if (!ParseCount("--max-depth", next(), LLONG_MAX, &options->max_depth)) {
+        return false;
+      }
     } else if (arg == "--unlimited") {
       options->unlimited = true;
     } else if (arg == "--metrics-out") {
