@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+# Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+"""Load driver and lifecycle harness for the webrbd_serve daemon.
+
+Spawns the daemon on an ephemeral port, generates a real extractable
+corpus via `webrbd_cli batch --dump-corpus`, then drives POST /extract
+with bounded-concurrency asyncio clients while exercising the full
+operational story in one run:
+
+  1. concurrent extraction traffic (every request independently timed);
+  2. a hot POST /reload-ontology mid-run — traffic must not observe a gap;
+  3. a GET /metrics scrape that must carry the webrbd_serve_* family;
+  4. SIGTERM — the daemon must drain gracefully (exit 0, final snapshot).
+
+Hard assertions (exit 1 on violation):
+  - zero silent drops: every issued request gets a complete HTTP response;
+  - every extraction response is 200 with the extraction JSON shape;
+  - the client-side p99 latency stays under --p99-bound seconds;
+  - the drain actually completes and writes the final metrics snapshot.
+
+Emits a machine-readable summary (--out serve_load.json) which
+tools/bench_summary.py folds into the repo-root BENCH_throughput.json.
+
+Usage (CI SLO job):
+    bench/bench_serve_load.py --server build/tools/webrbd_serve \
+        --cli build/tools/webrbd_cli --requests 2000 --concurrency 1000 \
+        --out serve_load.json
+Smoke mode (ctest) scales everything down: --smoke.
+
+Stdlib only — the daemon's wire format is hand-spoken on purpose, so the
+bench doubles as an interop check against a second HTTP implementation.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import resource
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def raise_fd_limit(wanted):
+    """Best-effort bump of RLIMIT_NOFILE; returns the usable soft limit."""
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < wanted:
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE,
+                               (min(wanted, hard), hard))
+            soft = resource.getrlimit(resource.RLIMIT_NOFILE)[0]
+        except (ValueError, OSError):
+            pass
+    return soft
+
+
+def start_daemon(args, metrics_path):
+    cmd = [
+        args.server, "--port", "0", "--io-threads", str(args.io_threads),
+        "--metrics-out", str(metrics_path), "--metrics-format", "prom",
+    ]
+    daemon = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.PIPE, text=True)
+    line = daemon.stdout.readline()
+    prefix = "listening on "
+    if prefix not in line:
+        daemon.kill()
+        out, err = daemon.communicate(timeout=10)
+        raise RuntimeError(
+            f"daemon did not report a port: {line!r} {out!r} {err!r}")
+    host, _, port = line.strip().rpartition(prefix)[2].rpartition(":")
+    return daemon, host, int(port)
+
+
+def make_corpus(args, tmp):
+    corpus_dir = pathlib.Path(tmp) / "corpus"
+    subprocess.run(
+        [args.cli, "batch", "--generate", str(args.corpus_docs),
+         "--threads", "1", "--dump-corpus", str(corpus_dir)],
+        check=True, stdout=subprocess.DEVNULL)
+    docs = sorted(corpus_dir.glob("doc_*.html"))
+    if not docs:
+        raise RuntimeError("webrbd_cli --dump-corpus produced no documents")
+    return [d.read_bytes() for d in docs]
+
+
+async def http_request(host, port, method, path, body=b"", timeout=120.0):
+    """One full request/response on a fresh connection; returns
+    (status, body_bytes)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout)
+    try:
+        head = (f"{method} {path} HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode()
+        writer.write(head + body)
+        await asyncio.wait_for(writer.drain(), timeout)
+        raw = await asyncio.wait_for(reader.read(-1), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    header_end = raw.find(b"\r\n\r\n")
+    if header_end < 0 or not raw.startswith(b"HTTP/1.1 "):
+        raise RuntimeError(f"short or malformed response: {raw[:128]!r}")
+    status = int(raw[9:12])
+    headers = raw[:header_end].decode("latin-1").lower()
+    marker = "content-length: "
+    at = headers.find(marker)
+    if at < 0:
+        raise RuntimeError("response without Content-Length")
+    length = int(headers[at + len(marker):].split("\r\n", 1)[0])
+    payload = raw[header_end + 4:]
+    if len(payload) < length:
+        raise RuntimeError(
+            f"truncated body: {len(payload)} of {length} bytes")
+    return status, payload[:length]
+
+
+async def drive(args, host, port, corpus, report):
+    semaphore = asyncio.Semaphore(args.concurrency)
+    latencies = []
+    failures = []
+    completed = 0
+
+    async def one(i):
+        nonlocal completed
+        async with semaphore:
+            begin = time.monotonic()
+            try:
+                status, body = await http_request(
+                    host, port, "POST", "/extract",
+                    corpus[i % len(corpus)])
+                if status != 200 or not body.startswith(b'{"separator":'):
+                    failures.append(
+                        f"request {i}: status {status} body {body[:96]!r}")
+                    return
+                latencies.append(time.monotonic() - begin)
+            except Exception as error:  # a drop, by definition
+                failures.append(f"request {i}: {error!r}")
+            finally:
+                completed += 1
+
+    tasks = [asyncio.ensure_future(one(i)) for i in range(args.requests)]
+
+    # Hot reload once a quarter of the traffic is through: the remaining
+    # requests run against the reloaded context and must not notice.
+    while completed < args.requests // 4:
+        await asyncio.sleep(0.01)
+    status, body = await http_request(host, port, "POST", "/reload-ontology")
+    if status != 200 or b'"generation":' not in body:
+        failures.append(f"reload: status {status} body {body[:96]!r}")
+    else:
+        report["reload_response"] = body.decode()
+
+    await asyncio.gather(*tasks)
+
+    # The live scrape must carry the serve metric family.
+    status, metrics = await http_request(host, port, "GET", "/metrics")
+    if status != 200:
+        failures.append(f"/metrics: status {status}")
+    for needle in (b"webrbd_serve_requests_total",
+                   b"webrbd_serve_request_seconds_count",
+                   b"webrbd_serve_reloads_total"):
+        if needle not in metrics:
+            failures.append(f"/metrics missing {needle.decode()}")
+
+    return latencies, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server", required=True, help="webrbd_serve path")
+    parser.add_argument("--cli", required=True, help="webrbd_cli path")
+    parser.add_argument("--requests", type=int, default=2000)
+    parser.add_argument("--concurrency", type=int, default=256)
+    parser.add_argument("--corpus-docs", type=int, default=8)
+    parser.add_argument("--io-threads", type=int, default=0,
+                        help="daemon connection workers (0 = #cores)")
+    parser.add_argument("--p99-bound", type=float, default=30.0,
+                        help="client-side p99 ceiling, seconds (generous: "
+                             "this is a drop detector, not a perf gate)")
+    parser.add_argument("--out", default="", help="summary JSON path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down ctest mode")
+    args = parser.parse_args()
+    if args.smoke:
+        args.requests = min(args.requests, 200)
+        args.concurrency = min(args.concurrency, 64)
+
+    # Keep ~3 fds of headroom per in-flight connection; cap concurrency to
+    # what the fd limit actually allows rather than failing mid-run.
+    soft = raise_fd_limit(args.concurrency * 3 + 256)
+    usable = max(16, (soft - 256) // 3)
+    if args.concurrency > usable:
+        print(f"note: capping concurrency {args.concurrency} -> {usable} "
+              f"(RLIMIT_NOFILE {soft})", file=sys.stderr)
+        args.concurrency = usable
+
+    report = {"requests": args.requests, "concurrency": args.concurrency}
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus = make_corpus(args, tmp)
+        metrics_path = pathlib.Path(tmp) / "final.prom"
+        daemon, host, port = start_daemon(args, metrics_path)
+        try:
+            begin = time.monotonic()
+            latencies, failures = asyncio.run(
+                drive(args, host, port, corpus, report))
+            elapsed = time.monotonic() - begin
+        finally:
+            daemon.send_signal(signal.SIGTERM)
+            try:
+                daemon.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                failures = failures + ["daemon did not drain within 60s"]
+            _, stderr = daemon.communicate()
+
+        # Graceful-drain contract: exit 0, drain logged, snapshot written.
+        if daemon.returncode != 0:
+            failures.append(f"daemon exited {daemon.returncode}: {stderr!r}")
+        if "drain complete" not in stderr:
+            failures.append(f"no 'drain complete' in stderr: {stderr!r}")
+        final = metrics_path.read_text() if metrics_path.exists() else ""
+        if "webrbd_serve_drain_seconds_count" not in final:
+            failures.append("final snapshot missing the drain histogram")
+        if "webrbd_serve_requests_total" not in final:
+            failures.append("final snapshot missing serve counters")
+
+    served = len(latencies)
+    dropped = args.requests - served
+    if dropped != 0 and not failures:
+        failures.append(f"{dropped} requests silently dropped")
+    latencies.sort()
+
+    def quantile(q):
+        if not latencies:
+            return 0.0
+        return latencies[min(served - 1, int(q * served))]
+
+    if quantile(0.99) > args.p99_bound:
+        failures.append(f"p99 {quantile(0.99) * 1e3:.1f}ms over the "
+                        f"{args.p99_bound * 1e3:.0f}ms bound")
+    report.update({
+        "served": served,
+        "dropped": dropped,
+        "failures": failures[:20],
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round(served / elapsed, 1) if elapsed else 0.0,
+        "p50_ms": round(quantile(0.50) * 1e3, 2),
+        "p95_ms": round(quantile(0.95) * 1e3, 2),
+        "p99_ms": round(quantile(0.99) * 1e3, 2),
+        "p99_bound_ms": args.p99_bound * 1e3,
+    })
+
+    summary = {"serve_load": report}
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(summary, f, indent=2, sort_keys=True)
+            f.write("\n")
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: {served}/{args.requests} served, 0 dropped, "
+          f"p99 {report['p99_ms']}ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

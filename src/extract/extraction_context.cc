@@ -51,9 +51,14 @@ std::optional<double> EstimateFromTable(const Ontology& ontology,
 // knobs are configuration constants, not computed floats, so bitwise
 // equality is the right notion.
 uint64_t ComputeTemplateSalt(const Ontology& ontology,
-                             const DiscoveryOptions& discovery) {
+                             const ContextOptions& options) {
+  const DiscoveryOptions& discovery = options.discovery;
   FnvHasher fnv;
   fnv.AddU64(OntologyFingerprint(ontology));
+  // The reload epoch keeps a hot-reloaded context from replaying entries
+  // memoized under the previous recognizer even when the DSL content (and
+  // so the ontology fingerprint) is unchanged.
+  fnv.AddU64(options.reload_generation);
   fnv.AddField(discovery.heuristics);
   for (const std::string& heuristic : discovery.certainty.Heuristics()) {
     fnv.AddField(heuristic);
@@ -202,7 +207,7 @@ ExtractionContext::ExtractionContext(
     : ontology_(ontology),
       recognizer_(std::move(recognizer)),
       options_(std::move(options)),
-      template_salt_(ComputeTemplateSalt(*ontology_, options_.discovery)) {
+      template_salt_(ComputeTemplateSalt(*ontology_, options_)) {
   // Compile the instance generator ONCE per context instead of once per
   // document (Create re-compiles every value pattern in the ontology).
   // On a compile failure the pointer stays null and the per-document

@@ -109,6 +109,15 @@ struct ContextOptions {
   /// ontology and every discovery knob, so contexts with different
   /// configurations safely share one cache.
   TemplateCache* template_cache = nullptr;
+
+  /// Hot-reload epoch, mixed into the template-fingerprint salt. The
+  /// ontology fingerprint alone cannot distinguish "same DSL, recompiled
+  /// after a reload" from "same long-lived context", so a server that
+  /// rebuilds its context on /reload-ontology MUST bump this per reload (see
+  /// serve/service.h): otherwise a reloaded context could replay
+  /// BoundaryArtifacts memoized under the pre-reload recognizer. Leave 0
+  /// everywhere else.
+  uint64_t reload_generation = 0;
 };
 
 /// Per-run knobs of ExtractCorpus (the context itself carries everything

@@ -68,14 +68,29 @@ size_t Histogram::BucketIndex(uint64_t nanos) {
 }
 
 double HistogramSnapshot::Quantile(double q) const {
+  // Serving-path hardening (the /metrics endpoint renders these estimates
+  // continuously, so every edge must yield a finite number):
+  //  - zero samples -> 0, never 0/0;
+  //  - every sample in the overflow bucket -> the top finite bound, the
+  //    only honest answer a bounded histogram can give;
+  //  - a non-finite q (callers computing q from other metrics) is treated
+  //    as 1.0 instead of poisoning the comparison chain below — NaN
+  //    compares false everywhere, which used to fall through to the top
+  //    bound silently;
+  //  - a torn snapshot (count incremented by a racing Observe whose bucket
+  //    write was not yet copied, so the buckets sum below `count`) reports
+  //    from the buckets actually seen — and 0, not ~16.8s, when none were.
   if (count == 0) return 0;
+  if (!(q == q)) q = 1.0;  // NaN guard; clamp handles the infinities
   q = std::clamp(q, 0.0, 1.0);
   const auto& bounds = BucketUpperBoundsSeconds();
   const double target = q * static_cast<double>(count);
   uint64_t cumulative = 0;
+  size_t last_occupied = kTotalBuckets;  // sentinel: none seen yet
   for (size_t i = 0; i < kTotalBuckets; ++i) {
     const uint64_t in_bucket = bucket_counts[i];
     if (in_bucket == 0) continue;
+    last_occupied = i;
     const double before = static_cast<double>(cumulative);
     cumulative += in_bucket;
     if (static_cast<double>(cumulative) < target) continue;
@@ -89,7 +104,12 @@ double HistogramSnapshot::Quantile(double q) const {
         std::clamp((target - before) / static_cast<double>(in_bucket), 0.0, 1.0);
     return lower + (upper - lower) * fraction;
   }
-  return bounds[kFiniteBuckets - 1];
+  // Torn snapshot: count > 0 but the buckets never reached the target.
+  // Answer from what was seen; an all-empty bucket array means the racing
+  // observations are invisible, and 0 beats inventing a 16.8s latency.
+  if (last_occupied == kTotalBuckets) return 0;
+  if (last_occupied >= kFiniteBuckets) return bounds[kFiniteBuckets - 1];
+  return bounds[last_occupied];
 }
 
 HistogramSnapshot SubtractHistogram(const HistogramSnapshot& after,
@@ -200,6 +220,24 @@ std::string MetricsSnapshot::ToPrometheus() const {
     out += h.name + "_count " + std::to_string(h.count) + "\n";
   }
   return out;
+}
+
+bool ParseSnapshotFormat(std::string_view text, SnapshotFormat* out) {
+  if (text == "json") {
+    *out = SnapshotFormat::kJson;
+    return true;
+  }
+  if (text == "prom") {
+    *out = SnapshotFormat::kPrometheus;
+    return true;
+  }
+  return false;
+}
+
+std::string RenderSnapshot(const MetricsSnapshot& snapshot,
+                           SnapshotFormat format) {
+  return format == SnapshotFormat::kPrometheus ? snapshot.ToPrometheus()
+                                               : snapshot.ToJson();
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

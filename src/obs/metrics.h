@@ -184,6 +184,23 @@ struct MetricsSnapshot {
   std::string ToPrometheus() const;
 };
 
+/// The two snapshot exposition formats every metrics consumer understands
+/// (webrbd_cli --metrics-out, the webrbd_serve daemon's /metrics endpoint
+/// and final drain snapshot).
+enum class SnapshotFormat {
+  kJson,        ///< MetricsSnapshot::ToJson
+  kPrometheus,  ///< MetricsSnapshot::ToPrometheus
+};
+
+/// Parses "json" / "prom" (the --metrics-format flag values). Returns
+/// false, leaving `out` untouched, on anything else.
+bool ParseSnapshotFormat(std::string_view text, SnapshotFormat* out);
+
+/// Renders `snapshot` in `format` — the one switch point shared by the CLI
+/// and the daemon, so the two never disagree on what a format name means.
+std::string RenderSnapshot(const MetricsSnapshot& snapshot,
+                           SnapshotFormat format);
+
 /// Named metric store. Get* registers on first use and returns a pointer
 /// stable for the registry's lifetime; later calls with the same name
 /// return the same object from any thread.

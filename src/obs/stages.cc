@@ -117,6 +117,21 @@ const HtmlMetrics& Html() {
   return html;
 }
 
+const ServeMetrics& Serve() {
+  static const ServeMetrics serve = []() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    ServeMetrics s;
+    s.requests = registry.GetCounter(mn::kServeRequests);
+    s.inflight = registry.GetGauge(mn::kServeInflight);
+    s.rejected = registry.GetCounter(mn::kServeRejected);
+    s.request_latency = registry.GetHistogram(mn::kServeRequestLatency);
+    s.drain = registry.GetHistogram(mn::kServeDrain);
+    s.reloads = registry.GetCounter(mn::kServeReloads);
+    return s;
+  }();
+  return serve;
+}
+
 const std::vector<StageName>& PipelineStageNames() {
   static const std::vector<StageName> names = {
       {"lex", mn::kStageLex},
@@ -154,7 +169,9 @@ const std::vector<std::string>& AllDocumentedMetricNames() {
           mn::kRobustTripAttrValue, mn::kRobustTripRegexClosure,
           mn::kRobustTripArenaBytes, mn::kRobustLexerRecoveries,
           mn::kHtmlArenaBytes, mn::kHtmlInternTableSize, mn::kHtmlLexerBytes,
-          mn::kHtmlLexerTokens, mn::kHtmlLexerNameSpills}) {
+          mn::kHtmlLexerTokens, mn::kHtmlLexerNameSpills, mn::kServeRequests,
+          mn::kServeInflight, mn::kServeRejected, mn::kServeRequestLatency,
+          mn::kServeDrain, mn::kServeReloads}) {
       all.emplace_back(name);
     }
     return all;
@@ -169,6 +186,7 @@ void EnsureDocumentedMetricsRegistered() {
   Templates();
   Robust();
   Html();
+  Serve();
 }
 
 }  // namespace obs

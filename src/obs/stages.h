@@ -127,6 +127,24 @@ inline constexpr std::string_view kTemplateCacheEvictions =
 inline constexpr std::string_view kTemplateCacheSize =
     "webrbd_template_cache_size";
 
+// Serving layer (serve/service.h, tools/webrbd_serve.cc). requests counts
+// every HTTP request the daemon answered (all endpoints); inflight is the
+// number of extractions currently holding an admission slot; rejected
+// counts requests turned away with 503 by the admission gate; the request
+// histogram spans request handling end to end (parse excluded, response
+// serialization included); drain_seconds records each graceful drain's
+// duration (stop-accepting to last in-flight request answered).
+inline constexpr std::string_view kServeRequests =
+    "webrbd_serve_requests_total";
+inline constexpr std::string_view kServeInflight = "webrbd_serve_inflight";
+inline constexpr std::string_view kServeRejected =
+    "webrbd_serve_rejected_total";
+inline constexpr std::string_view kServeRequestLatency =
+    "webrbd_serve_request_seconds";
+inline constexpr std::string_view kServeDrain = "webrbd_serve_drain_seconds";
+inline constexpr std::string_view kServeReloads =
+    "webrbd_serve_reloads_total";
+
 }  // namespace metric_names
 
 /// Pre-resolved stage histograms for the integrated pipeline. All pointers
@@ -220,6 +238,20 @@ struct HtmlMetrics {
 };
 
 const HtmlMetrics& Html();
+
+/// Pre-resolved serving-layer metrics (serve/service.h). Process-wide: a
+/// process runs at most one daemon, but the totals also aggregate any
+/// in-process ExtractionService instances tests construct.
+struct ServeMetrics {
+  Counter* requests;
+  Gauge* inflight;
+  Counter* rejected;
+  Histogram* request_latency;
+  Histogram* drain;
+  Counter* reloads;
+};
+
+const ServeMetrics& Serve();
 
 /// Short display names for the per-stage latency table, paired with the
 /// registry histogram names, in pipeline order.

@@ -1,0 +1,291 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace webrbd {
+namespace serve {
+
+namespace {
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view TrimOws(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Strict decimal parse for Content-Length (atoi and strtol both accept
+/// signs, whitespace, and partial garbage — none of which a length may
+/// carry). Returns false on any non-digit or on overflow.
+bool ParseDecimalSize(std::string_view text, size_t* out) {
+  if (text.empty()) return false;
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (value > (static_cast<size_t>(-1) - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+HttpParseOutcome ParseError(int http_status, std::string reason) {
+  HttpParseOutcome outcome;
+  outcome.state = HttpParseState::kError;
+  outcome.error_http_status = http_status;
+  outcome.error_reason = std::move(reason);
+  return outcome;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string PercentDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%') {
+      const int hi = i + 1 < text.size() ? HexValue(text[i + 1]) : -1;
+      const int lo = i + 2 < text.size() ? HexValue(text[i + 2]) : -1;
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += c;  // malformed escape: keep verbatim
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const HttpHeader& header : headers) {
+    if (header.name == name) return &header.value;
+  }
+  return nullptr;
+}
+
+HttpParseOutcome ParseHttpRequest(std::string_view data,
+                                  const HttpParseLimits& limits) {
+  // Locate the end of the head. CRLF CRLF per RFC 9112; bare-LF line
+  // endings are tolerated (robustness principle — curl never sends them,
+  // hand-rolled test clients sometimes do).
+  size_t head_end = data.find("\r\n\r\n");
+  size_t body_begin;
+  if (head_end != std::string_view::npos) {
+    body_begin = head_end + 4;
+  } else {
+    head_end = data.find("\n\n");
+    if (head_end == std::string_view::npos) {
+      if (data.size() > limits.max_head_bytes) {
+        return ParseError(431, "request head exceeds " +
+                                   std::to_string(limits.max_head_bytes) +
+                                   " bytes");
+      }
+      return HttpParseOutcome{};  // kNeedMore
+    }
+    body_begin = head_end + 2;
+  }
+  if (head_end > limits.max_head_bytes) {
+    return ParseError(431, "request head exceeds " +
+                               std::to_string(limits.max_head_bytes) +
+                               " bytes");
+  }
+
+  // Split the head into lines (tolerating \r\n and \n).
+  const std::string_view head = data.substr(0, head_end);
+  std::vector<std::string_view> lines;
+  size_t line_begin = 0;
+  while (line_begin <= head.size()) {
+    size_t line_end = head.find('\n', line_begin);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    std::string_view line = head.substr(line_begin, line_end - line_begin);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    if (line_end >= head.size()) break;
+    line_begin = line_end + 1;
+  }
+  if (lines.empty() || lines[0].empty()) {
+    return ParseError(400, "empty request line");
+  }
+
+  // Request line: METHOD SP request-target SP HTTP/1.x
+  HttpRequest request;
+  {
+    const std::string_view line = lines[0];
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string_view::npos
+                           ? std::string_view::npos
+                           : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+      return ParseError(400, "malformed request line");
+    }
+    request.method = std::string(line.substr(0, sp1));
+    request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    const std::string_view version = line.substr(sp2 + 1);
+    if (version == "HTTP/1.1") {
+      request.minor_version = 1;
+    } else if (version == "HTTP/1.0") {
+      request.minor_version = 0;
+    } else {
+      return ParseError(400,
+                        "unsupported protocol version '" +
+                            std::string(version) + "'");
+    }
+    if (request.method.empty() || request.target.empty()) {
+      return ParseError(400, "malformed request line");
+    }
+    const size_t qmark = request.target.find('?');
+    if (qmark == std::string::npos) {
+      request.path = request.target;
+    } else {
+      request.path = request.target.substr(0, qmark);
+      request.query = request.target.substr(qmark + 1);
+    }
+  }
+
+  // Header fields.
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (line.empty()) continue;
+    if (line.front() == ' ' || line.front() == '\t') {
+      return ParseError(400, "obsolete header line folding");
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return ParseError(400, "malformed header line");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (name.back() == ' ' || name.back() == '\t') {
+      return ParseError(400, "whitespace before header colon");
+    }
+    HttpHeader header;
+    header.name = ToLowerAscii(name);
+    header.value = std::string(TrimOws(line.substr(colon + 1)));
+    request.headers.push_back(std::move(header));
+  }
+
+  // Body framing: Content-Length only. Transfer-Encoding is answered with
+  // 501 rather than silently misframed (request smuggling posture: never
+  // guess where a message ends).
+  if (request.FindHeader("transfer-encoding") != nullptr) {
+    return ParseError(501, "Transfer-Encoding is not supported");
+  }
+  size_t content_length = 0;
+  if (const std::string* value = request.FindHeader("content-length")) {
+    if (!ParseDecimalSize(*value, &content_length)) {
+      return ParseError(400, "malformed Content-Length '" + *value + "'");
+    }
+  }
+  if (content_length > limits.max_body_bytes) {
+    return ParseError(413, "declared body of " +
+                               std::to_string(content_length) +
+                               " bytes exceeds the " +
+                               std::to_string(limits.max_body_bytes) +
+                               "-byte limit");
+  }
+  if (data.size() - body_begin < content_length) {
+    return HttpParseOutcome{};  // kNeedMore: body still arriving
+  }
+  request.body = std::string(data.substr(body_begin, content_length));
+
+  // Connection semantics: HTTP/1.1 defaults to keep-alive, 1.0 to close;
+  // an explicit Connection header overrides either way.
+  request.keep_alive = request.minor_version >= 1;
+  if (const std::string* connection = request.FindHeader("connection")) {
+    const std::string token = ToLowerAscii(TrimOws(*connection));
+    if (token == "close") request.keep_alive = false;
+    if (token == "keep-alive") request.keep_alive = true;
+  }
+
+  HttpParseOutcome outcome;
+  outcome.state = HttpParseState::kComplete;
+  outcome.consumed = body_begin + content_length;
+  outcome.request = std::move(request);
+  return outcome;
+}
+
+std::string_view HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(HttpStatusReason(response.status)) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const HttpHeader& header : response.extra_headers) {
+    out += header.name + ": " + header.value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::vector<QueryParam> ParseQuery(std::string_view query) {
+  std::vector<QueryParam> params;
+  size_t begin = 0;
+  while (begin <= query.size() && !query.empty()) {
+    size_t end = query.find('&', begin);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(begin, end - begin);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      QueryParam param;
+      if (eq == std::string_view::npos) {
+        param.key = PercentDecode(pair);
+      } else {
+        param.key = PercentDecode(pair.substr(0, eq));
+        param.value = PercentDecode(pair.substr(eq + 1));
+      }
+      params.push_back(std::move(param));
+    }
+    if (end >= query.size()) break;
+    begin = end + 1;
+  }
+  return params;
+}
+
+}  // namespace serve
+}  // namespace webrbd

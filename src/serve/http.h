@@ -1,0 +1,114 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// A minimal, dependency-free HTTP/1.1 message layer for the extraction
+// daemon (tools/webrbd_serve.cc). This is deliberately not a general web
+// server: it parses exactly the subset the service speaks — request line,
+// headers, Content-Length bodies, keep-alive — and rejects everything else
+// with a precise status code instead of guessing (Transfer-Encoding gets
+// 501, oversized heads 431, oversized bodies 413, malformed syntax 400).
+//
+// The parser is incremental over a caller-owned receive buffer: feed it
+// the bytes read so far; it answers "need more", "complete (consumed N
+// bytes)", or "error (answer with status S and close)". It never consumes
+// on kNeedMore, so the caller simply appends and retries — no parser state
+// object to keep in sync with the socket.
+
+#ifndef WEBRBD_SERVE_HTTP_H_
+#define WEBRBD_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webrbd {
+namespace serve {
+
+/// One parsed header. Names are lowercased at parse time (HTTP header
+/// names are case-insensitive); values keep their bytes with surrounding
+/// whitespace trimmed.
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+/// A fully parsed request.
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET", "POST" (case-sensitive per RFC)
+  std::string target;   ///< the raw request-target
+  std::string path;     ///< target up to '?' (no percent-decoding)
+  std::string query;    ///< after '?', "" when absent
+  int minor_version = 1;  ///< 0 or 1 (HTTP/1.x only)
+  std::vector<HttpHeader> headers;
+  std::string body;
+  bool keep_alive = true;  ///< resolved from version + Connection header
+
+  /// Value of the first header named `name` (must be lowercase), or
+  /// nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Outcome kind of one parse attempt.
+enum class HttpParseState {
+  kNeedMore,  ///< the buffer does not yet hold a full request
+  kComplete,  ///< `request` is valid; `consumed` bytes may be discarded
+  kError,     ///< protocol violation; answer `error_http_status` and close
+};
+
+/// Outcome of one parse attempt over the buffered bytes.
+struct HttpParseOutcome {
+  HttpParseState state = HttpParseState::kNeedMore;
+  size_t consumed = 0;  ///< bytes of the buffer consumed (kComplete only)
+  HttpRequest request;  ///< valid on kComplete only
+  int error_http_status = 0;     ///< 400/413/431/501 on kError
+  std::string error_reason;      ///< human-readable detail on kError
+};
+
+/// Caps on message size, the HTTP layer's own robustness contract (the
+/// extraction layer's DocumentLimits apply later, to the body content).
+struct HttpParseLimits {
+  /// Request line + headers; exceeding it is 431.
+  size_t max_head_bytes = 64u << 10;  // 64 KiB
+  /// Declared Content-Length; exceeding it is 413 without buffering.
+  size_t max_body_bytes = 64ull << 20;  // 64 MiB
+};
+
+/// Attempts to parse one request from the front of `data`. Pure function
+/// of its inputs: on kNeedMore nothing is consumed and the caller retries
+/// with more bytes appended.
+HttpParseOutcome ParseHttpRequest(std::string_view data,
+                                  const HttpParseLimits& limits);
+
+/// A response to serialize. `extra_headers` come after the standard ones;
+/// Content-Length and Connection are always emitted by the serializer.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::vector<HttpHeader> extra_headers;
+};
+
+/// Canonical reason phrase ("OK", "Service Unavailable", ...); "Status"
+/// for codes the daemon never emits.
+std::string_view HttpStatusReason(int status);
+
+/// Renders `response` as an HTTP/1.1 message with Content-Length and
+/// `Connection: keep-alive` or `close` per `keep_alive`.
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive);
+
+/// One decoded query parameter.
+struct QueryParam {
+  std::string key;
+  std::string value;
+};
+
+/// Splits "a=1&b=2" into decoded key/value pairs ('+' becomes space, %XX
+/// percent-decoding applied to both sides; malformed escapes are kept
+/// verbatim).
+std::vector<QueryParam> ParseQuery(std::string_view query);
+
+}  // namespace serve
+}  // namespace webrbd
+
+#endif  // WEBRBD_SERVE_HTTP_H_

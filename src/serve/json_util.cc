@@ -1,0 +1,259 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "serve/json_util.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+namespace webrbd {
+namespace serve {
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Appends the UTF-8 encoding of `code_point` (already validated to be a
+/// scalar value or an unpaired surrogate, which is encoded as U+FFFD).
+void AppendUtf8(uint32_t code_point, std::string* out) {
+  if (code_point >= 0xD800 && code_point <= 0xDFFF) code_point = 0xFFFD;
+  if (code_point < 0x80) {
+    *out += static_cast<char>(code_point);
+  } else if (code_point < 0x800) {
+    *out += static_cast<char>(0xC0 | (code_point >> 6));
+    *out += static_cast<char>(0x80 | (code_point & 0x3F));
+  } else if (code_point < 0x10000) {
+    *out += static_cast<char>(0xE0 | (code_point >> 12));
+    *out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (code_point & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (code_point >> 18));
+    *out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (code_point & 0x3F));
+  }
+}
+
+/// Decodes the JSON string whose opening quote is at `pos`; on success
+/// leaves `pos` one past the closing quote.
+[[nodiscard]] Result<std::string> DecodeString(std::string_view text,
+                                               size_t* pos) {
+  if (*pos >= text.size() || text[*pos] != '"') {
+    return Status::ParseError("expected '\"' at offset " +
+                              std::to_string(*pos));
+  }
+  std::string out;
+  size_t i = *pos + 1;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '"') {
+      *pos = i + 1;
+      return out;
+    }
+    if (c != '\\') {
+      out += c;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= text.size()) break;
+    const char escape = text[i + 1];
+    i += 2;
+    switch (escape) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 > text.size()) {
+          return Status::ParseError("truncated \\u escape");
+        }
+        uint32_t code = 0;
+        for (size_t d = 0; d < 4; ++d) {
+          const int v = HexValue(text[i + d]);
+          if (v < 0) return Status::ParseError("malformed \\u escape");
+          code = code * 16 + static_cast<uint32_t>(v);
+        }
+        i += 4;
+        // Surrogate pair: \uD800-\uDBFF must be followed by \uDC00-\uDFFF.
+        if (code >= 0xD800 && code <= 0xDBFF && i + 6 <= text.size() &&
+            text[i] == '\\' && text[i + 1] == 'u') {
+          uint32_t low = 0;
+          bool ok = true;
+          for (size_t d = 0; d < 4; ++d) {
+            const int v = HexValue(text[i + 2 + d]);
+            if (v < 0) {
+              ok = false;
+              break;
+            }
+            low = low * 16 + static_cast<uint32_t>(v);
+          }
+          if (ok && low >= 0xDC00 && low <= 0xDFFF) {
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            i += 6;
+          }
+        }
+        AppendUtf8(code, &out);
+        break;
+      }
+      default:
+        return Status::ParseError(std::string("invalid escape '\\") + escape +
+                                  "'");
+    }
+  }
+  return Status::ParseError("unterminated JSON string");
+}
+
+void SkipSpace(std::string_view text, size_t* pos) {
+  while (*pos < text.size() &&
+         (text[*pos] == ' ' || text[*pos] == '\t' || text[*pos] == '\r' ||
+          text[*pos] == '\n')) {
+    ++*pos;
+  }
+}
+
+/// Skips one non-string JSON value (number, literal, or balanced
+/// object/array) without validating it deeply — unknown keys are ignored,
+/// not interpreted.
+[[nodiscard]] Status SkipValue(std::string_view text, size_t* pos) {
+  SkipSpace(text, pos);
+  if (*pos >= text.size()) return Status::ParseError("truncated JSON value");
+  const char c = text[*pos];
+  if (c == '"') {
+    auto decoded = DecodeString(text, pos);
+    if (!decoded.ok()) return decoded.status();
+    return Status::OK();
+  }
+  if (c == '{' || c == '[') {
+    const char open = c;
+    const char close = open == '{' ? '}' : ']';
+    int depth = 0;
+    bool in_string = false;
+    while (*pos < text.size()) {
+      const char t = text[*pos];
+      if (in_string) {
+        if (t == '\\') {
+          ++*pos;  // skip the escaped character too
+        } else if (t == '"') {
+          in_string = false;
+        }
+      } else if (t == '"') {
+        in_string = true;
+      } else if (t == open) {
+        ++depth;
+      } else if (t == close) {
+        --depth;
+        if (depth == 0) {
+          ++*pos;
+          return Status::OK();
+        }
+      }
+      ++*pos;
+    }
+    return Status::ParseError("unbalanced JSON container");
+  }
+  // Number / true / false / null: consume to the next delimiter.
+  while (*pos < text.size() && text[*pos] != ',' && text[*pos] != '}' &&
+         text[*pos] != ']' && text[*pos] != ' ' && text[*pos] != '\t') {
+    ++*pos;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonString(std::string_view text) {
+  return "\"" + JsonEscape(text) + "\"";
+}
+
+Result<std::string> ParseNdjsonHtmlLine(std::string_view line) {
+  size_t pos = 0;
+  SkipSpace(line, &pos);
+  if (pos >= line.size() || line[pos] != '{') {
+    return Status::ParseError("NDJSON line must be a JSON object");
+  }
+  ++pos;
+  std::optional<std::string> html;
+  SkipSpace(line, &pos);
+  if (pos < line.size() && line[pos] == '}') {
+    ++pos;
+  } else {
+    while (true) {
+      SkipSpace(line, &pos);
+      auto key = DecodeString(line, &pos);
+      if (!key.ok()) return key.status();
+      SkipSpace(line, &pos);
+      if (pos >= line.size() || line[pos] != ':') {
+        return Status::ParseError("expected ':' after object key");
+      }
+      ++pos;
+      SkipSpace(line, &pos);
+      if (*key == "html") {
+        auto value = DecodeString(line, &pos);
+        if (!value.ok()) {
+          return Status::ParseError("\"html\" must be a JSON string: " +
+                                    value.status().message());
+        }
+        html = std::move(value).value();
+      } else {
+        WEBRBD_RETURN_IF_ERROR(SkipValue(line, &pos));
+      }
+      SkipSpace(line, &pos);
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < line.size() && line[pos] == '}') {
+        ++pos;
+        break;
+      }
+      return Status::ParseError("expected ',' or '}' in object");
+    }
+  }
+  SkipSpace(line, &pos);
+  if (pos != line.size()) {
+    return Status::ParseError("trailing bytes after JSON object");
+  }
+  if (!html.has_value()) {
+    return Status::ParseError("NDJSON line is missing the \"html\" key");
+  }
+  return std::move(html).value();
+}
+
+}  // namespace serve
+}  // namespace webrbd

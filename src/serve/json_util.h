@@ -1,0 +1,38 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The tiny slice of JSON the serving layer needs: escaping strings for
+// response bodies and decoding the {"html": "..."} object lines of
+// /extract-batch NDJSON input. Deliberately not a general JSON parser —
+// the input grammar is one flat object with string values, and anything
+// outside it is rejected with a precise error instead of guessed at.
+
+#ifndef WEBRBD_SERVE_JSON_UTIL_H_
+#define WEBRBD_SERVE_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace webrbd {
+namespace serve {
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes,
+/// backslash, control characters as \uXXXX). Returns the escaped body
+/// WITHOUT surrounding quotes.
+std::string JsonEscape(std::string_view text);
+
+/// Convenience: JsonEscape with surrounding quotes.
+std::string JsonString(std::string_view text);
+
+/// Parses one NDJSON request line of the shape
+///   {"html": "<escaped document>", ...}
+/// and returns the decoded value of the "html" key. Other keys are
+/// ignored; nesting, non-string values under "html", and malformed
+/// escapes are kParseError.
+[[nodiscard]] Result<std::string> ParseNdjsonHtmlLine(std::string_view line);
+
+}  // namespace serve
+}  // namespace webrbd
+
+#endif  // WEBRBD_SERVE_JSON_UTIL_H_

@@ -1,0 +1,226 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/stages.h"
+
+namespace webrbd {
+namespace serve {
+
+namespace {
+
+/// Sends all of `data`, riding out partial writes and EINTR. MSG_NOSIGNAL
+/// turns a peer hangup into EPIPE instead of a process-killing SIGPIPE.
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+HttpResponse PlainResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(ServerOptions options,
+                                                      HttpHandler handler) {
+  if (!handler) {
+    return Status::InvalidArgument("HttpServer needs a request handler");
+  }
+  auto server = std::make_unique<HttpServer>(Passkey{}, std::move(options),
+                                             std::move(handler));
+  WEBRBD_RETURN_IF_ERROR(server->Listen());
+  const int io_threads = server->options_.io_threads;
+  server->pool_ = std::make_unique<ThreadPool>(io_threads);
+  server->accept_thread_ = std::thread([raw = server.get()]() {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+HttpServer::HttpServer(Passkey, ServerOptions options, HttpHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Drain(); }
+
+Status HttpServer::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+                     sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port =
+      htons(static_cast<uint16_t>(options_.port < 0 ? 0 : options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable bind address '" +
+                                   options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return Status::Internal("bind " + options_.host + ":" +
+                            std::to_string(options_.port) + ": " +
+                            std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EINVAL/EBADF: Drain() shut the listening socket down under us —
+      // the orderly exit path. Anything else on a healthy socket is
+      // transient (EMFILE, ECONNABORTED); back off and keep accepting.
+      if (draining()) break;
+      if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED ||
+          errno == EAGAIN) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;
+    }
+    if (draining()) {
+      ::close(fd);
+      break;
+    }
+    // Submit blocks when every worker is busy and the queue is full —
+    // accept-side backpressure on top of the service's admission gate.
+    (void)pool_->Submit([this, fd]() { HandleConnection(fd); });
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  const int enable = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  std::string buffer;
+  // How many idle poll ticks a drain waits for a connection holding a
+  // PARTIAL request before giving up on the stalled client (an idle
+  // connection with an empty buffer closes on the first draining tick).
+  const int max_drain_ticks =
+      std::max(1, 5000 / std::max(1, options_.poll_interval_ms));
+  int drain_ticks = 0;
+  for (;;) {
+    // Serve every complete request already buffered (pipelining).
+    while (true) {
+      const HttpParseOutcome outcome =
+          ParseHttpRequest(buffer, options_.parse_limits);
+      if (outcome.state == HttpParseState::kError) {
+        HttpResponse error = PlainResponse(outcome.error_http_status,
+                                           outcome.error_reason + "\n");
+        (void)SendAll(fd, SerializeHttpResponse(error, /*keep_alive=*/false));
+        ::close(fd);
+        return;
+      }
+      if (outcome.state == HttpParseState::kNeedMore) break;
+      buffer.erase(0, outcome.consumed);
+      HttpResponse response;
+      try {
+        response = handler_(outcome.request);
+      } catch (const std::exception& e) {
+        response = PlainResponse(
+            500, std::string("internal handler error: ") + e.what() + "\n");
+      } catch (...) {
+        response = PlainResponse(500, "internal handler error\n");
+      }
+      const bool keep_alive = outcome.request.keep_alive && !draining();
+      if (!SendAll(fd, SerializeHttpResponse(response, keep_alive)) ||
+          !keep_alive) {
+        ::close(fd);
+        return;
+      }
+    }
+    // Wait for more bytes, watching the drain flag at poll granularity.
+    pollfd poll_fd{};
+    poll_fd.fd = fd;
+    poll_fd.events = POLLIN;
+    const int ready = ::poll(&poll_fd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      if (draining()) {
+        if (buffer.empty() || ++drain_ticks >= max_drain_ticks) break;
+      }
+      continue;
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer closed or hard error
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+}
+
+void HttpServer::Drain() {
+  // Serialize drains: the winner does the work; late callers block here
+  // until it finishes, so no Drain() returns while connections are live.
+  MutexLock lock(&drain_mu_);
+  if (drained_) return;
+  const auto start = std::chrono::steady_clock::now();
+  draining_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    // Pops the accept thread out of accept(2); new connection attempts
+    // are refused from here on.
+    (void)::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Finishes every queued and in-flight connection (each notices the
+  // drain flag within one poll tick once idle).
+  if (pool_ != nullptr) pool_->Shutdown();
+  obs::Serve().drain->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  drained_ = true;
+}
+
+}  // namespace serve
+}  // namespace webrbd

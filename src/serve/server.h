@@ -1,0 +1,123 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// HttpServer: the POSIX-socket transport under the extraction daemon. One
+// accept thread hands each connection to a fixed ThreadPool
+// (util/thread_pool.h — the same pool the batch engine runs on, so the
+// serving path exercises the library's own concurrency substrate);
+// connection workers run a read-parse-handle-respond loop with keep-alive
+// until the client closes or the server drains.
+//
+// Graceful drain (Drain(), also run by the destructor):
+//   1. stop accepting: the listening socket is shut down, which pops the
+//      accept thread out of accept();
+//   2. flag every connection loop, whose idle polls notice within one
+//      poll tick and close after finishing the request in hand;
+//   3. ThreadPool::Shutdown() — returns only when every queued and
+//      running connection task has completed.
+// The elapsed time is recorded in webrbd_serve_drain_seconds. Drain is
+// idempotent and concurrency-safe (the pool's Shutdown carries the same
+// guarantee, see thread_pool.h).
+//
+// The server knows nothing about extraction: it takes a
+// request -> response handler (serve/service.h provides the real one),
+// which keeps this layer testable with trivial handlers and the service
+// testable without sockets.
+
+#ifndef WEBRBD_SERVE_SERVER_H_
+#define WEBRBD_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/http.h"
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace webrbd {
+namespace serve {
+
+/// Transport configuration.
+struct ServerOptions {
+  /// Address to bind; IPv4 dotted quad. The default stays loopback-only —
+  /// exposing the daemon beyond localhost is an explicit operator choice.
+  std::string host = "127.0.0.1";
+
+  /// Port to bind; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+
+  /// Connection worker threads; 0 means one per hardware thread.
+  int io_threads = 0;
+
+  /// listen(2) backlog.
+  int backlog = 128;
+
+  /// Message-size caps enforced by the HTTP parser.
+  HttpParseLimits parse_limits;
+
+  /// Poll granularity of idle keep-alive connections; bounds how long a
+  /// drain waits on connections with no request in flight.
+  int poll_interval_ms = 50;
+};
+
+/// The request handler: called on a pool worker, one call per request.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// A running HTTP/1.1 server.
+class HttpServer {
+ private:
+  struct Passkey {};
+
+ public:
+  /// Binds, listens, and starts the accept thread. On success the server
+  /// is live before this returns.
+  [[nodiscard]] static Result<std::unique_ptr<HttpServer>> Start(
+      ServerOptions options, HttpHandler handler);
+
+  /// Use Start(); public only for make_unique (see Passkey).
+  HttpServer(Passkey, ServerOptions options, HttpHandler handler);
+
+  /// Drains (see file comment) and releases the sockets.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (the resolved ephemeral port when options.port was 0).
+  int port() const { return port_; }
+
+  /// Graceful drain: stop accepting, finish in-flight requests, join all
+  /// transport threads. Idempotent and safe to call concurrently.
+  void Drain();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+ private:
+  [[nodiscard]] Status Listen();
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  ServerOptions options_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  /// Serializes Drain(): the first caller drains, late callers block on
+  /// the same mutex until the work is done (matching the concurrent-
+  /// Shutdown contract of the pool underneath).
+  Mutex drain_mu_;
+  bool drained_ WEBRBD_GUARDED_BY(drain_mu_) = false;
+};
+
+}  // namespace serve
+}  // namespace webrbd
+
+#endif  // WEBRBD_SERVE_SERVER_H_

@@ -31,10 +31,16 @@ ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
-  bool first_shutdown = false;
   {
     MutexLock lock(&mu_);
-    first_shutdown = !shutting_down_;
+    if (shutting_down_) {
+      // A drain is (or was) in flight on another thread. Joining here too
+      // would race the winner on the same std::thread objects (UB), and
+      // returning immediately would let this caller observe workers still
+      // running after "shutdown". Wait for the winner instead.
+      while (!shutdown_complete_) shutdown_done_cv_.Wait(mu_);
+      return;
+    }
     shutting_down_ = true;
   }
   not_empty_.NotifyAll();
@@ -42,7 +48,14 @@ void ThreadPool::Shutdown() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
-  if (first_shutdown && obs::MetricsEnabled() && !workers_.empty()) {
+  {
+    MutexLock lock(&mu_);
+    shutdown_complete_ = true;
+  }
+  shutdown_done_cv_.NotifyAll();
+  // Only the winning (joining) caller reaches this point, so the lifetime
+  // utilization is published exactly once.
+  if (obs::MetricsEnabled() && !workers_.empty()) {
     // Publish this pool's lifetime worker utilization: the fraction of
     // worker-thread wall time spent actually running tasks.
     const double lifetime =

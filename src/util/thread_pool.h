@@ -88,7 +88,14 @@ class ThreadPool {
     return future;
   }
 
-  /// Finishes every queued task, then joins the workers. Idempotent.
+  /// Finishes every queued task, then joins the workers. Idempotent AND
+  /// safe to call concurrently from any number of threads: exactly one
+  /// caller joins the workers; every other caller blocks until that join
+  /// completes, so no Shutdown() ever returns while workers are still
+  /// running. Safe to race with Submit() — a submission that loses the
+  /// race runs caller-inline (see Submit). A worker thread must not call
+  /// Shutdown() on its own pool (it would join itself); that is a
+  /// programming error, not a supported drain path.
   void Shutdown() WEBRBD_EXCLUDES(mu_);
 
   /// Number of worker threads.
@@ -128,6 +135,13 @@ class ThreadPool {
   CondVar not_full_;   // signaled when a slot frees up
   std::deque<std::function<void()>> queue_ WEBRBD_GUARDED_BY(mu_);
   bool shutting_down_ WEBRBD_GUARDED_BY(mu_) = false;
+  // True once the first Shutdown() caller has joined every worker. Late
+  // Shutdown() callers wait on shutdown_done_cv_ for this instead of
+  // racing the winner to std::thread::join (two threads joining one
+  // std::thread is undefined behavior — the old "idempotent" joinable()
+  // check was a TOCTOU hole under concurrent drains).
+  bool shutdown_complete_ WEBRBD_GUARDED_BY(mu_) = false;
+  CondVar shutdown_done_cv_;  // signaled when shutdown_complete_ flips
   std::atomic<uint64_t> busy_nanos_{0};
   std::vector<std::thread> workers_;
 

@@ -270,6 +270,67 @@ TEST(TemplateCacheDeterminismTest, StandaloneDocumentsDefaultToNoCache) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(TemplateCacheDeterminismTest, ReloadGenerationInvalidatesMemoization) {
+  // The serving daemon's hot-reload contract (serve/service.h): a context
+  // rebuilt with a bumped ContextOptions::reload_generation must never hit
+  // entries memoized by its predecessor — even when the ontology and every
+  // other option are byte-identical — because the generation feeds the
+  // fingerprint salt. Without this, a reloaded recognizer would replay its
+  // predecessor's record boundaries out of the cache.
+  const Ontology ontology = BundledOntology(Domain::kObituaries).value();
+
+  gen::TemplateSkewOptions skew;
+  skew.num_templates = 2;
+  skew.num_pages = 8;
+  const auto corpus = gen::GenerateTemplateSkewCorpus(skew);
+  const auto templates =
+      static_cast<uint64_t>(corpus.distinct_templates_used);
+  const auto pages = static_cast<uint64_t>(corpus.pages.size());
+
+  TemplateCache cache;
+  ContextOptions options;
+  options.template_memoization = TemplateMemoization::kAlways;
+  options.template_cache = &cache;
+
+  BatchRunOptions run;
+  run.num_threads = 1;  // exact hit/miss arithmetic
+
+  options.reload_generation = 0;
+  auto gen0 = ExtractionContext::Create(ontology, options);
+  ASSERT_TRUE(gen0.ok()) << gen0.status().ToString();
+  auto warm = gen0->ExtractCorpus(corpus.pages, run);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(cache.misses(), templates);
+  EXPECT_EQ(cache.hits(), pages - templates);
+
+  options.reload_generation = 1;
+  auto gen1 = ExtractionContext::Create(ontology, options);
+  ASSERT_TRUE(gen1.ok()) << gen1.status().ToString();
+  EXPECT_NE(gen1->template_salt(), gen0->template_salt())
+      << "the reload generation must separate the fingerprint salts";
+
+  // The same pages through the next generation: the first sighting of
+  // each template must MISS (gen0's entries are unreachable under the new
+  // salt); only gen1's own fresh entries may be hit.
+  auto reloaded = gen1->ExtractCorpus(corpus.pages, run);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(cache.misses(), 2 * templates);
+  EXPECT_EQ(cache.hits(), 2 * (pages - templates));
+  EXPECT_EQ(cache.fallbacks(), 0u);
+  EXPECT_EQ(cache.size(), 2 * templates)
+      << "both generations' entries coexist under distinct keys";
+
+  // And the reloaded generation's results are byte-identical to gen0's —
+  // invalidation is about freshness, not output drift.
+  ASSERT_EQ(warm->documents.size(), reloaded->documents.size());
+  for (size_t i = 0; i < warm->documents.size(); ++i) {
+    ASSERT_TRUE(warm->documents[i].ok());
+    ASSERT_TRUE(reloaded->documents[i].ok());
+    EXPECT_EQ(Golden(*warm->documents[i]), Golden(*reloaded->documents[i]))
+        << i;
+  }
+}
+
 TEST(TemplateCacheDeterminismTest, StaleArtifactFallsBackAndRecovers) {
   // Seed the cache with an artifact whose subtree path cannot resolve on
   // the page: the context must record a fallback, evict, re-rank, and

@@ -6,9 +6,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <new>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -307,6 +310,115 @@ TEST(ObsStagesTest, ForHeuristicMapsPaperNames) {
   EXPECT_EQ(stages.ForHeuristic("IT"), stages.heuristic_it);
   EXPECT_EQ(stages.ForHeuristic("HT"), stages.heuristic_ht);
   EXPECT_EQ(stages.ForHeuristic("XX"), nullptr);
+}
+
+TEST(ObsHistogramTest, QuantileEdgeCasesStayFinite) {
+  const auto& bounds = BucketUpperBoundsSeconds();
+
+  // All samples in the overflow bucket: the only honest answer a bounded
+  // histogram can give is its top finite bound — never inf.
+  HistogramSnapshot overflow;
+  overflow.count = 5;
+  overflow.bucket_counts[kTotalBuckets - 1] = 5;
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double estimate = overflow.Quantile(q);
+    EXPECT_TRUE(std::isfinite(estimate)) << q;
+    EXPECT_EQ(estimate, bounds[kFiniteBuckets - 1]) << q;
+  }
+
+  // A NaN q (a caller computing q from other metrics) must not poison the
+  // comparison chain; it reads as q=1.
+  HistogramSnapshot simple;
+  simple.count = 4;
+  simple.bucket_counts[3] = 4;
+  const double at_nan = simple.Quantile(std::nan(""));
+  EXPECT_TRUE(std::isfinite(at_nan));
+  EXPECT_EQ(at_nan, simple.Quantile(1.0));
+  EXPECT_TRUE(std::isfinite(simple.Quantile(
+      std::numeric_limits<double>::infinity())));
+
+  // Torn snapshot, variant 1: count raced ahead of every bucket write.
+  // Report 0, not a fabricated worst-case latency.
+  HistogramSnapshot torn_empty;
+  torn_empty.count = 10;
+  EXPECT_EQ(torn_empty.Quantile(0.99), 0.0);
+
+  // Torn snapshot, variant 2: some buckets landed; answer from those.
+  HistogramSnapshot torn_partial;
+  torn_partial.count = 10;
+  torn_partial.bucket_counts[2] = 3;
+  const double from_seen = torn_partial.Quantile(0.99);
+  EXPECT_TRUE(std::isfinite(from_seen));
+  EXPECT_EQ(from_seen, bounds[2]);
+}
+
+TEST(ObsSnapshotTest, RenderingsNeverEmitNanOrInfValues) {
+  // A snapshot built from the pathological histograms above must render
+  // to valid expositions: Prometheus scrapers reject nan/inf sample
+  // values, and JSON has no spelling for them at all.
+  MetricsSnapshot snapshot;
+  HistogramSnapshot overflow;
+  overflow.name = "webrbd_stage_document_seconds";
+  overflow.count = 3;
+  overflow.bucket_counts[kTotalBuckets - 1] = 3;
+  overflow.sum_seconds = 100.0;
+  snapshot.histograms.push_back(overflow);
+  HistogramSnapshot torn;
+  torn.name = "webrbd_stage_lex_seconds";
+  torn.count = 7;  // no bucket writes visible
+  snapshot.histograms.push_back(torn);
+
+  for (SnapshotFormat format :
+       {SnapshotFormat::kJson, SnapshotFormat::kPrometheus}) {
+    std::string rendered = RenderSnapshot(snapshot, format);
+    // The overflow bucket's label is the one legitimate "Inf" in either
+    // rendering — le="+Inf" in Prometheus text, the quoted "le": "+Inf"
+    // string in JSON. Both are labels, not sample values; strip them
+    // before scanning for poisoned values.
+    for (const std::string& label : {std::string("le=\"+Inf\""),
+                                     std::string("\"le\": \"+Inf\"")}) {
+      size_t at;
+      while ((at = rendered.find(label)) != std::string::npos) {
+        rendered.erase(at, label.size());
+      }
+    }
+    for (char& c : rendered) c = static_cast<char>(std::tolower(c));
+    EXPECT_EQ(rendered.find("nan"), std::string::npos);
+    EXPECT_EQ(rendered.find("inf"), std::string::npos);
+  }
+}
+
+TEST(ObsSnapshotTest, ParseSnapshotFormatAcceptsExactlyTheTwoNames) {
+  SnapshotFormat format = SnapshotFormat::kPrometheus;
+  EXPECT_TRUE(ParseSnapshotFormat("json", &format));
+  EXPECT_EQ(format, SnapshotFormat::kJson);
+  EXPECT_TRUE(ParseSnapshotFormat("prom", &format));
+  EXPECT_EQ(format, SnapshotFormat::kPrometheus);
+  for (const char* bad : {"", "JSON", "prometheus", "yaml", "pro"}) {
+    SnapshotFormat untouched = SnapshotFormat::kJson;
+    EXPECT_FALSE(ParseSnapshotFormat(bad, &untouched)) << bad;
+    EXPECT_EQ(untouched, SnapshotFormat::kJson) << bad;
+  }
+}
+
+TEST(ObsStagesTest, ServeMetricsAreDocumentedAndBundled) {
+  const ServeMetrics& serve = Serve();
+  EXPECT_NE(serve.requests, nullptr);
+  EXPECT_NE(serve.inflight, nullptr);
+  EXPECT_NE(serve.rejected, nullptr);
+  EXPECT_NE(serve.request_latency, nullptr);
+  EXPECT_NE(serve.drain, nullptr);
+  EXPECT_NE(serve.reloads, nullptr);
+  const auto documented = AllDocumentedMetricNames();
+  namespace mn = metric_names;
+  for (std::string_view name :
+       {mn::kServeRequests, mn::kServeInflight, mn::kServeRejected,
+        mn::kServeRequestLatency, mn::kServeDrain, mn::kServeReloads}) {
+    EXPECT_NE(std::find(documented.begin(), documented.end(),
+                        std::string(name)),
+              documented.end())
+        << name;
+  }
 }
 
 TEST(ObsStagesTest, DocumentedCatalogIsRegisteredAndComplete) {

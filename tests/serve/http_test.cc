@@ -1,0 +1,229 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for the daemon's HTTP/1.1 message layer: the incremental
+// request parser (framing, limits, precise error statuses), response
+// serialization, and query-string decoding.
+
+#include "serve/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace webrbd {
+namespace serve {
+namespace {
+
+HttpParseLimits DefaultLimits() { return HttpParseLimits{}; }
+
+TEST(HttpParseTest, ParsesSimpleGet) {
+  const std::string raw =
+      "GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  const HttpParseOutcome outcome = ParseHttpRequest(raw, DefaultLimits());
+  ASSERT_EQ(outcome.state, HttpParseState::kComplete);
+  EXPECT_EQ(outcome.consumed, raw.size());
+  EXPECT_EQ(outcome.request.method, "GET");
+  EXPECT_EQ(outcome.request.path, "/healthz");
+  EXPECT_EQ(outcome.request.query, "");
+  EXPECT_EQ(outcome.request.minor_version, 1);
+  EXPECT_TRUE(outcome.request.keep_alive);
+  EXPECT_TRUE(outcome.request.body.empty());
+}
+
+TEST(HttpParseTest, SplitsTargetIntoPathAndQuery) {
+  const HttpParseOutcome outcome = ParseHttpRequest(
+      "POST /extract?max-depth=9&max-tokens=100 HTTP/1.1\r\n\r\n",
+      DefaultLimits());
+  ASSERT_EQ(outcome.state, HttpParseState::kComplete);
+  EXPECT_EQ(outcome.request.path, "/extract");
+  EXPECT_EQ(outcome.request.query, "max-depth=9&max-tokens=100");
+  EXPECT_EQ(outcome.request.target, "/extract?max-depth=9&max-tokens=100");
+}
+
+TEST(HttpParseTest, NeedsMoreOnPartialHead) {
+  const HttpParseOutcome outcome =
+      ParseHttpRequest("GET /healthz HTTP/1.1\r\nHost: loc", DefaultLimits());
+  EXPECT_EQ(outcome.state, HttpParseState::kNeedMore);
+  EXPECT_EQ(outcome.consumed, 0u);
+}
+
+TEST(HttpParseTest, NeedsMoreWhileBodyArrives) {
+  const std::string raw =
+      "POST /extract HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345";
+  EXPECT_EQ(ParseHttpRequest(raw, DefaultLimits()).state,
+            HttpParseState::kNeedMore);
+  const HttpParseOutcome done =
+      ParseHttpRequest(raw + "67890", DefaultLimits());
+  ASSERT_EQ(done.state, HttpParseState::kComplete);
+  EXPECT_EQ(done.request.body, "1234567890");
+}
+
+TEST(HttpParseTest, ConsumesExactlyOneRequestWhenPipelined) {
+  const std::string first =
+      "POST /extract HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+  const std::string second = "GET /metrics HTTP/1.1\r\n\r\n";
+  const HttpParseOutcome outcome =
+      ParseHttpRequest(first + second, DefaultLimits());
+  ASSERT_EQ(outcome.state, HttpParseState::kComplete);
+  EXPECT_EQ(outcome.consumed, first.size());
+  EXPECT_EQ(outcome.request.body, "abc");
+}
+
+TEST(HttpParseTest, LowercasesHeaderNamesAndTrimsValues) {
+  const HttpParseOutcome outcome = ParseHttpRequest(
+      "GET / HTTP/1.1\r\nX-CuStOm:  padded value \r\n\r\n", DefaultLimits());
+  ASSERT_EQ(outcome.state, HttpParseState::kComplete);
+  const std::string* value = outcome.request.FindHeader("x-custom");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, "padded value");
+  EXPECT_EQ(outcome.request.FindHeader("X-CuStOm"), nullptr)
+      << "FindHeader takes the lowercased name";
+}
+
+TEST(HttpParseTest, ToleratesBareLfLineEndings) {
+  const HttpParseOutcome outcome = ParseHttpRequest(
+      "POST /extract HTTP/1.1\nContent-Length: 2\n\nhi", DefaultLimits());
+  ASSERT_EQ(outcome.state, HttpParseState::kComplete);
+  EXPECT_EQ(outcome.request.body, "hi");
+}
+
+TEST(HttpParseTest, ConnectionSemantics) {
+  EXPECT_TRUE(ParseHttpRequest("GET / HTTP/1.1\r\n\r\n", DefaultLimits())
+                  .request.keep_alive);
+  EXPECT_FALSE(ParseHttpRequest("GET / HTTP/1.0\r\n\r\n", DefaultLimits())
+                   .request.keep_alive);
+  EXPECT_FALSE(
+      ParseHttpRequest("GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+                       DefaultLimits())
+          .request.keep_alive);
+  EXPECT_TRUE(
+      ParseHttpRequest("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n",
+                       DefaultLimits())
+          .request.keep_alive);
+}
+
+TEST(HttpParseTest, RejectsMalformedRequestLine) {
+  for (const char* raw : {"GET\r\n\r\n", "GET /\r\n\r\n",
+                          "GET / HTTP/1.1 extra\r\n\r\n", "\r\n\r\n"}) {
+    const HttpParseOutcome outcome = ParseHttpRequest(raw, DefaultLimits());
+    EXPECT_EQ(outcome.state, HttpParseState::kError) << raw;
+    EXPECT_EQ(outcome.error_http_status, 400) << raw;
+  }
+}
+
+TEST(HttpParseTest, RejectsUnsupportedProtocolVersion) {
+  const HttpParseOutcome outcome =
+      ParseHttpRequest("GET / HTTP/2.0\r\n\r\n", DefaultLimits());
+  ASSERT_EQ(outcome.state, HttpParseState::kError);
+  EXPECT_EQ(outcome.error_http_status, 400);
+}
+
+TEST(HttpParseTest, RejectsHeaderFoldingAndBadHeaderSyntax) {
+  for (const char* raw :
+       {"GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n",     // obs-fold
+        "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",       // missing colon
+        "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",        // empty name
+        "GET / HTTP/1.1\r\nName : space-colon\r\n\r\n"}  // ws before colon
+  ) {
+    const HttpParseOutcome outcome = ParseHttpRequest(raw, DefaultLimits());
+    EXPECT_EQ(outcome.state, HttpParseState::kError) << raw;
+    EXPECT_EQ(outcome.error_http_status, 400) << raw;
+  }
+}
+
+TEST(HttpParseTest, RejectsTransferEncodingWith501) {
+  const HttpParseOutcome outcome = ParseHttpRequest(
+      "POST /extract HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+      DefaultLimits());
+  ASSERT_EQ(outcome.state, HttpParseState::kError);
+  EXPECT_EQ(outcome.error_http_status, 501);
+}
+
+TEST(HttpParseTest, RejectsMalformedContentLength) {
+  for (const char* length : {"abc", "-1", "+5", "1 2", "0x10", ""}) {
+    const std::string raw = std::string("POST / HTTP/1.1\r\nContent-Length: ") +
+                            length + "\r\n\r\n";
+    const HttpParseOutcome outcome = ParseHttpRequest(raw, DefaultLimits());
+    EXPECT_EQ(outcome.state, HttpParseState::kError) << raw;
+    EXPECT_EQ(outcome.error_http_status, 400) << raw;
+  }
+}
+
+TEST(HttpParseTest, OversizedDeclaredBodyIs413WithoutBuffering) {
+  HttpParseLimits limits;
+  limits.max_body_bytes = 16;
+  // Only the head has arrived; the declared length alone must trigger 413
+  // (the server never buffers a body it will reject).
+  const HttpParseOutcome outcome = ParseHttpRequest(
+      "POST /extract HTTP/1.1\r\nContent-Length: 17\r\n\r\n", limits);
+  ASSERT_EQ(outcome.state, HttpParseState::kError);
+  EXPECT_EQ(outcome.error_http_status, 413);
+}
+
+TEST(HttpParseTest, OversizedHeadIs431) {
+  HttpParseLimits limits;
+  limits.max_head_bytes = 64;
+  const std::string huge_header(128, 'a');
+  const HttpParseOutcome outcome = ParseHttpRequest(
+      "GET / HTTP/1.1\r\nX-Big: " + huge_header + "\r\n\r\n", limits);
+  ASSERT_EQ(outcome.state, HttpParseState::kError);
+  EXPECT_EQ(outcome.error_http_status, 431);
+  // The same cap fires even before the blank line arrives, so a slow-drip
+  // attacker cannot grow the buffer unboundedly.
+  const HttpParseOutcome partial =
+      ParseHttpRequest("GET / HTTP/1.1\r\nX-Big: " + huge_header, limits);
+  ASSERT_EQ(partial.state, HttpParseState::kError);
+  EXPECT_EQ(partial.error_http_status, 431);
+}
+
+TEST(HttpSerializeTest, EmitsFramingHeadersAndBody) {
+  HttpResponse response;
+  response.status = 503;
+  response.body = "busy";
+  response.extra_headers.push_back({"Retry-After", "2"});
+  const std::string keep = SerializeHttpResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(keep.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(keep.find("Content-Length: 4\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Retry-After: 2\r\n"), std::string::npos);
+  EXPECT_EQ(keep.substr(keep.size() - 4), "busy");
+  const std::string close =
+      SerializeHttpResponse(response, /*keep_alive=*/false);
+  EXPECT_NE(close.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(HttpSerializeTest, RoundTripsThroughTheParserStatusLine) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = "ok\n";
+  const std::string raw = SerializeHttpResponse(response, true);
+  EXPECT_EQ(raw.find("HTTP/1.1 200 OK\r\n"), 0u);
+}
+
+TEST(HttpQueryTest, ParsesAndDecodesPairs) {
+  const auto params = ParseQuery("a=1&b=two+words&c=%2Fslash&flag");
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].key, "a");
+  EXPECT_EQ(params[0].value, "1");
+  EXPECT_EQ(params[1].value, "two words");
+  EXPECT_EQ(params[2].value, "/slash");
+  EXPECT_EQ(params[3].key, "flag");
+  EXPECT_EQ(params[3].value, "");
+}
+
+TEST(HttpQueryTest, KeepsMalformedEscapesVerbatim) {
+  const auto params = ParseQuery("k=%G1&tail=%2");
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].value, "%G1");
+  EXPECT_EQ(params[1].value, "%2");
+}
+
+TEST(HttpQueryTest, EmptyQueryYieldsNoParams) {
+  EXPECT_TRUE(ParseQuery("").empty());
+  EXPECT_TRUE(ParseQuery("&&").empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace webrbd

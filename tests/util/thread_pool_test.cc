@@ -178,6 +178,60 @@ TEST(ThreadPoolTest, IsWorkerThreadDistinguishesPools) {
   EXPECT_TRUE(in_a.get());
 }
 
+TEST(ThreadPoolTest, ConcurrentShutdownFromManyThreadsJoinsExactlyOnce) {
+  // Regression: Shutdown() used to guard the worker join with a bare
+  // joinable() check, a TOCTOU hole — two concurrent callers could both
+  // see joinable() and both call std::thread::join on the same worker
+  // (undefined behavior). Now exactly one caller joins and the rest block
+  // until the join completes, so no Shutdown() returns early.
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done]() {
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    std::vector<std::thread> closers;
+    closers.reserve(6);
+    std::atomic<int> returned{0};
+    for (int i = 0; i < 6; ++i) {
+      closers.emplace_back([&pool, &done, &returned]() {
+        pool.Shutdown();
+        // The concurrent-Shutdown contract: by the time ANY caller
+        // returns, every queued task has run.
+        EXPECT_EQ(done.load(std::memory_order_relaxed), 64);
+        returned.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& closer : closers) closer.join();
+    EXPECT_EQ(returned.load(), 6);
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownRacingSubmittersLosesNoTask) {
+  // Submissions racing a concurrent Shutdown() either make the queue (and
+  // are drained) or run caller-inline — both outcomes complete the task,
+  // so the futures must all be satisfied and the counter exact.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &done]() {
+      for (int i = 0; i < 25; ++i) {
+        pool.Submit([&done]() {
+            done.fetch_add(1, std::memory_order_relaxed);
+          }).wait();
+      }
+    });
+  }
+  std::thread closer([&pool]() { pool.Shutdown(); });
+  for (std::thread& submitter : submitters) submitter.join();
+  closer.join();
+  EXPECT_EQ(done.load(), 100);
+}
+
 TEST(ThreadPoolTest, ManyProducersOneQueue) {
   ThreadPool pool(4, /*queue_capacity=*/8);
   std::atomic<int> sum{0};

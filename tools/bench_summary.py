@@ -27,11 +27,18 @@ import sys
 
 
 def load_benchmarks(paths):
-    """name -> best repetition (highest bytes_per_second) of that name."""
+    """(name -> best repetition of that name, last serve_load section).
+
+    Inputs are google-benchmark JSON files plus, optionally, the
+    bench/bench_serve_load.py output (recognized by its "serve_load" key).
+    """
     runs = {}
+    serve_load = None
     for path in paths:
         with open(path) as f:
             data = json.load(f)
+        if "serve_load" in data:
+            serve_load = data["serve_load"]
         for bench in data.get("benchmarks", []):
             if bench.get("run_type") == "aggregate":
                 continue
@@ -40,7 +47,7 @@ def load_benchmarks(paths):
             if best is None or (bench.get("bytes_per_second", 0)
                                 > best.get("bytes_per_second", 0)):
                 runs[name] = bench
-    return runs
+    return runs, serve_load
 
 
 def mb_per_second(bench):
@@ -53,8 +60,19 @@ def main():
     parser.add_argument("inputs", nargs="+", help="benchmark JSON files")
     args = parser.parse_args()
 
-    runs = load_benchmarks(args.inputs)
+    runs, serve_load = load_benchmarks(args.inputs)
     summary = {}
+
+    # Serving-path section: the daemon load run's headline numbers (see
+    # bench/bench_serve_load.py for the assertions behind them).
+    if serve_load:
+        summary["serve_requests"] = serve_load.get("served", 0)
+        summary["serve_dropped"] = serve_load.get("dropped", 0)
+        summary["serve_throughput_rps"] = serve_load.get("throughput_rps",
+                                                         0.0)
+        summary["serve_p50_ms"] = serve_load.get("p50_ms", 0.0)
+        summary["serve_p99_ms"] = serve_load.get("p99_ms", 0.0)
+        summary["serve_concurrency"] = serve_load.get("concurrency", 0)
 
     pairs = [
         ("lexer", "BM_Lexer", "lexer_legacy", "BM_LexerLegacy"),

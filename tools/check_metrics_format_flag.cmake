@@ -1,0 +1,36 @@
+# Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+#
+# ctest script: --metrics-format must override the file-extension rule.
+# Writes a snapshot to a .prom-named file while forcing json, and to a
+# .json-named file while forcing prom, and checks each body's format.
+#
+# Expects: -DWEBRBD_CLI=<path to webrbd_cli> -DOUT_DIR=<writable dir>
+
+set(json_in_prom ${OUT_DIR}/format_flag.prom)
+execute_process(
+    COMMAND ${WEBRBD_CLI} batch --generate 4 --threads 1
+            --metrics-out ${json_in_prom} --metrics-format json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--metrics-format json into .prom exited with ${rc}")
+endif()
+file(READ ${json_in_prom} body)
+string(FIND "${body}" "\"webrbd_stage_document_seconds\"" has_json)
+string(FIND "${body}" "# TYPE" has_prom)
+if(has_json EQUAL -1 OR NOT has_prom EQUAL -1)
+  message(FATAL_ERROR "--metrics-format json did not override .prom suffix")
+endif()
+
+set(prom_in_json ${OUT_DIR}/format_flag.json)
+execute_process(
+    COMMAND ${WEBRBD_CLI} batch --generate 4 --threads 1
+            --metrics-out ${prom_in_json} --metrics-format prom
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--metrics-format prom into .json exited with ${rc}")
+endif()
+file(READ ${prom_in_json} body)
+string(FIND "${body}" "# TYPE webrbd_stage_document_seconds histogram" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "--metrics-format prom did not override .json suffix")
+endif()

@@ -45,7 +45,13 @@ set(DOCUMENTED_METRICS
     webrbd_robust_lexer_recoveries_total
     webrbd_html_lexer_bytes_total
     webrbd_html_lexer_tokens_total
-    webrbd_html_lexer_name_spills_total)
+    webrbd_html_lexer_name_spills_total
+    webrbd_serve_requests_total
+    webrbd_serve_inflight
+    webrbd_serve_rejected_total
+    webrbd_serve_request_seconds
+    webrbd_serve_drain_seconds
+    webrbd_serve_reloads_total)
 
 set(json_file ${OUT_DIR}/metrics_out.json)
 execute_process(

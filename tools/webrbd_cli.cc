@@ -44,6 +44,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -78,7 +79,13 @@ struct CliOptions {
   long long chunk_size = 0;
   int generate = 0;
   int generate_adversarial = 0;
+  // batch: also write the assembled corpus to this directory as
+  // doc_NNNN.html (how bench/bench_serve_load.py obtains real extractable
+  // documents to POST at the daemon).
+  std::string dump_corpus_dir;
   std::string metrics_out;
+  // Snapshot format for --metrics-out; unset = infer from the extension.
+  std::optional<obs::SnapshotFormat> metrics_format;
   // Resource-limit overrides; -1 = keep the mode's default for that cap.
   long long max_doc_bytes = -1;
   long long max_depth = -1;
@@ -155,9 +162,11 @@ int Usage() {
       "options:  --heuristics LETTERS  --threshold FRACTION\n"
       "          --ontology FILE  --format FORMAT  --keep-leading\n"
       "          --threads N  --chunk-size N  --generate N\n"
-      "          --generate-adversarial N  (batch)\n"
+      "          --generate-adversarial N  --dump-corpus DIR  (batch)\n"
       "          --max-doc-bytes N  --max-depth N  --unlimited\n"
-      "          --metrics-out FILE  (any command; .prom = Prometheus text)\n");
+      "          --metrics-out FILE  (any command; .prom = Prometheus text)\n"
+      "          --metrics-format json|prom  (overrides the extension rule;\n"
+      "            the only way to pick a format for --metrics-out -)\n");
   return 2;
 }
 
@@ -206,6 +215,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
       options->generate_adversarial = static_cast<int>(n);
+    } else if (arg == "--dump-corpus") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->dump_corpus_dir = v;
     } else if (arg == "--max-doc-bytes") {
       // -1 stays the internal "keep the mode's default" sentinel; the user
       // can only set values >= 0 (0 = unlimited).
@@ -223,6 +236,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->metrics_out = v;
+    } else if (arg == "--metrics-format") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      obs::SnapshotFormat format;
+      if (!obs::ParseSnapshotFormat(v, &format)) {
+        std::fprintf(stderr,
+                     "--metrics-format: expected json or prom, got \"%s\"\n",
+                     v);
+        return false;
+      }
+      options->metrics_format = format;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -525,6 +549,28 @@ int RunBatch(const CliOptions& cli) {
     }
   }
 
+  if (!cli.dump_corpus_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.dump_corpus_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n",
+                   cli.dump_corpus_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "doc_%04zu.html", i);
+      const std::filesystem::path path =
+          std::filesystem::path(cli.dump_corpus_dir) / name;
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << corpus[i];
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+        return 1;
+      }
+    }
+  }
+
   ContextOptions options;
   options.discovery.heuristics = cli.heuristics;
   options.discovery.candidate_options.irrelevance_threshold = cli.threshold;
@@ -565,16 +611,23 @@ int RunDemo() {
   return 0;
 }
 
-// Writes the global metrics snapshot to cli.metrics_out ("-" = stdout; a
-// .prom suffix selects Prometheus text format, anything else JSON).
-// Returns false when the file cannot be written.
+// Writes the global metrics snapshot to cli.metrics_out ("-" = stdout).
+// An explicit --metrics-format wins; otherwise a .prom suffix selects
+// Prometheus text format and anything else JSON. The explicit flag is the
+// only way to get Prometheus text on stdout — "-" has no extension to
+// infer from, which used to silently force JSON. Returns false when the
+// file cannot be written.
 bool WriteMetricsSnapshot(const CliOptions& cli) {
   const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
   const std::string& path = cli.metrics_out;
-  const bool prometheus =
-      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
-  const std::string body =
-      prometheus ? snapshot.ToPrometheus() : snapshot.ToJson();
+  obs::SnapshotFormat format = obs::SnapshotFormat::kJson;
+  if (cli.metrics_format.has_value()) {
+    format = *cli.metrics_format;
+  } else if (path.size() >= 5 &&
+             path.compare(path.size() - 5, 5, ".prom") == 0) {
+    format = obs::SnapshotFormat::kPrometheus;
+  }
+  const std::string body = obs::RenderSnapshot(snapshot, format);
   if (path == "-") {
     std::fwrite(body.data(), 1, body.size(), stdout);
     return true;

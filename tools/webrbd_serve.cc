@@ -1,0 +1,302 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// webrbd_serve: the extraction-as-a-service daemon. Binds an HTTP/1.1
+// endpoint (serve/server.h) over the ExtractionService (serve/service.h)
+// and runs until SIGTERM/SIGINT, then drains gracefully: stop accepting,
+// finish every in-flight request, write a final metrics snapshot, exit 0.
+//
+//   webrbd_serve --port 8080 --ontology obituaries.onto \
+//                --max-inflight 64 --metrics-out final.prom
+//
+// See docs/serving.md for the endpoint contract and operational guidance.
+
+#include <cerrno>
+#include <climits>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "obs/stages.h"
+#include "ontology/bundled.h"
+#include "robust/limits.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/result.h"
+
+namespace webrbd {
+namespace {
+
+struct ServeCliOptions {
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  std::string ontology_file;  // empty = bundled obituaries ontology
+  int io_threads = 0;
+  int max_inflight = 0;
+  int retry_after = 1;
+  long long max_doc_bytes = -1;  // -1 = keep the production default
+  long long max_depth = -1;
+  bool unlimited = false;
+  long long max_body_bytes = -1;
+  std::string metrics_out;
+  std::optional<obs::SnapshotFormat> metrics_format;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: webrbd_serve [options]\n"
+      "options:  --host ADDR        bind address (default 127.0.0.1)\n"
+      "          --port N           port; 0 picks one (default 8080)\n"
+      "          --ontology FILE    ontology DSL (default: bundled\n"
+      "                             obituaries); re-read on empty-body\n"
+      "                             POST /reload-ontology\n"
+      "          --io-threads N     connection workers (default: #cores)\n"
+      "          --max-inflight N   admitted requests before 503\n"
+      "          --retry-after N    Retry-After seconds on 503 (default 1)\n"
+      "          --max-doc-bytes N  per-document byte ceiling\n"
+      "          --max-depth N      per-document tree-depth ceiling\n"
+      "          --unlimited        disable every document limit\n"
+      "          --max-body-bytes N HTTP request-body cap\n"
+      "          --metrics-out FILE final snapshot on shutdown (- = stdout)\n"
+      "          --metrics-format json|prom  (overrides the .prom\n"
+      "                             extension rule; required for stdout)\n");
+  return 2;
+}
+
+// Strict non-negative integer flag parse (same contract as webrbd_cli's:
+// the whole value must be one decimal integer, no strtol half-reads).
+bool ParseCount(const char* flag, const char* v, long long* out) {
+  if (v == nullptr || *v == '\0') {
+    std::fprintf(stderr, "%s: expected a non-negative integer\n", flag);
+    return false;
+  }
+  long long value = 0;
+  for (const char* p = v; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      std::fprintf(stderr, "%s: expected a non-negative integer, got \"%s\"\n",
+                   flag, v);
+      return false;
+    }
+    if (value > (LLONG_MAX - (*p - '0')) / 10) {
+      std::fprintf(stderr, "%s: value \"%s\" is out of range\n", flag, v);
+      return false;
+    }
+    value = value * 10 + (*p - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, ServeCliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    long long count = 0;
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->host = v;
+    } else if (arg == "--port") {
+      if (!ParseCount("--port", next(), &count) || count > 65535) return false;
+      options->port = static_cast<int>(count);
+    } else if (arg == "--ontology") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->ontology_file = v;
+    } else if (arg == "--io-threads") {
+      if (!ParseCount("--io-threads", next(), &count)) return false;
+      options->io_threads = static_cast<int>(count);
+    } else if (arg == "--max-inflight") {
+      if (!ParseCount("--max-inflight", next(), &count)) return false;
+      options->max_inflight = static_cast<int>(count);
+    } else if (arg == "--retry-after") {
+      if (!ParseCount("--retry-after", next(), &count)) return false;
+      options->retry_after = static_cast<int>(count);
+    } else if (arg == "--max-doc-bytes") {
+      if (!ParseCount("--max-doc-bytes", next(), &count)) return false;
+      options->max_doc_bytes = count;
+    } else if (arg == "--max-depth") {
+      if (!ParseCount("--max-depth", next(), &count)) return false;
+      options->max_depth = count;
+    } else if (arg == "--unlimited") {
+      options->unlimited = true;
+    } else if (arg == "--max-body-bytes") {
+      if (!ParseCount("--max-body-bytes", next(), &count)) return false;
+      options->max_body_bytes = count;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->metrics_out = v;
+    } else if (arg == "--metrics-format") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      obs::SnapshotFormat format;
+      if (v == nullptr || !obs::ParseSnapshotFormat(v, &format)) {
+        std::fprintf(stderr,
+                     "--metrics-format: expected json or prom, got \"%s\"\n",
+                     v == nullptr ? "" : v);
+        return false;
+      }
+      options->metrics_format = format;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::string> LoadOntologyDsl(const ServeCliOptions& cli) {
+  if (cli.ontology_file.empty()) {
+    return BundledOntologyDsl(Domain::kObituaries);
+  }
+  std::ifstream in(cli.ontology_file, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + cli.ontology_file);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+robust::DocumentLimits LimitsFromCli(const ServeCliOptions& cli) {
+  robust::DocumentLimits limits = cli.unlimited
+                                      ? robust::DocumentLimits::Unlimited()
+                                      : robust::DocumentLimits::Production();
+  if (cli.max_doc_bytes >= 0) {
+    limits.max_document_bytes = static_cast<size_t>(cli.max_doc_bytes);
+  }
+  if (cli.max_depth >= 0) {
+    limits.max_tree_depth = static_cast<size_t>(cli.max_depth);
+  }
+  return limits;
+}
+
+bool WriteFinalSnapshot(const ServeCliOptions& cli) {
+  if (cli.metrics_out.empty()) return true;
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  obs::SnapshotFormat format = obs::SnapshotFormat::kJson;
+  if (cli.metrics_format.has_value()) {
+    format = *cli.metrics_format;
+  } else if (cli.metrics_out.size() >= 5 &&
+             cli.metrics_out.compare(cli.metrics_out.size() - 5, 5,
+                                     ".prom") == 0) {
+    format = obs::SnapshotFormat::kPrometheus;
+  }
+  const std::string body = obs::RenderSnapshot(snapshot, format);
+  if (cli.metrics_out == "-") {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return true;
+  }
+  std::ofstream out(cli.metrics_out, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics to %s\n",
+                 cli.metrics_out.c_str());
+    return false;
+  }
+  out << body;
+  return out.good();
+}
+
+// Self-pipe signal plumbing: the handler does the only async-signal-safe
+// thing — write one byte — and the main thread sleeps in read(2) until a
+// shutdown signal (or two, which is still one drain) arrives.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleShutdownSignal(int) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; the result is deliberately ignored
+  // (a full pipe means a signal is already pending — same outcome).
+  const ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+int Main(int argc, char** argv) {
+  ServeCliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return Usage();
+
+  obs::SetMetricsEnabled(true);
+  obs::EnsureDocumentedMetricsRegistered();
+
+  auto dsl = LoadOntologyDsl(cli);
+  if (!dsl.ok()) {
+    std::fprintf(stderr, "%s\n", dsl.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServiceOptions service_options;
+  service_options.context.discovery.limits = LimitsFromCli(cli);
+  service_options.ceilings = LimitsFromCli(cli);
+  service_options.max_inflight = cli.max_inflight;
+  service_options.retry_after_seconds = cli.retry_after;
+  service_options.reload_source = [cli]() { return LoadOntologyDsl(cli); };
+  auto service =
+      serve::ExtractionService::Create(std::move(dsl).value(),
+                                       std::move(service_options));
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServerOptions server_options;
+  server_options.host = cli.host;
+  server_options.port = cli.port;
+  server_options.io_threads = cli.io_threads;
+  // The SLO smoke opens ~1k simultaneous connections; the listen(2)
+  // default of 128 would bounce the burst before accept() ever saw it.
+  server_options.backlog = 1024;
+  if (cli.max_body_bytes >= 0) {
+    server_options.parse_limits.max_body_bytes =
+        static_cast<size_t>(cli.max_body_bytes);
+  }
+  serve::ExtractionService* service_ptr = service->get();
+  auto server = serve::HttpServer::Start(
+      std::move(server_options),
+      [service_ptr](const serve::HttpRequest& request) {
+        return service_ptr->Handle(request);
+      });
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action{};
+  action.sa_handler = HandleShutdownSignal;
+  ::sigemptyset(&action.sa_mask);
+  (void)::sigaction(SIGTERM, &action, nullptr);
+  (void)::sigaction(SIGINT, &action, nullptr);
+
+  // The startup line scripts wait for (bench/bench_serve_load.py parses
+  // the port out of it). Flushed so a pipe reader sees it immediately.
+  std::printf("webrbd_serve listening on %s:%d\n", cli.host.c_str(),
+              (*server)->port());
+  std::fflush(stdout);
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::fprintf(stderr, "shutdown signal received; draining\n");
+  service_ptr->BeginDrain();
+  (*server)->Drain();
+  const bool wrote = WriteFinalSnapshot(cli);
+  std::fprintf(stderr, "drain complete\n");
+  return wrote ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace webrbd
+
+int main(int argc, char** argv) { return webrbd::Main(argc, argv); }
