@@ -31,7 +31,11 @@ namespace {
 
 std::string CsvCell(const Value& value) {
   if (value.is_null()) return "";
-  return CsvEscape(value.ToString());
+  const std::string text = value.ToString();
+  // Quote the empty string: a bare empty field means NULL, and the two
+  // must survive a parse round trip as different values.
+  if (text.empty()) return "\"\"";
+  return CsvEscape(text);
 }
 
 std::string SqlCell(const Value& value) {
@@ -73,6 +77,92 @@ std::string ToCsv(const Table& table) {
       out += CsvCell(row[c]);
     }
     out += "\n";
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<CsvField>>> ParseCsv(std::string_view csv) {
+  std::vector<std::vector<CsvField>> rows;
+  const size_t n = csv.size();
+  size_t i = 0;
+  while (i < n) {
+    std::vector<CsvField> row;
+    bool row_done = false;
+    while (!row_done) {
+      CsvField field;
+      if (i < n && csv[i] == '"') {
+        ++i;
+        bool closed = false;
+        while (i < n) {
+          if (csv[i] == '"') {
+            if (i + 1 < n && csv[i + 1] == '"') {
+              field.text += '"';
+              i += 2;
+              continue;
+            }
+            ++i;
+            closed = true;
+            break;
+          }
+          field.text += csv[i++];
+        }
+        if (!closed) {
+          return Status::ParseError("unterminated quoted CSV field");
+        }
+        if (i < n && csv[i] != ',' && csv[i] != '\n' && csv[i] != '\r') {
+          return Status::ParseError(
+              "content after the closing quote of a CSV field");
+        }
+      } else {
+        const size_t start = i;
+        while (i < n && csv[i] != ',' && csv[i] != '\n' && csv[i] != '\r') {
+          if (csv[i] == '"') {
+            return Status::ParseError(
+                "bare quote inside an unquoted CSV field");
+          }
+          ++i;
+        }
+        field.text.assign(csv.substr(start, i - start));
+        field.null = field.text.empty();
+      }
+      row.push_back(std::move(field));
+      if (i >= n) {
+        row_done = true;
+      } else if (csv[i] == ',') {
+        ++i;  // next field of this row (possibly an empty one at EOF)
+      } else if (csv[i] == '\r') {
+        ++i;
+        if (i < n && csv[i] == '\n') ++i;
+        row_done = true;
+      } else {  // '\n'
+        ++i;
+        row_done = true;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::string> SqlUnquote(std::string_view literal) {
+  if (literal.size() < 2 || literal.front() != '\'' ||
+      literal.back() != '\'') {
+    return Status::ParseError(
+        "SQL string literal must be wrapped in single quotes");
+  }
+  std::string out;
+  const size_t end = literal.size() - 1;
+  size_t i = 1;
+  while (i < end) {
+    if (literal[i] == '\'') {
+      if (i + 1 < end && literal[i + 1] == '\'') {
+        out += '\'';
+        i += 2;
+        continue;
+      }
+      return Status::ParseError("stray quote inside SQL string literal");
+    }
+    out += literal[i++];
   }
   return out;
 }

@@ -8,15 +8,20 @@
 #define WEBRBD_DB_EXPORT_H_
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "db/catalog.h"
 #include "db/table.h"
+#include "util/result.h"
 
 namespace webrbd::db {
 
 /// Renders one table as RFC-4180 CSV: a header row of column names, then
-/// one row per tuple. Fields containing commas, quotes, or newlines are
-/// quoted; embedded quotes are doubled. NULL renders as an empty field.
+/// one row per tuple. Fields containing commas, quotes, CR, or LF are
+/// quoted; embedded quotes are doubled. NULL renders as a bare empty
+/// field; an empty STRING renders as a quoted empty field ("") so the two
+/// stay distinguishable across a parse round trip.
 std::string ToCsv(const Table& table);
 
 /// Renders the whole catalog as a SQL script: CREATE TABLE statements
@@ -30,6 +35,33 @@ std::string CsvEscape(const std::string& field);
 
 /// Quotes one SQL string literal (exposed for tests).
 std::string SqlQuote(const std::string& value);
+
+/// One parsed CSV cell. `null` is true for a bare empty field (how ToCsv
+/// renders NULL), false for everything else — including a quoted empty
+/// field, which is an empty string.
+struct CsvField {
+  std::string text;
+  bool null = false;
+
+  bool operator==(const CsvField& other) const {
+    return null == other.null && text == other.text;
+  }
+};
+
+/// Parses CSV text back into rows of fields: the byte-exact inverse of
+/// ToCsv (header row included), and a strict RFC-4180 reader generally.
+/// Quoted fields may contain commas, quotes (doubled), CR, LF, and
+/// arbitrary non-UTF8 bytes; rows end at LF, CRLF, or lone CR outside
+/// quotes, with the final terminator optional. Fails with kParseError on
+/// an unterminated quote, a bare quote inside an unquoted field, or
+/// content after a closing quote.
+[[nodiscard]] Result<std::vector<std::vector<CsvField>>> ParseCsv(
+    std::string_view csv);
+
+/// Decodes one SQL string literal: the inverse of SqlQuote. Fails with
+/// kParseError unless `literal` is a complete single-quoted literal with
+/// every interior quote doubled.
+[[nodiscard]] Result<std::string> SqlUnquote(std::string_view literal);
 
 }  // namespace webrbd::db
 

@@ -164,6 +164,13 @@ Status DatabaseInstanceGenerator::InsertEntity(
         break;
       }
     }
+    if (info == nullptr) {
+      // Reachable when records replayed from a store file were extracted
+      // under a different ontology than this generator's.
+      return Status::InvalidArgument("unknown attribute '" + name +
+                                     "' for entity " +
+                                     scheme_.entity_table.table_name());
+    }
     if (info->cardinality == Cardinality::kMany) {
       db::Table* aux =
           catalog->GetTable(scheme_.entity_table.table_name() + "_" + name);

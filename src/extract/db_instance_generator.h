@@ -57,6 +57,14 @@ class DatabaseInstanceGenerator {
   [[nodiscard]] Result<db::Catalog> PopulateFromPartitions(
       const std::vector<DataRecordTable>& partitions) const;
 
+  /// Inserts one entity row (and its aux-table rows for many-valued
+  /// object sets) into `catalog`, which must have been created from this
+  /// generator's scheme. Public so record sinks (extract/record_sink.h)
+  /// can materialize already-assembled records into catalogs.
+  [[nodiscard]] Status InsertEntity(
+      db::Catalog* catalog, int64_t id,
+      const std::vector<std::pair<std::string, std::string>>& fields) const;
+
   const DatabaseScheme& scheme() const { return scheme_; }
   const Recognizer& recognizer() const { return recognizer_; }
 
@@ -68,11 +76,6 @@ class DatabaseInstanceGenerator {
   // to the object set whose own keyword most closely precedes the constant.
   std::vector<DataRecordEntry> ResolveConstants(
       const DataRecordTable& table) const;
-
-  // Inserts one entity row (and its aux-table rows) into `catalog`.
-  [[nodiscard]] Status InsertEntity(
-      db::Catalog* catalog, int64_t id,
-      const std::vector<std::pair<std::string, std::string>>& fields) const;
 
   struct FieldInfo {
     std::string name;

@@ -7,12 +7,14 @@
 #include <chrono>
 #include <exception>
 #include <future>
+#include <limits>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "core/boundary_artifact.h"
 #include "extract/db_instance_generator.h"
+#include "extract/record_sink.h"
 #include "html/text_index.h"
 #include "html/tree_builder.h"
 #include "obs/metrics.h"
@@ -240,23 +242,53 @@ ExtractionContext ExtractionContext::FromCompiledRecognizer(
       std::move(options));
 }
 
-Result<IntegratedResult> ExtractionContext::ExtractDocument(
-    std::string_view html) const {
+Result<ExtractionOutcome> ExtractionContext::ExtractDocumentInto(
+    std::string_view html, RecordSink& sink) const {
   DocumentArena arena;
   return ExtractDocumentImpl(
       html, arena,
-      options_.template_memoization == TemplateMemoization::kAlways);
+      options_.template_memoization == TemplateMemoization::kAlways, sink,
+      /*document_index=*/0);
+}
+
+Result<ExtractionOutcome> ExtractionContext::ExtractDocumentInto(
+    std::string_view html, DocumentArena& arena, RecordSink& sink) const {
+  return ExtractDocumentImpl(
+      html, arena,
+      options_.template_memoization == TemplateMemoization::kAlways, sink,
+      /*document_index=*/0);
+}
+
+Result<IntegratedResult> ExtractionContext::ExtractDocumentShim(
+    std::string_view html, DocumentArena& arena) const {
+  CatalogSink sink(generator_);
+  auto outcome = ExtractDocumentInto(html, arena, sink);
+  if (!outcome.ok()) return outcome.status();
+  auto catalog = sink.TakeCatalog(0);
+  if (!catalog.ok()) return catalog.status();
+  IntegratedResult result;
+  result.separator = std::move(outcome->separator);
+  result.discovery = std::move(outcome->discovery);
+  result.table = std::move(outcome->table);
+  result.partitions = std::move(outcome->partitions);
+  result.catalog = std::move(catalog).value();
+  return result;
+}
+
+Result<IntegratedResult> ExtractionContext::ExtractDocument(
+    std::string_view html) const {
+  DocumentArena arena;
+  return ExtractDocumentShim(html, arena);
 }
 
 Result<IntegratedResult> ExtractionContext::ExtractDocument(
     std::string_view html, DocumentArena& arena) const {
-  return ExtractDocumentImpl(
-      html, arena,
-      options_.template_memoization == TemplateMemoization::kAlways);
+  return ExtractDocumentShim(html, arena);
 }
 
-Result<IntegratedResult> ExtractionContext::ExtractDocumentImpl(
-    std::string_view html, DocumentArena& arena, bool use_cache) const {
+Result<ExtractionOutcome> ExtractionContext::ExtractDocumentImpl(
+    std::string_view html, DocumentArena& arena, bool use_cache,
+    RecordSink& sink, uint32_t document_index) const {
   obs::ScopedTimer document_timer(obs::Stages().document);
   obs::Stages().documents->Increment();
   const DiscoveryOptions& base = options_.discovery;
@@ -264,10 +296,12 @@ Result<IntegratedResult> ExtractionContext::ExtractDocumentImpl(
 
   // Everything downstream of boundary discovery, shared by the memoized
   // fast path and the full flow: partition the table at the separator's
-  // document positions (the leading partition is the page preamble) and
-  // generate one entity per partition. The dbgen span covers both.
-  auto finish = [this](IntegratedResult result,
-                       std::vector<size_t> cuts) -> Result<IntegratedResult> {
+  // document positions (the leading partition is the page preamble),
+  // assemble one record per partition, and deliver each to the sink. The
+  // dbgen span covers all of it.
+  auto finish = [this, &sink, document_index](
+                    ExtractionOutcome result,
+                    std::vector<size_t> cuts) -> Result<ExtractionOutcome> {
     obs::ScopedTimer dbgen_timer(obs::Stages().dbgen);
     if (cuts.empty()) {
       return Status::Internal("separator <" + result.separator +
@@ -283,21 +317,29 @@ Result<IntegratedResult> ExtractionContext::ExtractDocumentImpl(
     }
     result.partitions = std::move(partitions);
 
-    // One entity per partition, through the generator compiled once at
+    // One record per partition, through the generator compiled once at
     // context construction. The null fallback covers the one construction
     // path that cannot report a compile failure (FromCompiledRecognizer):
     // compiling here per document reproduces the error the caller would
     // have seen.
-    Result<db::Catalog> catalog = Status::Internal("generator unset");
-    if (generator_ != nullptr) {
-      catalog = generator_->PopulateFromPartitions(result.partitions);
-    } else {
-      auto generator = DatabaseInstanceGenerator::Create(*ontology_);
-      if (!generator.ok()) return generator.status();
-      catalog = generator->PopulateFromPartitions(result.partitions);
+    const DatabaseInstanceGenerator* generator = generator_.get();
+    std::optional<DatabaseInstanceGenerator> local;
+    if (generator == nullptr) {
+      auto compiled = DatabaseInstanceGenerator::Create(*ontology_);
+      if (!compiled.ok()) return compiled.status();
+      local.emplace(std::move(compiled).value());
+      generator = &*local;
     }
-    if (!catalog.ok()) return catalog.status();
-    result.catalog = std::move(catalog).value();
+    PopulatedRecord record;
+    record.document_index = document_index;
+    record.entity = generator->scheme().entity_table.table_name();
+    for (size_t i = 0; i < result.partitions.size(); ++i) {
+      record.record_index = static_cast<uint32_t>(i);
+      record.fields = generator->FieldsFromTable(result.partitions[i]);
+      Status written = sink.Write(record);
+      if (!written.ok()) return written;
+    }
+    result.records_written = result.partitions.size();
     return result;
   };
 
@@ -338,7 +380,7 @@ Result<IntegratedResult> ExtractionContext::ExtractDocumentImpl(
                                             balanced->symbols,
                                             arena.interner());
     if (boundary.has_value()) {
-      IntegratedResult result;
+      ExtractionOutcome result;
       result.discovery = memoized->discovery;
       result.separator = memoized->separator;
       return finish(std::move(result),
@@ -386,7 +428,7 @@ Result<IntegratedResult> ExtractionContext::ExtractDocumentImpl(
   // reposition are all skipped — separator cut points then come straight
   // off the region's token span below.
   std::optional<TextIndex> index;
-  IntegratedResult result;
+  ExtractionOutcome result;
   if (has_rules) {
     index.emplace(*tree, *region);
     DataRecordTable text_table = recognizer_->Recognize(index->text());
@@ -447,9 +489,13 @@ Result<IntegratedResult> ExtractionContext::ExtractDocumentImpl(
   return finished;
 }
 
-Result<BatchResult> ExtractionContext::ExtractCorpus(
-    const std::vector<std::string_view>& corpus,
+Result<BatchOutcome> ExtractionContext::ExtractCorpusInto(
+    const std::vector<std::string_view>& corpus, RecordSink& sink,
     const BatchRunOptions& run) const {
+  if (corpus.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "corpus exceeds the 2^32-1 document-index space");
+  }
   const int threads = ResolveThreads(run.num_threads);
   const bool metrics = obs::MetricsEnabled();
   obs::MetricsSnapshot before;
@@ -458,8 +504,11 @@ Result<BatchResult> ExtractionContext::ExtractCorpus(
 
   // Per-document slots, written by exactly one task each and read only
   // after the owning future is waited on (the future's happens-before edge
-  // publishes the slot to this thread).
-  std::vector<std::optional<Result<IntegratedResult>>> slots(corpus.size());
+  // publishes the slot to this thread). Records stage in per-document
+  // buffers the same way: workers never touch the caller's sink, so
+  // delivery order is input order regardless of thread count.
+  std::vector<std::optional<Result<ExtractionOutcome>>> slots(corpus.size());
+  std::vector<std::vector<PopulatedRecord>> staged(corpus.size());
 
   // Batch runs memoize boundaries by template unless the context says
   // never (TemplateMemoization::kAuto resolves to ON here — this is the
@@ -475,7 +524,11 @@ Result<BatchResult> ExtractionContext::ExtractCorpus(
     for (size_t i = begin; i < end; ++i) {
       if (run.document_hook) run.document_hook(i);
       arena.Reset();
-      slots[i].emplace(ExtractDocumentImpl(corpus[i], arena, use_cache));
+      BufferSink buffer;
+      slots[i].emplace(ExtractDocumentImpl(corpus[i], arena, use_cache,
+                                           buffer,
+                                           static_cast<uint32_t>(i)));
+      staged[i] = buffer.TakeRecords();
     }
   };
 
@@ -539,15 +592,31 @@ Result<BatchResult> ExtractionContext::ExtractCorpus(
   // Belt and braces: no slot may be unengaged past this point.
   fail_unfilled(0, corpus.size(), "task produced no result");
 
+  // Delivery: replay every successful document's staged records into the
+  // caller's sink, in input order, on this thread. A sink failure aborts
+  // the batch — the backend is gone, and reporting per-document success
+  // over records that never landed would lie.
+  BatchOutcome batch;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!(*slots[i]).ok()) continue;
+    for (const PopulatedRecord& record : staged[i]) {
+      Status written = sink.Write(record);
+      if (!written.ok()) return written;
+      ++batch.records_delivered;
+    }
+    staged[i].clear();
+  }
+  Status flushed = sink.Flush();
+  if (!flushed.ok()) return flushed;
+
   const auto stop = std::chrono::steady_clock::now();
 
-  BatchResult batch;
   batch.documents.reserve(corpus.size());
   batch.stats.documents = corpus.size();
   batch.stats.threads_used = threads;
   for (size_t i = 0; i < slots.size(); ++i) {
     batch.stats.total_bytes += corpus[i].size();
-    Result<IntegratedResult>& result = *slots[i];
+    Result<ExtractionOutcome>& result = *slots[i];
     if (result.ok()) {
       ++batch.stats.succeeded;
     } else {
@@ -574,6 +643,57 @@ Result<BatchResult> ExtractionContext::ExtractCorpus(
           pool_busy_seconds /
           (batch.stats.wall_seconds * static_cast<double>(threads));
     }
+  }
+  return batch;
+}
+
+Result<BatchOutcome> ExtractionContext::ExtractCorpusInto(
+    const std::vector<std::string>& corpus, RecordSink& sink,
+    const BatchRunOptions& run) const {
+  std::vector<std::string_view> views;
+  views.reserve(corpus.size());
+  for (const std::string& document : corpus) views.emplace_back(document);
+  return ExtractCorpusInto(views, sink, run);
+}
+
+Result<BatchResult> ExtractionContext::ExtractCorpus(
+    const std::vector<std::string_view>& corpus,
+    const BatchRunOptions& run) const {
+  // Shim: the sink-based engine into per-document catalogs. CatalogSink
+  // isolates insert errors per document (Write never fails the batch), so
+  // a document whose records cannot materialize fails alone, exactly as
+  // the pre-sink implementation did.
+  CatalogSink sink(generator_);
+  auto outcome = ExtractCorpusInto(corpus, sink, run);
+  if (!outcome.ok()) return outcome.status();
+
+  BatchResult batch;
+  batch.stats = std::move(outcome->stats);
+  batch.documents.reserve(outcome->documents.size());
+  for (size_t i = 0; i < outcome->documents.size(); ++i) {
+    Result<ExtractionOutcome>& doc = outcome->documents[i];
+    if (!doc.ok()) {
+      batch.documents.emplace_back(doc.status());
+      continue;
+    }
+    auto catalog = sink.TakeCatalog(static_cast<uint32_t>(i));
+    if (!catalog.ok()) {
+      // Catalog materialization failed after a successful extraction:
+      // re-book the document as failed so the stats match its result.
+      --batch.stats.succeeded;
+      ++batch.stats.failed;
+      ++batch.stats.failures_by_code[std::string(
+          StatusCodeName(catalog.status().code()))];
+      batch.documents.emplace_back(catalog.status());
+      continue;
+    }
+    IntegratedResult result;
+    result.separator = std::move(doc->separator);
+    result.discovery = std::move(doc->discovery);
+    result.table = std::move(doc->table);
+    result.partitions = std::move(doc->partitions);
+    result.catalog = std::move(catalog).value();
+    batch.documents.emplace_back(std::move(result));
   }
   return batch;
 }

@@ -6,15 +6,23 @@
 // and thread-safe, by every document and corpus extraction:
 //
 //   auto context = ExtractionContext::Create(ontology);
-//   auto result  = context->ExtractDocument(html);          // one page
-//   auto batch   = context->ExtractCorpus(corpus, {.num_threads = 8});
+//   CatalogSink sink(context->instance_generator());        // or StoreSink
+//   auto result  = context->ExtractDocumentInto(html, sink);   // one page
+//   auto batch   = context->ExtractCorpusInto(corpus, sink,
+//                                             {.num_threads = 8});
 //
-// This replaces the pre-PR-5 surface where RunIntegratedPipeline took the
-// ontology (and optionally a recognizer) per CALL and RunBatchPipeline
-// re-bundled the same knobs into a BatchOptions — two overload families
-// whose defaults could silently disagree. Those entry points survive as
-// thin deprecated shims (extract/integrated_pipeline.h,
-// extract/batch_pipeline.h) that construct a context per call.
+// Extraction and output are decoupled: the pipeline delivers populated
+// records through a RecordSink (extract/record_sink.h) — an in-memory
+// catalog, a persistent page store (store/record_store.h), a test
+// buffer — and returns per-document diagnostics (ExtractionOutcome).
+// Corpus delivery is deterministic: records reach the sink grouped by
+// document in input order regardless of worker-thread count.
+//
+// Two generations of deprecated shims remain, lint-enforced
+// (deprecated-pipeline-entry): RunIntegratedPipeline/RunBatchPipeline
+// (pre-PR-5, per-call ontology) and the Catalog-returning
+// ExtractDocument/ExtractCorpus (pre-store, output welded to db::Catalog),
+// which now wrap the sink API over a CatalogSink.
 //
 // The context also owns the estimator wiring that used to be a trap:
 // DiscoveryOptions carries no record-count estimator (see
@@ -54,6 +62,7 @@
 namespace webrbd {
 
 class DatabaseInstanceGenerator;
+class RecordSink;
 
 /// When extractions through a context may serve record boundaries from a
 /// TemplateCache (extract/template_cache.h).
@@ -68,7 +77,31 @@ enum class TemplateMemoization {
   kNever,
 };
 
+/// Per-document diagnostics of a sink-based extraction: everything the
+/// integrated pipeline produces BESIDES the records themselves, which go
+/// to the RecordSink.
+struct ExtractionOutcome {
+  /// The consensus separator.
+  std::string separator;
+
+  /// Full discovery diagnostics (rankings, certainties).
+  DiscoveryResult discovery;
+
+  /// The Data-Record Table over the record region, positioned in DOCUMENT
+  /// byte offsets.
+  DataRecordTable table;
+
+  /// The table partitioned at the separator's document positions; entry i
+  /// corresponds to record i (the preamble partition is already dropped).
+  std::vector<DataRecordTable> partitions;
+
+  /// Records delivered to the sink for this document (one per partition).
+  size_t records_written = 0;
+};
+
 /// Everything the integrated pipeline produces for one document.
+/// DEPRECATED shape: returned only by the Catalog-returning shims; new
+/// code uses ExtractionOutcome plus a RecordSink.
 struct IntegratedResult {
   /// The consensus separator.
   std::string separator;
@@ -189,7 +222,20 @@ struct CorpusStats {
   std::string ToJson() const;
 };
 
-/// Everything a batch run produces.
+/// Everything a sink-based batch run produces.
+struct BatchOutcome {
+  /// documents[i] is the per-document outcome for corpus[i], input order.
+  std::vector<Result<ExtractionOutcome>> documents;
+
+  /// Records actually delivered to the sink (failed documents deliver
+  /// none).
+  uint64_t records_delivered = 0;
+
+  CorpusStats stats;
+};
+
+/// Everything a batch run produces. DEPRECATED shape: returned only by
+/// the Catalog-returning ExtractCorpus shim; new code uses BatchOutcome.
 struct BatchResult {
   /// documents[i] is the per-document outcome for corpus[i], input order.
   std::vector<Result<IntegratedResult>> documents;
@@ -221,31 +267,60 @@ class ExtractionContext {
 
   /// Runs the paper's integrated flow on one document: recognize once over
   /// the record region's text, estimate the record count from the
-  /// Data-Record Table, discover the separator, partition, and populate
-  /// the database catalog. Thread-safe: any number of threads may call
-  /// this concurrently on one context.
-  [[nodiscard]] Result<IntegratedResult> ExtractDocument(
-      std::string_view html) const;
+  /// Data-Record Table, discover the separator, partition, and deliver one
+  /// populated record per partition to `sink` (document_index 0).
+  /// Thread-safe: any number of threads may call this concurrently on one
+  /// context, each with its own sink (or a shared internally-synchronized
+  /// one). The sink's Flush is NOT called — single-document callers own
+  /// their durability points.
+  [[nodiscard]] Result<ExtractionOutcome> ExtractDocumentInto(
+      std::string_view html, RecordSink& sink) const;
 
   /// Same, but builds the document's tag tree out of a caller-owned
   /// `arena` so repeated calls reuse its blocks and intern table. The
   /// caller must Reset() the arena between documents and must not share
   /// one arena across concurrent calls.
+  [[nodiscard]] Result<ExtractionOutcome> ExtractDocumentInto(
+      std::string_view html, DocumentArena& arena, RecordSink& sink) const;
+
+  /// Runs the integrated flow over every document in `corpus`, fanning out
+  /// across a thread pool per `run`, and delivers every successful
+  /// document's records to `sink`. Deterministic and thread-count
+  /// independent: documents[i] is exactly what a standalone extraction of
+  /// corpus[i] would produce, and the sink sees records grouped by
+  /// document in input order (workers stage records in memory; delivery
+  /// happens on the calling thread). Per-document errors land in their
+  /// outcome slots and never abort the corpus; a sink Write/Flush error
+  /// DOES abort (the sink's backend is gone), failing the whole call.
+  /// Flush is called once after the last record. The string data behind
+  /// `corpus` must outlive the call.
+  [[nodiscard]] Result<BatchOutcome> ExtractCorpusInto(
+      const std::vector<std::string_view>& corpus, RecordSink& sink,
+      const BatchRunOptions& run = {}) const;
+
+  /// Convenience overload for owned-string corpora.
+  [[nodiscard]] Result<BatchOutcome> ExtractCorpusInto(
+      const std::vector<std::string>& corpus, RecordSink& sink,
+      const BatchRunOptions& run = {}) const;
+
+  /// DEPRECATED: use ExtractDocumentInto with a CatalogSink. Thin shim
+  /// kept for the transition; the deprecated-pipeline-entry lint rule
+  /// flags new uses in src/ and tools/.
+  [[nodiscard]] Result<IntegratedResult> ExtractDocument(
+      std::string_view html) const;
+
+  /// DEPRECATED: arena-reusing variant of the ExtractDocument shim.
   [[nodiscard]] Result<IntegratedResult> ExtractDocument(
       std::string_view html, DocumentArena& arena) const;
 
-  /// Runs ExtractDocument over every document in `corpus`, fanning out
-  /// across a thread pool per `run`. Output is deterministic and
-  /// thread-count independent: documents[i] is exactly what
-  /// ExtractDocument(corpus[i]) would return, in input order, whether the
-  /// engine runs on 1 thread or 64. Per-document errors land in their
-  /// result slots, never abort the corpus. The string data behind `corpus`
-  /// must outlive the call.
+  /// DEPRECATED: use ExtractCorpusInto with a CatalogSink. Thin shim:
+  /// runs the sink-based engine into per-document catalogs and repackages
+  /// them as IntegratedResults.
   [[nodiscard]] Result<BatchResult> ExtractCorpus(
       const std::vector<std::string_view>& corpus,
       const BatchRunOptions& run = {}) const;
 
-  /// Convenience overload for owned-string corpora.
+  /// DEPRECATED: owned-string overload of the ExtractCorpus shim.
   [[nodiscard]] Result<BatchResult> ExtractCorpus(
       const std::vector<std::string>& corpus,
       const BatchRunOptions& run = {}) const;
@@ -253,6 +328,14 @@ class ExtractionContext {
   const Ontology& ontology() const { return *ontology_; }
   const Recognizer& recognizer() const { return *recognizer_; }
   const ContextOptions& options() const { return options_; }
+
+  /// The instance generator compiled at construction — what a CatalogSink
+  /// needs to materialize this context's records as catalogs. Null only
+  /// when the ontology's value patterns failed to compile (every
+  /// extraction through such a context fails per-document).
+  std::shared_ptr<const DatabaseInstanceGenerator> instance_generator() const {
+    return generator_;
+  }
 
   /// The fingerprint salt this context stamps into every page fingerprint:
   /// a hash of the ontology and all discovery knobs. Exposed for tests
@@ -264,11 +347,18 @@ class ExtractionContext {
                     std::shared_ptr<const Recognizer> recognizer,
                     ContextOptions options);
 
-  /// The shared per-document flow behind both public ExtractDocument
-  /// overloads and ExtractCorpus; `use_cache` resolves the context's
-  /// TemplateMemoization policy for this call site.
-  [[nodiscard]] Result<IntegratedResult> ExtractDocumentImpl(
-      std::string_view html, DocumentArena& arena, bool use_cache) const;
+  /// The shared per-document flow behind every public extraction entry;
+  /// `use_cache` resolves the context's TemplateMemoization policy for
+  /// this call site, `document_index` is stamped into each delivered
+  /// record.
+  [[nodiscard]] Result<ExtractionOutcome> ExtractDocumentImpl(
+      std::string_view html, DocumentArena& arena, bool use_cache,
+      RecordSink& sink, uint32_t document_index) const;
+
+  /// Shared body of the deprecated ExtractDocument shims: sink-based
+  /// extraction into a CatalogSink, repackaged as an IntegratedResult.
+  [[nodiscard]] Result<IntegratedResult> ExtractDocumentShim(
+      std::string_view html, DocumentArena& arena) const;
 
   const Ontology* ontology_;
   std::shared_ptr<const Recognizer> recognizer_;

@@ -1,0 +1,75 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "extract/record_sink.h"
+
+#include <utility>
+
+#include "extract/db_instance_generator.h"
+#include "store/record_store.h"
+
+namespace webrbd {
+
+CatalogSink::CatalogSink(
+    std::shared_ptr<const DatabaseInstanceGenerator> generator)
+    : generator_(std::move(generator)) {}
+
+CatalogSink::~CatalogSink() = default;
+
+Status CatalogSink::Write(const PopulatedRecord& record) {
+  if (generator_ == nullptr) {
+    return Status::FailedPrecondition(
+        "CatalogSink has no instance generator");
+  }
+  auto it = catalogs_.find(record.document_index);
+  if (it == catalogs_.end()) {
+    it = catalogs_
+             .emplace(record.document_index,
+                      generator_->scheme().CreateCatalog())
+             .first;
+  }
+  if (!it->second.ok()) return Status::OK();  // document already failed
+  Status inserted =
+      generator_->InsertEntity(&it->second.value(),
+                               static_cast<int64_t>(record.record_index) + 1,
+                               record.fields);
+  if (!inserted.ok()) {
+    // Per-document isolation: park the error for TakeCatalog instead of
+    // failing the whole delivery.
+    it->second = inserted;
+  }
+  return Status::OK();
+}
+
+Result<db::Catalog> CatalogSink::TakeCatalog(uint32_t document_index) {
+  auto it = catalogs_.find(document_index);
+  if (it != catalogs_.end()) {
+    Result<db::Catalog> catalog = std::move(it->second);
+    catalogs_.erase(it);
+    return catalog;
+  }
+  if (generator_ == nullptr) {
+    return Status::FailedPrecondition(
+        "CatalogSink has no instance generator");
+  }
+  return generator_->scheme().CreateCatalog();
+}
+
+Status StoreSink::Write(const PopulatedRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto appended = store_->Append(record);
+  if (!appended.ok()) return appended.status();
+  ++records_written_;
+  return Status::OK();
+}
+
+Status StoreSink::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_->Flush();
+}
+
+uint64_t StoreSink::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_written_;
+}
+
+}  // namespace webrbd

@@ -391,8 +391,10 @@ class DeprecatedPipelineEntryRule : public Rule {
   LintRuleInfo info() const override {
     return {"deprecated-pipeline-entry",
             "src/ and tools/ must not call the deprecated "
-            "RunIntegratedPipeline/RunBatchPipeline shims; construct an "
-            "ExtractionContext instead"};
+            "RunIntegratedPipeline/RunBatchPipeline shims or the "
+            "Catalog-returning ExtractDocument/ExtractCorpus entry points; "
+            "deliver records through a RecordSink via "
+            "ExtractDocumentInto/ExtractCorpusInto"};
   }
 
   void Check(const FileAnalysis& fa, const Corpus&,
@@ -402,25 +404,41 @@ class DeprecatedPipelineEntryRule : public Rule {
     if (!StartsWith(fa.path, "src/") && !StartsWith(fa.path, "tools/")) {
       return;
     }
-    // The shims themselves necessarily name the deprecated entry points.
+    // The shims themselves necessarily name the deprecated entry points:
+    // the pipeline wrappers forward to ExtractDocument/ExtractCorpus, and
+    // extraction_context defines those methods (as shims over the sinks).
     static const std::vector<std::string_view> kShimFiles = {
         "src/extract/integrated_pipeline.h",
         "src/extract/integrated_pipeline.cc",
-        "src/extract/batch_pipeline.h", "src/extract/batch_pipeline.cc"};
+        "src/extract/batch_pipeline.h", "src/extract/batch_pipeline.cc",
+        "src/extract/extraction_context.h",
+        "src/extract/extraction_context.cc"};
     for (std::string_view shim : kShimFiles) {
       if (fa.path == shim) return;
     }
-    static const std::set<std::string_view> kDeprecated = {
+    static const std::set<std::string_view> kDeprecatedShims = {
         "RunIntegratedPipeline", "RunBatchPipeline"};
+    static const std::set<std::string_view> kDeprecatedEntries = {
+        "ExtractDocument", "ExtractCorpus"};
     for (size_t ci = 0; ci + 1 < fa.code_size(); ++ci) {
       const Token& token = fa.Code(ci);
-      if (!token.IsIdent() || kDeprecated.count(token.text) == 0) continue;
+      if (!token.IsIdent()) continue;
       if (fa.CodeText(ci + 1) != "(") continue;
-      reporter->ReportAt(info().name, token,
-                         "'" + std::string(token.text) +
-                             "' is a deprecated shim; build an "
-                             "ExtractionContext once and call "
-                             "ExtractDocument/ExtractCorpus");
+      if (kDeprecatedShims.count(token.text) != 0) {
+        reporter->ReportAt(info().name, token,
+                           "'" + std::string(token.text) +
+                               "' is a deprecated shim; build an "
+                               "ExtractionContext once and deliver through "
+                               "a RecordSink with "
+                               "ExtractDocumentInto/ExtractCorpusInto");
+      } else if (kDeprecatedEntries.count(token.text) != 0) {
+        reporter->ReportAt(info().name, token,
+                           "'" + std::string(token.text) +
+                               "' is a deprecated Catalog-returning entry "
+                               "point; deliver records through a RecordSink "
+                               "with '" +
+                               std::string(token.text) + "Into'");
+      }
     }
   }
 };

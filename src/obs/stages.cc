@@ -132,6 +132,22 @@ const ServeMetrics& Serve() {
   return serve;
 }
 
+const StoreMetrics& Store() {
+  static const StoreMetrics store = []() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    StoreMetrics s;
+    s.pages_written = registry.GetCounter(mn::kStorePagesWritten);
+    s.pages_read = registry.GetCounter(mn::kStorePagesRead);
+    s.flushes = registry.GetCounter(mn::kStoreFlushes);
+    s.records = registry.GetCounter(mn::kStoreRecords);
+    s.torn_pages = registry.GetCounter(mn::kStoreTornPages);
+    s.index_segments = registry.GetGauge(mn::kStoreIndexSegments);
+    s.query_latency = registry.GetHistogram(mn::kStoreQueryLatency);
+    return s;
+  }();
+  return store;
+}
+
 const std::vector<StageName>& PipelineStageNames() {
   static const std::vector<StageName> names = {
       {"lex", mn::kStageLex},
@@ -171,7 +187,10 @@ const std::vector<std::string>& AllDocumentedMetricNames() {
           mn::kHtmlArenaBytes, mn::kHtmlInternTableSize, mn::kHtmlLexerBytes,
           mn::kHtmlLexerTokens, mn::kHtmlLexerNameSpills, mn::kServeRequests,
           mn::kServeInflight, mn::kServeRejected, mn::kServeRequestLatency,
-          mn::kServeDrain, mn::kServeReloads}) {
+          mn::kServeDrain, mn::kServeReloads, mn::kStorePagesWritten,
+          mn::kStorePagesRead, mn::kStoreFlushes, mn::kStoreRecords,
+          mn::kStoreTornPages, mn::kStoreIndexSegments,
+          mn::kStoreQueryLatency}) {
       all.emplace_back(name);
     }
     return all;
@@ -187,6 +206,7 @@ void EnsureDocumentedMetricsRegistered() {
   Robust();
   Html();
   Serve();
+  Store();
 }
 
 }  // namespace obs

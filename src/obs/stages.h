@@ -145,6 +145,29 @@ inline constexpr std::string_view kServeDrain = "webrbd_serve_drain_seconds";
 inline constexpr std::string_view kServeReloads =
     "webrbd_serve_reloads_total";
 
+// Persistent record store (store/record_store.h). Process-wide totals
+// across every open store. pages_written/read count data-page I/O through
+// the FileInterface (the superblock is excluded); flushes counts Flush()
+// durability points (tail seal + sync); records counts appended records;
+// torn_pages counts invalid tail pages dropped during open-time recovery.
+// index_segments is the learned-index segment count of the most recently
+// touched store; the query histogram spans Scan-iterator lifetimes
+// (creation to exhaustion/destruction).
+inline constexpr std::string_view kStorePagesWritten =
+    "webrbd_store_pages_written_total";
+inline constexpr std::string_view kStorePagesRead =
+    "webrbd_store_pages_read_total";
+inline constexpr std::string_view kStoreFlushes =
+    "webrbd_store_flushes_total";
+inline constexpr std::string_view kStoreRecords =
+    "webrbd_store_records_written_total";
+inline constexpr std::string_view kStoreTornPages =
+    "webrbd_store_torn_pages_total";
+inline constexpr std::string_view kStoreIndexSegments =
+    "webrbd_store_index_segments";
+inline constexpr std::string_view kStoreQueryLatency =
+    "webrbd_store_query_seconds";
+
 }  // namespace metric_names
 
 /// Pre-resolved stage histograms for the integrated pipeline. All pointers
@@ -252,6 +275,19 @@ struct ServeMetrics {
 };
 
 const ServeMetrics& Serve();
+
+/// Pre-resolved record-store metrics (store/record_store.h).
+struct StoreMetrics {
+  Counter* pages_written;
+  Counter* pages_read;
+  Counter* flushes;
+  Counter* records;
+  Counter* torn_pages;
+  Gauge* index_segments;
+  Histogram* query_latency;
+};
+
+const StoreMetrics& Store();
 
 /// Short display names for the per-stage latency table, paired with the
 /// registry histogram names, in pipeline order.

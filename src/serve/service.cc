@@ -3,12 +3,14 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "db/catalog.h"
 #include "db/table.h"
+#include "extract/record_sink.h"
 #include "obs/metrics.h"
 #include "obs/stages.h"
 #include "ontology/parser.h"
@@ -117,12 +119,19 @@ class AdmissionSlot {
 
 }  // namespace
 
-std::string RenderExtractionJson(const IntegratedResult& result) {
-  std::string out = "{\"separator\":" + JsonString(result.separator);
-  out += ",\"records\":" + std::to_string(result.partitions.size());
+namespace {
+
+/// Shared rendering core so the deprecated-shape and sink-era overloads
+/// produce byte-identical responses.
+std::string RenderExtractionJsonParts(const std::string& separator,
+                                      const DiscoveryResult& discovery,
+                                      size_t record_count,
+                                      const db::Catalog& catalog) {
+  std::string out = "{\"separator\":" + JsonString(separator);
+  out += ",\"records\":" + std::to_string(record_count);
   double certainty = 0.0;
-  for (const CompoundRankedTag& ranked : result.discovery.compound_ranking) {
-    if (ranked.tag == result.separator) {
+  for (const CompoundRankedTag& ranked : discovery.compound_ranking) {
+    if (ranked.tag == separator) {
       certainty = ranked.certainty;
       break;
     }
@@ -130,8 +139,8 @@ std::string RenderExtractionJson(const IntegratedResult& result) {
   out += ",\"certainty\":" + FormatDouble(certainty, 6);
   out += ",\"tables\":{";
   bool first = true;
-  for (const std::string& name : result.catalog.TableNames()) {
-    const db::Table* table = result.catalog.GetTable(name);
+  for (const std::string& name : catalog.TableNames()) {
+    const db::Table* table = catalog.GetTable(name);
     if (table == nullptr) continue;
     if (!first) out += ",";
     first = false;
@@ -139,6 +148,19 @@ std::string RenderExtractionJson(const IntegratedResult& result) {
   }
   out += "}}";
   return out;
+}
+
+}  // namespace
+
+std::string RenderExtractionJson(const IntegratedResult& result) {
+  return RenderExtractionJsonParts(result.separator, result.discovery,
+                                   result.partitions.size(), result.catalog);
+}
+
+std::string RenderExtractionJson(const ExtractionOutcome& result,
+                                 const db::Catalog& catalog) {
+  return RenderExtractionJsonParts(result.separator, result.discovery,
+                                   result.partitions.size(), catalog);
 }
 
 Result<std::unique_ptr<ExtractionService>> ExtractionService::Create(
@@ -297,13 +319,14 @@ HttpResponse ExtractionService::HandleExtract(const HttpRequest& request) {
   }
 
   const std::shared_ptr<const ServingState> serving = state();
-  Result<IntegratedResult> result = Status::Internal("unreached");
   const robust::DocumentLimits& defaults =
       serving->context->options().discovery.limits;
   const bool overridden =
       limits->max_document_bytes != defaults.max_document_bytes ||
       limits->max_tokens != defaults.max_tokens ||
       limits->max_tree_depth != defaults.max_tree_depth;
+  Result<ExtractionOutcome> result = Status::Internal("unreached");
+  std::optional<CatalogSink> catalog_sink;
   if (overridden) {
     // Per-request limits need a context carrying them. The recognizer —
     // the expensive compiled artifact — is shared from the serving epoch;
@@ -314,12 +337,28 @@ HttpResponse ExtractionService::HandleExtract(const HttpRequest& request) {
         ExtractionContext::FromCompiledRecognizer(serving->ontology,
                                                   serving->context->recognizer(),
                                                   std::move(override_options));
-    result = override_context.ExtractDocument(request.body);
+    catalog_sink.emplace(override_context.instance_generator());
+    if (options_.ingest_sink != nullptr) {
+      TeeSink tee({&*catalog_sink, options_.ingest_sink});
+      result = override_context.ExtractDocumentInto(request.body, tee);
+    } else {
+      result = override_context.ExtractDocumentInto(request.body,
+                                                    *catalog_sink);
+    }
   } else {
-    result = serving->context->ExtractDocument(request.body);
+    catalog_sink.emplace(serving->context->instance_generator());
+    if (options_.ingest_sink != nullptr) {
+      TeeSink tee({&*catalog_sink, options_.ingest_sink});
+      result = serving->context->ExtractDocumentInto(request.body, tee);
+    } else {
+      result =
+          serving->context->ExtractDocumentInto(request.body, *catalog_sink);
+    }
   }
   if (!result.ok()) return ErrorResponse(result.status());
-  return JsonResponse(200, RenderExtractionJson(*result));
+  auto catalog = catalog_sink->TakeCatalog();
+  if (!catalog.ok()) return ErrorResponse(catalog.status());
+  return JsonResponse(200, RenderExtractionJson(*result, *catalog));
 }
 
 HttpResponse ExtractionService::HandleExtractBatch(const HttpRequest& request) {
@@ -378,13 +417,26 @@ HttpResponse ExtractionService::HandleExtractBatch(const HttpRequest& request) {
     // (TemplateMemoization::kAuto resolves to ON for corpus runs).
     BatchRunOptions run;
     run.num_threads = 1;
-    auto batch = serving->context->ExtractCorpus(corpus, run);
+    CatalogSink catalog_sink(serving->context->instance_generator());
+    Result<BatchOutcome> batch = Status::Internal("unreached");
+    if (options_.ingest_sink != nullptr) {
+      TeeSink tee({&catalog_sink, options_.ingest_sink});
+      batch = serving->context->ExtractCorpusInto(corpus, tee, run);
+    } else {
+      batch = serving->context->ExtractCorpusInto(corpus, catalog_sink, run);
+    }
     if (!batch.ok()) return ErrorResponse(batch.status());
     for (size_t j = 0; j < batch->documents.size(); ++j) {
-      const Result<IntegratedResult>& doc = batch->documents[j];
+      const Result<ExtractionOutcome>& doc = batch->documents[j];
+      if (!doc.ok()) {
+        rendered[corpus_line[j]] = ErrorJson(doc.status());
+        continue;
+      }
+      auto catalog = catalog_sink.TakeCatalog(static_cast<uint32_t>(j));
       rendered[corpus_line[j]] =
-          doc.ok() ? "{\"result\":" + RenderExtractionJson(*doc) + "}"
-                   : ErrorJson(doc.status());
+          catalog.ok()
+              ? "{\"result\":" + RenderExtractionJson(*doc, *catalog) + "}"
+              : ErrorJson(catalog.status());
     }
   }
 

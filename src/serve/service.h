@@ -88,12 +88,25 @@ struct ServiceOptions {
   /// extraction. Lets tests hold slots open to exercise the 503 path
   /// deterministically. Leave empty in production.
   std::function<void()> extract_hook;
+
+  /// Optional ingest tap: every record extracted by /extract and
+  /// /extract-batch is additionally delivered to this sink (the daemon's
+  /// --store flag wires a StoreSink to a persistent RecordStore here).
+  /// Borrowed, must outlive the service, and must be internally
+  /// synchronized — requests on different transport threads share it.
+  /// An ingest failure fails the request that hit it.
+  RecordSink* ingest_sink = nullptr;
 };
 
 /// Renders the response body /extract produces for a successful
 /// extraction. Exposed so tests can assert the served bytes are identical
 /// to an in-process ExtractDocument of the same document.
 std::string RenderExtractionJson(const IntegratedResult& result);
+
+/// Sink-era flavor: same bytes, from an ExtractionOutcome plus the catalog
+/// its CatalogSink materialized.
+std::string RenderExtractionJson(const ExtractionOutcome& result,
+                                 const db::Catalog& catalog);
 
 /// The daemon's request brain. Thread-safe: Handle() may be called from
 /// any number of transport threads concurrently.

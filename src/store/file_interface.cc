@@ -1,0 +1,166 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "store/file_interface.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace webrbd::store {
+
+namespace {
+
+// ---------------------------------------------------------------- memory
+
+class MemoryFile final : public FileInterface {
+ public:
+  MemoryFile() = default;
+  explicit MemoryFile(std::string initial) : bytes_(std::move(initial)) {}
+
+  Status ReadPage(uint64_t page_index, size_t page_size,
+                  char* out) override {
+    const uint64_t begin = page_index * page_size;
+    if (begin + page_size > bytes_.size()) {
+      return Status::NotFound("memory file: page " +
+                              std::to_string(page_index) +
+                              " beyond end of file");
+    }
+    std::memcpy(out, bytes_.data() + begin, page_size);
+    return Status::OK();
+  }
+
+  Status WritePage(uint64_t page_index, size_t page_size,
+                   const char* data) override {
+    const uint64_t begin = page_index * page_size;
+    if (begin + page_size > bytes_.size()) bytes_.resize(begin + page_size);
+    std::memcpy(bytes_.data() + begin, data, page_size);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  Result<uint64_t> SizeBytes() override {
+    return static_cast<uint64_t>(bytes_.size());
+  }
+
+  Status Truncate(uint64_t bytes) override {
+    if (bytes > bytes_.size()) {
+      return Status::InvalidArgument("memory file: cannot truncate to grow");
+    }
+    bytes_.resize(bytes);
+    return Status::OK();
+  }
+
+  std::string DebugName() const override { return "memory"; }
+
+ private:
+  std::string bytes_;
+};
+
+// ----------------------------------------------------------------- posix
+
+class PosixFile final : public FileInterface {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status ReadPage(uint64_t page_index, size_t page_size,
+                  char* out) override {
+    const off_t offset = static_cast<off_t>(page_index * page_size);
+    size_t done = 0;
+    while (done < page_size) {
+      const ssize_t n = ::pread(fd_, out + done, page_size - done,
+                                offset + static_cast<off_t>(done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(path_ + ": pread: " +
+                                std::strerror(errno));
+      }
+      if (n == 0) {
+        // Short read: the page extends beyond the file (torn tail or an
+        // out-of-range index). Never zero-fill — recovery must see this.
+        return Status::NotFound(path_ + ": page " +
+                                std::to_string(page_index) +
+                                " beyond end of file");
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status WritePage(uint64_t page_index, size_t page_size,
+                   const char* data) override {
+    const off_t offset = static_cast<off_t>(page_index * page_size);
+    size_t done = 0;
+    while (done < page_size) {
+      const ssize_t n = ::pwrite(fd_, data + done, page_size - done,
+                                 offset + static_cast<off_t>(done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(path_ + ": pwrite: " +
+                                std::strerror(errno));
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::Internal(path_ + ": fsync: " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> SizeBytes() override {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) {
+      return Status::Internal(path_ + ": lseek: " + std::strerror(errno));
+    }
+    return static_cast<uint64_t>(end);
+  }
+
+  Status Truncate(uint64_t bytes) override {
+    if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+      return Status::Internal(path_ + ": ftruncate: " +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  std::string DebugName() const override { return path_; }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+std::unique_ptr<FileInterface> MakeMemoryFile(std::string initial) {
+  return std::make_unique<MemoryFile>(std::move(initial));
+}
+
+Result<std::unique_ptr<FileInterface>> OpenPosixFile(const std::string& path,
+                                                     bool create) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("store file not found: " + path);
+    }
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  return std::unique_ptr<FileInterface>(
+      std::make_unique<PosixFile>(fd, path));
+}
+
+}  // namespace webrbd::store

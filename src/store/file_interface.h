@@ -1,0 +1,88 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// The pluggable storage-backend abstraction under the persistent record
+// store (store/record_store.h), in the EmbedDB mold: the store reads and
+// writes fixed-size pages through this interface and never touches a file
+// API directly, so backends swap behind one contract.
+//
+// Two backends ship:
+//   - MakeMemoryFile():  a std::string-backed volatile backend. Used by
+//     tests (backend-swap golden equivalence) and by benchmarks that want
+//     to measure the store's CPU cost without the kernel in the loop.
+//   - OpenPosixFile():   a pread/pwrite/fsync-backed durable backend for
+//     production store files.
+//
+// Contract (what RecordStore relies on, and what a new backend must
+// honor — see docs/storage.md):
+//   - Pages are addressed by index; byte offset = page_index * page_size.
+//     The page size is chosen by the caller and constant per file.
+//   - WritePage must be atomic with respect to SUBSEQUENT reads from this
+//     process (read-your-writes). It need NOT be atomic with respect to a
+//     crash: a torn final page is expected and rejected by the store's
+//     checksum on recovery.
+//   - Sync() must not return OK until every completed WritePage is
+//     durable (fsync semantics; a no-op for the memory backend).
+//   - ReadPage of a page that was never fully written (beyond
+//     SizeBytes()) must fail rather than fabricate zeros.
+
+#ifndef WEBRBD_STORE_FILE_INTERFACE_H_
+#define WEBRBD_STORE_FILE_INTERFACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace webrbd::store {
+
+/// Page-granular storage backend. Instances are NOT thread-safe; the
+/// owning RecordStore serializes access.
+class FileInterface {
+ public:
+  virtual ~FileInterface() = default;
+
+  /// Reads the `page_size` bytes of page `page_index` into `out`. Fails
+  /// with kNotFound when the page lies wholly or partly beyond the current
+  /// file size (short final pages must surface, not zero-fill).
+  [[nodiscard]] virtual Status ReadPage(uint64_t page_index, size_t page_size,
+                                        char* out) = 0;
+
+  /// Writes the `page_size` bytes at `data` as page `page_index`,
+  /// extending the file as needed. Overwrites are allowed.
+  [[nodiscard]] virtual Status WritePage(uint64_t page_index,
+                                         size_t page_size,
+                                         const char* data) = 0;
+
+  /// Makes every completed WritePage durable (fsync for the POSIX
+  /// backend; no-op for memory).
+  [[nodiscard]] virtual Status Sync() = 0;
+
+  /// Current backing size in bytes. Not necessarily a page multiple — a
+  /// torn final page after a crash is shorter, and recovery uses this to
+  /// find it.
+  [[nodiscard]] virtual Result<uint64_t> SizeBytes() = 0;
+
+  /// Truncates the backing storage to exactly `bytes` (recovery drops a
+  /// torn tail this way).
+  [[nodiscard]] virtual Status Truncate(uint64_t bytes) = 0;
+
+  /// Human-readable identity for error messages ("memory", a path, ...).
+  virtual std::string DebugName() const = 0;
+};
+
+/// An in-memory backend, starting from `initial` (empty by default). The
+/// seeded form lets tests snapshot a store's bytes and "reopen" over them
+/// — the memory analogue of closing and reopening a disk file.
+std::unique_ptr<FileInterface> MakeMemoryFile(std::string initial = {});
+
+/// Opens (or, when `create` is true, creates) a POSIX-file backend at
+/// `path`. Fails with kNotFound when the file is absent and `create` is
+/// false, kInvalidArgument when the path cannot be opened read-write.
+[[nodiscard]] Result<std::unique_ptr<FileInterface>> OpenPosixFile(
+    const std::string& path, bool create);
+
+}  // namespace webrbd::store
+
+#endif  // WEBRBD_STORE_FILE_INTERFACE_H_

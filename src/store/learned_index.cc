@@ -1,0 +1,112 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "store/learned_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace webrbd::store {
+
+LearnedPageIndex::LearnedPageIndex(uint32_t epsilon) : epsilon_(epsilon) {}
+
+void LearnedPageIndex::Add(uint64_t min_key, uint64_t page_index) {
+  if (!open_) {
+    open_ = true;
+    open_base_key_ = min_key;
+    open_base_page_ = page_index;
+    open_slope_lo_ = -std::numeric_limits<double>::infinity();
+    open_slope_hi_ = std::numeric_limits<double>::infinity();
+    last_key_ = min_key;
+    last_page_ = page_index;
+    return;
+  }
+  if (min_key <= last_key_ || page_index != last_page_ + 1) return;
+
+  const double dx = static_cast<double>(min_key - open_base_key_);
+  const double dy =
+      static_cast<double>(page_index) - static_cast<double>(open_base_page_);
+  const double eps = static_cast<double>(epsilon_);
+  const double lo = (dy - eps) / dx;
+  const double hi = (dy + eps) / dx;
+  const double new_lo = std::max(open_slope_lo_, lo);
+  const double new_hi = std::min(open_slope_hi_, hi);
+  if (new_lo > new_hi) {
+    // Cone collapsed: the point breaks the epsilon bound for every slope
+    // still admissible. Freeze the segment and start a new one here.
+    double slope;
+    if (open_slope_lo_ == -std::numeric_limits<double>::infinity()) {
+      slope = 0.0;  // single-point segment predicts its base page
+    } else {
+      // The cone midpoint can dip below zero when epsilon is large
+      // relative to the segment; zero is always inside the cone for
+      // monotone points, so clamping keeps both the error bound and
+      // monotonicity of the model.
+      slope = std::max(0.0, (open_slope_lo_ + open_slope_hi_) / 2.0);
+    }
+    segments_.push_back({open_base_key_, open_base_page_, slope});
+    open_base_key_ = min_key;
+    open_base_page_ = page_index;
+    open_slope_lo_ = -std::numeric_limits<double>::infinity();
+    open_slope_hi_ = std::numeric_limits<double>::infinity();
+  } else {
+    open_slope_lo_ = new_lo;
+    open_slope_hi_ = new_hi;
+  }
+  last_key_ = min_key;
+  last_page_ = page_index;
+}
+
+LearnedPageIndex::PageWindow LearnedPageIndex::Locate(uint64_t key) const {
+  // Pick the segment owning `key`: the last one with base_key <= key,
+  // considering the still-open segment as the final entry.
+  uint64_t base_key = open_base_key_;
+  uint64_t base_page = open_base_page_;
+  // Last page the chosen segment is responsible for: its epsilon bound
+  // holds only at the keys it was built from, so predictions must never
+  // extrapolate past this (the key span between a segment's last page and
+  // the NEXT segment's base key is exactly where the cone broke, and the
+  // error there is unbounded).
+  uint64_t segment_end = last_page_;
+  double slope;
+  if (open_slope_lo_ == -std::numeric_limits<double>::infinity()) {
+    slope = 0.0;
+  } else {
+    slope = std::max(0.0, (open_slope_lo_ + open_slope_hi_) / 2.0);
+  }
+  if (key < open_base_key_ && !segments_.empty()) {
+    auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), key,
+        [](uint64_t k, const Segment& s) { return k < s.base_key; });
+    if (it != segments_.begin()) {
+      --it;
+      base_key = it->base_key;
+      base_page = it->base_page;
+      slope = it->slope;
+      const auto next = it + 1;
+      segment_end =
+          (next != segments_.end() ? next->base_page : open_base_page_) - 1;
+    } else {
+      // Key precedes every page: the first page is the only candidate.
+      return {segments_.front().base_page, segments_.front().base_page};
+    }
+  } else if (key < open_base_key_) {
+    return {open_base_page_, open_base_page_};
+  }
+
+  const double dx =
+      static_cast<double>(key) - static_cast<double>(base_key);
+  double predicted = static_cast<double>(base_page) + slope * dx;
+  predicted = std::clamp(predicted, static_cast<double>(base_page),
+                         static_cast<double>(segment_end));
+  // Margin is epsilon + 1: floor truncation and interpolating between
+  // two page min-keys can each shift the true page one past the model's
+  // per-point error bound.
+  const auto center = static_cast<uint64_t>(predicted);
+  const uint64_t margin = static_cast<uint64_t>(epsilon_) + 1;
+  const uint64_t first =
+      center > base_page + margin ? center - margin : base_page;
+  const uint64_t last = std::min(center + margin, segment_end);
+  return {first, std::max(first, last)};
+}
+
+}  // namespace webrbd::store

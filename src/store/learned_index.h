@@ -1,0 +1,78 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Learned sparse index over data-page min-keys, in the PGM/spline mold
+// EmbedDB ships: a greedy error-bounded piecewise-linear model built
+// online as pages are appended (the classic "shrinking cone" / FSW
+// construction). Only the segments live in memory — O(segments), not
+// O(pages) — and locating a key costs a binary search over segments plus
+// a probe of at most 2*epsilon + 1 candidate pages.
+//
+// The model maps key -> data-page index. Page min-keys are strictly
+// increasing (the store assigns keys as a dense ingest sequence), so for
+// every key the true page is the last page whose min_key <= key; Locate
+// returns a window guaranteed to contain that page.
+
+#ifndef WEBRBD_STORE_LEARNED_INDEX_H_
+#define WEBRBD_STORE_LEARNED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace webrbd::store {
+
+class LearnedPageIndex {
+ public:
+  /// `epsilon` is the maximum page-prediction error the construction
+  /// tolerates before closing a segment; larger values mean fewer
+  /// segments but wider probe windows.
+  explicit LearnedPageIndex(uint32_t epsilon = 4);
+
+  /// Registers a data page. `min_key` must be strictly greater than the
+  /// previous page's; `page_index` must be the previous plus one (pages
+  /// are appended in key order). Violations are ignored rather than
+  /// corrupting the model — the store never produces them.
+  void Add(uint64_t min_key, uint64_t page_index);
+
+  /// Inclusive page-index window certain to contain the last page whose
+  /// min_key <= `key` (the only page that can hold `key`). Meaningless
+  /// when empty() — callers check first.
+  struct PageWindow {
+    uint64_t first;
+    uint64_t last;
+  };
+  PageWindow Locate(uint64_t key) const;
+
+  bool empty() const { return !open_; }
+
+  /// Number of linear segments, counting the one still under
+  /// construction. This is the model's entire memory footprint.
+  size_t segment_count() const {
+    return segments_.size() + (open_ ? 1 : 0);
+  }
+
+  uint32_t epsilon() const { return epsilon_; }
+
+ private:
+  struct Segment {
+    uint64_t base_key;
+    uint64_t base_page;
+    double slope;
+  };
+
+  uint32_t epsilon_;
+  std::vector<Segment> segments_;
+
+  // Segment under construction: shrinking slope cone [lo, hi].
+  bool open_ = false;
+  uint64_t open_base_key_ = 0;
+  uint64_t open_base_page_ = 0;
+  double open_slope_lo_ = 0.0;
+  double open_slope_hi_ = 0.0;
+  uint64_t last_key_ = 0;
+  uint64_t last_page_ = 0;
+};
+
+}  // namespace webrbd::store
+
+#endif  // WEBRBD_STORE_LEARNED_INDEX_H_

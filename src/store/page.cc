@@ -1,0 +1,193 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "store/page.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/fnv.h"
+
+namespace webrbd::store {
+
+namespace {
+
+constexpr size_t kSuperblockHeaderBytes = 24;  // magic,version,page_size,
+                                               // reserved, checksum
+
+// Checksum over a fully serialized page with its checksum field (bytes
+// 32..40) treated as zero. Only header + payload participate; the zero
+// padding cannot influence it, so padding garbage is harmless.
+uint64_t PageChecksum(const char* page, uint32_t payload_bytes) {
+  FnvHasher h;
+  h.AddBytes(std::string_view(page, 32));
+  h.AddU64(0);  // stands in for the zeroed checksum field
+  h.AddBytes(std::string_view(page + kPageHeaderBytes, payload_bytes));
+  return h.hash();
+}
+
+uint64_t SuperblockChecksum(const char* page) {
+  FnvHasher h;
+  h.AddBytes(std::string_view(page, 16));
+  return h.hash();
+}
+
+}  // namespace
+
+void StoreU32(char* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void StoreU64(char* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint32_t LoadU32(const char* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const char* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+// ----------------------------------------------------------- PageBuilder
+
+PageBuilder::PageBuilder(size_t page_size) : page_size_(page_size) {
+  assert(page_size_ > kPageHeaderBytes + kRecordLengthBytes);
+  payload_.reserve(page_size_ - kPageHeaderBytes);
+}
+
+bool PageBuilder::Fits(size_t payload_len) const {
+  return kPageHeaderBytes + payload_.size() + kRecordLengthBytes +
+             payload_len <=
+         page_size_;
+}
+
+Status PageBuilder::Append(uint64_t key, std::string_view payload) {
+  if (!Fits(payload.size())) {
+    return Status::ResourceExhausted("page full");
+  }
+  if (record_count_ == 0) {
+    min_key_ = key;
+  } else if (key != min_key_ + record_count_) {
+    return Status::InvalidArgument("non-dense key in page");
+  }
+  char len[kRecordLengthBytes];
+  StoreU32(len, static_cast<uint32_t>(payload.size()));
+  payload_.append(len, kRecordLengthBytes);
+  payload_.append(payload);
+  ++record_count_;
+  return Status::OK();
+}
+
+void PageBuilder::Finish(char* out) const {
+  assert(record_count_ > 0);
+  std::memset(out, 0, page_size_);
+  StoreU32(out + 0, kPageMagic);
+  StoreU32(out + 4, record_count_);
+  StoreU64(out + 8, min_key_);
+  StoreU64(out + 16, max_key());
+  StoreU32(out + 24, static_cast<uint32_t>(payload_.size()));
+  // bytes 28..32 reserved, already zero
+  std::memcpy(out + kPageHeaderBytes, payload_.data(), payload_.size());
+  StoreU64(out + 32,
+           PageChecksum(out, static_cast<uint32_t>(payload_.size())));
+}
+
+void PageBuilder::Reset() {
+  record_count_ = 0;
+  min_key_ = 0;
+  payload_.clear();
+}
+
+// ------------------------------------------------------------ PageReader
+
+Result<PageReader> PageReader::Parse(const char* data, size_t page_size) {
+  if (page_size <= kPageHeaderBytes) {
+    return Status::ParseError("page smaller than header");
+  }
+  if (LoadU32(data + 0) != kPageMagic) {
+    return Status::ParseError("bad page magic");
+  }
+  const uint32_t count = LoadU32(data + 4);
+  const uint64_t min_key = LoadU64(data + 8);
+  const uint64_t max_key = LoadU64(data + 16);
+  const uint32_t payload_bytes = LoadU32(data + 24);
+  const uint64_t checksum = LoadU64(data + 32);
+  if (count == 0 || payload_bytes > page_size - kPageHeaderBytes) {
+    return Status::ParseError("page header out of bounds");
+  }
+  if (max_key != min_key + count - 1) {
+    return Status::ParseError("page key range inconsistent with count");
+  }
+  if (checksum != PageChecksum(data, payload_bytes)) {
+    return Status::ParseError("page checksum mismatch");
+  }
+  PageReader reader;
+  reader.record_count_ = count;
+  reader.min_key_ = min_key;
+  reader.max_key_ = max_key;
+  reader.payloads_.reserve(count);
+  size_t offset = kPageHeaderBytes;
+  const size_t end = kPageHeaderBytes + payload_bytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (offset + kRecordLengthBytes > end) {
+      return Status::ParseError("record length prefix past payload end");
+    }
+    const uint32_t len = LoadU32(data + offset);
+    offset += kRecordLengthBytes;
+    if (offset + len > end) {
+      return Status::ParseError("record payload past payload end");
+    }
+    reader.payloads_.emplace_back(data + offset, len);
+    offset += len;
+  }
+  if (offset != end) {
+    return Status::ParseError("payload bytes beyond last record");
+  }
+  return reader;
+}
+
+// ------------------------------------------------------------ superblock
+
+void EncodeSuperblock(size_t page_size, char* out) {
+  std::memset(out, 0, page_size);
+  StoreU32(out + 0, kSuperblockMagic);
+  StoreU32(out + 4, kFormatVersion);
+  StoreU32(out + 8, static_cast<uint32_t>(page_size));
+  // bytes 12..16 reserved, already zero
+  StoreU64(out + 16, SuperblockChecksum(out));
+}
+
+Result<size_t> ParseSuperblock(const char* data, size_t bytes_available) {
+  if (bytes_available < kSuperblockHeaderBytes) {
+    return Status::ParseError("file too short for a store superblock");
+  }
+  if (LoadU32(data + 0) != kSuperblockMagic) {
+    return Status::ParseError("bad superblock magic (not a store file)");
+  }
+  if (LoadU32(data + 4) != kFormatVersion) {
+    return Status::ParseError("unsupported store format version");
+  }
+  if (LoadU64(data + 16) != SuperblockChecksum(data)) {
+    return Status::ParseError("superblock checksum mismatch");
+  }
+  const uint32_t page_size = LoadU32(data + 8);
+  if (page_size <= kPageHeaderBytes + kRecordLengthBytes) {
+    return Status::ParseError("superblock page size too small");
+  }
+  return static_cast<size_t>(page_size);
+}
+
+}  // namespace webrbd::store

@@ -1,0 +1,134 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// On-disk page format for the persistent record store (docs/storage.md).
+//
+// A store file is a sequence of fixed-size pages:
+//
+//   page 0            superblock {magic, version, page_size, checksum}
+//   pages 1..N        data pages
+//
+// Every data page is laid out as
+//
+//   offset  size  field
+//   0       4     magic           0x57425250 ("WBRP")
+//   4       4     record_count
+//   8       8     min_key
+//   16      8     max_key         == min_key + record_count - 1
+//   24      4     payload_bytes   bytes of packed records after the header
+//   28      4     reserved        zero
+//   32      8     checksum        FNV-1a over the page with this field zeroed
+//   40      ...   payload: record_count x { u32 length, length bytes }
+//   ...     ...   zero padding to page_size
+//
+// Keys are the store's ingest sequence and therefore DENSE within a page:
+// record i carries key min_key + i, so only payload lengths are stored.
+// The checksum covers header and payload, so a torn (partially written)
+// final page fails validation on recovery and is truncated away.
+//
+// All integers are little-endian regardless of host order.
+
+#ifndef WEBRBD_STORE_PAGE_H_
+#define WEBRBD_STORE_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace webrbd::store {
+
+inline constexpr uint32_t kPageMagic = 0x57425250;        // "WBRP"
+inline constexpr uint32_t kSuperblockMagic = 0x57425253;  // "WBRS"
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kPageHeaderBytes = 40;
+inline constexpr size_t kRecordLengthBytes = 4;
+
+/// Largest payload a single record may carry in a file with the given
+/// page size (one record must fit a page with its length prefix).
+constexpr size_t MaxRecordPayload(size_t page_size) {
+  return page_size - kPageHeaderBytes - kRecordLengthBytes;
+}
+
+/// Accumulates records for one data page and serializes it.
+class PageBuilder {
+ public:
+  explicit PageBuilder(size_t page_size);
+
+  /// True when a record with `payload_len` bytes still fits.
+  bool Fits(size_t payload_len) const;
+
+  /// Appends a record. Keys must be dense: the first record fixes
+  /// min_key, each subsequent key must be the previous plus one.
+  /// Fails with kInvalidArgument on a non-dense key, kResourceExhausted
+  /// when the record does not fit (callers check Fits first and flush).
+  [[nodiscard]] Status Append(uint64_t key, std::string_view payload);
+
+  bool empty() const { return record_count_ == 0; }
+  uint32_t record_count() const { return record_count_; }
+  uint64_t min_key() const { return min_key_; }
+  uint64_t max_key() const { return min_key_ + record_count_ - 1; }
+
+  /// Serializes the page (header, payload, checksum, zero padding) into
+  /// `out`, which must hold page_size bytes. The builder stays intact.
+  void Finish(char* out) const;
+
+  /// Clears the builder for the next page.
+  void Reset();
+
+ private:
+  size_t page_size_;
+  uint32_t record_count_ = 0;
+  uint64_t min_key_ = 0;
+  std::string payload_;
+};
+
+/// Validated view over one serialized data page. The page buffer must
+/// outlive the reader; payload() returns views into it.
+class PageReader {
+ public:
+  /// Parses and validates `page_size` bytes at `data`: magic, checksum,
+  /// and record-length bounds all have to hold. A torn or corrupt page
+  /// fails with kParseError.
+  static Result<PageReader> Parse(const char* data, size_t page_size);
+
+  uint32_t record_count() const { return record_count_; }
+  uint64_t min_key() const { return min_key_; }
+  uint64_t max_key() const { return max_key_; }
+
+  /// Key of record `i` (dense within the page).
+  uint64_t key(uint32_t i) const { return min_key_ + i; }
+
+  /// Serialized payload of record `i`.
+  std::string_view payload(uint32_t i) const {
+    return payloads_[i];
+  }
+
+ private:
+  PageReader() = default;
+
+  uint32_t record_count_ = 0;
+  uint64_t min_key_ = 0;
+  uint64_t max_key_ = 0;
+  std::vector<std::string_view> payloads_;
+};
+
+/// Serializes the superblock (page 0) into `out` (page_size bytes).
+void EncodeSuperblock(size_t page_size, char* out);
+
+/// Validates a superblock and returns the page size recorded in it.
+/// `bytes_available` is how many bytes of page 0 actually exist; a file
+/// too short to hold even the superblock header fails with kParseError.
+Result<size_t> ParseSuperblock(const char* data, size_t bytes_available);
+
+/// Little-endian integer accessors shared by page and record codecs.
+void StoreU32(char* out, uint32_t v);
+void StoreU64(char* out, uint64_t v);
+uint32_t LoadU32(const char* in);
+uint64_t LoadU64(const char* in);
+
+}  // namespace webrbd::store
+
+#endif  // WEBRBD_STORE_PAGE_H_

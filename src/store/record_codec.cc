@@ -1,0 +1,122 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "store/record_codec.h"
+
+#include <limits>
+
+#include "store/page.h"
+
+namespace webrbd::store {
+
+namespace {
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  StoreU32(buf, v);
+  out->append(buf, 4);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool ReadU16(uint16_t* v) {
+    if (data_.size() - pos_ < 2) return false;
+    *v = static_cast<uint16_t>(
+        static_cast<unsigned char>(data_[pos_]) |
+        (static_cast<unsigned char>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (data_.size() - pos_ < 4) return false;
+    *v = LoadU32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string_view* v) {
+    if (data_.size() - pos_ < n) return false;
+    *v = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status EncodeRecord(const StoredRecord& record, std::string* out) {
+  constexpr size_t kMaxShort = std::numeric_limits<uint16_t>::max();
+  constexpr size_t kMaxValue = std::numeric_limits<uint32_t>::max();
+  if (record.entity.size() > kMaxShort) {
+    return Status::InvalidArgument("record entity name too long");
+  }
+  if (record.fields.size() > kMaxShort) {
+    return Status::InvalidArgument("record has too many fields");
+  }
+  AppendU32(out, record.document_index);
+  AppendU32(out, record.record_index);
+  AppendU16(out, static_cast<uint16_t>(record.entity.size()));
+  out->append(record.entity);
+  AppendU16(out, static_cast<uint16_t>(record.fields.size()));
+  for (const auto& [name, value] : record.fields) {
+    if (name.size() > kMaxShort) {
+      return Status::InvalidArgument("record field name too long");
+    }
+    if (value.size() > kMaxValue) {
+      return Status::InvalidArgument("record field value too long");
+    }
+    AppendU16(out, static_cast<uint16_t>(name.size()));
+    out->append(name);
+    AppendU32(out, static_cast<uint32_t>(value.size()));
+    out->append(value);
+  }
+  return Status::OK();
+}
+
+Result<StoredRecord> DecodeRecord(std::string_view payload) {
+  Cursor cursor(payload);
+  StoredRecord record;
+  uint16_t short_len = 0;
+  std::string_view bytes;
+  if (!cursor.ReadU32(&record.document_index) ||
+      !cursor.ReadU32(&record.record_index) ||
+      !cursor.ReadU16(&short_len) ||
+      !cursor.ReadBytes(short_len, &bytes)) {
+    return Status::ParseError("truncated record header");
+  }
+  record.entity.assign(bytes);
+  uint16_t field_count = 0;
+  if (!cursor.ReadU16(&field_count)) {
+    return Status::ParseError("truncated record field count");
+  }
+  record.fields.reserve(field_count);
+  for (uint16_t i = 0; i < field_count; ++i) {
+    uint32_t value_len = 0;
+    std::string_view name;
+    std::string_view value;
+    if (!cursor.ReadU16(&short_len) || !cursor.ReadBytes(short_len, &name) ||
+        !cursor.ReadU32(&value_len) || !cursor.ReadBytes(value_len, &value)) {
+      return Status::ParseError("truncated record field");
+    }
+    record.fields.emplace_back(std::string(name), std::string(value));
+  }
+  if (!cursor.exhausted()) {
+    return Status::ParseError("trailing bytes after record fields");
+  }
+  return record;
+}
+
+}  // namespace webrbd::store

@@ -1,0 +1,70 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+//
+// Serialization of one populated record into a store-page payload.
+//
+// StoredRecord is the unit the extraction pipeline delivers through the
+// RecordSink API (extract/record_sink.h aliases it as PopulatedRecord) and
+// the unit the persistent store holds: one record of the paper's populated
+// database — which document it came from, its ordinal within that
+// document, the ontology entity, and the extracted (field name, value)
+// pairs.
+//
+// Wire format (little-endian, variable length):
+//
+//   u32 document_index
+//   u32 record_index
+//   u16 entity length, then entity bytes
+//   u16 field count
+//   per field: u16 name length, name bytes, u32 value length, value bytes
+//
+// Values are arbitrary bytes (extracted text may be non-UTF8); names and
+// entities are capped at u16 lengths, values at u32.
+
+#ifndef WEBRBD_STORE_RECORD_CODEC_H_
+#define WEBRBD_STORE_RECORD_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace webrbd::store {
+
+/// One populated record: the pipeline's output unit and the store's
+/// stored unit.
+struct StoredRecord {
+  /// Index of the source document within its corpus/batch (0-based).
+  uint32_t document_index = 0;
+  /// Ordinal of this record within its document (0-based).
+  uint32_t record_index = 0;
+  /// Ontology entity name (the table the record populates).
+  std::string entity;
+  /// Extracted (field name, value) pairs, in extraction order. Repeated
+  /// names are allowed — plural fields contribute one pair per match.
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  bool operator==(const StoredRecord& other) const {
+    return document_index == other.document_index &&
+           record_index == other.record_index && entity == other.entity &&
+           fields == other.fields;
+  }
+};
+
+/// Appends the serialized form of `record` to `*out` (the buffer is not
+/// cleared, so callers can reuse one string across records). Fails with
+/// kInvalidArgument when a name/entity exceeds u16 or a value exceeds u32
+/// length.
+[[nodiscard]] Status EncodeRecord(const StoredRecord& record,
+                                  std::string* out);
+
+/// Decodes one serialized record. Fails with kParseError on truncated or
+/// malformed payloads.
+Result<StoredRecord> DecodeRecord(std::string_view payload);
+
+}  // namespace webrbd::store
+
+#endif  // WEBRBD_STORE_RECORD_CODEC_H_

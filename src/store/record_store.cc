@@ -1,0 +1,346 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "store/record_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/stages.h"
+
+namespace webrbd::store {
+
+namespace {
+
+constexpr size_t kSuperblockProbeBytes = 24;
+
+}  // namespace
+
+RecordStore::RecordStore(Private, std::unique_ptr<FileInterface> file,
+                         size_t page_size, uint32_t index_epsilon)
+    : file_(std::move(file)),
+      page_size_(page_size),
+      index_(index_epsilon) {
+  page_buffer_.resize(page_size_);
+}
+
+Result<std::unique_ptr<RecordStore>> RecordStore::Open(
+    std::unique_ptr<FileInterface> file, const StoreOptions& options) {
+  if (options.page_size < kMinPageSize ||
+      options.page_size > kMaxPageSize) {
+    return Status::InvalidArgument("store page size out of range");
+  }
+  uint64_t size = 0;
+  WEBRBD_ASSIGN_OR_RETURN(size, file->SizeBytes());
+
+  size_t page_size = options.page_size;
+  if (size == 0) {
+    // Fresh store: lay down the superblock.
+    std::string superblock(page_size, '\0');
+    EncodeSuperblock(page_size, superblock.data());
+    Status written = file->WritePage(0, page_size, superblock.data());
+    if (!written.ok()) return written;
+    Status synced = file->Sync();
+    if (!synced.ok()) return synced;
+  } else {
+    char probe[kSuperblockProbeBytes];
+    Status read = file->ReadPage(0, kSuperblockProbeBytes, probe);
+    if (!read.ok()) {
+      return Status::ParseError("not a store file: " + read.message());
+    }
+    WEBRBD_ASSIGN_OR_RETURN(page_size,
+                            ParseSuperblock(probe, kSuperblockProbeBytes));
+  }
+
+  auto store = std::make_unique<RecordStore>(
+      Private{}, std::move(file), page_size, options.index_epsilon);
+
+  // Recovery scan: walk data pages in order, rebuild the learned index,
+  // and stop at the first page that is torn (checksum), missing (beyond
+  // EOF), or out of key sequence. Everything from that page on is
+  // dropped so the store reopens to a consistent prefix.
+  const obs::StoreMetrics& metrics = obs::Store();
+  uint64_t page = 1;
+  for (;; ++page) {
+    Status read = store->file_->ReadPage(page, page_size,
+                                         store->page_buffer_.data());
+    if (!read.ok()) break;  // beyond EOF: clean end or torn partial page
+    metrics.pages_read->Increment();
+    Result<PageReader> parsed =
+        PageReader::Parse(store->page_buffer_.data(), page_size);
+    if (!parsed.ok()) break;  // torn or corrupt page
+    if (parsed->min_key() != store->next_key_) break;  // sequence break
+    store->index_.Add(parsed->min_key(), page);
+    store->next_key_ = parsed->max_key() + 1;
+    store->page_count_ = page;
+  }
+  const uint64_t valid_bytes = (store->page_count_ + 1) * page_size;
+  if (size > valid_bytes) {
+    store->torn_pages_ = (size - valid_bytes + page_size - 1) / page_size;
+    metrics.torn_pages->Increment(store->torn_pages_);
+    Status truncated = store->file_->Truncate(valid_bytes);
+    if (!truncated.ok()) return truncated;
+    Status synced = store->file_->Sync();
+    if (!synced.ok()) return synced;
+  }
+  metrics.index_segments->Set(
+      static_cast<double>(store->index_.segment_count()));
+  return store;
+}
+
+Result<uint64_t> RecordStore::Append(const StoredRecord& record) {
+  scratch_.clear();
+  Status encoded = EncodeRecord(record, &scratch_);
+  if (!encoded.ok()) return encoded;
+  if (scratch_.size() > MaxRecordPayload(page_size_)) {
+    return Status::InvalidArgument(
+        "record payload (" + std::to_string(scratch_.size()) +
+        " bytes) exceeds page capacity of " + DebugName());
+  }
+  const size_t footprint = kRecordLengthBytes + scratch_.size();
+  if (kPageHeaderBytes + pending_bytes_ + footprint > page_size_) {
+    Status sealed = SealTailPage();
+    if (!sealed.ok()) return sealed;
+  }
+  pending_.push_back(scratch_);
+  pending_bytes_ += footprint;
+  const uint64_t key = next_key_++;
+  obs::Store().records->Increment();
+  return key;
+}
+
+Status RecordStore::SealTailPage() {
+  if (pending_.empty()) return Status::OK();
+  PageBuilder builder(page_size_);
+  const uint64_t base_key = next_key_ - pending_.size();
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    Status appended = builder.Append(base_key + i, pending_[i]);
+    if (!appended.ok()) return appended;
+  }
+  builder.Finish(page_buffer_.data());
+  const uint64_t page = page_count_ + 1;
+  Status written = file_->WritePage(page, page_size_, page_buffer_.data());
+  if (!written.ok()) return written;
+  page_count_ = page;
+  index_.Add(base_key, page);
+  pending_.clear();
+  pending_bytes_ = 0;
+  const obs::StoreMetrics& metrics = obs::Store();
+  metrics.pages_written->Increment();
+  metrics.index_segments->Set(static_cast<double>(index_.segment_count()));
+  return Status::OK();
+}
+
+Status RecordStore::Flush() {
+  Status sealed = SealTailPage();
+  if (!sealed.ok()) return sealed;
+  Status synced = file_->Sync();
+  if (!synced.ok()) return synced;
+  obs::Store().flushes->Increment();
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- Iterator
+
+struct RecordStore::Iterator::State {
+  RecordStore* store = nullptr;
+  ScanOptions options;
+  Status status = Status::OK();
+
+  // Sealed-page cursor.
+  uint64_t page = 0;           // next file page to read; 0 = done with pages
+  uint64_t last_page = 0;      // last sealed page at Scan time
+  std::string page_buffer;
+  Result<PageReader> reader = Status::NotFound("unset");
+  uint32_t record_in_page = 0;
+  bool page_loaded = false;
+
+  // Snapshot of the unsealed tail at Scan time.
+  std::vector<std::string> tail;
+  uint64_t tail_base_key = 0;
+  size_t tail_index = 0;
+
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  bool observed = false;
+
+  void ObserveLatency() {
+    if (observed) return;
+    observed = true;
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    obs::Store().query_latency->ObserveNanos(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+};
+
+RecordStore::Iterator::Iterator(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+RecordStore::Iterator::Iterator(Iterator&&) noexcept = default;
+RecordStore::Iterator& RecordStore::Iterator::operator=(Iterator&&) noexcept =
+    default;
+
+RecordStore::Iterator::~Iterator() {
+  if (state_ != nullptr) state_->ObserveLatency();
+}
+
+const Status& RecordStore::Iterator::status() const {
+  return state_->status;
+}
+
+bool RecordStore::Iterator::Next(StoredRecord* record, uint64_t* key) {
+  State& s = *state_;
+  if (!s.status.ok()) return false;
+  const obs::StoreMetrics& metrics = obs::Store();
+  for (;;) {
+    // Drain the current page.
+    if (s.page_loaded) {
+      const PageReader& reader = *s.reader;
+      while (s.record_in_page < reader.record_count()) {
+        const uint32_t i = s.record_in_page++;
+        const uint64_t record_key = reader.key(i);
+        if (record_key < s.options.min_key) continue;
+        if (record_key > s.options.max_key) {
+          s.ObserveLatency();
+          return false;  // keys are sorted: nothing further can match
+        }
+        Result<StoredRecord> decoded = DecodeRecord(reader.payload(i));
+        if (!decoded.ok()) {
+          s.status = decoded.status();
+          s.ObserveLatency();
+          return false;
+        }
+        if (s.options.filter && !s.options.filter(*decoded)) continue;
+        *record = std::move(decoded).value();
+        if (key != nullptr) *key = record_key;
+        return true;
+      }
+      s.page_loaded = false;
+      ++s.page;
+    }
+    // Load the next sealed page, if any remain in range.
+    if (s.page != 0 && s.page <= s.last_page) {
+      Status read = s.store->file_->ReadPage(s.page, s.store->page_size_,
+                                             s.page_buffer.data());
+      if (!read.ok()) {
+        s.status = read;
+        s.ObserveLatency();
+        return false;
+      }
+      metrics.pages_read->Increment();
+      s.reader = PageReader::Parse(s.page_buffer.data(),
+                                   s.store->page_size_);
+      if (!s.reader.ok()) {
+        s.status = s.reader.status();
+        s.ObserveLatency();
+        return false;
+      }
+      if (s.reader->min_key() > s.options.max_key) {
+        s.page = 0;  // whole page past the range: tail cannot match either
+        s.tail_index = s.tail.size();
+        s.ObserveLatency();
+        return false;
+      }
+      s.record_in_page = 0;
+      s.page_loaded = true;
+      continue;
+    }
+    s.page = 0;
+    // Drain the tail snapshot.
+    while (s.tail_index < s.tail.size()) {
+      const size_t i = s.tail_index++;
+      const uint64_t record_key = s.tail_base_key + i;
+      if (record_key < s.options.min_key) continue;
+      if (record_key > s.options.max_key) break;
+      Result<StoredRecord> decoded = DecodeRecord(s.tail[i]);
+      if (!decoded.ok()) {
+        s.status = decoded.status();
+        s.ObserveLatency();
+        return false;
+      }
+      if (s.options.filter && !s.options.filter(*decoded)) continue;
+      *record = std::move(decoded).value();
+      if (key != nullptr) *key = record_key;
+      return true;
+    }
+    s.ObserveLatency();
+    return false;
+  }
+}
+
+RecordStore::Iterator RecordStore::Scan(const ScanOptions& options) {
+  auto state = std::make_unique<Iterator::State>();
+  state->store = this;
+  state->options = options;
+  state->page_buffer.resize(page_size_);
+  state->last_page = page_count_;
+  state->tail = pending_;
+  state->tail_base_key = next_key_ - pending_.size();
+
+  if (page_count_ == 0 || index_.empty()) {
+    state->page = 0;  // no sealed pages: tail only
+    return Iterator(std::move(state));
+  }
+
+  // Find the start page: the last sealed page whose min_key <= min_key
+  // bound. The learned index narrows this to a small window; a binary
+  // search inside the window (reading only those pages) pins it down.
+  // Landing early is harmless (the iterator skips out-of-range keys), so
+  // only "any page with min_key <= bound, as late as possible" matters.
+  const obs::StoreMetrics& metrics = obs::Store();
+  LearnedPageIndex::PageWindow window = index_.Locate(options.min_key);
+  window.first = std::max<uint64_t>(window.first, 1);
+  window.last = std::min<uint64_t>(window.last, page_count_);
+  uint64_t start = 0;
+  uint64_t lo = window.first;
+  uint64_t hi = window.last;
+  while (lo <= hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    Status read = file_->ReadPage(mid, page_size_,
+                                  state->page_buffer.data());
+    if (!read.ok()) {
+      state->status = read;
+      return Iterator(std::move(state));
+    }
+    metrics.pages_read->Increment();
+    Result<PageReader> parsed =
+        PageReader::Parse(state->page_buffer.data(), page_size_);
+    if (!parsed.ok()) {
+      state->status = parsed.status();
+      return Iterator(std::move(state));
+    }
+    if (parsed->min_key() <= options.min_key) {
+      start = mid;
+      lo = mid + 1;
+    } else {
+      if (mid == 0) break;
+      hi = mid - 1;
+    }
+  }
+  // The model's window can, in principle, sit entirely past the true
+  // page; walk back until a page qualifies. (Page 1 always does: its
+  // min_key is 0.)
+  while (start == 0 && window.first > 1) {
+    --window.first;
+    Status read = file_->ReadPage(window.first, page_size_,
+                                  state->page_buffer.data());
+    if (!read.ok()) {
+      state->status = read;
+      return Iterator(std::move(state));
+    }
+    metrics.pages_read->Increment();
+    Result<PageReader> parsed =
+        PageReader::Parse(state->page_buffer.data(), page_size_);
+    if (!parsed.ok()) {
+      state->status = parsed.status();
+      return Iterator(std::move(state));
+    }
+    if (parsed->min_key() <= options.min_key) start = window.first;
+  }
+  if (start == 0) start = 1;
+  state->page = start;
+  return Iterator(std::move(state));
+}
+
+}  // namespace webrbd::store

@@ -2,6 +2,10 @@
 
 #include "db/export.h"
 
+#include <random>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace webrbd::db {
@@ -75,6 +79,153 @@ TEST(SqlExportTest, CreateBeforeInsert) {
   Catalog catalog = SmallCatalog();
   const std::string sql = ToSqlDump(catalog);
   EXPECT_LT(sql.find("CREATE TABLE"), sql.find("INSERT INTO"));
+}
+
+TEST(CsvExportTest, EmptyStringIsQuotedAndDistinctFromNull) {
+  Table table(Schema("t", {Column{"a", ValueType::kString, true},
+                           Column{"b", ValueType::kString, true}}));
+  ASSERT_TRUE(table.Insert({Value::String(""), Value::Null()}).ok());
+  EXPECT_EQ(ToCsv(table), "a,b\n\"\",\n");
+
+  auto rows = ParseCsv(ToCsv(table));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  const std::vector<CsvField>& data = (*rows)[1];
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_FALSE(data[0].null);
+  EXPECT_EQ(data[0].text, "");
+  EXPECT_TRUE(data[1].null);
+}
+
+TEST(CsvParseTest, QuotedSpecials) {
+  auto rows = ParseCsv("\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\",\"cr\rlf\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  const std::vector<CsvField>& row = (*rows)[0];
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0].text, "a,b");
+  EXPECT_EQ(row[1].text, "say \"hi\"");
+  EXPECT_EQ(row[2].text, "line\nbreak");
+  EXPECT_EQ(row[3].text, "cr\rlf");
+}
+
+TEST(CsvParseTest, RowTerminators) {
+  // LF, CRLF, and lone CR all end rows; the final terminator is optional.
+  auto rows = ParseCsv("a\nb\r\nc\rd");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[0][0].text, "a");
+  EXPECT_EQ((*rows)[1][0].text, "b");
+  EXPECT_EQ((*rows)[2][0].text, "c");
+  EXPECT_EQ((*rows)[3][0].text, "d");
+}
+
+TEST(CsvParseTest, TrailingCommaYieldsTrailingNullField) {
+  auto rows = ParseCsv("a,");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  ASSERT_EQ((*rows)[0].size(), 2u);
+  EXPECT_EQ((*rows)[0][0].text, "a");
+  EXPECT_TRUE((*rows)[0][1].null);
+}
+
+TEST(CsvParseTest, MalformedInputs) {
+  EXPECT_FALSE(ParseCsv("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsv("\"closed\"junk\n").ok());
+  EXPECT_FALSE(ParseCsv("bare\"quote\n").ok());
+}
+
+TEST(SqlQuoteTest, UnquoteInvertsQuote) {
+  for (const std::string text :
+       {std::string("plain"), std::string("O'Brien"), std::string(""),
+        std::string("''''"), std::string("a\nb\rc"),
+        std::string("\x80\xff\x00\x01", 4)}) {
+    auto back = SqlUnquote(SqlQuote(text));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, text);
+  }
+}
+
+TEST(SqlQuoteTest, UnquoteRejectsMalformed) {
+  EXPECT_FALSE(SqlUnquote("").ok());
+  EXPECT_FALSE(SqlUnquote("'").ok());
+  EXPECT_FALSE(SqlUnquote("no quotes").ok());
+  EXPECT_FALSE(SqlUnquote("'stray ' quote'").ok());
+  EXPECT_FALSE(SqlUnquote("'a''").ok());
+}
+
+// Deterministic fuzz: random tables whose string cells draw from the full
+// byte alphabet (quotes, commas, CR, LF, NUL, non-UTF8 bytes), exported
+// and parsed back; every cell must survive, with NULL and "" distinct.
+TEST(ExportRoundTripFuzzTest, CsvSurvivesArbitraryBytes) {
+  std::mt19937 rng(20260809);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_int_distribution<int> len_dist(0, 12);
+  std::uniform_int_distribution<int> kind_dist(0, 3);
+  // Bias toward the CSV metacharacters so escapes actually exercise.
+  const std::string nasty = ",\"\r\n'\\";
+  std::uniform_int_distribution<int> nasty_dist(
+      0, static_cast<int>(nasty.size()) - 1);
+
+  for (int iter = 0; iter < 200; ++iter) {
+    Table table(Schema("fuzz", {Column{"a", ValueType::kString, true},
+                                Column{"b", ValueType::kString, true},
+                                Column{"c", ValueType::kInt64, true}}));
+    const int rows = 1 + iter % 5;
+    for (int r = 0; r < rows; ++r) {
+      Tuple tuple;
+      for (int c = 0; c < 2; ++c) {
+        const int kind = kind_dist(rng);
+        if (kind == 0) {
+          tuple.push_back(Value::Null());
+          continue;
+        }
+        std::string text;
+        const int len = len_dist(rng);
+        for (int b = 0; b < len; ++b) {
+          text.push_back(kind == 1
+                             ? nasty[static_cast<size_t>(nasty_dist(rng))]
+                             : static_cast<char>(byte_dist(rng)));
+        }
+        tuple.push_back(Value::String(std::move(text)));
+      }
+      tuple.push_back(Value::Int64(r));
+      ASSERT_TRUE(table.Insert(std::move(tuple)).ok());
+    }
+
+    auto parsed = ParseCsv(ToCsv(table));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ASSERT_EQ(parsed->size(), table.rows().size() + 1) << "iter " << iter;
+    for (size_t r = 0; r < table.rows().size(); ++r) {
+      const Tuple& expect = table.rows()[r];
+      const std::vector<CsvField>& got = (*parsed)[r + 1];
+      ASSERT_EQ(got.size(), expect.size());
+      for (size_t c = 0; c < expect.size(); ++c) {
+        EXPECT_EQ(got[c].null, expect[c].is_null())
+            << "iter " << iter << " row " << r << " col " << c;
+        if (!expect[c].is_null()) {
+          EXPECT_EQ(got[c].text, expect[c].ToString())
+              << "iter " << iter << " row " << r << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExportRoundTripFuzzTest, SqlQuoteSurvivesArbitraryBytes) {
+  std::mt19937 rng(424242);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_int_distribution<int> len_dist(0, 32);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text;
+    const int len = len_dist(rng);
+    for (int b = 0; b < len; ++b) {
+      text.push_back(static_cast<char>(byte_dist(rng)));
+    }
+    auto back = SqlUnquote(SqlQuote(text));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, text) << "iter " << iter;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "store/learned_index.h"
+
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webrbd::store {
+namespace {
+
+// Reference answer: the last page whose min_key <= key (clamped to the
+// first page for keys before everything).
+uint64_t TruePage(const std::vector<uint64_t>& min_keys, uint64_t key) {
+  uint64_t page = 0;
+  for (size_t i = 0; i < min_keys.size(); ++i) {
+    if (min_keys[i] <= key) page = i;
+  }
+  return page;
+}
+
+TEST(LearnedPageIndexTest, EmptyAndSingle) {
+  LearnedPageIndex index(4);
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.segment_count(), 0u);
+  index.Add(0, 1);
+  EXPECT_FALSE(index.empty());
+  EXPECT_EQ(index.segment_count(), 1u);
+  const auto window = index.Locate(1234);
+  EXPECT_LE(window.first, 1u);
+  EXPECT_GE(window.last, 1u);
+}
+
+TEST(LearnedPageIndexTest, PerfectlyLinearStaysOneSegment) {
+  // Constant records-per-page: a single linear segment should model every
+  // page, no matter how many.
+  LearnedPageIndex index(2);
+  std::vector<uint64_t> min_keys;
+  for (uint64_t page = 0; page < 5000; ++page) {
+    min_keys.push_back(page * 17);
+    index.Add(page * 17, page + 1);
+  }
+  EXPECT_EQ(index.segment_count(), 1u);
+  std::vector<uint64_t> probes;
+  for (uint64_t key = 0; key < 5000 * 17; key += 371) probes.push_back(key);
+  // Truth in file-page space is 1-based (page 0 is the superblock).
+  for (uint64_t key : probes) {
+    const auto window = index.Locate(key);
+    const uint64_t truth = TruePage(min_keys, key) + 1;
+    EXPECT_LE(window.first, truth) << "key " << key;
+    EXPECT_GE(window.last, truth) << "key " << key;
+  }
+}
+
+TEST(LearnedPageIndexTest, SkewedPageSizesStayWithinEpsilon) {
+  // Alternate tiny and huge pages: the worst case for a linear model.
+  // Correctness (window contains the true page) must hold regardless of
+  // how many segments it costs.
+  std::mt19937 rng(7);
+  for (const uint32_t epsilon : {1u, 4u, 16u}) {
+    LearnedPageIndex index(epsilon);
+    std::vector<uint64_t> min_keys;
+    uint64_t key = 0;
+    for (uint64_t page = 0; page < 2000; ++page) {
+      min_keys.push_back(key);
+      index.Add(key, page + 1);
+      key += (page % 2 == 0) ? 1 : 1 + rng() % 500;
+    }
+    std::vector<uint64_t> probes;
+    for (int i = 0; i < 2000; ++i) probes.push_back(rng() % key);
+    probes.push_back(0);
+    probes.push_back(key + 100);  // past the end
+    for (uint64_t probe : probes) {
+      const auto window = index.Locate(probe);
+      const uint64_t truth = TruePage(min_keys, probe) + 1;
+      EXPECT_LE(window.first, truth) << "epsilon " << epsilon << " key "
+                                     << probe;
+      EXPECT_GE(window.last, truth) << "epsilon " << epsilon << " key "
+                                    << probe;
+    }
+    EXPECT_GT(index.segment_count(), 1u);
+  }
+}
+
+TEST(LearnedPageIndexTest, IgnoresNonMonotoneInput) {
+  LearnedPageIndex index(4);
+  index.Add(100, 1);
+  index.Add(50, 2);   // min_key went backwards: ignored
+  index.Add(100, 2);  // repeat: ignored
+  index.Add(200, 5);  // page gap: ignored
+  index.Add(200, 2);  // the store's actual next page
+  EXPECT_EQ(index.segment_count(), 1u);
+  const auto window = index.Locate(150);
+  EXPECT_LE(window.first, 1u);
+  EXPECT_GE(window.last, 1u);
+}
+
+TEST(LearnedPageIndexTest, SegmentCountStaysSublinear) {
+  // A gently drifting distribution must not produce a segment per page —
+  // the whole point of the learned index is O(segments) memory.
+  std::mt19937 rng(99);
+  LearnedPageIndex index(4);
+  uint64_t key = 0;
+  const uint64_t pages = 10000;
+  for (uint64_t page = 0; page < pages; ++page) {
+    index.Add(key, page + 1);
+    key += 40 + rng() % 5;  // near-constant density, small jitter
+  }
+  EXPECT_LT(index.segment_count(), pages / 20);
+}
+
+}  // namespace
+}  // namespace webrbd::store

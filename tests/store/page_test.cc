@@ -1,0 +1,123 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "store/page.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace webrbd::store {
+namespace {
+
+constexpr size_t kPage = 256;
+
+TEST(PageBuilderTest, BuildParseRoundTrip) {
+  PageBuilder builder(kPage);
+  EXPECT_TRUE(builder.empty());
+  ASSERT_TRUE(builder.Append(10, "alpha").ok());
+  ASSERT_TRUE(builder.Append(11, "").ok());
+  ASSERT_TRUE(builder.Append(12, std::string("b\0c", 3)).ok());
+  EXPECT_EQ(builder.record_count(), 3u);
+  EXPECT_EQ(builder.min_key(), 10u);
+  EXPECT_EQ(builder.max_key(), 12u);
+
+  std::string page(kPage, '\xab');  // Finish must overwrite every byte
+  builder.Finish(page.data());
+
+  auto reader = PageReader::Parse(page.data(), kPage);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->record_count(), 3u);
+  EXPECT_EQ(reader->min_key(), 10u);
+  EXPECT_EQ(reader->max_key(), 12u);
+  EXPECT_EQ(reader->payload(0), "alpha");
+  EXPECT_EQ(reader->payload(1), "");
+  EXPECT_EQ(reader->payload(2), std::string_view("b\0c", 3));
+  EXPECT_EQ(reader->key(2), 12u);
+}
+
+TEST(PageBuilderTest, RejectsNonDenseKeys) {
+  PageBuilder builder(kPage);
+  ASSERT_TRUE(builder.Append(5, "a").ok());
+  EXPECT_FALSE(builder.Append(7, "b").ok());  // gap
+  EXPECT_FALSE(builder.Append(5, "b").ok());  // repeat
+  ASSERT_TRUE(builder.Append(6, "b").ok());
+}
+
+TEST(PageBuilderTest, FitsMatchesAppend) {
+  PageBuilder builder(kPage);
+  const std::string big(MaxRecordPayload(kPage), 'x');
+  ASSERT_TRUE(builder.Fits(big.size()));
+  ASSERT_TRUE(builder.Append(0, big).ok());
+  EXPECT_FALSE(builder.Fits(0));
+  EXPECT_EQ(builder.Append(1, "").code(), Status::Code::kResourceExhausted);
+}
+
+TEST(PageBuilderTest, ResetClears) {
+  PageBuilder builder(kPage);
+  ASSERT_TRUE(builder.Append(3, "x").ok());
+  builder.Reset();
+  EXPECT_TRUE(builder.empty());
+  ASSERT_TRUE(builder.Append(9, "y").ok());
+  EXPECT_EQ(builder.min_key(), 9u);
+}
+
+TEST(PageReaderTest, DetectsCorruption) {
+  PageBuilder builder(kPage);
+  ASSERT_TRUE(builder.Append(0, "payload").ok());
+  std::string page(kPage, '\0');
+  builder.Finish(page.data());
+
+  // Every single-bit flip anywhere in header or payload must fail the
+  // checksum (or a bounds check) — this is the torn-page defense.
+  for (size_t i : {size_t{0}, size_t{5}, size_t{9}, size_t{20}, size_t{33},
+                   size_t{41}, size_t{45}}) {
+    std::string bad = page;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_FALSE(PageReader::Parse(bad.data(), kPage).ok())
+        << "flip at byte " << i;
+  }
+}
+
+TEST(PageReaderTest, RejectsTruncatedPayloadLength) {
+  PageBuilder builder(kPage);
+  ASSERT_TRUE(builder.Append(0, "abc").ok());
+  std::string page(kPage, '\0');
+  builder.Finish(page.data());
+  // Claim a record length far past the page end, then fix nothing else:
+  // the checksum already breaks, but even with a recomputed checksum the
+  // bounds check must hold. Cheap version: checksum breaks.
+  StoreU32(page.data() + kPageHeaderBytes, 0x7fffffff);
+  EXPECT_FALSE(PageReader::Parse(page.data(), kPage).ok());
+}
+
+TEST(SuperblockTest, RoundTrip) {
+  std::string page(4096, '\xcd');
+  EncodeSuperblock(4096, page.data());
+  auto size = ParseSuperblock(page.data(), page.size());
+  ASSERT_TRUE(size.ok()) << size.status().ToString();
+  EXPECT_EQ(*size, 4096u);
+}
+
+TEST(SuperblockTest, RejectsGarbageAndShortReads) {
+  std::string page(4096, '\0');
+  EXPECT_FALSE(ParseSuperblock(page.data(), page.size()).ok());
+  EncodeSuperblock(4096, page.data());
+  EXPECT_FALSE(ParseSuperblock(page.data(), 8).ok());  // header cut off
+  page[1] = static_cast<char>(page[1] ^ 1);
+  EXPECT_FALSE(ParseSuperblock(page.data(), page.size()).ok());
+}
+
+TEST(EndianHelpersTest, LittleEndianLayout) {
+  char buf[8];
+  StoreU32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+  EXPECT_EQ(LoadU32(buf), 0x01020304u);
+  StoreU64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(LoadU64(buf), 0x0102030405060708ull);
+}
+
+}  // namespace
+}  // namespace webrbd::store

@@ -1,0 +1,83 @@
+// Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+
+#include "store/record_codec.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace webrbd::store {
+namespace {
+
+StoredRecord SampleRecord() {
+  StoredRecord record;
+  record.document_index = 7;
+  record.record_index = 42;
+  record.entity = "Deceased";
+  record.fields = {{"Name", "Ada Lovelace"},
+                   {"Relative", "father"},
+                   {"Relative", "mother"},  // plural fields repeat names
+                   {"Raw", std::string("\x00\xff\x80", 3)}};
+  return record;
+}
+
+TEST(RecordCodecTest, RoundTrip) {
+  const StoredRecord record = SampleRecord();
+  std::string wire;
+  ASSERT_TRUE(EncodeRecord(record, &wire).ok());
+  auto decoded = DecodeRecord(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == record);
+}
+
+TEST(RecordCodecTest, EncodeAppendsWithoutClearing) {
+  std::string wire = "prefix";
+  ASSERT_TRUE(EncodeRecord(SampleRecord(), &wire).ok());
+  EXPECT_EQ(wire.compare(0, 6, "prefix"), 0);
+  auto decoded = DecodeRecord(std::string_view(wire).substr(6));
+  ASSERT_TRUE(decoded.ok());
+}
+
+TEST(RecordCodecTest, EmptyRecordRoundTrips) {
+  StoredRecord record;  // all defaults: no entity, no fields
+  std::string wire;
+  ASSERT_TRUE(EncodeRecord(record, &wire).ok());
+  auto decoded = DecodeRecord(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == record);
+}
+
+TEST(RecordCodecTest, RejectsOversizeNames) {
+  StoredRecord record;
+  record.entity = std::string(1 << 16, 'e');  // exceeds u16
+  std::string wire;
+  EXPECT_EQ(EncodeRecord(record, &wire).code(),
+            Status::Code::kInvalidArgument);
+
+  record = StoredRecord();
+  record.fields = {{std::string(1 << 16, 'n'), "v"}};
+  wire.clear();
+  EXPECT_EQ(EncodeRecord(record, &wire).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(RecordCodecTest, RejectsTruncation) {
+  std::string wire;
+  ASSERT_TRUE(EncodeRecord(SampleRecord(), &wire).ok());
+  // Every proper prefix must fail cleanly, never read out of bounds.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto decoded = DecodeRecord(std::string_view(wire).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+    EXPECT_EQ(decoded.status().code(), Status::Code::kParseError);
+  }
+}
+
+TEST(RecordCodecTest, RejectsTrailingBytes) {
+  std::string wire;
+  ASSERT_TRUE(EncodeRecord(SampleRecord(), &wire).ok());
+  wire += 'x';
+  EXPECT_FALSE(DecodeRecord(wire).ok());
+}
+
+}  // namespace
+}  // namespace webrbd::store

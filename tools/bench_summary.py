@@ -11,6 +11,10 @@ the headline MB/s numbers the README and CI artifacts track:
     batch_pipeline             best BM_BatchPipeline/<threads>/<docs> run
     template_skew              BM_BatchPipelineTemplateSkew cache-on vs
                                cache-off: hit rate and memoization speedup
+    store_*                    bench_store: ingest MB/s (memory and POSIX
+                               backends) and 1M-record query latencies,
+                               with the learned-index speedup over a full
+                               scan (CI floors this at 5x)
 
 Each section is included only when its benchmarks are present in the
 inputs, so partial runs still summarize. Repeated runs of one benchmark
@@ -52,6 +56,11 @@ def load_benchmarks(paths):
 
 def mb_per_second(bench):
     return round(bench["bytes_per_second"] / 1e6, 1)
+
+
+def real_seconds(bench):
+    unit = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+    return bench["real_time"] * unit.get(bench.get("time_unit", "ns"), 1e-9)
 
 
 def main():
@@ -121,6 +130,33 @@ def main():
         summary["template_skew_speedup"] = speedup
         summary["template_skew_hit_rate"] = round(on["hit_rate"], 4)
         summary["template_skew_mb_s"] = mb_per_second(on)
+
+    # Persistent-store section (bench/bench_store.cc): best ingest rep per
+    # backend, query latencies against the sealed 1M-record store, and the
+    # learned-index speedup over the scan-from-zero baseline.
+    for key, prefix in [("store_ingest_mb_s", "BM_StoreIngest/"),
+                        ("store_ingest_posix_mb_s", "BM_StoreIngestPosix/")]:
+        ingest = [b for name, b in runs.items() if name.startswith(prefix)
+                  and "/" not in name[len(prefix):]]
+        if ingest:
+            summary[key] = mb_per_second(
+                max(ingest, key=lambda b: b["bytes_per_second"]))
+    if "BM_StoreRangeQueryLearned" in runs:
+        learned = runs["BM_StoreRangeQueryLearned"]
+        summary["store_range_query_us"] = round(real_seconds(learned) * 1e6,
+                                                1)
+        if "index_segments" in learned:
+            summary["store_index_segments"] = int(learned["index_segments"])
+    if "BM_StorePointQueryLearned" in runs:
+        summary["store_point_query_us"] = round(
+            real_seconds(runs["BM_StorePointQueryLearned"]) * 1e6, 1)
+    if "BM_StoreRangeQueryFullScan" in runs:
+        full = runs["BM_StoreRangeQueryFullScan"]
+        summary["store_full_scan_ms"] = round(real_seconds(full) * 1e3, 2)
+        if "BM_StoreRangeQueryLearned" in runs:
+            summary["store_index_speedup"] = round(
+                real_seconds(full)
+                / real_seconds(runs["BM_StoreRangeQueryLearned"]), 1)
 
     if not summary:
         print("bench_summary: no recognized benchmarks in inputs",

@@ -51,7 +51,14 @@ set(DOCUMENTED_METRICS
     webrbd_serve_rejected_total
     webrbd_serve_request_seconds
     webrbd_serve_drain_seconds
-    webrbd_serve_reloads_total)
+    webrbd_serve_reloads_total
+    webrbd_store_pages_written_total
+    webrbd_store_pages_read_total
+    webrbd_store_flushes_total
+    webrbd_store_records_written_total
+    webrbd_store_torn_pages_total
+    webrbd_store_index_segments
+    webrbd_store_query_seconds)
 
 set(json_file ${OUT_DIR}/metrics_out.json)
 execute_process(

@@ -1,0 +1,143 @@
+# Copyright (c) the webrbd authors. Licensed under the Apache License 2.0.
+#
+# ctest script: the persistent-store round trip ACROSS PROCESSES. One
+# `webrbd_cli store` run ingests a generated corpus into a POSIX store
+# file; fresh `webrbd_cli query` processes must reopen it and answer
+# count, range, filter, and JSON queries; a truncated (torn) final page
+# must be recovered, not refused; and the store run's --metrics-out
+# snapshot must show the webrbd_store_* counters moving.
+#
+# Expects: -DWEBRBD_CLI=<path to webrbd_cli> -DOUT_DIR=<writable dir>
+#          (python3 on PATH, same as serve_load_smoke)
+
+set(store_file ${OUT_DIR}/roundtrip.store)
+set(metrics_file ${OUT_DIR}/roundtrip_store_metrics.json)
+file(REMOVE ${store_file})
+
+# --- ingest -----------------------------------------------------------
+execute_process(
+    COMMAND ${WEBRBD_CLI} store --out ${store_file} --generate 20
+            --threads 2 --page-bytes 512 --metrics-out ${metrics_file}
+    OUTPUT_VARIABLE store_out
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "webrbd_cli store exited with ${rc}")
+endif()
+string(REGEX MATCH "stored ([0-9]+) record" _ "${store_out}")
+if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "store reported no records: ${store_out}")
+endif()
+set(stored ${CMAKE_MATCH_1})
+
+file(READ ${metrics_file} metrics)
+foreach(metric webrbd_store_records_written_total
+        webrbd_store_pages_written_total webrbd_store_flushes_total)
+  string(FIND "${metrics}" "\"${metric}\"" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "store metrics snapshot is missing ${metric}")
+  endif()
+  string(FIND "${metrics}" "\"${metric}\": 0" zero)
+  if(NOT zero EQUAL -1)
+    message(FATAL_ERROR "${metric} did not move during the store run")
+  endif()
+endforeach()
+
+# --- fresh-process queries --------------------------------------------
+execute_process(
+    COMMAND ${WEBRBD_CLI} query --store ${store_file} --count
+    OUTPUT_VARIABLE count_out
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "webrbd_cli query --count exited with ${rc}")
+endif()
+string(STRIP "${count_out}" count_out)
+if(NOT count_out STREQUAL "${stored}")
+  message(FATAL_ERROR
+          "query --count saw ${count_out} records, store wrote ${stored}")
+endif()
+
+execute_process(
+    COMMAND ${WEBRBD_CLI} query --store ${store_file} --min-key 3 --max-key 5
+    OUTPUT_VARIABLE range_out
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "range query exited with ${rc}")
+endif()
+string(REGEX MATCHALL "key=[0-9]+" range_keys "${range_out}")
+list(LENGTH range_keys range_count)
+if(NOT range_count EQUAL 3)
+  message(FATAL_ERROR "range [3,5] returned ${range_count} records, want 3")
+endif()
+string(FIND "${range_out}" "key=3 " found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "range [3,5] is missing key=3: ${range_out}")
+endif()
+
+# JSON rendering: one object per record, keys present.
+execute_process(
+    COMMAND ${WEBRBD_CLI} query --store ${store_file} --min-key 0 --max-key 0
+            --format json
+    OUTPUT_VARIABLE json_out
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "json query exited with ${rc}")
+endif()
+string(FIND "${json_out}" "\"key\":0" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "json query output lacks the key field: ${json_out}")
+endif()
+
+# A filter that matches nothing must report exactly zero.
+execute_process(
+    COMMAND ${WEBRBD_CLI} query --store ${store_file}
+            --entity NoSuchEntity --count
+    OUTPUT_VARIABLE none_out
+    RESULT_VARIABLE rc)
+string(STRIP "${none_out}" none_out)
+if(NOT rc EQUAL 0 OR NOT none_out STREQUAL "0")
+  message(FATAL_ERROR "entity-filter miss returned '${none_out}' (rc ${rc})")
+endif()
+
+# --- strict flag validation -------------------------------------------
+execute_process(
+    COMMAND ${WEBRBD_CLI} query --store ${store_file} --generate 5
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "query accepted the store-only flag --generate")
+endif()
+execute_process(
+    COMMAND ${WEBRBD_CLI} store --generate 5
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "store without --out must be a usage error")
+endif()
+
+# --- torn-tail recovery ------------------------------------------------
+execute_process(
+    COMMAND python3 -c "import sys
+f = open(sys.argv[1], 'r+b')
+f.seek(0, 2)
+f.truncate(f.tell() - 100)"
+            ${store_file}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "could not tear the store file (rc ${rc})")
+endif()
+execute_process(
+    COMMAND ${WEBRBD_CLI} query --store ${store_file} --count
+    OUTPUT_VARIABLE torn_count
+    ERROR_VARIABLE torn_err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "query on a torn store exited with ${rc}: ${torn_err}")
+endif()
+string(FIND "${torn_err}" "recovered: dropped 1 torn page(s)" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "torn store did not report recovery: ${torn_err}")
+endif()
+string(STRIP "${torn_count}" torn_count)
+if(torn_count GREATER_EQUAL ${stored} OR torn_count EQUAL 0)
+  message(FATAL_ERROR
+          "torn store has ${torn_count} records, expected a non-empty "
+          "prefix of ${stored}")
+endif()

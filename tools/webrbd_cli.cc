@@ -8,6 +8,9 @@
 //   webrbd_cli populate [options] FILE        run the full pipeline
 //   webrbd_cli classify [options] FILE        multi-record / detail / none
 //   webrbd_cli batch    [options] DIR         batch pipeline over *.html in DIR
+//   webrbd_cli store    --out F [options] DIR  persist extracted records into
+//                                             a page-based record store
+//   webrbd_cli query    --store F [options]   key-range scan over a store file
 //   webrbd_cli demo                           run the paper's Figure 2
 //
 // Options:
@@ -25,6 +28,13 @@
 //   --generate-adversarial N  batch: append N deterministic adversarial
 //                          documents (src/gen/adversarial.h) to the corpus;
 //                          they must degrade per-document, never crash
+//   --out FILE             store: the record-store file to create/append
+//   --page-bytes N         store: page size for a NEW store file
+//   --store FILE           query: the record-store file to scan
+//   --min-key N            query: first ingest key of the range (inclusive)
+//   --max-key N            query: last ingest key of the range (inclusive)
+//   --entity NAME          query: keep only records of this entity table
+//   --count                query: print only the number of matches
 //   --max-doc-bytes N      override the document-size cap (0 = unlimited)
 //   --max-depth N          override the tree-depth cap (0 = unlimited)
 //   --unlimited            disable every per-document resource cap
@@ -55,6 +65,7 @@
 #include "eval/figure2.h"
 #include "extract/extraction_context.h"
 #include "extract/db_instance_generator.h"
+#include "extract/record_sink.h"
 #include "gen/adversarial.h"
 #include "gen/sites.h"
 #include "obs/metrics.h"
@@ -63,6 +74,9 @@
 #include "ontology/estimator.h"
 #include "ontology/parser.h"
 #include "robust/limits.h"
+#include "serve/json_util.h"
+#include "store/file_interface.h"
+#include "store/record_store.h"
 
 namespace webrbd {
 namespace {
@@ -90,6 +104,16 @@ struct CliOptions {
   long long max_doc_bytes = -1;
   long long max_depth = -1;
   bool unlimited = false;
+  // store/query: the record-store file (--out for store, --store for
+  // query; separate flags because store CREATES and query must not).
+  std::string store_path;
+  long long store_page_bytes = -1;  // -1 = store default (new files only)
+  long long min_key = -1;           // query: -1 = from the first record
+  long long max_key = -1;           // query: -1 = through the last record
+  std::string entity_filter;        // query: keep only this entity
+  bool count_only = false;          // query: print only the match count
+  // Every flag the command line named, for per-command strict validation.
+  std::vector<std::string> seen_flags;
 };
 
 // The effective per-document limits: production defaults (or none, under
@@ -158,11 +182,15 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: webrbd_cli COMMAND [options] FILE\n"
-      "commands: discover | extract | populate | classify | batch | demo\n"
+      "commands: discover | extract | populate | classify | batch | store |\n"
+      "          query | demo\n"
       "options:  --heuristics LETTERS  --threshold FRACTION\n"
       "          --ontology FILE  --format FORMAT  --keep-leading\n"
       "          --threads N  --chunk-size N  --generate N\n"
-      "          --generate-adversarial N  --dump-corpus DIR  (batch)\n"
+      "          --generate-adversarial N  --dump-corpus DIR  (batch/store)\n"
+      "          --out FILE  --page-bytes N  (store)\n"
+      "          --store FILE  --min-key N  --max-key N  --entity NAME\n"
+      "          --count  (query)\n"
       "          --max-doc-bytes N  --max-depth N  --unlimited\n"
       "          --metrics-out FILE  (any command; .prom = Prometheus text)\n"
       "          --metrics-format json|prom  (overrides the extension rule;\n"
@@ -178,6 +206,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      options->seen_flags.push_back(arg);
+    }
     if (arg == "--heuristics") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -232,6 +263,35 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--unlimited") {
       options->unlimited = true;
+    } else if (arg == "--out" || arg == "--store") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "%s: missing value\n", arg.c_str());
+        return false;
+      }
+      options->store_path = v;
+    } else if (arg == "--page-bytes") {
+      if (!ParseCount("--page-bytes", next(), LLONG_MAX,
+                      &options->store_page_bytes)) {
+        return false;
+      }
+    } else if (arg == "--min-key") {
+      if (!ParseCount("--min-key", next(), LLONG_MAX, &options->min_key)) {
+        return false;
+      }
+    } else if (arg == "--max-key") {
+      if (!ParseCount("--max-key", next(), LLONG_MAX, &options->max_key)) {
+        return false;
+      }
+    } else if (arg == "--entity") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "--entity: missing value\n");
+        return false;
+      }
+      options->entity_filter = v;
+    } else if (arg == "--count") {
+      options->count_only = true;
     } else if (arg == "--metrics-out") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -458,14 +518,18 @@ int RunClassify(const CliOptions& cli) {
   return 0;
 }
 
-// The `batch` subcommand: the batch-extraction engine over a directory of
-// HTML files (or --generate N synthetic obituary documents), printing the
-// corpus stats table. See docs/performance.md.
-int RunBatch(const CliOptions& cli) {
-  std::vector<std::string> corpus;
-  std::vector<std::string> names;
-  std::optional<Ontology> ontology;
-
+// Assembles the corpus a corpus-level command (`batch`, `store`) runs
+// over: --generate/--generate-adversarial synthesize documents against
+// the bundled obituaries ontology; otherwise FILE names a directory of
+// .html files and --ontology is required. Returns 0 and fills the out
+// parameters, or the exit code to fail with.
+int AssembleCorpus(const CliOptions& cli, const char* command,
+                   std::vector<std::string>* corpus_out,
+                   std::vector<std::string>* names_out,
+                   std::optional<Ontology>* ontology_out) {
+  std::optional<Ontology>& ontology = *ontology_out;
+  std::vector<std::string>& corpus = *corpus_out;
+  std::vector<std::string>& names = *names_out;
   if (cli.generate > 0 || cli.generate_adversarial > 0) {
     // Synthetic corpus: obituary listing pages cycled across the Table 1
     // calibration sites, with the bundled obituaries ontology; optionally
@@ -501,11 +565,12 @@ int RunBatch(const CliOptions& cli) {
     }
   } else {
     if (cli.ontology_file.empty()) {
-      std::fprintf(stderr, "batch requires --ontology FILE (or --generate N)\n");
+      std::fprintf(stderr, "%s requires --ontology FILE (or --generate N)\n",
+                   command);
       return 2;
     }
     if (cli.file.empty()) {
-      std::fprintf(stderr, "batch requires a directory of HTML files\n");
+      std::fprintf(stderr, "%s requires a directory of HTML files\n", command);
       return 2;
     }
     auto text = ReadInput(cli.ontology_file);
@@ -570,6 +635,19 @@ int RunBatch(const CliOptions& cli) {
       }
     }
   }
+  return 0;
+}
+
+// The `batch` subcommand: the batch-extraction engine over a directory of
+// HTML files (or --generate N synthetic obituary documents), printing the
+// corpus stats table. See docs/performance.md.
+int RunBatch(const CliOptions& cli) {
+  std::vector<std::string> corpus;
+  std::vector<std::string> names;
+  std::optional<Ontology> ontology;
+  const int assembled = AssembleCorpus(cli, "batch", &corpus, &names,
+                                       &ontology);
+  if (assembled != 0) return assembled;
 
   ContextOptions options;
   options.discovery.heuristics = cli.heuristics;
@@ -583,20 +661,238 @@ int RunBatch(const CliOptions& cli) {
   BatchRunOptions run;
   run.num_threads = cli.threads;
   run.chunk_size = static_cast<size_t>(cli.chunk_size);
-  auto batch = context->ExtractCorpus(corpus, run);
+  // Materialize catalogs through the sink so a document whose records fail
+  // to populate still counts as failed, matching the historic behavior of
+  // the Catalog-returning batch entry point.
+  CatalogSink sink(context->instance_generator());
+  auto batch = context->ExtractCorpusInto(corpus, sink, run);
   if (!batch.ok()) {
     std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s", batch->stats.ToString().c_str());
+  size_t populate_failures = 0;
   // Name the failing documents so corpus triage doesn't need a rerun.
+  for (size_t i = 0; i < batch->documents.size(); ++i) {
+    const std::string& label = i < names.size() ? names[i] : std::to_string(i);
+    if (batch->documents[i].ok()) {
+      auto catalog = sink.TakeCatalog(static_cast<uint32_t>(i));
+      if (!catalog.ok()) {
+        ++populate_failures;
+        std::fprintf(stderr, "failed %s: %s\n", label.c_str(),
+                     catalog.status().ToString().c_str());
+      }
+      continue;
+    }
+    std::fprintf(stderr, "failed %s: %s\n", label.c_str(),
+                 batch->documents[i].status().ToString().c_str());
+  }
+  batch->stats.succeeded -= populate_failures;
+  batch->stats.failed += populate_failures;
+  std::printf("%s", batch->stats.ToString().c_str());
+  return batch->stats.failed == 0 ? 0 : 1;
+}
+
+// store and query sit next to real data, where a silently ignored flag is
+// a likely operator mistake (--max-key on `store` probably meant `query`),
+// so unlike the older commands they reject every flag outside their own
+// set instead of shrugging it off.
+bool ValidateStrictFlags(const CliOptions& cli) {
+  static const std::vector<std::string_view> kStoreFlags = {
+      "--out", "--page-bytes", "--ontology", "--generate",
+      "--generate-adversarial", "--dump-corpus", "--threads", "--chunk-size",
+      "--heuristics", "--threshold", "--max-doc-bytes", "--max-depth",
+      "--unlimited", "--metrics-out", "--metrics-format"};
+  static const std::vector<std::string_view> kQueryFlags = {
+      "--store", "--min-key", "--max-key", "--entity", "--count", "--format",
+      "--metrics-out", "--metrics-format"};
+  const std::vector<std::string_view>* allowed = nullptr;
+  if (cli.command == "store") allowed = &kStoreFlags;
+  if (cli.command == "query") allowed = &kQueryFlags;
+  if (allowed == nullptr) return true;
+  bool ok = true;
+  for (const std::string& flag : cli.seen_flags) {
+    if (std::find(allowed->begin(), allowed->end(), flag) == allowed->end()) {
+      std::fprintf(stderr, "%s does not accept %s\n", cli.command.c_str(),
+                   flag.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+// The `store` subcommand: run the batch-extraction engine over a corpus
+// (same sources as `batch`) and persist every extracted record into a
+// page-based record store (docs/storage.md). The engine's end-of-batch
+// Flush makes the file durable before the command returns.
+int RunStore(const CliOptions& cli) {
+  if (!ValidateStrictFlags(cli)) return 2;
+  if (cli.store_path.empty()) {
+    std::fprintf(stderr, "store requires --out FILE\n");
+    return 2;
+  }
+  if (cli.store_page_bytes >= 0 &&
+      (static_cast<size_t>(cli.store_page_bytes) < store::kMinPageSize ||
+       static_cast<size_t>(cli.store_page_bytes) > store::kMaxPageSize)) {
+    std::fprintf(stderr, "--page-bytes: %lld is outside [%zu, %zu]\n",
+                 cli.store_page_bytes, store::kMinPageSize,
+                 store::kMaxPageSize);
+    return 2;
+  }
+
+  std::vector<std::string> corpus;
+  std::vector<std::string> names;
+  std::optional<Ontology> ontology;
+  const int assembled = AssembleCorpus(cli, "store", &corpus, &names,
+                                       &ontology);
+  if (assembled != 0) return assembled;
+
+  auto backend = store::OpenPosixFile(cli.store_path, /*create=*/true);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+    return 1;
+  }
+  store::StoreOptions store_options;
+  if (cli.store_page_bytes >= 0) {
+    store_options.page_size = static_cast<size_t>(cli.store_page_bytes);
+  }
+  auto opened =
+      store::RecordStore::Open(std::move(backend).value(), store_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  store::RecordStore& record_store = **opened;
+  const uint64_t first_key = record_store.record_count();
+
+  ContextOptions options;
+  options.discovery.heuristics = cli.heuristics;
+  options.discovery.candidate_options.irrelevance_threshold = cli.threshold;
+  options.discovery.limits = LimitsFromCli(cli);
+  auto context = ExtractionContext::Create(*ontology, options);
+  if (!context.ok()) {
+    std::fprintf(stderr, "%s\n", context.status().ToString().c_str());
+    return 1;
+  }
+  BatchRunOptions run;
+  run.num_threads = cli.threads;
+  run.chunk_size = static_cast<size_t>(cli.chunk_size);
+  StoreSink sink(&record_store);
+  auto batch = context->ExtractCorpusInto(corpus, sink, run);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+    return 1;
+  }
   for (size_t i = 0; i < batch->documents.size(); ++i) {
     if (batch->documents[i].ok()) continue;
     const std::string& label = i < names.size() ? names[i] : std::to_string(i);
     std::fprintf(stderr, "failed %s: %s\n", label.c_str(),
                  batch->documents[i].status().ToString().c_str());
   }
+  std::printf("%s", batch->stats.ToString().c_str());
+  std::printf("stored %llu record(s) in %s (keys %llu..%llu, %llu pages, "
+              "%zu index segments)\n",
+              static_cast<unsigned long long>(sink.records_written()),
+              cli.store_path.c_str(),
+              static_cast<unsigned long long>(first_key),
+              static_cast<unsigned long long>(
+                  record_store.record_count() == first_key
+                      ? first_key
+                      : record_store.record_count() - 1),
+              static_cast<unsigned long long>(record_store.page_count()),
+              record_store.index_segments());
   return batch->stats.failed == 0 ? 0 : 1;
+}
+
+// The `query` subcommand: key-range (and optional entity) scan over an
+// existing store file, in a fresh process — what recovery and the learned
+// index exist for.
+int RunQuery(const CliOptions& cli) {
+  if (!ValidateStrictFlags(cli)) return 2;
+  if (cli.store_path.empty()) {
+    std::fprintf(stderr, "query requires --store FILE\n");
+    return 2;
+  }
+  if (!cli.file.empty()) {
+    std::fprintf(stderr, "query takes no positional argument (did you mean "
+                         "--store %s?)\n", cli.file.c_str());
+    return 2;
+  }
+  if (cli.min_key >= 0 && cli.max_key >= 0 && cli.min_key > cli.max_key) {
+    std::fprintf(stderr, "--min-key %lld exceeds --max-key %lld\n",
+                 cli.min_key, cli.max_key);
+    return 2;
+  }
+  const std::string format = cli.format.empty() ? "text" : cli.format;
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "query --format must be text or json, got %s\n",
+                 format.c_str());
+    return 2;
+  }
+
+  auto backend = store::OpenPosixFile(cli.store_path, /*create=*/false);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+    return 1;
+  }
+  auto opened = store::RecordStore::Open(std::move(backend).value());
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  store::RecordStore& record_store = **opened;
+  if (record_store.torn_pages_recovered() > 0) {
+    std::fprintf(stderr, "recovered: dropped %llu torn page(s)\n",
+                 static_cast<unsigned long long>(
+                     record_store.torn_pages_recovered()));
+  }
+
+  store::ScanOptions scan;
+  if (cli.min_key >= 0) scan.min_key = static_cast<uint64_t>(cli.min_key);
+  if (cli.max_key >= 0) scan.max_key = static_cast<uint64_t>(cli.max_key);
+  if (!cli.entity_filter.empty()) {
+    scan.filter = [&cli](const store::StoredRecord& record) {
+      return record.entity == cli.entity_filter;
+    };
+  }
+  auto it = record_store.Scan(scan);
+  store::StoredRecord record;
+  uint64_t key = 0;
+  unsigned long long matches = 0;
+  while (it.Next(&record, &key)) {
+    ++matches;
+    if (cli.count_only) continue;
+    if (format == "json") {
+      std::string line = "{\"key\":" + std::to_string(key);
+      line += ",\"document\":" + std::to_string(record.document_index);
+      line += ",\"record\":" + std::to_string(record.record_index);
+      line += ",\"entity\":" + serve::JsonString(record.entity);
+      line += ",\"fields\":[";
+      for (size_t i = 0; i < record.fields.size(); ++i) {
+        if (i > 0) line += ",";
+        line += "[" + serve::JsonString(record.fields[i].first) + "," +
+                serve::JsonString(record.fields[i].second) + "]";
+      }
+      line += "]}";
+      std::printf("%s\n", line.c_str());
+    } else {
+      std::printf("key=%llu document=%u record=%u entity=%s\n",
+                  static_cast<unsigned long long>(key), record.document_index,
+                  record.record_index, record.entity.c_str());
+      for (const auto& field : record.fields) {
+        std::printf("  %s: %s\n", field.first.c_str(), field.second.c_str());
+      }
+    }
+  }
+  if (!it.status().ok()) {
+    std::fprintf(stderr, "%s\n", it.status().ToString().c_str());
+    return 1;
+  }
+  if (cli.count_only) {
+    std::printf("%llu\n", matches);
+  } else {
+    std::fprintf(stderr, "%llu record(s) matched\n", matches);
+  }
+  return 0;
 }
 
 int RunDemo() {
@@ -644,6 +940,8 @@ bool WriteMetricsSnapshot(const CliOptions& cli) {
 int Dispatch(const CliOptions& cli) {
   if (cli.command == "demo") return RunDemo();
   if (cli.command == "batch") return RunBatch(cli);
+  if (cli.command == "store") return RunStore(cli);
+  if (cli.command == "query") return RunQuery(cli);
   if (cli.file.empty()) return Usage();
   if (cli.command == "discover") return RunDiscover(cli);
   if (cli.command == "extract") return RunExtract(cli);

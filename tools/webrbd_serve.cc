@@ -22,12 +22,15 @@
 
 #include <unistd.h>
 
+#include "extract/record_sink.h"
 #include "obs/metrics.h"
 #include "obs/stages.h"
 #include "ontology/bundled.h"
 #include "robust/limits.h"
 #include "serve/server.h"
 #include "serve/service.h"
+#include "store/file_interface.h"
+#include "store/record_store.h"
 #include "util/result.h"
 
 namespace webrbd {
@@ -46,6 +49,8 @@ struct ServeCliOptions {
   long long max_body_bytes = -1;
   std::string metrics_out;
   std::optional<obs::SnapshotFormat> metrics_format;
+  std::string store_file;        // empty = no persistent ingest
+  long long store_page_bytes = -1;  // -1 = store default
 };
 
 int Usage() {
@@ -66,7 +71,11 @@ int Usage() {
       "          --max-body-bytes N HTTP request-body cap\n"
       "          --metrics-out FILE final snapshot on shutdown (- = stdout)\n"
       "          --metrics-format json|prom  (overrides the .prom\n"
-      "                             extension rule; required for stdout)\n");
+      "                             extension rule; required for stdout)\n"
+      "          --store FILE       persist every extracted record to this\n"
+      "                             page-based record store (created when\n"
+      "                             absent, appended to when present)\n"
+      "          --store-page-bytes N  page size for a NEW store file\n");
   return 2;
 }
 
@@ -136,6 +145,16 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->metrics_out = v;
+    } else if (arg == "--store") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "--store: expected a file path\n");
+        return false;
+      }
+      options->store_file = v;
+    } else if (arg == "--store-page-bytes") {
+      if (!ParseCount("--store-page-bytes", next(), &count)) return false;
+      options->store_page_bytes = count;
     } else if (arg == "--metrics-format") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -232,12 +251,51 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // Optional persistent ingest: every record any request extracts is also
+  // appended to this store, via an internally synchronized StoreSink that
+  // all transport threads share. The store flushes on drain; mid-run
+  // durability points happen whenever a page fills or a batch flushes.
+  std::unique_ptr<store::RecordStore> record_store;
+  std::unique_ptr<StoreSink> store_sink;
+  if (!cli.store_file.empty()) {
+    if (cli.store_page_bytes >= 0 &&
+        (static_cast<size_t>(cli.store_page_bytes) < store::kMinPageSize ||
+         static_cast<size_t>(cli.store_page_bytes) > store::kMaxPageSize)) {
+      std::fprintf(stderr, "--store-page-bytes: %lld is outside [%zu, %zu]\n",
+                   cli.store_page_bytes, store::kMinPageSize,
+                   store::kMaxPageSize);
+      return 1;
+    }
+    auto backend = store::OpenPosixFile(cli.store_file, /*create=*/true);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "--store: %s\n",
+                   backend.status().ToString().c_str());
+      return 1;
+    }
+    store::StoreOptions store_options;
+    if (cli.store_page_bytes >= 0) {
+      store_options.page_size = static_cast<size_t>(cli.store_page_bytes);
+    }
+    auto opened =
+        store::RecordStore::Open(std::move(backend).value(), store_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "--store: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    record_store = std::move(opened).value();
+    store_sink = std::make_unique<StoreSink>(record_store.get());
+    std::fprintf(stderr, "ingesting into %s (%llu records on open)\n",
+                 record_store->DebugName().c_str(),
+                 static_cast<unsigned long long>(record_store->record_count()));
+  }
+
   serve::ServiceOptions service_options;
   service_options.context.discovery.limits = LimitsFromCli(cli);
   service_options.ceilings = LimitsFromCli(cli);
   service_options.max_inflight = cli.max_inflight;
   service_options.retry_after_seconds = cli.retry_after;
   service_options.reload_source = [cli]() { return LoadOntologyDsl(cli); };
+  service_options.ingest_sink = store_sink.get();
   auto service =
       serve::ExtractionService::Create(std::move(dsl).value(),
                                        std::move(service_options));
@@ -291,9 +349,24 @@ int Main(int argc, char** argv) {
   std::fprintf(stderr, "shutdown signal received; draining\n");
   service_ptr->BeginDrain();
   (*server)->Drain();
+  bool store_flushed = true;
+  if (record_store != nullptr) {
+    // All requests have finished; make the tail durable before exit.
+    Status flushed = record_store->Flush();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "--store flush failed: %s\n",
+                   flushed.ToString().c_str());
+      store_flushed = false;
+    } else {
+      std::fprintf(stderr, "store flushed: %llu records, %llu pages\n",
+                   static_cast<unsigned long long>(
+                       record_store->record_count()),
+                   static_cast<unsigned long long>(record_store->page_count()));
+    }
+  }
   const bool wrote = WriteFinalSnapshot(cli);
   std::fprintf(stderr, "drain complete\n");
-  return wrote ? 0 : 1;
+  return wrote && store_flushed ? 0 : 1;
 }
 
 }  // namespace
